@@ -1,0 +1,93 @@
+"""Experiment S6.2.1 - selective document sharing.
+
+Paper claim: |D_R| = 10 documents vs |D_S| = 100, 1000 significant
+words each -> 4e6 C_e ~ 2 hours of computation on P = 10 processors and
+3 Gbits ~ 35 minutes on a T1 line.
+
+We run the *real* application at reduced scale (the per-pair protocol
+is exercised end to end, TF-IDF included), validate the measured
+encryption counts against the closed form, and reproduce the paper's
+headline numbers from the estimate module (which uses the paper's
+constants).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.estimates import document_sharing_estimate
+from repro.apps.document_sharing import run_document_sharing
+from repro.apps.tfidf import significant_words
+from repro.protocols.base import ProtocolSuite
+from repro.workloads.generator import document_corpus
+
+
+def _small_corpus(words_per_doc=40, k=20, n_r=3, n_s=6):
+    rng = random.Random(1)
+    topic = [f"topic{i}" for i in range(10)]
+    corpus_r = document_corpus(
+        n_r, rng, vocabulary_size=500, words_per_doc=words_per_doc,
+        topic_words=topic, topic_rate=0.9,
+    )
+    corpus_s = document_corpus(
+        n_s, rng, vocabulary_size=500, words_per_doc=words_per_doc,
+        topic_words=topic, topic_rate=0.9,
+    )
+    return significant_words(corpus_r, k), significant_words(corpus_s, k)
+
+
+def test_report_paper_estimate():
+    """The Section 6.2.1 numbers, from the cost model."""
+    est = document_sharing_estimate()
+    print(f"\nS6.2.1 {est.round_trip_summary()}")
+    print(
+        f"  paper: ~2 h compute, ~35 min transfer; "
+        f"model: {est.computation_hours:.2f} h, {est.communication_minutes:.0f} min"
+    )
+    assert est.encryptions_ce == pytest.approx(4e6)
+    assert 2.0 <= est.computation_hours <= 2.3
+    assert 30 <= est.communication_minutes <= 36
+
+
+def test_report_scaled_run_matches_formula(bench_bits):
+    """Measured encryption count on a live run == |D_R||D_S|(|d_R|+|d_S|) 2."""
+    docs_r, docs_s = _small_corpus()
+    suite = ProtocolSuite.default(bits=128, seed=2)
+    result = run_document_sharing(docs_r, docs_s, threshold=0.05, suite=suite)
+    formula = sum(
+        2 * (len(d_r) + len(d_s)) for d_r in docs_r for d_s in docs_s
+    )
+    print(
+        f"\nS6.2.1 scaled run: {result.protocol_runs} pairs, "
+        f"{result.total_encryptions} modexps (formula {formula}), "
+        f"{result.total_bytes} wire bytes, {len(result.matches)} matches"
+    )
+    assert result.total_encryptions == formula
+    assert len(result.matches) >= 1
+
+
+def test_report_extrapolation(calibration_1024):
+    """Estimate at paper scale with this machine's measured C_e."""
+    constants = calibration_1024.constants.with_processors(10)
+    est = document_sharing_estimate(constants=constants)
+    paper = document_sharing_estimate()
+    print(
+        f"\nS6.2.1 extrapolation to 10x100 docs, 1000 words:"
+        f"\n  paper (2001): {paper.computation_hours:.2f} h compute"
+        f"\n  this machine: {est.computation_hours:.3f} h compute"
+    )
+    assert est.encryptions_ce == paper.encryptions_ce  # same op counts
+
+
+def test_document_sharing_benchmark(benchmark):
+    """Wall clock of the scaled application run."""
+    docs_r, docs_s = _small_corpus(words_per_doc=25, k=12, n_r=2, n_s=4)
+
+    def run():
+        suite = ProtocolSuite.default(bits=256, seed=3)
+        return run_document_sharing(docs_r, docs_s, threshold=0.05, suite=suite)
+
+    result = benchmark(run)
+    assert result.protocol_runs == 8

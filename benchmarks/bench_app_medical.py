@@ -1,0 +1,74 @@
+"""Experiment S6.2.2 - medical research (Figure 2).
+
+Paper claim: with |V_R| = |V_S| = 1 million ids, the four
+intersection-size queries cost 8e6 C_e ~ 4 hours (P = 10) and
+8 Gbits ~ 1.5 hours on a T1.
+
+We run the full three-party Figure 2 pipeline at reduced scale, verify
+the contingency table against the plaintext SQL, check the 4x cost
+structure, and reproduce the paper's numbers from the cost model.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.estimates import medical_research_estimate
+from repro.apps.medical import plaintext_contingency, run_medical_research
+from repro.protocols.base import ProtocolSuite
+from repro.workloads.generator import medical_workload
+
+
+def test_report_paper_estimate():
+    est = medical_research_estimate()
+    print(f"\nS6.2.2 {est.round_trip_summary()}")
+    print(
+        f"  paper: ~4 h compute, ~1.5 h transfer; "
+        f"model: {est.computation_hours:.2f} h, {est.communication_hours:.2f} h"
+    )
+    assert est.encryptions_ce == pytest.approx(8e6)
+    assert 4.0 <= est.computation_hours <= 4.6
+    assert 1.3 <= est.communication_hours <= 1.6
+
+
+def test_report_scaled_run_correct_and_counted():
+    """Live Figure 2 run: answer correct, traffic = 4 queries' worth."""
+    wl = medical_workload(150, random.Random(4))
+    suite = ProtocolSuite.default(bits=128, seed=4)
+    result = run_medical_research(wl.t_r, wl.t_s, suite)
+    truth = plaintext_contingency(wl.t_r, wl.t_s)
+    print(
+        f"\nS6.2.2 scaled run (150 people): contingency {result.table.as_dict()}"
+        f"\n  total wire bytes {result.run.total_bytes}, "
+        f"T received {len(result.run.t_view.received)} sets"
+    )
+    assert result.table.as_dict() == truth.as_dict()
+    assert len(result.run.t_view.received) == 8  # (Z_R, Z_S) x 4 queries
+
+
+def test_report_extrapolation(calibration_1024):
+    constants = calibration_1024.constants.with_processors(10)
+    est = medical_research_estimate(constants=constants)
+    paper = medical_research_estimate()
+    print(
+        f"\nS6.2.2 extrapolation to 1M ids:"
+        f"\n  paper (2001): {paper.computation_hours:.2f} h compute, "
+        f"{paper.communication_hours:.2f} h transfer"
+        f"\n  this machine: {est.computation_hours:.3f} h compute "
+        f"(same 8e6 modexps, measured C_e)"
+    )
+    assert est.encryptions_ce == paper.encryptions_ce
+
+
+@pytest.mark.parametrize("people", [50, 150])
+def test_medical_pipeline_benchmark(benchmark, people):
+    wl = medical_workload(people, random.Random(people))
+
+    def run():
+        suite = ProtocolSuite.default(bits=256, seed=people)
+        return run_medical_research(wl.t_r, wl.t_s, suite)
+
+    result = benchmark(run)
+    assert result.table.total <= people

@@ -1,0 +1,70 @@
+"""Experiment A.1.2 - circuit sizes (the n / m / f(n) table).
+
+Paper table (w = 32):
+
+    n            m    f(n)
+    10,000       11   2.3e8
+    1 million    19   7.3e10
+    100 million  32   1.9e13
+
+and "the brute force circuit does much worse, with 6.3e9, 6.3e13 and
+6.3e17 respectively". We regenerate both rows from the re-derived
+closed form and cross-check the model against *actually built* circuits
+at small n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.builders import brute_force_intersection_circuit
+from repro.circuits.costmodel import CircuitCostModel, equality_gates
+
+PAPER_TABLE = {10**4: (11, 2.3e8), 10**6: (19, 7.3e10), 10**8: (32, 1.9e13)}
+PAPER_BRUTE = {10**4: 6.3e9, 10**6: 6.3e13, 10**8: 6.3e17}
+
+
+def test_report_partitioning_table():
+    cm = CircuitCostModel()
+    print("\nA.1.2 partitioning circuit (w=32):")
+    print("  n          m (paper)   f(n) (paper)")
+    for row in cm.circuit_size_table():
+        pm, pf = PAPER_TABLE[row.n]
+        print(
+            f"  {row.n:.0e}   {row.m:2d} ({pm:2d})     "
+            f"{row.gates:.2e} ({pf:.1e})"
+        )
+        assert row.m == pm
+        assert row.gates == pytest.approx(pf, rel=0.05)
+
+
+def test_report_brute_force_row():
+    cm = CircuitCostModel()
+    print("\nA.1.2 brute-force circuit (w=32):")
+    for n, expected in PAPER_BRUTE.items():
+        gates = cm.brute_force_gates(n, n)
+        print(f"  n={n:.0e}: {gates:.2e} gates (paper {expected:.1e})")
+        assert gates == pytest.approx(expected, rel=0.01)
+
+
+def test_report_model_vs_built_circuits():
+    """The analytic count vs real constructed circuits at tiny n.
+
+    The model is a *lower bound* counting only comparators; built
+    circuits add OR-merge gates, so built >= model comparator count.
+    """
+    cm = CircuitCostModel(width=8)
+    print("\nA.1.2 model vs built circuits (w=8):")
+    for n in (2, 4, 8, 16):
+        built = brute_force_intersection_circuit(8, n, n).gate_count
+        bound = cm.brute_force_gates(n, n)
+        merge = n * (n - 1)
+        print(f"  n={n:3d}: built {built:6d} gates, bound {bound:.0f} + {merge} merges")
+        assert built == bound + merge
+        assert built >= bound
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_circuit_construction_benchmark(benchmark, n):
+    circuit = benchmark(brute_force_intersection_circuit, 8, n, n)
+    assert circuit.gate_count == n * n * equality_gates(8) + n * (n - 1)

@@ -1,0 +1,53 @@
+"""Experiment S3.2.2 - hash collision probability bound.
+
+Paper claim: with 1024-bit hash values (N ~ 2^1024 / 2 residues) and
+n = 1 million values, Pr[collision] ~ 1e-295; real deployments detect
+residual collisions by sorting the hashes at protocol start.
+
+This bench (a) recomputes the bound at the paper's parameters,
+(b) times the try-and-increment hash and the sort-based collision
+check that the bound justifies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.crypto.groups import QRGroup
+from repro.crypto.hashing import (
+    TryIncrementHash,
+    collision_probability,
+    find_collisions,
+)
+
+
+def test_report_collision_bound():
+    """Regenerate the paper's collision numbers."""
+    rows = []
+    for bits, n in [(1024, 10**6), (1024, 10**4), (512, 10**6), (2048, 10**6)]:
+        domain = 2**bits // 2
+        p = collision_probability(n, domain)
+        rows.append((bits, n, p))
+    print("\nS3.2.2 collision bound: Pr[collision] = 1 - exp(-n(n-1)/2N)")
+    for bits, n, p in rows:
+        log = math.log10(p) if p > 0 else float("-inf")
+        print(f"  k={bits:5d} bits  n={n:.0e}  Pr ~ 10^{log:.1f}")
+    paper = next(p for bits, n, p in rows if bits == 1024 and n == 10**6)
+    assert -298 < math.log10(paper) < -294  # the paper's ~1e-295
+
+
+@pytest.mark.parametrize("bits", [512, 1024])
+def test_hash_throughput(benchmark, bits):
+    """Time one try-and-increment hash into QR_p."""
+    hash_fn = TryIncrementHash(QRGroup.for_bits(bits))
+    counter = iter(range(10**9))
+    benchmark(lambda: hash_fn.hash_value(f"value-{next(counter)}"))
+
+
+def test_collision_check_throughput(benchmark, bench_suite, bench_rng):
+    """Time the sort-based collision check on 10k hash values."""
+    hashes = [bench_suite.group.random_element(bench_rng) for _ in range(10_000)]
+    result = benchmark(find_collisions, hashes)
+    assert result == []

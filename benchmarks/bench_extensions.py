@@ -1,0 +1,96 @@
+"""Validation - the future-work extensions (aggregation, selection).
+
+Not paper tables: these benches cover the two operations the paper
+*asks for* (conclusions: aggregations; related work: selection via
+PIR), validating correctness against plaintext and recording their
+cost so they can be compared with the core protocols.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.protocols.aggregate import run_equijoin_sum
+from repro.protocols.base import ProtocolSuite
+from repro.protocols.intersection_size import run_intersection_size
+from repro.protocols.selection import run_selection
+from repro.workloads.generator import overlapping_sets
+
+
+def test_report_equijoin_sum_vs_size_cost():
+    """The aggregate costs one extra Paillier layer over the size
+    protocol; quantify the overhead at equal n."""
+    rng = random.Random(21)
+    n = 24
+    v_r, v_s, expected = overlapping_sets(n, n, n // 2, rng)
+    values_s = {v: rng.randrange(10**6) for v in v_s}
+
+    suite = ProtocolSuite.default(bits=256, seed=21)
+    start = time.perf_counter()
+    size_result = run_intersection_size(v_r, v_s, suite)
+    size_time = time.perf_counter() - start
+
+    suite = ProtocolSuite.default(bits=256, seed=21)
+    start = time.perf_counter()
+    sum_result = run_equijoin_sum(v_r, values_s, suite, paillier_bits=256)
+    sum_time = time.perf_counter() - start
+
+    truth = sum(values_s[v] for v in expected)
+    print(
+        f"\nExtension cost at n={n} (256-bit group):"
+        f"\n  intersection size: {size_time:.3f}s, "
+        f"{size_result.run.total_bytes} B"
+        f"\n  equijoin sum:      {sum_time:.3f}s, "
+        f"{sum_result.run.total_bytes} B "
+        f"({sum_result.run.total_bytes / size_result.run.total_bytes:.1f}x bytes)"
+    )
+    assert sum_result.total == truth
+    assert sum_result.match_count == size_result.size == len(expected)
+
+
+def test_report_selection_scaling():
+    """Selection traffic is O(n) records + O(log n) OT - record the
+    curve."""
+    print("\nPrivate selection scaling (512-bit group):")
+    print("  n records   bytes    bytes/record")
+    previous = None
+    for n in (4, 16, 64):
+        suite = ProtocolSuite.default(bits=512, seed=n)
+        records = [f"row-{i:04d}".encode() * 2 for i in range(n)]
+        result = run_selection(n // 2, records, suite)
+        assert result.record == records[n // 2]
+        per_record = result.run.total_bytes / n
+        print(f"  {n:9d} {result.run.total_bytes:8d} {per_record:10.1f}")
+        if previous is not None:
+            # Per-record cost falls as the O(log n) OT amortizes.
+            assert per_record < previous
+        previous = per_record
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_selection_benchmark(benchmark, n):
+    records = [f"record-{i}".encode().ljust(16) for i in range(n)]
+
+    def run():
+        suite = ProtocolSuite.default(bits=256, seed=n)
+        return run_selection(n - 1, records, suite)
+
+    result = benchmark(run)
+    assert result.record == records[n - 1]
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_equijoin_sum_benchmark(benchmark, n):
+    rng = random.Random(n)
+    v_r, v_s, expected = overlapping_sets(n, n, n // 2, rng)
+    values_s = {v: 7 for v in v_s}
+
+    def run():
+        suite = ProtocolSuite.default(bits=256, seed=n)
+        return run_equijoin_sum(v_r, values_s, suite, paillier_bits=192)
+
+    result = benchmark(run)
+    assert result.total == 7 * len(expected)

@@ -1,0 +1,92 @@
+"""Experiment S5.2 - equijoin-size leakage ablation.
+
+The paper characterizes the protocol's extra leak through the duplicate
+distribution: "if all values have the same number of duplicates ... R
+only learns |V_R ∩ V_S|. At the other extreme, if no two values have
+the same number of duplicates, R will learn V_R ∩ V_S."
+
+The ablation sweeps duplicate distributions from uniform to fully
+distinct and reports the fraction of R's values whose membership gets
+pinned down - reproducing both extremes and the continuum between.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.leakage import leakage_profile
+from repro.db.multiset import ValueMultiset
+from repro.protocols.base import ProtocolSuite
+from repro.protocols.equijoin_size import run_equijoin_size
+from repro.workloads.generator import multiset_pair
+
+
+def _distinct_count_multisets(n, overlap):
+    """Every value gets a unique duplicate count (worst case)."""
+    values_r = [f"v{i}" for i in range(n)]
+    values_s = [f"v{i}" for i in range(overlap)] + [f"s{i}" for i in range(n - overlap)]
+    ms_r = ValueMultiset.from_values(
+        [v for i, v in enumerate(values_r) for _ in range(i + 1)]
+    )
+    ms_s = ValueMultiset.from_values(
+        [v for i, v in enumerate(values_s) for _ in range(i + 1)]
+    )
+    return ms_r, ms_s
+
+
+def test_report_leakage_sweep():
+    rng = random.Random(5)
+    n, overlap = 20, 8
+    print("\nS5.2 leakage ablation (|V_R|=|V_S|=20, overlap 8):")
+    print("  distribution        identified fraction")
+
+    ms_r, ms_s = multiset_pair(n, n, overlap, rng, uniform_count=3)
+    uniform = leakage_profile(ms_r, ms_s).identified_fraction(n)
+    print(f"  uniform (d=3)       {uniform:.2f}")
+
+    ms_r, ms_s = multiset_pair(n, n, overlap, rng, alpha=2.5)
+    zipf_steep = leakage_profile(ms_r, ms_s).identified_fraction(n)
+    print(f"  zipf alpha=2.5      {zipf_steep:.2f}")
+
+    ms_r, ms_s = multiset_pair(n, n, overlap, rng, alpha=1.1)
+    zipf_flat = leakage_profile(ms_r, ms_s).identified_fraction(n)
+    print(f"  zipf alpha=1.1      {zipf_flat:.2f}")
+
+    ms_r, ms_s = _distinct_count_multisets(n, overlap)
+    distinct = leakage_profile(ms_r, ms_s).identified_fraction(n)
+    print(f"  all-distinct counts {distinct:.2f}")
+
+    # The paper's two extremes.
+    assert uniform == 0.0
+    assert distinct == 1.0
+    # Heavier-tailed (more distinct counts) leaks at least as much as
+    # uniform and at most as much as fully distinct.
+    assert 0.0 <= zipf_flat <= 1.0
+    assert 0.0 <= zipf_steep <= 1.0
+
+
+def test_report_protocol_leak_matches_analysis(bench_bits):
+    """The live protocol's reported leak equals the plaintext analysis."""
+    rng = random.Random(6)
+    ms_r, ms_s = multiset_pair(12, 12, 5, rng)
+    suite = ProtocolSuite.default(bits=128, seed=6)
+    result = run_equijoin_size(ms_r, ms_s, suite)
+    profile = leakage_profile(ms_r, ms_s)
+    print(
+        f"\nS5.2 live protocol: overlap matrix {result.partition_overlap} "
+        f"== analysis {profile.matrix}"
+    )
+    assert result.partition_overlap == profile.matrix
+
+
+@pytest.mark.parametrize("uniform", [True, False])
+def test_leakage_analysis_benchmark(benchmark, uniform):
+    rng = random.Random(7)
+    ms_r, ms_s = multiset_pair(
+        200, 200, 80, rng, uniform_count=2 if uniform else None
+    )
+    profile = benchmark(leakage_profile, ms_r, ms_s)
+    if uniform:
+        assert profile.identified_fraction(200) == 0.0

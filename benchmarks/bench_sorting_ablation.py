@@ -1,0 +1,89 @@
+"""Ablation - the lexicographic-reordering requirement (footnote 3).
+
+The paper insists every shipped ciphertext set be "reordered
+lexicographically", warning that sending values in input order would
+reveal significant additional information. This ablation makes the
+warning concrete on the intersection-*size* protocol: if S returns
+``Z_R`` in the order it received ``Y_R`` (instead of reordered), R can
+match each double encryption back to its own value *by position* and
+recover the full intersection - collapsing the size-only protocol into
+the full intersection protocol.
+
+The audit's ``sorted:`` check exists to catch exactly this bug.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.runner import ProtocolRun
+from repro.protocols.audit import audit_view
+from repro.protocols.base import ProtocolSuite, sorted_ciphertexts
+from repro.workloads.generator import overlapping_sets
+
+
+def _intersection_size_run(v_r, v_s, suite, reorder_z_r: bool):
+    """The S5.1 protocol with the step-4(b) reordering switchable."""
+    run = ProtocolRun(protocol="intersection_size_ablation")
+    r_values = sorted(set(v_r), key=repr)
+    s_values = sorted(set(v_s), key=repr)
+    x_r = suite.hash_side("R", r_values)
+    x_s = suite.hash_side("S", s_values)
+    e_r = suite.cipher.sample_key(suite.rng_r)
+    e_s = suite.cipher.sample_key(suite.rng_s)
+
+    # R ships Y_R *unsorted* (paired with its own value order, which a
+    # semi-honest R legitimately remembers).
+    y_r = suite.cipher.encrypt_many(e_r, x_r)
+    y_r_received = run.to_s("3:Y_R", y_r)
+
+    y_s_received = run.to_r(
+        "4a:Y_S", sorted_ciphertexts(suite.cipher.encrypt_many(e_s, x_s))
+    )
+    z_r = suite.cipher.encrypt_many(e_s, y_r_received)
+    if reorder_z_r:
+        z_r = sorted_ciphertexts(z_r)
+    z_r_received = run.to_r("4b:Z_R", z_r)
+
+    z_s = set(suite.cipher.encrypt_many(e_r, y_s_received))
+    size = len(z_s & set(z_r_received))
+
+    # R's positional attack: if Z_R came back in Y_R order, position i
+    # of Z_R corresponds to R's value i.
+    recovered = {
+        r_values[i] for i, z in enumerate(z_r_received) if z in z_s
+    }
+    return size, recovered, run
+
+
+def test_report_sorting_ablation():
+    rng = random.Random(8)
+    v_r, v_s, expected = overlapping_sets(20, 25, 9, rng)
+    print("\nFootnote-3 ablation (intersection-size, |∩| = 9):")
+
+    suite = ProtocolSuite.default(bits=128, seed=8)
+    size, recovered, _ = _intersection_size_run(v_r, v_s, suite, reorder_z_r=True)
+    print(f"  with reordering:    size = {size}, positional attack "
+          f"recovered {len(recovered & expected)}/{len(expected)} values")
+    assert size == len(expected)
+    # Sorted Z_R: positions are meaningless; overlap with the true
+    # intersection is only chance-level.
+    assert len(recovered & expected) < len(expected)
+
+    suite = ProtocolSuite.default(bits=128, seed=8)
+    size, recovered, run = _intersection_size_run(
+        v_r, v_s, suite, reorder_z_r=False
+    )
+    print(f"  without reordering: size = {size}, positional attack "
+          f"recovered {len(recovered & expected)}/{len(expected)} values "
+          f"- the size protocol degraded to full intersection")
+    assert size == len(expected)
+    assert recovered == expected  # total break
+
+    # The audit flags the unsorted run.
+    report = audit_view(
+        run.r_view, suite.group, suite.hash, counterpart_values=list(v_s)
+    )
+    failed = {c.name for c in report.failures()}
+    print(f"  audit verdict on the broken run: failed checks {failed}")
+    assert any(name.startswith("sorted:") for name in failed)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run the real protocols at reduced ``n`` (the protocols are
+O(n) in modular exponentiations) and extrapolate to the paper's scales
+with the measured per-operation constants; see EXPERIMENTS.md for the
+recorded results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.calibration import calibrate
+from repro.protocols.base import ProtocolSuite
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-bits",
+        action="store",
+        default="512",
+        help="modulus size used by protocol benchmarks (default 512)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_bits(request) -> int:
+    return int(request.config.getoption("--bench-bits"))
+
+
+@pytest.fixture(scope="session")
+def calibration_1024():
+    """Measured C_e/C_h/C_K/C_s at the paper's 1024-bit modulus."""
+    return calibrate(bits=1024, samples=20)
+
+
+@pytest.fixture(scope="session")
+def bench_suite(bench_bits) -> ProtocolSuite:
+    return ProtocolSuite.default(bits=bench_bits, seed=20030609)
+
+
+@pytest.fixture()
+def bench_rng() -> random.Random:
+    return random.Random(20030609)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's cost tables and calibrate them to this machine.
+
+Prints: the Section 6.1 formulas evaluated at the paper's scales, the
+Section 6.2 application estimates, the Appendix A circuit-comparison
+tables (including the 144-days headline), and finally re-evaluates
+everything with *measured* constants from this machine.
+
+Run:  python examples/cost_explorer.py
+"""
+
+from repro.analysis.calibration import calibrate
+from repro.analysis.costmodel import CostConstants, ProtocolCostModel
+from repro.analysis.estimates import (
+    document_sharing_estimate,
+    medical_research_estimate,
+)
+from repro.circuits.costmodel import CircuitCostModel
+
+
+def main() -> None:
+    print("=" * 68)
+    print("Section 6.1 - protocol costs (paper constants: C_e = 0.02 s,")
+    print("k = 1024 bits, T1 line, P = 10)")
+    print("=" * 68)
+    model = ProtocolCostModel(CostConstants())
+    print(f"{'n':>10s} {'intersect [h]':>14s} {'join [h]':>10s} {'bits':>10s} {'T1 [h]':>8s}")
+    for n in (10**4, 10**5, 10**6):
+        comp = model.parallel_seconds(model.intersection_seconds(n, n)) / 3600
+        join = model.parallel_seconds(model.join_seconds(n, n)) / 3600
+        bits = model.intersection_bits(n, n)
+        wire = model.transfer_seconds(bits) / 3600
+        print(f"{n:10.0e} {comp:14.2f} {join:10.2f} {bits:10.1e} {wire:8.2f}")
+
+    print()
+    print("Section 6.2 - application estimates")
+    print("-" * 68)
+    for est in (document_sharing_estimate(), medical_research_estimate()):
+        print(f"  {est.round_trip_summary()}")
+
+    print()
+    print("Appendix A - circuit comparison (w = 32, k0 = 64, k1 = 100)")
+    print("-" * 68)
+    cm = CircuitCostModel()
+    print("  partitioning circuit:  n / optimal m / f(n)")
+    for row in cm.circuit_size_table():
+        print(f"    {row.n:10.0e}  m={row.m:3d}  f={row.gates:.2e}")
+    print(f"  {'n':>10s} {'OT [C_e]':>10s} {'eval [C_r]':>11s} {'ours [C_e]':>11s} "
+          f"{'circ [bits]':>12s} {'ours [bits]':>12s}")
+    for row in cm.comparison_table():
+        circ_bits = row.circuit_input_bits + row.circuit_tables_bits
+        print(f"  {row.n:10.0e} {row.circuit_input_ce:10.1e} "
+              f"{row.circuit_eval_cr:11.1e} {row.ours_ce:11.1e} "
+              f"{circ_bits:12.1e} {row.ours_bits:12.1e}")
+    headline = {r.n: r for r in cm.comparison_table()}[10**6]
+    print(f"\n  headline at n = 1e6 on a T1: circuit tables "
+          f"{cm.t1_transfer_days(headline.circuit_tables_bits):.0f} days "
+          f"vs ours {cm.t1_transfer_days(headline.ours_bits)*24:.1f} hours")
+
+    print()
+    print("This machine - measured constants (1024-bit modulus)")
+    print("-" * 68)
+    cal = calibrate(bits=1024, samples=15)
+    c = cal.constants
+    print(f"  C_e = {c.ce_seconds*1e3:.2f} ms  "
+          f"({cal.exponentiations_per_hour():.1e} modexp/hour; "
+          f"paper's 2001 box: 1.8e5/hour)")
+    print(f"  C_h = {c.ch_seconds*1e6:.0f} us, C_K = {c.ck_seconds*1e6:.0f} us, "
+          f"C_s = {c.cs_seconds*1e9:.0f} ns/item-step")
+    here = ProtocolCostModel(c.with_processors(10))
+    n = 10**6
+    hours = here.parallel_seconds(here.intersection_seconds(n, n)) / 3600
+    print(f"  intersection at n = 1M, P = 10: {hours:.2f} h on this machine "
+          f"(paper: 2.2 h)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works on environments without the
+`wheel` package (PEP 660 editable builds need it; `setup.py develop`
+does not). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro - a reproduction of *Information Sharing Across Private
+Databases* (Agrawal, Evfimievski, Srikant; SIGMOD 2003).
+
+The library implements the paper's minimal-sharing protocols -
+intersection, equijoin, intersection size and equijoin size - over a
+from-scratch commutative-encryption substrate (the power function on
+quadratic residues modulo a safe prime), together with the broken
+naive-hash baseline and its attack, executable proof simulators and a
+disclosure audit, the Section 6 cost model, the Appendix A circuit
+baseline (including a working Yao garbled-circuit PSI), and the two
+motivating applications (selective document sharing, medical research).
+
+Quickstart::
+
+    from repro import ProtocolSuite, run_intersection
+
+    suite = ProtocolSuite.default(bits=512, seed=7)
+    result = run_intersection(
+        v_r=["alice", "bob", "carol"],
+        v_s=["bob", "carol", "dave"],
+        suite=suite,
+    )
+    assert result.intersection == {"bob", "carol"}
+"""
+
+from .db import Table, ValueMultiset
+from .protocols import (
+    EquijoinResult,
+    EquijoinSizeResult,
+    IntersectionResult,
+    IntersectionSizeResult,
+    ProtocolSuite,
+    join_tables,
+    run_equijoin,
+    run_equijoin_size,
+    run_intersection,
+    run_intersection_size,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProtocolSuite",
+    "run_intersection",
+    "run_intersection_size",
+    "run_equijoin",
+    "run_equijoin_size",
+    "join_tables",
+    "IntersectionResult",
+    "IntersectionSizeResult",
+    "EquijoinResult",
+    "EquijoinSizeResult",
+    "Table",
+    "ValueMultiset",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Multi-query composition analysis (the Section 2.3 limitation).
+
+The paper is explicit that its guarantees are per-query: "our
+techniques do not address the question of what the parties might learn
+by combining the results of multiple queries." This module makes that
+limitation *measurable*: given the sequence of (query input, answer)
+pairs a party R observed, it computes everything R can deduce about
+S's set ``V_S`` by set algebra alone.
+
+The engine tracks, for every value R has ever queried with, whether its
+membership in ``V_S`` is determined:
+
+* an *intersection* query answers membership exactly for every queried
+  value (in the answer -> member; queried but absent -> non-member);
+* an *intersection-size* query adds a cardinality constraint
+  ``|Q ∩ V_S| = k``; when combined with what is already known, it can
+  collapse (e.g. the classic tracker: query ``Q`` then ``Q - {v}`` and
+  subtract).
+
+The inference is sound but deliberately simple (pairwise constraint
+propagation, not full SAT) - enough to demonstrate the tracker attack
+that :class:`repro.apps.restriction.QueryAuditor` exists to stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+__all__ = ["MembershipKnowledge", "CompositionAnalyzer"]
+
+
+@dataclass
+class MembershipKnowledge:
+    """What R currently knows about V_S membership."""
+
+    members: set[Hashable] = field(default_factory=set)
+    non_members: set[Hashable] = field(default_factory=set)
+
+    @property
+    def determined(self) -> set[Hashable]:
+        return self.members | self.non_members
+
+    def status(self, value: Hashable) -> bool | None:
+        """True/False when determined, None when still unknown."""
+        if value in self.members:
+            return True
+        if value in self.non_members:
+            return False
+        return None
+
+
+@dataclass
+class _SizeConstraint:
+    """``|query_set ∩ V_S| == size`` from one intersection-size answer."""
+
+    values: frozenset
+    size: int
+
+
+class CompositionAnalyzer:
+    """Accumulates query/answer pairs and propagates inferences."""
+
+    def __init__(self) -> None:
+        self.knowledge = MembershipKnowledge()
+        self._constraints: list[_SizeConstraint] = []
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def observe_intersection(
+        self, query_values: Iterable[Hashable], answer: Iterable[Hashable]
+    ) -> None:
+        """An intersection query pins membership for every queried value."""
+        query_set = set(query_values)
+        answer_set = set(answer)
+        if not answer_set <= query_set:
+            raise ValueError("answer must be a subset of the query input")
+        self.knowledge.members |= answer_set
+        self.knowledge.non_members |= query_set - answer_set
+        self._propagate()
+
+    def observe_intersection_size(
+        self, query_values: Iterable[Hashable], size: int
+    ) -> None:
+        """An intersection-size query adds a cardinality constraint."""
+        values = frozenset(query_values)
+        if not 0 <= size <= len(values):
+            raise ValueError("impossible intersection size")
+        self._constraints.append(_SizeConstraint(values=values, size=size))
+        self._propagate()
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _propagate(self) -> None:
+        """Fixed-point pass over the cardinality constraints.
+
+        For each constraint, subtract what is already determined; if
+        the residual demands *all* remaining values be members (or
+        none), membership collapses. Pairwise differences of nested
+        constraints (the tracker pattern) fall out automatically
+        because the larger query's collapse feeds the smaller one.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for constraint in self._constraints:
+                undetermined = constraint.values - self.knowledge.determined
+                if not undetermined:
+                    continue
+                known_members = len(constraint.values & self.knowledge.members)
+                residual = constraint.size - known_members
+                if residual == 0:
+                    self.knowledge.non_members |= undetermined
+                    changed = True
+                elif residual == len(undetermined):
+                    self.knowledge.members |= undetermined
+                    changed = True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def determined_fraction(self, universe: Iterable[Hashable]) -> float:
+        """Share of ``universe`` whose membership R has pinned down."""
+        universe_set = set(universe)
+        if not universe_set:
+            return 0.0
+        return len(universe_set & self.knowledge.determined) / len(universe_set)
+
+    def excess_over_single_query(
+        self, single_query_determined: Iterable[Hashable]
+    ) -> set[Hashable]:
+        """Values determined only thanks to composition."""
+        return self.knowledge.determined - set(single_query_determined)

@@ -1,0 +1,114 @@
+"""Operation-counting wrappers, for validating the Section 6 model.
+
+The cost model predicts *how many* encryptions and hashes each protocol
+performs; these wrappers count the actual calls in a live run so the
+benchmarks (and tests) can compare prediction against reality exactly,
+independent of machine speed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..crypto.commutative import PowerCipher
+from ..crypto.ext_cipher import BlockExtCipher
+from ..crypto.groups import QRGroup
+from ..crypto.hashing import DomainHash, TryIncrementHash, Value
+from ..protocols.base import ProtocolSuite
+
+__all__ = ["OperationCounter", "CountingSuite", "counting_suite"]
+
+
+@dataclass
+class OperationCounter:
+    """Tallies of primitive operations observed during a run."""
+
+    encryptions: int = 0
+    hashes: int = 0
+    k_encryptions: int = 0
+
+    def reset(self) -> None:
+        """Zero all tallies (reuse the counter across runs)."""
+        self.encryptions = 0
+        self.hashes = 0
+        self.k_encryptions = 0
+
+
+class _CountingCipher(PowerCipher):
+    """PowerCipher that counts every modular exponentiation."""
+
+    def __init__(self, group: QRGroup, counter: OperationCounter):
+        super().__init__(group)
+        self._counter = counter
+
+    def encrypt(self, key: int, x: int) -> int:
+        self._counter.encryptions += 1
+        return super().encrypt(key, x)
+
+    def decrypt(self, key: int, y: int) -> int:
+        self._counter.encryptions += 1
+        return super().decrypt(key, y)
+
+    def decrypt_many(self, key: int, ys):
+        self._counter.encryptions += len(list(ys))
+        return super().decrypt_many(key, ys)
+
+
+class _CountingHash(DomainHash):
+    """Delegating hash that counts every evaluation.
+
+    Each party hashes its own set, so a value in both sets is hashed
+    twice - exactly how the cost model's ``C_h (n_S + n_R)`` term
+    counts it.
+    """
+
+    def __init__(self, inner: DomainHash, counter: OperationCounter):
+        super().__init__(inner.group, inner.label)
+        self._inner = inner
+        self._counter = counter
+
+    def hash_value(self, value: Value) -> int:
+        self._counter.hashes += 1
+        return self._inner.hash_value(value)
+
+
+class _CountingExtCipher(BlockExtCipher):
+    def __init__(self, group: QRGroup, counter: OperationCounter):
+        super().__init__(group)
+        self._counter = counter
+
+    def encrypt(self, kappa: int, ext: bytes):
+        self._counter.k_encryptions += 1
+        return super().encrypt(kappa, ext)
+
+    def decrypt(self, kappa: int, ciphertext):
+        self._counter.k_encryptions += 1
+        return super().decrypt(kappa, ciphertext)
+
+
+@dataclass
+class CountingSuite:
+    """A protocol suite plus the counter wired into its primitives."""
+
+    suite: ProtocolSuite
+    counter: OperationCounter
+
+
+def counting_suite(bits: int = 128, seed: int | None = 0) -> CountingSuite:
+    """Build a suite whose cipher/hash/ext-cipher count their calls."""
+    group = QRGroup.for_bits(bits)
+    counter = OperationCounter()
+    if seed is None:
+        rng_r, rng_s = random.Random(), random.Random()
+    else:
+        rng_r, rng_s = random.Random(f"{seed}/R"), random.Random(f"{seed}/S")
+    suite = ProtocolSuite(
+        group=group,
+        hash=_CountingHash(TryIncrementHash(group), counter),
+        cipher=_CountingCipher(group, counter),
+        ext_cipher=_CountingExtCipher(group, counter),
+        rng_r=rng_r,
+        rng_s=rng_s,
+    )
+    return CountingSuite(suite=suite, counter=counter)

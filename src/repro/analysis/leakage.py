@@ -1,0 +1,105 @@
+"""Equijoin-size leakage analysis (Section 5.2's characterization).
+
+The equijoin-size protocol reveals, beyond the answer:
+
+* to each party, the other side's duplicate distribution;
+* to R, the overlap count ``|V_R(d) ∩ V_S(d')|`` for every pair of
+  duplicate classes, where ``V(d)`` is the set of values occurring
+  exactly ``d`` times.
+
+From the overlap matrix R can sometimes pin down individual values:
+if *all* values in its class ``V_R(d)`` matched (or none did), R knows
+each one's membership in ``V_S`` with certainty. The two extremes the
+paper points out fall out of the same computation - with all duplicate
+counts equal R learns only ``|V_R ∩ V_S|``; with all counts distinct
+every class is a singleton and R recovers ``V_R ∩ V_S`` exactly.
+
+:func:`leakage_profile` computes the matrix and the per-value
+consequences on plaintext multisets (ground truth the protocol result
+is validated against), plus a scalar "identified fraction" used by the
+leakage ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..db.multiset import ValueMultiset
+
+__all__ = ["LeakageProfile", "leakage_profile", "overlap_matrix"]
+
+
+def overlap_matrix(
+    ms_r: ValueMultiset, ms_s: ValueMultiset
+) -> dict[tuple[int, int], int]:
+    """``(d_R, d_S) -> |V_R(d_R) ∩ V_S(d_S)|`` over duplicate classes.
+
+    Only nonzero entries are materialized.
+    """
+    partition_s = ms_s.partition_by_count()
+    matrix: dict[tuple[int, int], int] = {}
+    for d_r, values_r in ms_r.partition_by_count().items():
+        for d_s, values_s in partition_s.items():
+            overlap = len(values_r & values_s)
+            if overlap:
+                matrix[(d_r, d_s)] = overlap
+    return matrix
+
+
+@dataclass
+class LeakageProfile:
+    """What R can deduce from the equijoin-size run.
+
+    Attributes:
+        matrix: the class-overlap counts R learns.
+        certain_members: R values R can *prove* are in ``V_S``.
+        certain_nonmembers: R values R can prove are absent from ``V_S``.
+        r_class_sizes: ``d -> |V_R(d)|`` (R knows its own classes).
+    """
+
+    matrix: dict[tuple[int, int], int]
+    certain_members: set[Hashable]
+    certain_nonmembers: set[Hashable]
+    r_class_sizes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def identified(self) -> set[Hashable]:
+        """Values whose membership status R learned exactly."""
+        return self.certain_members | self.certain_nonmembers
+
+    def identified_fraction(self, total_r_values: int) -> float:
+        """Fraction of R's values whose membership R pinned down."""
+        if total_r_values == 0:
+            return 0.0
+        return len(self.identified) / total_r_values
+
+
+def leakage_profile(ms_r: ValueMultiset, ms_s: ValueMultiset) -> LeakageProfile:
+    """Compute the Section 5.2 leak on plaintext multisets.
+
+    A value ``v ∈ V_R(d)`` is *certainly a member* when every value in
+    its class matched some S class (``sum_d' overlap(d, d') == |V_R(d)|``),
+    and certainly a non-member when none did.
+    """
+    matrix = overlap_matrix(ms_r, ms_s)
+    partition_r = ms_r.partition_by_count()
+    matched_per_class: dict[int, int] = {}
+    for (d_r, _), count in matrix.items():
+        matched_per_class[d_r] = matched_per_class.get(d_r, 0) + count
+
+    certain_members: set[Hashable] = set()
+    certain_nonmembers: set[Hashable] = set()
+    for d_r, values in partition_r.items():
+        matched = matched_per_class.get(d_r, 0)
+        if matched == len(values):
+            certain_members |= values
+        elif matched == 0:
+            certain_nonmembers |= values
+
+    return LeakageProfile(
+        matrix=matrix,
+        certain_members=certain_members,
+        certain_nonmembers=certain_nonmembers,
+        r_class_sizes={d: len(vs) for d, vs in partition_r.items()},
+    )

@@ -1,0 +1,38 @@
+"""The paper's motivating applications built on the protocol layer:
+selective document sharing (Application 1), medical research
+(Application 2, Figure 2), TF-IDF preprocessing, and the Section 2.3
+multi-query defenses."""
+
+from .document_sharing import (
+    DocumentMatch,
+    DocumentSharingResult,
+    dice_similarity,
+    run_document_sharing,
+)
+from .medical import (
+    ContingencyTable,
+    MedicalResult,
+    intersection_size_to_third_party,
+    plaintext_contingency,
+    run_medical_research,
+)
+from .restriction import AuditEntry, QueryAuditor, QueryRefused
+from .tfidf import TfIdfModel, significant_words, tokenize
+
+__all__ = [
+    "dice_similarity",
+    "DocumentMatch",
+    "DocumentSharingResult",
+    "run_document_sharing",
+    "ContingencyTable",
+    "MedicalResult",
+    "run_medical_research",
+    "plaintext_contingency",
+    "intersection_size_to_third_party",
+    "QueryAuditor",
+    "QueryRefused",
+    "AuditEntry",
+    "TfIdfModel",
+    "significant_words",
+    "tokenize",
+]

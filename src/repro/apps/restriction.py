@@ -1,0 +1,133 @@
+"""Multi-query defenses (Section 2.3, "Multiple Queries").
+
+The protocols bound what a *single* query reveals; across queries a
+party could still triangulate (e.g. intersect against ``V``, then
+``V - {v}``, and diff the answers). Section 2.3 lists the classical
+statistical-database countermeasures as the first line of defense:
+
+* scrutiny/auditing of queries (audit trails [13]),
+* restricting the size of query results [17, 23],
+* controlling the overlap among successive queries [19].
+
+:class:`QueryAuditor` implements all three as a gatekeeper a party can
+run in front of its protocol endpoint. This is an extension beyond the
+paper's core protocols, flagged as such in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+__all__ = ["QueryRefused", "AuditEntry", "QueryAuditor"]
+
+
+class QueryRefused(Exception):
+    """A query was refused by policy; the message says which rule."""
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One line of the audit trail."""
+
+    query_id: str
+    input_size: int
+    result_size: int | None
+    decision: str
+    reason: str
+    timestamp: float
+
+
+@dataclass
+class QueryAuditor:
+    """Gatekeeper enforcing result-size and overlap restrictions.
+
+    Attributes:
+        min_result_size: refuse queries whose (predicted or actual)
+            result is smaller - small results isolate individuals [17].
+        max_overlap_fraction: refuse a query whose input set overlaps
+            any previously answered query's input by more than this
+            fraction of the smaller set [19].
+        max_queries: refuse after this many answered queries (None =
+            unlimited).
+    """
+
+    min_result_size: int = 2
+    max_overlap_fraction: float = 0.75
+    max_queries: int | None = None
+    trail: list[AuditEntry] = field(default_factory=list)
+    _answered_inputs: list[frozenset] = field(default_factory=list)
+
+    def review(
+        self,
+        query_id: str,
+        input_values: Iterable[Hashable],
+        result_size: int | None = None,
+    ) -> None:
+        """Admit or refuse one query; raises :class:`QueryRefused`.
+
+        Args:
+            query_id: identifier recorded in the trail.
+            input_values: the value set the querying party will feed to
+                the protocol.
+            result_size: the answer's size, when the protocol has run
+                (post-hoc enforcement for the size rule); None skips
+                the size check.
+        """
+        input_set = frozenset(input_values)
+
+        def refuse(reason: str) -> None:
+            self.trail.append(
+                AuditEntry(
+                    query_id=query_id,
+                    input_size=len(input_set),
+                    result_size=result_size,
+                    decision="refused",
+                    reason=reason,
+                    timestamp=time.time(),
+                )
+            )
+            raise QueryRefused(f"{query_id}: {reason}")
+
+        if self.max_queries is not None and self._answered() >= self.max_queries:
+            refuse(f"query budget of {self.max_queries} exhausted")
+
+        if result_size is not None and result_size < self.min_result_size:
+            refuse(
+                f"result size {result_size} below minimum {self.min_result_size}"
+            )
+
+        for previous in self._answered_inputs:
+            smaller = min(len(previous), len(input_set))
+            if smaller == 0:
+                continue
+            overlap = len(previous & input_set) / smaller
+            if overlap > self.max_overlap_fraction:
+                refuse(
+                    f"overlap {overlap:.2f} with an answered query exceeds "
+                    f"{self.max_overlap_fraction:.2f}"
+                )
+
+        self._answered_inputs.append(input_set)
+        self.trail.append(
+            AuditEntry(
+                query_id=query_id,
+                input_size=len(input_set),
+                result_size=result_size,
+                decision="answered",
+                reason="",
+                timestamp=time.time(),
+            )
+        )
+
+    def _answered(self) -> int:
+        return sum(1 for entry in self.trail if entry.decision == "answered")
+
+    def answered_queries(self) -> list[AuditEntry]:
+        """Trail entries for admitted queries."""
+        return [entry for entry in self.trail if entry.decision == "answered"]
+
+    def refused_queries(self) -> list[AuditEntry]:
+        """Trail entries for refused queries."""
+        return [entry for entry in self.trail if entry.decision == "refused"]

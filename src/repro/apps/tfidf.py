@@ -1,0 +1,75 @@
+"""TF-IDF document preprocessing (substrate for Application 1).
+
+Section 1.1: "The documents have been preprocessed to only include the
+most significant words, using some measure such as term frequency
+times inverse document frequency [41]." This module implements that
+preprocessing from scratch: tokenization, tf-idf scoring over a corpus,
+and per-document top-``k`` selection.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["tokenize", "TfIdfModel", "significant_words"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens, in order of appearance."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass
+class TfIdfModel:
+    """Corpus statistics for tf-idf scoring.
+
+    ``idf(t) = ln((1 + N) / (1 + df(t))) + 1`` (smoothed, always
+    positive) and ``tf(t, d)`` is the within-document relative
+    frequency.
+    """
+
+    document_frequency: Counter
+    n_documents: int
+
+    @classmethod
+    def fit(cls, corpus: Iterable[str]) -> "TfIdfModel":
+        """Compute document frequencies over raw-text documents."""
+        df: Counter = Counter()
+        n = 0
+        for text in corpus:
+            n += 1
+            df.update(set(tokenize(text)))
+        return cls(document_frequency=df, n_documents=n)
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency of one term."""
+        return math.log((1 + self.n_documents) / (1 + self.document_frequency[term])) + 1.0
+
+    def scores(self, text: str) -> dict[str, float]:
+        """tf-idf score per distinct term of one document."""
+        tokens = tokenize(text)
+        if not tokens:
+            return {}
+        counts = Counter(tokens)
+        total = len(tokens)
+        return {term: (count / total) * self.idf(term) for term, count in counts.items()}
+
+    def top_k(self, text: str, k: int) -> frozenset[str]:
+        """The ``k`` most significant words of one document.
+
+        Ties break lexicographically so preprocessing is deterministic.
+        """
+        ranked = sorted(self.scores(text).items(), key=lambda item: (-item[1], item[0]))
+        return frozenset(term for term, _ in ranked[:k])
+
+
+def significant_words(corpus: Sequence[str], k: int) -> list[frozenset[str]]:
+    """Preprocess a whole corpus to top-``k`` significant-word sets."""
+    model = TfIdfModel.fit(corpus)
+    return [model.top_k(text, k) for text in corpus]

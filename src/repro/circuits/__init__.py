@@ -1,0 +1,47 @@
+"""Appendix A circuit baseline: boolean circuit IR, comparator and
+intersection circuit builders, Yao garbling over OT, and the analytic
+cost model that regenerates the Appendix A tables."""
+
+from .boolean import Circuit, Gate, GATE_FUNCTIONS
+from .builders import (
+    brute_force_intersection_circuit,
+    encode_value_bits,
+    equality_comparator,
+    less_than_comparator,
+    pack_inputs,
+)
+from .costmodel import (
+    CircuitCostModel,
+    ComparisonRow,
+    PartitionChoice,
+    equality_gates,
+    less_than_gates,
+)
+from .garble import (
+    GarbledCircuit,
+    YaoPSIStats,
+    evaluate_garbled,
+    garble,
+    yao_intersection,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GATE_FUNCTIONS",
+    "equality_comparator",
+    "less_than_comparator",
+    "brute_force_intersection_circuit",
+    "encode_value_bits",
+    "pack_inputs",
+    "garble",
+    "evaluate_garbled",
+    "GarbledCircuit",
+    "yao_intersection",
+    "YaoPSIStats",
+    "CircuitCostModel",
+    "ComparisonRow",
+    "PartitionChoice",
+    "equality_gates",
+    "less_than_gates",
+]

@@ -1,0 +1,142 @@
+"""Boolean circuit intermediate representation and evaluator.
+
+Appendix A costs the alternative of computing the intersection with a
+Yao-style garbled circuit. To make that comparison executable we need
+actual circuits: this module provides a small gate-list IR (two-input
+gates over numbered wires, plus constants) and a direct evaluator used
+both for correctness checks and as the reference semantics the garbled
+evaluation must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["Gate", "Circuit", "GATE_FUNCTIONS"]
+
+#: Truth tables of the supported two-input gates.
+GATE_FUNCTIONS: dict[str, Callable[[int, int], int]] = {
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "XNOR": lambda a, b: 1 - (a ^ b),
+    "NAND": lambda a, b: 1 - (a & b),
+    "NOR": lambda a, b: 1 - (a | b),
+    "ANDNOT": lambda a, b: (1 - a) & b,  # ¬a ∧ b
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One two-input gate: ``out = op(wire a, wire b)``."""
+
+    op: str
+    a: int
+    b: int
+    out: int
+
+
+@dataclass
+class Circuit:
+    """A feed-forward circuit over numbered wires.
+
+    Wires ``0 .. n_inputs-1`` are inputs; constants and gate outputs
+    allocate further wires in creation order, so a single left-to-right
+    pass evaluates the whole circuit.
+    """
+
+    n_inputs: int
+    gates: list[Gate] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    constants: dict[int, int] = field(default_factory=dict)
+    _next_wire: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._next_wire = self.n_inputs
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def constant(self, bit: int) -> int:
+        """A wire pinned to 0 or 1."""
+        if bit not in (0, 1):
+            raise ValueError("constant must be 0 or 1")
+        wire = self._next_wire
+        self._next_wire += 1
+        self.constants[wire] = bit
+        return wire
+
+    def add_gate(self, op: str, a: int, b: int) -> int:
+        """Append a gate; returns its output wire."""
+        if op not in GATE_FUNCTIONS:
+            raise ValueError(f"unknown gate op {op!r}")
+        if not (0 <= a < self._next_wire and 0 <= b < self._next_wire):
+            raise ValueError(f"gate inputs ({a}, {b}) reference unknown wires")
+        out = self._next_wire
+        self._next_wire += 1
+        self.gates.append(Gate(op=op, a=a, b=b, out=out))
+        return out
+
+    def not_gate(self, a: int) -> int:
+        """``¬a`` as a NOR with itself (keeps the IR two-input only)."""
+        return self.add_gate("NOR", a, a)
+
+    def and_tree(self, wires: Sequence[int]) -> int:
+        """Balanced AND over 1+ wires (``len - 1`` gates)."""
+        return self._tree("AND", wires)
+
+    def or_tree(self, wires: Sequence[int]) -> int:
+        """Balanced OR over 1+ wires (``len - 1`` gates)."""
+        return self._tree("OR", wires)
+
+    def _tree(self, op: str, wires: Sequence[int]) -> int:
+        if not wires:
+            raise ValueError(f"{op} tree needs at least one wire")
+        level = list(wires)
+        while len(level) > 1:
+            nxt = [
+                self.add_gate(op, level[i], level[i + 1])
+                for i in range(0, len(level) - 1, 2)
+            ]
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def set_outputs(self, wires: Iterable[int]) -> None:
+        """Declare which wires the circuit outputs, in order."""
+        self.outputs = list(wires)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_wires(self) -> int:
+        return self._next_wire
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    def gate_count_by_op(self) -> dict[str, int]:
+        """Histogram of gate types in the circuit."""
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.op] = counts.get(gate.op, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: Sequence[int]) -> list[int]:
+        """Plain evaluation; the reference semantics for garbling."""
+        if len(inputs) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input bits, got {len(inputs)}"
+            )
+        values: dict[int, int] = {i: bit & 1 for i, bit in enumerate(inputs)}
+        values.update(self.constants)
+        for gate in self.gates:
+            values[gate.out] = GATE_FUNCTIONS[gate.op](values[gate.a], values[gate.b])
+        return [values[w] for w in self.outputs]

@@ -1,0 +1,108 @@
+"""Circuit builders for the Appendix A comparison.
+
+Builds the comparators Appendix A counts gates for (equality ``Ge`` and
+less-than ``Gl``) and the brute-force intersection circuit: every value
+of ``V_S`` compared against every value of ``V_R``, OR-merged per R
+value.
+
+Gate-count notes. The paper charges ``Ge = 2w - 1`` for equality -
+matched exactly by :func:`equality_comparator` (``w`` XNORs plus a
+``w-1``-gate AND tree). For less-than the paper charges ``Gl = 5w - 3``;
+our :func:`less_than_comparator` uses the two-input ``ANDNOT`` gate and
+needs only ``4w - 3`` gates (garbled-circuit tables cost the same for
+any two-input gate). The analytic cost model in
+:mod:`repro.circuits.costmodel` uses the paper's constants so its
+numbers reproduce the printed tables; tests assert our built circuits
+never exceed them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .boolean import Circuit
+
+__all__ = [
+    "equality_comparator",
+    "less_than_comparator",
+    "brute_force_intersection_circuit",
+    "encode_value_bits",
+    "pack_inputs",
+]
+
+
+def encode_value_bits(value: int, width: int) -> list[int]:
+    """Little-endian bit vector of a ``width``-bit value."""
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def equality_comparator(width: int) -> Circuit:
+    """``[a == b]`` over two ``width``-bit inputs; exactly ``2w - 1`` gates.
+
+    Input layout: wires ``0..w-1`` are ``a`` (little-endian), wires
+    ``w..2w-1`` are ``b``.
+    """
+    circuit = Circuit(n_inputs=2 * width)
+    bit_eq = [circuit.add_gate("XNOR", i, width + i) for i in range(width)]
+    circuit.set_outputs([circuit.and_tree(bit_eq)])
+    return circuit
+
+
+def less_than_comparator(width: int) -> Circuit:
+    """``[a < b]`` over two ``width``-bit inputs; ``4w - 3`` gates.
+
+    Ripple construction from the LSB: at bit ``i``,
+    ``lt_i = (¬a_i ∧ b_i) ∨ (a_i ≡ b_i) ∧ lt_{i-1}``.
+    """
+    circuit = Circuit(n_inputs=2 * width)
+    lt = circuit.add_gate("ANDNOT", 0, width)  # bit 0: ¬a_0 ∧ b_0
+    for i in range(1, width):
+        a_i, b_i = i, width + i
+        strictly = circuit.add_gate("ANDNOT", a_i, b_i)
+        equal = circuit.add_gate("XNOR", a_i, b_i)
+        carry = circuit.add_gate("AND", equal, lt)
+        lt = circuit.add_gate("OR", strictly, carry)
+    circuit.set_outputs([lt])
+    return circuit
+
+
+def brute_force_intersection_circuit(
+    width: int, n_s: int, n_r: int
+) -> Circuit:
+    """The Appendix A brute-force circuit.
+
+    Inputs: S's ``n_s`` values (wires ``0 .. n_s*w - 1``) followed by
+    R's ``n_r`` values. Outputs: one bit per R value - 1 iff it equals
+    at least one S value (the vector ``z`` showing "which of R's values
+    also belong to V_S").
+
+    Gate count: ``n_s * n_r * (2w - 1)`` comparators plus
+    ``n_r * (n_s - 1)`` OR-merge gates.
+    """
+    circuit = Circuit(n_inputs=(n_s + n_r) * width)
+    outputs = []
+    for j in range(n_r):
+        r_base = (n_s + j) * width
+        hits = []
+        for i in range(n_s):
+            s_base = i * width
+            bit_eq = [
+                circuit.add_gate("XNOR", s_base + k, r_base + k)
+                for k in range(width)
+            ]
+            hits.append(circuit.and_tree(bit_eq))
+        outputs.append(circuit.or_tree(hits))
+    circuit.set_outputs(outputs)
+    return circuit
+
+
+def pack_inputs(
+    s_values: Sequence[int], r_values: Sequence[int], width: int
+) -> list[int]:
+    """Flatten both parties' values into the circuit's input layout."""
+    bits: list[int] = []
+    for value in list(s_values) + list(r_values):
+        bits.extend(encode_value_bits(value, width))
+    return bits

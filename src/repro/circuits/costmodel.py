@@ -1,0 +1,180 @@
+"""The Appendix A analytic cost model, re-derived.
+
+Regenerates every number in Appendix A:
+
+* the Naor-Pinkas amortized OT cost (``C_ot = 0.157 C_e``,
+  ``C'_ot >= 32 k_1`` at the computation-optimal ``l = 8``);
+* the input-coding cost ``w * n * C_ot ~ 5 n C_e`` computation and
+  ``w * n * 32 k_1 ~ 1e5 n`` bits of communication;
+* the brute-force circuit bound ``|V_R| * |V_S| * Ge``;
+* the partitioning-circuit lower bound
+  ``f(n) >= (m^2/(m-1) * Gl + Ge) * (n^(log_m(2m-1)) - 1)``
+  with the optimal-``m`` search (Table: n=1e4 -> m=11, f=2.3e8; ...);
+* the evaluation cost (``2 C_r`` per gate, ``4 k0 = 256`` bits per
+  gate) and the final computation/communication comparison tables,
+  including the "144 days vs 0.5 hours on a T1 line" headline.
+
+All closed forms use the paper's gate constants ``Ge = 2w - 1`` and
+``Gl = 5w - 3`` with ``w = 32`` and ``k0 = 64``, ``k1 = 100`` defaults.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..crypto.ot import NaorPinkasCostModel
+
+__all__ = [
+    "CircuitCostModel",
+    "ComparisonRow",
+    "PartitionChoice",
+]
+
+
+def equality_gates(width: int) -> int:
+    """``Ge``: gates to compare two ``w``-bit numbers for equality."""
+    return 2 * width - 1
+
+
+def less_than_gates(width: int) -> int:
+    """``Gl``: gates to order two ``w``-bit numbers (paper's constant)."""
+    return 5 * width - 3
+
+
+@dataclass(frozen=True)
+class PartitionChoice:
+    """Optimal split factor and resulting gate bound for one ``n``."""
+
+    n: int
+    m: int
+    gates: float
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of the Appendix A.2 comparison tables."""
+
+    n: int
+    circuit_input_ce: float       # OT coding cost, units of C_e
+    circuit_eval_cr: float        # evaluation cost, units of C_r
+    ours_ce: float                # our protocol, units of C_e
+    circuit_input_bits: float
+    circuit_tables_bits: float
+    ours_bits: float
+
+
+@dataclass
+class CircuitCostModel:
+    """Parameters and formulas of Appendix A.
+
+    Attributes:
+        width: input value size in bits (``w = 32`` in the paper).
+        k0: garbled-table key size (64).
+        k1: oblivious-transfer key size (100).
+        k: our protocol's codeword size (1024).
+        ot: the Naor-Pinkas amortization model.
+    """
+
+    width: int = 32
+    k0: int = 64
+    k1: int = 100
+    k: int = 1024
+    ot: NaorPinkasCostModel = field(
+        default_factory=lambda: NaorPinkasCostModel(ce_over_cx=1000.0, k1_bits=100)
+    )
+
+    # ------------------------------------------------------------------
+    # A.1.1 - input coding
+    # ------------------------------------------------------------------
+    def ot_unit_cost_ce(self) -> float:
+        """``C_ot`` at the computation-optimal ``l`` (0.157 C_e)."""
+        return self.ot.computation_cost(self.ot.optimal_l())
+
+    def ot_unit_bits(self) -> float:
+        """``C'_ot`` lower bound at the same ``l`` (32 k_1 bits)."""
+        return self.ot.communication_bits(self.ot.optimal_l())
+
+    def input_coding_ce(self, n: int) -> float:
+        """Computation to code R's input: ``w * n * C_ot``."""
+        return self.width * n * self.ot_unit_cost_ce()
+
+    def input_coding_bits(self, n: int) -> float:
+        """Communication of the input coding: ``w * n * C'_ot``."""
+        return self.width * n * self.ot_unit_bits()
+
+    # ------------------------------------------------------------------
+    # A.1.2 - circuit size
+    # ------------------------------------------------------------------
+    def brute_force_gates(self, n_s: int, n_r: int) -> float:
+        """Lower bound for the brute-force circuit."""
+        return n_s * n_r * equality_gates(self.width)
+
+    def partition_gates(self, n: int, m: int) -> float:
+        """Closed-form lower bound ``f(n)`` for split factor ``m``.
+
+        ``f(n) >= (m^2/(m-1) * Gl + Ge) * (n^(log_m(2m-1)) - 1)``.
+        """
+        if m < 2:
+            raise ValueError("partitioning needs m >= 2")
+        gl, ge = less_than_gates(self.width), equality_gates(self.width)
+        exponent = math.log(2 * m - 1, m)
+        return (m * m / (m - 1) * gl + ge) * (n**exponent - 1)
+
+    def optimal_partition(self, n: int, m_max: int = 256) -> PartitionChoice:
+        """The ``m`` minimizing the partitioning bound for this ``n``."""
+        best_m = min(range(2, m_max + 1), key=lambda m: self.partition_gates(n, m))
+        return PartitionChoice(n=n, m=best_m, gates=self.partition_gates(n, best_m))
+
+    # ------------------------------------------------------------------
+    # Evaluation phase
+    # ------------------------------------------------------------------
+    def evaluation_cr(self, gates: float) -> float:
+        """Evaluator computation: two PRF calls per gate, units of C_r."""
+        return 2.0 * gates
+
+    def evaluation_bits(self, gates: float) -> float:
+        """Garbled-table traffic: ``4 k0`` bits per gate."""
+        return 4.0 * self.k0 * gates
+
+    # ------------------------------------------------------------------
+    # Our protocol, for the comparison (intersection protocol, n = n_S = n_R)
+    # ------------------------------------------------------------------
+    def ours_ce(self, n: int) -> float:
+        """``2 C_e (|V_S| + |V_R|) = 4 n C_e``."""
+        return 4.0 * n
+
+    def ours_bits(self, n: int) -> float:
+        """``(|V_S| + 2 |V_R|) k = 3 n k`` bits."""
+        return 3.0 * n * self.k
+
+    # ------------------------------------------------------------------
+    # The printed tables
+    # ------------------------------------------------------------------
+    def circuit_size_table(self, ns: tuple[int, ...] = (10**4, 10**6, 10**8)) -> list[PartitionChoice]:
+        """The A.1.2 table: optimal ``m`` and ``f(n)`` per ``n``."""
+        return [self.optimal_partition(n) for n in ns]
+
+    def comparison_table(
+        self, ns: tuple[int, ...] = (10**4, 10**6, 10**8)
+    ) -> list[ComparisonRow]:
+        """The A.2 computation and communication comparison rows."""
+        rows = []
+        for n in ns:
+            gates = self.optimal_partition(n).gates
+            rows.append(
+                ComparisonRow(
+                    n=n,
+                    circuit_input_ce=self.input_coding_ce(n),
+                    circuit_eval_cr=self.evaluation_cr(gates),
+                    ours_ce=self.ours_ce(n),
+                    circuit_input_bits=self.input_coding_bits(n),
+                    circuit_tables_bits=self.evaluation_bits(gates),
+                    ours_bits=self.ours_bits(n),
+                )
+            )
+        return rows
+
+    def t1_transfer_days(self, bits: float, bandwidth_bps: float = 1.544e6) -> float:
+        """Transfer time in days on a T1-class link (the headline unit)."""
+        return bits / bandwidth_bps / 86400.0

@@ -1,0 +1,219 @@
+"""Yao garbled circuits (semi-honest), the executable Appendix A baseline.
+
+The paper only *estimates* the circuit approach's cost; this module
+implements it, so the comparison benches can run both protocols on the
+same inputs at small ``n`` and extrapolate with the analytic model.
+
+Construction: classic point-and-permute garbling.
+
+* Every wire gets two random 128-bit labels and a random permute bit;
+  a label's low "color" bit is its permute-masked truth value.
+* Each gate ships a 4-row table; row ``2*color(a) + color(b)`` holds
+  ``H(label_a, label_b, gate_id) XOR (label_out || color_out)``.
+* The garbler (S in Appendix A - S hardwires its input ``x`` into the
+  circuit) sends its own input labels directly; the evaluator (R)
+  obtains labels for its input bits through 1-out-of-2 oblivious
+  transfer, one OT per input bit, exactly the accounting of A.1.1.
+* Output wires carry a decode table mapping color bit -> truth value.
+
+The evaluator applies a pseudorandom function twice per gate in the
+worst case (the paper charges ``2 C_r`` per gate); here it is one
+SHA-256 per gate row actually decrypted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..crypto.groups import QRGroup
+from ..crypto.ot import OTReceiver, OTSender
+from .boolean import GATE_FUNCTIONS, Circuit
+from .builders import brute_force_intersection_circuit, pack_inputs
+
+__all__ = ["GarbledCircuit", "garble", "evaluate_garbled", "YaoPSIStats", "yao_intersection"]
+
+_LABEL_BYTES = 16
+
+
+def _hash_row(label_a: bytes, label_b: bytes, gate_id: int) -> bytes:
+    h = hashlib.sha256()
+    h.update(b"repro.garble")
+    h.update(gate_id.to_bytes(4, "big"))
+    h.update(label_a)
+    h.update(label_b)
+    return h.digest()[: _LABEL_BYTES + 1]
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@dataclass
+class GarbledCircuit:
+    """Everything the evaluator receives (besides its input labels)."""
+
+    circuit: Circuit
+    tables: list[tuple[bytes, bytes, bytes, bytes]]
+    constant_labels: dict[int, bytes]
+    output_decode: dict[int, dict[int, int]]  # wire -> color bit -> value
+
+    @property
+    def table_bytes(self) -> int:
+        """Wire size of the garbled tables (4 rows per gate)."""
+        return sum(sum(len(row) for row in table) for table in self.tables)
+
+
+@dataclass
+class _GarblingSecrets:
+    """Garbler-side state: both labels per wire."""
+
+    labels: dict[int, tuple[bytes, bytes]]  # wire -> (label0, label1)
+    perm: dict[int, int]  # wire -> permute bit
+
+    def active_label(self, wire: int, value: int) -> bytes:
+        label = self.labels[wire][value]
+        color = self.perm[wire] ^ value
+        return label + bytes([color])
+
+
+def garble(
+    circuit: Circuit, rng: random.Random
+) -> tuple[GarbledCircuit, _GarblingSecrets]:
+    """Garble a circuit; returns the public part and the secrets."""
+    labels: dict[int, tuple[bytes, bytes]] = {}
+    perm: dict[int, int] = {}
+
+    def new_wire(wire: int) -> None:
+        labels[wire] = (rng.randbytes(_LABEL_BYTES), rng.randbytes(_LABEL_BYTES))
+        perm[wire] = rng.randrange(2)
+
+    for wire in range(circuit.n_inputs):
+        new_wire(wire)
+    for wire in circuit.constants:
+        new_wire(wire)
+
+    secrets = _GarblingSecrets(labels=labels, perm=perm)
+    tables = []
+    for gate_id, gate in enumerate(circuit.gates):
+        new_wire(gate.out)
+        fn = GATE_FUNCTIONS[gate.op]
+        rows: list[bytes] = [b""] * 4
+        for va in (0, 1):
+            for vb in (0, 1):
+                color_a = perm[gate.a] ^ va
+                color_b = perm[gate.b] ^ vb
+                out_value = fn(va, vb)
+                plaintext = secrets.active_label(gate.out, out_value)
+                pad = _hash_row(labels[gate.a][va], labels[gate.b][vb], gate_id)
+                rows[2 * color_a + color_b] = _xor(pad, plaintext)
+        tables.append(tuple(rows))
+
+    constant_labels = {
+        wire: secrets.active_label(wire, bit)
+        for wire, bit in circuit.constants.items()
+    }
+    output_decode = {
+        wire: {perm[wire] ^ value: value for value in (0, 1)}
+        for wire in circuit.outputs
+    }
+    garbled = GarbledCircuit(
+        circuit=circuit,
+        tables=tables,
+        constant_labels=constant_labels,
+        output_decode=output_decode,
+    )
+    return garbled, secrets
+
+
+def evaluate_garbled(
+    garbled: GarbledCircuit, input_labels: Sequence[bytes]
+) -> list[int]:
+    """Evaluate with one active label (label || color byte) per input."""
+    circuit = garbled.circuit
+    if len(input_labels) != circuit.n_inputs:
+        raise ValueError(
+            f"expected {circuit.n_inputs} input labels, got {len(input_labels)}"
+        )
+    active: dict[int, bytes] = dict(enumerate(input_labels))
+    active.update(garbled.constant_labels)
+
+    for gate_id, gate in enumerate(circuit.gates):
+        tagged_a, tagged_b = active[gate.a], active[gate.b]
+        label_a, color_a = tagged_a[:-1], tagged_a[-1]
+        label_b, color_b = tagged_b[:-1], tagged_b[-1]
+        row = garbled.tables[gate_id][2 * color_a + color_b]
+        active[gate.out] = _xor(row, _hash_row(label_a, label_b, gate_id))
+
+    return [
+        garbled.output_decode[wire][active[wire][-1]] for wire in circuit.outputs
+    ]
+
+
+@dataclass
+class YaoPSIStats:
+    """Accounting for one garbled-circuit intersection run."""
+
+    intersection: set[int]
+    gate_count: int
+    ot_count: int
+    table_bytes: int
+    ot_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.table_bytes + self.ot_bytes
+
+
+def yao_intersection(
+    v_s: Sequence[int],
+    v_r: Sequence[int],
+    width: int,
+    group: QRGroup,
+    rng: random.Random,
+) -> YaoPSIStats:
+    """Compute ``V_S ∩ V_R`` with a garbled brute-force circuit.
+
+    S garbles the circuit (its inputs hardwired by sending their active
+    labels); R's input bits are fetched via one OT each, then R
+    evaluates. Only practical for small ``n`` - which is the point the
+    Appendix A benches make empirically.
+    """
+    s_values = sorted(set(v_s))
+    r_values = sorted(set(v_r))
+    circuit = brute_force_intersection_circuit(width, len(s_values), len(r_values))
+    garbled, secrets = garble(circuit, rng)
+
+    bits = pack_inputs(s_values, r_values, width)
+    s_bit_count = len(s_values) * width
+
+    input_labels: list[bytes] = []
+    ot_bytes = 0
+    group_element_bytes = (group.p.bit_length() + 7) // 8
+    for wire, bit in enumerate(bits):
+        if wire < s_bit_count:
+            # Garbler's own input: active label sent directly.
+            input_labels.append(secrets.active_label(wire, bit))
+            continue
+        # Evaluator's input bit: 1-out-of-2 OT between the two labels.
+        m0 = secrets.active_label(wire, 0)
+        m1 = secrets.active_label(wire, 1)
+        sender = OTSender(group, m0, m1, rng)
+        receiver = OTReceiver(group, bit, rng)
+        pk0 = receiver.first_message(sender.c_point)
+        transfer = sender.respond(pk0)
+        input_labels.append(receiver.receive(transfer))
+        # Wire accounting: C point + PK0 + two (group element, ciphertext) pairs.
+        ot_bytes += 4 * group_element_bytes + len(transfer.c0) + len(transfer.c1)
+
+    output_bits = evaluate_garbled(garbled, input_labels)
+    matched = {value for value, bit in zip(r_values, output_bits) if bit}
+    return YaoPSIStats(
+        intersection=matched,
+        gate_count=circuit.gate_count,
+        ot_count=len(r_values) * width,
+        table_bytes=garbled.table_bytes,
+        ot_bytes=ot_bytes,
+    )

@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Runs the minimal-sharing protocols on newline-delimited value files
+(both parties simulated in-process - the CLI is a study/demo tool, not
+a network endpoint), prints cost estimates, and regenerates the
+paper's tables.
+
+Commands:
+
+    intersection       private set intersection (Section 3)
+    intersection-size  only the size (Section 5.1)
+    equijoin-size      multiset join size (Section 5.2)
+    equijoin-sum       SUM aggregate over the intersection (extension)
+    estimate           the Section 6.2 application estimates
+    tables             the Appendix A comparison tables
+    calibrate          measure C_e/C_h/C_K/C_s on this machine
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .analysis.calibration import calibrate
+from .analysis.estimates import (
+    document_sharing_estimate,
+    medical_research_estimate,
+)
+from .circuits.costmodel import CircuitCostModel
+from .protocols.aggregate import run_equijoin_sum
+from .protocols.base import ProtocolSuite
+from .protocols.equijoin_size import run_equijoin_size
+from .protocols.intersection import run_intersection
+from .protocols.intersection_size import run_intersection_size
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_values(path: str) -> list[str]:
+    """Newline-delimited values; blank lines ignored."""
+    text = Path(path).read_text(encoding="utf-8")
+    return [line.strip() for line in text.splitlines() if line.strip()]
+
+
+def _read_value_amounts(path: str) -> dict[str, int]:
+    """Lines of ``value<TAB or ,>amount`` for the sum aggregate."""
+    out: dict[str, int] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        value, _, amount = (
+            line.partition("\t") if "\t" in line else line.partition(",")
+        )
+        out[value.strip()] = int(amount.strip())
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minimal-sharing protocols (Agrawal et al., SIGMOD 2003)",
+    )
+    parser.add_argument(
+        "--bits", type=int, default=512,
+        help="safe-prime modulus size (default 512; paper uses 1024)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="deterministic randomness seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, needs_sets in [
+        ("intersection", True),
+        ("intersection-size", True),
+        ("equijoin-size", True),
+    ]:
+        p = sub.add_parser(name, help=f"run the {name} protocol")
+        if needs_sets:
+            p.add_argument("--receiver", required=True, help="R's value file")
+            p.add_argument("--sender", required=True, help="S's value file")
+
+    p = sub.add_parser("equijoin-sum", help="SUM aggregate over the intersection")
+    p.add_argument("--receiver", required=True, help="R's value file")
+    p.add_argument("--sender", required=True, help="S's value,amount file")
+
+    sub.add_parser("estimate", help="Section 6.2 application estimates")
+    sub.add_parser("tables", help="Appendix A comparison tables")
+    p = sub.add_parser("calibrate", help="measure primitive costs here")
+    p.add_argument("--samples", type=int, default=15)
+
+    p = sub.add_parser(
+        "serve", help="run party S of the intersection protocol over TCP"
+    )
+    p.add_argument("--sender", required=True, help="S's value file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 = pick a free port")
+
+    p = sub.add_parser(
+        "connect", help="run party R of the intersection protocol over TCP"
+    )
+    p.add_argument("--receiver", required=True, help="R's value file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+
+    return parser
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    suite = ProtocolSuite.default(bits=args.bits, seed=args.seed)
+    v_r = _read_values(args.receiver)
+
+    if args.command == "equijoin-sum":
+        values_s = _read_value_amounts(args.sender)
+        result = run_equijoin_sum(v_r, values_s, suite)
+        print(f"sum over intersection: {result.total}")
+        print(f"matches: {result.match_count}  |V_R|={result.size_v_r}  "
+              f"|V_S|={result.size_v_s}")
+        print(f"wire bytes: {result.run.total_bytes}")
+        return 0
+
+    v_s = _read_values(args.sender)
+    if args.command == "intersection":
+        result = run_intersection(v_r, v_s, suite)
+        for value in sorted(result.intersection, key=repr):
+            print(value)
+        print(
+            f"# |intersection|={len(result.intersection)} "
+            f"|V_R|={result.size_v_r} |V_S|={result.size_v_s} "
+            f"bytes={result.run.total_bytes}",
+            file=sys.stderr,
+        )
+    elif args.command == "intersection-size":
+        result = run_intersection_size(v_r, v_s, suite)
+        print(result.size)
+        print(
+            f"# |V_R|={result.size_v_r} |V_S|={result.size_v_s} "
+            f"bytes={result.run.total_bytes}",
+            file=sys.stderr,
+        )
+    else:  # equijoin-size (multisets: duplicates in the files count)
+        result = run_equijoin_size(v_r, v_s, suite)
+        print(result.join_size)
+        print(
+            f"# S's duplicate distribution seen by R: "
+            f"{result.r_learns_s_duplicates}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_estimate() -> int:
+    for est in (document_sharing_estimate(), medical_research_estimate()):
+        print(est.round_trip_summary())
+    return 0
+
+
+def _cmd_tables() -> int:
+    cm = CircuitCostModel()
+    print("Appendix A - partitioning circuit (w=32):")
+    for row in cm.circuit_size_table():
+        print(f"  n={row.n:.0e}  m={row.m}  f(n)={row.gates:.2e}")
+    print("Appendix A - comparison (per row: circuit vs ours):")
+    for row in cm.comparison_table():
+        print(
+            f"  n={row.n:.0e}  comp {row.circuit_input_ce:.1e} C_e + "
+            f"{row.circuit_eval_cr:.1e} C_r vs {row.ours_ce:.1e} C_e;  "
+            f"comm {row.circuit_input_bits + row.circuit_tables_bits:.1e} "
+            f"vs {row.ours_bits:.1e} bits"
+        )
+    headline = {r.n: r for r in cm.comparison_table()}[10**6]
+    print(
+        f"  headline (n=1e6, T1): "
+        f"{cm.t1_transfer_days(headline.circuit_tables_bits):.0f} days vs "
+        f"{cm.t1_transfer_days(headline.ours_bits)*24:.1f} hours"
+    )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    cal = calibrate(bits=args.bits, samples=args.samples)
+    c = cal.constants
+    print(f"bits={cal.bits} samples={cal.samples}")
+    print(f"C_e = {c.ce_seconds:.6f} s "
+          f"({cal.exponentiations_per_hour():.3e} modexp/hour)")
+    print(f"C_h = {c.ch_seconds:.6f} s")
+    print(f"C_K = {c.ck_seconds:.6f} s")
+    print(f"C_s = {c.cs_seconds:.3e} s per item-step")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import random as _random
+
+    from .net.tcp import serve_intersection_sender
+    from .protocols.parties import PublicParams
+
+    v_s = _read_values(args.sender)
+    params = PublicParams.for_bits(args.bits)
+
+    def announce(port: int) -> None:
+        print(f"serving intersection as party S on {args.host}:{port} "
+              f"({len(v_s)} values)", flush=True)
+
+    size_v_r = serve_intersection_sender(
+        v_s, params, _random.Random(args.seed), host=args.host,
+        port=args.port, ready_callback=announce,
+    )
+    print(f"run complete; S learned |V_R| = {size_v_r}")
+    return 0
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    import random as _random
+
+    from .net.tcp import connect_intersection_receiver
+
+    v_r = _read_values(args.receiver)
+    answer = connect_intersection_receiver(
+        v_r, _random.Random(args.seed), args.host, args.port
+    )
+    for value in sorted(answer, key=repr):
+        print(value)
+    print(f"# |intersection|={len(answer)}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command in ("intersection", "intersection-size",
+                        "equijoin-size", "equijoin-sum"):
+        return _cmd_protocol(args)
+    if args.command == "estimate":
+        return _cmd_estimate()
+    if args.command == "tables":
+        return _cmd_tables()
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "connect":
+        return _cmd_connect(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

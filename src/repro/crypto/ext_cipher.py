@@ -1,0 +1,146 @@
+"""The ext-information cipher ``K`` of the equijoin protocol (Section 4.2).
+
+``K : DomF x V_ext -> C_ext`` must be (1) efficiently invertible given
+the key and (2) perfectly secret: for a uniformly random key the
+ciphertext distribution is independent of the plaintext.
+
+:class:`MultiplicativeExtCipher` is the paper's Example 2: the payload
+is encoded as a quadratic residue and multiplied by the key
+``kappa(v) = f_{e'_S}(h(v))``. One-time-pad style perfect secrecy holds
+because multiplication by a uniform group element is a uniform group
+element.
+
+A single group element only carries ``~(bits/8 - 2)`` bytes, so
+:class:`BlockExtCipher` extends the construction to arbitrary-length
+records: block ``i`` is blinded by ``H(kappa, i)`` mapped into the
+group. Per-block keys derived through a hash are only *computationally*
+secret (random-oracle argument) rather than perfectly secret - this is
+the documented substitution for realistically sized ``ext(v)`` records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+
+from .groups import QRGroup
+from .numtheory import is_quadratic_residue, modinv
+
+__all__ = ["ExtCipher", "MultiplicativeExtCipher", "BlockExtCipher"]
+
+
+class ExtCipher(ABC):
+    """Symmetric cipher keyed by a group element (the paper's ``K``)."""
+
+    def __init__(self, group: QRGroup):
+        self.group = group
+
+    @abstractmethod
+    def encrypt(self, kappa: int, ext: bytes) -> object:
+        """Encrypt a payload under key ``kappa in QR_p``."""
+
+    @abstractmethod
+    def decrypt(self, kappa: int, ciphertext: object) -> bytes:
+        """Invert :meth:`encrypt` given the key."""
+
+
+def _encode_payload(group: QRGroup, ext: bytes) -> int:
+    """Byte payload -> group element (single block).
+
+    The payload length lives in the *low* 16 bits of the encoded
+    integer, ``m = (int(ext) << 16) | len(ext)``, so leading zero bytes
+    of the payload survive the integer round trip.
+    """
+    capacity = group.message_capacity_bytes
+    if len(ext) > capacity - 2:
+        raise ValueError(
+            f"payload of {len(ext)} bytes exceeds single-block capacity "
+            f"{capacity - 2}; use BlockExtCipher"
+        )
+    framed = (int.from_bytes(ext, "big") << 16) | len(ext)
+    return group.encode(framed)
+
+
+def _decode_payload(group: QRGroup, element: int) -> bytes:
+    """Inverse of :func:`_encode_payload`."""
+    m = group.decode(element)
+    length = m & 0xFFFF
+    body = m >> 16
+    if body.bit_length() > 8 * length:
+        raise ValueError("corrupt payload frame")
+    return body.to_bytes(length, "big")
+
+
+class MultiplicativeExtCipher(ExtCipher):
+    """Example 2: ``K_kappa(ext) = kappa * encode(ext) mod p``.
+
+    Perfectly secret for uniform ``kappa`` and limited to payloads that
+    fit in one group element.
+    """
+
+    def encrypt(self, kappa: int, ext: bytes) -> int:
+        if kappa not in self.group:
+            raise ValueError("key must be a quadratic residue")
+        return self.group.mul(kappa, _encode_payload(self.group, ext))
+
+    def decrypt(self, kappa: int, ciphertext: int) -> bytes:
+        element = self.group.mul(modinv(kappa, self.group.p), ciphertext)
+        return _decode_payload(self.group, element)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Maximum payload length for a single block."""
+        return self.group.message_capacity_bytes - 2
+
+
+class BlockExtCipher(ExtCipher):
+    """Multi-block extension for arbitrary-length ``ext(v)`` records.
+
+    Block ``i`` is multiplied by a per-block key derived as
+    ``H(kappa, i)`` hashed into QR_p. The construction stays within the
+    paper's algebra (only group multiplications) but trades perfect
+    secrecy for random-oracle secrecy; see DESIGN.md, substitutions.
+    """
+
+    def __init__(self, group: QRGroup, label: bytes = b"repro.K.block"):
+        super().__init__(group)
+        self.label = label
+
+    def _block_key(self, kappa: int, index: int) -> int:
+        """Derive the i-th block key from ``kappa`` (a residue)."""
+        needed_bits = self.group.p.bit_length() + 64
+        material = b""
+        counter = 0
+        kappa_bytes = kappa.to_bytes((self.group.p.bit_length() + 7) // 8, "big")
+        while len(material) * 8 < needed_bits + 8:
+            h = hashlib.sha256()
+            h.update(self.label)
+            h.update(kappa_bytes)
+            h.update(index.to_bytes(8, "big"))
+            h.update(counter.to_bytes(4, "big"))
+            material += h.digest()
+            counter += 1
+        candidate = int.from_bytes(material, "big") % self.group.p
+        if candidate == 0:
+            candidate = 4  # probability ~2**-bits; any fixed residue works
+        return candidate * candidate % self.group.p
+
+    def encrypt(self, kappa: int, ext: bytes) -> list[int]:
+        if kappa not in self.group:
+            raise ValueError("key must be a quadratic residue")
+        chunk = self.group.message_capacity_bytes - 2
+        blocks = []
+        # Always emit at least one block so empty payloads round-trip.
+        pieces = [ext[i : i + chunk] for i in range(0, len(ext), chunk)] or [b""]
+        for index, piece in enumerate(pieces):
+            element = _encode_payload(self.group, piece)
+            blocks.append(self.group.mul(self._block_key(kappa, index), element))
+        return blocks
+
+    def decrypt(self, kappa: int, ciphertext: list[int]) -> bytes:
+        out = []
+        for index, block in enumerate(ciphertext):
+            key = self._block_key(kappa, index)
+            element = self.group.mul(modinv(key, self.group.p), block)
+            out.append(_decode_payload(self.group, element))
+        return b"".join(out)

@@ -1,0 +1,65 @@
+"""An explicit random oracle (Section 3.2.2's proof model).
+
+The security statements are proved in the random-oracle model: "every
+time ``h(v)`` is evaluated for a new ``v``, an independent random
+``x in DomF`` is chosen". :class:`RandomOracle` implements exactly that
+- a lazily sampled, memoized table of uniform group elements - and is
+used by the executable view simulators and by tests that need the
+idealized hash rather than the SHA-256 instantiation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from .groups import QRGroup
+from .hashing import DomainHash, Value, value_to_bytes
+
+__all__ = ["RandomOracle"]
+
+
+class RandomOracle(DomainHash):
+    """A lazily sampled random function ``V -> QR_p``.
+
+    Deterministic for a given seed, so protocol runs using it are
+    reproducible. Collisions are possible exactly with the birthday
+    probability the paper computes - no rejection is performed.
+    """
+
+    def __init__(self, group: QRGroup, seed: int | None = None):
+        super().__init__(group, label=b"repro.random-oracle")
+        self._rng = random.Random(seed)
+        self._table: dict[bytes, int] = {}
+
+    def hash_value(self, value: Value) -> int:
+        key = value_to_bytes(value)
+        cached = self._table.get(key)
+        if cached is None:
+            cached = self.group.random_element(self._rng)
+            self._table[key] = cached
+        return cached
+
+    @property
+    def queries(self) -> int:
+        """Number of distinct values queried so far."""
+        return len(self._table)
+
+    def programmed(self, value: Value) -> bool:
+        """True when the oracle has already answered for ``value``."""
+        return value_to_bytes(value) in self._table
+
+    def program(self, value: Value, element: int) -> None:
+        """Force the oracle's answer for ``value`` (simulator technique).
+
+        Raises:
+            ValueError: if the oracle was already queried on ``value``
+                with a different answer, or ``element`` is outside QR_p.
+        """
+        if element not in self.group:
+            raise ValueError("programmed answer must be a group element")
+        key = value_to_bytes(value)
+        existing = self._table.get(key)
+        if existing is not None and existing != element:
+            raise ValueError(f"oracle already fixed h({value!r})")
+        self._table[key] = element

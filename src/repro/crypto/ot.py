@@ -1,0 +1,156 @@
+"""1-out-of-2 oblivious transfer (substrate for the Appendix A baseline).
+
+Appendix A compares the paper's protocols against circuit evaluation a
+la Yao, whose input-coding phase runs one oblivious transfer per input
+bit. To make that baseline *executable* (the paper only costs it
+analytically) we implement a classic semi-honest DH-based OT
+(Bellare-Micali style) over the same quadratic-residue group the main
+protocols use, plus the Naor-Pinkas amortized cost model the paper
+quotes (``C_ot = (1/l) C_e + (2^l/l) C_x``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from .groups import QRGroup
+from .numtheory import modinv
+
+__all__ = [
+    "OTSender",
+    "OTReceiver",
+    "run_ot",
+    "NaorPinkasCostModel",
+]
+
+
+def _mask(key_element: int, group: QRGroup, length: int, tag: bytes) -> bytes:
+    """Derive a ``length``-byte XOR pad from a group element."""
+    key_bytes = key_element.to_bytes((group.p.bit_length() + 7) // 8, "big")
+    out = b""
+    counter = 0
+    while len(out) < length:
+        h = hashlib.sha256()
+        h.update(b"repro.ot")
+        h.update(tag)
+        h.update(key_bytes)
+        h.update(counter.to_bytes(4, "big"))
+        out += h.digest()
+        counter += 1
+    return out[:length]
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@dataclass
+class OTTransfer:
+    """Sender's final message: two hashed-ElGamal ciphertexts."""
+
+    g_r0: int
+    c0: bytes
+    g_r1: int
+    c1: bytes
+
+
+class OTSender:
+    """Holds two equal-length messages; reveals exactly the chosen one."""
+
+    def __init__(self, group: QRGroup, m0: bytes, m1: bytes, rng: random.Random):
+        if len(m0) != len(m1):
+            raise ValueError("OT messages must have equal length")
+        self.group = group
+        self._m0, self._m1 = m0, m1
+        self._rng = rng
+        # Public random point whose discrete log nobody knows.
+        self.c_point = group.random_element(rng)
+
+    def respond(self, pk0: int) -> OTTransfer:
+        """Given the receiver's first key, encrypt both messages."""
+        group = self.group
+        pk1 = group.mul(self.c_point, modinv(pk0, group.p))
+        r0 = group.random_exponent(self._rng)
+        r1 = group.random_exponent(self._rng)
+        g = group.generator
+        k0 = group.pow(pk0, r0)
+        k1 = group.pow(pk1, r1)
+        return OTTransfer(
+            g_r0=group.pow(g, r0),
+            c0=_xor(self._m0, _mask(k0, group, len(self._m0), b"0")),
+            g_r1=group.pow(g, r1),
+            c1=_xor(self._m1, _mask(k1, group, len(self._m1), b"1")),
+        )
+
+
+class OTReceiver:
+    """Chooses bit ``b``; learns ``m_b`` and nothing about ``m_{1-b}``."""
+
+    def __init__(self, group: QRGroup, choice: int, rng: random.Random):
+        if choice not in (0, 1):
+            raise ValueError("choice must be 0 or 1")
+        self.group = group
+        self.choice = choice
+        self._k = group.random_exponent(rng)
+
+    def first_message(self, c_point: int) -> int:
+        """PK_0; PK_choice = g^k, the other key is C / PK_choice."""
+        group = self.group
+        pk_choice = group.pow(group.generator, self._k)
+        if self.choice == 0:
+            return pk_choice
+        return group.mul(c_point, modinv(pk_choice, group.p))
+
+    def receive(self, transfer: OTTransfer) -> bytes:
+        """Decrypt the chosen branch of the sender's response."""
+        group = self.group
+        if self.choice == 0:
+            key = group.pow(transfer.g_r0, self._k)
+            return _xor(transfer.c0, _mask(key, group, len(transfer.c0), b"0"))
+        key = group.pow(transfer.g_r1, self._k)
+        return _xor(transfer.c1, _mask(key, group, len(transfer.c1), b"1"))
+
+
+def run_ot(
+    group: QRGroup,
+    m0: bytes,
+    m1: bytes,
+    choice: int,
+    rng: random.Random,
+) -> bytes:
+    """Execute the whole OT locally and return the chosen message."""
+    sender = OTSender(group, m0, m1, rng)
+    receiver = OTReceiver(group, choice, rng)
+    pk0 = receiver.first_message(sender.c_point)
+    return receiver.receive(sender.respond(pk0))
+
+
+@dataclass(frozen=True)
+class NaorPinkasCostModel:
+    """Amortized OT cost model from Appendix A.1.1 ([36]).
+
+    For batch parameter ``l`` the amortized computation cost is
+    ``C_ot = (1/l) C_e + (2^l / l) C_x`` and the communication is at
+    least ``(2^l / l) k_1`` bits. With the paper's assumption
+    ``C_e = 1000 C_x`` the computation-optimal choice is ``l = 8``,
+    giving ``C_ot = 0.157 C_e`` and ``C'_ot >= 32 k_1``.
+    """
+
+    ce_over_cx: float = 1000.0
+    k1_bits: int = 100
+
+    def computation_cost(self, l: int) -> float:
+        """Amortized cost in units of ``C_e``."""
+        if l < 1:
+            raise ValueError("l must be positive")
+        return 1.0 / l + (2.0**l / l) / self.ce_over_cx
+
+    def communication_bits(self, l: int) -> float:
+        """Amortized communication lower bound in bits."""
+        return (2.0**l / l) * self.k1_bits
+
+    def optimal_l(self, max_l: int = 24) -> int:
+        """The ``l`` minimizing computation cost."""
+        return min(range(1, max_l + 1), key=self.computation_cost)

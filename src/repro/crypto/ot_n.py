@@ -1,0 +1,145 @@
+"""1-out-of-n oblivious transfer, built from 1-out-of-2 OTs.
+
+Substrate for the private selection protocol
+(:mod:`repro.protocols.selection`), which the paper's related-work
+section connects to private information retrieval: "This literature
+will be useful for developing protocols for the selection operation in
+our setting."
+
+Classic reduction (Naor-Pinkas): for ``n`` messages, the sender draws
+``L = ceil(log2 n)`` key *pairs*; message ``j`` is encrypted under the
+XOR-combination of the keys selected by ``j``'s bits; the receiver runs
+one 1-of-2 OT per bit position to learn exactly the key chain of its
+index and can decrypt exactly one message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from .groups import QRGroup
+from .ot import OTReceiver, OTSender
+
+__all__ = ["OneOfNSender", "OneOfNReceiver", "run_ot_1_of_n"]
+
+_KEY_BYTES = 16
+
+
+def _combine_keys(keys: list[bytes], index: int, length: int, tag: bytes) -> bytes:
+    """Derive a ``length``-byte pad from the bit-selected key chain."""
+    out = b""
+    counter = 0
+    material = b"".join(keys) + index.to_bytes(4, "big")
+    while len(out) < length:
+        h = hashlib.sha256()
+        h.update(b"repro.ot1n")
+        h.update(tag)
+        h.update(material)
+        h.update(counter.to_bytes(4, "big"))
+        out += h.digest()
+        counter += 1
+    return out[:length]
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@dataclass
+class OneOfNTransfer:
+    """Everything the sender publishes: per-bit OT transcript material
+    plus the n encrypted messages."""
+
+    c_points: list[int]
+    ot_transfers: list  # one OTTransfer per bit position
+    ciphertexts: list[bytes]
+
+
+class OneOfNSender:
+    """Holds ``n`` equal-length messages; reveals exactly one."""
+
+    def __init__(self, group: QRGroup, messages: list[bytes], rng: random.Random):
+        if not messages:
+            raise ValueError("need at least one message")
+        length = len(messages[0])
+        if any(len(m) != length for m in messages):
+            raise ValueError("all messages must have equal length")
+        self.group = group
+        self._messages = list(messages)
+        self._rng = rng
+        self.n = len(messages)
+        self.bits = max(1, (self.n - 1).bit_length())
+        # One key pair per bit position.
+        self._key_pairs = [
+            (rng.randbytes(_KEY_BYTES), rng.randbytes(_KEY_BYTES))
+            for _ in range(self.bits)
+        ]
+        # One 1-of-2 OT sender per bit position, transferring the keys.
+        self._ot_senders = [
+            OTSender(group, k0, k1, rng) for k0, k1 in self._key_pairs
+        ]
+
+    @property
+    def c_points(self) -> list[int]:
+        return [sender.c_point for sender in self._ot_senders]
+
+    def respond(self, pk0s: list[int]) -> OneOfNTransfer:
+        """Answer the receiver's per-bit first messages."""
+        if len(pk0s) != self.bits:
+            raise ValueError(f"expected {self.bits} OT first-messages")
+        transfers = [
+            sender.respond(pk0) for sender, pk0 in zip(self._ot_senders, pk0s)
+        ]
+        ciphertexts = []
+        for j, message in enumerate(self._messages):
+            keys = [
+                self._key_pairs[l][(j >> l) & 1] for l in range(self.bits)
+            ]
+            pad = _combine_keys(keys, j, len(message), b"enc")
+            ciphertexts.append(_xor(message, pad))
+        return OneOfNTransfer(
+            c_points=self.c_points, ot_transfers=transfers, ciphertexts=ciphertexts
+        )
+
+
+class OneOfNReceiver:
+    """Chooses index ``i``; learns message ``i`` only."""
+
+    def __init__(self, group: QRGroup, n: int, index: int, rng: random.Random):
+        if not 0 <= index < n:
+            raise ValueError(f"index {index} outside [0, {n})")
+        self.group = group
+        self.index = index
+        self.bits = max(1, (n - 1).bit_length())
+        self._receivers = [
+            OTReceiver(group, (index >> l) & 1, rng) for l in range(self.bits)
+        ]
+
+    def first_messages(self, c_points: list[int]) -> list[int]:
+        """One 1-of-2 OT first message per index bit."""
+        return [
+            receiver.first_message(c)
+            for receiver, c in zip(self._receivers, c_points)
+        ]
+
+    def receive(self, transfer: OneOfNTransfer) -> bytes:
+        """Recover the key chain for the chosen index and decrypt."""
+        keys = [
+            receiver.receive(ot)
+            for receiver, ot in zip(self._receivers, transfer.ot_transfers)
+        ]
+        ciphertext = transfer.ciphertexts[self.index]
+        pad = _combine_keys(keys, self.index, len(ciphertext), b"enc")
+        return _xor(ciphertext, pad)
+
+
+def run_ot_1_of_n(
+    group: QRGroup, messages: list[bytes], index: int, rng: random.Random
+) -> bytes:
+    """Execute the whole 1-of-n OT locally; returns message ``index``."""
+    sender = OneOfNSender(group, messages, rng)
+    receiver = OneOfNReceiver(group, len(messages), index, rng)
+    pk0s = receiver.first_messages(sender.c_points)
+    return receiver.receive(sender.respond(pk0s))

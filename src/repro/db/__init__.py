@@ -1,0 +1,37 @@
+"""Database substrate: tables, value multisets, the plaintext query
+engine (ground truth), and minimal-sharing query descriptions."""
+
+from .engine import (
+    equijoin,
+    equijoin_size,
+    group_by_count,
+    intersection,
+    intersection_size,
+)
+from .multiset import ValueMultiset
+from .query import (
+    Disclosure,
+    DisclosureProfile,
+    EquijoinQuery,
+    EquijoinSizeQuery,
+    IntersectionQuery,
+    IntersectionSizeQuery,
+)
+from .table import Row, Table
+
+__all__ = [
+    "Table",
+    "Row",
+    "ValueMultiset",
+    "intersection",
+    "intersection_size",
+    "equijoin",
+    "equijoin_size",
+    "group_by_count",
+    "Disclosure",
+    "DisclosureProfile",
+    "IntersectionQuery",
+    "IntersectionSizeQuery",
+    "EquijoinQuery",
+    "EquijoinSizeQuery",
+]

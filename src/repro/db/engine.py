@@ -1,0 +1,76 @@
+"""Plaintext query engine - the ground truth.
+
+Every protocol result in the test suite is checked against these
+straightforward single-machine implementations of the four operations
+the paper privatizes (intersection, equijoin, intersection size,
+equijoin size) plus the group-by count query of the medical
+application.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Hashable, Iterable
+
+from .multiset import ValueMultiset
+from .table import Row, Table
+
+__all__ = [
+    "intersection",
+    "intersection_size",
+    "equijoin",
+    "equijoin_size",
+    "group_by_count",
+]
+
+
+def intersection(v_s: Iterable[Hashable], v_r: Iterable[Hashable]) -> set[Hashable]:
+    """``V_S intersect V_R`` over value *sets* (duplicates ignored)."""
+    return set(v_s) & set(v_r)
+
+
+def intersection_size(v_s: Iterable[Hashable], v_r: Iterable[Hashable]) -> int:
+    """``|V_S intersect V_R|``."""
+    return len(intersection(v_s, v_r))
+
+
+def equijoin(t_s: Table, t_r: Table, s_attr: str, r_attr: str | None = None) -> Table:
+    """``T_S join T_R`` on ``T_S.s_attr = T_R.r_attr`` (hash join).
+
+    The result schema is R's columns followed by S's columns prefixed
+    with ``s_`` when names collide, matching what the protocol's
+    receiver R can materialize from ``ext(v)``.
+    """
+    r_attr = r_attr or s_attr
+    s_groups = t_s.group_rows_by(s_attr)
+    r_idx = t_r.column_index(r_attr)
+
+    taken = set(t_r.columns)
+    s_out_cols = tuple(
+        c if c not in taken else f"s_{c}" for c in t_s.columns
+    )
+    out_columns = t_r.columns + s_out_cols
+
+    out_rows: list[Row] = []
+    for r_row in t_r.rows:
+        for s_row in s_groups.get(r_row[r_idx], ()):  # preserves S row order
+            out_rows.append(r_row + s_row)
+    return Table(out_columns, out_rows, name=f"{t_r.name}_join_{t_s.name}")
+
+
+def equijoin_size(t_s: Table, t_r: Table, s_attr: str, r_attr: str | None = None) -> int:
+    """``|T_S join T_R|`` without materializing the join."""
+    r_attr = r_attr or s_attr
+    ms_s = ValueMultiset.from_table(t_s, s_attr)
+    ms_r = ValueMultiset.from_table(t_r, r_attr)
+    return ms_s.join_size(ms_r)
+
+
+def group_by_count(
+    table: Table, group_columns: Iterable[str]
+) -> dict[tuple[Any, ...], int]:
+    """``SELECT group_columns, COUNT(*) ... GROUP BY group_columns``."""
+    cols = list(group_columns)
+    indices = [table.column_index(c) for c in cols]
+    counts: Counter = Counter(tuple(row[i] for i in indices) for row in table.rows)
+    return dict(counts)

@@ -1,0 +1,103 @@
+"""Value multisets over a join attribute (Section 5.2's objects).
+
+The equijoin-size protocol operates on the *multisets* of attribute
+values, and its leakage is characterized entirely in terms of the
+duplicate structure: the partition ``V(d) = {v : v occurs d times}``.
+:class:`ValueMultiset` packages the counts, the partition, and the
+duplicate *distribution* (``d -> |V(d)|``) which is exactly what each
+party learns about the other side.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Iterator
+
+from .table import Table
+
+__all__ = ["ValueMultiset"]
+
+
+@dataclass
+class ValueMultiset:
+    """A multiset of attribute values with duplicate bookkeeping."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Iterable[Hashable]) -> "ValueMultiset":
+        """Count occurrences of an iterable of values."""
+        return cls(Counter(values))
+
+    @classmethod
+    def from_table(cls, table: Table, column: str) -> "ValueMultiset":
+        """The multiset of one table column (duplicates kept)."""
+        return cls.from_values(table.column_values(column))
+
+    # ------------------------------------------------------------------
+    # Basic views
+    # ------------------------------------------------------------------
+    def distinct(self) -> set[Hashable]:
+        """The underlying value *set* ``V`` (duplicates removed)."""
+        return set(self.counts)
+
+    def multiplicity(self, value: Hashable) -> int:
+        """Occurrences of ``value`` (0 when absent)."""
+        return self.counts.get(value, 0)
+
+    def __len__(self) -> int:
+        """Total number of occurrences (``|T.A|`` with duplicates)."""
+        return sum(self.counts.values())
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate occurrences (each value repeated by its count)."""
+        return iter(self.counts.elements())
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self.counts
+
+    @property
+    def distinct_size(self) -> int:
+        """``|V|`` - the number of distinct values."""
+        return len(self.counts)
+
+    # ------------------------------------------------------------------
+    # Duplicate structure (the Section 5.2 leakage vocabulary)
+    # ------------------------------------------------------------------
+    def duplicate_distribution(self) -> dict[int, int]:
+        """``d -> |V(d)|``: how many values occur exactly ``d`` times.
+
+        This is precisely "the distribution of duplicates" that the
+        equijoin-size protocol reveals to the other party.
+        """
+        histogram: Counter = Counter(self.counts.values())
+        return dict(sorted(histogram.items()))
+
+    def partition_by_count(self) -> dict[int, set[Hashable]]:
+        """The partition ``d -> V(d)`` of values by multiplicity."""
+        partition: dict[int, set[Hashable]] = {}
+        for value, count in self.counts.items():
+            partition.setdefault(count, set()).add(value)
+        return partition
+
+    # ------------------------------------------------------------------
+    # Joint statistics
+    # ------------------------------------------------------------------
+    def join_size(self, other: "ValueMultiset") -> int:
+        """``|T_S join T_R|`` = sum over shared values of count products."""
+        smaller, larger = (
+            (self, other) if self.distinct_size <= other.distinct_size else (other, self)
+        )
+        return sum(
+            count * larger.counts[value]
+            for value, count in smaller.counts.items()
+            if value in larger.counts
+        )
+
+    def intersection_size(self, other: "ValueMultiset") -> int:
+        """``|V_S intersect V_R|`` on the distinct value sets."""
+        return len(self.distinct() & other.distinct())

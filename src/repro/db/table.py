@@ -1,0 +1,118 @@
+"""A minimal in-memory relational table.
+
+This is the "Database" box of Figure 1: just enough relational
+machinery to hold the parties' private tables ``T_R`` and ``T_S``,
+extract the join-attribute value sets ``V_R``/``V_S`` and the
+``ext(v)`` record groups, and execute the plaintext queries the
+protocol results are validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+__all__ = ["Row", "Table"]
+
+Row = tuple[Any, ...]
+
+
+@dataclass
+class Table:
+    """An immutable-by-convention relation: named columns over rows.
+
+    Attributes:
+        columns: ordered column names (the schema).
+        rows: list of value tuples, one per record.
+        name: optional relation name (used in error messages only).
+    """
+
+    columns: tuple[str, ...]
+    rows: list[Row] = field(default_factory=list)
+    name: str = "table"
+
+    def __post_init__(self) -> None:
+        self.columns = tuple(self.columns)
+        width = len(self.columns)
+        if len(set(self.columns)) != width:
+            raise ValueError(f"{self.name}: duplicate column names {self.columns}")
+        for i, row in enumerate(self.rows):
+            if len(row) != width:
+                raise ValueError(
+                    f"{self.name}: row {i} has {len(row)} values, schema has {width}"
+                )
+        self.rows = [tuple(row) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls, columns: Sequence[str], records: Iterable[dict[str, Any]], name: str = "table"
+    ) -> "Table":
+        """Build from dict records; missing keys raise ``KeyError``."""
+        cols = tuple(columns)
+        return cls(cols, [tuple(rec[c] for c in cols) for rec in records], name=name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def column_index(self, column: str) -> int:
+        """Position of a column; raises ``KeyError`` when unknown."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"{self.name}: no column {column!r} in {self.columns}") from None
+
+    def column_values(self, column: str) -> list[Any]:
+        """All values of one column, in row order (with duplicates)."""
+        idx = self.column_index(column)
+        return [row[idx] for row in self.rows]
+
+    def distinct_values(self, column: str) -> set[Any]:
+        """The value set ``V`` of an attribute (duplicates removed)."""
+        return set(self.column_values(column))
+
+    # ------------------------------------------------------------------
+    # Relational operators
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Rows satisfying a predicate over a column-name -> value dict."""
+        kept = [row for row in self.rows if predicate(dict(zip(self.columns, row)))]
+        return Table(self.columns, kept, name=f"{self.name}_sel")
+
+    def where(self, column: str, value: Any) -> "Table":
+        """Shorthand equality selection."""
+        idx = self.column_index(column)
+        return Table(
+            self.columns,
+            [row for row in self.rows if row[idx] == value],
+            name=f"{self.name}_where",
+        )
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        """Projection (keeps duplicates, like SQL ``SELECT`` without DISTINCT)."""
+        indices = [self.column_index(c) for c in columns]
+        return Table(
+            tuple(columns),
+            [tuple(row[i] for i in indices) for row in self.rows],
+            name=f"{self.name}_proj",
+        )
+
+    def group_rows_by(self, column: str) -> dict[Any, list[Row]]:
+        """The ``ext(v)`` map: attribute value -> all rows carrying it."""
+        idx = self.column_index(column)
+        groups: dict[Any, list[Row]] = {}
+        for row in self.rows:
+            groups.setdefault(row[idx], []).append(row)
+        return groups
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries (convenient for assertions and display)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]

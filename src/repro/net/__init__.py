@@ -1,0 +1,32 @@
+"""Communication substrate: wire format, accounted channels, views and
+protocol runners (the "Secure Communication" box of Figure 1)."""
+
+from .channel import (
+    Channel,
+    ChannelClosed,
+    Endpoint,
+    LinkModel,
+    T1_LINE,
+    duplex_pair,
+)
+from .runner import ProtocolRun, ThreePartyRun
+from .serialization import decode, encode, encoded_size
+from .tcp import SocketEndpoint
+from .transcript import ReceivedMessage, View
+
+__all__ = [
+    "Channel",
+    "ChannelClosed",
+    "Endpoint",
+    "LinkModel",
+    "T1_LINE",
+    "duplex_pair",
+    "ProtocolRun",
+    "ThreePartyRun",
+    "encode",
+    "decode",
+    "encoded_size",
+    "SocketEndpoint",
+    "View",
+    "ReceivedMessage",
+]

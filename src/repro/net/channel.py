@@ -1,0 +1,129 @@
+"""In-memory channels with byte-exact communication accounting.
+
+The paper's Figure 1 assumes "standard libraries or packages for secure
+communication"; what the evaluation actually needs from the transport
+is (a) reliable in-order delivery between the two parties and (b) an
+exact count of bits on the wire, so Section 6's communication analysis
+can be checked against a real run. :class:`Channel` provides both, and
+:class:`LinkModel` turns byte counts into transfer times for a
+configurable link (default: the paper's T1 line, 1.544 Mbit/s).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from . import serialization
+
+__all__ = ["LinkModel", "T1_LINE", "ChannelClosed", "Channel", "Endpoint", "duplex_pair"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A simple bandwidth/latency link model.
+
+    Attributes:
+        bandwidth_bps: usable bandwidth in bits per second.
+        latency_s: one-way latency added per message.
+    """
+
+    bandwidth_bps: float = 1.544e6
+    latency_s: float = 0.0
+
+    def transfer_time(self, bits: float, messages: int = 1) -> float:
+        """Seconds to push ``bits`` over the link in ``messages`` sends."""
+        return bits / self.bandwidth_bps + messages * self.latency_s
+
+
+#: The T1 line assumed throughout Section 6 (1.544 Mbit/s ~ 5 Gbit/hour).
+T1_LINE = LinkModel(bandwidth_bps=1.544e6)
+
+
+class ChannelClosed(Exception):
+    """Raised when receiving from an empty, closed channel."""
+
+
+@dataclass
+class Channel:
+    """Unidirectional FIFO message channel with byte accounting.
+
+    Messages are serialized on send - both to count wire bytes exactly
+    and to guarantee the receiving party only sees data that actually
+    crossed the wire (no shared mutable state between parties).
+    """
+
+    name: str = "channel"
+    bytes_sent: int = 0
+    messages_sent: int = 0
+    _queue: deque[bytes] = field(default_factory=deque, repr=False)
+    _closed: bool = field(default=False, repr=False)
+
+    def send(self, message: Any) -> None:
+        """Serialize and enqueue one message."""
+        if self._closed:
+            raise ChannelClosed(f"{self.name}: send on closed channel")
+        wire = serialization.encode(message)
+        self.bytes_sent += len(wire)
+        self.messages_sent += 1
+        self._queue.append(wire)
+
+    def recv(self) -> Any:
+        """Dequeue and deserialize one message."""
+        if not self._queue:
+            raise ChannelClosed(f"{self.name}: receive on empty channel")
+        return serialization.decode(self._queue.popleft())
+
+    def close(self) -> None:
+        """Refuse further sends (pending messages stay receivable)."""
+        self._closed = True
+
+    @property
+    def bits_sent(self) -> int:
+        """Wire traffic in bits."""
+        return 8 * self.bytes_sent
+
+    @property
+    def pending(self) -> int:
+        """Messages enqueued but not yet received."""
+        return len(self._queue)
+
+
+@dataclass
+class Endpoint:
+    """One party's view of a duplex connection."""
+
+    outbound: Channel
+    inbound: Channel
+
+    def send(self, message: Any) -> None:
+        """Send on the outbound channel."""
+        self.outbound.send(message)
+
+    def recv(self) -> Any:
+        """Receive from the inbound channel."""
+        return self.inbound.recv()
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.outbound.bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        return self.inbound.bytes_sent
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes crossing the wire in either direction."""
+        return self.outbound.bytes_sent + self.inbound.bytes_sent
+
+
+def duplex_pair(a_name: str = "R", b_name: str = "S") -> tuple[Endpoint, Endpoint]:
+    """Two connected endpoints (``a -> b`` and ``b -> a`` channels)."""
+    a_to_b = Channel(name=f"{a_name}->{b_name}")
+    b_to_a = Channel(name=f"{b_name}->{a_name}")
+    return (
+        Endpoint(outbound=a_to_b, inbound=b_to_a),
+        Endpoint(outbound=b_to_a, inbound=a_to_b),
+    )

@@ -1,0 +1,201 @@
+"""TCP transport: run the protocols as two real network endpoints.
+
+The in-memory channels are perfect for analysis (byte-exact accounting,
+recorded views); this module provides the deployment-shaped
+counterpart: length-prefixed frames of the same wire format over a TCP
+socket, plus serve/connect helpers that run the separable party state
+machines of :mod:`repro.protocols.parties` across the connection.
+
+Framing: each message is ``len(payload) as u32 big-endian || payload``,
+where the payload is :mod:`repro.net.serialization` bytes. The sender
+side of a run performs a one-message handshake shipping the
+:class:`~repro.protocols.parties.PublicParams`, so the connecting
+receiver needs no prior agreement beyond the address.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Sequence
+
+from ..protocols.parties import (
+    IntersectionReceiver,
+    IntersectionSender,
+    IntersectionSizeReceiver,
+    IntersectionSizeSender,
+    PublicParams,
+)
+from . import serialization
+
+__all__ = [
+    "SocketEndpoint",
+    "serve_intersection_sender",
+    "connect_intersection_receiver",
+    "serve_intersection_size_sender",
+    "connect_intersection_size_receiver",
+]
+
+_LEN = struct.Struct(">I")
+
+
+@dataclass
+class SocketEndpoint:
+    """Framed, serialized messaging over a connected socket."""
+
+    sock: socket.socket
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = field(default=0)
+
+    def send(self, message: Any) -> None:
+        """Serialize and ship one framed message."""
+        payload = serialization.encode(message)
+        frame = _LEN.pack(len(payload)) + payload
+        self.sock.sendall(frame)
+        self.bytes_sent += len(frame)
+        self.messages_sent += 1
+
+    def recv(self) -> Any:
+        """Read and deserialize one framed message."""
+        header = self._read_exact(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        payload = self._read_exact(length)
+        self.bytes_received += _LEN.size + length
+        return serialization.decode(payload)
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self.sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("peer closed the connection mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        """Close the underlying socket."""
+        self.sock.close()
+
+
+def _serve_one(host: str, port: int) -> tuple[SocketEndpoint, int]:
+    """Listen, return (endpoint to the first client, bound port)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    bound_port = listener.getsockname()[1]
+    listener.listen(1)
+    conn, _addr = listener.accept()
+    listener.close()
+    return SocketEndpoint(sock=conn), bound_port
+
+
+def serve_intersection_sender(
+    v_s: Sequence[Hashable],
+    params: PublicParams,
+    rng: random.Random,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_callback=None,
+) -> int:
+    """Run party S of the intersection protocol as a TCP server.
+
+    Blocks until one receiver has been served; returns ``|V_R|``
+    (everything S learns). ``ready_callback(port)`` fires once the
+    socket is listening - pass the port to the client thread/process.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(1)
+    if ready_callback is not None:
+        ready_callback(listener.getsockname()[1])
+    conn, _addr = listener.accept()
+    listener.close()
+    endpoint = SocketEndpoint(sock=conn)
+    try:
+        endpoint.send(("params", params.to_wire()))
+        sender = IntersectionSender(v_s, params, rng)
+        y_r = endpoint.recv()
+        endpoint.send(sender.round1(list(y_r)))
+        return sender.size_v_r
+    finally:
+        endpoint.close()
+
+
+def connect_intersection_receiver(
+    v_r: Sequence[Hashable],
+    rng: random.Random,
+    host: str,
+    port: int,
+) -> set[Hashable]:
+    """Run party R of the intersection protocol as a TCP client."""
+    sock = socket.create_connection((host, port))
+    endpoint = SocketEndpoint(sock=sock)
+    try:
+        tag, wire_params = endpoint.recv()
+        if tag != "params":
+            raise ValueError(f"unexpected handshake message {tag!r}")
+        receiver = IntersectionReceiver(
+            v_r, PublicParams.from_wire(tuple(wire_params)), rng
+        )
+        endpoint.send(receiver.round1())
+        y_s, pairs = endpoint.recv()
+        return receiver.finish((list(y_s), [tuple(p) for p in pairs]))
+    finally:
+        endpoint.close()
+
+
+def serve_intersection_size_sender(
+    v_s: Sequence[Hashable],
+    params: PublicParams,
+    rng: random.Random,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_callback=None,
+) -> int:
+    """Party S of the intersection-size protocol over TCP."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(1)
+    if ready_callback is not None:
+        ready_callback(listener.getsockname()[1])
+    conn, _addr = listener.accept()
+    listener.close()
+    endpoint = SocketEndpoint(sock=conn)
+    try:
+        endpoint.send(("params", params.to_wire()))
+        sender = IntersectionSizeSender(v_s, params, rng)
+        y_r = endpoint.recv()
+        endpoint.send(sender.round1(list(y_r)))
+        return sender.size_v_r
+    finally:
+        endpoint.close()
+
+
+def connect_intersection_size_receiver(
+    v_r: Sequence[Hashable],
+    rng: random.Random,
+    host: str,
+    port: int,
+) -> int:
+    """Party R of the intersection-size protocol over TCP."""
+    sock = socket.create_connection((host, port))
+    endpoint = SocketEndpoint(sock=sock)
+    try:
+        tag, wire_params = endpoint.recv()
+        if tag != "params":
+            raise ValueError(f"unexpected handshake message {tag!r}")
+        receiver = IntersectionSizeReceiver(
+            v_r, PublicParams.from_wire(tuple(wire_params)), rng
+        )
+        endpoint.send(receiver.round1())
+        y_s, z_r = endpoint.recv()
+        return receiver.finish((list(y_s), list(z_r)))
+    finally:
+        endpoint.close()

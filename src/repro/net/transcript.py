@@ -1,0 +1,94 @@
+"""Recorded protocol views, for the executable security audit.
+
+The security proofs (Statements 2, 4, 6) argue that each party's *view*
+- everything it receives plus its own randomness - can be simulated
+from only the information it is allowed to learn. To make that argument
+testable we record views during real protocol runs and compare them
+structurally against the output of the proof's simulators
+(:mod:`repro.protocols.simulators`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["ReceivedMessage", "View"]
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """One message as seen by the receiving party."""
+
+    step: str
+    payload: Any
+
+    def signature(self) -> Any:
+        """Structural signature: shape and sizes, not element values.
+
+        Two views with the same signature carry the same *amount and
+        layout* of information; whether the values themselves leak
+        anything is what the simulator comparison checks.
+        """
+        return (self.step, _shape(self.payload))
+
+
+def _shape(payload: Any) -> Any:
+    if isinstance(payload, (list, tuple)):
+        kind = "list" if isinstance(payload, list) else "tuple"
+        inner = [_shape(item) for item in payload]
+        # Collapse homogeneous sequences to (kind, length, element shape).
+        if inner and all(s == inner[0] for s in inner):
+            return (kind, len(inner), inner[0])
+        return (kind, len(inner), tuple(inner))
+    if isinstance(payload, bool):
+        return "bool"
+    if isinstance(payload, int):
+        return "int"
+    if isinstance(payload, bytes):
+        return ("bytes", len(payload))
+    if isinstance(payload, str):
+        return "str"
+    return type(payload).__name__
+
+
+@dataclass
+class View:
+    """A party's complete view of one protocol execution."""
+
+    party: str
+    protocol: str
+    received: list[ReceivedMessage] = field(default_factory=list)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def record(self, step: str, payload: Any) -> Any:
+        """Record one received message; returns the payload unchanged."""
+        self.received.append(ReceivedMessage(step=step, payload=payload))
+        return payload
+
+    def signature(self) -> tuple:
+        """Structural signature of the whole view."""
+        return tuple(message.signature() for message in self.received)
+
+    def payloads(self, step: str | None = None) -> Iterator[Any]:
+        """All recorded payloads, optionally filtered by step label."""
+        for message in self.received:
+            if step is None or message.step == step:
+                yield message.payload
+
+    def flat_integers(self) -> list[int]:
+        """Every integer anywhere in the view (for leak scanning)."""
+        out: list[int] = []
+
+        def walk(node: Any) -> None:
+            if isinstance(node, bool):
+                return
+            if isinstance(node, int):
+                out.append(node)
+            elif isinstance(node, (list, tuple)):
+                for item in node:
+                    walk(item)
+
+        for message in self.received:
+            walk(message.payload)
+        return out

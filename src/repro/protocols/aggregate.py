@@ -1,0 +1,134 @@
+"""Equijoin-sum: a minimal-sharing aggregate (the paper's future work).
+
+The conclusions ask for "protocols for other database operations such
+as aggregations". This module contributes one, in the paper's own
+style: ``R`` learns ``SUM(val_S(v))`` over ``v ∈ V_R ∩ V_S`` - e.g.
+"total exposure across our common customers" - with a precisely
+characterized disclosure.
+
+Construction. Run the intersection-size flow (so matches are
+*unlinkable* for R), but S attaches to each of its codewords a Paillier
+encryption of the value under **S's own key**. R finds which
+ciphertexts matched (without learning which of its values they belong
+to), homomorphically sums them, blinds the sum with a uniform random
+mask ρ, and returns one rerandomized ciphertext. S decrypts the blinded
+sum and sends it back; R removes ρ.
+
+Disclosure (declared in :class:`~repro.db.query.EquijoinSumQuery`):
+
+* R learns the sum, the match count ``|V_S ∩ V_R|`` and ``|V_S|``;
+* S learns ``|V_R|`` and the blinded sum (uniform modulo ``n``, hence
+  nothing).
+
+R never holds a decryption key, so individual values stay hidden; the
+mask keeps the true sum from S. Both parties stay semi-honest, as
+everywhere in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from ..crypto.paillier import PaillierPublicKey, generate_keypair
+from ..net.runner import ProtocolRun
+from .base import ProtocolSuite, sorted_ciphertexts
+
+__all__ = ["EquijoinSumResult", "run_equijoin_sum"]
+
+
+@dataclass
+class EquijoinSumResult:
+    """Outcome of the equijoin-sum protocol."""
+
+    total: int
+    match_count: int
+    size_v_s: int
+    size_v_r: int
+    run: ProtocolRun
+
+
+def run_equijoin_sum(
+    v_r,
+    values_s: Mapping[Hashable, int],
+    suite: ProtocolSuite | None = None,
+    paillier_bits: int = 256,
+) -> EquijoinSumResult:
+    """R learns ``sum(values_s[v] for v in V_R ∩ V_S)`` and little else.
+
+    Args:
+        v_r: R's value set.
+        values_s: S's side - a map from join value to the non-negative
+            integer being aggregated (amount, count, exposure...).
+        suite: agreed parameters.
+        paillier_bits: S's Paillier modulus size (>= 2048 for real use).
+    """
+    suite = suite or ProtocolSuite.default()
+    run = ProtocolRun(protocol="equijoin_sum")
+
+    r_values = sorted(set(v_r), key=repr)
+    s_values = sorted(values_s, key=repr)
+
+    # Step 1 - hash both sets; R picks e_R, S picks e_S and a Paillier
+    # keypair (sk stays at S).
+    x_r = suite.hash_side("R", r_values)
+    x_s = suite.hash_side("S", s_values)
+    e_r = suite.cipher.sample_key(suite.rng_r)
+    e_s = suite.cipher.sample_key(suite.rng_s)
+    public, private = generate_keypair(paillier_bits, suite.rng_s)
+
+    # Step 2 - R encrypts and ships Y_R, reordered (as in S5.1).
+    y_r = suite.cipher.encrypt_many(e_r, x_r)
+    y_r_received = run.to_s("1:Y_R", sorted_ciphertexts(y_r))
+
+    # Step 3 - S returns Z_R = f_eS(Y_R), reordered and *unpaired*
+    # (the unlinkability device of the intersection-size protocol),
+    # plus its Paillier public key.
+    z_r = sorted_ciphertexts(suite.cipher.encrypt_many(e_s, y_r_received))
+    z_r_received, n_modulus = run.to_r(
+        "2:Z_R+pk", (z_r, public.n)
+    )
+    pk = PaillierPublicKey(n_modulus)
+
+    # Step 4 - S ships pairs <f_eS(h(v)), Enc_pkS(val(v))>, reordered.
+    pairs = []
+    for v, x in zip(s_values, x_s):
+        codeword = suite.cipher.encrypt(e_s, x)
+        amount = int(values_s[v])
+        if amount < 0:
+            raise ValueError("aggregated values must be non-negative")
+        pairs.append((codeword, public.encrypt(amount, suite.rng_s)))
+    pairs_received = run.to_r("3:pairs", sorted(pairs))
+
+    # Step 5 - R applies f_eR to each pair's codeword; matches against
+    # the unlinkable Z_R; homomorphically sums the matched ciphertexts
+    # and blinds with a uniform mask.
+    z_r_set = set(z_r_received)
+    matched = [
+        ciphertext
+        for codeword, ciphertext in pairs_received
+        if suite.cipher.encrypt(e_r, codeword) in z_r_set
+    ]
+    accumulator = pk.encrypt_zero(suite.rng_r)
+    for ciphertext in matched:
+        accumulator = pk.add(accumulator, ciphertext)
+    mask = suite.rng_r.randrange(pk.n)
+    blinded = pk.add_plain(accumulator, mask, suite.rng_r)
+
+    # Step 6 - R -> S: one rerandomized blinded ciphertext; S decrypts.
+    blinded_received = run.to_s("4:blinded", blinded)
+    blinded_sum = private.decrypt(blinded_received)
+
+    # Step 7 - S -> R: the blinded plaintext; R removes the mask.
+    revealed = run.to_r("5:blinded_sum", blinded_sum)
+    total = (revealed - mask) % pk.n
+
+    run.finish()
+    return EquijoinSumResult(
+        total=total,
+        match_count=len(matched),
+        size_v_s=len(pairs_received),
+        size_v_r=len(y_r_received),
+        run=run,
+    )

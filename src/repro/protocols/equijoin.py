@@ -1,0 +1,163 @@
+"""The equijoin protocol (Section 4.3).
+
+Extends the intersection protocol so that R additionally obtains
+``ext(v)`` - S's records joining on ``v`` - for every ``v`` in the
+intersection, while still learning nothing about ``ext(v)`` for
+``v ∈ V_S − V_R`` (Statements 3 and 4).
+
+S uses *two* keys: ``e_S`` for the match codewords and ``e'_S`` to
+derive the per-value ext-encryption key ``κ(v) = f_{e'_S}(h(v))``.
+R recovers ``κ(v)`` only for its own values by stripping its own
+encryption: ``f_eR^{-1}(f_{e'_S}(f_eR(h(v)))) = f_{e'_S}(h(v))``.
+
+The module offers two levels:
+
+* :func:`run_equijoin` - the raw protocol on value sets plus an
+  ``ext`` byte-payload map (exactly the paper's objects);
+* :func:`join_tables` - a convenience wrapper joining two
+  :class:`~repro.db.table.Table` relations, serializing S's record
+  groups into ``ext(v)`` and materializing the joined table at R.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from ..db.table import Table
+from ..net import serialization
+from ..net.runner import ProtocolRun
+from .base import EquijoinResult, ProtocolSuite, sorted_ciphertexts
+
+__all__ = ["run_equijoin", "join_tables"]
+
+
+def run_equijoin(
+    v_r: Sequence[Hashable],
+    ext_s: Mapping[Hashable, bytes],
+    suite: ProtocolSuite | None = None,
+) -> EquijoinResult:
+    """Execute the Section 4.3 protocol.
+
+    Args:
+        v_r: R's value set.
+        ext_s: S's side as a map ``v -> ext(v)`` (the values are
+            ``V_S``, the payloads the joined extra information).
+        suite: agreed parameters; fresh 1024-bit default when omitted.
+    """
+    suite = suite or ProtocolSuite.default()
+    run = ProtocolRun(protocol="equijoin")
+
+    r_values = sorted(set(v_r), key=repr)
+    s_values = sorted(ext_s, key=repr)
+
+    # Step 1 - hash both sets; R picks e_R, S picks e_S and e'_S.
+    x_r = suite.hash_side("R", r_values)
+    x_s = suite.hash_side("S", s_values)
+    e_r = suite.cipher.sample_key(suite.rng_r)
+    e_s = suite.cipher.sample_key(suite.rng_s)
+    e_s_prime = suite.cipher.sample_key(suite.rng_s)
+
+    # Step 2 - R encrypts its hashed set.
+    y_r_by_value = {v: suite.cipher.encrypt(e_r, x) for v, x in zip(r_values, x_r)}
+
+    # Step 3 - R ships Y_R reordered lexicographically.
+    y_r_received = run.to_s("3:Y_R", sorted_ciphertexts(list(y_r_by_value.values())))
+
+    # Step 4 - S returns 3-tuples <y, f_eS(y), f_e'S(y)> for y in Y_R.
+    triples = [
+        (y, suite.cipher.encrypt(e_s, y), suite.cipher.encrypt(e_s_prime, y))
+        for y in y_r_received
+    ]
+    triples_received = run.to_r("4:triples", triples)
+
+    # Step 5 - for each v in V_S, S forms <f_eS(h(v)), K(f_e'S(h(v)), ext(v))>
+    # and ships the pairs in lexicographical order.
+    pairs = []
+    for v, x in zip(s_values, x_s):
+        codeword = suite.cipher.encrypt(e_s, x)          # 5(a)
+        kappa = suite.cipher.encrypt(e_s_prime, x)       # 5(b)
+        ciphertext = suite.ext_cipher.encrypt(kappa, bytes(ext_s[v]))  # 5(c)
+        pairs.append((codeword, ciphertext))             # 5(d)
+    pairs_received = run.to_r("5:pairs", sorted(pairs))
+
+    # Step 6 - R strips its own encryption from both S-encrypted entries
+    # of each triple, obtaining <h(v), f_eS(h(v)), f_e'S(h(v))> keyed by
+    # its own value v (recovered through y).
+    y_to_value = {y: v for v, y in y_r_by_value.items()}
+    e_r_inverse = suite.cipher.invert_key(e_r)
+    by_codeword: dict[int, tuple[Hashable, int]] = {}
+    for y, second, third in triples_received:
+        v = y_to_value.get(y)
+        if v is None:
+            continue  # semi-honest S never injects unknown y's
+        codeword = suite.cipher.encrypt(e_r_inverse, second)  # f_eS(h(v))
+        kappa = suite.cipher.encrypt(e_r_inverse, third)      # f_e'S(h(v))
+        by_codeword[codeword] = (v, kappa)
+
+    # Step 7 - R matches the step-5 pairs on the codeword and decrypts
+    # ext(v) with κ(v); the matched v's form the intersection.
+    matches: dict[Hashable, bytes] = {}
+    for codeword, ciphertext in pairs_received:
+        hit = by_codeword.get(codeword)
+        if hit is None:
+            continue
+        v, kappa = hit
+        matches[v] = suite.ext_cipher.decrypt(kappa, ciphertext)
+
+    run.finish()
+    # Step 8 (computing T_S ⋈ T_R from ext) is the caller's job; see
+    # join_tables() for the table-level wrapper.
+    return EquijoinResult(
+        intersection=set(matches),
+        matches=matches,
+        size_v_s=len(pairs_received),
+        size_v_r=len(y_r_received),
+        run=run,
+    )
+
+
+def serialize_rows(rows: Sequence[tuple]) -> bytes:
+    """Encode a group of S-records as one ``ext(v)`` payload."""
+    return serialization.encode([list(row) for row in rows])
+
+
+def deserialize_rows(payload: bytes) -> list[tuple]:
+    """Inverse of :func:`serialize_rows`."""
+    return [tuple(row) for row in serialization.decode(payload)]
+
+
+def join_tables(
+    t_r: Table,
+    t_s: Table,
+    r_attr: str,
+    s_attr: str | None = None,
+    suite: ProtocolSuite | None = None,
+) -> tuple[Table, EquijoinResult]:
+    """Privately compute ``T_S ⋈ T_R`` and materialize it at R.
+
+    R contributes the distinct values of ``T_R.r_attr``; S contributes
+    ``ext(v)`` = its records grouped by ``T_S.s_attr``. The returned
+    table has R's columns followed by S's (renamed on collision),
+    mirroring the plaintext :func:`repro.db.engine.equijoin` so results
+    can be compared directly.
+    """
+    s_attr = s_attr or r_attr
+    ext = {
+        v: serialize_rows(rows) for v, rows in t_s.group_rows_by(s_attr).items()
+    }
+    result = run_equijoin(list(t_r.distinct_values(r_attr)), ext, suite)
+
+    taken = set(t_r.columns)
+    s_out_cols = tuple(c if c not in taken else f"s_{c}" for c in t_s.columns)
+    out_columns = t_r.columns + s_out_cols
+
+    r_idx = t_r.column_index(r_attr)
+    out_rows = []
+    for r_row in t_r.rows:
+        payload = result.matches.get(r_row[r_idx])
+        if payload is None:
+            continue
+        for s_row in deserialize_rows(payload):
+            out_rows.append(r_row + s_row)
+    joined = Table(out_columns, out_rows, name="private_join")
+    return joined, result

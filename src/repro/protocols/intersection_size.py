@@ -1,0 +1,64 @@
+"""The intersection-size protocol (Section 5.1).
+
+Identical to the intersection protocol except for Step 4(b): S returns
+only the lexicographically reordered double encryptions ``Z_R``,
+*without* pairing them to the ``y`` values, so R can count matches but
+cannot tell *which* of its values matched (Statements 5 and 6).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..net.runner import ProtocolRun
+from .base import IntersectionSizeResult, ProtocolSuite, sorted_ciphertexts
+
+__all__ = ["run_intersection_size"]
+
+
+def run_intersection_size(
+    v_r: Sequence[Hashable],
+    v_s: Sequence[Hashable],
+    suite: ProtocolSuite | None = None,
+) -> IntersectionSizeResult:
+    """Execute the Section 5.1.1 protocol; R learns ``|V_S ∩ V_R|``."""
+    suite = suite or ProtocolSuite.default()
+    run = ProtocolRun(protocol="intersection_size")
+
+    r_values = sorted(set(v_r), key=repr)
+    s_values = sorted(set(v_s), key=repr)
+
+    # Step 1 - hash the sets and choose secret keys.
+    x_r = suite.hash_side("R", r_values)
+    x_s = suite.hash_side("S", s_values)
+    e_r = suite.cipher.sample_key(suite.rng_r)
+    e_s = suite.cipher.sample_key(suite.rng_s)
+
+    # Step 2 - encrypt the hashed sets.
+    y_r = suite.cipher.encrypt_many(e_r, x_r)
+    y_s = suite.cipher.encrypt_many(e_s, x_s)
+
+    # Step 3 - R ships Y_R reordered lexicographically.
+    y_r_received = run.to_s("3:Y_R", sorted_ciphertexts(y_r))
+
+    # Step 4(a) - S ships Y_S reordered lexicographically.
+    y_s_received = run.to_r("4a:Y_S", sorted_ciphertexts(y_s))
+
+    # Step 4(b) - S returns Z_R = f_eS(Y_R) reordered lexicographically
+    # and *unpaired*, which is the entire difference from Section 3.
+    z_r = sorted_ciphertexts(suite.cipher.encrypt_many(e_s, y_r_received))
+    z_r_received = run.to_r("4b:Z_R", z_r)
+
+    # Step 5 - R computes Z_S = f_eR(Y_S).
+    z_s = suite.cipher.encrypt_many(e_r, y_s_received)
+
+    # Step 6 - the answer is |Z_S ∩ Z_R|.
+    size = len(set(z_s) & set(z_r_received))
+
+    run.finish()
+    return IntersectionSizeResult(
+        size=size,
+        size_v_s=len(y_s_received),
+        size_v_r=len(y_r_received),
+        run=run,
+    )

@@ -1,0 +1,240 @@
+"""Separable party state machines, for real two-party deployment.
+
+The driver functions in :mod:`repro.protocols.intersection` etc. are
+convenient for simulation and analysis, but they hold both parties'
+secrets in one stack frame. A downstream deployment needs each party
+as its *own* object that sees only its inputs, its randomness and the
+messages addressed to it - so it can sit behind any transport
+(the in-memory channels, the TCP transport in :mod:`repro.net.tcp`,
+or a message queue).
+
+Message flow (intersection, Section 3.3):
+
+    receiver = IntersectionReceiver(v_r, params, rng)
+    sender   = IntersectionSender(v_s, params, rng)
+    m1 = receiver.round1()            # Y_R            (R -> S)
+    m2 = sender.round1(m1)            # Y_S + pairs    (S -> R)
+    answer = receiver.finish(m2)
+
+and for the size variant the same shape with an unpaired ``Z_R``.
+Parameters travel as :class:`PublicParams` - everything public both
+sides must agree on (the modulus and the hash construction).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..crypto.commutative import PowerCipher
+from ..crypto.groups import QRGroup
+from ..crypto.hashing import DomainHash, SquareHash, TryIncrementHash
+from .base import sorted_ciphertexts
+
+__all__ = [
+    "PublicParams",
+    "IntersectionReceiver",
+    "IntersectionSender",
+    "IntersectionSizeReceiver",
+    "IntersectionSizeSender",
+    "EquijoinReceiver",
+    "EquijoinSender",
+]
+
+_HASH_REGISTRY: dict[str, type[DomainHash]] = {
+    "try-increment": TryIncrementHash,
+    "square": SquareHash,
+}
+
+
+@dataclass(frozen=True)
+class PublicParams:
+    """The public protocol parameters both parties must share."""
+
+    p: int
+    hash_name: str = "try-increment"
+
+    @classmethod
+    def for_bits(cls, bits: int) -> "PublicParams":
+        """Params over the embedded safe prime of the given size."""
+        return cls(p=QRGroup.for_bits(bits).p)
+
+    def build(self) -> tuple[QRGroup, DomainHash, PowerCipher]:
+        """Instantiate the group, hash and cipher these params name."""
+        group = QRGroup(self.p)
+        hash_cls = _HASH_REGISTRY.get(self.hash_name)
+        if hash_cls is None:
+            raise ValueError(f"unknown hash construction {self.hash_name!r}")
+        return group, hash_cls(group), PowerCipher(group)
+
+    def to_wire(self) -> tuple[int, str]:
+        """Encodable form for the transport handshake."""
+        return (self.p, self.hash_name)
+
+    @classmethod
+    def from_wire(cls, payload: tuple[int, str]) -> "PublicParams":
+        """Inverse of :meth:`to_wire`."""
+        p, hash_name = payload
+        return cls(p=int(p), hash_name=str(hash_name))
+
+
+class _Party:
+    """Common setup: hash own values, draw a key."""
+
+    def __init__(
+        self,
+        values: Sequence[Hashable],
+        params: PublicParams,
+        rng: random.Random,
+    ):
+        self.params = params
+        self.group, self.hash, self.cipher = params.build()
+        self.values = sorted(set(values), key=repr)
+        self.rng = rng
+        self._key = self.cipher.sample_key(rng)
+        self._hashes = self.hash.hash_set(self.values)
+
+
+class IntersectionReceiver(_Party):
+    """Party R of the Section 3.3 protocol."""
+
+    def round1(self) -> list[int]:
+        """Step 3: ``Y_R``, reordered lexicographically."""
+        self._y_by_value = {
+            v: self.cipher.encrypt(self._key, x)
+            for v, x in zip(self.values, self._hashes)
+        }
+        return sorted_ciphertexts(list(self._y_by_value.values()))
+
+    def finish(self, reply: tuple[list[int], list[tuple[int, int]]]) -> set[Hashable]:
+        """Steps 5-6: recover the intersection from S's reply."""
+        y_s, pairs = reply
+        z_s = {self.cipher.encrypt(self._key, y) for y in y_s}
+        self.size_v_s = len(y_s)
+        y_to_value = {y: v for v, y in self._y_by_value.items()}
+        return {
+            y_to_value[y]
+            for y, double in pairs
+            if y in y_to_value and double in z_s
+        }
+
+
+class IntersectionSender(_Party):
+    """Party S of the Section 3.3 protocol."""
+
+    def round1(
+        self, y_r: list[int]
+    ) -> tuple[list[int], list[tuple[int, int]]]:
+        """Steps 4(a)+(b): ``Y_S`` reordered plus the ``⟨y, f_eS(y)⟩`` pairs."""
+        self.size_v_r = len(y_r)
+        y_s = sorted_ciphertexts(
+            [self.cipher.encrypt(self._key, x) for x in self._hashes]
+        )
+        pairs = [(y, self.cipher.encrypt(self._key, y)) for y in y_r]
+        return y_s, pairs
+
+
+class IntersectionSizeReceiver(_Party):
+    """Party R of the Section 5.1 protocol."""
+
+    def round1(self) -> list[int]:
+        """Step 3: ``Y_R``, reordered lexicographically."""
+        self._y_r = [
+            self.cipher.encrypt(self._key, x) for x in self._hashes
+        ]
+        return sorted_ciphertexts(self._y_r)
+
+    def finish(self, reply: tuple[list[int], list[int]]) -> int:
+        """Steps 5-6: count ``|Z_S ∩ Z_R|`` from S's reply."""
+        y_s, z_r = reply
+        self.size_v_s = len(y_s)
+        z_s = {self.cipher.encrypt(self._key, y) for y in y_s}
+        return len(z_s & set(z_r))
+
+
+class IntersectionSizeSender(_Party):
+    """Party S of the Section 5.1 protocol."""
+
+    def round1(self, y_r: list[int]) -> tuple[list[int], list[int]]:
+        """Steps 4(a)+(b): ``Y_S`` plus the unpaired, reordered ``Z_R``."""
+        self.size_v_r = len(y_r)
+        y_s = sorted_ciphertexts(
+            [self.cipher.encrypt(self._key, x) for x in self._hashes]
+        )
+        z_r = sorted_ciphertexts(
+            [self.cipher.encrypt(self._key, y) for y in y_r]
+        )
+        return y_s, z_r
+
+
+class EquijoinReceiver(_Party):
+    """Party R of the Section 4.3 protocol."""
+
+    def round1(self) -> list[int]:
+        """Step 3: ``Y_R``, reordered lexicographically."""
+        self._y_by_value = {
+            v: self.cipher.encrypt(self._key, x)
+            for v, x in zip(self.values, self._hashes)
+        }
+        return sorted_ciphertexts(list(self._y_by_value.values()))
+
+    def finish(self, reply) -> dict:
+        """Steps 6-7: strip own layer, match pairs, decrypt ext."""
+        from ..crypto.ext_cipher import BlockExtCipher
+
+        triples, pairs = reply
+        ext_cipher = BlockExtCipher(self.group)
+        inverse = self.cipher.invert_key(self._key)
+        y_to_value = {y: v for v, y in self._y_by_value.items()}
+        by_codeword = {}
+        for y, second, third in triples:
+            v = y_to_value.get(y)
+            if v is None:
+                continue
+            codeword = self.cipher.encrypt(inverse, second)
+            kappa = self.cipher.encrypt(inverse, third)
+            by_codeword[codeword] = (v, kappa)
+        matches = {}
+        for codeword, ciphertext in pairs:
+            hit = by_codeword.get(codeword)
+            if hit is None:
+                continue
+            v, kappa = hit
+            matches[v] = ext_cipher.decrypt(kappa, list(ciphertext))
+        self.size_v_s = len(pairs)
+        return matches
+
+
+class EquijoinSender:
+    """Party S of the Section 4.3 protocol (two keys + ext payloads)."""
+
+    def __init__(self, ext, params: PublicParams, rng: random.Random):
+        from ..crypto.ext_cipher import BlockExtCipher
+
+        self.params = params
+        self.group, self.hash, self.cipher = params.build()
+        self.ext = {v: bytes(payload) for v, payload in ext.items()}
+        self.values = sorted(self.ext, key=repr)
+        self._hashes = self.hash.hash_set(self.values)
+        self._key = self.cipher.sample_key(rng)
+        self._key_prime = self.cipher.sample_key(rng)
+        self._ext_cipher = BlockExtCipher(self.group)
+
+    def round1(self, y_r: list[int]):
+        """Steps 4-5: triples over Y_R plus the ⟨codeword, K(...)⟩ pairs."""
+        self.size_v_r = len(y_r)
+        triples = [
+            (
+                y,
+                self.cipher.encrypt(self._key, y),
+                self.cipher.encrypt(self._key_prime, y),
+            )
+            for y in y_r
+        ]
+        pairs = []
+        for v, x in zip(self.values, self._hashes):
+            codeword = self.cipher.encrypt(self._key, x)
+            kappa = self.cipher.encrypt(self._key_prime, x)
+            pairs.append((codeword, self._ext_cipher.encrypt(kappa, self.ext[v])))
+        return triples, sorted(pairs)

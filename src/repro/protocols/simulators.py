@@ -1,0 +1,163 @@
+"""Executable view simulators from the security proofs.
+
+The proofs of Statements 2, 4 and 6 construct, for each party, a
+simulator that reproduces the party's view of the protocol using *only*
+the information that party is allowed to learn. Indistinguishability of
+real and simulated views is the definition of security in the
+semi-honest model [26].
+
+Computational indistinguishability cannot be tested empirically, but
+making the simulators executable still buys a lot:
+
+* the simulated view must have exactly the same *structure* (message
+  schema, sequence lengths) as the real view - a mismatch means the
+  protocol transmits information the proof never accounted for;
+* every simulator's input list is a machine-readable statement of what
+  the party learns - the audit (:mod:`repro.protocols.audit`) checks
+  the real view contains nothing the simulator could not have produced.
+
+Each ``simulate_*`` function mirrors the corresponding proof text and
+returns a :class:`~repro.net.transcript.View` with the same step labels
+as the real protocol drivers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from ..crypto.commutative import PowerCipher
+from ..crypto.groups import QRGroup
+from ..crypto.hashing import DomainHash
+from ..net.transcript import View
+
+__all__ = [
+    "simulate_s_view_intersection",
+    "simulate_r_view_intersection",
+    "simulate_r_view_equijoin",
+    "simulate_r_view_intersection_size",
+]
+
+
+def simulate_s_view_intersection(
+    group: QRGroup, size_v_r: int, rng: random.Random, protocol: str = "intersection"
+) -> View:
+    """S's simulator (proof of Statement 2).
+
+    S receives only Step 3's ``Y_R``; the simulator emits ``|V_R|``
+    random group elements in lexicographic order. The same simulator
+    serves the equijoin and the (equi)join-size protocols, where S's
+    incoming traffic is identical.
+    """
+    view = View(party="S", protocol=protocol)
+    z = sorted(group.random_element(rng) for _ in range(size_v_r))
+    view.record("3:Y_R", z)
+    return view
+
+
+def simulate_r_view_intersection(
+    group: QRGroup,
+    hash_fn: DomainHash,
+    e_r: int,
+    v_r: Sequence[Hashable],
+    intersection: set[Hashable],
+    size_v_s: int,
+    rng: random.Random,
+) -> View:
+    """R's simulator (proof of Statement 2).
+
+    Inputs are exactly what R may use: its own ``V_R`` and key ``e_R``,
+    the hash function, the answer ``V_S ∩ V_R`` and ``|V_S|``. The
+    simulator picks its own key ``ẽ_S``; values in ``V_S − V_R`` are
+    replaced by uniform random group elements.
+    """
+    view = View(party="R", protocol="intersection")
+    cipher = PowerCipher(group)
+    e_s_tilde = cipher.sample_key(rng)
+
+    # Step 4(a): encryptions of intersection hashes under ẽ_S plus
+    # |V_S − V_R| random elements, sorted.
+    y_s = [cipher.encrypt(e_s_tilde, hash_fn.hash_value(v)) for v in intersection]
+    y_s += [group.random_element(rng) for _ in range(size_v_s - len(intersection))]
+    view.record("4a:Y_S", sorted(y_s))
+
+    # Step 4(b): R's own Y_R re-encrypted with ẽ_S, paired.
+    y_r = sorted(cipher.encrypt(e_r, hash_fn.hash_value(v)) for v in set(v_r))
+    pairs = [(y, cipher.encrypt(e_s_tilde, y)) for y in y_r]
+    view.record("4b:pairs", pairs)
+    return view
+
+
+def simulate_r_view_equijoin(
+    group: QRGroup,
+    hash_fn: DomainHash,
+    e_r: int,
+    v_r: Sequence[Hashable],
+    matches: dict[Hashable, bytes],
+    size_v_s: int,
+    rng: random.Random,
+    ext_cipher,
+) -> View:
+    """R's simulator (proof of Statement 4).
+
+    Uses ``V_R``, ``e_R``, the intersection with its ``ext`` payloads,
+    and ``|V_S|``. Values outside the intersection get uniformly random
+    codewords paired with ciphertexts of *fresh random keys* - which the
+    cipher's perfect secrecy makes distributed exactly like real ones
+    (the proof's distribution ``D_ext``); here we sample them the same
+    way the protocol would, from random keys, since that *is* ``D_ext``.
+    """
+    view = View(party="R", protocol="equijoin")
+    cipher = PowerCipher(group)
+
+    # Step 4: triples over R's own Y_R, second/third entries random
+    # functions of y under simulator keys.
+    e_s_tilde = cipher.sample_key(rng)
+    e_s_prime_tilde = cipher.sample_key(rng)
+    y_r = sorted(cipher.encrypt(e_r, hash_fn.hash_value(v)) for v in set(v_r))
+    triples = [
+        (y, cipher.encrypt(e_s_tilde, y), cipher.encrypt(e_s_prime_tilde, y))
+        for y in y_r
+    ]
+    view.record("4:triples", triples)
+
+    # Step 5: pairs for the intersection built from the known ext
+    # payloads; |V_S − V_R| filler pairs drawn from D_ext.
+    pairs = []
+    for v, ext in matches.items():
+        codeword = cipher.encrypt(e_s_tilde, hash_fn.hash_value(v))
+        kappa = cipher.encrypt(e_s_prime_tilde, hash_fn.hash_value(v))
+        pairs.append((codeword, ext_cipher.encrypt(kappa, ext)))
+    filler_payload = b"\x00" * (len(next(iter(matches.values()))) if matches else 8)
+    for _ in range(size_v_s - len(matches)):
+        codeword = group.random_element(rng)
+        kappa = group.random_element(rng)
+        pairs.append((codeword, ext_cipher.encrypt(kappa, filler_payload)))
+    view.record("5:pairs", sorted(pairs))
+    return view
+
+
+def simulate_r_view_intersection_size(
+    group: QRGroup,
+    size_v_s: int,
+    size_v_r: int,
+    intersection_size: int,
+    e_r: int,
+    rng: random.Random,
+) -> View:
+    """R's simulator (proof of Statement 6).
+
+    Draws ``n = |V_S ∪ V_R|`` random elements ``y_i`` standing for
+    ``f_eS(h(v))``; ``Y_S`` is the first ``|V_S|`` of them, ``Z_R`` is
+    the encryption under the *real* ``e_R`` of those ``y_i`` with index
+    in ``[t+1, n]`` (i.e. R's values), where ``t = |V_S| − |∩|``.
+    """
+    view = View(party="R", protocol="intersection_size")
+    cipher = PowerCipher(group)
+    t = size_v_s - intersection_size
+    n = size_v_s + size_v_r - intersection_size
+    y = [group.random_element(rng) for _ in range(n)]
+    view.record("4a:Y_S", sorted(y[:size_v_s]))
+    z_r = [cipher.encrypt(e_r, yi) for yi in y[t:]]
+    view.record("4b:Z_R", sorted(z_r))
+    return view

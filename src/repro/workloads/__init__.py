@@ -1,0 +1,21 @@
+"""Reproducible synthetic workloads: overlapping value sets, Zipf
+multisets, document corpora with planted topics, and medical tables
+with a planted DNA-reaction association."""
+
+from .generator import (
+    MedicalWorkload,
+    document_corpus,
+    medical_workload,
+    multiset_pair,
+    overlapping_sets,
+    zipf_multiplicities,
+)
+
+__all__ = [
+    "overlapping_sets",
+    "multiset_pair",
+    "zipf_multiplicities",
+    "document_corpus",
+    "MedicalWorkload",
+    "medical_workload",
+]

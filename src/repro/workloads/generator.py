@@ -1,0 +1,186 @@
+"""Synthetic workload generators for tests, benchmarks and examples.
+
+The paper's experiments are sized in set cardinalities (the protocols
+are data-oblivious), so synthetic workloads with *controlled* overlap,
+duplicate structure and document statistics exercise exactly the same
+code paths as proprietary corpora or DNA databases would - this is the
+documented substitution for the paper's unavailable data.
+
+All generators take an explicit ``random.Random`` so every workload is
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..db.multiset import ValueMultiset
+from ..db.table import Table
+
+__all__ = [
+    "overlapping_sets",
+    "multiset_pair",
+    "zipf_multiplicities",
+    "document_corpus",
+    "MedicalWorkload",
+    "medical_workload",
+]
+
+
+def overlapping_sets(
+    n_r: int,
+    n_s: int,
+    overlap: int,
+    rng: random.Random,
+    prefix: str = "v",
+) -> tuple[list[str], list[str], set[str]]:
+    """Two value sets with an exact intersection size.
+
+    Returns ``(v_r, v_s, expected_intersection)``; both lists are
+    shuffled so input order carries no signal.
+    """
+    if overlap > min(n_r, n_s):
+        raise ValueError("overlap cannot exceed either set size")
+    shared = [f"{prefix}-shared-{i}" for i in range(overlap)]
+    only_r = [f"{prefix}-r-{i}" for i in range(n_r - overlap)]
+    only_s = [f"{prefix}-s-{i}" for i in range(n_s - overlap)]
+    v_r = shared + only_r
+    v_s = shared + only_s
+    rng.shuffle(v_r)
+    rng.shuffle(v_s)
+    return v_r, v_s, set(shared)
+
+
+def zipf_multiplicities(
+    n_values: int, rng: random.Random, alpha: float = 1.5, max_count: int = 50
+) -> list[int]:
+    """Zipf-ish duplicate counts in ``[1, max_count]``.
+
+    Inverse-transform sampling of ``P(c) ∝ c^-alpha`` - heavy-tailed
+    duplicate structure like real join attributes.
+    """
+    weights = [c ** (-alpha) for c in range(1, max_count + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    counts = []
+    for _ in range(n_values):
+        u = rng.random()
+        for c, edge in enumerate(cumulative, start=1):
+            if u <= edge:
+                counts.append(c)
+                break
+        else:  # floating-point edge case
+            counts.append(max_count)
+    return counts
+
+
+def multiset_pair(
+    n_r: int,
+    n_s: int,
+    overlap: int,
+    rng: random.Random,
+    alpha: float = 1.5,
+    uniform_count: int | None = None,
+) -> tuple[ValueMultiset, ValueMultiset]:
+    """Two multisets over sets from :func:`overlapping_sets`.
+
+    ``uniform_count`` forces every value to the same multiplicity (the
+    leak-free extreme of Section 5.2); otherwise counts are Zipf.
+    """
+    v_r, v_s, _ = overlapping_sets(n_r, n_s, overlap, rng)
+
+    def expand(values: list[str]) -> ValueMultiset:
+        if uniform_count is not None:
+            counts = [uniform_count] * len(values)
+        else:
+            counts = zipf_multiplicities(len(values), rng, alpha)
+        out = []
+        for value, count in zip(values, counts):
+            out.extend([value] * count)
+        return ValueMultiset.from_values(out)
+
+    return expand(v_r), expand(v_s)
+
+
+def document_corpus(
+    n_docs: int,
+    rng: random.Random,
+    vocabulary_size: int = 5000,
+    words_per_doc: int = 120,
+    topic_words: Sequence[str] = (),
+    topic_rate: float = 0.0,
+) -> list[str]:
+    """Raw-text documents with an optional planted topic.
+
+    Words are drawn Zipf-like from a synthetic vocabulary; documents
+    additionally include each ``topic_words`` term with probability
+    ``topic_rate``, so two corpora sharing a topic contain genuinely
+    similar documents for the document-sharing application to find.
+    """
+    vocabulary = [f"word{i}" for i in range(vocabulary_size)]
+    # Zipf-ish rank weights over the vocabulary.
+    weights = [1.0 / (rank + 1) for rank in range(vocabulary_size)]
+    docs = []
+    for _ in range(n_docs):
+        words = rng.choices(vocabulary, weights=weights, k=words_per_doc)
+        for term in topic_words:
+            if rng.random() < topic_rate:
+                words.append(term)
+        rng.shuffle(words)
+        docs.append(" ".join(words))
+    return docs
+
+
+@dataclass
+class MedicalWorkload:
+    """Synthetic DNA + medical-history tables with known ground truth."""
+
+    t_r: Table  # (person_id, pattern)
+    t_s: Table  # (person_id, drug, reaction)
+    expected: dict[tuple[bool, bool], int]  # contingency among drug takers
+
+
+def medical_workload(
+    n_people: int,
+    rng: random.Random,
+    p_pattern: float = 0.3,
+    p_drug: float = 0.5,
+    p_reaction_given_pattern: float = 0.6,
+    p_reaction_without_pattern: float = 0.1,
+) -> MedicalWorkload:
+    """Generate the Application 2 tables with a planted association.
+
+    The reaction probability depends on the DNA pattern, so the
+    resulting contingency table exhibits the correlation the
+    researcher's hypothesis posits.
+    """
+    rows_r = []
+    rows_s = []
+    expected: dict[tuple[bool, bool], int] = {
+        (True, True): 0,
+        (True, False): 0,
+        (False, True): 0,
+        (False, False): 0,
+    }
+    for person_id in range(n_people):
+        pattern = rng.random() < p_pattern
+        drug = rng.random() < p_drug
+        p_reaction = (
+            p_reaction_given_pattern if pattern else p_reaction_without_pattern
+        )
+        reaction = drug and rng.random() < p_reaction
+        rows_r.append((person_id, pattern))
+        rows_s.append((person_id, drug, reaction))
+        if drug:
+            expected[(pattern, reaction)] += 1
+    return MedicalWorkload(
+        t_r=Table(("person_id", "pattern"), rows_r, name="T_R"),
+        t_s=Table(("person_id", "drug", "reaction"), rows_s, name="T_S"),
+        expected=expected,
+    )

@@ -1,0 +1,48 @@
+"""Tests for on-machine cost calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import calibrate
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Small modulus + few samples: calibration mechanics, not accuracy.
+    return calibrate(bits=128, samples=5)
+
+
+class TestCalibrate:
+    def test_all_constants_positive(self, result):
+        c = result.constants
+        assert c.ce_seconds > 0
+        assert c.ch_seconds > 0
+        assert c.ck_seconds > 0
+        assert c.cs_seconds > 0
+
+    def test_metadata(self, result):
+        assert result.bits == 128
+        assert result.samples == 5
+        assert result.constants.k_bits == 128
+
+    def test_exponentiation_dominates_sort_per_item(self, result):
+        """The paper's assumption n C_e >> n lg n C_s must hold on any
+        real machine: one modexp costs far more than one comparison."""
+        assert result.constants.ce_seconds > 10 * result.constants.cs_seconds
+
+    def test_exponentiations_per_hour(self, result):
+        assert result.exponentiations_per_hour() == pytest.approx(
+            3600 / result.constants.ce_seconds
+        )
+
+    def test_larger_modulus_slower(self):
+        small = calibrate(bits=128, samples=5)
+        large = calibrate(bits=1024, samples=5)
+        assert large.constants.ce_seconds > small.constants.ce_seconds
+
+    def test_deterministic_inputs(self):
+        """Same seed draws the same calibration inputs (timings differ)."""
+        a = calibrate(bits=64, samples=3, seed=1)
+        b = calibrate(bits=64, samples=3, seed=1)
+        assert a.bits == b.bits  # structural; timing values may vary

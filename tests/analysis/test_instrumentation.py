@@ -1,0 +1,71 @@
+"""Tests that live protocol runs perform *exactly* the operation counts
+the Section 6.1 cost model predicts - the strongest validation of the
+model short of wall-clock timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costmodel import ProtocolCostModel
+from repro.analysis.instrumentation import counting_suite
+from repro.protocols.equijoin import run_equijoin
+from repro.protocols.intersection import run_intersection
+from repro.protocols.intersection_size import run_intersection_size
+
+
+@pytest.fixture()
+def model():
+    return ProtocolCostModel()
+
+
+class TestIntersectionOpCounts:
+    @pytest.mark.parametrize("n_r, n_s", [(5, 8), (1, 1), (10, 3), (0, 4)])
+    def test_encryptions_match_model(self, model, n_r, n_s):
+        cs = counting_suite(bits=64)
+        run_intersection(
+            [f"r{i}" for i in range(n_r)], [f"s{i}" for i in range(n_s)], cs.suite
+        )
+        predicted = model.intersection_ops(n_s, n_r)
+        assert cs.counter.encryptions == predicted.encryptions  # 2(nS+nR)
+        assert cs.counter.hashes == predicted.hashes            # nS+nR
+
+    def test_intersection_size_same_counts(self, model):
+        cs = counting_suite(bits=64)
+        run_intersection_size(
+            [f"r{i}" for i in range(7)], [f"s{i}" for i in range(9)], cs.suite
+        )
+        predicted = model.intersection_ops(9, 7)
+        assert cs.counter.encryptions == predicted.encryptions
+
+
+class TestJoinOpCounts:
+    @pytest.mark.parametrize("n_r, n_s, common", [(5, 8, 3), (4, 4, 4), (6, 2, 0)])
+    def test_encryptions_match_model(self, model, n_r, n_s, common):
+        """The paper's join count: 2 Ce nS + 5 Ce nR."""
+        cs = counting_suite(bits=64)
+        shared = [f"c{i}" for i in range(common)]
+        v_r = shared + [f"r{i}" for i in range(n_r - common)]
+        ext = {v: b"x" for v in shared + [f"s{i}" for i in range(n_s - common)]}
+        run_equijoin(v_r, ext, cs.suite)
+        predicted = model.join_ops(n_s, n_r, common)
+        assert cs.counter.encryptions == predicted.encryptions  # 2nS + 5nR
+        assert cs.counter.hashes == predicted.hashes
+        assert cs.counter.k_encryptions == predicted.k_encryptions  # nS + n∩
+
+
+class TestCounterMechanics:
+    def test_reset(self):
+        cs = counting_suite(bits=64)
+        run_intersection(["a"], ["a"], cs.suite)
+        assert cs.counter.encryptions > 0
+        cs.counter.reset()
+        assert cs.counter.encryptions == 0
+        assert cs.counter.hashes == 0
+
+    def test_every_hash_call_counted(self):
+        """A value in both sets is hashed by both parties - the model's
+        C_h (n_S + n_R) term counts calls, not distinct values."""
+        cs = counting_suite(bits=64)
+        cs.suite.hash.hash_value("v")
+        cs.suite.hash.hash_value("v")
+        assert cs.counter.hashes == 2

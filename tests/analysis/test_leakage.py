@@ -1,0 +1,95 @@
+"""Tests for the Section 5.2 leakage characterization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.leakage import leakage_profile, overlap_matrix
+from repro.db.multiset import ValueMultiset
+from repro.workloads.generator import multiset_pair
+
+occurrences = st.lists(st.integers(min_value=0, max_value=10), max_size=25)
+
+
+def ms(values):
+    return ValueMultiset.from_values(values)
+
+
+class TestOverlapMatrix:
+    def test_example(self):
+        m = overlap_matrix(ms(["a", "a", "b"]), ms(["a", "b", "b", "c"]))
+        assert m == {(2, 1): 1, (1, 2): 1}  # a: (2,1); b: (1,2)
+
+    def test_empty_when_disjoint(self):
+        assert overlap_matrix(ms(["a"]), ms(["b"])) == {}
+
+    @given(occurrences, occurrences)
+    @settings(max_examples=150)
+    def test_total_equals_intersection_size(self, a, b):
+        matrix = overlap_matrix(ms(a), ms(b))
+        assert sum(matrix.values()) == len(set(a) & set(b))
+
+    @given(occurrences, occurrences)
+    @settings(max_examples=150)
+    def test_join_size_recoverable_from_matrix(self, a, b):
+        matrix = overlap_matrix(ms(a), ms(b))
+        from_matrix = sum(dr * ds * c for (dr, ds), c in matrix.items())
+        assert from_matrix == ms(a).join_size(ms(b))
+
+
+class TestProfileExtremes:
+    def test_uniform_duplicates_identify_nothing_with_partial_overlap(self):
+        """The benign extreme: equal counts + partial overlap -> R cannot
+        pin any individual value."""
+        rng = random.Random(1)
+        ms_r, ms_s = multiset_pair(10, 12, 5, rng, uniform_count=2)
+        profile = leakage_profile(ms_r, ms_s)
+        assert profile.identified == set()
+
+    def test_all_distinct_counts_identify_everything(self):
+        """The worst-case extreme: all counts distinct -> every class is
+        a singleton, so membership of every R value is determined."""
+        v_r = ["a"] * 1 + ["b"] * 2 + ["c"] * 3
+        v_s = ["a"] * 4 + ["c"] * 5 + ["q"] * 6
+        profile = leakage_profile(ms(v_r), ms(v_s))
+        assert profile.certain_members == {"a", "c"}
+        assert profile.certain_nonmembers == {"b"}
+        assert profile.identified_fraction(3) == 1.0
+
+    def test_full_overlap_identifies_even_uniform(self):
+        """Inherent: if |∩| = |V_R| then knowing the size reveals all."""
+        profile = leakage_profile(ms(["a", "b"]), ms(["a", "b", "c"]))
+        assert profile.certain_members == {"a", "b"}
+
+    def test_zero_overlap_identifies_nonmembers(self):
+        profile = leakage_profile(ms(["a", "b"]), ms(["x"]))
+        assert profile.certain_nonmembers == {"a", "b"}
+
+
+class TestProfileInternals:
+    def test_r_class_sizes(self):
+        profile = leakage_profile(ms(["a", "a", "b", "c"]), ms([]))
+        assert profile.r_class_sizes == {2: 1, 1: 2}
+
+    def test_identified_fraction_empty(self):
+        profile = leakage_profile(ms([]), ms([]))
+        assert profile.identified_fraction(0) == 0.0
+
+    @given(occurrences, occurrences)
+    @settings(max_examples=100)
+    def test_certainty_is_sound(self, a, b):
+        """Everything declared certain must actually be true."""
+        profile = leakage_profile(ms(a), ms(b))
+        truth = set(a) & set(b)
+        assert profile.certain_members <= truth
+        assert profile.certain_nonmembers.isdisjoint(truth)
+
+    @given(occurrences, occurrences)
+    @settings(max_examples=100)
+    def test_partition_coverage(self, a, b):
+        profile = leakage_profile(ms(a), ms(b))
+        assert profile.identified <= set(a)

@@ -1,0 +1,87 @@
+"""Tests for the Section 2.3 multi-query defenses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.restriction import QueryAuditor, QueryRefused
+
+
+class TestSizeRestriction:
+    def test_small_result_refused(self):
+        auditor = QueryAuditor(min_result_size=3)
+        with pytest.raises(QueryRefused, match="below minimum"):
+            auditor.review("q", ["a", "b"], result_size=2)
+
+    def test_adequate_result_answered(self):
+        auditor = QueryAuditor(min_result_size=3)
+        auditor.review("q", ["a", "b"], result_size=3)
+        assert len(auditor.answered_queries()) == 1
+
+    def test_size_check_skipped_when_unknown(self):
+        auditor = QueryAuditor(min_result_size=100)
+        auditor.review("q", ["a"], result_size=None)  # no refusal
+
+
+class TestOverlapRestriction:
+    def test_tracker_attack_refused(self):
+        """The classic tracker: re-query with one element removed."""
+        auditor = QueryAuditor(max_overlap_fraction=0.75, min_result_size=0)
+        auditor.review("q1", [f"v{i}" for i in range(10)])
+        with pytest.raises(QueryRefused, match="overlap"):
+            auditor.review("q2", [f"v{i}" for i in range(9)])
+
+    def test_disjoint_queries_fine(self):
+        auditor = QueryAuditor(max_overlap_fraction=0.5)
+        auditor.review("q1", ["a", "b"], result_size=5)
+        auditor.review("q2", ["c", "d"], result_size=5)
+        assert len(auditor.answered_queries()) == 2
+
+    def test_overlap_exactly_at_threshold_allowed(self):
+        auditor = QueryAuditor(max_overlap_fraction=0.5, min_result_size=0)
+        auditor.review("q1", ["a", "b", "c", "d"])
+        auditor.review("q2", ["a", "b", "x", "y"])  # overlap = 0.5, not >
+
+    def test_overlap_relative_to_smaller_set(self):
+        auditor = QueryAuditor(max_overlap_fraction=0.6, min_result_size=0)
+        auditor.review("q1", [f"v{i}" for i in range(100)])
+        # A tiny probe fully inside the first query: overlap 1.0.
+        with pytest.raises(QueryRefused):
+            auditor.review("q2", ["v1", "v2"])
+
+    def test_refused_query_not_remembered(self):
+        """A refused query must not count as answered for later checks."""
+        auditor = QueryAuditor(max_overlap_fraction=0.5, min_result_size=5)
+        with pytest.raises(QueryRefused):
+            auditor.review("q1", ["a", "b"], result_size=1)  # size refusal
+        # q2 overlaps the *refused* q1 heavily; must still be admitted.
+        auditor.review("q2", ["a", "b"], result_size=10)
+
+
+class TestBudget:
+    def test_query_budget_exhausts(self):
+        auditor = QueryAuditor(max_queries=2, min_result_size=0,
+                               max_overlap_fraction=1.1)
+        auditor.review("q1", ["a"])
+        auditor.review("q2", ["b"])
+        with pytest.raises(QueryRefused, match="budget"):
+            auditor.review("q3", ["c"])
+
+
+class TestAuditTrail:
+    def test_trail_records_both_outcomes(self):
+        auditor = QueryAuditor(min_result_size=3)
+        auditor.review("good", ["a", "b"], result_size=5)
+        with pytest.raises(QueryRefused):
+            auditor.review("bad", ["c"], result_size=1)
+        assert [e.decision for e in auditor.trail] == ["answered", "refused"]
+        assert auditor.trail[1].reason != ""
+        assert auditor.refused_queries()[0].query_id == "bad"
+
+    def test_trail_entries_carry_sizes(self):
+        auditor = QueryAuditor(min_result_size=0)
+        auditor.review("q", ["a", "b", "c"], result_size=7)
+        entry = auditor.trail[0]
+        assert entry.input_size == 3
+        assert entry.result_size == 7
+        assert entry.timestamp > 0

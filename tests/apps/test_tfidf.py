@@ -1,0 +1,82 @@
+"""Tests for TF-IDF preprocessing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.tfidf import TfIdfModel, significant_words, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("a,b;c! d?") == ["a", "b", "c", "d"]
+
+    def test_keeps_digits(self):
+        assert tokenize("model 9000") == ["model", "9000"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+
+class TestTfIdfModel:
+    @pytest.fixture()
+    def corpus(self):
+        return [
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "quantum entanglement laser",
+        ]
+
+    def test_fit_counts_documents(self, corpus):
+        model = TfIdfModel.fit(corpus)
+        assert model.n_documents == 3
+        assert model.document_frequency["the"] == 2
+        assert model.document_frequency["laser"] == 1
+
+    def test_rare_terms_score_higher(self, corpus):
+        model = TfIdfModel.fit(corpus)
+        assert model.idf("laser") > model.idf("the")
+
+    def test_unseen_term_max_idf(self, corpus):
+        model = TfIdfModel.fit(corpus)
+        assert model.idf("zzz") >= model.idf("laser")
+
+    def test_scores_sum_over_distinct_terms(self, corpus):
+        model = TfIdfModel.fit(corpus)
+        scores = model.scores("the cat sat on the mat")
+        assert set(scores) == {"the", "cat", "sat", "on", "mat"}
+        assert all(s > 0 for s in scores.values())
+
+    def test_empty_document_scores(self, corpus):
+        assert TfIdfModel.fit(corpus).scores("") == {}
+
+    def test_top_k_selects_significant(self, corpus):
+        model = TfIdfModel.fit(corpus)
+        top = model.top_k("the cat sat on the mat", 2)
+        # 'the' is common corpus-wide but frequent in-document; the
+        # distinctive words must beat it at small k... 'cat'/'mat' are
+        # unique to this doc.
+        assert len(top) == 2
+        assert top <= {"cat", "mat", "sat", "the"}
+
+    def test_top_k_larger_than_vocab(self, corpus):
+        model = TfIdfModel.fit(corpus)
+        top = model.top_k("one two", 50)
+        assert top == {"one", "two"}
+
+    def test_top_k_deterministic_ties(self, corpus):
+        model = TfIdfModel.fit(corpus)
+        assert model.top_k("x y z", 2) == model.top_k("x y z", 2)
+
+
+class TestSignificantWords:
+    def test_one_set_per_document(self):
+        corpus = ["alpha beta", "gamma delta epsilon"]
+        sets = significant_words(corpus, 2)
+        assert len(sets) == 2
+        assert all(isinstance(s, frozenset) for s in sets)
+        assert all(len(s) <= 2 for s in sets)

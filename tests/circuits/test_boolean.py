@@ -1,0 +1,112 @@
+"""Tests for the boolean circuit IR and evaluator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.boolean import Circuit, GATE_FUNCTIONS
+
+
+class TestGateFunctions:
+    @pytest.mark.parametrize("op", sorted(GATE_FUNCTIONS))
+    def test_outputs_are_bits(self, op):
+        fn = GATE_FUNCTIONS[op]
+        for a in (0, 1):
+            for b in (0, 1):
+                assert fn(a, b) in (0, 1)
+
+    def test_truth_tables(self):
+        t = {(a, b): None for a in (0, 1) for b in (0, 1)}
+        assert [GATE_FUNCTIONS["AND"](a, b) for a, b in t] == [0, 0, 0, 1]
+        assert [GATE_FUNCTIONS["OR"](a, b) for a, b in t] == [0, 1, 1, 1]
+        assert [GATE_FUNCTIONS["XOR"](a, b) for a, b in t] == [0, 1, 1, 0]
+        assert [GATE_FUNCTIONS["XNOR"](a, b) for a, b in t] == [1, 0, 0, 1]
+        assert [GATE_FUNCTIONS["NAND"](a, b) for a, b in t] == [1, 1, 1, 0]
+        assert [GATE_FUNCTIONS["NOR"](a, b) for a, b in t] == [1, 0, 0, 0]
+        assert [GATE_FUNCTIONS["ANDNOT"](a, b) for a, b in t] == [0, 1, 0, 0]
+
+
+class TestCircuitConstruction:
+    def test_wire_allocation(self):
+        c = Circuit(n_inputs=2)
+        w = c.add_gate("AND", 0, 1)
+        assert w == 2
+        assert c.n_wires == 3
+        assert c.gate_count == 1
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(n_inputs=1).add_gate("MAJ", 0, 0)
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(n_inputs=1).add_gate("AND", 0, 5)
+
+    def test_constant_wires(self):
+        c = Circuit(n_inputs=1)
+        one = c.constant(1)
+        out = c.add_gate("XOR", 0, one)  # NOT via XOR with 1
+        c.set_outputs([out])
+        assert c.evaluate([0]) == [1]
+        assert c.evaluate([1]) == [0]
+
+    def test_constant_must_be_bit(self):
+        with pytest.raises(ValueError):
+            Circuit(n_inputs=0).constant(2)
+
+    def test_gate_count_by_op(self):
+        c = Circuit(n_inputs=2)
+        c.add_gate("AND", 0, 1)
+        c.add_gate("AND", 0, 1)
+        c.add_gate("XOR", 0, 1)
+        assert c.gate_count_by_op() == {"AND": 2, "XOR": 1}
+
+
+class TestEvaluation:
+    def test_input_width_checked(self):
+        c = Circuit(n_inputs=2)
+        c.set_outputs([0])
+        with pytest.raises(ValueError):
+            c.evaluate([1])
+
+    def test_passthrough_output(self):
+        c = Circuit(n_inputs=2)
+        c.set_outputs([1, 0])
+        assert c.evaluate([0, 1]) == [1, 0]
+
+    def test_not_gate(self):
+        c = Circuit(n_inputs=1)
+        c.set_outputs([c.not_gate(0)])
+        assert c.evaluate([0]) == [1]
+        assert c.evaluate([1]) == [0]
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=8))
+    @settings(max_examples=100)
+    def test_and_tree(self, bits):
+        c = Circuit(n_inputs=len(bits))
+        c.set_outputs([c.and_tree(list(range(len(bits))))])
+        assert c.evaluate(bits) == [int(all(bits))]
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=8))
+    @settings(max_examples=100)
+    def test_or_tree(self, bits):
+        c = Circuit(n_inputs=len(bits))
+        c.set_outputs([c.or_tree(list(range(len(bits))))])
+        assert c.evaluate(bits) == [int(any(bits))]
+
+    def test_tree_single_wire(self):
+        c = Circuit(n_inputs=1)
+        assert c.and_tree([0]) == 0
+        assert c.gate_count == 0
+
+    def test_tree_gate_counts(self):
+        for n in (2, 3, 5, 8, 13):
+            c = Circuit(n_inputs=n)
+            c.and_tree(list(range(n)))
+            assert c.gate_count == n - 1
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(n_inputs=1).or_tree([])

@@ -1,0 +1,121 @@
+"""Tests that the Appendix A cost model reproduces the printed numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.costmodel import (
+    CircuitCostModel,
+    equality_gates,
+    less_than_gates,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CircuitCostModel()  # the paper's w=32, k0=64, k1=100, k=1024
+
+
+class TestGateConstants:
+    def test_paper_w32(self):
+        assert equality_gates(32) == 63   # 2w - 1
+        assert less_than_gates(32) == 157  # 5w - 3
+
+
+class TestOTCosts:
+    """Appendix A.1.1."""
+
+    def test_unit_cost(self, model):
+        assert model.ot_unit_cost_ce() == pytest.approx(0.157, abs=1e-3)
+
+    def test_unit_bits(self, model):
+        assert model.ot_unit_bits() == pytest.approx(3200)
+
+    def test_input_coding_approximation(self, model):
+        """w * n * C_ot ~ 5 n C_e and ~1e5 n bits."""
+        n = 10**6
+        assert model.input_coding_ce(n) == pytest.approx(5 * n, rel=0.01)
+        assert model.input_coding_bits(n) == pytest.approx(1.024e5 * n, rel=0.03)
+
+
+class TestCircuitSizeTable:
+    """Appendix A.1.2: the n / m / f(n) table."""
+
+    def test_optimal_m_values(self, model):
+        table = model.circuit_size_table()
+        assert [row.m for row in table] == [11, 19, 32]
+
+    @pytest.mark.parametrize(
+        "n, expected",
+        [(10**4, 2.3e8), (10**6, 7.3e10), (10**8, 1.9e13)],
+    )
+    def test_partition_gate_counts(self, model, n, expected):
+        choice = model.optimal_partition(n)
+        assert choice.gates == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "n, expected",
+        [(10**4, 6.3e9), (10**6, 6.3e13), (10**8, 6.3e17)],
+    )
+    def test_brute_force_gate_counts(self, model, n, expected):
+        assert model.brute_force_gates(n, n) == pytest.approx(expected, rel=0.01)
+
+    def test_brute_force_much_worse(self, model):
+        for n in (10**4, 10**6, 10**8):
+            assert model.brute_force_gates(n, n) > 10 * model.optimal_partition(n).gates
+
+    def test_partition_requires_m_at_least_2(self, model):
+        with pytest.raises(ValueError):
+            model.partition_gates(10**4, 1)
+
+    def test_recurrence_consistency(self, model):
+        """The closed form is the telescoped recurrence
+        f(n) >= 2 m^2 Gl + (2m - 1) f(n/m); check one unrolling."""
+        n, m = 10**4, 10
+        gl = less_than_gates(32)
+        lhs = model.partition_gates(n, m)
+        rhs = 2 * m * m * gl + (2 * m - 1) * model.partition_gates(n // m, m)
+        # Closed form is a lower bound of the unrolled recurrence.
+        assert lhs <= rhs * 1.02
+
+
+class TestComparisonTables:
+    """Appendix A.2: computation and communication comparison."""
+
+    def test_computation_rows(self, model):
+        rows = {r.n: r for r in model.comparison_table()}
+        assert rows[10**4].circuit_input_ce == pytest.approx(5e4, rel=0.01)
+        assert rows[10**6].circuit_input_ce == pytest.approx(5e6, rel=0.01)
+        assert rows[10**8].circuit_input_ce == pytest.approx(5e8, rel=0.01)
+        assert rows[10**4].circuit_eval_cr == pytest.approx(4.7e8, rel=0.05)
+        assert rows[10**6].circuit_eval_cr == pytest.approx(1.5e11, rel=0.05)
+        assert rows[10**8].circuit_eval_cr == pytest.approx(3.8e13, rel=0.05)
+        assert rows[10**4].ours_ce == pytest.approx(4e4)
+        assert rows[10**8].ours_ce == pytest.approx(4e8)
+
+    def test_communication_rows(self, model):
+        rows = {r.n: r for r in model.comparison_table()}
+        assert rows[10**4].circuit_input_bits == pytest.approx(1e9, rel=0.05)
+        assert rows[10**6].circuit_input_bits == pytest.approx(1e11, rel=0.05)
+        assert rows[10**4].circuit_tables_bits == pytest.approx(6.0e10, rel=0.05)
+        assert rows[10**6].circuit_tables_bits == pytest.approx(1.8e13, rel=0.05)
+        assert rows[10**8].circuit_tables_bits == pytest.approx(4.9e15, rel=0.05)
+        assert rows[10**4].ours_bits == pytest.approx(3e7, rel=0.05)
+        assert rows[10**6].ours_bits == pytest.approx(3e9, rel=0.05)
+
+    def test_headline_144_days_vs_half_hour(self, model):
+        """'For n = 1 million, the communication time for the
+        circuit-based protocol is 144 days (using a T1 line), versus
+        0.5 hours for our protocol.'"""
+        row = next(r for r in model.comparison_table() if r.n == 10**6)
+        circuit_days = model.t1_transfer_days(row.circuit_tables_bits)
+        ours_hours = model.t1_transfer_days(row.ours_bits) * 24
+        assert 130 <= circuit_days <= 150
+        assert 0.4 <= ours_hours <= 0.6
+
+    def test_circuit_vs_ours_ratio_1000x_plus(self, model):
+        """'1000 to 10,000 times as much communication as our protocol'."""
+        for row in model.comparison_table():
+            total_circuit = row.circuit_input_bits + row.circuit_tables_bits
+            ratio = total_circuit / row.ours_bits
+            assert ratio > 1000

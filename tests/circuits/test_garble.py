@@ -1,0 +1,129 @@
+"""Tests for Yao garbled-circuit evaluation and the executable PSI baseline."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.boolean import Circuit, GATE_FUNCTIONS
+from repro.circuits.builders import (
+    encode_value_bits,
+    equality_comparator,
+    less_than_comparator,
+    pack_inputs,
+)
+from repro.circuits.garble import evaluate_garbled, garble, yao_intersection
+from repro.crypto.groups import QRGroup
+
+
+def _garbled_output(circuit, inputs, seed=0):
+    garbled, secrets = garble(circuit, random.Random(seed))
+    labels = [secrets.active_label(w, bit) for w, bit in enumerate(inputs)]
+    return evaluate_garbled(garbled, labels)
+
+
+class TestSingleGates:
+    @pytest.mark.parametrize("op", sorted(GATE_FUNCTIONS))
+    def test_every_gate_type_all_inputs(self, op):
+        circuit = Circuit(n_inputs=2)
+        circuit.set_outputs([circuit.add_gate(op, 0, 1)])
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert _garbled_output(circuit, [a, b]) == circuit.evaluate([a, b])
+
+
+class TestComposedCircuits:
+    def test_equality_comparator_exhaustive_w3(self):
+        circuit = equality_comparator(3)
+        for a, b in itertools.product(range(8), repeat=2):
+            bits = encode_value_bits(a, 3) + encode_value_bits(b, 3)
+            assert _garbled_output(circuit, bits) == [int(a == b)]
+
+    def test_less_than_comparator_w8_samples(self):
+        circuit = less_than_comparator(8)
+        rng = random.Random(1)
+        for _ in range(25):
+            a, b = rng.randrange(256), rng.randrange(256)
+            bits = encode_value_bits(a, 8) + encode_value_bits(b, 8)
+            assert _garbled_output(circuit, bits, seed=rng.randrange(999)) == [int(a < b)]
+
+    def test_constants_garble_correctly(self):
+        circuit = Circuit(n_inputs=1)
+        one = circuit.constant(1)
+        circuit.set_outputs([circuit.add_gate("XOR", 0, one)])
+        assert _garbled_output(circuit, [0]) == [1]
+        assert _garbled_output(circuit, [1]) == [0]
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_random_circuit_matches_plain(self, seed):
+        """Random feed-forward circuits: garbled == plain evaluation."""
+        rng = random.Random(seed)
+        n_inputs = rng.randrange(2, 6)
+        circuit = Circuit(n_inputs=n_inputs)
+        ops = sorted(GATE_FUNCTIONS)
+        for _ in range(rng.randrange(1, 15)):
+            a = rng.randrange(circuit.n_wires)
+            b = rng.randrange(circuit.n_wires)
+            circuit.add_gate(rng.choice(ops), a, b)
+        wires = list(range(circuit.n_wires))
+        circuit.set_outputs(rng.sample(wires, min(3, len(wires))))
+        inputs = [rng.randrange(2) for _ in range(n_inputs)]
+        assert _garbled_output(circuit, inputs, seed=seed) == circuit.evaluate(inputs)
+
+
+class TestGarbledStructure:
+    def test_table_bytes(self):
+        circuit = equality_comparator(4)
+        garbled, _ = garble(circuit, random.Random(0))
+        # 4 rows of (16-byte label + 1 color byte) per gate.
+        assert garbled.table_bytes == circuit.gate_count * 4 * 17
+
+    def test_wrong_label_count_rejected(self):
+        circuit = equality_comparator(2)
+        garbled, _ = garble(circuit, random.Random(0))
+        with pytest.raises(ValueError):
+            evaluate_garbled(garbled, [b"x" * 17])
+
+
+class TestYaoPSI:
+    @pytest.fixture(scope="class")
+    def group(self):
+        return QRGroup.for_bits(64)
+
+    def test_intersection_correct(self, group):
+        stats = yao_intersection(
+            [3, 17, 99, 200], [17, 200, 5], width=8, group=group,
+            rng=random.Random(2),
+        )
+        assert stats.intersection == {17, 200}
+
+    def test_disjoint(self, group):
+        stats = yao_intersection(
+            [1, 2], [3, 4], width=4, group=group, rng=random.Random(3)
+        )
+        assert stats.intersection == set()
+
+    def test_accounting(self, group):
+        stats = yao_intersection(
+            [1, 2, 3], [3, 4], width=4, group=group, rng=random.Random(4)
+        )
+        assert stats.ot_count == 2 * 4  # one OT per R input bit
+        assert stats.gate_count > 0
+        assert stats.ot_bytes > 0
+        assert stats.total_bytes == stats.table_bytes + stats.ot_bytes
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=4),
+        st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=4),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_matches_set_intersection_property(self, v_s, v_r):
+        group = QRGroup.for_bits(64)
+        stats = yao_intersection(
+            sorted(v_s), sorted(v_r), width=5, group=group, rng=random.Random(7)
+        )
+        assert stats.intersection == (v_s & v_r)

@@ -1,0 +1,59 @@
+"""Shared fixtures: small, fast groups and deterministic suites.
+
+Tests run over 64/128-bit embedded safe primes - far below
+cryptographic strength but identical code paths; the benchmark harness
+exercises the realistic 512-2048 bit sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.commutative import PowerCipher
+from repro.crypto.groups import QRGroup
+from repro.crypto.hashing import TryIncrementHash
+from repro.protocols.base import ProtocolSuite
+
+
+@pytest.fixture(scope="session")
+def group64() -> QRGroup:
+    return QRGroup.for_bits(64)
+
+
+@pytest.fixture(scope="session")
+def group128() -> QRGroup:
+    return QRGroup.for_bits(128)
+
+
+@pytest.fixture(scope="session")
+def group256() -> QRGroup:
+    return QRGroup.for_bits(256)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(20030609)  # SIGMOD 2003 started June 9
+
+
+@pytest.fixture()
+def cipher128(group128) -> PowerCipher:
+    return PowerCipher(group128)
+
+
+@pytest.fixture()
+def hash128(group128) -> TryIncrementHash:
+    return TryIncrementHash(group128)
+
+
+@pytest.fixture()
+def suite() -> ProtocolSuite:
+    """A deterministic 128-bit suite, fresh per test."""
+    return ProtocolSuite.default(bits=128, seed=42)
+
+
+@pytest.fixture()
+def suite64() -> ProtocolSuite:
+    """Smallest/fastest suite for property-based protocol tests."""
+    return ProtocolSuite.default(bits=64, seed=42)

@@ -1,0 +1,76 @@
+"""Tests for parallel batch exponentiation (Section 6.2's P model)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.batch import (
+    measure_speedup,
+    parallel_pow,
+    sequential_pow,
+)
+from repro.crypto.groups import QRGroup
+
+
+@pytest.fixture(scope="module")
+def group():
+    return QRGroup.for_bits(128)
+
+
+@pytest.fixture(scope="module")
+def batch(group):
+    rng = random.Random(1)
+    xs = [group.random_element(rng) for _ in range(40)]
+    e = group.random_exponent(rng)
+    return xs, e, group.p
+
+
+class TestCorrectness:
+    def test_matches_sequential(self, batch):
+        xs, e, p = batch
+        assert parallel_pow(xs, e, p, processors=2) == sequential_pow(xs, e, p)
+
+    def test_order_preserved(self, batch):
+        xs, e, p = batch
+        out = parallel_pow(xs, e, p, processors=3, chunk_size=4)
+        assert out == [pow(x, e, p) for x in xs]
+
+    def test_empty_batch(self, group):
+        assert parallel_pow([], 3, group.p, processors=2) == []
+
+    def test_single_processor_falls_back(self, batch):
+        xs, e, p = batch
+        assert parallel_pow(xs, e, p, processors=1) == sequential_pow(xs, e, p)
+
+    def test_tiny_batch_falls_back(self, group):
+        # Fewer items than 2*processors: no pool spun up.
+        xs = [group.generator]
+        assert parallel_pow(xs, 5, group.p, processors=8) == [
+            pow(group.generator, 5, group.p)
+        ]
+
+    def test_explicit_chunk_size(self, batch):
+        xs, e, p = batch
+        for chunk in (1, 7, 100):
+            assert parallel_pow(xs, e, p, processors=2, chunk_size=chunk) == (
+                sequential_pow(xs, e, p)
+            )
+
+
+class TestMeasurement:
+    def test_measure_speedup_fields(self, batch):
+        xs, e, p = batch
+        result = measure_speedup(xs, e, p, processors=2)
+        assert result.batch == len(xs)
+        assert result.processors == 2
+        assert result.sequential_s > 0
+        assert result.parallel_s > 0
+        assert result.ideal == 2.0
+
+    def test_speedup_ratio_positive(self, batch):
+        xs, e, p = batch
+        result = measure_speedup(xs, e, p, processors=2)
+        # Tiny batches are overhead-dominated; we only require sanity.
+        assert result.speedup > 0

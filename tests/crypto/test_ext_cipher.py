@@ -1,0 +1,139 @@
+"""Tests for the ext-information cipher K (Section 4.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ext_cipher import BlockExtCipher, MultiplicativeExtCipher
+from repro.crypto.groups import QRGroup
+
+
+@pytest.fixture()
+def single(group128):
+    return MultiplicativeExtCipher(group128)
+
+
+@pytest.fixture()
+def block(group128):
+    return BlockExtCipher(group128)
+
+
+class TestMultiplicative:
+    def test_round_trip(self, single, group128, rng):
+        kappa = group128.random_element(rng)
+        for payload in (b"", b"x", b"hello world", b"\x00\x00\x01"):
+            assert single.decrypt(kappa, single.encrypt(kappa, payload)) == payload
+
+    def test_leading_zero_bytes_preserved(self, single, group128, rng):
+        kappa = group128.random_element(rng)
+        payload = b"\x00\x00\x00abc"
+        assert single.decrypt(kappa, single.encrypt(kappa, payload)) == payload
+
+    def test_capacity_enforced(self, single, group128, rng):
+        kappa = group128.random_element(rng)
+        too_big = b"x" * (single.capacity_bytes + 1)
+        with pytest.raises(ValueError):
+            single.encrypt(kappa, too_big)
+
+    def test_max_capacity_payload(self, single, group128, rng):
+        kappa = group128.random_element(rng)
+        payload = b"\xff" * single.capacity_bytes
+        assert single.decrypt(kappa, single.encrypt(kappa, payload)) == payload
+
+    def test_key_must_be_residue(self, single, group128):
+        non_member = next(x for x in range(2, 100) if x not in group128)
+        with pytest.raises(ValueError):
+            single.encrypt(non_member, b"m")
+
+    def test_ciphertext_is_group_element(self, single, group128, rng):
+        kappa = group128.random_element(rng)
+        assert single.encrypt(kappa, b"payload") in group128
+
+    def test_wrong_key_gives_wrong_plaintext(self, single, group128, rng):
+        k1 = group128.random_element(rng)
+        k2 = group128.random_element(rng)
+        if k1 == k2:  # pragma: no cover
+            return
+        c = single.encrypt(k1, b"secret!")
+        try:
+            recovered = single.decrypt(k2, c)
+        except ValueError:
+            return  # frame check failed - fine, plaintext not revealed
+        assert recovered != b"secret!"
+
+    def test_perfect_secrecy_shape(self, group128):
+        """Same plaintext under uniform keys covers many ciphertexts;
+        two plaintexts have identically-distributed ciphertext sets
+        (both are cosets of the full group)."""
+        cipher = MultiplicativeExtCipher(group128)
+        rng = random.Random(6)
+        kappas = [group128.random_element(rng) for _ in range(64)]
+        c_a = {cipher.encrypt(k, b"aaaa") for k in kappas}
+        c_b = {cipher.encrypt(k, b"bbbb") for k in kappas}
+        assert len(c_a) == 64  # one distinct ciphertext per key
+        assert len(c_b) == 64
+
+    @given(st.binary(max_size=13), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=100)
+    def test_round_trip_property(self, payload, seed):
+        group = QRGroup.for_bits(128)
+        cipher = MultiplicativeExtCipher(group)
+        kappa = group.random_element(random.Random(seed))
+        assert cipher.decrypt(kappa, cipher.encrypt(kappa, payload)) == payload
+
+
+class TestBlock:
+    def test_round_trip_long_payloads(self, block, group128, rng):
+        kappa = group128.random_element(rng)
+        for size in (0, 1, 13, 14, 15, 100, 1000):
+            payload = bytes(range(256)) * (size // 256 + 1)
+            payload = payload[:size]
+            assert block.decrypt(kappa, block.encrypt(kappa, payload)) == payload
+
+    def test_block_boundary_exact_multiple(self, block, group128, rng):
+        kappa = group128.random_element(rng)
+        chunk = group128.message_capacity_bytes - 2
+        payload = b"A" * (3 * chunk)
+        ciphertext = block.encrypt(kappa, payload)
+        assert len(ciphertext) == 3
+        assert block.decrypt(kappa, ciphertext) == payload
+
+    def test_empty_payload_one_block(self, block, group128, rng):
+        kappa = group128.random_element(rng)
+        ciphertext = block.encrypt(kappa, b"")
+        assert len(ciphertext) == 1
+        assert block.decrypt(kappa, ciphertext) == b""
+
+    def test_blocks_are_group_elements(self, block, group128, rng):
+        kappa = group128.random_element(rng)
+        for element in block.encrypt(kappa, b"z" * 100):
+            assert element in group128
+
+    def test_key_must_be_residue(self, block, group128):
+        non_member = next(x for x in range(2, 100) if x not in group128)
+        with pytest.raises(ValueError):
+            block.encrypt(non_member, b"m")
+
+    def test_same_payload_different_keys_differ(self, block, group128, rng):
+        k1, k2 = group128.random_element(rng), group128.random_element(rng)
+        if k1 == k2:  # pragma: no cover
+            return
+        assert block.encrypt(k1, b"payload") != block.encrypt(k2, b"payload")
+
+    def test_label_separation(self, group128, rng):
+        kappa = group128.random_element(rng)
+        a = BlockExtCipher(group128, label=b"one").encrypt(kappa, b"data")
+        b = BlockExtCipher(group128, label=b"two").encrypt(kappa, b"data")
+        assert a != b
+
+    @given(st.binary(max_size=200), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50)
+    def test_round_trip_property(self, payload, seed):
+        group = QRGroup.for_bits(128)
+        cipher = BlockExtCipher(group)
+        kappa = group.random_element(random.Random(seed))
+        assert cipher.decrypt(kappa, cipher.encrypt(kappa, payload)) == payload

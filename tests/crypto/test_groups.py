@@ -1,0 +1,133 @@
+"""Tests for the QR_p group: membership, sampling, message encoding."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import QRGroup
+from repro.crypto.numtheory import is_quadratic_residue
+
+
+class TestConstruction:
+    def test_for_bits(self, group128):
+        assert group128.bits == 128
+        assert group128.p == 2 * group128.q + 1
+
+    def test_rejects_p_not_3_mod_4(self):
+        with pytest.raises(ValueError):
+            QRGroup(13)  # 13 % 4 == 1
+
+    def test_checked_accepts_safe_prime(self):
+        assert QRGroup.checked(23).p == 23
+
+    def test_checked_rejects_unsafe(self):
+        with pytest.raises(ValueError):
+            QRGroup.checked(19)  # prime but (19-1)/2 = 9 composite
+
+    def test_order_and_len(self, group64):
+        assert group64.order == group64.q
+        assert len(group64) == group64.q
+
+
+class TestMembership:
+    def test_small_group_exhaustive(self):
+        group = QRGroup(23)
+        members = {x for x in range(1, 23) if x in group}
+        expected = {x * x % 23 for x in range(1, 23)}
+        assert members == expected
+        assert len(members) == group.q == 11
+
+    def test_non_integers_excluded(self, group64):
+        assert "4" not in group64
+        assert None not in group64
+
+    def test_bounds_excluded(self, group64):
+        assert 0 not in group64
+        assert group64.p not in group64
+        assert group64.p + 4 not in group64
+
+    def test_generator_is_member(self, group64):
+        assert group64.generator in group64
+
+
+class TestOperations:
+    def test_mul_inv(self, group128, rng):
+        a = group128.random_element(rng)
+        assert group128.mul(a, group128.inv(a)) == 1
+
+    def test_pow_matches_builtin(self, group128, rng):
+        x = group128.random_element(rng)
+        e = group128.random_exponent(rng)
+        assert group128.pow(x, e) == pow(x, e, group128.p)
+
+    def test_closure(self, group128, rng):
+        for _ in range(20):
+            a = group128.random_element(rng)
+            b = group128.random_element(rng)
+            assert group128.mul(a, b) in group128
+
+    def test_exponent_range(self, group128, rng):
+        for _ in range(50):
+            e = group128.random_exponent(rng)
+            assert 1 <= e < group128.q
+
+
+class TestSampling:
+    def test_random_elements_are_members(self, group128, rng):
+        for _ in range(50):
+            assert group128.random_element(rng) in group128
+
+    def test_small_group_sampling_covers(self):
+        group = QRGroup(23)
+        rng = random.Random(3)
+        seen = {group.random_element(rng) for _ in range(500)}
+        assert seen == {x * x % 23 for x in range(1, 23)}
+
+
+class TestEncoding:
+    def test_round_trip_small_values(self, group128):
+        for m in [0, 1, 2, 255, 10**9]:
+            assert group128.decode(group128.encode(m)) == m
+
+    def test_encoded_is_member(self, group128):
+        for m in range(0, 200, 7):
+            assert group128.encode(m) in group128
+
+    def test_capacity_bounds(self, group128):
+        top = group128.message_capacity
+        assert group128.decode(group128.encode(top)) == top
+        with pytest.raises(ValueError):
+            group128.encode(top + 1)
+        with pytest.raises(ValueError):
+            group128.encode(-1)
+
+    def test_decode_rejects_non_member(self, group128):
+        non_member = next(
+            x
+            for x in range(2, 100)
+            if not is_quadratic_residue(x, group128.p)
+        )
+        with pytest.raises(ValueError):
+            group128.decode(non_member)
+
+    def test_encode_injective_small_group(self):
+        group = QRGroup(23)
+        images = [group.encode(m) for m in range(group.message_capacity + 1)]
+        assert len(set(images)) == len(images)
+        for m, image in enumerate(images):
+            assert image in group
+            assert group.decode(image) == m
+
+    @given(st.integers(min_value=0, max_value=2**100))
+    @settings(max_examples=200)
+    def test_round_trip_property(self, m):
+        group = QRGroup.for_bits(128)
+        assert group.decode(group.encode(m)) == m
+
+    def test_capacity_bytes_consistent(self, group128):
+        assert 8 * group128.message_capacity_bytes <= group128.message_capacity.bit_length()
+        assert group128.message_capacity_bytes >= 14  # 128-bit group

@@ -1,0 +1,82 @@
+"""Tests for the explicit random oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.oracle import RandomOracle
+
+
+class TestRandomOracle:
+    def test_memoized(self, group128):
+        oracle = RandomOracle(group128, seed=1)
+        assert oracle.hash_value("v") == oracle.hash_value("v")
+
+    def test_deterministic_per_seed(self, group128):
+        a = RandomOracle(group128, seed=5)
+        b = RandomOracle(group128, seed=5)
+        assert [a.hash_value(i) for i in range(10)] == [
+            b.hash_value(i) for i in range(10)
+        ]
+
+    def test_different_seeds_differ(self, group128):
+        a = RandomOracle(group128, seed=5)
+        b = RandomOracle(group128, seed=6)
+        assert [a.hash_value(i) for i in range(5)] != [
+            b.hash_value(i) for i in range(5)
+        ]
+
+    def test_outputs_in_group(self, group128):
+        oracle = RandomOracle(group128, seed=2)
+        for v in ("a", 1, b"x"):
+            assert oracle.hash_value(v) in group128
+
+    def test_queries_counter(self, group128):
+        oracle = RandomOracle(group128, seed=3)
+        assert oracle.queries == 0
+        oracle.hash_value("a")
+        oracle.hash_value("a")
+        oracle.hash_value("b")
+        assert oracle.queries == 2
+
+    def test_programmed_flag(self, group128):
+        oracle = RandomOracle(group128, seed=4)
+        assert not oracle.programmed("a")
+        oracle.hash_value("a")
+        assert oracle.programmed("a")
+
+
+class TestProgramming:
+    def test_program_then_query(self, group128, rng):
+        oracle = RandomOracle(group128, seed=7)
+        element = group128.random_element(rng)
+        oracle.program("target", element)
+        assert oracle.hash_value("target") == element
+
+    def test_program_conflict_raises(self, group128, rng):
+        oracle = RandomOracle(group128, seed=8)
+        fixed = oracle.hash_value("v")
+        other = group128.random_element(rng)
+        if other == fixed:  # pragma: no cover - 2^-127
+            return
+        with pytest.raises(ValueError):
+            oracle.program("v", other)
+
+    def test_program_same_value_ok(self, group128):
+        oracle = RandomOracle(group128, seed=9)
+        fixed = oracle.hash_value("v")
+        oracle.program("v", fixed)  # idempotent
+
+    def test_program_rejects_non_element(self, group128):
+        oracle = RandomOracle(group128, seed=10)
+        with pytest.raises(ValueError):
+            oracle.program("v", 0)
+
+    def test_programmed_collision_enables_collision_test(self, group128, rng):
+        """Programming two values to one element forges a collision -
+        used to exercise the protocols' collision check."""
+        oracle = RandomOracle(group128, seed=11)
+        element = group128.random_element(rng)
+        oracle.program("a", element)
+        oracle.program("b", element)
+        assert oracle.hash_value("a") == oracle.hash_value("b")

@@ -1,0 +1,96 @@
+"""Tests for 1-out-of-2 oblivious transfer and its cost model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import QRGroup
+from repro.crypto.ot import NaorPinkasCostModel, OTReceiver, OTSender, run_ot
+
+
+class TestOTCorrectness:
+    @pytest.mark.parametrize("choice", [0, 1])
+    def test_receiver_gets_chosen_message(self, group128, rng, choice):
+        m0, m1 = b"message-zero!!", b"message-one!!!"
+        assert run_ot(group128, m0, m1, choice, rng) == (m0, m1)[choice]
+
+    def test_many_random_transfers(self, group128):
+        rng = random.Random(77)
+        for i in range(20):
+            m0 = rng.randbytes(24)
+            m1 = rng.randbytes(24)
+            choice = rng.randrange(2)
+            assert run_ot(group128, m0, m1, choice, rng) == (m0, m1)[choice]
+
+    def test_unequal_lengths_rejected(self, group128, rng):
+        with pytest.raises(ValueError):
+            OTSender(group128, b"ab", b"abc", rng)
+
+    def test_invalid_choice_rejected(self, group128, rng):
+        with pytest.raises(ValueError):
+            OTReceiver(group128, 2, rng)
+
+    @given(st.binary(min_size=1, max_size=40), st.binary(min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30)
+    def test_correctness_property(self, m0, m1, choice, seed):
+        group = QRGroup.for_bits(64)
+        padded = max(len(m0), len(m1))
+        m0, m1 = m0.ljust(padded, b"\0"), m1.ljust(padded, b"\0")
+        assert run_ot(group, m0, m1, choice, random.Random(seed)) == (m0, m1)[choice]
+
+
+class TestOTSecurityShape:
+    def test_other_message_not_recovered(self, group128, rng):
+        """Decrypting the wrong ciphertext with the receiver's key must
+        not yield the other message (structural sanity, not a proof)."""
+        from repro.crypto.ot import _mask, _xor
+
+        m0, m1 = b"0" * 16, b"1" * 16
+        sender = OTSender(group128, m0, m1, rng)
+        receiver = OTReceiver(group128, 0, rng)
+        transfer = sender.respond(receiver.first_message(sender.c_point))
+        # Receiver knows k for PK_0 = g^k; try using it on branch 1.
+        wrong_key = group128.pow(transfer.g_r1, receiver._k)
+        guess = _xor(transfer.c1, _mask(wrong_key, group128, len(m1), b"1"))
+        assert guess != m1
+
+    def test_first_message_uniform_looking(self, group128, rng):
+        """PK_0 is a group element regardless of the choice bit."""
+        for choice in (0, 1):
+            sender = OTSender(group128, b"x" * 8, b"y" * 8, rng)
+            receiver = OTReceiver(group128, choice, rng)
+            assert receiver.first_message(sender.c_point) in group128
+
+
+class TestNaorPinkasCostModel:
+    """The Appendix A.1.1 numbers."""
+
+    def test_optimal_l_is_8(self):
+        assert NaorPinkasCostModel(ce_over_cx=1000.0).optimal_l() == 8
+
+    def test_amortized_cost_at_optimum(self):
+        model = NaorPinkasCostModel(ce_over_cx=1000.0)
+        assert model.computation_cost(8) == pytest.approx(0.157, abs=1e-3)
+
+    def test_communication_at_optimum(self):
+        model = NaorPinkasCostModel(k1_bits=100)
+        assert model.communication_bits(8) == pytest.approx(32 * 100)
+
+    def test_cost_formula(self):
+        model = NaorPinkasCostModel(ce_over_cx=1000.0)
+        for l in (1, 2, 4, 8, 16):
+            expected = 1 / l + (2**l / l) / 1000.0
+            assert model.computation_cost(l) == pytest.approx(expected)
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            NaorPinkasCostModel().computation_cost(0)
+
+    def test_optimum_shifts_with_cheaper_multiplication(self):
+        fast_mul = NaorPinkasCostModel(ce_over_cx=10**6)
+        assert fast_mul.optimal_l() > 8

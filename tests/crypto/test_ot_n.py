@@ -1,0 +1,105 @@
+"""Tests for 1-out-of-n oblivious transfer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.groups import QRGroup
+from repro.crypto.ot_n import OneOfNReceiver, OneOfNSender, run_ot_1_of_n
+
+
+@pytest.fixture(scope="module")
+def group():
+    return QRGroup.for_bits(64)
+
+
+class TestCorrectness:
+    def test_every_index_small_n(self, group):
+        rng = random.Random(1)
+        messages = [f"msg-{i}".encode().ljust(8) for i in range(5)]
+        for i in range(5):
+            assert run_ot_1_of_n(group, messages, i, rng) == messages[i]
+
+    def test_single_message(self, group):
+        rng = random.Random(2)
+        assert run_ot_1_of_n(group, [b"only"], 0, rng) == b"only"
+
+    def test_power_of_two_boundary(self, group):
+        rng = random.Random(3)
+        for n in (2, 4, 8, 9, 15, 16, 17):
+            messages = [bytes([j]) * 4 for j in range(n)]
+            index = n - 1
+            assert run_ot_1_of_n(group, messages, index, rng) == messages[index]
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_property(self, n, seed):
+        group = QRGroup.for_bits(64)
+        rng = random.Random(seed)
+        messages = [rng.randbytes(6) for _ in range(n)]
+        index = rng.randrange(n)
+        assert run_ot_1_of_n(group, messages, index, rng) == messages[index]
+
+
+class TestValidation:
+    def test_empty_messages_rejected(self, group):
+        with pytest.raises(ValueError):
+            OneOfNSender(group, [], random.Random(1))
+
+    def test_unequal_lengths_rejected(self, group):
+        with pytest.raises(ValueError):
+            OneOfNSender(group, [b"ab", b"abc"], random.Random(1))
+
+    def test_index_bounds(self, group):
+        with pytest.raises(ValueError):
+            OneOfNReceiver(group, 4, 4, random.Random(1))
+        with pytest.raises(ValueError):
+            OneOfNReceiver(group, 4, -1, random.Random(1))
+
+    def test_wrong_first_message_count_rejected(self, group):
+        sender = OneOfNSender(group, [b"a" * 4] * 4, random.Random(1))
+        with pytest.raises(ValueError):
+            sender.respond([group.generator])  # needs 2 for n=4
+
+
+class TestSecurityShape:
+    def test_receiver_traffic_independent_of_index(self, group):
+        """S sees one group element per bit position - same shape for
+        every index (what hides the selection)."""
+        for index in (0, 3, 6):
+            sender = OneOfNSender(group, [b"m" * 4] * 7, random.Random(5))
+            receiver = OneOfNReceiver(group, 7, index, random.Random(index))
+            pk0s = receiver.first_messages(sender.c_points)
+            assert len(pk0s) == 3  # ceil(log2 7)
+            assert all(pk in group for pk in pk0s)
+
+    def test_non_selected_messages_stay_hidden(self, group):
+        """Decrypting another index's ciphertext with the receiver's
+        key chain yields garbage."""
+        from repro.crypto.ot_n import _combine_keys, _xor
+
+        rng = random.Random(6)
+        messages = [bytes([j]) * 8 for j in range(4)]
+        sender = OneOfNSender(group, messages, rng)
+        receiver = OneOfNReceiver(group, 4, 1, rng)
+        transfer = sender.respond(receiver.first_messages(sender.c_points))
+        keys = [
+            r.receive(t) for r, t in zip(receiver._receivers, transfer.ot_transfers)
+        ]
+        # Keys are for index 1; try message 2 (differs in both bits).
+        pad = _combine_keys(keys, 2, 8, b"enc")
+        assert _xor(transfer.ciphertexts[2], pad) != messages[2]
+
+    def test_ciphertext_count_is_n(self, group):
+        sender = OneOfNSender(group, [b"m" * 4] * 9, random.Random(7))
+        receiver = OneOfNReceiver(group, 9, 0, random.Random(8))
+        transfer = sender.respond(receiver.first_messages(sender.c_points))
+        assert len(transfer.ciphertexts) == 9
+        assert len(transfer.ot_transfers) == 4  # ceil(log2 9)

@@ -1,0 +1,124 @@
+"""Tests for the Paillier additively homomorphic cipher."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=256, rng=random.Random(99))
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(7)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("m", [0, 1, 2, 255, 10**9, 2**64])
+    def test_encrypt_decrypt(self, keypair, rng, m):
+        pk, sk = keypair
+        assert sk.decrypt(pk.encrypt(m, rng)) == m
+
+    def test_message_reduced_mod_n(self, keypair, rng):
+        pk, sk = keypair
+        assert sk.decrypt(pk.encrypt(pk.n + 5, rng)) == 5
+
+    def test_randomized_encryption(self, keypair, rng):
+        pk, _ = keypair
+        assert pk.encrypt(42, rng) != pk.encrypt(42, rng)
+
+    def test_decrypt_rejects_out_of_range(self, keypair):
+        _, sk = keypair
+        with pytest.raises(ValueError):
+            sk.decrypt(0)
+        with pytest.raises(ValueError):
+            sk.decrypt(sk.public.n_squared)
+
+    @given(st.integers(min_value=0, max_value=2**128))
+    @settings(max_examples=50)
+    def test_round_trip_property(self, m):
+        pk, sk = generate_keypair(bits=128, rng=random.Random(1))
+        assert sk.decrypt(pk.encrypt(m, random.Random(m))) == m % pk.n
+
+
+class TestHomomorphisms:
+    def test_addition(self, keypair, rng):
+        pk, sk = keypair
+        c = pk.add(pk.encrypt(1000, rng), pk.encrypt(234, rng))
+        assert sk.decrypt(c) == 1234
+
+    def test_add_plain(self, keypair, rng):
+        pk, sk = keypair
+        assert sk.decrypt(pk.add_plain(pk.encrypt(40, rng), 2, rng)) == 42
+
+    def test_multiply_plain(self, keypair, rng):
+        pk, sk = keypair
+        assert sk.decrypt(pk.multiply_plain(pk.encrypt(6, rng), 7)) == 42
+
+    def test_addition_wraps_mod_n(self, keypair, rng):
+        pk, sk = keypair
+        c = pk.add(pk.encrypt(pk.n - 1, rng), pk.encrypt(2, rng))
+        assert sk.decrypt(c) == 1
+
+    def test_sum_of_many(self, keypair, rng):
+        pk, sk = keypair
+        values = [rng.randrange(1000) for _ in range(30)]
+        acc = pk.encrypt_zero(rng)
+        for v in values:
+            acc = pk.add(acc, pk.encrypt(v, rng))
+        assert sk.decrypt(acc) == sum(values)
+
+    @given(
+        st.integers(min_value=0, max_value=2**60),
+        st.integers(min_value=0, max_value=2**60),
+    )
+    @settings(max_examples=40)
+    def test_additive_property(self, a, b):
+        pk, sk = generate_keypair(bits=128, rng=random.Random(2))
+        rng = random.Random(a ^ b)
+        c = pk.add(pk.encrypt(a, rng), pk.encrypt(b, rng))
+        assert sk.decrypt(c) == (a + b) % pk.n
+
+
+class TestRerandomize:
+    def test_same_plaintext_new_ciphertext(self, keypair, rng):
+        pk, sk = keypair
+        c = pk.encrypt(77, rng)
+        c2 = pk.rerandomize(c, rng)
+        assert c2 != c
+        assert sk.decrypt(c2) == 77
+
+
+class TestSignedDecrypt:
+    def test_negative_representation(self, keypair, rng):
+        pk, sk = keypair
+        c = pk.add(pk.encrypt(5, rng), pk.encrypt(pk.n - 8, rng))  # 5 - 8
+        assert sk.decrypt_signed(c) == -3
+
+    def test_positive_passthrough(self, keypair, rng):
+        pk, sk = keypair
+        assert sk.decrypt_signed(pk.encrypt(9, rng)) == 9
+
+
+class TestKeygen:
+    def test_distinct_keys_per_rng(self):
+        pk1, _ = generate_keypair(bits=128, rng=random.Random(1))
+        pk2, _ = generate_keypair(bits=128, rng=random.Random(2))
+        assert pk1.n != pk2.n
+
+    def test_deterministic_per_seed(self):
+        pk1, _ = generate_keypair(bits=128, rng=random.Random(3))
+        pk2, _ = generate_keypair(bits=128, rng=random.Random(3))
+        assert pk1.n == pk2.n
+
+    def test_modulus_size(self):
+        pk, _ = generate_keypair(bits=256, rng=random.Random(4))
+        assert 250 <= pk.n.bit_length() <= 258

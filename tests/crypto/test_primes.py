@@ -1,0 +1,93 @@
+"""Tests for safe-prime generation and the embedded moduli table."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.numtheory import is_probable_prime
+from repro.crypto.primes import (
+    EMBEDDED_SAFE_PRIMES,
+    generate_safe_prime,
+    is_safe_prime,
+    safe_prime,
+    sophie_germain_order,
+)
+
+
+class TestEmbeddedTable:
+    def test_expected_sizes_present(self):
+        for bits in (64, 128, 256, 512, 768, 1024, 1536, 2048):
+            assert bits in EMBEDDED_SAFE_PRIMES
+
+    @pytest.mark.parametrize("bits", sorted(EMBEDDED_SAFE_PRIMES))
+    def test_bit_length_matches_key(self, bits):
+        assert EMBEDDED_SAFE_PRIMES[bits].bit_length() == bits
+
+    @pytest.mark.parametrize("bits", [64, 96, 128, 160, 192, 256])
+    def test_small_embedded_are_safe_primes(self, bits):
+        assert is_safe_prime(EMBEDDED_SAFE_PRIMES[bits])
+
+    @pytest.mark.parametrize("bits", [384, 512, 768, 1024])
+    def test_medium_embedded_are_safe_primes(self, bits):
+        # Fewer Miller-Rabin rounds: error < 4**-8 per test, plenty here.
+        assert is_safe_prime(EMBEDDED_SAFE_PRIMES[bits], rounds=8)
+
+    @pytest.mark.parametrize("bits", [1536, 2048])
+    def test_rfc_moduli_are_safe_primes(self, bits):
+        assert is_safe_prime(EMBEDDED_SAFE_PRIMES[bits], rounds=4)
+
+    @pytest.mark.parametrize("bits", sorted(EMBEDDED_SAFE_PRIMES))
+    def test_all_congruent_3_mod_4(self, bits):
+        # Safe primes > 5 are always 3 mod 4 (q odd); the group encode
+        # trick depends on it.
+        assert EMBEDDED_SAFE_PRIMES[bits] % 4 == 3
+
+
+class TestIsSafePrime:
+    def test_accepts_small_safe_primes(self):
+        for p in (7, 11, 23, 47, 59, 83, 107, 167, 179):
+            assert is_safe_prime(p), p
+
+    def test_rejects_primes_that_are_not_safe(self):
+        # 13 is prime, (13-1)/2 = 6 is not.
+        for p in (13, 17, 29, 31, 37, 41):
+            assert not is_safe_prime(p), p
+
+    def test_rejects_composites_and_small(self):
+        for n in (0, 1, 2, 3, 4, 5, 9, 15, 21):
+            assert not is_safe_prime(n), n
+
+
+class TestGeneration:
+    def test_generate_small(self):
+        rng = random.Random(7)
+        p = generate_safe_prime(24, rng)
+        assert p.bit_length() == 24
+        assert is_safe_prime(p)
+
+    def test_generate_deterministic_given_rng(self):
+        assert generate_safe_prime(20, random.Random(5)) == generate_safe_prime(
+            20, random.Random(5)
+        )
+
+    def test_too_few_bits_raises(self):
+        with pytest.raises(ValueError):
+            generate_safe_prime(3)
+
+    def test_safe_prime_serves_embedded(self):
+        assert safe_prime(128) == EMBEDDED_SAFE_PRIMES[128]
+
+    def test_safe_prime_generates_nonstandard_size(self):
+        p = safe_prime(40, random.Random(11))
+        assert p.bit_length() == 40
+        assert is_safe_prime(p)
+
+
+class TestOrder:
+    def test_sophie_germain_order(self):
+        p = EMBEDDED_SAFE_PRIMES[64]
+        q = sophie_germain_order(p)
+        assert 2 * q + 1 == p
+        assert is_probable_prime(q)

@@ -1,0 +1,116 @@
+"""Statistical sanity checks on the cryptographic substrate.
+
+Property 4 (indistinguishability) cannot be tested, but gross
+statistical defects can: over a *small* group the exact distributions
+are enumerable, and chi-square tests catch any visible bias in the
+hash, the sampler or the cipher. A failure here would not prove the
+construction insecure - but it would prove the implementation wrong.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from scipy import stats
+
+from repro.crypto.commutative import PowerCipher
+from repro.crypto.groups import QRGroup
+from repro.crypto.hashing import SquareHash, TryIncrementHash
+
+# p = 2*83 + 1: a safe prime with 83 quadratic residues - small enough
+# to enumerate, large enough for a meaningful chi-square.
+SMALL_SAFE_PRIME = 167
+
+
+@pytest.fixture(scope="module")
+def small_group():
+    return QRGroup.checked(SMALL_SAFE_PRIME)
+
+
+@pytest.fixture(scope="module")
+def domain(small_group):
+    return sorted(x for x in range(1, small_group.p) if x in small_group)
+
+
+def _chi_square_uniform(counts: Counter, categories: list) -> float:
+    observed = [counts.get(c, 0) for c in categories]
+    return stats.chisquare(observed).pvalue
+
+
+class TestSamplerUniformity:
+    def test_random_element_uniform(self, small_group, domain):
+        rng = random.Random(1)
+        counts = Counter(small_group.random_element(rng) for _ in range(20000))
+        assert set(counts) <= set(domain)
+        assert _chi_square_uniform(counts, domain) > 0.001
+
+    def test_random_exponent_uniform(self, small_group):
+        rng = random.Random(2)
+        counts = Counter(small_group.random_exponent(rng) for _ in range(20000))
+        categories = list(range(1, small_group.q))
+        assert _chi_square_uniform(counts, categories) > 0.001
+
+
+class TestHashUniformity:
+    @pytest.mark.parametrize("hash_cls", [TryIncrementHash, SquareHash])
+    def test_hash_outputs_uniform_over_residues(
+        self, small_group, domain, hash_cls
+    ):
+        h = hash_cls(small_group)
+        counts = Counter(h.hash_value(f"input-{i}") for i in range(20000))
+        assert set(counts) <= set(domain)
+        assert _chi_square_uniform(counts, domain) > 0.001
+
+
+class TestCipherDistribution:
+    def test_fixed_key_is_exact_permutation(self, small_group, domain):
+        """f_e must hit every residue exactly once - zero tolerance."""
+        cipher = PowerCipher(small_group)
+        rng = random.Random(3)
+        for _ in range(20):
+            e = cipher.sample_key(rng)
+            image = Counter(cipher.encrypt(e, x) for x in domain)
+            assert all(count == 1 for count in image.values())
+            assert set(image) == set(domain)
+
+    def test_random_key_ciphertext_uniform(self, small_group, domain):
+        """For fixed x and uniform e, f_e(x) is uniform on QR_p \\ {1}
+        ... actually on the full group when x generates it (prime
+        order: every non-identity x is a generator)."""
+        cipher = PowerCipher(small_group)
+        rng = random.Random(4)
+        x = next(d for d in domain if d != 1)
+        counts = Counter(
+            cipher.encrypt(cipher.sample_key(rng), x) for _ in range(20000)
+        )
+        # Exponents 1..q-1 hit every power of x except x^0 = 1.
+        categories = [d for d in domain if d != 1]
+        assert 1 not in counts
+        assert _chi_square_uniform(counts, categories) > 0.001
+
+    def test_double_encryption_still_uniform(self, small_group, domain):
+        cipher = PowerCipher(small_group)
+        rng = random.Random(5)
+        x = next(d for d in domain if d != 1)
+        counts = Counter(
+            cipher.encrypt(
+                cipher.sample_key(rng), cipher.encrypt(cipher.sample_key(rng), x)
+            )
+            for _ in range(20000)
+        )
+        categories = [d for d in domain if d != 1]
+        assert _chi_square_uniform(counts, categories) > 0.001
+
+
+class TestEncodingBalance:
+    def test_encode_image_covers_residues(self, small_group, domain):
+        """encode() maps 0..q-2 onto distinct residues - near-total
+        coverage of QR_p (all but one element)."""
+        images = {
+            small_group.encode(m) for m in range(small_group.message_capacity + 1)
+        }
+        assert len(images) == small_group.message_capacity + 1
+        assert images <= set(domain)
+        assert len(set(domain) - images) == 1

@@ -1,0 +1,97 @@
+"""Tests for the plaintext query engine (the protocols' ground truth)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.engine import (
+    equijoin,
+    equijoin_size,
+    group_by_count,
+    intersection,
+    intersection_size,
+)
+from repro.db.table import Table
+
+ids = st.lists(st.integers(min_value=0, max_value=15), max_size=25)
+
+
+class TestIntersection:
+    def test_basic(self):
+        assert intersection([1, 2, 3], [2, 3, 4]) == {2, 3}
+
+    def test_duplicates_ignored(self):
+        assert intersection([1, 1, 2], [1]) == {1}
+
+    def test_size(self):
+        assert intersection_size([1, 2], [2, 3]) == 1
+
+    @given(ids, ids)
+    @settings(max_examples=150)
+    def test_matches_set_semantics(self, a, b):
+        assert intersection(a, b) == set(a) & set(b)
+        assert intersection_size(a, b) == len(set(a) & set(b))
+
+
+class TestEquijoin:
+    @pytest.fixture()
+    def t_s(self):
+        return Table(("id", "payload"), [(1, "a"), (2, "b"), (2, "c")], name="S")
+
+    @pytest.fixture()
+    def t_r(self):
+        return Table(("id", "flag"), [(2, True), (3, False), (2, False)], name="R")
+
+    def test_join_rows(self, t_s, t_r):
+        joined = equijoin(t_s, t_r, "id")
+        # R has two id=2 rows, S has two: 4 result rows.
+        assert len(joined) == 4
+        assert joined.columns == ("id", "flag", "s_id", "payload")
+
+    def test_join_values_correct(self, t_s, t_r):
+        joined = equijoin(t_s, t_r, "id")
+        assert all(row[0] == row[2] for row in joined.rows)
+
+    def test_disjoint_join_empty(self):
+        a = Table(("k",), [(1,)])
+        b = Table(("k",), [(2,)])
+        assert len(equijoin(a, b, "k")) == 0
+
+    def test_different_attr_names(self):
+        t_s = Table(("sid", "v"), [(1, "x")])
+        t_r = Table(("rid",), [(1,)])
+        joined = equijoin(t_s, t_r, "sid", "rid")
+        assert joined.rows == [(1, 1, "x")]
+
+    def test_no_collision_no_rename(self):
+        t_s = Table(("sid", "v"), [(1, "x")])
+        t_r = Table(("rid",), [(1,)])
+        assert equijoin(t_s, t_r, "sid", "rid").columns == ("rid", "sid", "v")
+
+    @given(ids, ids)
+    @settings(max_examples=150)
+    def test_join_size_matches_materialized_join(self, a, b):
+        t_s = Table(("id",), [(x,) for x in a], name="S")
+        t_r = Table(("id",), [(x,) for x in b], name="R")
+        assert equijoin_size(t_s, t_r, "id") == len(equijoin(t_s, t_r, "id"))
+
+
+class TestGroupByCount:
+    def test_basic(self):
+        t = Table(("a", "b"), [(1, "x"), (1, "x"), (2, "y")])
+        assert group_by_count(t, ["a", "b"]) == {(1, "x"): 2, (2, "y"): 1}
+
+    def test_single_column(self):
+        t = Table(("a",), [(1,), (1,), (2,)])
+        assert group_by_count(t, ["a"]) == {(1,): 2, (2,): 1}
+
+    def test_empty_table(self):
+        t = Table(("a",), [])
+        assert group_by_count(t, ["a"]) == {}
+
+    def test_counts_sum_to_rows(self):
+        t = Table(("a", "b"), [(i % 3, i % 2) for i in range(20)])
+        counts = group_by_count(t, ["a", "b"])
+        assert sum(counts.values()) == 20

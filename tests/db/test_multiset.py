@@ -1,0 +1,97 @@
+"""Tests for value multisets and their duplicate structure."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.multiset import ValueMultiset
+from repro.db.table import Table
+
+small_values = st.lists(st.integers(min_value=0, max_value=20), max_size=60)
+
+
+class TestBasics:
+    def test_from_values(self):
+        ms = ValueMultiset.from_values(["a", "b", "a"])
+        assert ms.multiplicity("a") == 2
+        assert ms.multiplicity("b") == 1
+        assert ms.multiplicity("zzz") == 0
+
+    def test_from_table(self):
+        t = Table(("x",), [(1,), (1,), (2,)])
+        ms = ValueMultiset.from_table(t, "x")
+        assert ms.multiplicity(1) == 2
+
+    def test_len_counts_occurrences(self):
+        assert len(ValueMultiset.from_values("aab")) == 3
+
+    def test_distinct(self):
+        ms = ValueMultiset.from_values("aab")
+        assert ms.distinct() == {"a", "b"}
+        assert ms.distinct_size == 2
+
+    def test_iteration_expands(self):
+        ms = ValueMultiset.from_values([1, 1, 2])
+        assert sorted(ms) == [1, 1, 2]
+
+    def test_contains(self):
+        ms = ValueMultiset.from_values([1])
+        assert 1 in ms and 2 not in ms
+
+
+class TestDuplicateStructure:
+    def test_duplicate_distribution(self):
+        ms = ValueMultiset.from_values(["a", "a", "b", "b", "c"])
+        assert ms.duplicate_distribution() == {1: 1, 2: 2}
+
+    def test_partition_by_count(self):
+        ms = ValueMultiset.from_values(["a", "a", "b", "b", "c"])
+        assert ms.partition_by_count() == {2: {"a", "b"}, 1: {"c"}}
+
+    def test_distribution_sorted_keys(self):
+        ms = ValueMultiset.from_values(["a"] * 5 + ["b"] + ["c"] * 3)
+        assert list(ms.duplicate_distribution()) == [1, 3, 5]
+
+    @given(small_values)
+    @settings(max_examples=200)
+    def test_distribution_consistency(self, values):
+        ms = ValueMultiset.from_values(values)
+        dist = ms.duplicate_distribution()
+        # Sum of d * |V(d)| must equal total occurrences.
+        assert sum(d * n for d, n in dist.items()) == len(values)
+        # Sum of |V(d)| must equal distinct count.
+        assert sum(dist.values()) == ms.distinct_size
+
+
+class TestJointStatistics:
+    def test_join_size_example(self):
+        ms_a = ValueMultiset.from_values(["x", "x", "y"])
+        ms_b = ValueMultiset.from_values(["x", "y", "y", "z"])
+        assert ms_a.join_size(ms_b) == 2 * 1 + 1 * 2
+
+    def test_join_size_symmetric(self):
+        ms_a = ValueMultiset.from_values([1, 1, 2, 3])
+        ms_b = ValueMultiset.from_values([1, 3, 3])
+        assert ms_a.join_size(ms_b) == ms_b.join_size(ms_a)
+
+    def test_intersection_size(self):
+        ms_a = ValueMultiset.from_values([1, 1, 2])
+        ms_b = ValueMultiset.from_values([2, 3])
+        assert ms_a.intersection_size(ms_b) == 1
+
+    @given(small_values, small_values)
+    @settings(max_examples=200)
+    def test_join_size_matches_nested_loop(self, a, b):
+        ms_a, ms_b = ValueMultiset.from_values(a), ValueMultiset.from_values(b)
+        brute = sum(1 for x in a for y in b if x == y)
+        assert ms_a.join_size(ms_b) == brute
+
+    @given(small_values, small_values)
+    @settings(max_examples=200)
+    def test_intersection_size_matches_sets(self, a, b):
+        ms_a, ms_b = ValueMultiset.from_values(a), ValueMultiset.from_values(b)
+        assert ms_a.intersection_size(ms_b) == len(set(a) & set(b))

@@ -1,0 +1,84 @@
+"""Tests for query descriptions and disclosure profiles."""
+
+from __future__ import annotations
+
+from repro.db.query import (
+    Disclosure,
+    DisclosureProfile,
+    EquijoinQuery,
+    EquijoinSizeQuery,
+    IntersectionQuery,
+    IntersectionSizeQuery,
+)
+
+
+class TestProfiles:
+    def test_intersection_profile(self):
+        profile = IntersectionQuery().profile
+        assert Disclosure.INTERSECTION in profile.r_learns
+        assert Disclosure.OTHER_SET_SIZE in profile.r_learns
+        assert profile.s_learns == frozenset({Disclosure.OTHER_SET_SIZE})
+
+    def test_intersection_size_weaker_than_intersection(self):
+        size_profile = IntersectionSizeQuery().profile
+        assert Disclosure.INTERSECTION not in size_profile.r_learns
+        assert Disclosure.INTERSECTION_SIZE in size_profile.r_learns
+
+    def test_equijoin_adds_rows(self):
+        profile = EquijoinQuery().profile
+        assert Disclosure.JOIN_ROWS in profile.r_learns
+        assert Disclosure.INTERSECTION in profile.r_learns
+        assert profile.s_learns == frozenset({Disclosure.OTHER_SET_SIZE})
+
+    def test_equijoin_size_has_characterized_leak(self):
+        profile = EquijoinSizeQuery().profile
+        assert Disclosure.DUPLICATE_DISTRIBUTION in profile.r_learns
+        assert Disclosure.PARTITION_OVERLAPS in profile.r_learns
+        assert Disclosure.DUPLICATE_DISTRIBUTION in profile.s_learns
+        # But never the actual intersection.
+        assert Disclosure.INTERSECTION not in profile.r_learns
+
+    def test_s_never_learns_content(self):
+        for query in (
+            IntersectionQuery(),
+            IntersectionSizeQuery(),
+            EquijoinQuery(),
+            EquijoinSizeQuery(),
+        ):
+            assert Disclosure.INTERSECTION not in query.profile.s_learns
+            assert Disclosure.JOIN_ROWS not in query.profile.s_learns
+
+
+class TestDescribe:
+    def test_describe_mentions_both_parties(self):
+        text = IntersectionQuery().profile.describe()
+        assert text.startswith("R learns:")
+        assert "S learns:" in text
+
+    def test_empty_profile_describes_nothing(self):
+        profile = DisclosureProfile.of(set(), set())
+        assert "nothing" in profile.describe()
+
+    def test_attribute_default(self):
+        assert IntersectionQuery().attribute == "A"
+        assert EquijoinQuery(attribute="person_id").attribute == "person_id"
+
+
+class TestExtensionProfiles:
+    def test_equijoin_sum_profile(self):
+        from repro.db.query import EquijoinSumQuery
+
+        profile = EquijoinSumQuery().profile
+        assert Disclosure.JOIN_SUM in profile.r_learns
+        assert Disclosure.INTERSECTION_SIZE in profile.r_learns
+        assert Disclosure.INTERSECTION not in profile.r_learns
+        assert Disclosure.JOIN_ROWS not in profile.r_learns
+        assert profile.s_learns == frozenset({Disclosure.OTHER_SET_SIZE})
+
+    def test_selection_profile_s_learns_nothing(self):
+        from repro.db.query import SelectionQuery
+
+        profile = SelectionQuery().profile
+        assert profile.s_learns == frozenset()
+        assert Disclosure.SELECTED_RECORD in profile.r_learns
+        assert Disclosure.RECORD_COUNT_AND_WIDTH in profile.r_learns

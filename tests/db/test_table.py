@@ -1,0 +1,94 @@
+"""Tests for the relational table substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.table import Table
+
+
+@pytest.fixture()
+def people():
+    return Table(
+        ("id", "name", "city"),
+        [
+            (1, "alice", "sj"),
+            (2, "bob", "sf"),
+            (3, "carol", "sj"),
+            (4, "alice", "la"),
+        ],
+        name="people",
+    )
+
+
+class TestConstruction:
+    def test_basic(self, people):
+        assert len(people) == 4
+        assert people.columns == ("id", "name", "city")
+
+    def test_rows_normalized_to_tuples(self):
+        t = Table(("a",), [[1], [2]])
+        assert all(isinstance(row, tuple) for row in t.rows)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(("a", "a"), [])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Table(("a", "b"), [(1,)])
+
+    def test_from_dicts(self):
+        t = Table.from_dicts(("x", "y"), [{"x": 1, "y": 2}, {"y": 4, "x": 3}])
+        assert t.rows == [(1, 2), (3, 4)]
+
+    def test_from_dicts_missing_key(self):
+        with pytest.raises(KeyError):
+            Table.from_dicts(("x", "y"), [{"x": 1}])
+
+
+class TestIntrospection:
+    def test_column_values_with_duplicates(self, people):
+        assert people.column_values("name") == ["alice", "bob", "carol", "alice"]
+
+    def test_distinct_values(self, people):
+        assert people.distinct_values("name") == {"alice", "bob", "carol"}
+
+    def test_column_index_error(self, people):
+        with pytest.raises(KeyError):
+            people.column_index("missing")
+
+    def test_iteration(self, people):
+        assert list(people)[0] == (1, "alice", "sj")
+
+    def test_as_dicts(self, people):
+        assert people.as_dicts()[1] == {"id": 2, "name": "bob", "city": "sf"}
+
+
+class TestOperators:
+    def test_select(self, people):
+        sj = people.select(lambda r: r["city"] == "sj")
+        assert len(sj) == 2
+        assert {r[0] for r in sj} == {1, 3}
+
+    def test_where(self, people):
+        assert len(people.where("name", "alice")) == 2
+        assert len(people.where("name", "zed")) == 0
+
+    def test_project(self, people):
+        proj = people.project(["name"])
+        assert proj.columns == ("name",)
+        assert len(proj) == 4  # keeps duplicates
+
+    def test_project_reorders(self, people):
+        proj = people.project(["city", "id"])
+        assert proj.rows[0] == ("sj", 1)
+
+    def test_group_rows_by(self, people):
+        groups = people.group_rows_by("city")
+        assert set(groups) == {"sj", "sf", "la"}
+        assert len(groups["sj"]) == 2
+
+    def test_group_preserves_row_order(self, people):
+        groups = people.group_rows_by("name")
+        assert groups["alice"] == [(1, "alice", "sj"), (4, "alice", "la")]

@@ -1,0 +1,70 @@
+"""Tests for the protocol run orchestration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.channel import LinkModel
+from repro.net.runner import ProtocolRun, ThreePartyRun
+from repro.net.serialization import encoded_size
+
+
+class TestProtocolRun:
+    def test_message_movement_and_views(self):
+        run = ProtocolRun(protocol="demo")
+        got = run.to_s("1:msg", [1, 2, 3])
+        assert got == [1, 2, 3]
+        got = run.to_r("2:msg", "reply")
+        assert got == "reply"
+        assert [m.step for m in run.s_view.received] == ["1:msg"]
+        assert [m.step for m in run.r_view.received] == ["2:msg"]
+
+    def test_byte_accounting_by_direction(self):
+        run = ProtocolRun(protocol="demo")
+        a = [2**100] * 4
+        b = [2**100] * 7
+        run.to_s("x", a)
+        run.to_r("y", b)
+        assert run.bytes_r_to_s == encoded_size(a)
+        assert run.bytes_s_to_r == encoded_size(b)
+        assert run.total_bytes == encoded_size(a) + encoded_size(b)
+        assert run.total_bits == 8 * run.total_bytes
+
+    def test_elapsed_and_finish(self):
+        run = ProtocolRun(protocol="demo")
+        assert run.elapsed_s >= 0
+        run.finish()
+        frozen = run.elapsed_s
+        assert run.elapsed_s == frozen
+
+    def test_transfer_time_uses_link(self):
+        run = ProtocolRun(protocol="demo")
+        run.to_s("x", [1])
+        link = LinkModel(bandwidth_bps=8.0)  # one byte per second
+        assert run.transfer_time(link) == pytest.approx(run.total_bytes)
+
+    def test_views_labelled_by_party(self):
+        run = ProtocolRun(protocol="demo")
+        assert run.r_view.party == "R"
+        assert run.s_view.party == "S"
+        assert run.r_view.protocol == "demo"
+
+
+class TestThreePartyRun:
+    def test_t_receives_from_both(self):
+        run = ThreePartyRun(protocol="medical")
+        run.r_sends_t("zs", [1, 2])
+        run.s_sends_t("zr", [3])
+        steps = [m.step for m in run.t_view.received]
+        assert steps == ["zs", "zr"]
+
+    def test_total_bytes_includes_all_links(self):
+        run = ThreePartyRun(protocol="medical")
+        run.r_to_s.to_s("a", [1] * 5)
+        run.r_sends_t("b", [2] * 3)
+        run.s_sends_t("c", [3] * 2)
+        expected = (
+            encoded_size([1] * 5) + encoded_size([2] * 3) + encoded_size([3] * 2)
+        )
+        assert run.total_bytes == expected
+        assert run.total_bits == 8 * expected

@@ -1,0 +1,152 @@
+"""Tests for the wire format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.serialization import decode, encode, encoded_size
+
+# Recursive strategy over everything the wire format supports.
+atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**2048), max_value=2**2048),
+    st.binary(max_size=64),
+    st.text(max_size=64),
+)
+messages = st.recursive(
+    atoms,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6), st.tuples(children, children)
+    ),
+    max_leaves=25,
+)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            12345,
+            -(2**512),
+            2**1024 + 7,
+            b"",
+            b"\x00\xff",
+            "",
+            "héllo",
+            [],
+            [1, 2, 3],
+            (1, "two", b"three"),
+            [[1], [2, [3, None]]],
+            [(True, b""), (False, b"\x00")],
+        ],
+    )
+    def test_examples(self, obj):
+        assert decode(encode(obj)) == obj
+
+    @given(messages)
+    @settings(max_examples=300)
+    def test_property(self, obj):
+        assert decode(encode(obj)) == obj
+
+    def test_list_tuple_distinction_preserved(self):
+        assert decode(encode([1, 2])) == [1, 2]
+        assert isinstance(decode(encode((1, 2))), tuple)
+        assert isinstance(decode(encode([1, 2])), list)
+
+    def test_bool_not_confused_with_int(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(1)) == 1
+        assert decode(encode(1)) is not True
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            encode(3.14)
+        with pytest.raises(TypeError):
+            encode({"a": 1})
+
+    def test_trailing_bytes(self):
+        with pytest.raises(ValueError):
+            decode(encode(1) + b"extra")
+
+    def test_unknown_tag(self):
+        with pytest.raises(ValueError):
+            decode(b"Z")
+
+
+class TestSizes:
+    def test_encoded_size_matches(self):
+        for obj in (None, 42, b"xyz", ["a", 1]):
+            assert encoded_size(obj) == len(encode(obj))
+
+    def test_group_element_cost(self):
+        """A k-bit integer costs ceil(k/8) + 5 bytes on the wire."""
+        k = 1024
+        x = (1 << (k - 1)) + 12345
+        assert encoded_size(x) == k // 8 + 5
+
+    def test_list_overhead_is_five_bytes(self):
+        elements = [2**127 + i for i in range(10)]
+        assert encoded_size(elements) == 5 + sum(encoded_size(e) for e in elements)
+
+
+class TestMalformedInput:
+    """A hostile or corrupted wire must raise ValueError, nothing else."""
+
+    def test_truncated_length_header(self):
+        with pytest.raises(ValueError):
+            decode(b"I\x00\x00")
+
+    def test_declared_length_beyond_data(self):
+        with pytest.raises(ValueError):
+            decode(b"B\x00\x00\x00\xff12")
+
+    def test_truncated_list(self):
+        with pytest.raises(ValueError):
+            decode(b"L\x00\x00\x00\x05" + encode(1))
+
+    def test_invalid_utf8_string(self):
+        with pytest.raises(ValueError):
+            decode(b"S\x00\x00\x00\x02\xff\xfe")
+
+    def test_empty_input(self):
+        with pytest.raises(ValueError):
+            decode(b"")
+
+    def test_deep_nesting_bounded(self):
+        """Absurdly nested input must not crash the interpreter."""
+        data = b"L\x00\x00\x00\x01" * 5000 + encode(None)
+        with pytest.raises(ValueError):
+            decode(data)
+
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=500)
+    def test_fuzz_random_bytes(self, blob):
+        """Random bytes either decode to something re-encodable or
+        raise ValueError - never any other exception."""
+        try:
+            obj = decode(blob)
+        except ValueError:
+            return
+        assert decode(encode(obj)) == obj
+
+    @given(messages, st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=300)
+    def test_fuzz_bit_flips(self, obj, position, new_byte):
+        """Corrupting one byte of a valid encoding either still decodes
+        (to possibly different content) or raises ValueError."""
+        wire = bytearray(encode(obj))
+        wire[position % len(wire)] = new_byte
+        try:
+            decode(bytes(wire))
+        except ValueError:
+            pass

@@ -1,0 +1,144 @@
+"""Tests for the TCP transport: protocols across a real socket."""
+
+from __future__ import annotations
+
+import queue
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.net.serialization import encode
+from repro.net.tcp import (
+    SocketEndpoint,
+    connect_intersection_receiver,
+    connect_intersection_size_receiver,
+    serve_intersection_sender,
+    serve_intersection_size_sender,
+)
+from repro.protocols.parties import PublicParams
+
+
+def _socket_pair():
+    a, b = socket.socketpair()
+    return SocketEndpoint(sock=a), SocketEndpoint(sock=b)
+
+
+class TestSocketEndpoint:
+    def test_round_trip(self):
+        a, b = _socket_pair()
+        a.send([1, "two", b"\x00three"])
+        assert b.recv() == [1, "two", b"\x00three"]
+        a.close()
+        b.close()
+
+    def test_multiple_frames_in_order(self):
+        a, b = _socket_pair()
+        for i in range(5):
+            a.send(i)
+        assert [b.recv() for _ in range(5)] == list(range(5))
+        a.close()
+        b.close()
+
+    def test_byte_accounting(self):
+        a, b = _socket_pair()
+        message = [2**256] * 3
+        a.send(message)
+        b.recv()
+        expected = 4 + len(encode(message))
+        assert a.bytes_sent == expected
+        assert b.bytes_received == expected
+        a.close()
+        b.close()
+
+    def test_peer_close_raises(self):
+        a, b = _socket_pair()
+        a.close()
+        with pytest.raises(ConnectionError):
+            b.recv()
+        b.close()
+
+    def test_large_frame(self):
+        a, b = _socket_pair()
+        big = [i for i in range(20000)]
+        sender = threading.Thread(target=a.send, args=(big,))
+        sender.start()
+        assert b.recv() == big
+        sender.join()
+        a.close()
+        b.close()
+
+
+def _run_over_tcp(server_fn, client_fn, v_r, v_s, bits=128):
+    """Spawn S as a server thread, run R as a client; return both results."""
+    params = PublicParams.for_bits(bits)
+    port_box: queue.Queue[int] = queue.Queue()
+    server_result: dict = {}
+
+    def serve():
+        server_result["size_v_r"] = server_fn(
+            v_s, params, random.Random("s"), ready_callback=port_box.put
+        )
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    port = port_box.get(timeout=10)
+    answer = client_fn(v_r, random.Random("r"), "127.0.0.1", port)
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    return answer, server_result["size_v_r"]
+
+
+class TestDistributedIntersection:
+    def test_end_to_end(self):
+        answer, size_v_r = _run_over_tcp(
+            serve_intersection_sender,
+            connect_intersection_receiver,
+            v_r=["alice", "bob", "carol"],
+            v_s=["bob", "carol", "dave", "erin"],
+        )
+        assert answer == {"bob", "carol"}
+        assert size_v_r == 3
+
+    def test_disjoint(self):
+        answer, _ = _run_over_tcp(
+            serve_intersection_sender,
+            connect_intersection_receiver,
+            v_r=["a"],
+            v_s=["b"],
+        )
+        assert answer == set()
+
+    def test_larger_run(self):
+        v_r = [f"r{i}" for i in range(40)] + [f"c{i}" for i in range(15)]
+        v_s = [f"s{i}" for i in range(30)] + [f"c{i}" for i in range(15)]
+        answer, size_v_r = _run_over_tcp(
+            serve_intersection_sender, connect_intersection_receiver, v_r, v_s
+        )
+        assert answer == {f"c{i}" for i in range(15)}
+        assert size_v_r == 55
+
+
+class TestDistributedIntersectionSize:
+    def test_end_to_end(self):
+        size, size_v_r = _run_over_tcp(
+            serve_intersection_size_sender,
+            connect_intersection_size_receiver,
+            v_r=["a", "b", "c", "d"],
+            v_s=["c", "d", "e"],
+        )
+        assert size == 2
+        assert size_v_r == 4
+
+    def test_params_travel_in_handshake(self):
+        """The receiver needs no out-of-band parameters: a 64-bit run
+        works because the server's handshake carries the modulus."""
+        size, _ = _run_over_tcp(
+            serve_intersection_size_sender,
+            connect_intersection_size_receiver,
+            v_r=["x", "y"],
+            v_s=["y"],
+            bits=64,
+        )
+        assert size == 1

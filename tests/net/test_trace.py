@@ -1,0 +1,73 @@
+"""Tests for the protocol trace renderer."""
+
+from __future__ import annotations
+
+from repro.net.trace import render_run, render_view, summarize_payload
+from repro.net.transcript import View
+from repro.protocols.base import ProtocolSuite
+from repro.protocols.equijoin import run_equijoin
+from repro.protocols.intersection import run_intersection
+
+
+class TestSummarizePayload:
+    def test_codeword_list(self):
+        assert summarize_payload([1, 2, 3]) == "3 codewords"
+
+    def test_pairs_and_triples(self):
+        assert summarize_payload([(1, 2), (3, 4)]) == "2 pairs"
+        assert summarize_payload([(1, 2, 3)]) == "1 triples"
+
+    def test_wider_tuples(self):
+        assert summarize_payload([(1, 2, 3, 4)]) == "1 4-tuples"
+
+    def test_scalars(self):
+        assert "bits" in summarize_payload(12345)
+        assert summarize_payload(b"abc") == "3 bytes"
+        assert summarize_payload("hey") == "string (3 chars)"
+
+    def test_nested_tuple(self):
+        out = summarize_payload(([1, 2], 7))
+        assert "2 codewords" in out
+
+    def test_mixed_list(self):
+        assert summarize_payload([1, "x"]) == "list of 2"
+
+
+class TestRenderRun:
+    def test_intersection_diagram(self, suite):
+        result = run_intersection(["a", "b"], ["b", "c", "d"], suite)
+        text = render_run(result.run)
+        assert "protocol: intersection" in text
+        assert "3:Y_R" in text
+        assert "4a:Y_S" in text
+        assert "4b:pairs" in text
+        assert "R ------------------------------> S" in text
+        assert "R <------------------------------ S" in text
+        assert "traffic:" in text
+
+    def test_message_order_follows_steps(self, suite):
+        result = run_intersection(["a"], ["b"], suite)
+        text = render_run(result.run)
+        assert text.index("3:Y_R") < text.index("4a:Y_S") < text.index("4b:pairs")
+
+    def test_equijoin_diagram_has_triples(self, suite):
+        result = run_equijoin(["a"], {"a": b"x", "b": b"y"}, suite)
+        text = render_run(result.run)
+        assert "triples" in text
+        assert "pairs" in text
+
+    def test_sizes_rendered(self, suite):
+        result = run_intersection(["a"] * 1, ["b"], suite)
+        text = render_run(result.run)
+        assert " B)" in text or " kB)" in text
+
+
+class TestRenderView:
+    def test_lines_per_message(self):
+        view = View(party="T", protocol="demo")
+        view.record("step1", [1, 2])
+        view.record("step2", b"xy")
+        lines = render_view(view)
+        assert len(lines) == 2
+        assert "step1" in lines[0]
+        assert "2 codewords" in lines[0]

@@ -1,0 +1,72 @@
+"""Tests for recorded views and structural signatures."""
+
+from __future__ import annotations
+
+from repro.net.transcript import ReceivedMessage, View
+
+
+class TestSignatures:
+    def test_homogeneous_list_collapses(self):
+        m = ReceivedMessage(step="s", payload=[1, 2, 3])
+        assert m.signature() == ("s", ("list", 3, "int"))
+
+    def test_heterogeneous_list(self):
+        m = ReceivedMessage(step="s", payload=[1, "x"])
+        assert m.signature() == ("s", ("list", 2, ("int", "str")))
+
+    def test_nested_pairs(self):
+        m = ReceivedMessage(step="s", payload=[(1, 2), (3, 4)])
+        assert m.signature() == ("s", ("list", 2, ("tuple", 2, "int")))
+
+    def test_signature_independent_of_values(self):
+        a = ReceivedMessage(step="s", payload=[10, 20]).signature()
+        b = ReceivedMessage(step="s", payload=[99, 1]).signature()
+        assert a == b
+
+    def test_signature_distinguishes_lengths(self):
+        a = ReceivedMessage(step="s", payload=[1]).signature()
+        b = ReceivedMessage(step="s", payload=[1, 2]).signature()
+        assert a != b
+
+    def test_bytes_include_length(self):
+        a = ReceivedMessage(step="s", payload=b"ab").signature()
+        b = ReceivedMessage(step="s", payload=b"abc").signature()
+        assert a != b
+
+    def test_bool_distinct_from_int(self):
+        a = ReceivedMessage(step="s", payload=[True]).signature()
+        b = ReceivedMessage(step="s", payload=[1]).signature()
+        assert a != b
+
+
+class TestView:
+    def test_record_returns_payload(self):
+        view = View(party="R", protocol="p")
+        assert view.record("step", [1, 2]) == [1, 2]
+
+    def test_view_signature_sequences_messages(self):
+        view = View(party="R", protocol="p")
+        view.record("a", [1])
+        view.record("b", [2, 3])
+        assert view.signature() == (
+            ("a", ("list", 1, "int")),
+            ("b", ("list", 2, "int")),
+        )
+
+    def test_payload_filtering(self):
+        view = View(party="R", protocol="p")
+        view.record("a", 1)
+        view.record("b", 2)
+        view.record("a", 3)
+        assert list(view.payloads("a")) == [1, 3]
+        assert list(view.payloads()) == [1, 2, 3]
+
+    def test_flat_integers_walks_nesting(self):
+        view = View(party="R", protocol="p")
+        view.record("a", [1, (2, [3, None, "x"]), True])
+        assert view.flat_integers() == [1, 2, 3]  # True excluded
+
+    def test_flat_integers_excludes_bools(self):
+        view = View(party="R", protocol="p")
+        view.record("a", [True, False, 0])
+        assert view.flat_integers() == [0]

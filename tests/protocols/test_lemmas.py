@@ -1,0 +1,143 @@
+"""Tests for the executable proof fragments (Lemmas 1-4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.commutative import PowerCipher
+from repro.crypto.ext_cipher import MultiplicativeExtCipher
+from repro.crypto.groups import QRGroup
+from repro.protocols.lemmas import (
+    TupleMatrix,
+    build_hybrid_matrix,
+    build_real_matrix,
+    check_lemma1_identity,
+    lemma1_reduction,
+    lemma4_q,
+)
+
+
+@pytest.fixture(scope="module")
+def group():
+    return QRGroup.for_bits(128)
+
+
+@pytest.fixture()
+def cipher(group):
+    return PowerCipher(group)
+
+
+class TestTupleMatrix:
+    def test_rows_must_match(self):
+        with pytest.raises(ValueError):
+            TupleMatrix(top=(1, 2), bottom=(3,))
+
+    def test_m(self):
+        assert TupleMatrix(top=(1, 2), bottom=(3, 4)).m == 2
+
+
+class TestLemma1:
+    def test_reduction_with_real_challenge_lands_in_dm(self, group, cipher):
+        """When u = f_e(y), EVERY column satisfies z_i = f_e(x_i) -
+        the matrix is distributed as D_m."""
+        rng = random.Random(1)
+        e = cipher.sample_key(rng)
+        x = group.random_element(rng)
+        y = group.random_element(rng)
+        matrix = lemma1_reduction(
+            group, x, cipher.encrypt(e, x), y, cipher.encrypt(e, y), m=6, rng=rng
+        )
+        assert check_lemma1_identity(group, e, matrix, skip_last=False)
+
+    def test_reduction_with_random_challenge_breaks_last_column(
+        self, group, cipher
+    ):
+        """When u is random, the constructed columns still satisfy the
+        identity but the final column does not - D_{m-1}."""
+        rng = random.Random(2)
+        e = cipher.sample_key(rng)
+        x = group.random_element(rng)
+        y = group.random_element(rng)
+        u = group.random_element(rng)
+        matrix = lemma1_reduction(
+            group, x, cipher.encrypt(e, x), y, u, m=6, rng=rng
+        )
+        assert check_lemma1_identity(group, e, matrix, skip_last=True)
+        assert matrix.bottom[-1] != cipher.encrypt(e, matrix.top[-1])
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_commutativity_identity_property(self, m, seed):
+        """The identity the reduction rests on, for random keys/sizes."""
+        group = QRGroup.for_bits(64)
+        cipher = PowerCipher(group)
+        rng = random.Random(seed)
+        e = cipher.sample_key(rng)
+        x = group.random_element(rng)
+        y = group.random_element(rng)
+        matrix = lemma1_reduction(
+            group, x, cipher.encrypt(e, x), y, cipher.encrypt(e, y), m, rng
+        )
+        assert check_lemma1_identity(group, e, matrix, skip_last=False)
+
+
+class TestLemma2Hybrids:
+    def test_real_matrix_fully_encrypted(self, group, cipher):
+        rng = random.Random(3)
+        e = cipher.sample_key(rng)
+        matrix = build_real_matrix(group, e, 8, rng)
+        assert check_lemma1_identity(group, e, matrix, skip_last=False)
+
+    def test_hybrid_endpoints(self, group, cipher):
+        """D^n_n equals the real distribution; D^n_0 is all-random."""
+        rng = random.Random(4)
+        e = cipher.sample_key(rng)
+        full = build_hybrid_matrix(group, e, n=6, m=6, rng=rng)
+        assert check_lemma1_identity(group, e, full, skip_last=False)
+        empty = build_hybrid_matrix(group, e, n=6, m=0, rng=rng)
+        mismatches = sum(
+            empty.bottom[i] != cipher.encrypt(e, empty.top[i]) for i in range(6)
+        )
+        assert mismatches == 6  # random bottoms; equality has prob ~2^-127
+
+    def test_hybrid_middle(self, group, cipher):
+        rng = random.Random(5)
+        e = cipher.sample_key(rng)
+        matrix = build_hybrid_matrix(group, e, n=8, m=3, rng=rng)
+        for i in range(3):
+            assert matrix.bottom[i] == cipher.encrypt(e, matrix.top[i])
+        for i in range(3, 8):
+            assert matrix.bottom[i] != cipher.encrypt(e, matrix.top[i])
+
+    def test_m_bounds(self, group, cipher):
+        rng = random.Random(6)
+        with pytest.raises(ValueError):
+            build_hybrid_matrix(group, 3, n=4, m=5, rng=rng)
+
+
+class TestLemma4Q:
+    def test_q_appends_encrypted_payloads_and_blanks(self, group):
+        rng = random.Random(7)
+        ext = MultiplicativeExtCipher(group)
+        n, m, t = 6, 4, 2
+        xs = tuple(group.random_element(rng) for _ in range(n))
+        ys = tuple(group.random_element(rng) for _ in range(n))
+        zs = tuple(group.random_element(rng) for _ in range(n))
+        payloads = [bytes([i]) * 4 for i in range(m)]
+        out = lemma4_q((xs, ys, zs), payloads, t, ext)
+        assert out[0] == xs and out[1] == ys
+        # z_1..z_t blanked, rest visible.
+        assert out[2][:t] == (None,) * t
+        assert out[2][t:] == zs[t:]
+        # Fourth row decrypts under the corresponding z_i.
+        for i in range(m):
+            assert ext.decrypt(zs[i], out[3][i]) == payloads[i]
+
+    def test_q_rejects_too_many_payloads(self, group):
+        ext = MultiplicativeExtCipher(group)
+        with pytest.raises(ValueError):
+            lemma4_q(((1,), (1,), (4,)), [b"a", b"b"], 0, ext)

@@ -1,0 +1,176 @@
+"""Tests for the separable party state machines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.parties import (
+    IntersectionReceiver,
+    IntersectionSender,
+    IntersectionSizeReceiver,
+    IntersectionSizeSender,
+    PublicParams,
+)
+
+value_sets = st.sets(st.integers(min_value=0, max_value=30), max_size=10)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PublicParams.for_bits(128)
+
+
+def _run_intersection(v_r, v_s, params, seed=0):
+    receiver = IntersectionReceiver(v_r, params, random.Random(f"{seed}r"))
+    sender = IntersectionSender(v_s, params, random.Random(f"{seed}s"))
+    return receiver.finish(sender.round1(receiver.round1()))
+
+
+def _run_size(v_r, v_s, params, seed=0):
+    receiver = IntersectionSizeReceiver(v_r, params, random.Random(f"{seed}r"))
+    sender = IntersectionSizeSender(v_s, params, random.Random(f"{seed}s"))
+    return receiver.finish(sender.round1(receiver.round1()))
+
+
+class TestPublicParams:
+    def test_wire_round_trip(self, params):
+        assert PublicParams.from_wire(params.to_wire()) == params
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(ValueError):
+            PublicParams(p=23, hash_name="md5").build()
+
+    def test_square_hash_variant(self):
+        params = PublicParams(p=PublicParams.for_bits(128).p, hash_name="square")
+        assert _run_intersection(["a", "b"], ["b", "c"], params) == {"b"}
+
+
+class TestIntersectionParties:
+    def test_basic(self, params):
+        assert _run_intersection(["a", "b", "c"], ["b", "c", "d"], params) == {
+            "b",
+            "c",
+        }
+
+    def test_empty_sides(self, params):
+        assert _run_intersection([], ["a"], params) == set()
+        assert _run_intersection(["a"], [], params) == set()
+
+    def test_sizes_recorded(self, params):
+        receiver = IntersectionReceiver(["a", "b"], params, random.Random(1))
+        sender = IntersectionSender(["b", "c", "d"], params, random.Random(2))
+        answer = receiver.finish(sender.round1(receiver.round1()))
+        assert answer == {"b"}
+        assert sender.size_v_r == 2
+        assert receiver.size_v_s == 3
+
+    def test_messages_are_sorted(self, params):
+        receiver = IntersectionReceiver(list("abcdef"), params, random.Random(3))
+        y_r = receiver.round1()
+        assert y_r == sorted(y_r)
+        sender = IntersectionSender(list("defghi"), params, random.Random(4))
+        y_s, _pairs = sender.round1(y_r)
+        assert y_s == sorted(y_s)
+
+    @given(value_sets, value_sets, st.integers(min_value=0, max_value=99))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_set_semantics(self, v_r, v_s, seed):
+        params = PublicParams.for_bits(64)
+        assert _run_intersection(list(v_r), list(v_s), params, seed) == (v_r & v_s)
+
+    def test_agrees_with_driver_function(self, params):
+        from repro.protocols.base import ProtocolSuite
+        from repro.protocols.intersection import run_intersection
+
+        v_r, v_s = ["x", "y", "z"], ["y", "q"]
+        driver = run_intersection(v_r, v_s, ProtocolSuite.default(bits=128, seed=5))
+        assert _run_intersection(v_r, v_s, params) == driver.intersection
+
+
+class TestIntersectionSizeParties:
+    def test_basic(self, params):
+        assert _run_size(["a", "b", "c"], ["b", "c", "d"], params) == 2
+
+    def test_z_r_unpaired(self, params):
+        receiver = IntersectionSizeReceiver(["a", "b"], params, random.Random(6))
+        sender = IntersectionSizeSender(["b"], params, random.Random(7))
+        y_s, z_r = sender.round1(receiver.round1())
+        assert all(isinstance(z, int) for z in z_r)
+        assert z_r == sorted(z_r)
+
+    @given(value_sets, value_sets)
+    @settings(max_examples=15, deadline=None)
+    def test_matches_set_semantics(self, v_r, v_s):
+        params = PublicParams.for_bits(64)
+        assert _run_size(list(v_r), list(v_s), params) == len(v_r & v_s)
+
+
+class TestIsolation:
+    def test_parties_share_no_state(self, params):
+        """The two party objects only exchange explicit messages."""
+        receiver = IntersectionReceiver(["a"], params, random.Random(8))
+        sender = IntersectionSender(["a"], params, random.Random(9))
+        assert receiver._key != sender._key
+        # The sender never holds R's values or vice versa.
+        assert receiver.values == ["a"] and sender.values == ["a"]
+        assert not hasattr(sender, "_y_by_value")
+
+
+class TestEquijoinParties:
+    def _run(self, v_r, ext, params, seed=0):
+        from repro.protocols.parties import EquijoinReceiver, EquijoinSender
+
+        receiver = EquijoinReceiver(v_r, params, random.Random(f"{seed}r"))
+        sender = EquijoinSender(ext, params, random.Random(f"{seed}s"))
+        return receiver.finish(sender.round1(receiver.round1()))
+
+    def test_basic(self, params):
+        matches = self._run(
+            ["a", "b", "z"], {"a": b"rec-a", "b": b"rec-b", "q": b"rec-q"}, params
+        )
+        assert matches == {"a": b"rec-a", "b": b"rec-b"}
+
+    def test_multiblock_payload(self, params):
+        payload = bytes(range(256)) * 3
+        matches = self._run(["k"], {"k": payload}, params)
+        assert matches["k"] == payload
+
+    def test_empty_sides(self, params):
+        assert self._run([], {"a": b"x"}, params) == {}
+        assert self._run(["a"], {}, params) == {}
+
+    def test_sizes_recorded(self, params):
+        from repro.protocols.parties import EquijoinReceiver, EquijoinSender
+
+        receiver = EquijoinReceiver(["a", "b"], params, random.Random(1))
+        sender = EquijoinSender({"b": b"x", "c": b"y", "d": b"z"}, params,
+                                random.Random(2))
+        matches = receiver.finish(sender.round1(receiver.round1()))
+        assert matches == {"b": b"x"}
+        assert sender.size_v_r == 2
+        assert receiver.size_v_s == 3
+
+    def test_agrees_with_driver(self, params):
+        from repro.protocols.base import ProtocolSuite
+        from repro.protocols.equijoin import run_equijoin
+
+        v_r = ["x", "y", "z"]
+        ext = {"y": b"payload-y", "w": b"payload-w"}
+        driver = run_equijoin(v_r, ext, ProtocolSuite.default(bits=128, seed=3))
+        assert self._run(v_r, ext, params) == driver.matches
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=25), max_size=8),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=25), st.binary(max_size=6), max_size=8
+        ),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_matches_plaintext_property(self, v_r, ext):
+        params = PublicParams.for_bits(64)
+        expected = {v: ext[v] for v in v_r if v in ext}
+        assert self._run(list(v_r), ext, params) == expected

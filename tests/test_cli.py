@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def value_files(tmp_path):
+    r = tmp_path / "r.txt"
+    s = tmp_path / "s.txt"
+    r.write_text("alice\nbob\ncarol\n\n")
+    s.write_text("bob\ncarol\ndave\n")
+    return str(r), str(s)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(
+            ["--bits", "128", "--seed", "7", "estimate"]
+        )
+        assert args.bits == 128
+        assert args.seed == 7
+
+
+class TestIntersectionCommands:
+    def test_intersection(self, value_files, capsys):
+        r, s = value_files
+        code = main(["--bits", "128", "--seed", "1", "intersection",
+                     "--receiver", r, "--sender", s])
+        assert code == 0
+        out = capsys.readouterr()
+        assert out.out.splitlines() == ["bob", "carol"]
+        assert "|intersection|=2" in out.err
+
+    def test_intersection_size(self, value_files, capsys):
+        r, s = value_files
+        code = main(["--bits", "128", "intersection-size",
+                     "--receiver", r, "--sender", s])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_equijoin_size_counts_duplicates(self, tmp_path, capsys):
+        r = tmp_path / "r.txt"
+        s = tmp_path / "s.txt"
+        r.write_text("a\na\nb\n")
+        s.write_text("a\nb\nb\nb\n")
+        code = main(["--bits", "128", "equijoin-size",
+                     "--receiver", str(r), "--sender", str(s)])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == str(2 * 1 + 1 * 3)
+
+
+class TestEquijoinSum:
+    def test_sum_with_tab_and_comma(self, tmp_path, capsys):
+        r = tmp_path / "r.txt"
+        s = tmp_path / "s.csv"
+        r.write_text("a\nb\nc\n")
+        s.write_text("b\t10\nc,32\nz,999\n")
+        code = main(["--bits", "128", "--seed", "2", "equijoin-sum",
+                     "--receiver", str(r), "--sender", str(s)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sum over intersection: 42" in out
+        assert "matches: 2" in out
+
+
+class TestInfoCommands:
+    def test_estimate(self, capsys):
+        assert main(["estimate"]) == 0
+        out = capsys.readouterr().out
+        assert "document sharing" in out
+        assert "medical research" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "m=11" in out
+        assert "days" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["--bits", "128", "calibrate", "--samples", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "C_e" in out
+        assert "modexp/hour" in out
+
+
+class TestDistributedCommands:
+    def test_serve_and_connect(self, tmp_path, capsys):
+        import re
+        import threading
+
+        r_file = tmp_path / "r.txt"
+        s_file = tmp_path / "s.txt"
+        r_file.write_text("alice\nbob\ncarol\n")
+        s_file.write_text("bob\ncarol\ndave\n")
+
+        # The serve command prints its port via the ready callback; to
+        # coordinate in-process we monkey-grab it through a fixed port.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        server_rc = {}
+
+        def serve():
+            server_rc["code"] = main(
+                ["--bits", "128", "serve", "--sender", str(s_file),
+                 "--port", str(port)]
+            )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        import time
+
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            try:
+                code = main(
+                    ["--bits", "128", "connect", "--receiver", str(r_file),
+                     "--host", "127.0.0.1", "--port", str(port)]
+                )
+                break
+            except (ConnectionRefusedError, OSError):
+                time.sleep(0.05)
+        else:  # pragma: no cover
+            raise TimeoutError("server never came up")
+        thread.join(timeout=10)
+        assert code == 0
+        assert server_rc["code"] == 0
+        out = capsys.readouterr()
+        assert "bob" in out.out and "carol" in out.out
+        assert "|V_R| = 3" in out.out

@@ -1,0 +1,116 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.medical import plaintext_contingency
+from repro.workloads.generator import (
+    document_corpus,
+    medical_workload,
+    multiset_pair,
+    overlapping_sets,
+    zipf_multiplicities,
+)
+
+
+class TestOverlappingSets:
+    def test_exact_sizes_and_overlap(self, rng):
+        v_r, v_s, shared = overlapping_sets(20, 30, 7, rng)
+        assert len(v_r) == 20 and len(set(v_r)) == 20
+        assert len(v_s) == 30 and len(set(v_s)) == 30
+        assert set(v_r) & set(v_s) == shared
+        assert len(shared) == 7
+
+    def test_zero_overlap(self, rng):
+        v_r, v_s, shared = overlapping_sets(5, 5, 0, rng)
+        assert shared == set()
+        assert not (set(v_r) & set(v_s))
+
+    def test_full_overlap(self, rng):
+        v_r, v_s, shared = overlapping_sets(5, 8, 5, rng)
+        assert set(v_r) <= set(v_s)
+
+    def test_overlap_too_large_rejected(self, rng):
+        with pytest.raises(ValueError):
+            overlapping_sets(3, 5, 4, rng)
+
+    def test_shuffled(self):
+        v_r, _, _ = overlapping_sets(50, 50, 25, random.Random(1))
+        ordered = sorted(v_r)
+        assert v_r != ordered  # astronomically unlikely to stay sorted
+
+    def test_deterministic_per_seed(self):
+        a = overlapping_sets(10, 10, 5, random.Random(3))
+        b = overlapping_sets(10, 10, 5, random.Random(3))
+        assert a == b
+
+
+class TestZipfMultiplicities:
+    def test_range(self, rng):
+        counts = zipf_multiplicities(500, rng, max_count=20)
+        assert len(counts) == 500
+        assert all(1 <= c <= 20 for c in counts)
+
+    def test_heavy_head(self, rng):
+        counts = zipf_multiplicities(2000, rng, alpha=1.5)
+        ones = sum(1 for c in counts if c == 1)
+        assert ones > len(counts) * 0.4  # count 1 dominates
+
+
+class TestMultisetPair:
+    def test_distinct_sizes(self, rng):
+        ms_r, ms_s = multiset_pair(10, 15, 4, rng)
+        assert ms_r.distinct_size == 10
+        assert ms_s.distinct_size == 15
+        assert ms_r.intersection_size(ms_s) == 4
+
+    def test_uniform_count_mode(self, rng):
+        ms_r, ms_s = multiset_pair(6, 6, 3, rng, uniform_count=4)
+        assert ms_r.duplicate_distribution() == {4: 6}
+        assert ms_s.duplicate_distribution() == {4: 6}
+
+
+class TestDocumentCorpus:
+    def test_shape(self, rng):
+        docs = document_corpus(5, rng, vocabulary_size=100, words_per_doc=40)
+        assert len(docs) == 5
+        assert all(len(d.split()) == 40 for d in docs)
+
+    def test_topic_planting(self, rng):
+        docs = document_corpus(
+            20, rng, topic_words=["needle"], topic_rate=1.0
+        )
+        assert all("needle" in d.split() for d in docs)
+
+    def test_no_topic_by_default(self, rng):
+        docs = document_corpus(5, rng, vocabulary_size=50, words_per_doc=10)
+        assert all(w.startswith("word") for d in docs for w in d.split())
+
+
+class TestMedicalWorkload:
+    def test_tables_consistent_with_expected(self, rng):
+        wl = medical_workload(120, rng)
+        assert plaintext_contingency(wl.t_r, wl.t_s).as_dict() == wl.expected
+
+    def test_schema(self, rng):
+        wl = medical_workload(10, rng)
+        assert wl.t_r.columns == ("person_id", "pattern")
+        assert wl.t_s.columns == ("person_id", "drug", "reaction")
+        assert len(wl.t_r) == len(wl.t_s) == 10
+
+    def test_reaction_requires_drug(self, rng):
+        wl = medical_workload(200, rng)
+        for _, drug, reaction in wl.t_s.rows:
+            if reaction:
+                assert drug
+
+    def test_planted_association(self):
+        """Reaction rate among drug takers is higher with the pattern."""
+        wl = medical_workload(5000, random.Random(0))
+        e = wl.expected
+        with_pattern = e[(True, True)] / max(e[(True, True)] + e[(True, False)], 1)
+        without = e[(False, True)] / max(e[(False, True)] + e[(False, False)], 1)
+        assert with_pattern > without + 0.2
