@@ -14,6 +14,13 @@ Commands:
     estimate           the Section 6.2 application estimates
     tables             the Appendix A comparison tables
     calibrate          measure C_e/C_h/C_K/C_s on this machine
+    serve              party S of any protocol as a real TCP server
+    connect            party R of any protocol as a TCP client
+
+``serve``/``connect`` accept ``--protocol`` (all four protocols),
+``--timeout``, and ``--resumable`` to run under the fault-tolerant
+session layer (checksummed frames, retries, resume after disconnects)
+instead of the plain one-shot handshake.
 """
 
 from __future__ import annotations
@@ -58,6 +65,24 @@ def _read_value_amounts(path: str) -> dict[str, int]:
     return out
 
 
+def _read_value_ext(path: str) -> dict[str, bytes]:
+    """Lines of ``value<TAB or ,>ext-payload`` for the equijoin sender."""
+    out: dict[str, bytes] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        value, _, ext = (
+            line.partition("\t") if "\t" in line else line.partition(",")
+        )
+        out[value.strip()] = ext.strip().encode("utf-8")
+    return out
+
+
+NET_PROTOCOLS = ("intersection", "intersection-size", "equijoin",
+                 "equijoin-size")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -93,18 +118,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=15)
 
     p = sub.add_parser(
-        "serve", help="run party S of the intersection protocol over TCP"
+        "serve", help="run party S of a protocol over TCP"
     )
-    p.add_argument("--sender", required=True, help="S's value file")
+    p.add_argument(
+        "--sender", required=True,
+        help="S's value file (for equijoin: value,ext-payload lines)",
+    )
+    p.add_argument(
+        "--protocol", choices=NET_PROTOCOLS, default="intersection",
+        help="which protocol to serve (default intersection)",
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0, help="0 = pick a free port")
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="socket deadline in seconds (default: block forever)",
+    )
+    p.add_argument(
+        "--resumable", action="store_true",
+        help="serve under the fault-tolerant session layer",
+    )
 
     p = sub.add_parser(
-        "connect", help="run party R of the intersection protocol over TCP"
+        "connect", help="run party R of a protocol over TCP"
     )
     p.add_argument("--receiver", required=True, help="R's value file")
+    p.add_argument(
+        "--protocol", choices=NET_PROTOCOLS, default="intersection",
+        help="which protocol to run (default intersection)",
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, required=True)
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="socket deadline in seconds (default: block forever)",
+    )
+    p.add_argument(
+        "--resumable", action="store_true",
+        help="connect under the fault-tolerant session layer",
+    )
 
     return parser
 
@@ -192,22 +244,62 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _session_config(timeout: float | None):
+    from .net.session import SessionConfig
+
+    return SessionConfig(timeout_s=timeout) if timeout else SessionConfig()
+
+
+def _print_answer(protocol: str, answer) -> None:
+    if protocol == "intersection":
+        for value in sorted(answer, key=repr):
+            print(value)
+        print(f"# |intersection|={len(answer)}", file=sys.stderr)
+    elif protocol == "equijoin":
+        for value in sorted(answer, key=repr):
+            print(f"{value}\t{answer[value].decode('utf-8', 'replace')}")
+        print(f"# matches={len(answer)}", file=sys.stderr)
+    else:  # both size protocols answer with one number
+        print(answer)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import random as _random
 
-    from .net.tcp import serve_intersection_sender
+    from .net import tcp
     from .protocols.parties import PublicParams
 
-    v_s = _read_values(args.sender)
+    data = (
+        _read_value_ext(args.sender)
+        if args.protocol == "equijoin"
+        else _read_values(args.sender)
+    )
     params = PublicParams.for_bits(args.bits)
+    rng = _random.Random(args.seed)
 
     def announce(port: int) -> None:
-        print(f"serving intersection as party S on {args.host}:{port} "
-              f"({len(v_s)} values)", flush=True)
+        print(f"serving {args.protocol} as party S on {args.host}:{port} "
+              f"({len(data)} values)", flush=True)
 
-    size_v_r = serve_intersection_sender(
-        v_s, params, _random.Random(args.seed), host=args.host,
-        port=args.port, ready_callback=announce,
+    if args.resumable:
+        size_v_r, stats = tcp.serve_resumable_sender(
+            args.protocol, data, params, rng, host=args.host,
+            port=args.port, ready_callback=announce,
+            config=_session_config(args.timeout),
+        )
+        print(f"run complete; S learned |V_R| = {size_v_r}")
+        print(f"# session stats: {stats.as_dict()}", file=sys.stderr)
+        return 0
+
+    serve = {
+        "intersection": tcp.serve_intersection_sender,
+        "intersection-size": tcp.serve_intersection_size_sender,
+        "equijoin": tcp.serve_equijoin_sender,
+        "equijoin-size": tcp.serve_equijoin_size_sender,
+    }[args.protocol]
+    size_v_r = serve(
+        data, params, rng, host=args.host, port=args.port,
+        ready_callback=announce, timeout=args.timeout,
     )
     print(f"run complete; S learned |V_R| = {size_v_r}")
     return 0
@@ -216,15 +308,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_connect(args: argparse.Namespace) -> int:
     import random as _random
 
-    from .net.tcp import connect_intersection_receiver
+    from .net import tcp
 
     v_r = _read_values(args.receiver)
-    answer = connect_intersection_receiver(
-        v_r, _random.Random(args.seed), args.host, args.port
-    )
-    for value in sorted(answer, key=repr):
-        print(value)
-    print(f"# |intersection|={len(answer)}", file=sys.stderr)
+    rng = _random.Random(args.seed)
+
+    if args.resumable:
+        answer, stats = tcp.connect_resumable_receiver(
+            args.protocol, v_r, rng, args.host, args.port,
+            config=_session_config(args.timeout),
+        )
+        _print_answer(args.protocol, answer)
+        print(f"# session stats: {stats.as_dict()}", file=sys.stderr)
+        return 0
+
+    connect = {
+        "intersection": tcp.connect_intersection_receiver,
+        "intersection-size": tcp.connect_intersection_size_receiver,
+        "equijoin": tcp.connect_equijoin_receiver,
+        "equijoin-size": tcp.connect_equijoin_size_receiver,
+    }[args.protocol]
+    answer = connect(v_r, rng, args.host, args.port, timeout=args.timeout)
+    _print_answer(args.protocol, answer)
     return 0
 
 

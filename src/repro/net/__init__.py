@@ -1,5 +1,6 @@
-"""Communication substrate: wire format, accounted channels, views and
-protocol runners (the "Secure Communication" box of Figure 1)."""
+"""Communication substrate: wire format, accounted channels, views,
+protocol runners (the "Secure Communication" box of Figure 1), and the
+fault-tolerant session layer the paper's idealized channel leaves out."""
 
 from .channel import (
     Channel,
@@ -9,9 +10,33 @@ from .channel import (
     T1_LINE,
     duplex_pair,
 )
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    FaultyEndpoint,
+    faulty_duplex_pair,
+)
 from .runner import ProtocolRun, ThreePartyRun
 from .serialization import decode, encode, encoded_size
-from .tcp import SocketEndpoint
+from .session import (
+    SESSION_VERSION,
+    HandshakeError,
+    ReceiverSession,
+    RetryPolicy,
+    SenderSession,
+    SessionConfig,
+    SessionEndpoint,
+    SessionError,
+    SessionStats,
+)
+from .tcp import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameTooLarge,
+    SocketEndpoint,
+    connect_resumable_receiver,
+    serve_resumable_sender,
+)
 from .transcript import ReceivedMessage, View
 
 __all__ = [
@@ -21,12 +46,30 @@ __all__ = [
     "LinkModel",
     "T1_LINE",
     "duplex_pair",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyEndpoint",
+    "faulty_duplex_pair",
     "ProtocolRun",
     "ThreePartyRun",
     "encode",
     "decode",
     "encoded_size",
+    "SESSION_VERSION",
+    "HandshakeError",
+    "ReceiverSession",
+    "RetryPolicy",
+    "SenderSession",
+    "SessionConfig",
+    "SessionEndpoint",
+    "SessionError",
+    "SessionStats",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameTooLarge",
     "SocketEndpoint",
+    "serve_resumable_sender",
+    "connect_resumable_receiver",
     "View",
     "ReceivedMessage",
 ]

@@ -1,0 +1,763 @@
+"""Fault-tolerant protocol sessions over the framed transports.
+
+The paper's Figure 1 delegates transport to "standard libraries or
+packages for secure communication" and its Section 6 cost model
+assumes a clean T1 link. This module supplies what a deployment needs
+on top of that idealized channel:
+
+* **checksummed frames** - every session frame carries a CRC32 seal
+  over its encoded fields, so corruption is detected rather than
+  decrypted into garbage;
+* **sequence numbers + stop-and-wait retransmission** - each data
+  frame is acknowledged; a lost or garbled frame is retransmitted
+  after a configurable deadline with exponential backoff and jitter
+  (:class:`RetryPolicy`);
+* **a versioned handshake** extending the ``PublicParams`` exchange of
+  :mod:`repro.net.tcp` with a protocol name, session id and both
+  parties' sequence cursors;
+* **resumable runs** - because the party state machines of
+  :mod:`repro.protocols.parties` factor every protocol into separable
+  rounds, a dropped connection resumes by replaying cached round
+  outputs from the last acknowledged round instead of restarting the
+  run. Rounds are computed once and their outputs logged, so a replay
+  re-ships identical bytes (idempotence).
+
+The protocols are strictly alternating, so stop-and-wait loses no
+throughput; a data frame arriving while a sender waits for its ack is
+an *implicit* ack (the peer can only have progressed past our frame).
+
+Wire frames (every frame sealed with a trailing CRC32 of the encoded
+preceding fields):
+
+    ("hello",   version, protocol, session_id, next_send, next_recv, crc)
+    ("welcome", version, protocol, session_id, params_wire, next_recv, crc)
+    ("reject",  version, reason, crc)
+    ("msg",     seq, payload_bytes, crc)
+    ("ack",     seq, crc)
+    ("nak",     seq, crc)           # seq -1: "last frame was garbled"
+    ("fin",     session_id, crc)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from . import serialization
+from .channel import ChannelClosed
+
+__all__ = [
+    "SESSION_VERSION",
+    "SessionError",
+    "HandshakeError",
+    "RetryPolicy",
+    "SessionConfig",
+    "SessionStats",
+    "SessionEndpoint",
+    "SenderSession",
+    "ReceiverSession",
+    "seal",
+    "unseal",
+]
+
+SESSION_VERSION = 1
+
+#: Transport-level events a reconnect can recover from.
+_TRANSIENT = (ConnectionError, TimeoutError, OSError, ChannelClosed)
+
+
+class SessionError(Exception):
+    """A session-layer failure (retries exhausted, protocol violation)."""
+
+
+class HandshakeError(SessionError):
+    """A non-retryable handshake failure (version/protocol mismatch)."""
+
+
+def seal(*fields: Any) -> tuple:
+    """A session frame: the fields plus a CRC32 over their encoding."""
+    return (*fields, zlib.crc32(serialization.encode(list(fields))))
+
+
+def unseal(frame: Any) -> tuple:
+    """Validate a sealed frame; return its fields.
+
+    Raises:
+        ValueError: when the frame is not a sealed tuple or its
+            checksum does not match (i.e. it was corrupted in flight).
+    """
+    if not isinstance(frame, tuple) or len(frame) < 2:
+        raise ValueError(f"malformed session frame: {type(frame).__name__}")
+    *fields, crc = frame
+    if not isinstance(crc, int):
+        raise ValueError("malformed session frame: non-integer seal")
+    try:
+        expected = zlib.crc32(serialization.encode(list(fields)))
+    except TypeError as exc:
+        raise ValueError(f"malformed session frame: {exc}") from exc
+    if crc != expected:
+        raise ValueError("session frame failed its checksum")
+    if not fields or not isinstance(fields[0], str):
+        raise ValueError("malformed session frame: missing tag")
+    return tuple(fields)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for retransmits and reconnects."""
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(
+            self.base_delay_s * self.multiplier ** attempt, self.max_delay_s
+        )
+        if self.jitter:
+            raw *= 1.0 - self.jitter * rng.random()
+        return raw
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Deadlines and retry limits for one session."""
+
+    timeout_s: float = 5.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    max_reconnects: int = 8
+    fin_grace_s: float = 0.25
+
+
+@dataclass
+class SessionStats:
+    """Observability counters, ``ProtocolRun``-style, for one session."""
+
+    protocol: str = ""
+    frames_sent: int = 0
+    frames_received: int = 0
+    retransmits: int = 0
+    implicit_acks: int = 0
+    duplicates_discarded: int = 0
+    checksum_failures: int = 0
+    malformed_frames: int = 0
+    naks_sent: int = 0
+    reconnects: int = 0
+    replayed_frames: int = 0
+    rounds_computed: int = 0
+    rounds_resumed: int = 0
+    started_at: float = field(default_factory=time.perf_counter)
+    finished_at: float | None = None
+
+    def finish(self) -> None:
+        """Freeze the elapsed-time clock."""
+        self.finished_at = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        end = (
+            self.finished_at
+            if self.finished_at is not None
+            else time.perf_counter()
+        )
+        return end - self.started_at
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat mapping for JSON benchmark records."""
+        return {
+            "protocol": self.protocol,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "retransmits": self.retransmits,
+            "implicit_acks": self.implicit_acks,
+            "duplicates_discarded": self.duplicates_discarded,
+            "checksum_failures": self.checksum_failures,
+            "malformed_frames": self.malformed_frames,
+            "naks_sent": self.naks_sent,
+            "reconnects": self.reconnects,
+            "replayed_frames": self.replayed_frames,
+            "rounds_computed": self.rounds_computed,
+            "rounds_resumed": self.rounds_resumed,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class SessionEndpoint:
+    """Reliable, checksummed stop-and-wait messaging on one connection.
+
+    Wraps any framed transport (``send``/``recv``/optional
+    ``settimeout``). Sequence cursors can be seeded from a session log
+    so a reconnected endpoint continues where the last one died.
+    """
+
+    def __init__(
+        self,
+        transport: Any,
+        config: SessionConfig,
+        stats: SessionStats,
+        rng: random.Random,
+        send_seq: int = 0,
+        recv_seq: int = 0,
+    ):
+        self.transport = transport
+        self.config = config
+        self.stats = stats
+        self.rng = rng
+        self.send_seq = send_seq
+        self.recv_seq = recv_seq
+        self.fin_seen = False
+        #: Server hook: re-send the welcome when a retransmitted hello
+        #: arrives (the client missed our first welcome).
+        self.on_hello: Callable[[], None] | None = None
+        self._inbox: deque[tuple] = deque()
+
+    # ------------------------------------------------------------------
+    # Frame plumbing
+    # ------------------------------------------------------------------
+    def _read_frame(self, timeout: float) -> tuple:
+        """One unsealed frame, or raise the transport's failure."""
+        settimeout = getattr(self.transport, "settimeout", None)
+        if settimeout is not None:
+            settimeout(max(timeout, 1e-3))
+        return unseal(self.transport.recv())
+
+    def _send_control(self, *fields: Any) -> None:
+        self.transport.send(seal(*fields))
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, payload: Any) -> None:
+        """Ship one data frame reliably; advances the send cursor."""
+        seq = self.send_seq
+        self._transmit_until_acked(seq, payload)
+        self.send_seq = seq + 1
+
+    def _transmit_until_acked(self, seq: int, payload: Any) -> None:
+        wire = serialization.encode(payload)
+        retry = self.config.retry
+        for attempt in range(retry.max_attempts):
+            if attempt:
+                self.stats.retransmits += 1
+                time.sleep(retry.delay_s(attempt - 1, self.rng))
+            self.transport.send(seal("msg", seq, wire))
+            self.stats.frames_sent += 1
+            if self._wait_ack(seq):
+                return
+        raise SessionError(
+            f"frame {seq} unacknowledged after {retry.max_attempts} attempts"
+        )
+
+    def _wait_ack(self, seq: int) -> bool:
+        deadline = time.monotonic() + self.config.timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            try:
+                frame = self._read_frame(remaining)
+            except (TimeoutError, ChannelClosed):
+                return False
+            except ValueError:
+                self.stats.checksum_failures += 1
+                continue
+            tag = frame[0]
+            if tag == "ack" and len(frame) == 2:
+                if frame[1] == seq:
+                    return True
+                continue  # stale ack from a replayed frame
+            if tag == "nak" and len(frame) == 2:
+                if frame[1] in (seq, -1):
+                    return False  # peer asked for a retransmit
+                continue
+            if tag == "msg":
+                # The peer only sends data after receiving everything
+                # we sent: buffer the frame and treat it as an ack.
+                self._inbox.append(frame)
+                self.stats.implicit_acks += 1
+                return True
+            if tag == "fin":
+                self.fin_seen = True
+                return True  # a finished peer has everything
+            if tag == "hello" and self.on_hello is not None:
+                self.on_hello()
+            continue  # unknown tag: ignore
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def recv(self) -> Any:
+        """One in-order data payload; acks, de-dups and naks en route."""
+        config = self.config
+        deadline = (
+            time.monotonic() + config.timeout_s * config.retry.max_attempts
+        )
+        while True:
+            if self._inbox:
+                frame = self._inbox.popleft()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SessionError(
+                        f"timed out waiting for frame {self.recv_seq}"
+                    )
+                try:
+                    frame = self._read_frame(
+                        min(remaining, config.timeout_s)
+                    )
+                except (TimeoutError, ChannelClosed):
+                    continue
+                except ValueError:
+                    # Can't attribute a sequence number to a garbled
+                    # frame; nak "whatever you last sent".
+                    self.stats.checksum_failures += 1
+                    self.stats.naks_sent += 1
+                    self._send_control("nak", -1)
+                    continue
+            tag = frame[0]
+            if tag == "fin":
+                self.fin_seen = True
+                continue
+            if tag == "hello" and self.on_hello is not None:
+                self.on_hello()
+                continue
+            if tag != "msg" or len(frame) != 3:
+                continue  # stray ack/nak
+            _, seq, wire = frame
+            if not isinstance(seq, int) or not isinstance(wire, bytes):
+                self.stats.malformed_frames += 1
+                continue
+            if seq == self.recv_seq:
+                self._send_control("ack", seq)
+                self.recv_seq += 1
+                self.stats.frames_received += 1
+                try:
+                    return serialization.decode(wire)
+                except ValueError as exc:
+                    raise SessionError(
+                        f"frame {seq} passed its checksum but failed to "
+                        f"decode: {exc}"
+                    ) from exc
+            if seq < self.recv_seq:
+                self.stats.duplicates_discarded += 1
+                self._send_control("ack", seq)  # our earlier ack was lost
+                continue
+            raise SessionError(
+                f"out-of-order frame {seq} (expected {self.recv_seq})"
+            )
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def fin(self, session_id: int) -> None:
+        """Best-effort goodbye so the peer can stop waiting for acks."""
+        try:
+            self._send_control("fin", session_id)
+        except _TRANSIENT:
+            pass
+
+    def fin_wait(self, session_id: int) -> bool:
+        """Send a fin and wait for the peer's fin echo.
+
+        The final data ack and the fin itself can both be lost; a peer
+        that never hears either keeps retransmitting into a vanished
+        client and must eventually give up. So the finishing side
+        lingers here: it re-sends the fin with backoff, re-acks any
+        retransmitted data frame it sees meanwhile, and leaves once the
+        peer echoes the fin (or closes, or the retry budget is spent).
+        Returns whether the echo arrived.
+        """
+        retry = self.config.retry
+        for attempt in range(retry.max_attempts):
+            if attempt:
+                time.sleep(retry.delay_s(attempt - 1, self.rng))
+            try:
+                self._send_control("fin", session_id)
+            except _TRANSIENT:
+                return False
+            deadline = time.monotonic() + self.config.timeout_s
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break  # resend the fin
+                try:
+                    frame = self._read_frame(remaining)
+                except TimeoutError:
+                    break
+                except _TRANSIENT:
+                    return False  # peer already hung up: it is done
+                except ValueError:
+                    continue
+                if frame[0] == "fin":
+                    self.fin_seen = True
+                    return True
+                if frame[0] == "msg" and len(frame) == 3:
+                    seq = frame[1]
+                    if isinstance(seq, int) and seq < self.recv_seq:
+                        self.stats.duplicates_discarded += 1
+                        try:
+                            self._send_control("ack", seq)
+                        except _TRANSIENT:
+                            return False
+        return False
+
+    def await_fin(self, grace_s: float) -> bool:
+        """Absorb frames until a fin arrives or the grace period ends.
+
+        Re-acks duplicates meanwhile so a peer whose final ack was lost
+        can still complete. Returns whether a fin was seen.
+        """
+        deadline = time.monotonic() + grace_s
+        while not self.fin_seen:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                frame = self._read_frame(remaining)
+            except _TRANSIENT:
+                break
+            except ValueError:
+                continue
+            if frame[0] == "fin":
+                self.fin_seen = True
+            elif frame[0] == "msg" and len(frame) == 3:
+                seq = frame[1]
+                if isinstance(seq, int) and seq < self.recv_seq:
+                    self.stats.duplicates_discarded += 1
+                    try:
+                        self._send_control("ack", seq)
+                    except _TRANSIENT:
+                        break
+        return self.fin_seen
+
+
+def _close_quietly(transport: Any) -> None:
+    close = getattr(transport, "close", None)
+    if close is not None:
+        try:
+            close()
+        except OSError:
+            pass
+
+
+class SenderSession:
+    """Party S's resumable run: accept, hand-shake, serve, survive.
+
+    The round log (inbound payloads received, outbound payloads
+    computed) lives here, *outside* any single connection, which is
+    what makes a mid-run disconnect recoverable: a reconnecting client
+    announces its receive cursor and the session replays exactly the
+    cached frames it is missing.
+    """
+
+    def __init__(
+        self,
+        protocol: str,
+        params: Any,
+        make_sender: Callable[[], Any],
+        config: SessionConfig | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.protocol = protocol
+        self.params = params
+        self.config = config or SessionConfig()
+        self.rng = rng or random.Random(0)
+        self.stats = SessionStats(protocol=protocol)
+        self._make_sender = make_sender
+        self._sender: Any = None
+        self._session_id: int | None = None
+        self._inbound: list[Any] = []
+        self._outbound: list[Any] = []
+        self._attempted_sends: set[int] = set()
+        self._complete = False
+
+    def run(self, accept: Callable[[], Any]) -> Any:
+        """Serve the run to completion; returns the sender state machine.
+
+        ``accept()`` must block until the next client connection and
+        return a framed transport for it (raising ``TimeoutError`` when
+        none arrives within its own deadline).
+        """
+        failures = 0
+        while True:
+            transport = None
+            try:
+                transport = accept()
+                endpoint, client_next_recv = self._handshake(transport)
+                result = self._script(endpoint, client_next_recv)
+                self.stats.finish()
+                return result
+            except HandshakeError:
+                raise
+            except (SessionError, ValueError, *_TRANSIENT) as exc:
+                if self._complete:
+                    self.stats.finish()
+                    return self._sender
+                failures += 1
+                self.stats.reconnects += 1
+                if failures > self.config.max_reconnects:
+                    raise SessionError(
+                        f"sender session gave up after {failures} failed "
+                        f"connections: {exc}"
+                    ) from exc
+            finally:
+                if transport is not None:
+                    _close_quietly(transport)
+
+    def _read_hello(self, transport: Any) -> tuple:
+        """Wait for a valid hello, absorbing garbled or stray frames."""
+        config = self.config
+        deadline = (
+            time.monotonic() + config.timeout_s * config.retry.max_attempts
+        )
+        settimeout = getattr(transport, "settimeout", None)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise SessionError("no valid hello before the deadline")
+            if settimeout is not None:
+                settimeout(max(min(remaining, config.timeout_s), 1e-3))
+            try:
+                fields = unseal(transport.recv())
+            except TimeoutError:
+                continue
+            except ValueError:
+                self.stats.checksum_failures += 1
+                continue
+            if fields[0] == "hello" and len(fields) == 6:
+                return fields
+            # Stray frame from the previous connection's tail: ignore.
+
+    def _handshake(self, transport: Any) -> tuple[SessionEndpoint, int]:
+        fields = self._read_hello(transport)
+        _, version, protocol, session_id, _next_send, next_recv = fields
+        if version != SESSION_VERSION:
+            self._reject(transport, f"unsupported session version {version}")
+            raise HandshakeError(
+                f"client speaks session version {version}, "
+                f"this server speaks {SESSION_VERSION}"
+            )
+        if protocol != self.protocol:
+            self._reject(transport, f"protocol mismatch: serving {self.protocol}")
+            raise HandshakeError(
+                f"client asked for {protocol!r}, serving {self.protocol!r}"
+            )
+        if self._session_id is None:
+            self._session_id = session_id
+        elif session_id != self._session_id:
+            self._reject(transport, "unknown session id")
+            raise SessionError(f"unknown session id {session_id}")
+        if not isinstance(next_recv, int) or not 0 <= next_recv <= len(
+            self._outbound
+        ):
+            raise SessionError(f"implausible client cursor {next_recv!r}")
+        welcome = seal(
+            "welcome",
+            SESSION_VERSION,
+            self.protocol,
+            self._session_id,
+            tuple(self.params.to_wire()),
+            len(self._inbound),
+        )
+        transport.send(welcome)
+        endpoint = SessionEndpoint(
+            transport,
+            self.config,
+            self.stats,
+            self.rng,
+            send_seq=next_recv,
+            recv_seq=len(self._inbound),
+        )
+        # A lost welcome comes back as a retransmitted hello: answer
+        # with the same welcome instead of tearing the connection down.
+        endpoint.on_hello = lambda: transport.send(welcome)
+        return endpoint, next_recv
+
+    def _reject(self, transport: Any, reason: str) -> None:
+        try:
+            transport.send(seal("reject", SESSION_VERSION, reason))
+        except _TRANSIENT:
+            pass
+
+    def _script(self, endpoint: SessionEndpoint, client_next_recv: int) -> Any:
+        if not self._inbound:
+            self._inbound.append(endpoint.recv())
+            endpoint.recv_seq = len(self._inbound)
+        if not self._outbound:
+            if self._sender is None:
+                self._sender = self._make_sender()
+            self._outbound.append(self._sender.round1(self._inbound[0]))
+            self.stats.rounds_computed += 1
+        elif client_next_recv < len(self._outbound):
+            # A reconnected client served from the cached round log.
+            self.stats.rounds_resumed += 1
+        # Ship, in order, every cached frame the client still lacks.
+        while endpoint.send_seq < len(self._outbound):
+            seq = endpoint.send_seq
+            if seq in self._attempted_sends:
+                self.stats.replayed_frames += 1
+            self._attempted_sends.add(seq)
+            endpoint.send(self._outbound[seq])
+        self._complete = True
+        if endpoint.await_fin(self.config.fin_grace_s):
+            # Echo the fin so the lingering client can leave promptly.
+            endpoint.fin(self._session_id)
+        return self._sender
+
+
+class ReceiverSession:
+    """Party R's resumable run: connect, hand-shake, drive, reconnect."""
+
+    def __init__(
+        self,
+        protocol: str,
+        make_receiver: Callable[[Any], Any],
+        config: SessionConfig | None = None,
+        rng: random.Random | None = None,
+        session_id: int | None = None,
+    ):
+        self.protocol = protocol
+        self.config = config or SessionConfig()
+        self.rng = rng or random.Random()
+        self.stats = SessionStats(protocol=protocol)
+        self.session_id = (
+            session_id if session_id is not None else self.rng.getrandbits(63)
+        )
+        self._make_receiver = make_receiver
+        self._receiver: Any = None
+        self._params_wire: tuple | None = None
+        self._m1: Any = None
+        self._m1_shipped = False
+        self._m2: Any = None
+
+    def run(self, connect: Callable[[], Any]) -> Any:
+        """Drive the run to completion; returns the protocol answer.
+
+        ``connect()`` must dial the server and return a framed
+        transport; it is re-invoked after every transient failure, up
+        to ``config.max_reconnects`` times.
+        """
+        failures = 0
+        while True:
+            transport = None
+            try:
+                transport = connect()
+                endpoint = self._handshake(transport)
+                answer = self._script(endpoint)
+                endpoint.fin_wait(self.session_id)
+                self.stats.finish()
+                return answer
+            except HandshakeError:
+                raise
+            except (SessionError, ValueError, *_TRANSIENT) as exc:
+                failures += 1
+                self.stats.reconnects += 1
+                if failures > self.config.max_reconnects:
+                    raise SessionError(
+                        f"receiver session gave up after {failures} failed "
+                        f"connections: {exc}"
+                    ) from exc
+                time.sleep(
+                    self.config.retry.delay_s(failures - 1, self.rng)
+                )
+            finally:
+                if transport is not None:
+                    _close_quietly(transport)
+
+    def _await_welcome(self, transport: Any, hello: tuple) -> tuple:
+        """Send the hello; retransmit it until a welcome (or reject)."""
+        config = self.config
+        settimeout = getattr(transport, "settimeout", None)
+        for attempt in range(config.retry.max_attempts):
+            if attempt:
+                self.stats.retransmits += 1
+            transport.send(hello)
+            deadline = time.monotonic() + config.timeout_s
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break  # resend the hello
+                if settimeout is not None:
+                    settimeout(max(remaining, 1e-3))
+                try:
+                    fields = unseal(transport.recv())
+                except TimeoutError:
+                    break
+                except ValueError:
+                    self.stats.checksum_failures += 1
+                    continue
+                if fields[0] == "reject" and len(fields) == 3:
+                    raise HandshakeError(
+                        f"server rejected session: {fields[2]!r}"
+                    )
+                if fields[0] == "welcome" and len(fields) == 6:
+                    return fields
+                # Stray ack/data from the previous connection: ignore.
+        raise SessionError(
+            f"no welcome after {config.retry.max_attempts} hellos"
+        )
+
+    def _handshake(self, transport: Any) -> SessionEndpoint:
+        next_recv = 0 if self._m2 is None else 1
+        hello = seal(
+            "hello",
+            SESSION_VERSION,
+            self.protocol,
+            self.session_id,
+            1 if self._m1_shipped else 0,
+            next_recv,
+        )
+        fields = self._await_welcome(transport, hello)
+        _, version, protocol, session_id, params_wire, server_next_recv = fields
+        if version != SESSION_VERSION:
+            raise HandshakeError(
+                f"server speaks session version {version}, "
+                f"this client speaks {SESSION_VERSION}"
+            )
+        if protocol != self.protocol:
+            raise HandshakeError(
+                f"server runs {protocol!r}, wanted {self.protocol!r}"
+            )
+        if session_id != self.session_id:
+            raise SessionError(f"server answered for session {session_id}")
+        if self._params_wire is None:
+            self._params_wire = tuple(params_wire)
+        elif tuple(params_wire) != self._params_wire:
+            raise HandshakeError(
+                "server changed public parameters across a resume"
+            )
+        if not isinstance(server_next_recv, int) or not 0 <= server_next_recv <= 1:
+            raise SessionError(
+                f"implausible server cursor {server_next_recv!r}"
+            )
+        return SessionEndpoint(
+            transport,
+            self.config,
+            self.stats,
+            self.rng,
+            send_seq=server_next_recv,
+            recv_seq=next_recv,
+        )
+
+    def _script(self, endpoint: SessionEndpoint) -> Any:
+        if self._receiver is None:
+            self._receiver = self._make_receiver(self._params_wire)
+        if self._m1 is None:
+            self._m1 = self._receiver.round1()
+            self.stats.rounds_computed += 1
+        if endpoint.send_seq == 0:
+            if self._m1_shipped:
+                self.stats.replayed_frames += 1
+                self.stats.rounds_resumed += 1
+            self._m1_shipped = True
+            endpoint.send(self._m1)
+        if self._m2 is None:
+            self._m2 = endpoint.recv()
+        return self._receiver.finish(self._m2)

@@ -7,10 +7,25 @@ socket, plus serve/connect helpers that run the separable party state
 machines of :mod:`repro.protocols.parties` across the connection.
 
 Framing: each message is ``len(payload) as u32 big-endian || payload``,
-where the payload is :mod:`repro.net.serialization` bytes. The sender
-side of a run performs a one-message handshake shipping the
-:class:`~repro.protocols.parties.PublicParams`, so the connecting
-receiver needs no prior agreement beyond the address.
+where the payload is :mod:`repro.net.serialization` bytes. Frames are
+bounded (:data:`DEFAULT_MAX_FRAME_BYTES`), so a corrupt or hostile
+length prefix fails fast with :class:`FrameTooLarge` instead of
+triggering a multi-gigabyte allocation, and every helper takes a
+``timeout`` so a hung or absent peer raises instead of blocking
+forever.
+
+Two families of helpers cover all four protocols (intersection,
+intersection-size, equijoin, equijoin-size):
+
+* the plain ``serve_*``/``connect_*`` pairs speak the original
+  one-shot handshake (the sender ships its
+  :class:`~repro.protocols.parties.PublicParams`, the messages follow,
+  any failure aborts the run);
+* :func:`serve_resumable_sender`/:func:`connect_resumable_receiver`
+  run the same state machines under the fault-tolerant session layer
+  of :mod:`repro.net.session` - checksummed, acknowledged frames,
+  retry with backoff, and resumption from the last acknowledged round
+  after a dropped connection.
 """
 
 from __future__ import annotations
@@ -19,9 +34,13 @@ import random
 import socket
 import struct
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Sequence
+from typing import Any, Callable, Hashable, Mapping, Sequence
 
 from ..protocols.parties import (
+    EquijoinReceiver,
+    EquijoinSender,
+    EquijoinSizeReceiver,
+    EquijoinSizeSender,
     IntersectionReceiver,
     IntersectionSender,
     IntersectionSizeReceiver,
@@ -29,16 +48,44 @@ from ..protocols.parties import (
     PublicParams,
 )
 from . import serialization
+from .session import (
+    ReceiverSession,
+    SenderSession,
+    SessionConfig,
+    SessionStats,
+)
 
 __all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameTooLarge",
     "SocketEndpoint",
     "serve_intersection_sender",
     "connect_intersection_receiver",
     "serve_intersection_size_sender",
     "connect_intersection_size_receiver",
+    "serve_equijoin_sender",
+    "connect_equijoin_receiver",
+    "serve_equijoin_size_sender",
+    "connect_equijoin_size_receiver",
+    "SESSION_PROTOCOLS",
+    "serve_resumable_sender",
+    "connect_resumable_receiver",
 ]
 
 _LEN = struct.Struct(">I")
+
+#: Frames above this are rejected outright: no protocol message comes
+#: close, so a bigger length prefix means corruption or hostility.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameTooLarge(ConnectionError):
+    """A frame header declared a length beyond ``max_frame_bytes``.
+
+    Subclasses :class:`ConnectionError` because the only safe recovery
+    is tearing the connection down: after a garbled length prefix the
+    byte stream can never be re-synchronized.
+    """
 
 
 @dataclass
@@ -46,6 +93,7 @@ class SocketEndpoint:
     """Framed, serialized messaging over a connected socket."""
 
     sock: socket.socket
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
     bytes_sent: int = 0
     bytes_received: int = 0
     messages_sent: int = field(default=0)
@@ -59,9 +107,22 @@ class SocketEndpoint:
         self.messages_sent += 1
 
     def recv(self) -> Any:
-        """Read and deserialize one framed message."""
+        """Read and deserialize one framed message.
+
+        Raises:
+            FrameTooLarge: the length prefix exceeds
+                ``max_frame_bytes`` (corrupt header or hostile peer).
+            ConnectionError: the peer closed mid-frame.
+            TimeoutError: no frame arrived within the socket timeout.
+            ValueError: the payload arrived but is not valid wire data.
+        """
         header = self._read_exact(_LEN.size)
         (length,) = _LEN.unpack(header)
+        if length > self.max_frame_bytes:
+            raise FrameTooLarge(
+                f"frame declares {length} bytes, limit is "
+                f"{self.max_frame_bytes} (corrupt length prefix?)"
+            )
         payload = self._read_exact(length)
         self.bytes_received += _LEN.size + length
         return serialization.decode(payload)
@@ -77,21 +138,99 @@ class SocketEndpoint:
             remaining -= len(chunk)
         return b"".join(chunks)
 
+    def settimeout(self, timeout: float | None) -> None:
+        """Deadline for subsequent socket operations (None = block)."""
+        self.sock.settimeout(timeout)
+
     def close(self) -> None:
         """Close the underlying socket."""
         self.sock.close()
 
 
-def _serve_one(host: str, port: int) -> tuple[SocketEndpoint, int]:
-    """Listen, return (endpoint to the first client, bound port)."""
+# ----------------------------------------------------------------------
+# Socket plumbing shared by the serve/connect helpers
+# ----------------------------------------------------------------------
+def _listen(host: str, port: int, timeout: float | None) -> socket.socket:
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((host, port))
-    bound_port = listener.getsockname()[1]
     listener.listen(1)
-    conn, _addr = listener.accept()
-    listener.close()
-    return SocketEndpoint(sock=conn), bound_port
+    listener.settimeout(timeout)
+    return listener
+
+
+def _accept_one(
+    host: str,
+    port: int,
+    ready_callback,
+    timeout: float | None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> SocketEndpoint:
+    """Listen, announce the bound port, return the first client."""
+    listener = _listen(host, port, timeout)
+    try:
+        if ready_callback is not None:
+            ready_callback(listener.getsockname()[1])
+        try:
+            conn, _addr = listener.accept()
+        except socket.timeout as exc:
+            raise TimeoutError(
+                f"no client connected within {timeout}s"
+            ) from exc
+    finally:
+        listener.close()
+    conn.settimeout(timeout)
+    return SocketEndpoint(sock=conn, max_frame_bytes=max_frame_bytes)
+
+
+def _dial(
+    host: str,
+    port: int,
+    timeout: float | None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> SocketEndpoint:
+    sock = socket.create_connection((host, port), timeout=timeout)
+    return SocketEndpoint(sock=sock, max_frame_bytes=max_frame_bytes)
+
+
+# ----------------------------------------------------------------------
+# Plain one-shot runs (original handshake; any failure aborts)
+# ----------------------------------------------------------------------
+def _serve_plain(
+    make_sender: Callable[[], Any],
+    params: PublicParams,
+    host: str,
+    port: int,
+    ready_callback,
+    timeout: float | None,
+) -> int:
+    endpoint = _accept_one(host, port, ready_callback, timeout)
+    try:
+        endpoint.send(("params", params.to_wire()))
+        sender = make_sender()
+        y_r = endpoint.recv()
+        endpoint.send(sender.round1(list(y_r)))
+        return sender.size_v_r
+    finally:
+        endpoint.close()
+
+
+def _connect_plain(
+    make_receiver: Callable[[PublicParams], Any],
+    host: str,
+    port: int,
+    timeout: float | None,
+) -> Any:
+    endpoint = _dial(host, port, timeout)
+    try:
+        tag, wire_params = endpoint.recv()
+        if tag != "params":
+            raise ValueError(f"unexpected handshake message {tag!r}")
+        receiver = make_receiver(PublicParams.from_wire(tuple(wire_params)))
+        endpoint.send(receiver.round1())
+        return receiver.finish(endpoint.recv())
+    finally:
+        endpoint.close()
 
 
 def serve_intersection_sender(
@@ -101,30 +240,19 @@ def serve_intersection_sender(
     host: str = "127.0.0.1",
     port: int = 0,
     ready_callback=None,
+    timeout: float | None = None,
 ) -> int:
     """Run party S of the intersection protocol as a TCP server.
 
     Blocks until one receiver has been served; returns ``|V_R|``
     (everything S learns). ``ready_callback(port)`` fires once the
     socket is listening - pass the port to the client thread/process.
+    ``timeout`` bounds both the wait for a client and each socket read.
     """
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    listener.bind((host, port))
-    listener.listen(1)
-    if ready_callback is not None:
-        ready_callback(listener.getsockname()[1])
-    conn, _addr = listener.accept()
-    listener.close()
-    endpoint = SocketEndpoint(sock=conn)
-    try:
-        endpoint.send(("params", params.to_wire()))
-        sender = IntersectionSender(v_s, params, rng)
-        y_r = endpoint.recv()
-        endpoint.send(sender.round1(list(y_r)))
-        return sender.size_v_r
-    finally:
-        endpoint.close()
+    return _serve_plain(
+        lambda: IntersectionSender(v_s, params, rng),
+        params, host, port, ready_callback, timeout,
+    )
 
 
 def connect_intersection_receiver(
@@ -132,22 +260,14 @@ def connect_intersection_receiver(
     rng: random.Random,
     host: str,
     port: int,
+    timeout: float | None = None,
 ) -> set[Hashable]:
     """Run party R of the intersection protocol as a TCP client."""
-    sock = socket.create_connection((host, port))
-    endpoint = SocketEndpoint(sock=sock)
-    try:
-        tag, wire_params = endpoint.recv()
-        if tag != "params":
-            raise ValueError(f"unexpected handshake message {tag!r}")
-        receiver = IntersectionReceiver(
-            v_r, PublicParams.from_wire(tuple(wire_params)), rng
-        )
-        endpoint.send(receiver.round1())
-        y_s, pairs = endpoint.recv()
-        return receiver.finish((list(y_s), [tuple(p) for p in pairs]))
-    finally:
-        endpoint.close()
+    def make(params: PublicParams) -> IntersectionReceiver:
+        return IntersectionReceiver(v_r, params, rng)
+
+    answer = _connect_plain(make, host, port, timeout)
+    return set(answer)
 
 
 def serve_intersection_size_sender(
@@ -157,25 +277,13 @@ def serve_intersection_size_sender(
     host: str = "127.0.0.1",
     port: int = 0,
     ready_callback=None,
+    timeout: float | None = None,
 ) -> int:
     """Party S of the intersection-size protocol over TCP."""
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    listener.bind((host, port))
-    listener.listen(1)
-    if ready_callback is not None:
-        ready_callback(listener.getsockname()[1])
-    conn, _addr = listener.accept()
-    listener.close()
-    endpoint = SocketEndpoint(sock=conn)
-    try:
-        endpoint.send(("params", params.to_wire()))
-        sender = IntersectionSizeSender(v_s, params, rng)
-        y_r = endpoint.recv()
-        endpoint.send(sender.round1(list(y_r)))
-        return sender.size_v_r
-    finally:
-        endpoint.close()
+    return _serve_plain(
+        lambda: IntersectionSizeSender(v_s, params, rng),
+        params, host, port, ready_callback, timeout,
+    )
 
 
 def connect_intersection_size_receiver(
@@ -183,19 +291,186 @@ def connect_intersection_size_receiver(
     rng: random.Random,
     host: str,
     port: int,
+    timeout: float | None = None,
 ) -> int:
     """Party R of the intersection-size protocol over TCP."""
-    sock = socket.create_connection((host, port))
-    endpoint = SocketEndpoint(sock=sock)
+    def make(params: PublicParams) -> IntersectionSizeReceiver:
+        return IntersectionSizeReceiver(v_r, params, rng)
+
+    return _connect_plain(make, host, port, timeout)
+
+
+def serve_equijoin_sender(
+    ext_s: Mapping[Hashable, bytes],
+    params: PublicParams,
+    rng: random.Random,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_callback=None,
+    timeout: float | None = None,
+) -> int:
+    """Party S of the equijoin protocol over TCP.
+
+    ``ext_s`` maps each of S's values to its ``ext(v)`` payload bytes
+    (the records R obtains for values in the intersection).
+    """
+    return _serve_plain(
+        lambda: EquijoinSender(ext_s, params, rng),
+        params, host, port, ready_callback, timeout,
+    )
+
+
+def connect_equijoin_receiver(
+    v_r: Sequence[Hashable],
+    rng: random.Random,
+    host: str,
+    port: int,
+    timeout: float | None = None,
+) -> dict[Hashable, bytes]:
+    """Party R of the equijoin protocol over TCP; returns ``v -> ext(v)``."""
+    def make(params: PublicParams) -> EquijoinReceiver:
+        return EquijoinReceiver(v_r, params, rng)
+
+    return _connect_plain(make, host, port, timeout)
+
+
+def serve_equijoin_size_sender(
+    v_s: Sequence[Hashable],
+    params: PublicParams,
+    rng: random.Random,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_callback=None,
+    timeout: float | None = None,
+) -> int:
+    """Party S of the equijoin-size protocol over TCP (multiset input)."""
+    return _serve_plain(
+        lambda: EquijoinSizeSender(v_s, params, rng),
+        params, host, port, ready_callback, timeout,
+    )
+
+
+def connect_equijoin_size_receiver(
+    v_r: Sequence[Hashable],
+    rng: random.Random,
+    host: str,
+    port: int,
+    timeout: float | None = None,
+) -> int:
+    """Party R of the equijoin-size protocol over TCP (multiset input)."""
+    def make(params: PublicParams) -> EquijoinSizeReceiver:
+        return EquijoinSizeReceiver(v_r, params, rng)
+
+    return _connect_plain(make, host, port, timeout)
+
+
+# ----------------------------------------------------------------------
+# Resumable runs under the session layer
+# ----------------------------------------------------------------------
+#: protocol name -> (sender factory, receiver factory); both take
+#: ``(data, params, rng)`` where ``data`` is the party's private input.
+SESSION_PROTOCOLS: dict[str, tuple[Callable, Callable]] = {
+    "intersection": (IntersectionSender, IntersectionReceiver),
+    "intersection-size": (IntersectionSizeSender, IntersectionSizeReceiver),
+    "equijoin": (EquijoinSender, EquijoinReceiver),
+    "equijoin-size": (EquijoinSizeSender, EquijoinSizeReceiver),
+}
+
+
+def _session_factories(protocol: str) -> tuple[Callable, Callable]:
     try:
-        tag, wire_params = endpoint.recv()
-        if tag != "params":
-            raise ValueError(f"unexpected handshake message {tag!r}")
-        receiver = IntersectionSizeReceiver(
-            v_r, PublicParams.from_wire(tuple(wire_params)), rng
-        )
-        endpoint.send(receiver.round1())
-        y_s, z_r = endpoint.recv()
-        return receiver.finish((list(y_s), list(z_r)))
+        return SESSION_PROTOCOLS[protocol]
+    except KeyError:
+        known = ", ".join(sorted(SESSION_PROTOCOLS))
+        raise ValueError(
+            f"unknown protocol {protocol!r} (expected one of: {known})"
+        ) from None
+
+
+def serve_resumable_sender(
+    protocol: str,
+    data: Any,
+    params: PublicParams,
+    rng: random.Random,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_callback=None,
+    config: SessionConfig | None = None,
+    endpoint_wrapper: Callable[[SocketEndpoint], Any] | None = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> tuple[int, SessionStats]:
+    """Serve party S of any protocol under the resumable session layer.
+
+    The listener stays open across client reconnects, so a connection
+    dropped mid-run resumes from the last acknowledged round. Returns
+    ``(|V_R|, session stats)``. ``endpoint_wrapper`` (e.g. a
+    :class:`~repro.net.faults.FaultyEndpoint` constructor) wraps every
+    accepted connection - that is how the chaos tests inject faults.
+    """
+    config = config or SessionConfig()
+    sender_factory, _ = _session_factories(protocol)
+    session = SenderSession(
+        protocol,
+        params,
+        lambda: sender_factory(data, params, rng),
+        config=config,
+        rng=random.Random(rng.getrandbits(64)),
+    )
+    listener = _listen(
+        host, port, config.timeout_s * config.retry.max_attempts
+    )
+    try:
+        if ready_callback is not None:
+            ready_callback(listener.getsockname()[1])
+
+        def accept() -> Any:
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout as exc:
+                raise TimeoutError("no client (re)connected in time") from exc
+            conn.settimeout(config.timeout_s)
+            endpoint = SocketEndpoint(
+                sock=conn, max_frame_bytes=max_frame_bytes
+            )
+            return endpoint_wrapper(endpoint) if endpoint_wrapper else endpoint
+
+        sender = session.run(accept)
+        return sender.size_v_r, session.stats
     finally:
-        endpoint.close()
+        listener.close()
+
+
+def connect_resumable_receiver(
+    protocol: str,
+    data: Any,
+    rng: random.Random,
+    host: str,
+    port: int,
+    config: SessionConfig | None = None,
+    endpoint_wrapper: Callable[[SocketEndpoint], Any] | None = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> tuple[Any, SessionStats]:
+    """Run party R of any protocol under the resumable session layer.
+
+    Reconnects (with backoff and jitter) after transient failures and
+    resumes from the last acknowledged round. Returns
+    ``(answer, session stats)`` where the answer is the protocol's
+    output for R (set, size, or ext mapping).
+    """
+    config = config or SessionConfig()
+    _, receiver_factory = _session_factories(protocol)
+    session = ReceiverSession(
+        protocol,
+        lambda wire: receiver_factory(
+            data, PublicParams.from_wire(tuple(wire)), rng
+        ),
+        config=config,
+        rng=random.Random(rng.getrandbits(64)),
+    )
+
+    def connect() -> Any:
+        endpoint = _dial(host, port, config.timeout_s, max_frame_bytes)
+        return endpoint_wrapper(endpoint) if endpoint_wrapper else endpoint
+
+    answer = session.run(connect)
+    return answer, session.stats

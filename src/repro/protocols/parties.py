@@ -24,8 +24,9 @@ sides must agree on (the modulus and the hash construction).
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Hashable, Iterable, Sequence
 
 from ..crypto.commutative import PowerCipher
 from ..crypto.groups import QRGroup
@@ -40,6 +41,8 @@ __all__ = [
     "IntersectionSizeSender",
     "EquijoinReceiver",
     "EquijoinSender",
+    "EquijoinSizeReceiver",
+    "EquijoinSizeSender",
 ]
 
 _HASH_REGISTRY: dict[str, type[DomainHash]] = {
@@ -238,3 +241,68 @@ class EquijoinSender:
             kappa = self.cipher.encrypt(self._key_prime, x)
             pairs.append((codeword, self._ext_cipher.encrypt(kappa, self.ext[v])))
         return triples, sorted(pairs)
+
+
+class _MultisetParty:
+    """Common setup for the Section 5.2 parties: one codeword per
+    *occurrence*, duplicates preserved under the deterministic cipher."""
+
+    def __init__(
+        self,
+        values: Iterable[Hashable],
+        params: PublicParams,
+        rng: random.Random,
+    ):
+        from ..db.multiset import ValueMultiset
+
+        self.params = params
+        self.group, self.hash, self.cipher = params.build()
+        ms = (
+            values
+            if isinstance(values, ValueMultiset)
+            else ValueMultiset.from_values(values)
+        )
+        self.multiset = ms
+        distinct = sorted(ms.distinct(), key=repr)
+        hashes = self.hash.hash_set(distinct)
+        self._key = self.cipher.sample_key(rng)
+        # Hash each distinct value once, then expand by multiplicity.
+        self._y_multiset = [
+            self.cipher.encrypt(self._key, x)
+            for v, x in zip(distinct, hashes)
+            for _ in range(ms.multiplicity(v))
+        ]
+
+
+class EquijoinSizeReceiver(_MultisetParty):
+    """Party R of the Section 5.2 protocol; learns ``|T_S ⋈ T_R|``."""
+
+    def round1(self) -> list[int]:
+        """Step 3: the encrypted multiset ``Y_R``, reordered."""
+        return sorted_ciphertexts(list(self._y_multiset))
+
+    def finish(self, reply: tuple[list[int], list[int]]) -> int:
+        """Steps 5-6: matched codewords contribute the product of
+        their multiplicities on the two sides."""
+        y_s, z_r = reply
+        self.size_v_s = len(y_s)
+        z_s_counts = Counter(self.cipher.encrypt(self._key, y) for y in y_s)
+        z_r_counts = Counter(z_r)
+        return sum(
+            count * z_r_counts[codeword]
+            for codeword, count in z_s_counts.items()
+            if codeword in z_r_counts
+        )
+
+
+class EquijoinSizeSender(_MultisetParty):
+    """Party S of the Section 5.2 protocol."""
+
+    def round1(self, y_r: list[int]) -> tuple[list[int], list[int]]:
+        """Steps 4(a)+(b): ``Y_S`` plus the unpaired, reordered ``Z_R``."""
+        self.size_v_r = len(y_r)
+        y_s = sorted_ciphertexts(list(self._y_multiset))
+        z_r = sorted_ciphertexts(
+            [self.cipher.encrypt(self._key, y) for y in y_r]
+        )
+        return y_s, z_r

@@ -1,0 +1,354 @@
+"""Tests for the fault-tolerant session layer."""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.net.serialization import encode
+from repro.net.session import (
+    SESSION_VERSION,
+    HandshakeError,
+    RetryPolicy,
+    SenderSession,
+    SessionConfig,
+    SessionEndpoint,
+    SessionError,
+    SessionStats,
+    seal,
+    unseal,
+)
+from repro.net.tcp import SocketEndpoint
+from repro.protocols.parties import PublicParams
+
+
+class TestSeal:
+    def test_round_trip(self):
+        frame = seal("msg", 3, b"payload")
+        assert unseal(frame) == ("msg", 3, b"payload")
+
+    def test_corrupted_field_detected(self):
+        frame = seal("msg", 3, b"payload")
+        tampered = (frame[0], 4, *frame[2:])
+        with pytest.raises(ValueError, match="checksum"):
+            unseal(tampered)
+
+    def test_corrupted_payload_detected(self):
+        frame = seal("msg", 3, b"payload")
+        tampered = (frame[0], frame[1], b"paXload", frame[3])
+        with pytest.raises(ValueError, match="checksum"):
+            unseal(tampered)
+
+    def test_non_tuple_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            unseal([1, 2, 3])
+
+    def test_non_integer_seal_rejected(self):
+        with pytest.raises(ValueError, match="seal"):
+            unseal(("msg", "not-a-crc"))
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(ValueError):
+            unseal(seal(42, 43))
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=0.5, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay_s(a, rng) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=1.0, jitter=0.5)
+        rng = random.Random(1)
+        for attempt in range(50):
+            d = policy.delay_s(attempt, rng)
+            assert 0.05 <= d <= 0.1
+
+    def test_seeded_rng_reproducible(self):
+        policy = RetryPolicy()
+        a = [policy.delay_s(i, random.Random(3)) for i in range(4)]
+        b = [policy.delay_s(i, random.Random(3)) for i in range(4)]
+        assert a == b
+
+
+def _endpoint_pair(timeout_s=0.5, max_attempts=3):
+    """A SessionEndpoint facing a raw framed endpoint over a socketpair."""
+    raw_a, raw_b = socket.socketpair()
+    raw_a.settimeout(2.0)
+    raw_b.settimeout(2.0)
+    config = SessionConfig(
+        timeout_s=timeout_s,
+        retry=RetryPolicy(max_attempts=max_attempts, base_delay_s=0.01,
+                          max_delay_s=0.02),
+    )
+    session_side = SessionEndpoint(
+        SocketEndpoint(sock=raw_a), config, SessionStats(), random.Random(0)
+    )
+    return session_side, SocketEndpoint(sock=raw_b)
+
+
+class TestSessionEndpoint:
+    def test_send_waits_for_ack(self):
+        endpoint, raw = _endpoint_pair()
+        raw.send(seal("ack", 0))  # pre-buffered: the ack awaits the send
+        endpoint.send(["data"])
+        assert endpoint.send_seq == 1
+        frame = unseal(raw.recv())
+        assert frame[0] == "msg" and frame[1] == 0
+
+    def test_unacked_send_raises_after_retries(self):
+        endpoint, raw = _endpoint_pair(timeout_s=0.05, max_attempts=2)
+        with pytest.raises(SessionError, match="unacknowledged"):
+            endpoint.send("nobody listens")
+        assert endpoint.stats.retransmits == 1
+        assert unseal(raw.recv())[1] == 0  # both attempts hit the wire
+        assert unseal(raw.recv())[1] == 0
+
+    def test_recv_acks_in_order_frame(self):
+        endpoint, raw = _endpoint_pair()
+        raw.send(seal("msg", 0, encode(("k", 1))))
+        assert endpoint.recv() == ("k", 1)
+        assert unseal(raw.recv()) == ("ack", 0)
+        assert endpoint.stats.frames_received == 1
+
+    def test_duplicate_reacked_and_discarded(self):
+        endpoint, raw = _endpoint_pair()
+        raw.send(seal("msg", 0, encode("first")))
+        raw.send(seal("msg", 0, encode("first")))  # retransmitted dup
+        raw.send(seal("msg", 1, encode("second")))
+        assert endpoint.recv() == "first"
+        assert endpoint.recv() == "second"
+        assert endpoint.stats.duplicates_discarded == 1
+        acks = [unseal(raw.recv()) for _ in range(3)]
+        assert acks == [("ack", 0), ("ack", 0), ("ack", 1)]
+
+    def test_garbled_frame_naked_then_recovered(self):
+        endpoint, raw = _endpoint_pair()
+        good = seal("msg", 0, encode("payload"))
+        raw.send((good[0], good[1], b"damaged!", good[3]))
+        raw.send(good)
+        assert endpoint.recv() == "payload"
+        assert endpoint.stats.checksum_failures == 1
+        assert endpoint.stats.naks_sent == 1
+        assert unseal(raw.recv()) == ("nak", -1)
+        assert unseal(raw.recv()) == ("ack", 0)
+
+    def test_out_of_order_frame_raises(self):
+        endpoint, raw = _endpoint_pair()
+        raw.send(seal("msg", 5, encode("from the future")))
+        with pytest.raises(SessionError, match="out-of-order"):
+            endpoint.recv()
+
+    def test_sealed_but_undecodable_payload_raises(self):
+        endpoint, raw = _endpoint_pair()
+        raw.send(seal("msg", 0, b"\xffnot wire format"))
+        with pytest.raises(SessionError, match="failed to\\s+decode"):
+            endpoint.recv()
+
+    def test_data_frame_is_implicit_ack(self):
+        endpoint, raw = _endpoint_pair()
+        raw.send(seal("msg", 0, encode("reply")))  # peer already progressed
+        endpoint.send("request")
+        assert endpoint.stats.implicit_acks == 1
+        assert endpoint.recv() == "reply"  # buffered, not re-read
+
+    def test_recv_times_out_with_session_error(self):
+        endpoint, _raw = _endpoint_pair(timeout_s=0.05, max_attempts=2)
+        with pytest.raises(SessionError, match="timed out"):
+            endpoint.recv()
+
+    def test_nak_triggers_retransmit(self):
+        endpoint, raw = _endpoint_pair()
+        raw.send(seal("nak", 0))
+        raw.send(seal("ack", 0))
+        endpoint.send("payload")
+        assert endpoint.stats.retransmits == 1
+        frames = [unseal(raw.recv()) for _ in range(2)]
+        assert [f[1] for f in frames] == [0, 0]
+
+
+def _handshake_config():
+    return SessionConfig(
+        timeout_s=0.2,
+        retry=RetryPolicy(max_attempts=2, base_delay_s=0.01,
+                          max_delay_s=0.02),
+        max_reconnects=1,
+        fin_grace_s=0.05,
+    )
+
+
+class TestHandshake:
+    def _server_session(self):
+        params = PublicParams.for_bits(64)
+        return SenderSession(
+            "intersection",
+            params,
+            make_sender=lambda: None,
+            config=_handshake_config(),
+            rng=random.Random(0),
+        )
+
+    def test_version_mismatch_rejected(self):
+        raw_a, raw_b = socket.socketpair()
+        raw_a.settimeout(1.0)
+        raw_b.settimeout(1.0)
+        server = self._server_session()
+        client = SocketEndpoint(sock=raw_b)
+        client.send(seal("hello", 99, "intersection", 1, 0, 0))
+        with pytest.raises(HandshakeError, match="version"):
+            server._handshake(SocketEndpoint(sock=raw_a))
+        reject = unseal(client.recv())
+        assert reject[0] == "reject"
+
+    def test_protocol_mismatch_rejected(self):
+        raw_a, raw_b = socket.socketpair()
+        raw_a.settimeout(1.0)
+        raw_b.settimeout(1.0)
+        server = self._server_session()
+        client = SocketEndpoint(sock=raw_b)
+        client.send(
+            seal("hello", SESSION_VERSION, "equijoin", 1, 0, 0)
+        )
+        with pytest.raises(HandshakeError, match="protocol|equijoin"):
+            server._handshake(SocketEndpoint(sock=raw_a))
+        assert unseal(client.recv())[0] == "reject"
+
+    def test_valid_hello_answered_with_welcome(self):
+        raw_a, raw_b = socket.socketpair()
+        raw_a.settimeout(1.0)
+        raw_b.settimeout(1.0)
+        server = self._server_session()
+        client = SocketEndpoint(sock=raw_b)
+        client.send(seal("hello", SESSION_VERSION, "intersection", 77, 0, 0))
+        endpoint, next_recv = server._handshake(SocketEndpoint(sock=raw_a))
+        assert next_recv == 0
+        welcome = unseal(client.recv())
+        assert welcome[0] == "welcome"
+        assert welcome[2] == "intersection"
+        assert welcome[3] == 77
+        assert PublicParams.from_wire(tuple(welcome[4])) == server.params
+
+    def test_implausible_cursor_rejected(self):
+        raw_a, raw_b = socket.socketpair()
+        raw_a.settimeout(1.0)
+        raw_b.settimeout(1.0)
+        server = self._server_session()
+        client = SocketEndpoint(sock=raw_b)
+        client.send(seal("hello", SESSION_VERSION, "intersection", 1, 0, 5))
+        with pytest.raises(SessionError, match="cursor"):
+            server._handshake(SocketEndpoint(sock=raw_a))
+
+    def test_garbled_hello_absorbed_then_accepted(self):
+        """A corrupted hello does not kill the connection: the server
+        waits for a valid retransmission."""
+        raw_a, raw_b = socket.socketpair()
+        raw_a.settimeout(1.0)
+        raw_b.settimeout(1.0)
+        server = self._server_session()
+        client = SocketEndpoint(sock=raw_b)
+        good = seal("hello", SESSION_VERSION, "intersection", 5, 0, 0)
+        client.send((good[0], 99, *good[2:]))  # fails the checksum
+        client.send(good)
+        _endpoint, next_recv = server._handshake(SocketEndpoint(sock=raw_a))
+        assert next_recv == 0
+        assert server.stats.checksum_failures == 1
+
+
+class TestResumableEndToEnd:
+    def test_full_tcp_run_clean(self):
+        from repro.net.tcp import (
+            connect_resumable_receiver,
+            serve_resumable_sender,
+        )
+
+        config = _handshake_config()
+        params = PublicParams.for_bits(128)
+        ready = threading.Event()
+        box: dict = {}
+
+        def serve():
+            box["server"] = serve_resumable_sender(
+                "intersection",
+                ["b", "c", "d"],
+                params,
+                random.Random(1),
+                ready_callback=lambda port: (
+                    box.__setitem__("port", port), ready.set()
+                ),
+                config=config,
+            )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        assert ready.wait(timeout=5)
+        answer, stats = connect_resumable_receiver(
+            "intersection",
+            ["a", "b", "c"],
+            random.Random(2),
+            "127.0.0.1",
+            box["port"],
+            config=config,
+        )
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        size_v_r, server_stats = box["server"]
+        assert answer == {"b", "c"}
+        assert size_v_r == 3
+        assert stats.reconnects == 0
+        assert server_stats.rounds_computed == 1
+        assert stats.rounds_computed == 1
+
+    def test_protocol_mismatch_over_tcp(self):
+        from repro.net.tcp import (
+            connect_resumable_receiver,
+            serve_resumable_sender,
+        )
+
+        config = _handshake_config()
+        params = PublicParams.for_bits(64)
+        ready = threading.Event()
+        box: dict = {}
+
+        def serve():
+            try:
+                serve_resumable_sender(
+                    "intersection",
+                    ["a"],
+                    params,
+                    random.Random(1),
+                    ready_callback=lambda port: (
+                        box.__setitem__("port", port), ready.set()
+                    ),
+                    config=config,
+                )
+            except HandshakeError as exc:
+                box["error"] = exc
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        assert ready.wait(timeout=5)
+        with pytest.raises(HandshakeError):
+            connect_resumable_receiver(
+                "equijoin-size",
+                ["a"],
+                random.Random(2),
+                "127.0.0.1",
+                box["port"],
+                config=config,
+            )
+        thread.join(timeout=5)
+        assert isinstance(box.get("error"), HandshakeError)
+
+    def test_unknown_protocol_name_rejected_locally(self):
+        from repro.net.tcp import connect_resumable_receiver
+
+        with pytest.raises(ValueError, match="unknown protocol"):
+            connect_resumable_receiver(
+                "set-union", ["a"], random.Random(0), "127.0.0.1", 1
+            )

@@ -9,11 +9,19 @@ import threading
 
 import pytest
 
+import struct
+
 from repro.net.serialization import encode
 from repro.net.tcp import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameTooLarge,
     SocketEndpoint,
+    connect_equijoin_receiver,
+    connect_equijoin_size_receiver,
     connect_intersection_receiver,
     connect_intersection_size_receiver,
+    serve_equijoin_sender,
+    serve_equijoin_size_sender,
     serve_intersection_sender,
     serve_intersection_size_sender,
 )
@@ -68,6 +76,128 @@ class TestSocketEndpoint:
         sender.join()
         a.close()
         b.close()
+
+
+class TestHardenedFraming:
+    """Wire-level edge cases: corrupt prefixes, truncation, timeouts."""
+
+    def test_default_frame_bound(self):
+        a, _b = _socket_pair()
+        assert a.max_frame_bytes == DEFAULT_MAX_FRAME_BYTES == 64 * 1024 * 1024
+
+    def test_oversized_length_prefix_fails_fast(self):
+        raw_a, raw_b = socket.socketpair()
+        b = SocketEndpoint(sock=raw_b, max_frame_bytes=1024)
+        raw_a.sendall(struct.pack(">I", 1 << 30))  # 1 GiB claim, no body
+        with pytest.raises(FrameTooLarge, match="1024"):
+            b.recv()
+        raw_a.close()
+        b.close()
+
+    def test_frame_too_large_is_a_connection_error(self):
+        """Callers catching ConnectionError (the only safe recovery -
+        the stream cannot resync) also catch FrameTooLarge."""
+        assert issubclass(FrameTooLarge, ConnectionError)
+
+    def test_frame_at_the_bound_still_passes(self):
+        raw_a, raw_b = socket.socketpair()
+        payload = b"x" * 64
+        frame = encode(payload)
+        a = SocketEndpoint(sock=raw_a, max_frame_bytes=len(frame))
+        b = SocketEndpoint(sock=raw_b, max_frame_bytes=len(frame))
+        a.send(payload)
+        assert b.recv() == payload
+        a.close()
+        b.close()
+
+    def test_short_read_mid_header(self):
+        raw_a, raw_b = socket.socketpair()
+        b = SocketEndpoint(sock=raw_b)
+        raw_a.sendall(b"\x00\x00")  # half a length prefix
+        raw_a.close()
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            b.recv()
+        b.close()
+
+    def test_short_read_mid_payload(self):
+        raw_a, raw_b = socket.socketpair()
+        b = SocketEndpoint(sock=raw_b)
+        payload = encode([1, 2, 3])
+        frame = struct.pack(">I", len(payload)) + payload
+        raw_a.sendall(frame[: len(frame) - 3])  # truncated mid-payload
+        raw_a.close()
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            b.recv()
+        b.close()
+
+    def test_corrupted_payload_raises_value_error(self):
+        raw_a, raw_b = socket.socketpair()
+        b = SocketEndpoint(sock=raw_b)
+        garbage = b"\xff\xfe\xfd\xfc"
+        raw_a.sendall(struct.pack(">I", len(garbage)) + garbage)
+        with pytest.raises(ValueError):
+            b.recv()
+        raw_a.close()
+        b.close()
+
+    def test_read_timeout_raises(self):
+        a, b = _socket_pair()
+        b.settimeout(0.05)
+        with pytest.raises((TimeoutError, OSError)):
+            b.recv()
+        a.close()
+        b.close()
+
+    def test_accept_timeout_raises(self):
+        with pytest.raises(TimeoutError, match="no client"):
+            serve_intersection_sender(
+                ["a"], PublicParams.for_bits(64), random.Random(0),
+                timeout=0.05,
+            )
+
+    def test_truncated_handshake_aborts_client(self):
+        """A server that dies mid-handshake aborts the client with a
+        connection error, not a hang or a garbage answer."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def half_handshake():
+            conn, _ = listener.accept()
+            payload = encode(("params", (23, "try-increment")))
+            frame = struct.pack(">I", len(payload)) + payload
+            conn.sendall(frame[: len(frame) // 2])  # die mid-frame
+            conn.close()
+
+        thread = threading.Thread(target=half_handshake)
+        thread.start()
+        with pytest.raises(ConnectionError):
+            connect_intersection_receiver(
+                ["a"], random.Random(0), "127.0.0.1", port, timeout=2.0
+            )
+        thread.join()
+        listener.close()
+
+    def test_wrong_handshake_tag_rejected(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def bad_handshake():
+            conn, _ = listener.accept()
+            SocketEndpoint(sock=conn).send(("banner", "hi"))
+            conn.close()
+
+        thread = threading.Thread(target=bad_handshake)
+        thread.start()
+        with pytest.raises(ValueError, match="handshake"):
+            connect_intersection_receiver(
+                ["a"], random.Random(0), "127.0.0.1", port, timeout=2.0
+            )
+        thread.join()
+        listener.close()
 
 
 def _run_over_tcp(server_fn, client_fn, v_r, v_s, bits=128):
@@ -142,3 +272,53 @@ class TestDistributedIntersectionSize:
             bits=64,
         )
         assert size == 1
+
+
+class TestDistributedEquijoin:
+    def test_end_to_end(self):
+        ext_s = {"b": b"rec-b", "c": b"rec-c", "z": b"rec-z"}
+        matches, size_v_r = _run_over_tcp(
+            serve_equijoin_sender,
+            connect_equijoin_receiver,
+            v_r=["a", "b", "c"],
+            v_s=ext_s,
+        )
+        assert matches == {"b": b"rec-b", "c": b"rec-c"}
+        assert size_v_r == 3
+
+    def test_no_matches(self):
+        matches, _ = _run_over_tcp(
+            serve_equijoin_sender,
+            connect_equijoin_receiver,
+            v_r=["a"],
+            v_s={"b": b"x"},
+        )
+        assert matches == {}
+
+
+class TestDistributedEquijoinSize:
+    def test_multiset_join_size(self):
+        # a matches once (1*1), b matches twice (1*2): join size 3.
+        size, size_v_r = _run_over_tcp(
+            serve_equijoin_size_sender,
+            connect_equijoin_size_receiver,
+            v_r=["a", "a", "b", "c"],
+            v_s=["a", "b", "b", "e"],
+        )
+        assert size == 2 * 1 + 1 * 2
+        assert size_v_r == 4
+
+    def test_agrees_with_driver(self):
+        from repro.protocols.base import ProtocolSuite
+        from repro.protocols.equijoin_size import run_equijoin_size
+
+        v_r = ["x", "x", "y", "z"]
+        v_s = ["x", "y", "y", "w"]
+        driver = run_equijoin_size(
+            v_r, v_s, ProtocolSuite.default(bits=128, seed=5)
+        )
+        size, _ = _run_over_tcp(
+            serve_equijoin_size_sender, connect_equijoin_size_receiver,
+            v_r=v_r, v_s=v_s,
+        )
+        assert size == driver.join_size

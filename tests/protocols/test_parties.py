@@ -174,3 +174,76 @@ class TestEquijoinParties:
         params = PublicParams.for_bits(64)
         expected = {v: ext[v] for v in v_r if v in ext}
         assert self._run(list(v_r), ext, params) == expected
+
+
+class TestEquijoinSizeParties:
+    def _run(self, v_r, v_s, params, seed=0):
+        from repro.protocols.parties import (
+            EquijoinSizeReceiver,
+            EquijoinSizeSender,
+        )
+
+        receiver = EquijoinSizeReceiver(v_r, params, random.Random(f"{seed}r"))
+        sender = EquijoinSizeSender(v_s, params, random.Random(f"{seed}s"))
+        return receiver.finish(sender.round1(receiver.round1()))
+
+    def test_multiplicities_multiply(self, params):
+        # a: 2*1, b: 1*2 -> join size 4.
+        assert self._run(["a", "a", "b", "c"], ["a", "b", "b", "e"],
+                         params) == 4
+
+    def test_disjoint_multisets(self, params):
+        assert self._run(["a", "a"], ["b", "b"], params) == 0
+
+    def test_empty_sides(self, params):
+        assert self._run([], ["a", "a"], params) == 0
+        assert self._run(["a"], [], params) == 0
+
+    def test_sizes_count_occurrences(self, params):
+        from repro.protocols.parties import (
+            EquijoinSizeReceiver,
+            EquijoinSizeSender,
+        )
+
+        receiver = EquijoinSizeReceiver(["a", "a", "b"], params,
+                                        random.Random(1))
+        sender = EquijoinSizeSender(["b", "b"], params, random.Random(2))
+        receiver.finish(sender.round1(receiver.round1()))
+        assert sender.size_v_r == 3  # R's multiset size, not distinct count
+        assert receiver.size_v_s == 2
+
+    def test_agrees_with_multiset_and_driver(self, params):
+        from repro.db.multiset import ValueMultiset
+        from repro.protocols.base import ProtocolSuite
+        from repro.protocols.equijoin_size import run_equijoin_size
+
+        v_r = ["x", "x", "y", "z", "z", "z"]
+        v_s = ["x", "y", "y", "z", "w"]
+        expected = ValueMultiset.from_values(v_r).join_size(
+            ValueMultiset.from_values(v_s)
+        )
+        driver = run_equijoin_size(
+            v_r, v_s, ProtocolSuite.default(bits=128, seed=7)
+        )
+        assert self._run(v_r, v_s, params) == expected == driver.join_size
+
+    def test_accepts_prebuilt_multiset(self, params):
+        from repro.db.multiset import ValueMultiset
+
+        ms_r = ValueMultiset.from_values(["a", "a", "b"])
+        ms_s = ValueMultiset.from_values(["a", "b", "b"])
+        assert self._run(ms_r, ms_s, params) == 1 * 2 + 2 * 1
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=12), max_size=10),
+        st.lists(st.integers(min_value=0, max_value=12), max_size=10),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_matches_plaintext_property(self, v_r, v_s):
+        from repro.db.multiset import ValueMultiset
+
+        params = PublicParams.for_bits(64)
+        expected = ValueMultiset.from_values(v_r).join_size(
+            ValueMultiset.from_values(v_s)
+        )
+        assert self._run(v_r, v_s, params) == expected

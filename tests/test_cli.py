@@ -144,3 +144,84 @@ class TestDistributedCommands:
         out = capsys.readouterr()
         assert "bob" in out.out and "carol" in out.out
         assert "|V_R| = 3" in out.out
+
+
+class TestDistributedProtocolOptions:
+    def _serve_connect(self, serve_args, connect_args, port):
+        import socket
+        import threading
+        import time
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        server_rc = {}
+
+        def serve():
+            server_rc["code"] = main(serve_args + ["--port", str(port)])
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            try:
+                code = main(connect_args + ["--port", str(port)])
+                break
+            except (ConnectionRefusedError, OSError):
+                time.sleep(0.05)
+        else:  # pragma: no cover
+            raise TimeoutError("server never came up")
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        return code, server_rc["code"]
+
+    def test_equijoin_over_tcp(self, tmp_path, capsys):
+        r_file = tmp_path / "r.txt"
+        s_file = tmp_path / "s.csv"
+        r_file.write_text("a\nb\nc\n")
+        s_file.write_text("b,payload-b\nc\tpayload-c\nz,payload-z\n")
+        code, server_code = self._serve_connect(
+            ["--bits", "128", "serve", "--protocol", "equijoin",
+             "--sender", str(s_file), "--timeout", "10"],
+            ["--bits", "128", "connect", "--protocol", "equijoin",
+             "--receiver", str(r_file), "--timeout", "10"],
+            port=0,
+        )
+        assert code == 0 and server_code == 0
+        out = capsys.readouterr()
+        assert "b\tpayload-b" in out.out
+        assert "c\tpayload-c" in out.out
+        assert "matches=2" in out.err
+
+    def test_resumable_session_prints_stats(self, tmp_path, capsys):
+        r_file = tmp_path / "r.txt"
+        s_file = tmp_path / "s.txt"
+        r_file.write_text("a\na\nb\nc\n")
+        s_file.write_text("a\nb\nb\ne\n")
+        code, server_code = self._serve_connect(
+            ["--bits", "128", "--seed", "1", "serve", "--resumable",
+             "--protocol", "equijoin-size", "--sender", str(s_file),
+             "--timeout", "5"],
+            ["--bits", "128", "--seed", "2", "connect", "--resumable",
+             "--protocol", "equijoin-size", "--receiver", str(r_file),
+             "--timeout", "5"],
+            port=0,
+        )
+        assert code == 0 and server_code == 0
+        out = capsys.readouterr()
+        assert out.out.splitlines()[-1] != ""  # join size printed
+        assert "4" in out.out  # 2*1 + 1*2 matches
+        assert "session stats" in out.err
+        assert "'reconnects': 0" in out.err
+
+    def test_parser_accepts_new_options(self):
+        args = build_parser().parse_args(
+            ["connect", "--receiver", "r.txt", "--protocol",
+             "intersection-size", "--port", "9", "--timeout", "2.5",
+             "--resumable"]
+        )
+        assert args.protocol == "intersection-size"
+        assert args.timeout == 2.5
+        assert args.resumable is True
