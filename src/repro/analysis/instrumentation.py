@@ -1,23 +1,42 @@
-"""Operation-counting wrappers, for validating the Section 6 model.
+"""Operation counting and per-phase metrics, for the Section 6 model.
 
 The cost model predicts *how many* encryptions and hashes each protocol
 performs; these wrappers count the actual calls in a live run so the
 benchmarks (and tests) can compare prediction against reality exactly,
 independent of machine speed.
+
+:class:`MetricsRecorder` adds the wall-clock dimension: named phase
+timers plus modular-exponentiation counters that the TCP drivers, the
+resumable sessions and the CLI all report as one JSON document, so the
+Section 6 predicted-vs-measured comparison is a first-class output of
+every run rather than a bench-only artifact. Wire an engine's
+exponentiations in by passing :meth:`MetricsRecorder.count_modexp` as
+the ``on_modexp`` callback of
+:func:`repro.crypto.engine.create_engine`.
 """
 
 from __future__ import annotations
 
 import random
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 from ..crypto.commutative import PowerCipher
+from ..crypto.engine import CryptoEngine
 from ..crypto.ext_cipher import BlockExtCipher
 from ..crypto.groups import QRGroup
 from ..crypto.hashing import DomainHash, TryIncrementHash, Value
 from ..protocols.base import ProtocolSuite
 
-__all__ = ["OperationCounter", "CountingSuite", "counting_suite"]
+__all__ = [
+    "OperationCounter",
+    "CountingSuite",
+    "counting_suite",
+    "PhaseStats",
+    "MetricsRecorder",
+]
 
 
 @dataclass
@@ -38,8 +57,13 @@ class OperationCounter:
 class _CountingCipher(PowerCipher):
     """PowerCipher that counts every modular exponentiation."""
 
-    def __init__(self, group: QRGroup, counter: OperationCounter):
-        super().__init__(group)
+    def __init__(
+        self,
+        group: QRGroup,
+        counter: OperationCounter,
+        engine: CryptoEngine | None = None,
+    ):
+        super().__init__(group, engine=engine)
         self._counter = counter
 
     def encrypt(self, key: int, x: int) -> int:
@@ -50,8 +74,16 @@ class _CountingCipher(PowerCipher):
         self._counter.encryptions += 1
         return super().decrypt(key, y)
 
+    def encrypt_many(self, key: int, xs):
+        # The batched path goes through the engine, not encrypt():
+        # count the whole batch here.
+        xs = list(xs)
+        self._counter.encryptions += len(xs)
+        return super().encrypt_many(key, xs)
+
     def decrypt_many(self, key: int, ys):
-        self._counter.encryptions += len(list(ys))
+        ys = list(ys)
+        self._counter.encryptions += len(ys)
         return super().decrypt_many(key, ys)
 
 
@@ -95,8 +127,16 @@ class CountingSuite:
     counter: OperationCounter
 
 
-def counting_suite(bits: int = 128, seed: int | None = 0) -> CountingSuite:
-    """Build a suite whose cipher/hash/ext-cipher count their calls."""
+def counting_suite(
+    bits: int = 128,
+    seed: int | None = 0,
+    engine: CryptoEngine | None = None,
+) -> CountingSuite:
+    """Build a suite whose cipher/hash/ext-cipher count their calls.
+
+    ``engine`` selects the batch execution strategy (parallel engines
+    produce identical counts - the counter tallies work, not workers).
+    """
     group = QRGroup.for_bits(bits)
     counter = OperationCounter()
     if seed is None:
@@ -106,9 +146,109 @@ def counting_suite(bits: int = 128, seed: int | None = 0) -> CountingSuite:
     suite = ProtocolSuite(
         group=group,
         hash=_CountingHash(TryIncrementHash(group), counter),
-        cipher=_CountingCipher(group, counter),
+        cipher=_CountingCipher(group, counter, engine=engine),
         ext_cipher=_CountingExtCipher(group, counter),
         rng_r=rng_r,
         rng_s=rng_s,
     )
     return CountingSuite(suite=suite, counter=counter)
+
+
+# ----------------------------------------------------------------------
+# Per-phase wall-clock + modexp metrics
+# ----------------------------------------------------------------------
+@dataclass
+class PhaseStats:
+    """Accumulated observations for one named phase."""
+
+    name: str
+    wall_s: float = 0.0
+    modexp: int = 0
+    calls: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat mapping for the JSON report."""
+        return {
+            "wall_s": self.wall_s,
+            "modexp": self.modexp,
+            "calls": self.calls,
+        }
+
+
+class MetricsRecorder:
+    """Named phase timers plus modexp counters, reported as JSON.
+
+    Usage::
+
+        recorder = MetricsRecorder()
+        engine = create_engine(4, on_modexp=recorder.count_modexp)
+        with recorder.phase("r.round1"):
+            m1 = receiver.round1()
+        report = recorder.report()   # json.dumps-able
+
+    Phases may nest; time and exponentiations are attributed to the
+    innermost open phase (the outer phase's ``wall_s`` still covers the
+    whole span, as wall time does). Exponentiations counted outside any
+    phase land in ``unattributed_modexp``.
+    """
+
+    def __init__(self, engine: CryptoEngine | None = None):
+        self.phases: dict[str, PhaseStats] = {}
+        self.unattributed_modexp = 0
+        self._stack: list[PhaseStats] = []
+        self._engine = engine
+        self._started_at = time.perf_counter()
+
+    def _stats(self, name: str) -> PhaseStats:
+        stats = self.phases.get(name)
+        if stats is None:
+            stats = self.phases[name] = PhaseStats(name=name)
+        return stats
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Time one phase; re-entering a name accumulates into it."""
+        stats = self._stats(name)
+        stats.calls += 1
+        self._stack.append(stats)
+        start = time.perf_counter()
+        try:
+            yield stats
+        finally:
+            stats.wall_s += time.perf_counter() - start
+            self._stack.pop()
+
+    def count_modexp(self, n: int = 1) -> None:
+        """Attribute ``n`` modular exponentiations to the open phase."""
+        if self._stack:
+            self._stack[-1].modexp += n
+        else:
+            self.unattributed_modexp += n
+
+    @property
+    def total_modexp(self) -> int:
+        """Every exponentiation observed, in or out of a phase."""
+        return self.unattributed_modexp + sum(
+            s.modexp for s in self.phases.values()
+        )
+
+    def attach_engine(self, engine: CryptoEngine) -> None:
+        """Record which engine ran the batches (for the report)."""
+        self._engine = engine
+
+    def report(self) -> dict[str, Any]:
+        """The JSON document: engine info, totals, and per-phase stats."""
+        out: dict[str, Any] = {
+            "engine": (
+                self._engine.describe()
+                if self._engine is not None
+                else {"engine": "unknown", "workers": 1}
+            ),
+            "total_wall_s": time.perf_counter() - self._started_at,
+            "total_modexp": self.total_modexp,
+            "unattributed_modexp": self.unattributed_modexp,
+            "phases": {
+                name: stats.as_dict() for name, stats in self.phases.items()
+            },
+        }
+        return out

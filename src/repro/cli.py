@@ -20,7 +20,11 @@ Commands:
 ``serve``/``connect`` accept ``--protocol`` (all four protocols),
 ``--timeout``, and ``--resumable`` to run under the fault-tolerant
 session layer (checksummed frames, retries, resume after disconnects)
-instead of the plain one-shot handshake.
+instead of the plain one-shot handshake. ``--workers N`` runs the
+party's batch encryption on ``N`` processes (the Section 6.2
+``P``-processor model; see docs/PERFORMANCE.md), and ``--metrics``
+prints a per-phase wall-clock + modexp-count JSON report to stderr
+(implied by ``--workers > 1``).
 """
 
 from __future__ import annotations
@@ -83,6 +87,19 @@ NET_PROTOCOLS = ("intersection", "intersection-size", "equijoin",
                  "equijoin-size")
 
 
+def _add_engine_options(p: argparse.ArgumentParser) -> None:
+    """The batch-crypto engine knobs shared by ``serve`` and ``connect``."""
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for batch encryption (Section 6.2's P; default 1)",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print a per-phase metrics JSON to stderr "
+             "(implied by --workers > 1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (exposed for testing/docs)."""
     parser = argparse.ArgumentParser(
@@ -138,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resumable", action="store_true",
         help="serve under the fault-tolerant session layer",
     )
+    _add_engine_options(p)
 
     p = sub.add_parser(
         "connect", help="run party R of a protocol over TCP"
@@ -157,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resumable", action="store_true",
         help="connect under the fault-tolerant session layer",
     )
+    _add_engine_options(p)
 
     return parser
 
@@ -250,6 +269,25 @@ def _session_config(timeout: float | None):
     return SessionConfig(timeout_s=timeout) if timeout else SessionConfig()
 
 
+def _build_engine_and_recorder(args: argparse.Namespace):
+    """The ``--workers`` engine plus a recorder wired to count its work."""
+    from .analysis.instrumentation import MetricsRecorder
+    from .crypto.engine import create_engine
+
+    recorder = MetricsRecorder()
+    engine = create_engine(args.workers, on_modexp=recorder.count_modexp)
+    recorder.attach_engine(engine)
+    return engine, recorder
+
+
+def _emit_metrics(args: argparse.Namespace, recorder) -> None:
+    """Print the metrics JSON to stderr when asked (or parallel)."""
+    if args.metrics or args.workers > 1:
+        import json
+
+        print(json.dumps(recorder.report()), file=sys.stderr)
+
+
 def _print_answer(protocol: str, answer) -> None:
     if protocol == "intersection":
         for value in sorted(answer, key=repr):
@@ -276,33 +314,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     params = PublicParams.for_bits(args.bits)
     rng = _random.Random(args.seed)
+    engine, recorder = _build_engine_and_recorder(args)
 
     def announce(port: int) -> None:
         print(f"serving {args.protocol} as party S on {args.host}:{port} "
               f"({len(data)} values)", flush=True)
 
-    if args.resumable:
-        size_v_r, stats = tcp.serve_resumable_sender(
-            args.protocol, data, params, rng, host=args.host,
-            port=args.port, ready_callback=announce,
-            config=_session_config(args.timeout),
+    try:
+        if args.resumable:
+            size_v_r, stats = tcp.serve_resumable_sender(
+                args.protocol, data, params, rng, host=args.host,
+                port=args.port, ready_callback=announce,
+                config=_session_config(args.timeout),
+                engine=engine, recorder=recorder,
+            )
+            print(f"run complete; S learned |V_R| = {size_v_r}")
+            print(f"# session stats: {stats.as_dict()}", file=sys.stderr)
+            _emit_metrics(args, recorder)
+            return 0
+
+        serve = {
+            "intersection": tcp.serve_intersection_sender,
+            "intersection-size": tcp.serve_intersection_size_sender,
+            "equijoin": tcp.serve_equijoin_sender,
+            "equijoin-size": tcp.serve_equijoin_size_sender,
+        }[args.protocol]
+        size_v_r = serve(
+            data, params, rng, host=args.host, port=args.port,
+            ready_callback=announce, timeout=args.timeout,
+            engine=engine, recorder=recorder,
         )
         print(f"run complete; S learned |V_R| = {size_v_r}")
-        print(f"# session stats: {stats.as_dict()}", file=sys.stderr)
+        _emit_metrics(args, recorder)
         return 0
-
-    serve = {
-        "intersection": tcp.serve_intersection_sender,
-        "intersection-size": tcp.serve_intersection_size_sender,
-        "equijoin": tcp.serve_equijoin_sender,
-        "equijoin-size": tcp.serve_equijoin_size_sender,
-    }[args.protocol]
-    size_v_r = serve(
-        data, params, rng, host=args.host, port=args.port,
-        ready_callback=announce, timeout=args.timeout,
-    )
-    print(f"run complete; S learned |V_R| = {size_v_r}")
-    return 0
+    finally:
+        engine.close()
 
 
 def _cmd_connect(args: argparse.Namespace) -> int:
@@ -312,25 +358,35 @@ def _cmd_connect(args: argparse.Namespace) -> int:
 
     v_r = _read_values(args.receiver)
     rng = _random.Random(args.seed)
+    engine, recorder = _build_engine_and_recorder(args)
 
-    if args.resumable:
-        answer, stats = tcp.connect_resumable_receiver(
-            args.protocol, v_r, rng, args.host, args.port,
-            config=_session_config(args.timeout),
+    try:
+        if args.resumable:
+            answer, stats = tcp.connect_resumable_receiver(
+                args.protocol, v_r, rng, args.host, args.port,
+                config=_session_config(args.timeout),
+                engine=engine, recorder=recorder,
+            )
+            _print_answer(args.protocol, answer)
+            print(f"# session stats: {stats.as_dict()}", file=sys.stderr)
+            _emit_metrics(args, recorder)
+            return 0
+
+        connect = {
+            "intersection": tcp.connect_intersection_receiver,
+            "intersection-size": tcp.connect_intersection_size_receiver,
+            "equijoin": tcp.connect_equijoin_receiver,
+            "equijoin-size": tcp.connect_equijoin_size_receiver,
+        }[args.protocol]
+        answer = connect(
+            v_r, rng, args.host, args.port, timeout=args.timeout,
+            engine=engine, recorder=recorder,
         )
         _print_answer(args.protocol, answer)
-        print(f"# session stats: {stats.as_dict()}", file=sys.stderr)
+        _emit_metrics(args, recorder)
         return 0
-
-    connect = {
-        "intersection": tcp.connect_intersection_receiver,
-        "intersection-size": tcp.connect_intersection_size_receiver,
-        "equijoin": tcp.connect_equijoin_receiver,
-        "equijoin-size": tcp.connect_equijoin_size_receiver,
-    }[args.protocol]
-    answer = connect(v_r, rng, args.host, args.port, timeout=args.timeout)
-    _print_answer(args.protocol, answer)
-    return 0
+    finally:
+        engine.close()
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -7,6 +7,15 @@ of the paper's Figure 1, built from scratch on Python bignums.
 """
 
 from .commutative import CommutativeCipher, PowerCipher
+from .engine import (
+    CryptoEngine,
+    MeteredEngine,
+    ProcessPoolEngine,
+    SerialEngine,
+    create_engine,
+    shared_engine,
+    shutdown_shared_engines,
+)
 from .ext_cipher import BlockExtCipher, ExtCipher, MultiplicativeExtCipher
 from .groups import QRGroup
 from .hashing import (
@@ -44,6 +53,13 @@ from .primes import (
 __all__ = [
     "CommutativeCipher",
     "PowerCipher",
+    "CryptoEngine",
+    "SerialEngine",
+    "ProcessPoolEngine",
+    "MeteredEngine",
+    "create_engine",
+    "shared_engine",
+    "shutdown_shared_engines",
     "QRGroup",
     "DomainHash",
     "TryIncrementHash",

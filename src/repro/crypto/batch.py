@@ -8,25 +8,24 @@ process pool (CPython's GIL makes threads useless for bignum math), and
 :class:`BatchSpeedup` measures the realized speedup so the parallelism
 ablation can compare it with the model's ideal ``1/P``.
 
-Process pools have startup and pickling overhead, so parallelism only
-pays off for batches of hundreds of exponentiations at realistic key
-sizes - the measurement reports exactly that crossover.
+The pool itself lives in :mod:`repro.crypto.engine`: repeated
+:func:`parallel_pow` calls share one process-wide
+:class:`~repro.crypto.engine.ProcessPoolEngine` per processor count,
+so only the *first* call pays worker startup. :func:`measure_speedup`
+reports that startup cost separately (``pool_startup_s``) from the
+steady-state parallel time, which is what the crossover analysis in
+the parallelism ablation actually needs.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+from .engine import ProcessPoolEngine, shared_engine
+
 __all__ = ["parallel_pow", "sequential_pow", "BatchSpeedup", "measure_speedup"]
-
-
-def _pow_chunk(args: tuple[list[int], int, int]) -> list[int]:
-    """Worker: exponentiate one chunk (module-level for pickling)."""
-    chunk, exponent, modulus = args
-    return [pow(x, exponent, modulus) for x in chunk]
 
 
 def sequential_pow(xs: Sequence[int], exponent: int, modulus: int) -> list[int]:
@@ -43,33 +42,36 @@ def parallel_pow(
 ) -> list[int]:
     """The batch fanned out over ``processors`` worker processes.
 
-    Order is preserved. Falls back to the sequential path for trivial
+    Order is preserved. Falls back to the sequential path for small
     batches or ``processors <= 1`` (avoids pool overhead dominating).
+    The worker pool is shared across calls with the same processor
+    count (see :func:`repro.crypto.engine.shared_engine`), so only the
+    first call pays startup.
     """
     xs = list(xs)
     if processors <= 1 or len(xs) < 2 * processors:
         return sequential_pow(xs, exponent, modulus)
-    if chunk_size is None:
-        chunk_size = max(1, len(xs) // (4 * processors))
-    chunks = [
-        (xs[i : i + chunk_size], exponent, modulus)
-        for i in range(0, len(xs), chunk_size)
-    ]
-    out: list[int] = []
-    with ProcessPoolExecutor(max_workers=processors) as pool:
-        for result in pool.map(_pow_chunk, chunks):
-            out.extend(result)
-    return out
+    engine = shared_engine(processors)
+    if isinstance(engine, ProcessPoolEngine):
+        return engine.pow_many(xs, exponent, modulus, chunk_size=chunk_size)
+    return engine.pow_many(xs, exponent, modulus)
 
 
 @dataclass(frozen=True)
 class BatchSpeedup:
-    """One measured sequential-vs-parallel comparison."""
+    """One measured sequential-vs-parallel comparison.
+
+    ``parallel_s`` is the steady-state (warm pool) time;
+    ``pool_startup_s`` is the one-time worker startup cost, reported
+    separately because a shared pool amortizes it across all batches
+    of a run.
+    """
 
     batch: int
     processors: int
     sequential_s: float
     parallel_s: float
+    pool_startup_s: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -84,10 +86,22 @@ class BatchSpeedup:
 def measure_speedup(
     xs: Sequence[int], exponent: int, modulus: int, processors: int
 ) -> BatchSpeedup:
-    """Time both paths on the same batch."""
+    """Time both paths on the same batch.
+
+    The shared pool is warmed first and that startup time recorded in
+    ``pool_startup_s``; on later calls with the same processor count
+    the pool is already warm and the startup cost reads ~0.
+    """
     start = time.perf_counter()
     expected = sequential_pow(xs, exponent, modulus)
     sequential_s = time.perf_counter() - start
+
+    engine = shared_engine(processors)
+    pool_startup_s = 0.0
+    if engine.workers > 1:
+        start = time.perf_counter()
+        engine.warm_up()
+        pool_startup_s = time.perf_counter() - start
 
     start = time.perf_counter()
     got = parallel_pow(xs, exponent, modulus, processors)
@@ -100,4 +114,5 @@ def measure_speedup(
         processors=processors,
         sequential_s=sequential_s,
         parallel_s=parallel_s,
+        pool_startup_s=pool_startup_s,
     )

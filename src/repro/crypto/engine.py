@@ -1,0 +1,303 @@
+"""Pluggable execution engines for batched modular exponentiation.
+
+Section 6.2 of the paper assumes "P processors that we can utilize in
+parallel" when pricing the protocols; this module is where that
+assumption becomes an interchangeable runtime strategy instead of a
+bench-only measurement. A :class:`CryptoEngine` executes a batch of
+exponentiations ``[x**e mod p for x in xs]`` - the single hot
+operation behind every ``encrypt``/``decrypt`` of the commutative
+power cipher - and everything above it
+(:class:`~repro.crypto.commutative.PowerCipher`, the party state
+machines, the TCP drivers) stays engine-agnostic.
+
+Engines:
+
+* :class:`SerialEngine` - the single-processor baseline; zero
+  overhead, always correct.
+* :class:`ProcessPoolEngine` - fans chunks out over a **shared**
+  :class:`~concurrent.futures.ProcessPoolExecutor` (CPython's GIL
+  makes threads useless for bignum math). The pool is created lazily
+  on the first large batch and reused for every later call, so the
+  fork/spawn cost is paid once per engine, not once per batch. Small
+  batches (below the crossover where pool overhead dominates) and
+  ``processors <= 1`` fall back to the serial path, and a pool that
+  cannot be started or breaks mid-run degrades to serial instead of
+  failing the protocol.
+* :class:`MeteredEngine` - decorator that reports every batch's size
+  to a callback, which is how the per-phase metrics layer counts
+  modular exponentiations without the engines knowing about metrics.
+
+Order is always preserved: for every engine,
+``engine.pow_many(xs, e, p) == [pow(x, e, p) for x in xs]`` - the
+protocol transcripts are byte-identical whichever engine runs them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "DEFAULT_MIN_PARALLEL",
+    "CryptoEngine",
+    "SerialEngine",
+    "ProcessPoolEngine",
+    "MeteredEngine",
+    "create_engine",
+    "shared_engine",
+    "shutdown_shared_engines",
+]
+
+#: Batches smaller than this never touch the pool: at realistic key
+#: sizes the chunk pickling + IPC round-trip costs more than the
+#: exponentiations themselves (see docs/PERFORMANCE.md for measured
+#: crossovers).
+DEFAULT_MIN_PARALLEL = 32
+
+
+def _pow_chunk(args: tuple[list[int], int, int]) -> list[int]:
+    """Worker: exponentiate one chunk (module-level for pickling)."""
+    chunk, exponent, modulus = args
+    return [pow(x, exponent, modulus) for x in chunk]
+
+
+class CryptoEngine(ABC):
+    """Strategy for executing a batch of modular exponentiations."""
+
+    #: Degree of parallelism this engine aims for (the model's ``P``).
+    workers: int = 1
+
+    @abstractmethod
+    def pow_many(
+        self, xs: Sequence[int], exponent: int, modulus: int
+    ) -> list[int]:
+        """``[pow(x, exponent, modulus) for x in xs]``, order preserved."""
+
+    def warm_up(self) -> None:
+        """Pay any one-time startup cost now instead of mid-protocol."""
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+
+    def describe(self) -> dict[str, Any]:
+        """Flat JSON-able summary for metrics reports."""
+        return {"engine": type(self).__name__, "workers": self.workers}
+
+    def __enter__(self) -> "CryptoEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SerialEngine(CryptoEngine):
+    """The single-processor baseline (the cost model's ``P = 1``)."""
+
+    def pow_many(
+        self, xs: Sequence[int], exponent: int, modulus: int
+    ) -> list[int]:
+        """The batch on one processor, in order."""
+        return [pow(x, exponent, modulus) for x in xs]
+
+
+class ProcessPoolEngine(CryptoEngine):
+    """Batches fanned out over a shared worker-process pool.
+
+    The executor is created lazily on the first batch large enough to
+    parallelize and then *reused* across calls - a protocol performs
+    several batched rounds and must not pay pool startup for each.
+
+    Args:
+        processors: worker count ``P`` (default: ``os.cpu_count()``).
+        chunk_size: items per task; default splits each batch into
+            ``4 * processors`` chunks so stragglers even out.
+        min_parallel: batches smaller than this run serially.
+    """
+
+    def __init__(
+        self,
+        processors: int | None = None,
+        chunk_size: int | None = None,
+        min_parallel: int = DEFAULT_MIN_PARALLEL,
+    ):
+        self.workers = processors if processors else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.min_parallel = min_parallel
+        self.serial_batches = 0
+        self.parallel_batches = 0
+        self.pool_failures = 0
+        self._pool: ProcessPoolExecutor | None = None
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def warm_up(self) -> None:
+        """Start the workers and run one no-op task through them."""
+        if self.workers <= 1 or self._broken:
+            return
+        try:
+            pool = self._ensure_pool()
+            list(pool.map(_pow_chunk, [([1], 1, 3)] * self.workers))
+        except (BrokenProcessPool, OSError, RuntimeError):
+            self._mark_broken()
+
+    def _mark_broken(self) -> None:
+        self.pool_failures += 1
+        self._broken = True
+        self.close()
+
+    def _threshold(self) -> int:
+        return max(self.min_parallel, 2 * self.workers)
+
+    def pow_many(
+        self,
+        xs: Sequence[int],
+        exponent: int,
+        modulus: int,
+        chunk_size: int | None = None,
+    ) -> list[int]:
+        """The batch over the pool; serial below the crossover.
+
+        ``chunk_size`` overrides the engine default for this call
+        (used by ablation benchmarks sweeping chunk granularity).
+        """
+        xs = list(xs)
+        if self.workers <= 1 or self._broken or len(xs) < self._threshold():
+            self.serial_batches += 1
+            return [pow(x, exponent, modulus) for x in xs]
+        chunk = chunk_size or self.chunk_size
+        if chunk is None:
+            chunk = max(1, -(-len(xs) // (4 * self.workers)))
+        chunks = [
+            (xs[i : i + chunk], exponent, modulus)
+            for i in range(0, len(xs), chunk)
+        ]
+        try:
+            pool = self._ensure_pool()
+            out: list[int] = []
+            for result in pool.map(_pow_chunk, chunks):
+                out.extend(result)
+        except (BrokenProcessPool, OSError, RuntimeError):
+            # A pool that cannot start (sandbox, fd limits) or died
+            # mid-batch must not fail the protocol: degrade to serial.
+            self._mark_broken()
+            self.serial_batches += 1
+            return [pow(x, exponent, modulus) for x in xs]
+        self.parallel_batches += 1
+        return out
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; a later batch restarts it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def describe(self) -> dict[str, Any]:
+        """Engine summary plus batch-routing counters."""
+        info = super().describe()
+        info.update(
+            serial_batches=self.serial_batches,
+            parallel_batches=self.parallel_batches,
+            pool_failures=self.pool_failures,
+            min_parallel=self.min_parallel,
+        )
+        return info
+
+
+class MeteredEngine(CryptoEngine):
+    """Engine decorator reporting each batch's size to a callback.
+
+    The metrics layer passes
+    :meth:`~repro.analysis.instrumentation.MetricsRecorder.count_modexp`
+    as the callback, attributing every exponentiation to the phase
+    active when it ran.
+    """
+
+    def __init__(self, inner: CryptoEngine, on_modexp: Callable[[int], None]):
+        self.inner = inner
+        self.on_modexp = on_modexp
+
+    @property
+    def workers(self) -> int:  # type: ignore[override]
+        """The wrapped engine's parallelism."""
+        return self.inner.workers
+
+    def pow_many(
+        self, xs: Sequence[int], exponent: int, modulus: int
+    ) -> list[int]:
+        """Delegate, then report the batch size."""
+        out = self.inner.pow_many(xs, exponent, modulus)
+        self.on_modexp(len(out))
+        return out
+
+    def warm_up(self) -> None:
+        """Delegate to the wrapped engine."""
+        self.inner.warm_up()
+
+    def close(self) -> None:
+        """Delegate to the wrapped engine."""
+        self.inner.close()
+
+    def describe(self) -> dict[str, Any]:
+        """The wrapped engine's summary (metering is transparent)."""
+        return self.inner.describe()
+
+
+def create_engine(
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    on_modexp: Callable[[int], None] | None = None,
+) -> CryptoEngine:
+    """The right engine for a ``--workers N`` knob.
+
+    ``workers`` of ``None``/``0``/``1`` gives the serial engine;
+    anything larger a process pool. With ``on_modexp`` the engine is
+    wrapped in a :class:`MeteredEngine`.
+    """
+    engine: CryptoEngine
+    if workers is None or workers <= 1:
+        engine = SerialEngine()
+    else:
+        engine = ProcessPoolEngine(processors=workers, chunk_size=chunk_size)
+    if on_modexp is not None:
+        engine = MeteredEngine(engine, on_modexp)
+    return engine
+
+
+_SHARED: dict[int, CryptoEngine] = {}
+
+
+def shared_engine(processors: int) -> CryptoEngine:
+    """A process-wide engine for ``processors``, created once.
+
+    :func:`repro.crypto.batch.parallel_pow` goes through here so
+    repeated calls reuse one executor instead of rebuilding the pool
+    per batch.
+    """
+    engine = _SHARED.get(processors)
+    if engine is None:
+        engine = (
+            SerialEngine()
+            if processors <= 1
+            else ProcessPoolEngine(processors=processors)
+        )
+        _SHARED[processors] = engine
+    return engine
+
+
+def shutdown_shared_engines() -> None:
+    """Close every process-wide engine (also runs at interpreter exit)."""
+    for engine in _SHARED.values():
+        engine.close()
+    _SHARED.clear()
+
+
+atexit.register(shutdown_shared_engines)

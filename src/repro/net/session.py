@@ -44,6 +44,7 @@ import random
 import time
 import zlib
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -447,6 +448,17 @@ def _close_quietly(transport: Any) -> None:
             pass
 
 
+def _phase(recorder: Any, name: str):
+    """The recorder's phase context, or a no-op when none is wired.
+
+    ``recorder`` is duck-typed (anything with a ``phase(name)`` context
+    manager - in practice a
+    :class:`repro.analysis.instrumentation.MetricsRecorder`) so the
+    net layer takes no dependency on the analysis package.
+    """
+    return recorder.phase(name) if recorder is not None else nullcontext()
+
+
 class SenderSession:
     """Party S's resumable run: accept, hand-shake, serve, survive.
 
@@ -464,12 +476,14 @@ class SenderSession:
         make_sender: Callable[[], Any],
         config: SessionConfig | None = None,
         rng: random.Random | None = None,
+        recorder: Any = None,
     ):
         self.protocol = protocol
         self.params = params
         self.config = config or SessionConfig()
         self.rng = rng or random.Random(0)
         self.stats = SessionStats(protocol=protocol)
+        self.recorder = recorder
         self._make_sender = make_sender
         self._sender: Any = None
         self._session_id: int | None = None
@@ -588,12 +602,15 @@ class SenderSession:
 
     def _script(self, endpoint: SessionEndpoint, client_next_recv: int) -> Any:
         if not self._inbound:
-            self._inbound.append(endpoint.recv())
+            with _phase(self.recorder, "s.wait_m1"):
+                self._inbound.append(endpoint.recv())
             endpoint.recv_seq = len(self._inbound)
         if not self._outbound:
             if self._sender is None:
-                self._sender = self._make_sender()
-            self._outbound.append(self._sender.round1(self._inbound[0]))
+                with _phase(self.recorder, "s.setup"):
+                    self._sender = self._make_sender()
+            with _phase(self.recorder, "s.round1"):
+                self._outbound.append(self._sender.round1(self._inbound[0]))
             self.stats.rounds_computed += 1
         elif client_next_recv < len(self._outbound):
             # A reconnected client served from the cached round log.
@@ -622,11 +639,13 @@ class ReceiverSession:
         config: SessionConfig | None = None,
         rng: random.Random | None = None,
         session_id: int | None = None,
+        recorder: Any = None,
     ):
         self.protocol = protocol
         self.config = config or SessionConfig()
         self.rng = rng or random.Random()
         self.stats = SessionStats(protocol=protocol)
+        self.recorder = recorder
         self.session_id = (
             session_id if session_id is not None else self.rng.getrandbits(63)
         )
@@ -748,9 +767,11 @@ class ReceiverSession:
 
     def _script(self, endpoint: SessionEndpoint) -> Any:
         if self._receiver is None:
-            self._receiver = self._make_receiver(self._params_wire)
+            with _phase(self.recorder, "r.setup"):
+                self._receiver = self._make_receiver(self._params_wire)
         if self._m1 is None:
-            self._m1 = self._receiver.round1()
+            with _phase(self.recorder, "r.round1"):
+                self._m1 = self._receiver.round1()
             self.stats.rounds_computed += 1
         if endpoint.send_seq == 0:
             if self._m1_shipped:
@@ -759,5 +780,7 @@ class ReceiverSession:
             self._m1_shipped = True
             endpoint.send(self._m1)
         if self._m2 is None:
-            self._m2 = endpoint.recv()
-        return self._receiver.finish(self._m2)
+            with _phase(self.recorder, "r.wait_m2"):
+                self._m2 = endpoint.recv()
+        with _phase(self.recorder, "r.finish"):
+            return self._receiver.finish(self._m2)

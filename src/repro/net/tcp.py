@@ -196,6 +196,13 @@ def _dial(
 # ----------------------------------------------------------------------
 # Plain one-shot runs (original handshake; any failure aborts)
 # ----------------------------------------------------------------------
+def _phase(recorder: Any, name: str):
+    """The recorder's phase context, or a no-op when none is wired."""
+    from .session import _phase as session_phase
+
+    return session_phase(recorder, name)
+
+
 def _serve_plain(
     make_sender: Callable[[], Any],
     params: PublicParams,
@@ -203,13 +210,18 @@ def _serve_plain(
     port: int,
     ready_callback,
     timeout: float | None,
+    recorder: Any = None,
 ) -> int:
     endpoint = _accept_one(host, port, ready_callback, timeout)
     try:
         endpoint.send(("params", params.to_wire()))
-        sender = make_sender()
-        y_r = endpoint.recv()
-        endpoint.send(sender.round1(list(y_r)))
+        with _phase(recorder, "s.setup"):
+            sender = make_sender()
+        with _phase(recorder, "s.wait_m1"):
+            y_r = endpoint.recv()
+        with _phase(recorder, "s.round1"):
+            m2 = sender.round1(list(y_r))
+        endpoint.send(m2)
         return sender.size_v_r
     finally:
         endpoint.close()
@@ -220,15 +232,22 @@ def _connect_plain(
     host: str,
     port: int,
     timeout: float | None,
+    recorder: Any = None,
 ) -> Any:
     endpoint = _dial(host, port, timeout)
     try:
         tag, wire_params = endpoint.recv()
         if tag != "params":
             raise ValueError(f"unexpected handshake message {tag!r}")
-        receiver = make_receiver(PublicParams.from_wire(tuple(wire_params)))
-        endpoint.send(receiver.round1())
-        return receiver.finish(endpoint.recv())
+        with _phase(recorder, "r.setup"):
+            receiver = make_receiver(PublicParams.from_wire(tuple(wire_params)))
+        with _phase(recorder, "r.round1"):
+            m1 = receiver.round1()
+        endpoint.send(m1)
+        with _phase(recorder, "r.wait_m2"):
+            m2 = endpoint.recv()
+        with _phase(recorder, "r.finish"):
+            return receiver.finish(m2)
     finally:
         endpoint.close()
 
@@ -241,6 +260,8 @@ def serve_intersection_sender(
     port: int = 0,
     ready_callback=None,
     timeout: float | None = None,
+    engine=None,
+    recorder=None,
 ) -> int:
     """Run party S of the intersection protocol as a TCP server.
 
@@ -248,10 +269,13 @@ def serve_intersection_sender(
     (everything S learns). ``ready_callback(port)`` fires once the
     socket is listening - pass the port to the client thread/process.
     ``timeout`` bounds both the wait for a client and each socket read.
+    ``engine`` selects the batch-crypto execution strategy
+    (:mod:`repro.crypto.engine`); ``recorder`` collects per-phase
+    metrics (:class:`repro.analysis.instrumentation.MetricsRecorder`).
     """
     return _serve_plain(
-        lambda: IntersectionSender(v_s, params, rng),
-        params, host, port, ready_callback, timeout,
+        lambda: IntersectionSender(v_s, params, rng, engine=engine),
+        params, host, port, ready_callback, timeout, recorder,
     )
 
 
@@ -261,12 +285,14 @@ def connect_intersection_receiver(
     host: str,
     port: int,
     timeout: float | None = None,
+    engine=None,
+    recorder=None,
 ) -> set[Hashable]:
     """Run party R of the intersection protocol as a TCP client."""
     def make(params: PublicParams) -> IntersectionReceiver:
-        return IntersectionReceiver(v_r, params, rng)
+        return IntersectionReceiver(v_r, params, rng, engine=engine)
 
-    answer = _connect_plain(make, host, port, timeout)
+    answer = _connect_plain(make, host, port, timeout, recorder)
     return set(answer)
 
 
@@ -278,11 +304,13 @@ def serve_intersection_size_sender(
     port: int = 0,
     ready_callback=None,
     timeout: float | None = None,
+    engine=None,
+    recorder=None,
 ) -> int:
     """Party S of the intersection-size protocol over TCP."""
     return _serve_plain(
-        lambda: IntersectionSizeSender(v_s, params, rng),
-        params, host, port, ready_callback, timeout,
+        lambda: IntersectionSizeSender(v_s, params, rng, engine=engine),
+        params, host, port, ready_callback, timeout, recorder,
     )
 
 
@@ -292,12 +320,14 @@ def connect_intersection_size_receiver(
     host: str,
     port: int,
     timeout: float | None = None,
+    engine=None,
+    recorder=None,
 ) -> int:
     """Party R of the intersection-size protocol over TCP."""
     def make(params: PublicParams) -> IntersectionSizeReceiver:
-        return IntersectionSizeReceiver(v_r, params, rng)
+        return IntersectionSizeReceiver(v_r, params, rng, engine=engine)
 
-    return _connect_plain(make, host, port, timeout)
+    return _connect_plain(make, host, port, timeout, recorder)
 
 
 def serve_equijoin_sender(
@@ -308,6 +338,8 @@ def serve_equijoin_sender(
     port: int = 0,
     ready_callback=None,
     timeout: float | None = None,
+    engine=None,
+    recorder=None,
 ) -> int:
     """Party S of the equijoin protocol over TCP.
 
@@ -315,8 +347,8 @@ def serve_equijoin_sender(
     (the records R obtains for values in the intersection).
     """
     return _serve_plain(
-        lambda: EquijoinSender(ext_s, params, rng),
-        params, host, port, ready_callback, timeout,
+        lambda: EquijoinSender(ext_s, params, rng, engine=engine),
+        params, host, port, ready_callback, timeout, recorder,
     )
 
 
@@ -326,12 +358,14 @@ def connect_equijoin_receiver(
     host: str,
     port: int,
     timeout: float | None = None,
+    engine=None,
+    recorder=None,
 ) -> dict[Hashable, bytes]:
     """Party R of the equijoin protocol over TCP; returns ``v -> ext(v)``."""
     def make(params: PublicParams) -> EquijoinReceiver:
-        return EquijoinReceiver(v_r, params, rng)
+        return EquijoinReceiver(v_r, params, rng, engine=engine)
 
-    return _connect_plain(make, host, port, timeout)
+    return _connect_plain(make, host, port, timeout, recorder)
 
 
 def serve_equijoin_size_sender(
@@ -342,11 +376,13 @@ def serve_equijoin_size_sender(
     port: int = 0,
     ready_callback=None,
     timeout: float | None = None,
+    engine=None,
+    recorder=None,
 ) -> int:
     """Party S of the equijoin-size protocol over TCP (multiset input)."""
     return _serve_plain(
-        lambda: EquijoinSizeSender(v_s, params, rng),
-        params, host, port, ready_callback, timeout,
+        lambda: EquijoinSizeSender(v_s, params, rng, engine=engine),
+        params, host, port, ready_callback, timeout, recorder,
     )
 
 
@@ -356,12 +392,14 @@ def connect_equijoin_size_receiver(
     host: str,
     port: int,
     timeout: float | None = None,
+    engine=None,
+    recorder=None,
 ) -> int:
     """Party R of the equijoin-size protocol over TCP (multiset input)."""
     def make(params: PublicParams) -> EquijoinSizeReceiver:
-        return EquijoinSizeReceiver(v_r, params, rng)
+        return EquijoinSizeReceiver(v_r, params, rng, engine=engine)
 
-    return _connect_plain(make, host, port, timeout)
+    return _connect_plain(make, host, port, timeout, recorder)
 
 
 # ----------------------------------------------------------------------
@@ -398,6 +436,8 @@ def serve_resumable_sender(
     config: SessionConfig | None = None,
     endpoint_wrapper: Callable[[SocketEndpoint], Any] | None = None,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    engine=None,
+    recorder=None,
 ) -> tuple[int, SessionStats]:
     """Serve party S of any protocol under the resumable session layer.
 
@@ -406,15 +446,18 @@ def serve_resumable_sender(
     ``(|V_R|, session stats)``. ``endpoint_wrapper`` (e.g. a
     :class:`~repro.net.faults.FaultyEndpoint` constructor) wraps every
     accepted connection - that is how the chaos tests inject faults.
+    ``engine`` selects the batch-crypto execution strategy;
+    ``recorder`` collects per-phase metrics.
     """
     config = config or SessionConfig()
     sender_factory, _ = _session_factories(protocol)
     session = SenderSession(
         protocol,
         params,
-        lambda: sender_factory(data, params, rng),
+        lambda: sender_factory(data, params, rng, engine=engine),
         config=config,
         rng=random.Random(rng.getrandbits(64)),
+        recorder=recorder,
     )
     listener = _listen(
         host, port, config.timeout_s * config.retry.max_attempts
@@ -449,23 +492,28 @@ def connect_resumable_receiver(
     config: SessionConfig | None = None,
     endpoint_wrapper: Callable[[SocketEndpoint], Any] | None = None,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    engine=None,
+    recorder=None,
 ) -> tuple[Any, SessionStats]:
     """Run party R of any protocol under the resumable session layer.
 
     Reconnects (with backoff and jitter) after transient failures and
     resumes from the last acknowledged round. Returns
     ``(answer, session stats)`` where the answer is the protocol's
-    output for R (set, size, or ext mapping).
+    output for R (set, size, or ext mapping). ``engine`` selects the
+    batch-crypto execution strategy; ``recorder`` collects per-phase
+    metrics.
     """
     config = config or SessionConfig()
     _, receiver_factory = _session_factories(protocol)
     session = ReceiverSession(
         protocol,
         lambda wire: receiver_factory(
-            data, PublicParams.from_wire(tuple(wire)), rng
+            data, PublicParams.from_wire(tuple(wire)), rng, engine=engine
         ),
         config=config,
         rng=random.Random(rng.getrandbits(64)),
+        recorder=recorder,
     )
 
     def connect() -> Any:

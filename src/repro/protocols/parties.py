@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
 from ..crypto.commutative import PowerCipher
+from ..crypto.engine import CryptoEngine
 from ..crypto.groups import QRGroup
 from ..crypto.hashing import DomainHash, SquareHash, TryIncrementHash
 from .base import sorted_ciphertexts
@@ -63,13 +64,20 @@ class PublicParams:
         """Params over the embedded safe prime of the given size."""
         return cls(p=QRGroup.for_bits(bits).p)
 
-    def build(self) -> tuple[QRGroup, DomainHash, PowerCipher]:
-        """Instantiate the group, hash and cipher these params name."""
+    def build(
+        self, engine: CryptoEngine | None = None
+    ) -> tuple[QRGroup, DomainHash, PowerCipher]:
+        """Instantiate the group, hash and cipher these params name.
+
+        ``engine`` selects the batch execution strategy for the cipher
+        (a local choice - it never crosses the wire and has no effect
+        on the transcript).
+        """
         group = QRGroup(self.p)
         hash_cls = _HASH_REGISTRY.get(self.hash_name)
         if hash_cls is None:
             raise ValueError(f"unknown hash construction {self.hash_name!r}")
-        return group, hash_cls(group), PowerCipher(group)
+        return group, hash_cls(group), PowerCipher(group, engine=engine)
 
     def to_wire(self) -> tuple[int, str]:
         """Encodable form for the transport handshake."""
@@ -90,9 +98,10 @@ class _Party:
         values: Sequence[Hashable],
         params: PublicParams,
         rng: random.Random,
+        engine: CryptoEngine | None = None,
     ):
         self.params = params
-        self.group, self.hash, self.cipher = params.build()
+        self.group, self.hash, self.cipher = params.build(engine=engine)
         self.values = sorted(set(values), key=repr)
         self.rng = rng
         self._key = self.cipher.sample_key(rng)
@@ -104,16 +113,15 @@ class IntersectionReceiver(_Party):
 
     def round1(self) -> list[int]:
         """Step 3: ``Y_R``, reordered lexicographically."""
-        self._y_by_value = {
-            v: self.cipher.encrypt(self._key, x)
-            for v, x in zip(self.values, self._hashes)
-        }
+        self._y_by_value = dict(
+            zip(self.values, self.cipher.encrypt_many(self._key, self._hashes))
+        )
         return sorted_ciphertexts(list(self._y_by_value.values()))
 
     def finish(self, reply: tuple[list[int], list[tuple[int, int]]]) -> set[Hashable]:
         """Steps 5-6: recover the intersection from S's reply."""
         y_s, pairs = reply
-        z_s = {self.cipher.encrypt(self._key, y) for y in y_s}
+        z_s = set(self.cipher.encrypt_many(self._key, y_s))
         self.size_v_s = len(y_s)
         y_to_value = {y: v for v, y in self._y_by_value.items()}
         return {
@@ -131,10 +139,8 @@ class IntersectionSender(_Party):
     ) -> tuple[list[int], list[tuple[int, int]]]:
         """Steps 4(a)+(b): ``Y_S`` reordered plus the ``⟨y, f_eS(y)⟩`` pairs."""
         self.size_v_r = len(y_r)
-        y_s = sorted_ciphertexts(
-            [self.cipher.encrypt(self._key, x) for x in self._hashes]
-        )
-        pairs = [(y, self.cipher.encrypt(self._key, y)) for y in y_r]
+        y_s = sorted_ciphertexts(self.cipher.encrypt_many(self._key, self._hashes))
+        pairs = list(zip(y_r, self.cipher.encrypt_many(self._key, y_r)))
         return y_s, pairs
 
 
@@ -143,16 +149,14 @@ class IntersectionSizeReceiver(_Party):
 
     def round1(self) -> list[int]:
         """Step 3: ``Y_R``, reordered lexicographically."""
-        self._y_r = [
-            self.cipher.encrypt(self._key, x) for x in self._hashes
-        ]
+        self._y_r = self.cipher.encrypt_many(self._key, self._hashes)
         return sorted_ciphertexts(self._y_r)
 
     def finish(self, reply: tuple[list[int], list[int]]) -> int:
         """Steps 5-6: count ``|Z_S ∩ Z_R|`` from S's reply."""
         y_s, z_r = reply
         self.size_v_s = len(y_s)
-        z_s = {self.cipher.encrypt(self._key, y) for y in y_s}
+        z_s = set(self.cipher.encrypt_many(self._key, y_s))
         return len(z_s & set(z_r))
 
 
@@ -162,12 +166,8 @@ class IntersectionSizeSender(_Party):
     def round1(self, y_r: list[int]) -> tuple[list[int], list[int]]:
         """Steps 4(a)+(b): ``Y_S`` plus the unpaired, reordered ``Z_R``."""
         self.size_v_r = len(y_r)
-        y_s = sorted_ciphertexts(
-            [self.cipher.encrypt(self._key, x) for x in self._hashes]
-        )
-        z_r = sorted_ciphertexts(
-            [self.cipher.encrypt(self._key, y) for y in y_r]
-        )
+        y_s = sorted_ciphertexts(self.cipher.encrypt_many(self._key, self._hashes))
+        z_r = sorted_ciphertexts(self.cipher.encrypt_many(self._key, y_r))
         return y_s, z_r
 
 
@@ -176,10 +176,9 @@ class EquijoinReceiver(_Party):
 
     def round1(self) -> list[int]:
         """Step 3: ``Y_R``, reordered lexicographically."""
-        self._y_by_value = {
-            v: self.cipher.encrypt(self._key, x)
-            for v, x in zip(self.values, self._hashes)
-        }
+        self._y_by_value = dict(
+            zip(self.values, self.cipher.encrypt_many(self._key, self._hashes))
+        )
         return sorted_ciphertexts(list(self._y_by_value.values()))
 
     def finish(self, reply) -> dict:
@@ -190,14 +189,17 @@ class EquijoinReceiver(_Party):
         ext_cipher = BlockExtCipher(self.group)
         inverse = self.cipher.invert_key(self._key)
         y_to_value = {y: v for v, y in self._y_by_value.items()}
-        by_codeword = {}
-        for y, second, third in triples:
-            v = y_to_value.get(y)
-            if v is None:
-                continue
-            codeword = self.cipher.encrypt(inverse, second)
-            kappa = self.cipher.encrypt(inverse, third)
-            by_codeword[codeword] = (v, kappa)
+        mine = [
+            (y_to_value[y], second, third)
+            for y, second, third in triples
+            if y in y_to_value
+        ]
+        codewords = self.cipher.encrypt_many(inverse, [t[1] for t in mine])
+        kappas = self.cipher.encrypt_many(inverse, [t[2] for t in mine])
+        by_codeword = {
+            codeword: (v, kappa)
+            for (v, _, _), codeword, kappa in zip(mine, codewords, kappas)
+        }
         matches = {}
         for codeword, ciphertext in pairs:
             hit = by_codeword.get(codeword)
@@ -212,11 +214,17 @@ class EquijoinReceiver(_Party):
 class EquijoinSender:
     """Party S of the Section 4.3 protocol (two keys + ext payloads)."""
 
-    def __init__(self, ext, params: PublicParams, rng: random.Random):
+    def __init__(
+        self,
+        ext,
+        params: PublicParams,
+        rng: random.Random,
+        engine: CryptoEngine | None = None,
+    ):
         from ..crypto.ext_cipher import BlockExtCipher
 
         self.params = params
-        self.group, self.hash, self.cipher = params.build()
+        self.group, self.hash, self.cipher = params.build(engine=engine)
         self.ext = {v: bytes(payload) for v, payload in ext.items()}
         self.values = sorted(self.ext, key=repr)
         self._hashes = self.hash.hash_set(self.values)
@@ -227,19 +235,19 @@ class EquijoinSender:
     def round1(self, y_r: list[int]):
         """Steps 4-5: triples over Y_R plus the ⟨codeword, K(...)⟩ pairs."""
         self.size_v_r = len(y_r)
-        triples = [
-            (
-                y,
-                self.cipher.encrypt(self._key, y),
-                self.cipher.encrypt(self._key_prime, y),
+        triples = list(
+            zip(
+                y_r,
+                self.cipher.encrypt_many(self._key, y_r),
+                self.cipher.encrypt_many(self._key_prime, y_r),
             )
-            for y in y_r
+        )
+        codewords = self.cipher.encrypt_many(self._key, self._hashes)
+        kappas = self.cipher.encrypt_many(self._key_prime, self._hashes)
+        pairs = [
+            (codeword, self._ext_cipher.encrypt(kappa, self.ext[v]))
+            for v, codeword, kappa in zip(self.values, codewords, kappas)
         ]
-        pairs = []
-        for v, x in zip(self.values, self._hashes):
-            codeword = self.cipher.encrypt(self._key, x)
-            kappa = self.cipher.encrypt(self._key_prime, x)
-            pairs.append((codeword, self._ext_cipher.encrypt(kappa, self.ext[v])))
         return triples, sorted(pairs)
 
 
@@ -252,11 +260,12 @@ class _MultisetParty:
         values: Iterable[Hashable],
         params: PublicParams,
         rng: random.Random,
+        engine: CryptoEngine | None = None,
     ):
         from ..db.multiset import ValueMultiset
 
         self.params = params
-        self.group, self.hash, self.cipher = params.build()
+        self.group, self.hash, self.cipher = params.build(engine=engine)
         ms = (
             values
             if isinstance(values, ValueMultiset)
@@ -266,10 +275,12 @@ class _MultisetParty:
         distinct = sorted(ms.distinct(), key=repr)
         hashes = self.hash.hash_set(distinct)
         self._key = self.cipher.sample_key(rng)
-        # Hash each distinct value once, then expand by multiplicity.
+        # Hash and encrypt each distinct value once (one batch), then
+        # expand by multiplicity.
+        encrypted = self.cipher.encrypt_many(self._key, hashes)
         self._y_multiset = [
-            self.cipher.encrypt(self._key, x)
-            for v, x in zip(distinct, hashes)
+            y
+            for v, y in zip(distinct, encrypted)
             for _ in range(ms.multiplicity(v))
         ]
 
@@ -286,7 +297,7 @@ class EquijoinSizeReceiver(_MultisetParty):
         their multiplicities on the two sides."""
         y_s, z_r = reply
         self.size_v_s = len(y_s)
-        z_s_counts = Counter(self.cipher.encrypt(self._key, y) for y in y_s)
+        z_s_counts = Counter(self.cipher.encrypt_many(self._key, y_s))
         z_r_counts = Counter(z_r)
         return sum(
             count * z_r_counts[codeword]
@@ -302,7 +313,5 @@ class EquijoinSizeSender(_MultisetParty):
         """Steps 4(a)+(b): ``Y_S`` plus the unpaired, reordered ``Z_R``."""
         self.size_v_r = len(y_r)
         y_s = sorted_ciphertexts(list(self._y_multiset))
-        z_r = sorted_ciphertexts(
-            [self.cipher.encrypt(self._key, y) for y in y_r]
-        )
+        z_r = sorted_ciphertexts(self.cipher.encrypt_many(self._key, y_r))
         return y_s, z_r

@@ -4,13 +4,18 @@ model short of wall-clock timing."""
 
 from __future__ import annotations
 
+import json
+import random
+
 import pytest
 
 from repro.analysis.costmodel import ProtocolCostModel
-from repro.analysis.instrumentation import counting_suite
+from repro.analysis.instrumentation import MetricsRecorder, counting_suite
+from repro.crypto.engine import create_engine
 from repro.protocols.equijoin import run_equijoin
 from repro.protocols.intersection import run_intersection
 from repro.protocols.intersection_size import run_intersection_size
+from repro.protocols.parties import IntersectionReceiver, IntersectionSender, PublicParams
 
 
 @pytest.fixture()
@@ -69,3 +74,76 @@ class TestCounterMechanics:
         cs.suite.hash.hash_value("v")
         cs.suite.hash.hash_value("v")
         assert cs.counter.hashes == 2
+
+
+class TestMetricsRecorder:
+    def test_phases_and_attribution(self):
+        rec = MetricsRecorder()
+        with rec.phase("a"):
+            rec.count_modexp(3)
+        with rec.phase("b"):
+            rec.count_modexp(2)
+        rec.count_modexp(5)  # outside any phase
+        assert rec.phases["a"].modexp == 3
+        assert rec.phases["b"].modexp == 2
+        assert rec.unattributed_modexp == 5
+        assert rec.total_modexp == 10
+
+    def test_nested_phase_attributes_innermost(self):
+        rec = MetricsRecorder()
+        with rec.phase("outer"):
+            with rec.phase("inner"):
+                rec.count_modexp(4)
+            rec.count_modexp(1)
+        assert rec.phases["inner"].modexp == 4
+        assert rec.phases["outer"].modexp == 1
+
+    def test_phase_reentry_accumulates(self):
+        rec = MetricsRecorder()
+        for _ in range(3):
+            with rec.phase("loop"):
+                rec.count_modexp(1)
+        stats = rec.phases["loop"]
+        assert stats.calls == 3
+        assert stats.modexp == 3
+        assert stats.wall_s > 0
+
+    def test_report_is_json_dumpable(self):
+        rec = MetricsRecorder()
+        engine = create_engine(1, on_modexp=rec.count_modexp)
+        rec.attach_engine(engine)
+        with rec.phase("p"):
+            engine.pow_many([2, 3], 5, 23)
+        report = json.loads(json.dumps(rec.report()))
+        assert report["engine"]["engine"] == "SerialEngine"
+        assert report["total_modexp"] == 2
+        assert report["unattributed_modexp"] == 0
+        assert report["phases"]["p"]["modexp"] == 2
+        assert report["phases"]["p"]["calls"] == 1
+        assert report["total_wall_s"] >= 0
+
+    def test_protocol_run_attributes_every_modexp(self):
+        """A metered protocol run leaves nothing unattributed, and the
+        per-phase counts sum to the cost model's 2(nS + nR)."""
+        rec = MetricsRecorder()
+        engine = create_engine(1, on_modexp=rec.count_modexp)
+        rec.attach_engine(engine)
+        params = PublicParams.for_bits(64)
+        n = 6
+        receiver = IntersectionReceiver(
+            [f"r{i}" for i in range(n)], params, random.Random(1), engine=engine
+        )
+        sender = IntersectionSender(
+            [f"s{i}" for i in range(n)], params, random.Random(2), engine=engine
+        )
+        with rec.phase("r.round1"):
+            m1 = receiver.round1()
+        with rec.phase("s.round1"):
+            m2 = sender.round1(m1)
+        with rec.phase("r.finish"):
+            receiver.finish(m2)
+        assert rec.unattributed_modexp == 0
+        assert rec.total_modexp == 2 * (n + n)
+        assert rec.phases["r.round1"].modexp == n
+        assert rec.phases["s.round1"].modexp == 2 * n
+        assert rec.phases["r.finish"].modexp == n

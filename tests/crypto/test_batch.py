@@ -11,6 +11,7 @@ from repro.crypto.batch import (
     parallel_pow,
     sequential_pow,
 )
+from repro.crypto.engine import shared_engine, shutdown_shared_engines
 from repro.crypto.groups import QRGroup
 
 
@@ -74,3 +75,36 @@ class TestMeasurement:
         result = measure_speedup(xs, e, p, processors=2)
         # Tiny batches are overhead-dominated; we only require sanity.
         assert result.speedup > 0
+
+    def test_pool_startup_reported_separately(self, batch):
+        xs, e, p = batch
+        shutdown_shared_engines()  # force a cold pool for this measurement
+        try:
+            result = measure_speedup(xs, e, p, processors=2)
+            # Spawning worker processes takes real time, and it must be
+            # excluded from the steady-state parallel figure.
+            assert result.pool_startup_s > 0
+            assert result.parallel_s > 0
+        finally:
+            shutdown_shared_engines()
+
+    def test_serial_measurement_has_no_startup(self, batch):
+        xs, e, p = batch
+        result = measure_speedup(xs, e, p, processors=1)
+        assert result.pool_startup_s == 0.0
+
+
+class TestSharedExecutor:
+    def test_repeated_calls_reuse_one_pool(self, batch):
+        xs, e, p = batch
+        try:
+            parallel_pow(xs, e, p, processors=2)
+            engine = shared_engine(2)
+            pool = engine._pool
+            assert pool is not None
+            parallel_pow(xs, e, p, processors=2)
+            assert shared_engine(2) is engine
+            assert engine._pool is pool
+            assert engine.parallel_batches >= 2
+        finally:
+            shutdown_shared_engines()

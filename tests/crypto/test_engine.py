@@ -1,0 +1,179 @@
+"""Tests for the pluggable crypto execution engine (Section 6.2's P)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.engine import (
+    DEFAULT_MIN_PARALLEL,
+    MeteredEngine,
+    ProcessPoolEngine,
+    SerialEngine,
+    create_engine,
+    shared_engine,
+    shutdown_shared_engines,
+)
+from repro.crypto.groups import QRGroup
+
+
+@pytest.fixture(scope="module")
+def group():
+    return QRGroup.for_bits(128)
+
+
+@pytest.fixture(scope="module")
+def batch(group):
+    rng = random.Random(11)
+    xs = [group.random_element(rng) for _ in range(DEFAULT_MIN_PARALLEL + 8)]
+    e = group.random_exponent(rng)
+    return xs, e, group.p
+
+
+def expected(xs, e, p):
+    return [pow(x, e, p) for x in xs]
+
+
+class TestSerialEngine:
+    def test_matches_pow(self, batch):
+        xs, e, p = batch
+        assert SerialEngine().pow_many(xs, e, p) == expected(xs, e, p)
+
+    def test_empty(self, group):
+        assert SerialEngine().pow_many([], 3, group.p) == []
+
+    def test_describe(self):
+        assert SerialEngine().describe() == {
+            "engine": "SerialEngine",
+            "workers": 1,
+        }
+
+
+class TestProcessPoolEngine:
+    def test_order_preserved_odd_chunks(self, batch):
+        # Chunk sizes that do not divide the batch exercise the
+        # flatten-in-order path (last chunk short).
+        xs, e, p = batch
+        with ProcessPoolEngine(processors=2) as engine:
+            for chunk in (1, 3, 7, len(xs) - 1, len(xs), len(xs) + 5):
+                assert engine.pow_many(xs, e, p, chunk_size=chunk) == expected(
+                    xs, e, p
+                )
+            assert engine.parallel_batches == 6
+
+    def test_tiny_batch_serial_no_pool(self, group):
+        engine = ProcessPoolEngine(processors=4)
+        xs = [group.generator] * (engine._threshold() - 1)
+        assert engine.pow_many(xs, 5, group.p) == expected(xs, 5, group.p)
+        assert engine._pool is None  # never spun up
+        assert engine.serial_batches == 1
+        assert engine.parallel_batches == 0
+
+    def test_single_processor_stays_serial(self, batch):
+        xs, e, p = batch
+        engine = ProcessPoolEngine(processors=1)
+        assert engine.pow_many(xs, e, p) == expected(xs, e, p)
+        assert engine._pool is None
+
+    def test_pool_reused_across_calls(self, batch):
+        xs, e, p = batch
+        with ProcessPoolEngine(processors=2) as engine:
+            engine.pow_many(xs, e, p)
+            first_pool = engine._pool
+            engine.pow_many(xs, e, p)
+            assert engine._pool is first_pool
+            assert engine.parallel_batches == 2
+
+    def test_broken_pool_degrades_to_serial(self, batch, monkeypatch):
+        xs, e, p = batch
+        engine = ProcessPoolEngine(processors=2)
+
+        def boom():
+            raise OSError("no forks for you")
+
+        monkeypatch.setattr(engine, "_ensure_pool", boom)
+        assert engine.pow_many(xs, e, p) == expected(xs, e, p)
+        assert engine.pool_failures == 1
+        assert engine._broken
+        monkeypatch.undo()
+        # Once broken, stays serial even though the pool would work now.
+        assert engine.pow_many(xs, e, p) == expected(xs, e, p)
+        assert engine._pool is None
+        assert engine.serial_batches == 2
+
+    def test_close_idempotent(self, batch):
+        xs, e, p = batch
+        engine = ProcessPoolEngine(processors=2)
+        engine.pow_many(xs, e, p)
+        engine.close()
+        engine.close()
+        assert engine._pool is None
+        # A later batch transparently restarts the pool.
+        assert engine.pow_many(xs, e, p) == expected(xs, e, p)
+        engine.close()
+
+    def test_warm_up_starts_workers(self):
+        with ProcessPoolEngine(processors=2) as engine:
+            engine.warm_up()
+            assert engine._pool is not None
+
+    def test_describe_counters(self, batch):
+        xs, e, p = batch
+        with ProcessPoolEngine(processors=2) as engine:
+            engine.pow_many(xs, e, p)
+            engine.pow_many(xs[:4], e, p)
+            info = engine.describe()
+        assert info["engine"] == "ProcessPoolEngine"
+        assert info["workers"] == 2
+        assert info["parallel_batches"] == 1
+        assert info["serial_batches"] == 1
+        assert info["pool_failures"] == 0
+
+
+class TestMeteredEngine:
+    def test_counts_and_delegates(self, batch):
+        xs, e, p = batch
+        seen = []
+        engine = MeteredEngine(SerialEngine(), seen.append)
+        assert engine.pow_many(xs, e, p) == expected(xs, e, p)
+        assert engine.pow_many(xs[:5], e, p) == expected(xs[:5], e, p)
+        assert seen == [len(xs), 5]
+        assert engine.workers == 1
+        assert engine.describe()["engine"] == "SerialEngine"
+
+
+class TestCreateEngine:
+    @pytest.mark.parametrize("workers", [None, 0, 1])
+    def test_serial_for_small_workers(self, workers):
+        assert isinstance(create_engine(workers), SerialEngine)
+
+    def test_pool_for_many_workers(self):
+        engine = create_engine(3)
+        assert isinstance(engine, ProcessPoolEngine)
+        assert engine.workers == 3
+        engine.close()
+
+    def test_metered_wrapping(self, batch):
+        xs, e, p = batch
+        seen = []
+        engine = create_engine(1, on_modexp=seen.append)
+        assert isinstance(engine, MeteredEngine)
+        engine.pow_many(xs[:3], e, p)
+        assert seen == [3]
+
+
+class TestSharedEngines:
+    def test_same_instance_per_processor_count(self):
+        try:
+            assert shared_engine(2) is shared_engine(2)
+            assert shared_engine(2) is not shared_engine(3)
+            assert isinstance(shared_engine(1), SerialEngine)
+        finally:
+            shutdown_shared_engines()
+
+    def test_shutdown_clears_registry(self):
+        first = shared_engine(2)
+        shutdown_shared_engines()
+        assert shared_engine(2) is not first
+        shutdown_shared_engines()

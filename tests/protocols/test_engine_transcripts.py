@@ -1,0 +1,90 @@
+"""Engine choice must never change the wire: serial and pooled runs of
+every protocol produce byte-identical transcripts and equal answers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.engine import ProcessPoolEngine, SerialEngine
+from repro.net.serialization import encode
+from repro.protocols.parties import (
+    EquijoinReceiver,
+    EquijoinSender,
+    EquijoinSizeReceiver,
+    EquijoinSizeSender,
+    IntersectionReceiver,
+    IntersectionSender,
+    IntersectionSizeReceiver,
+    IntersectionSizeSender,
+    PublicParams,
+)
+
+BITS = 128
+N = 40  # above DEFAULT_MIN_PARALLEL so the pool actually engages
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PublicParams.for_bits(BITS)
+
+
+def _values(n=N):
+    half = n // 2
+    v_r = [f"r{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    return v_r, v_s
+
+
+def _run(receiver_cls, sender_cls, params, engine, sender_ext=False):
+    """One full run with fixed seeds; returns (m1, m2, answer) bytes-able."""
+    v_r, v_s = _values()
+    rng_r, rng_s = random.Random("R"), random.Random("S")
+    receiver = receiver_cls(v_r, params, rng_r, engine=engine)
+    if sender_ext:
+        ext = {v: f"payload:{v}".encode() for v in v_s}
+        sender = sender_cls(ext, params, rng_s, engine=engine)
+    else:
+        sender = sender_cls(v_s, params, rng_s, engine=engine)
+    m1 = receiver.round1()
+    m2 = sender.round1(m1)
+    answer = receiver.finish(m2)
+    return m1, m2, answer
+
+
+PROTOCOLS = [
+    ("intersection", IntersectionReceiver, IntersectionSender, False),
+    ("intersection-size", IntersectionSizeReceiver, IntersectionSizeSender, False),
+    ("equijoin", EquijoinReceiver, EquijoinSender, True),
+    ("equijoin-size", EquijoinSizeReceiver, EquijoinSizeSender, False),
+]
+
+
+@pytest.mark.parametrize(
+    "name,receiver_cls,sender_cls,sender_ext",
+    PROTOCOLS,
+    ids=[p[0] for p in PROTOCOLS],
+)
+def test_transcripts_identical_across_engines(
+    params, name, receiver_cls, sender_cls, sender_ext
+):
+    serial = _run(receiver_cls, sender_cls, params, SerialEngine(),
+                  sender_ext=sender_ext)
+    with ProcessPoolEngine(processors=2, chunk_size=7) as engine:
+        pooled = _run(receiver_cls, sender_cls, params, engine,
+                      sender_ext=sender_ext)
+        assert engine.parallel_batches > 0, "pool never engaged"
+    s_m1, s_m2, s_answer = serial
+    p_m1, p_m2, p_answer = pooled
+    assert encode(s_m1) == encode(p_m1)
+    assert encode(s_m2) == encode(p_m2)
+    assert s_answer == p_answer
+
+
+def test_answers_correct_under_pool(params):
+    with ProcessPoolEngine(processors=2) as engine:
+        _, _, answer = _run(
+            IntersectionReceiver, IntersectionSender, params, engine
+        )
+    assert answer == {f"c{i}" for i in range(N // 2)}

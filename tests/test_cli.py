@@ -225,3 +225,76 @@ class TestDistributedProtocolOptions:
         assert args.protocol == "intersection-size"
         assert args.timeout == 2.5
         assert args.resumable is True
+
+    def test_parser_accepts_engine_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--sender", "s.txt", "--workers", "4", "--metrics"]
+        )
+        assert args.workers == 4
+        assert args.metrics is True
+        args = build_parser().parse_args(
+            ["connect", "--receiver", "r.txt", "--port", "9"]
+        )
+        assert args.workers == 1
+        assert args.metrics is False
+
+    def test_metrics_json_emitted(self, tmp_path, capsys):
+        import json
+
+        r_file = tmp_path / "r.txt"
+        s_file = tmp_path / "s.txt"
+        r_file.write_text("a\nb\nc\n")
+        s_file.write_text("b\nc\nd\n")
+        code, server_code = self._serve_connect(
+            ["--bits", "128", "serve", "--sender", str(s_file),
+             "--metrics", "--timeout", "10"],
+            ["--bits", "128", "connect", "--receiver", str(r_file),
+             "--metrics", "--timeout", "10"],
+            port=0,
+        )
+        assert code == 0 and server_code == 0
+        err = capsys.readouterr().err
+        reports = [
+            json.loads(line) for line in err.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(reports) == 2  # one per endpoint
+        for report in reports:
+            assert report["engine"]["engine"] == "SerialEngine"
+            assert report["total_modexp"] > 0
+            assert report["unattributed_modexp"] == 0
+            assert report["total_wall_s"] > 0
+            for stats in report["phases"].values():
+                assert set(stats) == {"wall_s", "modexp", "calls"}
+        phase_sets = [set(r["phases"]) for r in reports]
+        assert {"s.setup", "s.wait_m1", "s.round1"} in phase_sets
+        assert {"r.setup", "r.round1", "r.wait_m2", "r.finish"} in phase_sets
+
+    def test_workers_flag_implies_metrics(self, tmp_path, capsys):
+        import json
+
+        r_file = tmp_path / "r.txt"
+        s_file = tmp_path / "s.txt"
+        r_file.write_text("a\nb\n")
+        s_file.write_text("b\nc\n")
+        code, server_code = self._serve_connect(
+            ["--bits", "128", "serve", "--sender", str(s_file),
+             "--workers", "2", "--timeout", "10"],
+            ["--bits", "128", "connect", "--receiver", str(r_file),
+             "--workers", "2", "--timeout", "10"],
+            port=0,
+        )
+        assert code == 0 and server_code == 0
+        out = capsys.readouterr()
+        assert "b" in out.out
+        reports = [
+            json.loads(line) for line in out.err.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(reports) == 2
+        for report in reports:
+            assert report["engine"]["engine"] == "ProcessPoolEngine"
+            assert report["engine"]["workers"] == 2
+            # Tiny sets stay under the parallel crossover - routed
+            # serially, but still counted.
+            assert report["total_modexp"] > 0
