@@ -15,7 +15,7 @@ values on each side; with one million ids per side the computation is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .costmodel import CostConstants, PAPER_CONSTANTS, ProtocolCostModel
 

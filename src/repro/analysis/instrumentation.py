@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ..crypto.commutative import PowerCipher

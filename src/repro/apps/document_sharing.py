@@ -16,7 +16,7 @@ explicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..analysis.costmodel import ProtocolCostModel

@@ -17,10 +17,11 @@ Commands:
     serve              party S of any protocol as a real TCP server
     connect            party R of any protocol as a TCP client
 
-``serve``/``connect`` accept ``--protocol`` (all four protocols),
-``--timeout``, and ``--resumable`` to run under the fault-tolerant
-session layer (checksummed frames, retries, resume after disconnects)
-instead of the plain one-shot handshake. ``--workers N`` runs the
+``serve``/``connect`` accept ``--protocol`` (every protocol in the
+:mod:`repro.protocols.spec` registry - new registrations appear here
+automatically), ``--timeout``, and ``--resumable`` to run under the
+fault-tolerant session layer (checksummed frames, retries, resume
+after disconnects) instead of the plain one-shot handshake. ``--workers N`` runs the
 party's batch encryption on ``N`` processes (the Section 6.2
 ``P``-processor model; see docs/PERFORMANCE.md), and ``--metrics``
 prints a per-phase wall-clock + modexp-count JSON report to stderr
@@ -45,6 +46,7 @@ from .protocols.base import ProtocolSuite
 from .protocols.equijoin_size import run_equijoin_size
 from .protocols.intersection import run_intersection
 from .protocols.intersection_size import run_intersection_size
+from .protocols.spec import PROTOCOLS, get_spec
 
 __all__ = ["main", "build_parser"]
 
@@ -83,8 +85,16 @@ def _read_value_ext(path: str) -> dict[str, bytes]:
     return out
 
 
-NET_PROTOCOLS = ("intersection", "intersection-size", "equijoin",
-                 "equijoin-size")
+#: ``serve``/``connect`` choices come straight from the spec registry,
+#: so a protocol registered there is network-runnable with no CLI edit.
+NET_PROTOCOLS = tuple(PROTOCOLS)
+
+#: How each spec's declared ``sender_input`` shape maps to a file reader.
+_SENDER_READERS = {
+    "values": _read_values,
+    "ext": _read_value_ext,
+    "amounts": _read_value_amounts,
+}
 
 
 def _add_engine_options(p: argparse.ArgumentParser) -> None:
@@ -139,7 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--sender", required=True,
-        help="S's value file (for equijoin: value,ext-payload lines)",
+        help="S's value file (equijoin: value,ext-payload lines; "
+             "equijoin-sum: value,amount lines)",
     )
     p.add_argument(
         "--protocol", choices=NET_PROTOCOLS, default="intersection",
@@ -216,7 +227,7 @@ def _cmd_protocol(args: argparse.Namespace) -> int:
         result = run_equijoin_size(v_r, v_s, suite)
         print(result.join_size)
         print(
-            f"# S's duplicate distribution seen by R: "
+            "# S's duplicate distribution seen by R: "
             f"{result.r_learns_s_duplicates}",
             file=sys.stderr,
         )
@@ -244,7 +255,7 @@ def _cmd_tables() -> int:
         )
     headline = {r.n: r for r in cm.comparison_table()}[10**6]
     print(
-        f"  headline (n=1e6, T1): "
+        "  headline (n=1e6, T1): "
         f"{cm.t1_transfer_days(headline.circuit_tables_bits):.0f} days vs "
         f"{cm.t1_transfer_days(headline.ours_bits)*24:.1f} hours"
     )
@@ -289,15 +300,16 @@ def _emit_metrics(args: argparse.Namespace, recorder) -> None:
 
 
 def _print_answer(protocol: str, answer) -> None:
-    if protocol == "intersection":
+    kind = get_spec(protocol).answer_kind
+    if kind == "set":
         for value in sorted(answer, key=repr):
             print(value)
         print(f"# |intersection|={len(answer)}", file=sys.stderr)
-    elif protocol == "equijoin":
+    elif kind == "ext-map":
         for value in sorted(answer, key=repr):
             print(f"{value}\t{answer[value].decode('utf-8', 'replace')}")
         print(f"# matches={len(answer)}", file=sys.stderr)
-    else:  # both size protocols answer with one number
+    else:  # "number": sizes and aggregates answer with one number
         print(answer)
 
 
@@ -307,11 +319,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .net import tcp
     from .protocols.parties import PublicParams
 
-    data = (
-        _read_value_ext(args.sender)
-        if args.protocol == "equijoin"
-        else _read_values(args.sender)
-    )
+    data = _SENDER_READERS[get_spec(args.protocol).sender_input](args.sender)
     params = PublicParams.for_bits(args.bits)
     rng = _random.Random(args.seed)
     engine, recorder = _build_engine_and_recorder(args)
@@ -333,14 +341,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             _emit_metrics(args, recorder)
             return 0
 
-        serve = {
-            "intersection": tcp.serve_intersection_sender,
-            "intersection-size": tcp.serve_intersection_size_sender,
-            "equijoin": tcp.serve_equijoin_sender,
-            "equijoin-size": tcp.serve_equijoin_size_sender,
-        }[args.protocol]
-        size_v_r = serve(
-            data, params, rng, host=args.host, port=args.port,
+        size_v_r = tcp.serve(
+            args.protocol, data, params, rng, host=args.host, port=args.port,
             ready_callback=announce, timeout=args.timeout,
             engine=engine, recorder=recorder,
         )
@@ -372,15 +374,9 @@ def _cmd_connect(args: argparse.Namespace) -> int:
             _emit_metrics(args, recorder)
             return 0
 
-        connect = {
-            "intersection": tcp.connect_intersection_receiver,
-            "intersection-size": tcp.connect_intersection_size_receiver,
-            "equijoin": tcp.connect_equijoin_receiver,
-            "equijoin-size": tcp.connect_equijoin_size_receiver,
-        }[args.protocol]
-        answer = connect(
-            v_r, rng, args.host, args.port, timeout=args.timeout,
-            engine=engine, recorder=recorder,
+        answer = tcp.connect(
+            args.protocol, v_r, rng, args.host, args.port,
+            timeout=args.timeout, engine=engine, recorder=recorder,
         )
         _print_answer(args.protocol, answer)
         _emit_metrics(args, recorder)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from .engine import CryptoEngine, SerialEngine
 from .groups import QRGroup

@@ -24,7 +24,7 @@ import hashlib
 from abc import ABC, abstractmethod
 
 from .groups import QRGroup
-from .numtheory import is_quadratic_residue, modinv
+from .numtheory import modinv
 
 __all__ = ["ExtCipher", "MultiplicativeExtCipher", "BlockExtCipher"]
 

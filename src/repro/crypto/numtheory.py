@@ -10,9 +10,8 @@ protocol is ``pow(x, e, p)``, which CPython already implements in C.
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Iterable, Sequence
+from typing import Sequence
 
 __all__ = [
     "is_probable_prime",

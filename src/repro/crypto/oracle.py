@@ -11,7 +11,6 @@ idealized hash rather than the SHA-256 instantiation.
 from __future__ import annotations
 
 import random
-from typing import Iterable
 
 from .groups import QRGroup
 from .hashing import DomainHash, Value, value_to_bytes

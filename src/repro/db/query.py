@@ -12,9 +12,8 @@ a protocol run's recorded views against it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any
 
 __all__ = [
     "Disclosure",

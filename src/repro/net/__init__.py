@@ -34,7 +34,9 @@ from .tcp import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameTooLarge,
     SocketEndpoint,
+    connect,
     connect_resumable_receiver,
+    serve,
     serve_resumable_sender,
 )
 from .transcript import ReceivedMessage, View
@@ -68,6 +70,8 @@ __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "FrameTooLarge",
     "SocketEndpoint",
+    "serve",
+    "connect",
     "serve_resumable_sender",
     "connect_resumable_receiver",
     "View",

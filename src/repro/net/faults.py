@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 import struct
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from . import serialization

@@ -19,7 +19,37 @@ from typing import Any
 from .channel import Endpoint, LinkModel, T1_LINE, duplex_pair
 from .transcript import View
 
-__all__ = ["ProtocolRun", "ThreePartyRun"]
+__all__ = ["ProtocolRun", "ThreePartyRun", "run_spec"]
+
+
+def run_spec(spec: Any, receiver: Any, sender: Any, run: "ProtocolRun") -> Any:
+    """Drive one spec-described protocol over a run's in-memory channels.
+
+    Interprets the spec's round schedule: each round's producing
+    machine computes its typed message, every message *part* crosses
+    the accounted wire separately under its historical transcript
+    label, and the consuming machine reassembles the round from what
+    actually arrived. Returns the receiver's answer.
+
+    ``spec`` / ``receiver`` / ``sender`` are duck-typed (a
+    :class:`~repro.protocols.spec.ProtocolSpec` and the two machines
+    from :mod:`repro.protocols.parties`) so this module stays free of
+    protocol-layer imports.
+    """
+    for rnd in spec.rounds:
+        if rnd.source == "R":
+            producer, consumer, ship = receiver, sender, run.to_s
+        else:
+            producer, consumer, ship = sender, receiver, run.to_r
+        message = producer.produce(rnd)
+        received = [
+            ship(label, part)
+            for label, part in zip(rnd.parts, message.to_parts())
+        ]
+        consumer.consume_parts(rnd, received)
+    answer = receiver.finish()
+    run.finish()
+    return answer
 
 
 @dataclass

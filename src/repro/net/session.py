@@ -15,12 +15,13 @@ on top of that idealized channel:
 * **a versioned handshake** extending the ``PublicParams`` exchange of
   :mod:`repro.net.tcp` with a protocol name, session id and both
   parties' sequence cursors;
-* **resumable runs** - because the party state machines of
-  :mod:`repro.protocols.parties` factor every protocol into separable
-  rounds, a dropped connection resumes by replaying cached round
-  outputs from the last acknowledged round instead of restarting the
-  run. Rounds are computed once and their outputs logged, so a replay
-  re-ships identical bytes (idempotence).
+* **resumable runs** - because every protocol is declared as a round
+  schedule (:mod:`repro.protocols.spec`) interpreted by the generic
+  party machines of :mod:`repro.protocols.parties`, a dropped
+  connection resumes by replaying cached round outputs from the last
+  acknowledged round instead of restarting the run. Rounds are
+  computed once and their outputs logged, so a replay re-ships
+  identical bytes (idempotence).
 
 The protocols are strictly alternating, so stop-and-wait loses no
 throughput; a data frame arriving while a sender waits for its ack is
@@ -44,7 +45,6 @@ import random
 import time
 import zlib
 from collections import deque
-from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -448,17 +448,6 @@ def _close_quietly(transport: Any) -> None:
             pass
 
 
-def _phase(recorder: Any, name: str):
-    """The recorder's phase context, or a no-op when none is wired.
-
-    ``recorder`` is duck-typed (anything with a ``phase(name)`` context
-    manager - in practice a
-    :class:`repro.analysis.instrumentation.MetricsRecorder`) so the
-    net layer takes no dependency on the analysis package.
-    """
-    return recorder.phase(name) if recorder is not None else nullcontext()
-
-
 class SenderSession:
     """Party S's resumable run: accept, hand-shake, serve, survive.
 
@@ -466,7 +455,10 @@ class SenderSession:
     computed) lives here, *outside* any single connection, which is
     what makes a mid-run disconnect recoverable: a reconnecting client
     announces its receive cursor and the session replays exactly the
-    cached frames it is missing.
+    cached frames it is missing. The rounds themselves come from the
+    protocol's registered spec (:mod:`repro.protocols.spec`), walked by
+    a :class:`~repro.protocols.parties.SenderMachine` that persists
+    across reconnects.
     """
 
     def __init__(
@@ -478,22 +470,34 @@ class SenderSession:
         rng: random.Random | None = None,
         recorder: Any = None,
     ):
+        from ..protocols.spec import get_spec
+
         self.protocol = protocol
+        self.spec = get_spec(protocol)
         self.params = params
         self.config = config or SessionConfig()
         self.rng = rng or random.Random(0)
         self.stats = SessionStats(protocol=protocol)
         self.recorder = recorder
         self._make_sender = make_sender
-        self._sender: Any = None
+        self._machine: Any = None
         self._session_id: int | None = None
         self._inbound: list[Any] = []
         self._outbound: list[Any] = []
         self._attempted_sends: set[int] = set()
         self._complete = False
 
+    def _ensure_machine(self) -> Any:
+        if self._machine is None:
+            from ..protocols.parties import SenderMachine
+
+            self._machine = SenderMachine.from_factory(
+                self.spec, self._make_sender, self.recorder
+            )
+        return self._machine
+
     def run(self, accept: Callable[[], Any]) -> Any:
-        """Serve the run to completion; returns the sender state machine.
+        """Serve the run to completion; returns the sender party state.
 
         ``accept()`` must block until the next client connection and
         return a framed transport for it (raising ``TimeoutError`` when
@@ -513,7 +517,7 @@ class SenderSession:
             except (SessionError, ValueError, *_TRANSIENT) as exc:
                 if self._complete:
                     self.stats.finish()
-                    return self._sender
+                    return self._machine.state
                 failures += 1
                 self.stats.reconnects += 1
                 if failures > self.config.max_reconnects:
@@ -601,36 +605,47 @@ class SenderSession:
             pass
 
     def _script(self, endpoint: SessionEndpoint, client_next_recv: int) -> Any:
-        if not self._inbound:
-            with _phase(self.recorder, "s.wait_m1"):
-                self._inbound.append(endpoint.recv())
-            endpoint.recv_seq = len(self._inbound)
-        if not self._outbound:
-            if self._sender is None:
-                with _phase(self.recorder, "s.setup"):
-                    self._sender = self._make_sender()
-            with _phase(self.recorder, "s.round1"):
-                self._outbound.append(self._sender.round1(self._inbound[0]))
-            self.stats.rounds_computed += 1
-        elif client_next_recv < len(self._outbound):
+        machine = self._ensure_machine()
+        if client_next_recv < len(self._outbound):
             # A reconnected client served from the cached round log.
             self.stats.rounds_resumed += 1
-        # Ship, in order, every cached frame the client still lacks.
-        while endpoint.send_seq < len(self._outbound):
-            seq = endpoint.send_seq
-            if seq in self._attempted_sends:
-                self.stats.replayed_frames += 1
-            self._attempted_sends.add(seq)
-            endpoint.send(self._outbound[seq])
+        received = produced = 0
+        for rnd in self.spec.rounds:
+            if rnd.source == "R":
+                if received >= len(self._inbound):
+                    with machine.wait(rnd):
+                        payload = endpoint.recv()
+                    self._inbound.append(payload)
+                    machine.consume(rnd, payload)
+                received += 1
+            else:
+                if produced >= len(self._outbound):
+                    self._outbound.append(machine.produce(rnd).to_wire())
+                    self.stats.rounds_computed += 1
+                produced += 1
+                # Ship, in order, every cached frame the client lacks.
+                while endpoint.send_seq < produced:
+                    seq = endpoint.send_seq
+                    if seq in self._attempted_sends:
+                        self.stats.replayed_frames += 1
+                    self._attempted_sends.add(seq)
+                    endpoint.send(self._outbound[seq])
         self._complete = True
         if endpoint.await_fin(self.config.fin_grace_s):
             # Echo the fin so the lingering client can leave promptly.
             endpoint.fin(self._session_id)
-        return self._sender
+        return machine.state
 
 
 class ReceiverSession:
-    """Party R's resumable run: connect, hand-shake, drive, reconnect."""
+    """Party R's resumable run: connect, hand-shake, drive, reconnect.
+
+    Like :class:`SenderSession`, R walks the protocol's registered
+    round schedule with a persistent
+    :class:`~repro.protocols.parties.ReceiverMachine` and caches every
+    round payload, so a reconnect resumes mid-schedule instead of
+    restarting the run.
+    """
 
     def __init__(
         self,
@@ -641,7 +656,10 @@ class ReceiverSession:
         session_id: int | None = None,
         recorder: Any = None,
     ):
+        from ..protocols.spec import get_spec
+
         self.protocol = protocol
+        self.spec = get_spec(protocol)
         self.config = config or SessionConfig()
         self.rng = rng or random.Random()
         self.stats = SessionStats(protocol=protocol)
@@ -650,11 +668,22 @@ class ReceiverSession:
             session_id if session_id is not None else self.rng.getrandbits(63)
         )
         self._make_receiver = make_receiver
-        self._receiver: Any = None
+        self._machine: Any = None
         self._params_wire: tuple | None = None
-        self._m1: Any = None
-        self._m1_shipped = False
-        self._m2: Any = None
+        self._inbound: list[Any] = []
+        self._outbound: list[Any] = []
+        self._attempted_sends: set[int] = set()
+
+    def _ensure_machine(self) -> Any:
+        if self._machine is None:
+            from ..protocols.parties import ReceiverMachine
+
+            self._machine = ReceiverMachine.from_factory(
+                self.spec,
+                lambda: self._make_receiver(self._params_wire),
+                self.recorder,
+            )
+        return self._machine
 
     def run(self, connect: Callable[[], Any]) -> Any:
         """Drive the run to completion; returns the protocol answer.
@@ -724,13 +753,13 @@ class ReceiverSession:
         )
 
     def _handshake(self, transport: Any) -> SessionEndpoint:
-        next_recv = 0 if self._m2 is None else 1
+        next_recv = len(self._inbound)
         hello = seal(
             "hello",
             SESSION_VERSION,
             self.protocol,
             self.session_id,
-            1 if self._m1_shipped else 0,
+            len(self._attempted_sends),
             next_recv,
         )
         fields = self._await_welcome(transport, hello)
@@ -752,7 +781,12 @@ class ReceiverSession:
             raise HandshakeError(
                 "server changed public parameters across a resume"
             )
-        if not isinstance(server_next_recv, int) or not 0 <= server_next_recv <= 1:
+        rounds_from_r = sum(
+            1 for rnd in self.spec.rounds if rnd.source == "R"
+        )
+        if not isinstance(server_next_recv, int) or not (
+            0 <= server_next_recv <= rounds_from_r
+        ):
             raise SessionError(
                 f"implausible server cursor {server_next_recv!r}"
             )
@@ -766,21 +800,28 @@ class ReceiverSession:
         )
 
     def _script(self, endpoint: SessionEndpoint) -> Any:
-        if self._receiver is None:
-            with _phase(self.recorder, "r.setup"):
-                self._receiver = self._make_receiver(self._params_wire)
-        if self._m1 is None:
-            with _phase(self.recorder, "r.round1"):
-                self._m1 = self._receiver.round1()
-            self.stats.rounds_computed += 1
-        if endpoint.send_seq == 0:
-            if self._m1_shipped:
-                self.stats.replayed_frames += 1
-                self.stats.rounds_resumed += 1
-            self._m1_shipped = True
-            endpoint.send(self._m1)
-        if self._m2 is None:
-            with _phase(self.recorder, "r.wait_m2"):
-                self._m2 = endpoint.recv()
-        with _phase(self.recorder, "r.finish"):
-            return self._receiver.finish(self._m2)
+        machine = self._ensure_machine()
+        machine.ensure_state()
+        sent = received = 0
+        for rnd in self.spec.rounds:
+            if rnd.source == "R":
+                if sent >= len(self._outbound):
+                    self._outbound.append(machine.produce(rnd).to_wire())
+                    self.stats.rounds_computed += 1
+                sent += 1
+                # Ship, in order, every cached frame the server lacks.
+                while endpoint.send_seq < sent:
+                    seq = endpoint.send_seq
+                    if seq in self._attempted_sends:
+                        self.stats.replayed_frames += 1
+                        self.stats.rounds_resumed += 1
+                    self._attempted_sends.add(seq)
+                    endpoint.send(self._outbound[seq])
+            else:
+                if received >= len(self._inbound):
+                    with machine.wait(rnd):
+                        payload = endpoint.recv()
+                    self._inbound.append(payload)
+                    machine.consume(rnd, payload)
+                received += 1
+        return machine.finish()

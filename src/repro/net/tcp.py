@@ -3,8 +3,8 @@
 The in-memory channels are perfect for analysis (byte-exact accounting,
 recorded views); this module provides the deployment-shaped
 counterpart: length-prefixed frames of the same wire format over a TCP
-socket, plus serve/connect helpers that run the separable party state
-machines of :mod:`repro.protocols.parties` across the connection.
+socket, plus serve/connect drivers that interpret any registered
+:class:`~repro.protocols.spec.ProtocolSpec` across the connection.
 
 Framing: each message is ``len(payload) as u32 big-endian || payload``,
 where the payload is :mod:`repro.net.serialization` bytes. Frames are
@@ -14,15 +14,16 @@ triggering a multi-gigabyte allocation, and every helper takes a
 ``timeout`` so a hung or absent peer raises instead of blocking
 forever.
 
-Two families of helpers cover all four protocols (intersection,
-intersection-size, equijoin, equijoin-size):
+Two families of drivers cover every protocol in the registry:
 
-* the plain ``serve_*``/``connect_*`` pairs speak the original
-  one-shot handshake (the sender ships its
-  :class:`~repro.protocols.parties.PublicParams`, the messages follow,
-  any failure aborts the run);
+* :func:`serve`/:func:`connect` speak the original one-shot handshake
+  (the sender ships its
+  :class:`~repro.protocols.parties.PublicParams`, the spec's rounds
+  follow in order, any failure aborts the run); the protocol-specific
+  ``serve_*``/``connect_*`` helpers are thin deprecated shims over
+  them, kept for source compatibility;
 * :func:`serve_resumable_sender`/:func:`connect_resumable_receiver`
-  run the same state machines under the fault-tolerant session layer
+  run the same round schedule under the fault-tolerant session layer
   of :mod:`repro.net.session` - checksummed, acknowledged frames,
   retry with backoff, and resumption from the last acknowledged round
   after a dropped connection.
@@ -36,17 +37,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Mapping, Sequence
 
-from ..protocols.parties import (
-    EquijoinReceiver,
-    EquijoinSender,
-    EquijoinSizeReceiver,
-    EquijoinSizeSender,
-    IntersectionReceiver,
-    IntersectionSender,
-    IntersectionSizeReceiver,
-    IntersectionSizeSender,
-    PublicParams,
-)
+from ..protocols.parties import PublicParams, ReceiverMachine, SenderMachine
+from ..protocols.spec import PROTOCOLS, ProtocolSpec, get_spec
 from . import serialization
 from .session import (
     ReceiverSession,
@@ -59,6 +51,8 @@ __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "FrameTooLarge",
     "SocketEndpoint",
+    "serve",
+    "connect",
     "serve_intersection_sender",
     "connect_intersection_receiver",
     "serve_intersection_size_sender",
@@ -148,7 +142,7 @@ class SocketEndpoint:
 
 
 # ----------------------------------------------------------------------
-# Socket plumbing shared by the serve/connect helpers
+# Socket plumbing shared by the serve/connect drivers
 # ----------------------------------------------------------------------
 def _listen(host: str, port: int, timeout: float | None) -> socket.socket:
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -196,62 +190,114 @@ def _dial(
 # ----------------------------------------------------------------------
 # Plain one-shot runs (original handshake; any failure aborts)
 # ----------------------------------------------------------------------
-def _phase(recorder: Any, name: str):
-    """The recorder's phase context, or a no-op when none is wired."""
-    from .session import _phase as session_phase
-
-    return session_phase(recorder, name)
-
-
-def _serve_plain(
-    make_sender: Callable[[], Any],
+def serve(
+    protocol: str | ProtocolSpec,
+    data: Any,
     params: PublicParams,
-    host: str,
-    port: int,
-    ready_callback,
-    timeout: float | None,
-    recorder: Any = None,
+    rng: random.Random,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_callback=None,
+    timeout: float | None = None,
+    endpoint_wrapper: Callable[[SocketEndpoint], Any] | None = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    engine=None,
+    recorder=None,
 ) -> int:
-    endpoint = _accept_one(host, port, ready_callback, timeout)
+    """Run party S of any registered protocol as a TCP server.
+
+    Interprets the spec's round schedule: after the ``params``
+    handshake, S receives every receiver-sourced round and ships every
+    sender-sourced one, in order. Blocks until one receiver has been
+    served; returns ``|V_R|`` (everything S learns).
+
+    Args:
+        protocol: registry name (or an unregistered spec object).
+        data: S's private input, shaped per ``spec.sender_input``
+            (value list, ``v -> ext(v)`` map, or ``v -> amount`` map).
+        params: the public parameters shipped in the handshake.
+        rng: S's private randomness.
+        ready_callback: called with the bound port once listening -
+            pass the port to the client thread/process.
+        timeout: bounds both the wait for a client and each socket read.
+        endpoint_wrapper: wraps the accepted connection (e.g. a
+            :class:`~repro.net.faults.FaultyEndpoint` constructor).
+        engine: batch-crypto execution strategy
+            (:mod:`repro.crypto.engine`).
+        recorder: per-phase metrics collector
+            (:class:`repro.analysis.instrumentation.MetricsRecorder`).
+    """
+    spec = get_spec(protocol)
+    endpoint = _accept_one(host, port, ready_callback, timeout, max_frame_bytes)
+    transport = endpoint_wrapper(endpoint) if endpoint_wrapper else endpoint
     try:
-        endpoint.send(("params", params.to_wire()))
-        with _phase(recorder, "s.setup"):
-            sender = make_sender()
-        with _phase(recorder, "s.wait_m1"):
-            y_r = endpoint.recv()
-        with _phase(recorder, "s.round1"):
-            m2 = sender.round1(list(y_r))
-        endpoint.send(m2)
-        return sender.size_v_r
+        transport.send(("params", params.to_wire()))
+        machine = SenderMachine(
+            spec, data, params, rng, engine=engine, recorder=recorder
+        )
+        machine.ensure_state()
+        for rnd in spec.rounds:
+            if rnd.source == "R":
+                with machine.wait(rnd):
+                    wire = transport.recv()
+                machine.consume(rnd, wire)
+            else:
+                transport.send(machine.produce(rnd).to_wire())
+        return machine.state.size_v_r
     finally:
-        endpoint.close()
+        transport.close()
 
 
-def _connect_plain(
-    make_receiver: Callable[[PublicParams], Any],
+def connect(
+    protocol: str | ProtocolSpec,
+    data: Any,
+    rng: random.Random,
     host: str,
     port: int,
-    timeout: float | None,
-    recorder: Any = None,
+    timeout: float | None = None,
+    endpoint_wrapper: Callable[[SocketEndpoint], Any] | None = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    engine=None,
+    recorder=None,
 ) -> Any:
-    endpoint = _dial(host, port, timeout)
+    """Run party R of any registered protocol as a TCP client.
+
+    The server's handshake carries the public parameters, so R needs
+    no out-of-band setup beyond the address. Returns the protocol's
+    answer for R (set, size, ext mapping, or aggregate - whatever the
+    spec's ``finish`` computes).
+    """
+    spec = get_spec(protocol)
+    endpoint = _dial(host, port, timeout, max_frame_bytes)
+    transport = endpoint_wrapper(endpoint) if endpoint_wrapper else endpoint
     try:
-        tag, wire_params = endpoint.recv()
+        tag, wire_params = transport.recv()
         if tag != "params":
             raise ValueError(f"unexpected handshake message {tag!r}")
-        with _phase(recorder, "r.setup"):
-            receiver = make_receiver(PublicParams.from_wire(tuple(wire_params)))
-        with _phase(recorder, "r.round1"):
-            m1 = receiver.round1()
-        endpoint.send(m1)
-        with _phase(recorder, "r.wait_m2"):
-            m2 = endpoint.recv()
-        with _phase(recorder, "r.finish"):
-            return receiver.finish(m2)
+        machine = ReceiverMachine(
+            spec,
+            data,
+            PublicParams.from_wire(tuple(wire_params)),
+            rng,
+            engine=engine,
+            recorder=recorder,
+        )
+        machine.ensure_state()
+        for rnd in spec.rounds:
+            if rnd.source == "R":
+                transport.send(machine.produce(rnd).to_wire())
+            else:
+                with machine.wait(rnd):
+                    wire = transport.recv()
+                machine.consume(rnd, wire)
+        return machine.finish()
     finally:
-        endpoint.close()
+        transport.close()
 
 
+# ----------------------------------------------------------------------
+# Deprecated per-protocol shims (kept for source compatibility)
+# ----------------------------------------------------------------------
 def serve_intersection_sender(
     v_s: Sequence[Hashable],
     params: PublicParams,
@@ -263,19 +309,11 @@ def serve_intersection_sender(
     engine=None,
     recorder=None,
 ) -> int:
-    """Run party S of the intersection protocol as a TCP server.
-
-    Blocks until one receiver has been served; returns ``|V_R|``
-    (everything S learns). ``ready_callback(port)`` fires once the
-    socket is listening - pass the port to the client thread/process.
-    ``timeout`` bounds both the wait for a client and each socket read.
-    ``engine`` selects the batch-crypto execution strategy
-    (:mod:`repro.crypto.engine`); ``recorder`` collects per-phase
-    metrics (:class:`repro.analysis.instrumentation.MetricsRecorder`).
-    """
-    return _serve_plain(
-        lambda: IntersectionSender(v_s, params, rng, engine=engine),
-        params, host, port, ready_callback, timeout, recorder,
+    """Deprecated: use ``serve("intersection", ...)``."""
+    return serve(
+        "intersection", v_s, params, rng, host=host, port=port,
+        ready_callback=ready_callback, timeout=timeout,
+        engine=engine, recorder=recorder,
     )
 
 
@@ -288,11 +326,11 @@ def connect_intersection_receiver(
     engine=None,
     recorder=None,
 ) -> set[Hashable]:
-    """Run party R of the intersection protocol as a TCP client."""
-    def make(params: PublicParams) -> IntersectionReceiver:
-        return IntersectionReceiver(v_r, params, rng, engine=engine)
-
-    answer = _connect_plain(make, host, port, timeout, recorder)
+    """Deprecated: use ``connect("intersection", ...)``."""
+    answer = connect(
+        "intersection", v_r, rng, host, port, timeout=timeout,
+        engine=engine, recorder=recorder,
+    )
     return set(answer)
 
 
@@ -307,10 +345,11 @@ def serve_intersection_size_sender(
     engine=None,
     recorder=None,
 ) -> int:
-    """Party S of the intersection-size protocol over TCP."""
-    return _serve_plain(
-        lambda: IntersectionSizeSender(v_s, params, rng, engine=engine),
-        params, host, port, ready_callback, timeout, recorder,
+    """Deprecated: use ``serve("intersection-size", ...)``."""
+    return serve(
+        "intersection-size", v_s, params, rng, host=host, port=port,
+        ready_callback=ready_callback, timeout=timeout,
+        engine=engine, recorder=recorder,
     )
 
 
@@ -323,11 +362,11 @@ def connect_intersection_size_receiver(
     engine=None,
     recorder=None,
 ) -> int:
-    """Party R of the intersection-size protocol over TCP."""
-    def make(params: PublicParams) -> IntersectionSizeReceiver:
-        return IntersectionSizeReceiver(v_r, params, rng, engine=engine)
-
-    return _connect_plain(make, host, port, timeout, recorder)
+    """Deprecated: use ``connect("intersection-size", ...)``."""
+    return connect(
+        "intersection-size", v_r, rng, host, port, timeout=timeout,
+        engine=engine, recorder=recorder,
+    )
 
 
 def serve_equijoin_sender(
@@ -341,14 +380,15 @@ def serve_equijoin_sender(
     engine=None,
     recorder=None,
 ) -> int:
-    """Party S of the equijoin protocol over TCP.
+    """Deprecated: use ``serve("equijoin", ...)``.
 
     ``ext_s`` maps each of S's values to its ``ext(v)`` payload bytes
     (the records R obtains for values in the intersection).
     """
-    return _serve_plain(
-        lambda: EquijoinSender(ext_s, params, rng, engine=engine),
-        params, host, port, ready_callback, timeout, recorder,
+    return serve(
+        "equijoin", ext_s, params, rng, host=host, port=port,
+        ready_callback=ready_callback, timeout=timeout,
+        engine=engine, recorder=recorder,
     )
 
 
@@ -361,11 +401,11 @@ def connect_equijoin_receiver(
     engine=None,
     recorder=None,
 ) -> dict[Hashable, bytes]:
-    """Party R of the equijoin protocol over TCP; returns ``v -> ext(v)``."""
-    def make(params: PublicParams) -> EquijoinReceiver:
-        return EquijoinReceiver(v_r, params, rng, engine=engine)
-
-    return _connect_plain(make, host, port, timeout, recorder)
+    """Deprecated: use ``connect("equijoin", ...)``."""
+    return connect(
+        "equijoin", v_r, rng, host, port, timeout=timeout,
+        engine=engine, recorder=recorder,
+    )
 
 
 def serve_equijoin_size_sender(
@@ -379,10 +419,11 @@ def serve_equijoin_size_sender(
     engine=None,
     recorder=None,
 ) -> int:
-    """Party S of the equijoin-size protocol over TCP (multiset input)."""
-    return _serve_plain(
-        lambda: EquijoinSizeSender(v_s, params, rng, engine=engine),
-        params, host, port, ready_callback, timeout, recorder,
+    """Deprecated: use ``serve("equijoin-size", ...)`` (multiset input)."""
+    return serve(
+        "equijoin-size", v_s, params, rng, host=host, port=port,
+        ready_callback=ready_callback, timeout=timeout,
+        engine=engine, recorder=recorder,
     )
 
 
@@ -395,11 +436,11 @@ def connect_equijoin_size_receiver(
     engine=None,
     recorder=None,
 ) -> int:
-    """Party R of the equijoin-size protocol over TCP (multiset input)."""
-    def make(params: PublicParams) -> EquijoinSizeReceiver:
-        return EquijoinSizeReceiver(v_r, params, rng, engine=engine)
-
-    return _connect_plain(make, host, port, timeout, recorder)
+    """Deprecated: use ``connect("equijoin-size", ...)`` (multiset input)."""
+    return connect(
+        "equijoin-size", v_r, rng, host, port, timeout=timeout,
+        engine=engine, recorder=recorder,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -407,22 +448,11 @@ def connect_equijoin_size_receiver(
 # ----------------------------------------------------------------------
 #: protocol name -> (sender factory, receiver factory); both take
 #: ``(data, params, rng)`` where ``data`` is the party's private input.
+#: Derived from the spec registry; kept as a public back-compat view.
 SESSION_PROTOCOLS: dict[str, tuple[Callable, Callable]] = {
-    "intersection": (IntersectionSender, IntersectionReceiver),
-    "intersection-size": (IntersectionSizeSender, IntersectionSizeReceiver),
-    "equijoin": (EquijoinSender, EquijoinReceiver),
-    "equijoin-size": (EquijoinSizeSender, EquijoinSizeReceiver),
+    name: (spec.make_sender, spec.make_receiver)
+    for name, spec in PROTOCOLS.items()
 }
-
-
-def _session_factories(protocol: str) -> tuple[Callable, Callable]:
-    try:
-        return SESSION_PROTOCOLS[protocol]
-    except KeyError:
-        known = ", ".join(sorted(SESSION_PROTOCOLS))
-        raise ValueError(
-            f"unknown protocol {protocol!r} (expected one of: {known})"
-        ) from None
 
 
 def serve_resumable_sender(
@@ -439,7 +469,7 @@ def serve_resumable_sender(
     engine=None,
     recorder=None,
 ) -> tuple[int, SessionStats]:
-    """Serve party S of any protocol under the resumable session layer.
+    """Serve party S of any registered protocol under the session layer.
 
     The listener stays open across client reconnects, so a connection
     dropped mid-run resumes from the last acknowledged round. Returns
@@ -450,11 +480,11 @@ def serve_resumable_sender(
     ``recorder`` collects per-phase metrics.
     """
     config = config or SessionConfig()
-    sender_factory, _ = _session_factories(protocol)
+    spec = get_spec(protocol)
     session = SenderSession(
         protocol,
         params,
-        lambda: sender_factory(data, params, rng, engine=engine),
+        lambda: spec.make_sender(data, params, rng, engine=engine),
         config=config,
         rng=random.Random(rng.getrandbits(64)),
         recorder=recorder,
@@ -495,20 +525,20 @@ def connect_resumable_receiver(
     engine=None,
     recorder=None,
 ) -> tuple[Any, SessionStats]:
-    """Run party R of any protocol under the resumable session layer.
+    """Run party R of any registered protocol under the session layer.
 
     Reconnects (with backoff and jitter) after transient failures and
     resumes from the last acknowledged round. Returns
     ``(answer, session stats)`` where the answer is the protocol's
-    output for R (set, size, or ext mapping). ``engine`` selects the
-    batch-crypto execution strategy; ``recorder`` collects per-phase
-    metrics.
+    output for R (set, size, ext mapping, or aggregate). ``engine``
+    selects the batch-crypto execution strategy; ``recorder`` collects
+    per-phase metrics.
     """
     config = config or SessionConfig()
-    _, receiver_factory = _session_factories(protocol)
+    spec = get_spec(protocol)
     session = ReceiverSession(
         protocol,
-        lambda wire: receiver_factory(
+        lambda wire: spec.make_receiver(
             data, PublicParams.from_wire(tuple(wire)), rng, engine=engine
         ),
         config=config,
@@ -516,9 +546,9 @@ def connect_resumable_receiver(
         recorder=recorder,
     )
 
-    def connect() -> Any:
+    def dial() -> Any:
         endpoint = _dial(host, port, config.timeout_s, max_frame_bytes)
         return endpoint_wrapper(endpoint) if endpoint_wrapper else endpoint
 
-    answer = session.run(connect)
+    answer = session.run(dial)
     return answer, session.stats

@@ -27,13 +27,13 @@ everywhere in the paper.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
-from ..crypto.paillier import PaillierPublicKey, generate_keypair
-from ..net.runner import ProtocolRun
-from .base import ProtocolSuite, sorted_ciphertexts
+from ..net.runner import ProtocolRun, run_spec
+from .base import ProtocolSuite
+from .parties import CryptoContext, PublicParams, ReceiverMachine, SenderMachine
+from .spec import PROTOCOLS
 
 __all__ = ["EquijoinSumResult", "run_equijoin_sum"]
 
@@ -65,70 +65,21 @@ def run_equijoin_sum(
         paillier_bits: S's Paillier modulus size (>= 2048 for real use).
     """
     suite = suite or ProtocolSuite.default()
-    run = ProtocolRun(protocol="equijoin_sum")
-
-    r_values = sorted(set(v_r), key=repr)
-    s_values = sorted(values_s, key=repr)
-
-    # Step 1 - hash both sets; R picks e_R, S picks e_S and a Paillier
-    # keypair (sk stays at S).
-    x_r = suite.hash_side("R", r_values)
-    x_s = suite.hash_side("S", s_values)
-    e_r = suite.cipher.sample_key(suite.rng_r)
-    e_s = suite.cipher.sample_key(suite.rng_s)
-    public, private = generate_keypair(paillier_bits, suite.rng_s)
-
-    # Step 2 - R encrypts and ships Y_R, reordered (as in S5.1).
-    y_r = suite.cipher.encrypt_many(e_r, x_r)
-    y_r_received = run.to_s("1:Y_R", sorted_ciphertexts(y_r))
-
-    # Step 3 - S returns Z_R = f_eS(Y_R), reordered and *unpaired*
-    # (the unlinkability device of the intersection-size protocol),
-    # plus its Paillier public key.
-    z_r = sorted_ciphertexts(suite.cipher.encrypt_many(e_s, y_r_received))
-    z_r_received, n_modulus = run.to_r(
-        "2:Z_R+pk", (z_r, public.n)
+    spec = PROTOCOLS["equijoin-sum"]
+    run = ProtocolRun(protocol=spec.run_label)
+    crypto = CryptoContext.from_suite(suite)
+    params = PublicParams(p=suite.group.p)
+    receiver = ReceiverMachine(spec, v_r, params, suite.rng_r, crypto=crypto)
+    sender = SenderMachine(
+        spec, values_s, params, suite.rng_s, crypto=crypto,
+        paillier_bits=paillier_bits,
     )
-    pk = PaillierPublicKey(n_modulus)
-
-    # Step 4 - S ships pairs <f_eS(h(v)), Enc_pkS(val(v))>, reordered.
-    pairs = []
-    for v, x in zip(s_values, x_s):
-        codeword = suite.cipher.encrypt(e_s, x)
-        amount = int(values_s[v])
-        if amount < 0:
-            raise ValueError("aggregated values must be non-negative")
-        pairs.append((codeword, public.encrypt(amount, suite.rng_s)))
-    pairs_received = run.to_r("3:pairs", sorted(pairs))
-
-    # Step 5 - R applies f_eR to each pair's codeword; matches against
-    # the unlinkable Z_R; homomorphically sums the matched ciphertexts
-    # and blinds with a uniform mask.
-    z_r_set = set(z_r_received)
-    matched = [
-        ciphertext
-        for codeword, ciphertext in pairs_received
-        if suite.cipher.encrypt(e_r, codeword) in z_r_set
-    ]
-    accumulator = pk.encrypt_zero(suite.rng_r)
-    for ciphertext in matched:
-        accumulator = pk.add(accumulator, ciphertext)
-    mask = suite.rng_r.randrange(pk.n)
-    blinded = pk.add_plain(accumulator, mask, suite.rng_r)
-
-    # Step 6 - R -> S: one rerandomized blinded ciphertext; S decrypts.
-    blinded_received = run.to_s("4:blinded", blinded)
-    blinded_sum = private.decrypt(blinded_received)
-
-    # Step 7 - S -> R: the blinded plaintext; R removes the mask.
-    revealed = run.to_r("5:blinded_sum", blinded_sum)
-    total = (revealed - mask) % pk.n
-
-    run.finish()
+    total = run_spec(spec, receiver, sender, run)
+    r_state, s_state = receiver.state, sender.state
     return EquijoinSumResult(
         total=total,
-        match_count=len(matched),
-        size_v_s=len(pairs_received),
-        size_v_r=len(y_r_received),
+        match_count=r_state.match_count,
+        size_v_s=r_state.size_v_s,
+        size_v_r=s_state.size_v_r,
         run=run,
     )

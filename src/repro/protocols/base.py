@@ -12,8 +12,8 @@ views for the security audit.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Hashable
+from dataclasses import dataclass
+from typing import Hashable
 
 from ..crypto.commutative import PowerCipher
 from ..crypto.ext_cipher import BlockExtCipher, ExtCipher

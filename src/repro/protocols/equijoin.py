@@ -25,8 +25,10 @@ from typing import Hashable, Mapping, Sequence
 
 from ..db.table import Table
 from ..net import serialization
-from ..net.runner import ProtocolRun
-from .base import EquijoinResult, ProtocolSuite, sorted_ciphertexts
+from ..net.runner import ProtocolRun, run_spec
+from .base import EquijoinResult, ProtocolSuite
+from .parties import CryptoContext, PublicParams, ReceiverMachine, SenderMachine
+from .spec import PROTOCOLS
 
 __all__ = ["run_equijoin", "join_tables"]
 
@@ -38,6 +40,12 @@ def run_equijoin(
 ) -> EquijoinResult:
     """Execute the Section 4.3 protocol.
 
+    The steps live in :class:`~repro.protocols.parties.EquijoinReceiver`
+    / ``EquijoinSender``; this driver executes the registered
+    ``"equijoin"`` spec over in-memory channels. Step 8 (computing
+    ``T_S ⋈ T_R`` from ext) is the caller's job; see
+    :func:`join_tables` for the table-level wrapper.
+
     Args:
         v_r: R's value set.
         ext_s: S's side as a map ``v -> ext(v)`` (the values are
@@ -45,73 +53,18 @@ def run_equijoin(
         suite: agreed parameters; fresh 1024-bit default when omitted.
     """
     suite = suite or ProtocolSuite.default()
-    run = ProtocolRun(protocol="equijoin")
-
-    r_values = sorted(set(v_r), key=repr)
-    s_values = sorted(ext_s, key=repr)
-
-    # Step 1 - hash both sets; R picks e_R, S picks e_S and e'_S.
-    x_r = suite.hash_side("R", r_values)
-    x_s = suite.hash_side("S", s_values)
-    e_r = suite.cipher.sample_key(suite.rng_r)
-    e_s = suite.cipher.sample_key(suite.rng_s)
-    e_s_prime = suite.cipher.sample_key(suite.rng_s)
-
-    # Step 2 - R encrypts its hashed set.
-    y_r_by_value = {v: suite.cipher.encrypt(e_r, x) for v, x in zip(r_values, x_r)}
-
-    # Step 3 - R ships Y_R reordered lexicographically.
-    y_r_received = run.to_s("3:Y_R", sorted_ciphertexts(list(y_r_by_value.values())))
-
-    # Step 4 - S returns 3-tuples <y, f_eS(y), f_e'S(y)> for y in Y_R.
-    triples = [
-        (y, suite.cipher.encrypt(e_s, y), suite.cipher.encrypt(e_s_prime, y))
-        for y in y_r_received
-    ]
-    triples_received = run.to_r("4:triples", triples)
-
-    # Step 5 - for each v in V_S, S forms <f_eS(h(v)), K(f_e'S(h(v)), ext(v))>
-    # and ships the pairs in lexicographical order.
-    pairs = []
-    for v, x in zip(s_values, x_s):
-        codeword = suite.cipher.encrypt(e_s, x)          # 5(a)
-        kappa = suite.cipher.encrypt(e_s_prime, x)       # 5(b)
-        ciphertext = suite.ext_cipher.encrypt(kappa, bytes(ext_s[v]))  # 5(c)
-        pairs.append((codeword, ciphertext))             # 5(d)
-    pairs_received = run.to_r("5:pairs", sorted(pairs))
-
-    # Step 6 - R strips its own encryption from both S-encrypted entries
-    # of each triple, obtaining <h(v), f_eS(h(v)), f_e'S(h(v))> keyed by
-    # its own value v (recovered through y).
-    y_to_value = {y: v for v, y in y_r_by_value.items()}
-    e_r_inverse = suite.cipher.invert_key(e_r)
-    by_codeword: dict[int, tuple[Hashable, int]] = {}
-    for y, second, third in triples_received:
-        v = y_to_value.get(y)
-        if v is None:
-            continue  # semi-honest S never injects unknown y's
-        codeword = suite.cipher.encrypt(e_r_inverse, second)  # f_eS(h(v))
-        kappa = suite.cipher.encrypt(e_r_inverse, third)      # f_e'S(h(v))
-        by_codeword[codeword] = (v, kappa)
-
-    # Step 7 - R matches the step-5 pairs on the codeword and decrypts
-    # ext(v) with κ(v); the matched v's form the intersection.
-    matches: dict[Hashable, bytes] = {}
-    for codeword, ciphertext in pairs_received:
-        hit = by_codeword.get(codeword)
-        if hit is None:
-            continue
-        v, kappa = hit
-        matches[v] = suite.ext_cipher.decrypt(kappa, ciphertext)
-
-    run.finish()
-    # Step 8 (computing T_S ⋈ T_R from ext) is the caller's job; see
-    # join_tables() for the table-level wrapper.
+    spec = PROTOCOLS["equijoin"]
+    run = ProtocolRun(protocol=spec.run_label)
+    crypto = CryptoContext.from_suite(suite)
+    params = PublicParams(p=suite.group.p)
+    receiver = ReceiverMachine(spec, v_r, params, suite.rng_r, crypto=crypto)
+    sender = SenderMachine(spec, ext_s, params, suite.rng_s, crypto=crypto)
+    matches = run_spec(spec, receiver, sender, run)
     return EquijoinResult(
         intersection=set(matches),
         matches=matches,
-        size_v_s=len(pairs_received),
-        size_v_r=len(y_r_received),
+        size_v_s=receiver.state.size_v_s,
+        size_v_r=sender.state.size_v_r,
         run=run,
     )
 

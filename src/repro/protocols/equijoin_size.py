@@ -25,8 +25,10 @@ from collections import Counter
 from typing import Hashable, Iterable
 
 from ..db.multiset import ValueMultiset
-from ..net.runner import ProtocolRun
-from .base import EquijoinSizeResult, ProtocolSuite, sorted_ciphertexts
+from ..net.runner import ProtocolRun, run_spec
+from .base import EquijoinSizeResult, ProtocolSuite
+from .parties import CryptoContext, PublicParams, ReceiverMachine, SenderMachine
+from .spec import PROTOCOLS
 
 __all__ = ["run_equijoin_size", "join_size_tables"]
 
@@ -38,74 +40,38 @@ def run_equijoin_size(
 ) -> EquijoinSizeResult:
     """Execute the Section 5.2 protocol; R learns ``|T_S ⋈ T_R|``.
 
+    The steps live in
+    :class:`~repro.protocols.parties.EquijoinSizeReceiver` /
+    ``EquijoinSizeSender``; this driver executes the registered
+    ``"equijoin-size"`` spec over in-memory channels and then derives
+    the leakage diagnostics from the parties' retained observations.
+
     Args:
         v_r: R's attribute values *with duplicates* (or a multiset).
         v_s: S's attribute values with duplicates.
         suite: agreed parameters; fresh 1024-bit default when omitted.
     """
     suite = suite or ProtocolSuite.default()
-    run = ProtocolRun(protocol="equijoin_size")
-
-    ms_r = v_r if isinstance(v_r, ValueMultiset) else ValueMultiset.from_values(v_r)
-    ms_s = v_s if isinstance(v_s, ValueMultiset) else ValueMultiset.from_values(v_s)
-
-    r_distinct = sorted(ms_r.distinct(), key=repr)
-    s_distinct = sorted(ms_s.distinct(), key=repr)
-
-    # Step 1 - hash the distinct values once (equal values share a
-    # hash), then expand by multiplicity: the shipped multisets carry
-    # one codeword per *occurrence*.
-    x_r_by_value = dict(zip(r_distinct, suite.hash_side("R", r_distinct)))
-    x_s_by_value = dict(zip(s_distinct, suite.hash_side("S", s_distinct)))
-    e_r = suite.cipher.sample_key(suite.rng_r)
-    e_s = suite.cipher.sample_key(suite.rng_s)
-
-    # Step 2 - encrypt; duplicates stay duplicates under a deterministic
-    # bijection, which is what makes the join size computable (and what
-    # leaks the duplicate distributions).
-    y_r_by_value = {
-        v: suite.cipher.encrypt(e_r, x) for v, x in x_r_by_value.items()
-    }
-    y_s_multiset = [
-        suite.cipher.encrypt(e_s, x_s_by_value[v])
-        for v in s_distinct
-        for _ in range(ms_s.multiplicity(v))
-    ]
-    y_r_multiset = [
-        y_r_by_value[v] for v in r_distinct for _ in range(ms_r.multiplicity(v))
-    ]
-
-    # Step 3 - R ships its encrypted multiset, reordered.
-    y_r_received = run.to_s("3:Y_R", sorted_ciphertexts(y_r_multiset))
-
-    # Step 4(a) - S ships its encrypted multiset, reordered.
-    y_s_received = run.to_r("4a:Y_S", sorted_ciphertexts(y_s_multiset))
-
-    # Step 4(b) - S returns Z_R = f_eS(Y_R), reordered and unpaired.
-    z_r = sorted_ciphertexts(suite.cipher.encrypt_many(e_s, y_r_received))
-    z_r_received = run.to_r("4b:Z_R", z_r)
-
-    # Step 5 - R computes Z_S = f_eR(Y_S).
-    z_s = suite.cipher.encrypt_many(e_r, y_s_received)
-
-    # Step 6 - join size: matched codewords contribute the product of
-    # their multiplicities on the two sides.
-    z_s_counts = Counter(z_s)
-    z_r_counts = Counter(z_r_received)
-    join_size = sum(
-        count * z_r_counts[codeword]
-        for codeword, count in z_s_counts.items()
-        if codeword in z_r_counts
-    )
+    spec = PROTOCOLS["equijoin-size"]
+    run = ProtocolRun(protocol=spec.run_label)
+    crypto = CryptoContext.from_suite(suite)
+    params = PublicParams(p=suite.group.p)
+    receiver = ReceiverMachine(spec, v_r, params, suite.rng_r, crypto=crypto)
+    sender = SenderMachine(spec, v_s, params, suite.rng_s, crypto=crypto)
+    join_size = run_spec(spec, receiver, sender, run)
+    r_state, s_state = receiver.state, sender.state
 
     # What R can further deduce (Section 5.2's characterization):
     # group matched codewords by their (d_R, d_S) duplicate classes.
     # R knows d_R for each of its values and sees d_S per matched
     # codeword, so it learns |V_R(d) ∩ V_S(d')| for all d, d'.
+    z_s_counts = r_state._z_s_counts
+    z_r_counts = Counter(r_state._z_r_received)
+    ms_r = r_state.multiset
     partition_overlap: dict[tuple[int, int], int] = {}
     doubly_r = {
-        suite.cipher.encrypt(e_s, y): v
-        for v, y in y_r_by_value.items()
+        suite.cipher.encrypt(s_state._key, y): v
+        for v, y in r_state._y_by_value.items()
         # R cannot do this itself (it lacks e_S); this mirrors what R
         # infers from multiplicities alone and is validated against the
         # plaintext computation in the tests.
@@ -117,13 +83,12 @@ def run_equijoin_size(
             key = (d_r, s_count)
             partition_overlap[key] = partition_overlap.get(key, 0) + 1
 
-    run.finish()
     return EquijoinSizeResult(
         join_size=join_size,
-        size_v_s=len(y_s_received),
-        size_v_r=len(y_r_received),
+        size_v_s=r_state.size_v_s,
+        size_v_r=s_state.size_v_r,
         r_learns_s_duplicates=_distribution(z_s_counts),
-        s_learns_r_duplicates=_distribution(Counter(y_r_received)),
+        s_learns_r_duplicates=_distribution(Counter(s_state._y_r_received)),
         partition_overlap=partition_overlap,
         run=run,
     )

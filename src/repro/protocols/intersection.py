@@ -4,17 +4,23 @@ Party R (receiver) and party S (sender) hold value sets ``V_R`` and
 ``V_S``. At the end R learns ``V_S ∩ V_R`` and ``|V_S|``; S learns only
 ``|V_R|`` (Statements 1 and 2).
 
-The six steps of Section 3.3 map one-to-one onto the code below; the
-step labels on the wire messages match the paper's numbering so the
-recorded views can be compared against the proof's simulators.
+The six steps of Section 3.3 live in the party state machines
+(:class:`~repro.protocols.parties.IntersectionReceiver` /
+``IntersectionSender``); this driver executes the registered
+``"intersection"`` spec over in-memory channels, so simulation, TCP
+and resumable execution all share one code path. The step labels on
+the wire messages match the paper's numbering so the recorded views
+can be compared against the proof's simulators.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Sequence
 
-from ..net.runner import ProtocolRun
-from .base import IntersectionResult, ProtocolSuite, sorted_ciphertexts
+from ..net.runner import ProtocolRun, run_spec
+from .base import IntersectionResult, ProtocolSuite
+from .parties import CryptoContext, PublicParams, ReceiverMachine, SenderMachine
+from .spec import PROTOCOLS
 
 __all__ = ["run_intersection"]
 
@@ -37,50 +43,17 @@ def run_intersection(
         the recorded run.
     """
     suite = suite or ProtocolSuite.default()
-    run = ProtocolRun(protocol="intersection")
-
-    r_values = sorted(set(v_r), key=repr)
-    s_values = sorted(set(v_s), key=repr)
-
-    # Step 1 - both parties hash their sets (collision check included)
-    # and choose secret keys.
-    x_r = suite.hash_side("R", r_values)
-    x_s = suite.hash_side("S", s_values)
-    e_r = suite.cipher.sample_key(suite.rng_r)
-    e_s = suite.cipher.sample_key(suite.rng_s)
-
-    # Step 2 - both parties encrypt their hashed sets.
-    y_r_by_value = {v: suite.cipher.encrypt(e_r, x) for v, x in zip(r_values, x_r)}
-    y_s = suite.cipher.encrypt_many(e_s, x_s)
-
-    # Step 3 - R ships Y_R = f_eR(h(V_R)), reordered lexicographically.
-    y_r_received = run.to_s("3:Y_R", sorted_ciphertexts(list(y_r_by_value.values())))
-
-    # Step 4(a) - S ships Y_S = f_eS(h(V_S)), reordered lexicographically.
-    y_s_received = run.to_r("4a:Y_S", sorted_ciphertexts(y_s))
-
-    # Step 4(b) - S encrypts each y in Y_R with e_S and returns the
-    # pairs <y, f_eS(y)>.
-    pairs = [(y, suite.cipher.encrypt(e_s, y)) for y in y_r_received]
-    pairs_received = run.to_r("4b:pairs", pairs)
-
-    # Step 5 - R encrypts each y in Y_S with e_R obtaining
-    # Z_S = f_eR(f_eS(h(V_S))), and replaces first components of the
-    # step-4(b) pairs with the matching plaintext values.
-    z_s = set(suite.cipher.encrypt_many(e_r, y_s_received))
-    y_to_value = {y: v for v, y in y_r_by_value.items()}
-    doubly_encrypted_by_value = {
-        y_to_value[y]: z for y, z in pairs_received if y in y_to_value
-    }
-
-    # Step 6 - R selects every v in V_R whose double encryption lies in Z_S.
-    answer = {v for v, z in doubly_encrypted_by_value.items() if z in z_s}
-
-    run.finish()
+    spec = PROTOCOLS["intersection"]
+    run = ProtocolRun(protocol=spec.run_label)
+    crypto = CryptoContext.from_suite(suite)
+    params = PublicParams(p=suite.group.p)
+    receiver = ReceiverMachine(spec, v_r, params, suite.rng_r, crypto=crypto)
+    sender = SenderMachine(spec, v_s, params, suite.rng_s, crypto=crypto)
+    answer = run_spec(spec, receiver, sender, run)
     # Both parties also learn the set sizes (the allowed information I).
     return IntersectionResult(
         intersection=answer,
-        size_v_s=len(y_s_received),
-        size_v_r=len(y_r_received),
+        size_v_s=receiver.state.size_v_s,
+        size_v_r=sender.state.size_v_r,
         run=run,
     )

@@ -4,14 +4,20 @@ Identical to the intersection protocol except for Step 4(b): S returns
 only the lexicographically reordered double encryptions ``Z_R``,
 *without* pairing them to the ``y`` values, so R can count matches but
 cannot tell *which* of its values matched (Statements 5 and 6).
+
+The steps live in :class:`~repro.protocols.parties.IntersectionSizeReceiver`
+/ ``IntersectionSizeSender``; this driver executes the registered
+``"intersection-size"`` spec over in-memory channels.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Sequence
 
-from ..net.runner import ProtocolRun
-from .base import IntersectionSizeResult, ProtocolSuite, sorted_ciphertexts
+from ..net.runner import ProtocolRun, run_spec
+from .base import IntersectionSizeResult, ProtocolSuite
+from .parties import CryptoContext, PublicParams, ReceiverMachine, SenderMachine
+from .spec import PROTOCOLS
 
 __all__ = ["run_intersection_size"]
 
@@ -23,42 +29,16 @@ def run_intersection_size(
 ) -> IntersectionSizeResult:
     """Execute the Section 5.1.1 protocol; R learns ``|V_S ∩ V_R|``."""
     suite = suite or ProtocolSuite.default()
-    run = ProtocolRun(protocol="intersection_size")
-
-    r_values = sorted(set(v_r), key=repr)
-    s_values = sorted(set(v_s), key=repr)
-
-    # Step 1 - hash the sets and choose secret keys.
-    x_r = suite.hash_side("R", r_values)
-    x_s = suite.hash_side("S", s_values)
-    e_r = suite.cipher.sample_key(suite.rng_r)
-    e_s = suite.cipher.sample_key(suite.rng_s)
-
-    # Step 2 - encrypt the hashed sets.
-    y_r = suite.cipher.encrypt_many(e_r, x_r)
-    y_s = suite.cipher.encrypt_many(e_s, x_s)
-
-    # Step 3 - R ships Y_R reordered lexicographically.
-    y_r_received = run.to_s("3:Y_R", sorted_ciphertexts(y_r))
-
-    # Step 4(a) - S ships Y_S reordered lexicographically.
-    y_s_received = run.to_r("4a:Y_S", sorted_ciphertexts(y_s))
-
-    # Step 4(b) - S returns Z_R = f_eS(Y_R) reordered lexicographically
-    # and *unpaired*, which is the entire difference from Section 3.
-    z_r = sorted_ciphertexts(suite.cipher.encrypt_many(e_s, y_r_received))
-    z_r_received = run.to_r("4b:Z_R", z_r)
-
-    # Step 5 - R computes Z_S = f_eR(Y_S).
-    z_s = suite.cipher.encrypt_many(e_r, y_s_received)
-
-    # Step 6 - the answer is |Z_S ∩ Z_R|.
-    size = len(set(z_s) & set(z_r_received))
-
-    run.finish()
+    spec = PROTOCOLS["intersection-size"]
+    run = ProtocolRun(protocol=spec.run_label)
+    crypto = CryptoContext.from_suite(suite)
+    params = PublicParams(p=suite.group.p)
+    receiver = ReceiverMachine(spec, v_r, params, suite.rng_r, crypto=crypto)
+    sender = SenderMachine(spec, v_s, params, suite.rng_s, crypto=crypto)
+    size = run_spec(spec, receiver, sender, run)
     return IntersectionSizeResult(
         size=size,
-        size_v_s=len(y_s_received),
-        size_v_r=len(y_r_received),
+        size_v_s=receiver.state.size_v_s,
+        size_v_r=sender.state.size_v_r,
         run=run,
     )

@@ -1,0 +1,187 @@
+"""Typed wire messages for the declarative protocol specs.
+
+Each round of a protocol ships exactly one :class:`Message`.  A message
+is a frozen dataclass whose fields are the round's wire *parts* in
+transmission order; the in-memory runner records each part separately
+(preserving the historical per-part transcript labels) while the TCP
+and resumable paths ship the assembled :meth:`Message.to_wire` payload
+as a single frame.
+
+The wire encoding is pinned for backward compatibility with the
+pre-spec per-protocol helpers: a single-part message is encoded as the
+bare part payload, a multi-part message as the tuple of parts.  The
+serialization layer distinguishes lists from tuples, so these
+container choices are load-bearing — the golden-transcript fixture
+(``tests/protocols/golden_transcripts.json``) asserts the exact bytes.
+
+Messages iterate over their parts, so legacy tuple unpacking such as
+``y_s, pairs = sender.round1(m1)`` keeps working on typed replies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Iterator
+
+__all__ = [
+    "Message",
+    "CipherList",
+    "IntersectionReply",
+    "SizeReply",
+    "EquijoinReply",
+    "SumReply",
+    "BlindedSum",
+    "RevealedSum",
+]
+
+
+class Message:
+    """Base class for round payloads.
+
+    Subclasses are frozen dataclasses whose fields are the wire parts
+    of one round, in order.  The base class derives part/wire
+    conversion from the dataclass fields.
+    """
+
+    def to_parts(self) -> tuple[Any, ...]:
+        """The message as its ordered wire parts."""
+        return tuple(getattr(self, f.name) for f in fields(self))  # type: ignore[arg-type]
+
+    @classmethod
+    def from_parts(cls, parts: tuple[Any, ...]) -> "Message":
+        """Rebuild a message from its ordered wire parts."""
+        return cls(*parts)
+
+    def to_wire(self) -> Any:
+        """The single-frame wire payload.
+
+        A one-part message ships its bare part; a multi-part message
+        ships the tuple of parts.  This reproduces the exact bytes the
+        pre-spec helpers put on the wire.
+        """
+        parts = self.to_parts()
+        return parts[0] if len(parts) == 1 else parts
+
+    @classmethod
+    def from_wire(cls, wire: Any) -> "Message":
+        """Decode :meth:`to_wire` output back into a typed message."""
+        if len(fields(cls)) == 1:  # type: ignore[arg-type]
+            return cls.from_parts((wire,))
+        return cls.from_parts(tuple(wire))
+
+    @classmethod
+    def coerce(cls, payload: Any) -> "Message":
+        """Accept either an instance of this class or its raw wire form."""
+        if isinstance(payload, cls):
+            return payload
+        return cls.from_wire(payload)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate over wire parts (legacy tuple-unpacking support)."""
+        return iter(self.to_parts())
+
+
+@dataclass(frozen=True)
+class CipherList(Message):
+    """A lexicographically reordered list of ciphertexts (e.g. ``Y_R``)."""
+
+    values: list
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over the ciphertexts themselves.
+
+        Pre-spec code treated the first round payload as a plain list,
+        so this message iterates its elements (not its single part).
+        """
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CipherList):
+            return self.values == other.values
+        return self.values == other
+
+    def to_wire(self) -> list:
+        """Ship the bare list, exactly as the legacy helpers did."""
+        return self.values
+
+
+@dataclass(frozen=True)
+class IntersectionReply(Message):
+    """Intersection round 2: sender's own set and the doubly-encrypted pairs.
+
+    ``y_s`` carries ``f_S(h(V_S))`` in lexicographic order;  ``pairs``
+    maps each received ``y in Y_R`` to ``f_S(y)``.
+    """
+
+    y_s: list
+    pairs: list
+
+
+@dataclass(frozen=True)
+class SizeReply(Message):
+    """Intersection-size / equijoin-size round 2.
+
+    ``y_s`` is the sender's (multiset-expanded) encrypted set and
+    ``z_r`` the receiver's set doubly encrypted and reordered, so the
+    receiver learns only the overlap cardinality.
+    """
+
+    y_s: list
+    z_r: list
+
+
+@dataclass(frozen=True)
+class EquijoinReply(Message):
+    """Equijoin round 2: codeword triples plus encrypted ext payloads.
+
+    ``triples`` holds ``(y, f_S(y), f'_S(y))`` for every received
+    ``y in Y_R``; ``pairs`` holds ``(f_S(h(v)), K(kappa(v), ext(v)))``
+    for the sender's own values, sorted for order independence.
+    """
+
+    triples: list
+    pairs: list
+
+
+@dataclass(frozen=True)
+class SumReply(Message):
+    """Equijoin-sum round 2: ``(Z_R, paillier modulus)`` plus codeword pairs.
+
+    The first part bundles the doubly-encrypted receiver set with the
+    sender's Paillier public modulus (one frame part, as the legacy
+    driver shipped it); ``pairs`` maps commutative codewords to
+    Paillier-encrypted amounts.
+    """
+
+    z_r_pk: tuple
+    pairs: list
+
+    @property
+    def z_r(self) -> list:
+        """The doubly-encrypted, reordered receiver set ``Z_R``."""
+        return self.z_r_pk[0]
+
+    @property
+    def n(self) -> int:
+        """The sender's Paillier public modulus."""
+        return self.z_r_pk[1]
+
+
+@dataclass(frozen=True)
+class BlindedSum(Message):
+    """Equijoin-sum round 3: the receiver's masked Paillier accumulator."""
+
+    ciphertext: int
+
+
+@dataclass(frozen=True)
+class RevealedSum(Message):
+    """Equijoin-sum round 4: the decrypted (still masked) total."""
+
+    value: int

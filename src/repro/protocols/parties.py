@@ -1,4 +1,4 @@
-"""Separable party state machines, for real two-party deployment.
+"""Separable party state machines and the generic spec interpreters.
 
 The driver functions in :mod:`repro.protocols.intersection` etc. are
 convenient for simulation and analysis, but they hold both parties'
@@ -17,25 +17,59 @@ Message flow (intersection, Section 3.3):
     answer = receiver.finish(m2)
 
 and for the size variant the same shape with an unpaired ``Z_R``.
+Every round payload is a typed dataclass from
+:mod:`repro.protocols.messages`; raw wire payloads are also accepted
+and coerced, so pre-spec callers keep working.
+
 Parameters travel as :class:`PublicParams` - everything public both
-sides must agree on (the modulus and the hash construction).
+sides must agree on (the modulus and the hash construction).  Private
+per-party machinery (group, hash, cipher and optional ext cipher
+instances) can instead be injected as a :class:`CryptoContext`, which
+is how the in-memory drivers share one counting suite across both
+parties.
+
+On top of the concrete parties sit :class:`SenderMachine` and
+:class:`ReceiverMachine`: generic interpreters that execute any
+:class:`~repro.protocols.spec.ProtocolSpec` round schedule, threading
+the ``engine=``/``recorder=`` hooks.  All three transports (in-memory,
+plain TCP, resumable sessions) drive protocols exclusively through
+these two machines.
 """
 
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
 from ..crypto.commutative import PowerCipher
 from ..crypto.engine import CryptoEngine
+from ..crypto.ext_cipher import BlockExtCipher, ExtCipher
 from ..crypto.groups import QRGroup
-from ..crypto.hashing import DomainHash, SquareHash, TryIncrementHash
-from .base import sorted_ciphertexts
+from ..crypto.hashing import (
+    DomainHash,
+    SquareHash,
+    TryIncrementHash,
+    find_collisions,
+)
+from ..crypto.paillier import PaillierPublicKey, generate_keypair
+from .base import HashCollisionError, sorted_ciphertexts
+from .messages import (
+    BlindedSum,
+    CipherList,
+    EquijoinReply,
+    IntersectionReply,
+    Message,
+    RevealedSum,
+    SizeReply,
+    SumReply,
+)
 
 __all__ = [
     "PublicParams",
+    "CryptoContext",
     "IntersectionReceiver",
     "IntersectionSender",
     "IntersectionSizeReceiver",
@@ -44,6 +78,10 @@ __all__ = [
     "EquijoinSender",
     "EquijoinSizeReceiver",
     "EquijoinSizeSender",
+    "EquijoinSumReceiver",
+    "EquijoinSumSender",
+    "ReceiverMachine",
+    "SenderMachine",
 ]
 
 _HASH_REGISTRY: dict[str, type[DomainHash]] = {
@@ -90,8 +128,71 @@ class PublicParams:
         return cls(p=int(p), hash_name=str(hash_name))
 
 
+@dataclass(frozen=True)
+class CryptoContext:
+    """Concrete crypto machinery one party computes with.
+
+    Normally derived from :class:`PublicParams` (each party builds its
+    own instances), but injectable so the in-memory drivers can route
+    both parties through one shared suite - e.g. the counting suite
+    used by :mod:`repro.analysis.instrumentation`.
+    """
+
+    group: QRGroup
+    hash: DomainHash
+    cipher: PowerCipher
+    ext_cipher: ExtCipher | None = None
+
+    @classmethod
+    def from_params(
+        cls, params: PublicParams, engine: CryptoEngine | None = None
+    ) -> "CryptoContext":
+        """Instantiate fresh machinery from the shared public params."""
+        group, hash_, cipher = params.build(engine=engine)
+        return cls(group=group, hash=hash_, cipher=cipher)
+
+    @classmethod
+    def from_suite(cls, suite: Any) -> "CryptoContext":
+        """Adopt a :class:`~repro.protocols.base.ProtocolSuite`'s instances."""
+        return cls(
+            group=suite.group,
+            hash=suite.hash,
+            cipher=suite.cipher,
+            ext_cipher=suite.ext_cipher,
+        )
+
+    def ext(self) -> ExtCipher:
+        """The ext-payload cipher (a default block cipher if not injected)."""
+        if self.ext_cipher is not None:
+            return self.ext_cipher
+        return BlockExtCipher(self.group)
+
+
+def _checked_hashes(hash_: DomainHash, values: Sequence[Hashable]) -> list[int]:
+    """Hash a value list, running the paper's sorted-hash collision check."""
+    hashes = hash_.hash_set(values)
+    collisions = find_collisions(hashes)
+    if collisions:
+        raise HashCollisionError(
+            "hash collision within the party's set "
+            f"({len(collisions)} colliding values)"
+        )
+    return hashes
+
+
+def _resolve_crypto(
+    params: PublicParams,
+    engine: CryptoEngine | None,
+    crypto: CryptoContext | None,
+) -> CryptoContext:
+    """The injected context, or fresh machinery from the params."""
+    if crypto is not None:
+        return crypto
+    return CryptoContext.from_params(params, engine=engine)
+
+
 class _Party:
-    """Common setup: hash own values, draw a key."""
+    """Common setup: hash own values (collision-checked), draw a key."""
 
     def __init__(
         self,
@@ -99,34 +200,40 @@ class _Party:
         params: PublicParams,
         rng: random.Random,
         engine: CryptoEngine | None = None,
+        crypto: CryptoContext | None = None,
     ):
         self.params = params
-        self.group, self.hash, self.cipher = params.build(engine=engine)
+        self.crypto = _resolve_crypto(params, engine, crypto)
+        self.group, self.hash, self.cipher = (
+            self.crypto.group,
+            self.crypto.hash,
+            self.crypto.cipher,
+        )
         self.values = sorted(set(values), key=repr)
         self.rng = rng
         self._key = self.cipher.sample_key(rng)
-        self._hashes = self.hash.hash_set(self.values)
+        self._hashes = _checked_hashes(self.hash, self.values)
 
 
 class IntersectionReceiver(_Party):
     """Party R of the Section 3.3 protocol."""
 
-    def round1(self) -> list[int]:
+    def round1(self) -> CipherList:
         """Step 3: ``Y_R``, reordered lexicographically."""
         self._y_by_value = dict(
             zip(self.values, self.cipher.encrypt_many(self._key, self._hashes))
         )
-        return sorted_ciphertexts(list(self._y_by_value.values()))
+        return CipherList(sorted_ciphertexts(list(self._y_by_value.values())))
 
-    def finish(self, reply: tuple[list[int], list[tuple[int, int]]]) -> set[Hashable]:
+    def finish(self, reply: IntersectionReply) -> set[Hashable]:
         """Steps 5-6: recover the intersection from S's reply."""
-        y_s, pairs = reply
-        z_s = set(self.cipher.encrypt_many(self._key, y_s))
-        self.size_v_s = len(y_s)
+        reply = IntersectionReply.coerce(reply)
+        z_s = set(self.cipher.encrypt_many(self._key, reply.y_s))
+        self.size_v_s = len(reply.y_s)
         y_to_value = {y: v for v, y in self._y_by_value.items()}
         return {
             y_to_value[y]
-            for y, double in pairs
+            for y, double in reply.pairs
             if y in y_to_value and double in z_s
         }
 
@@ -134,64 +241,62 @@ class IntersectionReceiver(_Party):
 class IntersectionSender(_Party):
     """Party S of the Section 3.3 protocol."""
 
-    def round1(
-        self, y_r: list[int]
-    ) -> tuple[list[int], list[tuple[int, int]]]:
+    def round1(self, y_r: CipherList) -> IntersectionReply:
         """Steps 4(a)+(b): ``Y_S`` reordered plus the ``⟨y, f_eS(y)⟩`` pairs."""
+        y_r = list(CipherList.coerce(y_r))
         self.size_v_r = len(y_r)
         y_s = sorted_ciphertexts(self.cipher.encrypt_many(self._key, self._hashes))
         pairs = list(zip(y_r, self.cipher.encrypt_many(self._key, y_r)))
-        return y_s, pairs
+        return IntersectionReply(y_s=y_s, pairs=pairs)
 
 
 class IntersectionSizeReceiver(_Party):
     """Party R of the Section 5.1 protocol."""
 
-    def round1(self) -> list[int]:
+    def round1(self) -> CipherList:
         """Step 3: ``Y_R``, reordered lexicographically."""
         self._y_r = self.cipher.encrypt_many(self._key, self._hashes)
-        return sorted_ciphertexts(self._y_r)
+        return CipherList(sorted_ciphertexts(self._y_r))
 
-    def finish(self, reply: tuple[list[int], list[int]]) -> int:
+    def finish(self, reply: SizeReply) -> int:
         """Steps 5-6: count ``|Z_S ∩ Z_R|`` from S's reply."""
-        y_s, z_r = reply
-        self.size_v_s = len(y_s)
-        z_s = set(self.cipher.encrypt_many(self._key, y_s))
-        return len(z_s & set(z_r))
+        reply = SizeReply.coerce(reply)
+        self.size_v_s = len(reply.y_s)
+        z_s = set(self.cipher.encrypt_many(self._key, reply.y_s))
+        return len(z_s & set(reply.z_r))
 
 
 class IntersectionSizeSender(_Party):
     """Party S of the Section 5.1 protocol."""
 
-    def round1(self, y_r: list[int]) -> tuple[list[int], list[int]]:
+    def round1(self, y_r: CipherList) -> SizeReply:
         """Steps 4(a)+(b): ``Y_S`` plus the unpaired, reordered ``Z_R``."""
+        y_r = list(CipherList.coerce(y_r))
         self.size_v_r = len(y_r)
         y_s = sorted_ciphertexts(self.cipher.encrypt_many(self._key, self._hashes))
         z_r = sorted_ciphertexts(self.cipher.encrypt_many(self._key, y_r))
-        return y_s, z_r
+        return SizeReply(y_s=y_s, z_r=z_r)
 
 
 class EquijoinReceiver(_Party):
     """Party R of the Section 4.3 protocol."""
 
-    def round1(self) -> list[int]:
+    def round1(self) -> CipherList:
         """Step 3: ``Y_R``, reordered lexicographically."""
         self._y_by_value = dict(
             zip(self.values, self.cipher.encrypt_many(self._key, self._hashes))
         )
-        return sorted_ciphertexts(list(self._y_by_value.values()))
+        return CipherList(sorted_ciphertexts(list(self._y_by_value.values())))
 
-    def finish(self, reply) -> dict:
+    def finish(self, reply: EquijoinReply) -> dict[Hashable, bytes]:
         """Steps 6-7: strip own layer, match pairs, decrypt ext."""
-        from ..crypto.ext_cipher import BlockExtCipher
-
-        triples, pairs = reply
-        ext_cipher = BlockExtCipher(self.group)
+        reply = EquijoinReply.coerce(reply)
+        ext_cipher = self.crypto.ext()
         inverse = self.cipher.invert_key(self._key)
         y_to_value = {y: v for v, y in self._y_by_value.items()}
         mine = [
             (y_to_value[y], second, third)
-            for y, second, third in triples
+            for y, second, third in reply.triples
             if y in y_to_value
         ]
         codewords = self.cipher.encrypt_many(inverse, [t[1] for t in mine])
@@ -201,13 +306,13 @@ class EquijoinReceiver(_Party):
             for (v, _, _), codeword, kappa in zip(mine, codewords, kappas)
         }
         matches = {}
-        for codeword, ciphertext in pairs:
+        for codeword, ciphertext in reply.pairs:
             hit = by_codeword.get(codeword)
             if hit is None:
                 continue
             v, kappa = hit
             matches[v] = ext_cipher.decrypt(kappa, list(ciphertext))
-        self.size_v_s = len(pairs)
+        self.size_v_s = len(reply.pairs)
         return matches
 
 
@@ -216,24 +321,29 @@ class EquijoinSender:
 
     def __init__(
         self,
-        ext,
+        ext: Mapping[Hashable, bytes],
         params: PublicParams,
         rng: random.Random,
         engine: CryptoEngine | None = None,
+        crypto: CryptoContext | None = None,
     ):
-        from ..crypto.ext_cipher import BlockExtCipher
-
         self.params = params
-        self.group, self.hash, self.cipher = params.build(engine=engine)
+        self.crypto = _resolve_crypto(params, engine, crypto)
+        self.group, self.hash, self.cipher = (
+            self.crypto.group,
+            self.crypto.hash,
+            self.crypto.cipher,
+        )
         self.ext = {v: bytes(payload) for v, payload in ext.items()}
         self.values = sorted(self.ext, key=repr)
-        self._hashes = self.hash.hash_set(self.values)
+        self._hashes = _checked_hashes(self.hash, self.values)
         self._key = self.cipher.sample_key(rng)
         self._key_prime = self.cipher.sample_key(rng)
-        self._ext_cipher = BlockExtCipher(self.group)
+        self._ext_cipher = self.crypto.ext()
 
-    def round1(self, y_r: list[int]):
+    def round1(self, y_r: CipherList) -> EquijoinReply:
         """Steps 4-5: triples over Y_R plus the ⟨codeword, K(...)⟩ pairs."""
+        y_r = list(CipherList.coerce(y_r))
         self.size_v_r = len(y_r)
         triples = list(
             zip(
@@ -248,7 +358,7 @@ class EquijoinSender:
             (codeword, self._ext_cipher.encrypt(kappa, self.ext[v]))
             for v, codeword, kappa in zip(self.values, codewords, kappas)
         ]
-        return triples, sorted(pairs)
+        return EquijoinReply(triples=triples, pairs=sorted(pairs))
 
 
 class _MultisetParty:
@@ -261,11 +371,17 @@ class _MultisetParty:
         params: PublicParams,
         rng: random.Random,
         engine: CryptoEngine | None = None,
+        crypto: CryptoContext | None = None,
     ):
         from ..db.multiset import ValueMultiset
 
         self.params = params
-        self.group, self.hash, self.cipher = params.build(engine=engine)
+        self.crypto = _resolve_crypto(params, engine, crypto)
+        self.group, self.hash, self.cipher = (
+            self.crypto.group,
+            self.crypto.hash,
+            self.crypto.cipher,
+        )
         ms = (
             values
             if isinstance(values, ValueMultiset)
@@ -273,11 +389,12 @@ class _MultisetParty:
         )
         self.multiset = ms
         distinct = sorted(ms.distinct(), key=repr)
-        hashes = self.hash.hash_set(distinct)
+        hashes = _checked_hashes(self.hash, distinct)
         self._key = self.cipher.sample_key(rng)
         # Hash and encrypt each distinct value once (one batch), then
         # expand by multiplicity.
         encrypted = self.cipher.encrypt_many(self._key, hashes)
+        self._y_by_value = dict(zip(distinct, encrypted))
         self._y_multiset = [
             y
             for v, y in zip(distinct, encrypted)
@@ -288,17 +405,21 @@ class _MultisetParty:
 class EquijoinSizeReceiver(_MultisetParty):
     """Party R of the Section 5.2 protocol; learns ``|T_S ⋈ T_R|``."""
 
-    def round1(self) -> list[int]:
+    def round1(self) -> CipherList:
         """Step 3: the encrypted multiset ``Y_R``, reordered."""
-        return sorted_ciphertexts(list(self._y_multiset))
+        return CipherList(sorted_ciphertexts(list(self._y_multiset)))
 
-    def finish(self, reply: tuple[list[int], list[int]]) -> int:
+    def finish(self, reply: SizeReply) -> int:
         """Steps 5-6: matched codewords contribute the product of
         their multiplicities on the two sides."""
-        y_s, z_r = reply
-        self.size_v_s = len(y_s)
-        z_s_counts = Counter(self.cipher.encrypt_many(self._key, y_s))
-        z_r_counts = Counter(z_r)
+        reply = SizeReply.coerce(reply)
+        self.size_v_s = len(reply.y_s)
+        z_s_counts = Counter(self.cipher.encrypt_many(self._key, reply.y_s))
+        z_r_counts = Counter(reply.z_r)
+        # Stashed for the leakage diagnostics in the driver wrapper
+        # (duplicate distributions, partition overlap).
+        self._z_s_counts = z_s_counts
+        self._z_r_received = list(reply.z_r)
         return sum(
             count * z_r_counts[codeword]
             for codeword, count in z_s_counts.items()
@@ -309,9 +430,213 @@ class EquijoinSizeReceiver(_MultisetParty):
 class EquijoinSizeSender(_MultisetParty):
     """Party S of the Section 5.2 protocol."""
 
-    def round1(self, y_r: list[int]) -> tuple[list[int], list[int]]:
+    def round1(self, y_r: CipherList) -> SizeReply:
         """Steps 4(a)+(b): ``Y_S`` plus the unpaired, reordered ``Z_R``."""
+        y_r = list(CipherList.coerce(y_r))
         self.size_v_r = len(y_r)
+        self._y_r_received = y_r
         y_s = sorted_ciphertexts(list(self._y_multiset))
         z_r = sorted_ciphertexts(self.cipher.encrypt_many(self._key, y_r))
-        return y_s, z_r
+        return SizeReply(y_s=y_s, z_r=z_r)
+
+
+class EquijoinSumReceiver(_Party):
+    """Party R of the equijoin-sum aggregate (paper future work).
+
+    Runs the intersection-size flow, then homomorphically sums the
+    Paillier ciphertexts S attached to matched codewords, blinded with
+    a uniform mask so S decrypts without learning the true sum.
+    """
+
+    def round1(self) -> CipherList:
+        """Step 2: ``Y_R``, reordered (as in Section 5.1)."""
+        self._y_r = self.cipher.encrypt_many(self._key, self._hashes)
+        return CipherList(sorted_ciphertexts(self._y_r))
+
+    def round2(self, reply: SumReply) -> BlindedSum:
+        """Step 5: match against the unlinkable ``Z_R``, sum and blind."""
+        reply = SumReply.coerce(reply)
+        pk = PaillierPublicKey(reply.n)
+        z_r_set = set(reply.z_r)
+        matched = [
+            ciphertext
+            for codeword, ciphertext in reply.pairs
+            if self.cipher.encrypt(self._key, codeword) in z_r_set
+        ]
+        accumulator = pk.encrypt_zero(self.rng)
+        for ciphertext in matched:
+            accumulator = pk.add(accumulator, ciphertext)
+        self._mask = self.rng.randrange(pk.n)
+        self._pk = pk
+        self.match_count = len(matched)
+        self.size_v_s = len(reply.pairs)
+        return BlindedSum(pk.add_plain(accumulator, self._mask, self.rng))
+
+    def finish(self, reply: RevealedSum) -> int:
+        """Step 7: remove the mask from S's decrypted blinded sum."""
+        reply = RevealedSum.coerce(reply)
+        return (reply.value - self._mask) % self._pk.n
+
+
+class EquijoinSumSender:
+    """Party S of the equijoin-sum aggregate (Paillier keypair holder)."""
+
+    def __init__(
+        self,
+        values_s: Mapping[Hashable, int],
+        params: PublicParams,
+        rng: random.Random,
+        engine: CryptoEngine | None = None,
+        crypto: CryptoContext | None = None,
+        paillier_bits: int = 256,
+    ):
+        self.params = params
+        self.crypto = _resolve_crypto(params, engine, crypto)
+        self.group, self.hash, self.cipher = (
+            self.crypto.group,
+            self.crypto.hash,
+            self.crypto.cipher,
+        )
+        self.amounts = dict(values_s)
+        self.values = sorted(self.amounts, key=repr)
+        self._hashes = _checked_hashes(self.hash, self.values)
+        self._key = self.cipher.sample_key(rng)
+        self._public, self._private = generate_keypair(paillier_bits, rng)
+        self.rng = rng
+
+    def round1(self, y_r: CipherList) -> SumReply:
+        """Steps 3-4: unlinkable ``Z_R`` + Paillier modulus, then the
+        ``⟨f_eS(h(v)), Enc_pkS(val(v))⟩`` pairs, reordered."""
+        y_r = list(CipherList.coerce(y_r))
+        self.size_v_r = len(y_r)
+        z_r = sorted_ciphertexts(self.cipher.encrypt_many(self._key, y_r))
+        pairs = []
+        for v, x in zip(self.values, self._hashes):
+            codeword = self.cipher.encrypt(self._key, x)
+            amount = int(self.amounts[v])
+            if amount < 0:
+                raise ValueError("aggregated values must be non-negative")
+            pairs.append((codeword, self._public.encrypt(amount, self.rng)))
+        return SumReply(z_r_pk=(z_r, self._public.n), pairs=sorted(pairs))
+
+    def round2(self, blinded: BlindedSum) -> RevealedSum:
+        """Step 6: decrypt the rerandomized blinded ciphertext."""
+        blinded = BlindedSum.coerce(blinded)
+        return RevealedSum(self._private.decrypt(blinded.ciphertext))
+
+
+class _Machine:
+    """Shared core of the two spec interpreters.
+
+    Holds the lazily-built party state, the inbox of typed messages
+    keyed by round name, and the recorder-phase plumbing.  Subclasses
+    fix the role prefix and which spec factory builds the state.
+    """
+
+    role = ""
+    _factory_attr = ""
+
+    def __init__(
+        self,
+        spec: Any,
+        data: Any,
+        params: PublicParams,
+        rng: random.Random,
+        engine: CryptoEngine | None = None,
+        crypto: CryptoContext | None = None,
+        recorder: Any = None,
+        **options: Any,
+    ):
+        factory = getattr(spec, self._factory_attr)
+        self._init(
+            spec,
+            lambda: factory(data, params, rng, engine=engine, crypto=crypto, **options),
+            recorder,
+        )
+
+    def _init(self, spec: Any, make_state: Callable[[], Any], recorder: Any) -> None:
+        self.spec = spec
+        self.recorder = recorder
+        self._make_state = make_state
+        self._state: Any = None
+        self.inbox: dict[str, Message] = {}
+        self._rounds_produced = 0
+
+    @classmethod
+    def from_factory(
+        cls, spec: Any, make_state: Callable[[], Any], recorder: Any = None
+    ) -> "_Machine":
+        """Build a machine around a ready state factory.
+
+        The resumable sessions use this: their pinned constructor
+        signatures take a zero-argument ``make_sender`` / a
+        params-taking ``make_receiver`` closure rather than raw data.
+        """
+        machine = object.__new__(cls)
+        machine._init(spec, make_state, recorder)
+        return machine
+
+    def _phase(self, name: str):
+        if self.recorder is None:
+            return nullcontext()
+        return self.recorder.phase(f"{self.role}.{name}")
+
+    def ensure_state(self) -> Any:
+        """Build the party state on first use (under the setup phase)."""
+        if self._state is None:
+            with self._phase("setup"):
+                self._state = self._make_state()
+        return self._state
+
+    @property
+    def state(self) -> Any:
+        """The underlying party state (built on first access)."""
+        return self.ensure_state()
+
+    def wait(self, rnd: Any):
+        """Context manager timing the blocking receive of round ``rnd``."""
+        return self._phase(f"wait_{rnd.name}")
+
+    def produce(self, rnd: Any) -> Message:
+        """Compute this role's next outgoing round message."""
+        state = self.ensure_state()
+        self._rounds_produced += 1
+        with self._phase(f"round{self._rounds_produced}"):
+            message = rnd.step(state, self.inbox)
+        if not isinstance(message, rnd.message):
+            message = rnd.message.coerce(message)
+        self.inbox[rnd.name] = message
+        return message
+
+    def consume(self, rnd: Any, wire: Any) -> Message:
+        """Decode a received single-frame wire payload into the inbox."""
+        message = rnd.message.from_wire(wire)
+        self.inbox[rnd.name] = message
+        return message
+
+    def consume_parts(self, rnd: Any, parts: Sequence[Any]) -> Message:
+        """Assemble a received round from its per-part payloads."""
+        message = rnd.message.from_parts(tuple(parts))
+        self.inbox[rnd.name] = message
+        return message
+
+
+class SenderMachine(_Machine):
+    """Generic party S: interprets any registered protocol spec."""
+
+    role = "s"
+    _factory_attr = "make_sender"
+
+
+class ReceiverMachine(_Machine):
+    """Generic party R: interprets any registered protocol spec and
+    computes the protocol answer."""
+
+    role = "r"
+    _factory_attr = "make_receiver"
+
+    def finish(self) -> Any:
+        """Compute the protocol answer from the completed inbox."""
+        state = self.ensure_state()
+        with self._phase("finish"):
+            return self.spec.finish(state, self.inbox)

@@ -30,6 +30,7 @@ from ..crypto.commutative import PowerCipher
 from ..crypto.groups import QRGroup
 from ..crypto.hashing import DomainHash
 from ..net.transcript import View
+from .spec import PROTOCOLS
 
 __all__ = [
     "simulate_s_view_intersection",
@@ -37,6 +38,13 @@ __all__ = [
     "simulate_r_view_equijoin",
     "simulate_r_view_intersection_size",
 ]
+
+# Step labels come from the registered round schedules, so the
+# simulated views stay aligned with the real wire by construction.
+_STEP_Y_R = PROTOCOLS["intersection"].rounds[0].parts[0]
+_STEP_Y_S, _STEP_PAIRS = PROTOCOLS["intersection"].rounds[1].parts
+_STEP_TRIPLES, _STEP_EXT_PAIRS = PROTOCOLS["equijoin"].rounds[1].parts
+_STEP_SIZE_Y_S, _STEP_Z_R = PROTOCOLS["intersection-size"].rounds[1].parts
 
 
 def simulate_s_view_intersection(
@@ -51,7 +59,7 @@ def simulate_s_view_intersection(
     """
     view = View(party="S", protocol=protocol)
     z = sorted(group.random_element(rng) for _ in range(size_v_r))
-    view.record("3:Y_R", z)
+    view.record(_STEP_Y_R, z)
     return view
 
 
@@ -79,12 +87,12 @@ def simulate_r_view_intersection(
     # |V_S − V_R| random elements, sorted.
     y_s = [cipher.encrypt(e_s_tilde, hash_fn.hash_value(v)) for v in intersection]
     y_s += [group.random_element(rng) for _ in range(size_v_s - len(intersection))]
-    view.record("4a:Y_S", sorted(y_s))
+    view.record(_STEP_Y_S, sorted(y_s))
 
     # Step 4(b): R's own Y_R re-encrypted with ẽ_S, paired.
     y_r = sorted(cipher.encrypt(e_r, hash_fn.hash_value(v)) for v in set(v_r))
     pairs = [(y, cipher.encrypt(e_s_tilde, y)) for y in y_r]
-    view.record("4b:pairs", pairs)
+    view.record(_STEP_PAIRS, pairs)
     return view
 
 
@@ -119,7 +127,7 @@ def simulate_r_view_equijoin(
         (y, cipher.encrypt(e_s_tilde, y), cipher.encrypt(e_s_prime_tilde, y))
         for y in y_r
     ]
-    view.record("4:triples", triples)
+    view.record(_STEP_TRIPLES, triples)
 
     # Step 5: pairs for the intersection built from the known ext
     # payloads; |V_S − V_R| filler pairs drawn from D_ext.
@@ -133,7 +141,7 @@ def simulate_r_view_equijoin(
         codeword = group.random_element(rng)
         kappa = group.random_element(rng)
         pairs.append((codeword, ext_cipher.encrypt(kappa, filler_payload)))
-    view.record("5:pairs", sorted(pairs))
+    view.record(_STEP_EXT_PAIRS, sorted(pairs))
     return view
 
 
@@ -157,7 +165,7 @@ def simulate_r_view_intersection_size(
     t = size_v_s - intersection_size
     n = size_v_s + size_v_r - intersection_size
     y = [group.random_element(rng) for _ in range(n)]
-    view.record("4a:Y_S", sorted(y[:size_v_s]))
+    view.record(_STEP_SIZE_Y_S, sorted(y[:size_v_s]))
     z_r = [cipher.encrypt(e_r, yi) for yi in y[t:]]
-    view.record("4b:Z_R", sorted(z_r))
+    view.record(_STEP_Z_R, sorted(z_r))
     return view

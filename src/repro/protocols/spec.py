@@ -1,0 +1,289 @@
+"""Declarative protocol specs: each paper protocol as a round schedule.
+
+The paper's four operations (intersection, equijoin, intersection
+size, equijoin size) - plus the equijoin-sum aggregate - are all
+instances of one commutative-encryption round pattern.  This module
+captures that pattern as *data*: a :class:`ProtocolSpec` names the
+rounds, types each round's payload (a dataclass from
+:mod:`repro.protocols.messages`), and binds per-role step functions
+over the concrete party states in :mod:`repro.protocols.parties`.
+
+A single pair of interpreters
+(:class:`~repro.protocols.parties.SenderMachine` /
+:class:`~repro.protocols.parties.ReceiverMachine`) executes any spec,
+and every transport - the in-memory runner, plain TCP, resumable
+sessions, the CLI - dispatches through the :data:`PROTOCOLS` registry.
+Adding a protocol to the stack is now a registry entry, not five
+layers of bespoke plumbing; ``equijoin-sum`` is registered here purely
+that way and is reachable over TCP with no transport code of its own.
+
+Round naming is load-bearing: the metrics recorder derives its phase
+names from the round names (``s.wait_m1``, ``r.wait_m2``...), and the
+per-part transcript labels (``"3:Y_R"``, ``"4a:Y_S"``...) are the
+paper's step numbers, pinned by the golden-transcript fixture and the
+simulator audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from .messages import (
+    BlindedSum,
+    CipherList,
+    EquijoinReply,
+    IntersectionReply,
+    Message,
+    RevealedSum,
+    SizeReply,
+    SumReply,
+)
+from .parties import (
+    EquijoinReceiver,
+    EquijoinSender,
+    EquijoinSizeReceiver,
+    EquijoinSizeSender,
+    EquijoinSumReceiver,
+    EquijoinSumSender,
+    IntersectionReceiver,
+    IntersectionSender,
+    IntersectionSizeReceiver,
+    IntersectionSizeSender,
+)
+
+__all__ = [
+    "RoundSpec",
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "register",
+    "get_spec",
+]
+
+
+@dataclass(frozen=True)
+class RoundSpec:
+    """One named round of a protocol.
+
+    Attributes:
+        name: wire-level round name (``"m1"``...); also the inbox key
+            and the stem of the recorder phase names.
+        source: which role emits the round - ``"R"`` or ``"S"``.
+        message: the typed payload class for this round.
+        step: ``step(state, inbox) -> message`` computed by the
+            emitting party; ``inbox`` maps prior round names to their
+            typed messages.
+        parts: per-part transcript labels (the paper's step numbers),
+            one per message field, in wire order.
+    """
+
+    name: str
+    source: str
+    message: type[Message]
+    step: Callable[[Any, Mapping[str, Message]], Message]
+    parts: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A protocol as data: round schedule plus party factories.
+
+    Attributes:
+        name: registry key and CLI name (``"intersection-size"``...).
+        run_label: label for :class:`~repro.net.runner.ProtocolRun`
+            and recorded views (historically underscored).
+        rounds: the ordered round schedule.
+        make_receiver: ``(data, params, rng, *, engine=, crypto=, ...)``
+            building party R's state.
+        make_sender: same, for party S.
+        finish: ``finish(receiver_state, inbox) -> answer``.
+        sender_input: which CLI reader feeds S - ``"values"``,
+            ``"ext"`` or ``"amounts"``.
+        answer_kind: how the CLI prints R's answer - ``"set"``,
+            ``"ext-map"`` or ``"number"``.
+        doc: one-line description (paper section) for ``--help``.
+    """
+
+    name: str
+    run_label: str
+    rounds: tuple[RoundSpec, ...]
+    make_receiver: Callable[..., Any]
+    make_sender: Callable[..., Any]
+    finish: Callable[[Any, Mapping[str, Message]], Any]
+    sender_input: str = "values"
+    answer_kind: str = "number"
+    doc: str = ""
+
+    @property
+    def receiver_rounds(self) -> tuple[RoundSpec, ...]:
+        """The rounds party R emits, in order."""
+        return tuple(r for r in self.rounds if r.source == "R")
+
+    @property
+    def sender_rounds(self) -> tuple[RoundSpec, ...]:
+        """The rounds party S emits, in order."""
+        return tuple(r for r in self.rounds if r.source == "S")
+
+    def part_labels(self) -> tuple[str, ...]:
+        """All transcript part labels across the schedule, in order."""
+        return tuple(label for rnd in self.rounds for label in rnd.parts)
+
+
+#: Registered protocol specs, keyed by CLI/registry name.
+PROTOCOLS: dict[str, ProtocolSpec] = {}
+
+
+def register(spec: ProtocolSpec) -> ProtocolSpec:
+    """Add a spec to :data:`PROTOCOLS`; returns it for assignment."""
+    PROTOCOLS[spec.name] = spec
+    return spec
+
+
+def get_spec(protocol: str | ProtocolSpec) -> ProtocolSpec:
+    """Resolve a registry name (or pass a spec through).
+
+    Raises:
+        ValueError: for a name no spec is registered under - raised
+            locally, before any network activity.
+    """
+    if isinstance(protocol, ProtocolSpec):
+        return protocol
+    try:
+        return PROTOCOLS[protocol]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ValueError(
+            f"unknown protocol {protocol!r} (expected one of: {known})"
+        ) from None
+
+
+def _receiver_round1(state: Any, inbox: Mapping[str, Message]) -> Message:
+    """R's opening round: its encrypted (reordered) set."""
+    return state.round1()
+
+
+def _sender_round1(state: Any, inbox: Mapping[str, Message]) -> Message:
+    """S's reply to ``m1``."""
+    return state.round1(inbox["m1"])
+
+
+def _receiver_round2(state: Any, inbox: Mapping[str, Message]) -> Message:
+    """R's second round (aggregates), computed from S's ``m2``."""
+    return state.round2(inbox["m2"])
+
+
+def _sender_round2(state: Any, inbox: Mapping[str, Message]) -> Message:
+    """S's second round (aggregates), computed from R's ``m3``."""
+    return state.round2(inbox["m3"])
+
+
+def _finish_m2(state: Any, inbox: Mapping[str, Message]) -> Any:
+    """Two-round protocols: the answer comes out of S's ``m2``."""
+    return state.finish(inbox["m2"])
+
+
+def _finish_m4(state: Any, inbox: Mapping[str, Message]) -> Any:
+    """Four-round protocols: the answer comes out of S's ``m4``."""
+    return state.finish(inbox["m4"])
+
+
+INTERSECTION = register(
+    ProtocolSpec(
+        name="intersection",
+        run_label="intersection",
+        rounds=(
+            RoundSpec("m1", "R", CipherList, _receiver_round1, ("3:Y_R",)),
+            RoundSpec(
+                "m2", "S", IntersectionReply, _sender_round1,
+                ("4a:Y_S", "4b:pairs"),
+            ),
+        ),
+        make_receiver=IntersectionReceiver,
+        make_sender=IntersectionSender,
+        finish=_finish_m2,
+        sender_input="values",
+        answer_kind="set",
+        doc="set intersection (Section 3.3)",
+    )
+)
+
+INTERSECTION_SIZE = register(
+    ProtocolSpec(
+        name="intersection-size",
+        run_label="intersection_size",
+        rounds=(
+            RoundSpec("m1", "R", CipherList, _receiver_round1, ("3:Y_R",)),
+            RoundSpec(
+                "m2", "S", SizeReply, _sender_round1, ("4a:Y_S", "4b:Z_R"),
+            ),
+        ),
+        make_receiver=IntersectionSizeReceiver,
+        make_sender=IntersectionSizeSender,
+        finish=_finish_m2,
+        sender_input="values",
+        answer_kind="number",
+        doc="intersection size only (Section 5.1)",
+    )
+)
+
+EQUIJOIN = register(
+    ProtocolSpec(
+        name="equijoin",
+        run_label="equijoin",
+        rounds=(
+            RoundSpec("m1", "R", CipherList, _receiver_round1, ("3:Y_R",)),
+            RoundSpec(
+                "m2", "S", EquijoinReply, _sender_round1,
+                ("4:triples", "5:pairs"),
+            ),
+        ),
+        make_receiver=EquijoinReceiver,
+        make_sender=EquijoinSender,
+        finish=_finish_m2,
+        sender_input="ext",
+        answer_kind="ext-map",
+        doc="equijoin with encrypted ext payloads (Section 4.3)",
+    )
+)
+
+EQUIJOIN_SIZE = register(
+    ProtocolSpec(
+        name="equijoin-size",
+        run_label="equijoin_size",
+        rounds=(
+            RoundSpec("m1", "R", CipherList, _receiver_round1, ("3:Y_R",)),
+            RoundSpec(
+                "m2", "S", SizeReply, _sender_round1, ("4a:Y_S", "4b:Z_R"),
+            ),
+        ),
+        make_receiver=EquijoinSizeReceiver,
+        make_sender=EquijoinSizeSender,
+        finish=_finish_m2,
+        sender_input="values",
+        answer_kind="number",
+        doc="equijoin size over multisets (Section 5.2)",
+    )
+)
+
+EQUIJOIN_SUM = register(
+    ProtocolSpec(
+        name="equijoin-sum",
+        run_label="equijoin_sum",
+        rounds=(
+            RoundSpec("m1", "R", CipherList, _receiver_round1, ("1:Y_R",)),
+            RoundSpec(
+                "m2", "S", SumReply, _sender_round1, ("2:Z_R+pk", "3:pairs"),
+            ),
+            RoundSpec("m3", "R", BlindedSum, _receiver_round2, ("4:blinded",)),
+            RoundSpec(
+                "m4", "S", RevealedSum, _sender_round2, ("5:blinded_sum",),
+            ),
+        ),
+        make_receiver=EquijoinSumReceiver,
+        make_sender=EquijoinSumSender,
+        finish=_finish_m4,
+        sender_input="amounts",
+        answer_kind="number",
+        doc="sum over the intersection (aggregate; paper future work)",
+    )
+)

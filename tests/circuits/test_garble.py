@@ -14,7 +14,6 @@ from repro.circuits.builders import (
     encode_value_bits,
     equality_comparator,
     less_than_comparator,
-    pack_inputs,
 )
 from repro.circuits.garble import evaluate_garbled, garble, yao_intersection
 from repro.crypto.groups import QRGroup

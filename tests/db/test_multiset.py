@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-from collections import Counter
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

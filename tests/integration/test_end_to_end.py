@@ -18,7 +18,7 @@ from repro.protocols import (
     run_intersection,
     run_intersection_size,
 )
-from repro.workloads.generator import medical_workload, multiset_pair, overlapping_sets
+from repro.workloads.generator import medical_workload, overlapping_sets
 
 
 class TestCrossProtocolConsistency:

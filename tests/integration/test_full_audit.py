@@ -16,7 +16,6 @@ import pytest
 
 from repro.protocols.aggregate import run_equijoin_sum
 from repro.protocols.audit import audit_view
-from repro.protocols.base import ProtocolSuite
 from repro.protocols.equijoin import run_equijoin
 from repro.protocols.equijoin_size import run_equijoin_size
 from repro.protocols.intersection import run_intersection

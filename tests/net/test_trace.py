@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.net.trace import render_run, render_view, summarize_payload
 from repro.net.transcript import View
-from repro.protocols.base import ProtocolSuite
 from repro.protocols.equijoin import run_equijoin
 from repro.protocols.intersection import run_intersection
 

@@ -1,0 +1,227 @@
+"""Regenerate the golden-transcript fixture for the spec refactor tests.
+
+Runs the in-memory protocol drivers (and, as a cross-check, the
+separable party state machines) on fixed inputs with seeded randomness
+and records a SHA-256 digest of the serialization of every wire
+payload: each recorded view part, each assembled round message, and
+the answer. ``tests/protocols/test_golden_transcripts.py`` asserts
+that spec-driven runs - in-memory, plain TCP and resumable, serial and
+pooled - reproduce these bytes exactly.
+
+The fixture was first captured against the pre-refactor per-protocol
+drivers, so it pins byte-identity across the refactor, not merely
+self-consistency. Regenerate (only when a protocol's wire format is
+*intentionally* changed) with:
+
+    PYTHONPATH=src python tests/protocols/make_golden_fixture.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from pathlib import Path
+
+from repro.crypto.commutative import PowerCipher
+from repro.crypto.ext_cipher import BlockExtCipher
+from repro.crypto.groups import QRGroup
+from repro.crypto.hashing import TryIncrementHash
+from repro.net.serialization import encode
+from repro.protocols.aggregate import run_equijoin_sum
+from repro.protocols.base import ProtocolSuite
+from repro.protocols.equijoin import run_equijoin
+from repro.protocols.equijoin_size import run_equijoin_size
+from repro.protocols.intersection import run_intersection
+from repro.protocols.intersection_size import run_intersection_size
+
+FIXTURE_PATH = Path(__file__).with_name("golden_transcripts.json")
+
+BITS = 128
+N = 40  # above DEFAULT_MIN_PARALLEL so pooled runs actually batch
+
+
+def fixture_values() -> tuple[list[str], list[str]]:
+    """The shared value sets: half private per side, half common."""
+    half = N // 2
+    v_r = [f"r{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    return v_r, v_s
+
+
+def fixture_multisets() -> tuple[list[str], list[str]]:
+    """Equijoin-size inputs: the shared sets plus duplicates."""
+    v_r, v_s = fixture_values()
+    return v_r + v_r[:5], v_s + v_s[:3]
+
+
+def fixture_ext() -> dict[str, bytes]:
+    """Equijoin sender payloads."""
+    _, v_s = fixture_values()
+    return {v: f"payload:{v}".encode() for v in v_s}
+
+
+def fixture_amounts() -> dict[str, int]:
+    """Equijoin-sum sender amounts."""
+    _, v_s = fixture_values()
+    return {v: (i * 7) % 23 for i, v in enumerate(v_s)}
+
+
+def fixture_suite() -> ProtocolSuite:
+    """The seeded suite every capture run uses (rng_r="R", rng_s="S")."""
+    group = QRGroup.for_bits(BITS)
+    return ProtocolSuite(
+        group=group,
+        hash=TryIncrementHash(group),
+        cipher=PowerCipher(group),
+        ext_cipher=BlockExtCipher(group),
+        rng_r=random.Random("R"),
+        rng_s=random.Random("S"),
+    )
+
+
+def digest(payload) -> str:
+    """SHA-256 of the canonical wire encoding of ``payload``."""
+    return hashlib.sha256(encode(payload)).hexdigest()
+
+
+def canonical_answer(protocol: str, result) -> object:
+    """The protocol answer as a deterministic, encodable object."""
+    if protocol == "intersection":
+        return sorted(result.intersection, key=repr)
+    if protocol == "equijoin":
+        return [(v, result.matches[v]) for v in sorted(result.matches, key=repr)]
+    if protocol == "intersection-size":
+        return result.size
+    if protocol == "equijoin-size":
+        return result.join_size
+    if protocol == "equijoin-sum":
+        return [result.total, result.match_count]
+    raise ValueError(protocol)
+
+
+def _view_payloads(run) -> dict[str, object]:
+    """Every recorded part payload across both views, keyed by label."""
+    payloads: dict[str, object] = {}
+    for view in (run.s_view, run.r_view):
+        for message in view.received:
+            payloads[message.step] = message.payload
+    return payloads
+
+
+#: protocol -> (part labels per round, in order); single-part rounds
+#: ship the bare payload, multi-part rounds ship the tuple of parts.
+ROUND_PARTS = {
+    "intersection": [["3:Y_R"], ["4a:Y_S", "4b:pairs"]],
+    "intersection-size": [["3:Y_R"], ["4a:Y_S", "4b:Z_R"]],
+    "equijoin": [["3:Y_R"], ["4:triples", "5:pairs"]],
+    "equijoin-size": [["3:Y_R"], ["4a:Y_S", "4b:Z_R"]],
+    "equijoin-sum": [["1:Y_R"], ["2:Z_R+pk", "3:pairs"], ["4:blinded"],
+                     ["5:blinded_sum"]],
+}
+
+
+def _round_wires(protocol: str, payloads: dict[str, object]) -> list[object]:
+    wires = []
+    for labels in ROUND_PARTS[protocol]:
+        parts = [payloads[label] for label in labels]
+        wires.append(parts[0] if len(parts) == 1 else tuple(parts))
+    return wires
+
+
+def capture(protocol: str) -> dict[str, object]:
+    """One protocol's golden record from the in-memory driver."""
+    v_r, v_s = fixture_values()
+    if protocol == "intersection":
+        result = run_intersection(v_r, v_s, fixture_suite())
+    elif protocol == "intersection-size":
+        result = run_intersection_size(v_r, v_s, fixture_suite())
+    elif protocol == "equijoin":
+        result = run_equijoin(v_r, fixture_ext(), fixture_suite())
+    elif protocol == "equijoin-size":
+        ms_r, ms_s = fixture_multisets()
+        result = run_equijoin_size(ms_r, ms_s, fixture_suite())
+    elif protocol == "equijoin-sum":
+        result = run_equijoin_sum(v_r, fixture_amounts(), fixture_suite())
+    else:
+        raise ValueError(protocol)
+
+    payloads = _view_payloads(result.run)
+    record: dict[str, object] = {
+        "parts": {label: digest(payload) for label, payload in payloads.items()},
+        "wires": {
+            f"m{i + 1}": digest(wire)
+            for i, wire in enumerate(_round_wires(protocol, payloads))
+        },
+        "answer": digest(canonical_answer(protocol, result)),
+        "size_v_r": result.size_v_r,
+        "size_v_s": result.size_v_s,
+    }
+    if protocol == "equijoin-size":
+        record["diagnostics"] = {
+            "r_learns_s_duplicates": repr(result.r_learns_s_duplicates),
+            "s_learns_r_duplicates": repr(result.s_learns_r_duplicates),
+            "partition_overlap": repr(sorted(result.partition_overlap.items())),
+        }
+    return record
+
+
+def _cross_check_parties(fixture: dict) -> None:
+    """The party state machines must emit the same bytes as the drivers."""
+    from repro.protocols.parties import (
+        EquijoinReceiver,
+        EquijoinSender,
+        EquijoinSizeReceiver,
+        EquijoinSizeSender,
+        IntersectionReceiver,
+        IntersectionSender,
+        IntersectionSizeReceiver,
+        IntersectionSizeSender,
+        PublicParams,
+    )
+
+    params = PublicParams.for_bits(BITS)
+    v_r, v_s = fixture_values()
+    ms_r, ms_s = fixture_multisets()
+    cases = {
+        "intersection": (IntersectionReceiver, IntersectionSender, v_r, v_s),
+        "intersection-size": (
+            IntersectionSizeReceiver, IntersectionSizeSender, v_r, v_s,
+        ),
+        "equijoin": (EquijoinReceiver, EquijoinSender, v_r, fixture_ext()),
+        "equijoin-size": (
+            EquijoinSizeReceiver, EquijoinSizeSender, ms_r, ms_s,
+        ),
+    }
+    for protocol, (receiver_cls, sender_cls, r_data, s_data) in cases.items():
+        receiver = receiver_cls(r_data, params, random.Random("R"))
+        sender = sender_cls(s_data, params, random.Random("S"))
+        m1 = receiver.round1()
+        m2 = sender.round1(m1)
+        receiver.finish(m2)
+        wires = fixture["protocols"][protocol]["wires"]
+        got_m1, got_m2 = digest(_as_wire(m1)), digest(_as_wire(m2))
+        if (got_m1, got_m2) != (wires["m1"], wires["m2"]):
+            raise AssertionError(
+                f"party transcript diverges from driver for {protocol}"
+            )
+
+
+def _as_wire(message) -> object:
+    to_wire = getattr(message, "to_wire", None)
+    return to_wire() if callable(to_wire) else message
+
+
+def main() -> None:
+    fixture = {
+        "bits": BITS,
+        "n": N,
+        "protocols": {name: capture(name) for name in ROUND_PARTS},
+    }
+    _cross_check_parties(fixture)
+    FIXTURE_PATH.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,7 +50,7 @@ def _run(receiver_cls, sender_cls, params, engine, sender_ext=False):
     m1 = receiver.round1()
     m2 = sender.round1(m1)
     answer = receiver.finish(m2)
-    return m1, m2, answer
+    return m1.to_wire(), m2.to_wire(), answer
 
 
 PROTOCOLS = [

@@ -1,0 +1,317 @@
+"""Golden-transcript pinning for the spec-driven protocol stack.
+
+``golden_transcripts.json`` was captured from the pre-refactor
+per-protocol drivers (see ``make_golden_fixture.py``). These tests
+assert that the declarative round schedules, interpreted by the
+generic machines, reproduce those bytes exactly - for every registered
+protocol, across the in-memory, plain-TCP and resumable execution
+paths, with the serial and the process-pool crypto engines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import socket
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.crypto.engine import ProcessPoolEngine
+from repro.net.serialization import encode
+from repro.net.session import (
+    ReceiverSession,
+    RetryPolicy,
+    SenderSession,
+    SessionConfig,
+)
+from repro.net.tcp import SocketEndpoint, connect, serve
+from repro.protocols.parties import (
+    PublicParams,
+    ReceiverMachine,
+    SenderMachine,
+)
+from repro.protocols.spec import PROTOCOLS
+
+FIXTURE = json.loads(
+    Path(__file__).with_name("golden_transcripts.json").read_text()
+)
+BITS = FIXTURE["bits"]
+N = FIXTURE["n"]
+
+PROTOCOL_NAMES = sorted(FIXTURE["protocols"])
+
+
+def _digest(payload) -> str:
+    return hashlib.sha256(encode(payload)).hexdigest()
+
+
+def _values():
+    half = N // 2
+    v_r = [f"r{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    return v_r, v_s
+
+
+def _inputs(name):
+    """(receiver data, sender data) exactly as the fixture was captured."""
+    v_r, v_s = _values()
+    if name == "equijoin":
+        return v_r, {v: f"payload:{v}".encode() for v in v_s}
+    if name == "equijoin-size":
+        return v_r + v_r[:5], v_s + v_s[:3]
+    if name == "equijoin-sum":
+        return v_r, {v: (i * 7) % 23 for i, v in enumerate(v_s)}
+    return v_r, v_s
+
+
+def _canonical_answer(name, answer, match_count=None):
+    """Mirror of the fixture generator's ``canonical_answer``."""
+    if name == "intersection":
+        return sorted(answer, key=repr)
+    if name == "equijoin":
+        return [(v, answer[v]) for v in sorted(answer, key=repr)]
+    if name == "equijoin-sum":
+        return [answer, match_count]
+    return answer  # the size protocols answer with one number
+
+
+def _plain_match_count() -> int:
+    v_r, v_s = _values()
+    return len(set(v_r) & set(v_s))
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PublicParams.for_bits(BITS)
+
+
+@pytest.fixture(scope="module")
+def pooled_engines():
+    """One pool per party so concurrent runs never share a pool."""
+    with ProcessPoolEngine(processors=2, chunk_size=7) as r_engine:
+        with ProcessPoolEngine(processors=2, chunk_size=7) as s_engine:
+            yield r_engine, s_engine
+
+
+@pytest.fixture(params=["serial", "pooled"])
+def engines(request, pooled_engines):
+    """(receiver engine, sender engine); ``None`` means serial."""
+    if request.param == "serial":
+        return None, None
+    return pooled_engines
+
+
+def _session_config():
+    return SessionConfig(
+        timeout_s=2.0,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05),
+        max_reconnects=1,
+        fin_grace_s=0.05,
+    )
+
+
+class _RecordingTransport:
+    """Wraps a framed transport; logs every message in arrival order."""
+
+    def __init__(self, transport, log):
+        self._transport = transport
+        self.log = log
+
+    def send(self, message):
+        self.log.append(("sent", message))
+        self._transport.send(message)
+
+    def recv(self):
+        message = self._transport.recv()
+        self.log.append(("received", message))
+        return message
+
+    def settimeout(self, timeout):
+        self._transport.settimeout(timeout)
+
+    def close(self):
+        self._transport.close()
+
+
+class _SessionRecordingTransport(_RecordingTransport):
+    """Records the payload bytes of ``msg`` session frames, by seq."""
+
+    def __init__(self, transport, frames):
+        super().__init__(transport, [])
+        self.frames = frames
+
+    def send(self, frame):
+        if isinstance(frame, tuple) and frame and frame[0] == "msg":
+            self.frames.setdefault(("sent", frame[1]), frame[2])
+        self._transport.send(frame)
+
+    def recv(self):
+        frame = self._transport.recv()
+        if isinstance(frame, tuple) and frame and frame[0] == "msg":
+            self.frames.setdefault(("received", frame[1]), frame[2])
+        return frame
+
+
+def _assert_wires(name, digests):
+    expected = FIXTURE["protocols"][name]["wires"]
+    assert digests == expected, f"wire transcript diverges for {name}"
+
+
+def _assert_answer(name, answer, match_count=None):
+    got = _digest(_canonical_answer(name, answer, match_count))
+    assert got == FIXTURE["protocols"][name]["answer"]
+
+
+# ----------------------------------------------------------------------
+# In-memory: machines driven directly, wires captured per round
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_in_memory_matches_golden(name, params, engines):
+    r_engine, s_engine = engines
+    spec = PROTOCOLS[name]
+    r_data, s_data = _inputs(name)
+    receiver = ReceiverMachine(
+        spec, r_data, params, random.Random("R"), engine=r_engine
+    )
+    sender = SenderMachine(
+        spec, s_data, params, random.Random("S"), engine=s_engine
+    )
+    digests = {}
+    for i, rnd in enumerate(spec.rounds, start=1):
+        producer, consumer = (
+            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+        )
+        wire = producer.produce(rnd).to_wire()
+        digests[f"m{i}"] = _digest(wire)
+        consumer.consume(rnd, wire)
+    answer = receiver.finish()
+
+    _assert_wires(name, digests)
+    _assert_answer(
+        name, answer, getattr(receiver.state, "match_count", None)
+    )
+    record = FIXTURE["protocols"][name]
+    assert sender.state.size_v_r == record["size_v_r"]
+    assert receiver.state.size_v_s == record["size_v_s"]
+
+
+# ----------------------------------------------------------------------
+# Plain TCP: generic serve/connect, wires captured on the client side
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_tcp_matches_golden(name, params, engines):
+    r_engine, s_engine = engines
+    spec = PROTOCOLS[name]
+    r_data, s_data = _inputs(name)
+    port_box: list[int] = []
+    ready = threading.Event()
+    server_box: dict = {}
+
+    def serve_thread():
+        server_box["size_v_r"] = serve(
+            name, s_data, params, random.Random("S"),
+            ready_callback=lambda port: (port_box.append(port), ready.set()),
+            timeout=10.0, engine=s_engine,
+        )
+
+    thread = threading.Thread(target=serve_thread)
+    thread.start()
+    assert ready.wait(timeout=10)
+    log: list = []
+    answer = connect(
+        name, r_data, random.Random("R"), "127.0.0.1", port_box[0],
+        timeout=10.0, engine=r_engine,
+        endpoint_wrapper=lambda endpoint: _RecordingTransport(endpoint, log),
+    )
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+    rounds = log[1:]  # drop the ("params", ...) handshake frame
+    assert len(rounds) == len(spec.rounds)
+    digests = {}
+    for i, (rnd, (direction, message)) in enumerate(
+        zip(spec.rounds, rounds), start=1
+    ):
+        assert direction == ("sent" if rnd.source == "R" else "received")
+        digests[f"m{i}"] = _digest(message)
+    _assert_wires(name, digests)
+    match_count = _plain_match_count() if name == "equijoin-sum" else None
+    _assert_answer(name, answer, match_count)
+    assert server_box["size_v_r"] == FIXTURE["protocols"][name]["size_v_r"]
+
+
+# ----------------------------------------------------------------------
+# Resumable sessions: driven over a socketpair, msg frames captured
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_resumable_matches_golden(name, params, engines):
+    r_engine, s_engine = engines
+    spec = PROTOCOLS[name]
+    r_data, s_data = _inputs(name)
+    config = _session_config()
+    raw_s, raw_r = socket.socketpair()
+    raw_s.settimeout(10.0)
+    raw_r.settimeout(10.0)
+    sender_session = SenderSession(
+        name,
+        params,
+        lambda: spec.make_sender(
+            s_data, params, random.Random("S"), engine=s_engine
+        ),
+        config=config,
+        rng=random.Random(1),
+    )
+    receiver_session = ReceiverSession(
+        name,
+        lambda wire: spec.make_receiver(
+            r_data,
+            PublicParams.from_wire(tuple(wire)),
+            random.Random("R"),
+            engine=r_engine,
+        ),
+        config=config,
+        rng=random.Random(2),
+    )
+    server_box: dict = {}
+    connections = iter([SocketEndpoint(sock=raw_s)])
+
+    def serve_thread():
+        server_box["state"] = sender_session.run(lambda: next(connections))
+
+    thread = threading.Thread(target=serve_thread)
+    thread.start()
+    frames: dict = {}
+    answer = receiver_session.run(
+        lambda: _SessionRecordingTransport(SocketEndpoint(sock=raw_r), frames)
+    )
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+    digests = {}
+    sent = received = 0
+    for i, rnd in enumerate(spec.rounds, start=1):
+        if rnd.source == "R":
+            wire_bytes = frames[("sent", sent)]
+            sent += 1
+        else:
+            wire_bytes = frames[("received", received)]
+            received += 1
+        digests[f"m{i}"] = hashlib.sha256(wire_bytes).hexdigest()
+    _assert_wires(name, digests)
+    match_count = getattr(
+        receiver_session._machine.state, "match_count", None
+    )
+    _assert_answer(name, answer, match_count)
+    record = FIXTURE["protocols"][name]
+    assert server_box["state"].size_v_r == record["size_v_r"]
+    assert sender_session.stats.reconnects == 0
+    assert receiver_session.stats.reconnects == 0
+    assert sender_session.stats.rounds_computed == sum(
+        1 for rnd in spec.rounds if rnd.source == "S"
+    )
+    assert receiver_session.stats.rounds_computed == sum(
+        1 for rnd in spec.rounds if rnd.source == "R"
+    )

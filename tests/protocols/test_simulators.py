@@ -13,7 +13,6 @@ import random
 
 import pytest
 
-from repro.protocols.base import ProtocolSuite
 from repro.protocols.equijoin import run_equijoin
 from repro.protocols.intersection import run_intersection
 from repro.protocols.intersection_size import run_intersection_size

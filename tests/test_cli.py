@@ -97,7 +97,6 @@ class TestInfoCommands:
 
 class TestDistributedCommands:
     def test_serve_and_connect(self, tmp_path, capsys):
-        import re
         import threading
 
         r_file = tmp_path / "r.txt"
