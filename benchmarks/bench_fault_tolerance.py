@@ -20,12 +20,19 @@ import time
 import pytest
 
 from repro.net.faults import FaultInjector, FaultPlan
+from repro.net.journal import JournalDir, recover_sender_session
+from repro.net.serialization import encode
 from repro.net.session import RetryPolicy, SessionConfig
 from repro.net.tcp import (
     connect_resumable_receiver,
     serve_resumable_sender,
 )
-from repro.protocols.parties import PublicParams
+from repro.protocols.parties import (
+    PublicParams,
+    ReceiverMachine,
+    SenderMachine,
+)
+from repro.protocols.spec import PROTOCOLS
 
 #: rate -> RNG seed. Runs are only a handful of frames, so seeds are
 #: chosen (deterministically, once) such that the nonzero rates do
@@ -151,3 +158,164 @@ def test_fault_rate_extremes_complete(bench_bits, rate):
     """The endpoints of the sweep complete correctly on their own."""
     record = _run_once(rate, seed=15, bits=min(bench_bits, 128))
     assert record["fault_rate"] == rate
+
+
+# ----------------------------------------------------------------------
+# Journal overhead: what crash durability costs per run
+# ----------------------------------------------------------------------
+#: journal mode label -> fsync flag (None = journaling disabled).
+JOURNAL_MODES = {"off": None, "fsync-off": False, "fsync-on": True}
+JOURNAL_SET_SIZES = (8, 32)
+
+
+def _inputs(n: int):
+    half = max(1, n // 4)
+    v_r = [f"r{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    return v_r, v_s, {f"c{i}" for i in range(half)}
+
+
+def _run_journaled(n: int, mode: str, bits: int, tmp_path) -> dict:
+    fsync = JOURNAL_MODES[mode]
+    v_r, v_s, expected = _inputs(n)
+    config = _config()
+    params = PublicParams.for_bits(bits)
+    journal_kwargs = (
+        {}
+        if fsync is None
+        else {
+            "journal_dir": tmp_path / f"{mode}-{n}",
+            "journal_fsync": fsync,
+        }
+    )
+    ready = threading.Event()
+    box: dict = {}
+
+    def serve():
+        box["server"] = serve_resumable_sender(
+            "intersection", v_s, params, random.Random(11),
+            ready_callback=lambda port: (
+                box.__setitem__("port", port), ready.set()
+            ),
+            config=config, **journal_kwargs,
+        )
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    assert ready.wait(timeout=10)
+    started = time.perf_counter()
+    answer, client_stats = connect_resumable_receiver(
+        "intersection", v_r, random.Random(12), "127.0.0.1", box["port"],
+        config=config, **journal_kwargs,
+    )
+    elapsed = time.perf_counter() - started
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert answer == expected
+    return {
+        "benchmark": "journal-overhead",
+        "protocol": "intersection",
+        "journal": mode,
+        "n": n,
+        "bits": bits,
+        "elapsed_s": round(elapsed, 6),
+        "rounds": client_stats.rounds_computed,
+    }
+
+
+def test_report_journal_overhead(bench_bits, tmp_path):
+    """Sweep journal off / fsync off / fsync on across set sizes.
+
+    One JSON line per cell. Durability is pure overhead on a clean
+    channel, so the interesting number is the gap between the columns -
+    fsync-on pays one ``fsync`` per journaled round plus one directory
+    sync per rotation, fsync-off only the write syscalls.
+    """
+    bits = min(bench_bits, 256)
+    print("\njournal overhead (crash durability cost per run):")
+    records = [
+        _run_journaled(n, mode, bits, tmp_path)
+        for n in JOURNAL_SET_SIZES
+        for mode in JOURNAL_MODES
+    ]
+    for record in records:
+        print("  " + json.dumps(record, sort_keys=True))
+    # Every cell completed with the exact answer (asserted inside the
+    # runner); all that is left to check is that the sweep is complete.
+    assert len(records) == len(JOURNAL_SET_SIZES) * len(JOURNAL_MODES)
+
+
+# ----------------------------------------------------------------------
+# Kill-resume: how long recovery from a crash-point journal takes
+# ----------------------------------------------------------------------
+def _build_crashed_journal(journal_dir: JournalDir, params, n: int,
+                           session_id: int):
+    """A sender journal frozen at the worst crash point.
+
+    All inbound rounds consumed and the final outbound round journaled
+    but never shipped - the maximum amount of state a restart has to
+    rebuild by replay.
+    """
+    spec = PROTOCOLS["intersection"]
+    v_r, v_s, expected = _inputs(n)
+    receiver = ReceiverMachine(spec, v_r, params, random.Random("R"))
+    sender = SenderMachine(spec, v_s, params, random.Random("S"))
+    journal = journal_dir.open_session("sender", "intersection", session_id)
+    inbound = outbound = 0
+    for rnd in spec.rounds:
+        producer, consumer = (
+            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+        )
+        wire = producer.produce(rnd).to_wire()
+        if rnd.source == "R":
+            journal.record_inbound(inbound, encode(wire))
+            inbound += 1
+        else:
+            journal.record_outbound(outbound, encode(wire))
+            outbound += 1
+        consumer.consume(rnd, wire)
+    journal.close()
+    return inbound + outbound
+
+
+def test_report_kill_resume_recovery_time(bench_bits, tmp_path):
+    """Time to rebuild a SenderSession from its journal after SIGKILL.
+
+    Recovery replays every journaled round through a fresh machine and
+    byte-verifies each recomputed outbound, so the cost scales with the
+    protocol work already done - this measures it directly instead of
+    through subprocess spawn noise (the chaos test in
+    ``tests/integration/test_crash_recovery.py`` covers the live path).
+    """
+    bits = min(bench_bits, 256)
+    params = PublicParams.for_bits(bits)
+    spec = PROTOCOLS["intersection"]
+    print("\nkill-resume (journal recovery time after a crash):")
+    records = []
+    for n in JOURNAL_SET_SIZES:
+        journal_dir = JournalDir(tmp_path / f"resume-{n}", fsync=False)
+        rounds = _build_crashed_journal(journal_dir, params, n, 0xBE0000 + n)
+        _, v_s, _ = _inputs(n)
+        stale = journal_dir.incomplete("sender", "intersection")
+        assert len(stale) == 1
+        started = time.perf_counter()
+        session = recover_sender_session(
+            stale[0], params,
+            lambda: spec.make_sender(v_s, params, random.Random("S")),
+            config=_config(), fsync=False,
+        )
+        elapsed = time.perf_counter() - started
+        assert session.stats.rounds_recovered == rounds
+        session.journal.close()
+        record = {
+            "benchmark": "kill-resume",
+            "protocol": "intersection",
+            "n": n,
+            "bits": bits,
+            "rounds_recovered": rounds,
+            "recovery_s": round(elapsed, 6),
+        }
+        records.append(record)
+        print("  " + json.dumps(record, sort_keys=True))
+    # Larger sets journal more protocol state; replay must reflect it.
+    assert records[-1]["rounds_recovered"] == records[0]["rounds_recovered"]

@@ -195,6 +195,7 @@ class MetricsRecorder:
     def __init__(self, engine: CryptoEngine | None = None):
         self.phases: dict[str, PhaseStats] = {}
         self.unattributed_modexp = 0
+        self.sessions: list[dict[str, Any]] = []
         self._stack: list[PhaseStats] = []
         self._engine = engine
         self._started_at = time.perf_counter()
@@ -236,6 +237,17 @@ class MetricsRecorder:
         """Record which engine ran the batches (for the report)."""
         self._engine = engine
 
+    def add_session(self, stats: Any) -> None:
+        """Fold one finished session's counters into the report.
+
+        Accepts a :class:`~repro.net.session.SessionStats` (its
+        ``as_dict`` is taken) or an already-flat mapping - the
+        supervised server (:mod:`repro.net.server`) reports one entry
+        per hosted session.
+        """
+        as_dict = getattr(stats, "as_dict", None)
+        self.sessions.append(dict(as_dict() if as_dict else stats))
+
     def report(self) -> dict[str, Any]:
         """The JSON document: engine info, totals, and per-phase stats."""
         out: dict[str, Any] = {
@@ -251,4 +263,6 @@ class MetricsRecorder:
                 name: stats.as_dict() for name, stats in self.phases.items()
             },
         }
+        if self.sessions:
+            out["sessions"] = list(self.sessions)
         return out

@@ -26,6 +26,15 @@ party's batch encryption on ``N`` processes (the Section 6.2
 ``P``-processor model; see docs/PERFORMANCE.md), and ``--metrics``
 prints a per-phase wall-clock + modexp-count JSON report to stderr
 (implied by ``--workers > 1``).
+
+Resumable runs gain crash durability with ``--journal-dir DIR``: every
+round is journaled to disk before it is acted on, and a killed process
+restarted with the same directory recovers the interrupted run instead
+of restarting the protocol (docs/PROTOCOLS.md, "Crash durability &
+supervision"). ``serve --resumable --max-sessions N`` (N > 1) hosts a
+supervised :class:`~repro.net.server.ProtocolServer` serving up to
+``N`` concurrent sessions, draining gracefully on SIGTERM within
+``--drain-timeout`` seconds.
 """
 
 from __future__ import annotations
@@ -166,6 +175,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--resumable", action="store_true",
         help="serve under the fault-tolerant session layer",
     )
+    p.add_argument(
+        "--journal-dir", default=None,
+        help="journal resumable rounds to this directory and recover "
+             "an interrupted run from it on restart (requires --resumable)",
+    )
+    p.add_argument(
+        "--max-sessions", type=int, default=1,
+        help="host up to N concurrent sessions via the supervised "
+             "ProtocolServer (default 1 = single classic session; "
+             "requires --resumable)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=5.0,
+        help="seconds the supervised server lets in-flight sessions "
+             "finish after SIGTERM before aborting them (default 5)",
+    )
     _add_engine_options(p)
 
     p = sub.add_parser(
@@ -185,6 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--resumable", action="store_true",
         help="connect under the fault-tolerant session layer",
+    )
+    p.add_argument(
+        "--journal-dir", default=None,
+        help="journal resumable rounds to this directory and recover "
+             "an interrupted run from it on restart (requires --resumable)",
     )
     _add_engine_options(p)
 
@@ -328,13 +358,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {args.protocol} as party S on {args.host}:{port} "
               f"({len(data)} values)", flush=True)
 
+    if (args.journal_dir or args.max_sessions > 1) and not args.resumable:
+        print("--journal-dir/--max-sessions require --resumable",
+              file=sys.stderr)
+        return 2
+
     try:
+        if args.resumable and args.max_sessions > 1:
+            return _serve_supervised(
+                args, data, params, engine, recorder, announce
+            )
         if args.resumable:
             size_v_r, stats = tcp.serve_resumable_sender(
                 args.protocol, data, params, rng, host=args.host,
                 port=args.port, ready_callback=announce,
                 config=_session_config(args.timeout),
                 engine=engine, recorder=recorder,
+                journal_dir=args.journal_dir,
             )
             print(f"run complete; S learned |V_R| = {size_v_r}")
             print(f"# session stats: {stats.as_dict()}", file=sys.stderr)
@@ -353,6 +393,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine.close()
 
 
+def _serve_supervised(
+    args: argparse.Namespace, data, params, engine, recorder, announce
+) -> int:
+    """``serve --resumable --max-sessions N``: the supervised server.
+
+    Hosts up to N concurrent sessions of the chosen protocol until
+    SIGTERM/SIGINT, then drains within ``--drain-timeout`` seconds and
+    prints one stats line per hosted session.
+    """
+    from .net.server import ProtocolOffer, ProtocolServer
+
+    offer = ProtocolOffer.from_data(
+        args.protocol, data, params, seed=args.seed or 0, engine=engine
+    )
+    server = ProtocolServer(
+        [offer],
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        config=_session_config(args.timeout),
+        journal_dir=args.journal_dir,
+        recorder=recorder,
+    )
+    server.start()
+    announce(server.port)
+    server.install_signal_handlers(drain_timeout_s=args.drain_timeout)
+    print(
+        f"supervising up to {args.max_sessions} concurrent sessions "
+        f"(SIGTERM drains within {args.drain_timeout}s)",
+        flush=True,
+    )
+    server.wait_closed()
+    for summary in server.results():
+        print(f"# session: {summary}", file=sys.stderr)
+    _emit_metrics(args, recorder)
+    return 0
+
+
 def _cmd_connect(args: argparse.Namespace) -> int:
     import random as _random
 
@@ -362,12 +440,17 @@ def _cmd_connect(args: argparse.Namespace) -> int:
     rng = _random.Random(args.seed)
     engine, recorder = _build_engine_and_recorder(args)
 
+    if args.journal_dir and not args.resumable:
+        print("--journal-dir requires --resumable", file=sys.stderr)
+        return 2
+
     try:
         if args.resumable:
             answer, stats = tcp.connect_resumable_receiver(
                 args.protocol, v_r, rng, args.host, args.port,
                 config=_session_config(args.timeout),
                 engine=engine, recorder=recorder,
+                journal_dir=args.journal_dir,
             )
             _print_answer(args.protocol, answer)
             print(f"# session stats: {stats.as_dict()}", file=sys.stderr)

@@ -17,14 +17,24 @@ from .faults import (
     FaultyEndpoint,
     faulty_duplex_pair,
 )
+from .journal import (
+    JournalDir,
+    JournalError,
+    SessionJournal,
+    recover_receiver_session,
+    recover_sender_session,
+)
 from .runner import ProtocolRun, ThreePartyRun
 from .serialization import decode, encode, encoded_size
+from .server import ProtocolOffer, ProtocolServer
 from .session import (
     SESSION_VERSION,
     HandshakeError,
     ReceiverSession,
     RetryPolicy,
     SenderSession,
+    ServerBusyError,
+    SessionAborted,
     SessionConfig,
     SessionEndpoint,
     SessionError,
@@ -58,11 +68,20 @@ __all__ = [
     "encode",
     "decode",
     "encoded_size",
+    "JournalDir",
+    "JournalError",
+    "SessionJournal",
+    "recover_sender_session",
+    "recover_receiver_session",
+    "ProtocolOffer",
+    "ProtocolServer",
     "SESSION_VERSION",
     "HandshakeError",
     "ReceiverSession",
     "RetryPolicy",
     "SenderSession",
+    "ServerBusyError",
+    "SessionAborted",
     "SessionConfig",
     "SessionEndpoint",
     "SessionError",

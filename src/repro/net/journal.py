@@ -1,0 +1,541 @@
+"""Crash-durable session journal: a write-ahead log for protocol runs.
+
+The resumable sessions of :mod:`repro.net.session` survive *connection*
+failures because their round logs live outside any single connection -
+but those logs live only in memory, so a dying **process** still loses
+the whole run. This module puts the round log on disk:
+
+* every session event (handshake parameters, each inbound round
+  payload received, each outbound round payload computed, the
+  completion marker) is appended to a per-session journal file as a
+  length-prefixed, CRC32-sealed record, ``flush``-ed and (by default)
+  ``fsync``-ed before the session acts on it;
+* on restart, :func:`recover_sender_session` /
+  :func:`recover_receiver_session` rebuild a
+  :class:`~repro.net.session.SenderSession` /
+  :class:`~repro.net.session.ReceiverSession` to its exact resume
+  cursor by replaying the journal through a fresh party machine - the
+  process picks the run back up from disk instead of restarting the
+  protocol;
+* a journal whose tail was torn by the crash (a half-written record)
+  is truncated back to the last intact record on open, so recovery
+  never trips over its own corpse;
+* a completed journal is **rotated** - atomically renamed from
+  ``*.wal`` to ``*.done`` via ``os.replace`` - so a directory scan
+  (:meth:`JournalDir.incomplete`) finds exactly the runs that still
+  need recovering.
+
+Replay determinism is the load-bearing invariant: a party state is a
+pure function of ``(data, params, rng seed)``, so a recovered machine
+fed the journaled inbound payloads recomputes byte-identical outbound
+payloads. Recovery *checks* this - each replayed outbound round is
+compared against the journaled bytes and a mismatch (wrong seed,
+changed data) raises :class:`JournalError` instead of silently
+shipping frames the peer has never seen.
+
+On-disk format (all integers big-endian)::
+
+    magic   "RPJL" || u16 version
+    record  u32 len(payload) || payload || u32 crc32(payload)
+
+where each payload is :mod:`repro.net.serialization` bytes for one of::
+
+    ("open", version, role, protocol)
+    ("meta", key, value)              # "session_id", "params"
+    ("in",  index, wire_bytes)        # inbound round payload, encoded
+    ("out", index, wire_bytes)        # outbound round payload, encoded
+    ("done",)
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from . import serialization
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JOURNAL_MAGIC",
+    "JournalError",
+    "SessionJournal",
+    "JournalDir",
+    "JournalState",
+    "replay_state",
+    "recover_sender_session",
+    "recover_receiver_session",
+]
+
+JOURNAL_VERSION = 1
+
+#: File prologue: four ASCII bytes plus the format version.
+JOURNAL_MAGIC = b"RPJL" + struct.pack(">H", JOURNAL_VERSION)
+
+_LEN = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+
+#: Suffix of a live (possibly incomplete) journal.
+WAL_SUFFIX = ".wal"
+#: Suffix a completed journal is atomically rotated to.
+DONE_SUFFIX = ".done"
+
+
+class JournalError(Exception):
+    """A journal is unreadable, inconsistent, or diverges on replay."""
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync so renames/creates are durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class SessionJournal:
+    """One session's append-only, CRC-sealed, fsync'd record log.
+
+    Opening an existing file scans and validates every record,
+    truncating a torn tail (a record cut short by a crash, or one whose
+    checksum fails) back to the last intact byte; the dropped length is
+    reported in :attr:`truncated_bytes`. Appends go through
+    ``write + flush + fsync`` (fsync skippable via ``fsync=False`` for
+    benchmarks) so a record returned from :meth:`append` survives the
+    process.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.records: list[tuple] = []
+        self.truncated_bytes = 0
+        self.appends = 0
+        self._file: Any = None
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Open / scan / torn-tail truncation
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        exists = self.path.exists()
+        if not exists:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "ab")
+            self._file.write(JOURNAL_MAGIC)
+            self._flush()
+            _fsync_dir(self.path.parent)
+            return
+        data = self.path.read_bytes()
+        if len(data) < len(JOURNAL_MAGIC):
+            if JOURNAL_MAGIC.startswith(data):
+                # Crash mid-creation: nothing was journaled yet.
+                self.path.write_bytes(JOURNAL_MAGIC)
+                self._file = open(self.path, "ab")
+                self._flush()
+                return
+            raise JournalError(f"{self.path} is not a session journal")
+        if data[: len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+            raise JournalError(
+                f"{self.path} has a foreign or future journal header"
+            )
+        offset = len(JOURNAL_MAGIC)
+        good_end = offset
+        while offset < len(data):
+            record, end = self._scan_one(data, offset)
+            if record is None:
+                break  # torn tail: keep everything before it
+            self.records.append(record)
+            good_end = offset = end
+        if good_end < len(data):
+            self.truncated_bytes = len(data) - good_end
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._file = open(self.path, "ab")
+
+    @staticmethod
+    def _scan_one(data: bytes, offset: int) -> tuple[tuple | None, int]:
+        """Parse one record at ``offset``; ``(None, offset)`` if torn."""
+        if offset + _LEN.size > len(data):
+            return None, offset
+        (length,) = _LEN.unpack_from(data, offset)
+        body_start = offset + _LEN.size
+        crc_start = body_start + length
+        end = crc_start + _CRC.size
+        if end > len(data):
+            return None, offset
+        payload = data[body_start:crc_start]
+        (crc,) = _CRC.unpack_from(data, crc_start)
+        if zlib.crc32(payload) != crc:
+            return None, offset
+        try:
+            record = serialization.decode(payload)
+        except ValueError:
+            return None, offset
+        if not isinstance(record, tuple) or not record or not isinstance(
+            record[0], str
+        ):
+            return None, offset
+        return record, end
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def append(self, record: tuple) -> None:
+        """Seal, write, and make one record durable before returning."""
+        if self._file is None:
+            raise JournalError(f"{self.path} is closed")
+        payload = serialization.encode(record)
+        self._file.write(
+            _LEN.pack(len(payload)) + payload + _CRC.pack(zlib.crc32(payload))
+        )
+        self._flush()
+        self.records.append(record)
+        self.appends += 1
+
+    def record_open(self, role: str, protocol: str) -> None:
+        """The first record: which role and protocol this journal logs."""
+        self.append(("open", JOURNAL_VERSION, role, protocol))
+
+    def record_meta(self, key: str, value: Any) -> None:
+        """A handshake fact (``"session_id"``, ``"params"``)."""
+        self.append(("meta", key, value))
+
+    def record_inbound(self, index: int, data: bytes) -> None:
+        """Round payload ``index`` received from the peer (encoded)."""
+        self.append(("in", index, data))
+
+    def record_outbound(self, index: int, data: bytes) -> None:
+        """Round payload ``index`` computed for the peer (encoded)."""
+        self.append(("out", index, data))
+
+    def record_complete(self) -> None:
+        """The run finished; recovery of this journal is a no-op."""
+        self.append(("done",))
+
+    @property
+    def complete(self) -> bool:
+        """Whether a completion marker has been journaled."""
+        return any(r and r[0] == "done" for r in self.records)
+
+    # ------------------------------------------------------------------
+    # Teardown / rotation
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._file is not None:
+            self._flush()
+            self._file.close()
+            self._file = None
+
+    def rotate(self) -> Path:
+        """Atomically rename a completed ``*.wal`` to ``*.done``.
+
+        ``os.replace`` is atomic on POSIX, so a crash leaves either the
+        live journal or the rotated one - never a half state. Returns
+        the rotated path; idempotent on an already-rotated journal.
+        """
+        self.close()
+        if self.path.suffix == DONE_SUFFIX:
+            return self.path
+        target = self.path.with_suffix(DONE_SUFFIX)
+        os.replace(self.path, target)
+        _fsync_dir(target.parent)
+        self.path = target
+        return target
+
+
+class JournalDir:
+    """A directory of per-session journals, one file per session.
+
+    File names are ``{role}-{protocol}-{session_id:016x}.wal`` while a
+    run is live and ``.done`` once rotated, so recovery is a glob, not
+    a database.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, role: str, protocol: str, session_id: int) -> Path:
+        """The live journal path for one ``(role, protocol, session)``."""
+        return self.path / f"{role}-{protocol}-{session_id:016x}{WAL_SUFFIX}"
+
+    def open_session(
+        self, role: str, protocol: str, session_id: int
+    ) -> SessionJournal:
+        """Open (or create) the journal for one session.
+
+        A fresh journal gets its ``open`` and ``session_id`` records
+        written immediately; an existing one is returned as-is (use
+        :func:`recover_sender_session` / :func:`recover_receiver_session`
+        to resume it).
+        """
+        journal = SessionJournal(
+            self.path_for(role, protocol, session_id), fsync=self.fsync
+        )
+        if not journal.records:
+            journal.record_open(role, protocol)
+            journal.record_meta("session_id", session_id)
+        return journal
+
+    def incomplete(
+        self, role: str | None = None, protocol: str | None = None
+    ) -> list[Path]:
+        """Live (un-rotated) journal paths, oldest first.
+
+        Filters by role and/or protocol when given. A ``*.wal`` whose
+        journaled run already completed (crash between the completion
+        record and the rotation) is excluded - recovering it would be
+        a no-op.
+        """
+        prefix = f"{role}-" if role else ""
+        if role and protocol:
+            prefix = f"{role}-{protocol}-"
+        out = []
+        for path in sorted(
+            self.path.glob(f"*{WAL_SUFFIX}"), key=lambda p: p.stat().st_mtime
+        ):
+            if prefix and not path.name.startswith(prefix):
+                continue
+            try:
+                state = replay_state(SessionJournal(path, fsync=False))
+            except JournalError:
+                continue  # unreadable: leave it for forensics
+            if state.complete:
+                continue
+            if protocol and state.protocol != protocol:
+                continue
+            out.append(path)
+        return out
+
+
+@dataclass
+class JournalState:
+    """The parsed, validated content of one session journal."""
+
+    role: str
+    protocol: str
+    session_id: int | None = None
+    params_wire: tuple | None = None
+    inbound: list[bytes] = field(default_factory=list)
+    outbound: list[bytes] = field(default_factory=list)
+    complete: bool = False
+
+
+def replay_state(journal: SessionJournal) -> JournalState:
+    """Validate a journal's records and fold them into a state.
+
+    Raises:
+        JournalError: on an empty journal, a missing/foreign ``open``
+            record, out-of-order round indices, or records after the
+            completion marker - all signs the file is not a journal
+            this code wrote.
+    """
+    records = journal.records
+    if not records:
+        raise JournalError(f"{journal.path}: empty journal")
+    head = records[0]
+    if head[0] != "open" or len(head) != 4:
+        raise JournalError(f"{journal.path}: missing open record")
+    _, version, role, protocol = head
+    if version != JOURNAL_VERSION:
+        raise JournalError(
+            f"{journal.path}: journal version {version!r}, "
+            f"this code reads {JOURNAL_VERSION}"
+        )
+    if role not in ("sender", "receiver") or not isinstance(protocol, str):
+        raise JournalError(f"{journal.path}: malformed open record")
+    state = JournalState(role=role, protocol=protocol)
+    for record in records[1:]:
+        tag = record[0]
+        if state.complete:
+            raise JournalError(f"{journal.path}: records after completion")
+        if tag == "meta" and len(record) == 3:
+            key, value = record[1], record[2]
+            if key == "session_id":
+                state.session_id = value
+            elif key == "params":
+                state.params_wire = tuple(value)
+        elif tag in ("in", "out") and len(record) == 3:
+            index, data = record[1], record[2]
+            cache = state.inbound if tag == "in" else state.outbound
+            if index != len(cache) or not isinstance(data, bytes):
+                raise JournalError(
+                    f"{journal.path}: {tag} record {index!r} out of order "
+                    f"(expected {len(cache)})"
+                )
+            cache.append(data)
+        elif tag == "done" and len(record) == 1:
+            state.complete = True
+        else:
+            raise JournalError(f"{journal.path}: unknown record {tag!r}")
+    return state
+
+
+def _replay_machine(
+    machine: Any,
+    spec: Any,
+    emits: str,
+    inbound: Iterable[bytes],
+    outbound: Iterable[bytes],
+    path: Path,
+) -> int:
+    """Walk the round schedule feeding journaled payloads to a machine.
+
+    ``emits`` is the role letter (``"S"``/``"R"``) of the rounds this
+    party produces. Every replayed outbound round is recomputed and
+    compared byte-for-byte against the journal - the recovery
+    invariant - so a divergent rng seed or changed input raises
+    :class:`JournalError` instead of resuming into a forked run.
+    Returns the number of rounds restored.
+    """
+    inbound = list(inbound)
+    outbound = list(outbound)
+    machine.ensure_state()
+    inb = out = 0
+    for rnd in spec.rounds:
+        if rnd.source == emits:
+            if out >= len(outbound):
+                break
+            recomputed = serialization.encode(machine.produce(rnd).to_wire())
+            if recomputed != outbound[out]:
+                raise JournalError(
+                    f"{path}: replay of round {rnd.name!r} diverges from "
+                    "the journal (different rng seed or input data?)"
+                )
+            out += 1
+        else:
+            if inb >= len(inbound):
+                break
+            machine.consume(
+                rnd, serialization.decode(inbound[inb])
+            )
+            inb += 1
+    if inb < len(inbound) or out < len(outbound):
+        raise JournalError(
+            f"{path}: journal holds more rounds than the "
+            f"{spec.name!r} schedule admits at this cursor"
+        )
+    return inb + out
+
+
+def _open(journal: SessionJournal | str | Path, fsync: bool) -> SessionJournal:
+    if isinstance(journal, SessionJournal):
+        return journal
+    return SessionJournal(journal, fsync=fsync)
+
+
+def recover_sender_session(
+    journal: SessionJournal | str | Path,
+    params: Any,
+    make_sender: Callable[[], Any],
+    config: Any = None,
+    rng: Any = None,
+    recorder: Any = None,
+    fsync: bool = True,
+) -> Any:
+    """Rebuild a :class:`~repro.net.session.SenderSession` from disk.
+
+    ``make_sender`` must be the same deterministic factory (same data,
+    same params, same rng seed) the crashed process used - replay
+    verifies this byte-for-byte. The returned session holds the open
+    journal and resumes appending to it; hand it to the usual
+    ``run(accept)`` loop and the reconnecting client is served from the
+    exact cursor the crash interrupted.
+    """
+    from .session import SenderSession
+
+    journal = _open(journal, fsync)
+    state = replay_state(journal)
+    if state.role != "sender":
+        raise JournalError(f"{journal.path}: not a sender journal")
+    session = SenderSession(
+        state.protocol,
+        params,
+        make_sender,
+        config=config,
+        rng=rng,
+        recorder=recorder,
+        journal=journal,
+    )
+    session._session_id = state.session_id
+    session._inbound = [serialization.decode(b) for b in state.inbound]
+    session._outbound = [serialization.decode(b) for b in state.outbound]
+    session._attempted_sends = set(range(len(state.outbound)))
+    session._complete = state.complete
+    machine = session._ensure_machine()
+    restored = _replay_machine(
+        machine, session.spec, "S", state.inbound, state.outbound, journal.path
+    )
+    session.stats.rounds_recovered = restored
+    return session
+
+
+def recover_receiver_session(
+    journal: SessionJournal | str | Path,
+    make_receiver: Callable[[Any], Any],
+    config: Any = None,
+    rng: Any = None,
+    recorder: Any = None,
+    fsync: bool = True,
+) -> Any:
+    """Rebuild a :class:`~repro.net.session.ReceiverSession` from disk.
+
+    The journal supplies the session id (so the reconnect routes to
+    the same server-side session) and the public parameters from the
+    original welcome; ``make_receiver`` is the usual params-taking
+    factory and must be seed-deterministic, which replay verifies.
+    """
+    from .session import ReceiverSession
+
+    journal = _open(journal, fsync)
+    state = replay_state(journal)
+    if state.role != "receiver":
+        raise JournalError(f"{journal.path}: not a receiver journal")
+    if state.session_id is None:
+        raise JournalError(f"{journal.path}: no session id journaled")
+    session = ReceiverSession(
+        state.protocol,
+        make_receiver,
+        config=config,
+        rng=rng,
+        session_id=state.session_id,
+        recorder=recorder,
+        journal=journal,
+    )
+    session._params_wire = state.params_wire
+    session._inbound = [serialization.decode(b) for b in state.inbound]
+    session._outbound = [serialization.decode(b) for b in state.outbound]
+    session._attempted_sends = set(range(len(state.outbound)))
+    if state.params_wire is None:
+        if state.inbound or state.outbound:
+            raise JournalError(
+                f"{journal.path}: round payloads journaled before the "
+                "public parameters - not a journal this code wrote"
+            )
+    else:
+        machine = session._ensure_machine()
+        restored = _replay_machine(
+            machine, session.spec, "R",
+            state.inbound, state.outbound, journal.path,
+        )
+        session.stats.rounds_recovered = restored
+    return session

@@ -1,0 +1,558 @@
+"""Supervised multi-session protocol server.
+
+:func:`repro.net.tcp.serve_resumable_sender` hosts exactly one run on
+one listener; a deployment-shaped endpoint (the ROADMAP's heavy-traffic
+north star, and the long-lived multi-query servers of the encrypted
+equi-join and Prism lines of work) needs the supervisor this module
+provides:
+
+* **many concurrent clients** - a :class:`ProtocolServer` accepts on
+  one port and runs each session on its own worker thread, up to
+  ``max_sessions`` at a time; the ``(max_sessions + 1)``-th new client
+  is turned away with a typed ``busy`` frame (raised client-side as
+  :class:`~repro.net.session.ServerBusyError`) instead of queueing or
+  hanging;
+* **reconnect routing** - the session id in every hello routes a
+  reconnecting client back to the worker that owns its run, so the
+  session layer's resume-from-round-log machinery works unchanged
+  behind one shared port;
+* **crash durability** - with a ``journal_dir``, every session is
+  journaled (:mod:`repro.net.journal`) and a hello for a session this
+  *process* has never seen is first looked up on disk: a server
+  restarted after a crash rebuilds the run from its journal and serves
+  the reconnect from the exact interrupted cursor;
+* **supervision** - a reaper thread enforces per-session wall-clock
+  deadlines and an idle timeout (abandoned runs stop holding slots),
+  and :meth:`ProtocolServer.shutdown` / SIGTERM drains gracefully:
+  new sessions are refused, in-flight rounds finish (journaled as they
+  go) up to ``drain_timeout_s``, stragglers are aborted, and only then
+  does the listener close.
+
+Every protocol in the :data:`~repro.protocols.spec.PROTOCOLS` registry
+is servable concurrently from one ``ProtocolServer`` with zero
+protocol-specific code - the hello names the protocol, the registry
+supplies the round schedule.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from ..protocols.spec import get_spec
+from .journal import JournalDir, recover_sender_session
+from .session import (
+    SESSION_VERSION,
+    SenderSession,
+    SessionAborted,
+    SessionConfig,
+    seal,
+    unseal,
+)
+from .tcp import DEFAULT_MAX_FRAME_BYTES, SocketEndpoint, _listen
+
+__all__ = [
+    "ProtocolOffer",
+    "SessionRecord",
+    "ProtocolServer",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolOffer:
+    """One protocol a server is willing to run, with S's inputs.
+
+    ``make_sender`` must return a **fresh** party state per call (each
+    session gets its own) and, when journaling is on, must be
+    deterministic in its rng seed so a journaled session can be
+    recovered after a process crash.
+    """
+
+    protocol: str
+    params: Any
+    make_sender: Callable[[], Any]
+
+    @classmethod
+    def from_data(
+        cls, protocol: str, data: Any, params: Any, seed: Any = 0,
+        engine: Any = None,
+    ) -> "ProtocolOffer":
+        """An offer whose sender factory reseeds per call.
+
+        Every session (and every recovery of a session) sees an
+        identically-seeded rng, which is exactly the determinism the
+        journal's replay invariant requires.
+        """
+        spec = get_spec(protocol)
+        return cls(
+            protocol=protocol,
+            params=params,
+            make_sender=lambda: spec.make_sender(
+                data, params, random.Random(seed), engine=engine
+            ),
+        )
+
+
+@dataclass
+class SessionRecord:
+    """Supervisor-side bookkeeping for one hosted session."""
+
+    session_id: int
+    protocol: str
+    session: Any
+    inbox: "queue.Queue[Any]" = field(default_factory=queue.Queue)
+    thread: threading.Thread | None = None
+    status: str = "running"  # running | done | failed | expired
+    result: Any = None
+    error: BaseException | None = None
+    started_at: float = field(default_factory=time.monotonic)
+    last_activity: float = field(default_factory=time.monotonic)
+    aborted: bool = False
+    current_transport: Any = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat summary for logs and the metrics report."""
+        return {
+            "session_id": self.session_id,
+            "protocol": self.protocol,
+            "status": self.status,
+            "error": repr(self.error) if self.error is not None else None,
+            **self.session.stats.as_dict(),
+        }
+
+
+class _ReplayFirstTransport:
+    """Delegating transport that re-delivers one already-read frame.
+
+    The dispatcher must read the hello itself to route by session id;
+    the session layer then expects to read that same hello. This shim
+    hands the buffered frame back on the first ``recv``.
+    """
+
+    def __init__(self, transport: Any, first: Any):
+        self._transport = transport
+        self._first: list[Any] = [first]
+
+    def recv(self) -> Any:
+        """The buffered hello first, then the live transport."""
+        if self._first:
+            return self._first.pop()
+        return self._transport.recv()
+
+    def send(self, message: Any) -> None:
+        """Delegate to the wrapped transport."""
+        self._transport.send(message)
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Delegate to the wrapped transport."""
+        self._transport.settimeout(timeout)
+
+    def close(self) -> None:
+        """Delegate to the wrapped transport."""
+        self._transport.close()
+
+
+class ProtocolServer:
+    """Accepts many concurrent protocol clients behind one port.
+
+    Args:
+        offers: the protocols this server runs - an iterable of
+            :class:`ProtocolOffer` or a mapping
+            ``protocol -> (data, params)`` (convenience; uses
+            :meth:`ProtocolOffer.from_data` with a per-protocol seed).
+        host / port: bind address (``port=0`` picks a free port).
+        max_sessions: concurrent-session ceiling; further new clients
+            get a typed ``busy`` frame and are closed.
+        config: session-layer deadlines/retries, shared by all sessions.
+        journal_dir: when set, a :class:`~repro.net.journal.JournalDir`
+            (or path) under which every session is journaled and from
+            which unknown session ids are recovered.
+        session_deadline_s: wall-clock budget per session; exceeded
+            sessions are aborted and marked ``expired``.
+        idle_timeout_s: a session with no connection activity for this
+            long is reaped (its slot freed) rather than held forever.
+        recorder: optional
+            :class:`~repro.analysis.instrumentation.MetricsRecorder`;
+            every finished session's stats are folded into its report.
+    """
+
+    _REAP_POLL_S = 0.05
+
+    def __init__(
+        self,
+        offers: Iterable[ProtocolOffer] | Mapping[str, tuple[Any, Any]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = 8,
+        config: SessionConfig | None = None,
+        journal_dir: Any = None,
+        session_deadline_s: float | None = None,
+        idle_timeout_s: float | None = None,
+        recorder: Any = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        backlog: int = 16,
+        accept_poll_s: float = 0.1,
+    ):
+        if isinstance(offers, Mapping):
+            offers = [
+                ProtocolOffer.from_data(name, data, params, seed=name)
+                for name, (data, params) in offers.items()
+            ]
+        self.offers: dict[str, ProtocolOffer] = {
+            offer.protocol: offer for offer in offers
+        }
+        for name in self.offers:
+            get_spec(name)  # fail fast on unregistered protocols
+        self.host = host
+        self.requested_port = port
+        self.max_sessions = max_sessions
+        self.config = config or SessionConfig()
+        self.journal_dir = (
+            journal_dir
+            if isinstance(journal_dir, JournalDir) or journal_dir is None
+            else JournalDir(journal_dir)
+        )
+        self.session_deadline_s = session_deadline_s
+        self.idle_timeout_s = idle_timeout_s
+        self.recorder = recorder
+        self.max_frame_bytes = max_frame_bytes
+        self.backlog = backlog
+        self.accept_poll_s = accept_poll_s
+        self.sessions: dict[int, SessionRecord] = {}
+        self.rejected_busy = 0
+        self._lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._reaper_thread: threading.Thread | None = None
+        self._draining = threading.Event()
+        self._closed = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "ProtocolServer":
+        """Bind, listen, and spawn the accept + reaper threads."""
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        self._listener = _listen(
+            self.host, self.requested_port, self.accept_poll_s,
+            backlog=self.backlog,
+        )
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._reaper_thread = threading.Thread(
+            target=self._reap_loop, name="repro-server-reaper", daemon=True
+        )
+        self._reaper_thread.start()
+        return self
+
+    def __enter__(self) -> "ProtocolServer":
+        """Start on entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Drain briefly and close on exit."""
+        self.shutdown(drain_timeout_s=self.config.timeout_s)
+
+    def install_signal_handlers(
+        self, drain_timeout_s: float = 5.0, signals: tuple | None = None
+    ) -> None:
+        """Drain gracefully on SIGTERM (and SIGINT by default).
+
+        Main-thread only (a Python ``signal`` restriction). The handler
+        runs :meth:`shutdown` on a helper thread so the signal context
+        returns immediately.
+        """
+        if signals is None:
+            signals = (signal.SIGTERM, signal.SIGINT)
+
+        def _handler(signum: int, frame: Any) -> None:
+            threading.Thread(
+                target=self.shutdown,
+                kwargs={"drain_timeout_s": drain_timeout_s},
+                daemon=True,
+            ).start()
+
+        for sig in signals:
+            signal.signal(sig, _handler)
+
+    def shutdown(self, drain_timeout_s: float | None = 5.0) -> None:
+        """Refuse new sessions, drain in-flight ones, then close.
+
+        Running sessions get up to ``drain_timeout_s`` seconds to
+        finish their rounds (journaling as they go); whatever is still
+        running after that is aborted. Idempotent.
+        """
+        self._draining.set()
+        deadline = (
+            time.monotonic() + drain_timeout_s
+            if drain_timeout_s is not None
+            else None
+        )
+        while True:
+            with self._lock:
+                running = [
+                    r for r in self.sessions.values() if r.status == "running"
+                ]
+            if not running:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                for record in running:
+                    self._abort(record, "drain timeout")
+                break
+            time.sleep(self._REAP_POLL_S)
+        self._closed.set()
+        with self._lock:
+            threads = [
+                r.thread for r in self.sessions.values() if r.thread is not None
+            ]
+        for thread in threads:
+            thread.join(timeout=self.config.timeout_s * 2)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=2.0)
+        if self._listener is not None:
+            self._listener.close()
+
+    def wait_closed(self, timeout: float | None = None) -> bool:
+        """Block until :meth:`shutdown` has completed."""
+        return self._closed.wait(timeout)
+
+    @property
+    def draining(self) -> bool:
+        """Whether a shutdown/drain has begun."""
+        return self._draining.is_set()
+
+    def results(self) -> list[dict[str, Any]]:
+        """One summary dict per session ever hosted (oldest first)."""
+        with self._lock:
+            records = sorted(
+                self.sessions.values(), key=lambda r: r.started_at
+            )
+            return [record.as_dict() for record in records]
+
+    # ------------------------------------------------------------------
+    # Accepting and routing
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us during shutdown
+            threading.Thread(
+                target=self._dispatch, args=(conn,), daemon=True
+            ).start()
+
+    def _read_hello(self, transport: Any) -> tuple | None:
+        """One valid hello from a fresh connection, or ``None``."""
+        deadline = time.monotonic() + self.config.timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            transport.settimeout(max(remaining, 1e-3))
+            try:
+                frame = transport.recv()
+            except (TimeoutError, OSError, ValueError):
+                return None
+            try:
+                fields = unseal(frame)
+            except ValueError:
+                continue  # garbled: let the client retransmit
+            if fields[0] == "hello" and len(fields) == 6:
+                return (frame, fields)
+
+    def _dispatch(self, conn: socket.socket) -> None:
+        conn.settimeout(self.config.timeout_s)
+        transport = SocketEndpoint(
+            sock=conn, max_frame_bytes=self.max_frame_bytes
+        )
+        hello = self._read_hello(transport)
+        if hello is None:
+            transport.close()
+            return
+        raw, fields = hello
+        _, version, protocol, session_id, _next_send, _next_recv = fields
+        if version != SESSION_VERSION:
+            self._refuse(
+                transport, "reject", f"unsupported session version {version}"
+            )
+            return
+        if protocol not in self.offers:
+            self._refuse(
+                transport, "reject",
+                f"protocol {protocol!r} not served here",
+            )
+            return
+        if not isinstance(session_id, int):
+            self._refuse(transport, "reject", "malformed session id")
+            return
+        routed = _ReplayFirstTransport(transport, raw)
+        with self._lock:
+            record = self.sessions.get(session_id)
+            if record is not None and record.status == "running":
+                record.last_activity = time.monotonic()
+                record.inbox.put(routed)
+                return
+            if record is not None:
+                self._refuse(
+                    transport, "reject",
+                    f"session {session_id} already {record.status}",
+                )
+                return
+            if self._draining.is_set():
+                self.rejected_busy += 1
+                self._refuse(transport, "busy", "server draining")
+                return
+            running = sum(
+                1 for r in self.sessions.values() if r.status == "running"
+            )
+            if running >= self.max_sessions:
+                self.rejected_busy += 1
+                self._refuse(
+                    transport, "busy",
+                    f"server at capacity ({self.max_sessions} sessions)",
+                )
+                return
+            record = self._new_record(protocol, session_id)
+            self.sessions[session_id] = record
+        record.inbox.put(routed)
+        record.thread = threading.Thread(
+            target=self._run_session,
+            args=(record,),
+            name=f"repro-session-{session_id:x}",
+            daemon=True,
+        )
+        record.thread.start()
+
+    def _refuse(self, transport: Any, tag: str, reason: str) -> None:
+        try:
+            transport.send(seal(tag, SESSION_VERSION, reason))
+        except (OSError, ValueError):
+            pass
+        finally:
+            transport.close()
+
+    def _new_record(self, protocol: str, session_id: int) -> SessionRecord:
+        """A fresh or journal-recovered session for an unknown id."""
+        offer = self.offers[protocol]
+        if self.journal_dir is not None:
+            stale = self.journal_dir.incomplete("sender", protocol)
+            path = self.journal_dir.path_for("sender", protocol, session_id)
+            if path in stale:
+                session = recover_sender_session(
+                    path, offer.params, offer.make_sender,
+                    config=self.config, recorder=self.recorder,
+                    fsync=self.journal_dir.fsync,
+                )
+                return SessionRecord(
+                    session_id=session_id, protocol=protocol, session=session
+                )
+            journal = self.journal_dir.open_session(
+                "sender", protocol, session_id
+            )
+        else:
+            journal = None
+        session = SenderSession(
+            protocol,
+            offer.params,
+            offer.make_sender,
+            config=self.config,
+            recorder=self.recorder,
+            journal=journal,
+        )
+        return SessionRecord(
+            session_id=session_id, protocol=protocol, session=session
+        )
+
+    # ------------------------------------------------------------------
+    # Session workers and the reaper
+    # ------------------------------------------------------------------
+    def _accept_for(self, record: SessionRecord) -> Any:
+        """The blocking ``accept()`` callable one session runs under."""
+        wait_s = self.config.timeout_s
+        while True:
+            if record.aborted:
+                raise SessionAborted(
+                    f"session {record.session_id} aborted by the supervisor"
+                )
+            try:
+                transport = record.inbox.get(timeout=wait_s)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"no client (re)connected to session "
+                    f"{record.session_id} in {wait_s}s"
+                ) from None
+            record.current_transport = transport
+            record.last_activity = time.monotonic()
+            return transport
+
+    def _run_session(self, record: SessionRecord) -> None:
+        try:
+            state = record.session.run(lambda: self._accept_for(record))
+        except SessionAborted as exc:
+            record.status = "expired"
+            record.error = exc
+        except BaseException as exc:  # worker thread: never propagate
+            record.status = "failed"
+            record.error = exc
+        else:
+            record.status = "done"
+            record.result = state
+        finally:
+            record.session.stats.finish()
+            if self.recorder is not None:
+                self.recorder.add_session(record.as_dict())
+            journal = getattr(record.session, "journal", None)
+            if journal is not None:
+                journal.close()
+
+    def _abort(self, record: SessionRecord, reason: str) -> None:
+        """Mark a session aborted and unstick its blocked reads."""
+        record.aborted = True
+        transport = record.current_transport
+        if transport is not None:
+            try:
+                transport.close()
+            except OSError:
+                pass
+        # A worker blocked in inbox.get sees `aborted` on its next poll.
+
+    def _reap_loop(self) -> None:
+        while not self._closed.is_set():
+            now = time.monotonic()
+            with self._lock:
+                running = [
+                    r for r in self.sessions.values() if r.status == "running"
+                ]
+            for record in running:
+                if (
+                    self.session_deadline_s is not None
+                    and now - record.started_at > self.session_deadline_s
+                ):
+                    self._abort(record, "session deadline exceeded")
+                elif (
+                    self.idle_timeout_s is not None
+                    and now - record.last_activity > self.idle_timeout_s
+                ):
+                    self._abort(record, "idle timeout")
+            time.sleep(self._REAP_POLL_S)

@@ -33,10 +33,21 @@ preceding fields):
     ("hello",   version, protocol, session_id, next_send, next_recv, crc)
     ("welcome", version, protocol, session_id, params_wire, next_recv, crc)
     ("reject",  version, reason, crc)
+    ("busy",    version, reason, crc)   # server at capacity or draining
     ("msg",     seq, payload_bytes, crc)
     ("ack",     seq, crc)
     ("nak",     seq, crc)           # seq -1: "last frame was garbled"
     ("fin",     session_id, crc)
+
+Sessions optionally journal their round logs to disk
+(:mod:`repro.net.journal`): pass ``journal=`` a
+:class:`~repro.net.journal.SessionJournal` (or a
+:class:`~repro.net.journal.JournalDir`, adopted lazily once the
+session id is known) and every handshake fact and round payload is
+made durable before the session acts on it, so a killed *process* can
+be rebuilt to its exact resume cursor by
+:func:`repro.net.journal.recover_sender_session` /
+:func:`~repro.net.journal.recover_receiver_session`.
 """
 
 from __future__ import annotations
@@ -55,6 +66,8 @@ __all__ = [
     "SESSION_VERSION",
     "SessionError",
     "HandshakeError",
+    "ServerBusyError",
+    "SessionAborted",
     "RetryPolicy",
     "SessionConfig",
     "SessionStats",
@@ -77,6 +90,19 @@ class SessionError(Exception):
 
 class HandshakeError(SessionError):
     """A non-retryable handshake failure (version/protocol mismatch)."""
+
+
+class ServerBusyError(HandshakeError):
+    """The server refused a new session: at capacity or draining.
+
+    Raised client-side on receipt of a typed ``busy`` frame, so a
+    rejected client fails fast instead of hanging in reconnect loops.
+    """
+
+
+class SessionAborted(SessionError):
+    """The session was administratively aborted (deadline, idle reaper,
+    or a drain timeout) and must not be retried on this server."""
 
 
 def seal(*fields: Any) -> tuple:
@@ -154,6 +180,7 @@ class SessionStats:
     replayed_frames: int = 0
     rounds_computed: int = 0
     rounds_resumed: int = 0
+    rounds_recovered: int = 0
     started_at: float = field(default_factory=time.perf_counter)
     finished_at: float | None = None
 
@@ -186,6 +213,7 @@ class SessionStats:
             "replayed_frames": self.replayed_frames,
             "rounds_computed": self.rounds_computed,
             "rounds_resumed": self.rounds_resumed,
+            "rounds_recovered": self.rounds_recovered,
             "elapsed_s": self.elapsed_s,
         }
 
@@ -448,6 +476,28 @@ def _close_quietly(transport: Any) -> None:
             pass
 
 
+def _split_journal(journal: Any) -> tuple[Any, Any]:
+    """Normalize a ``journal=`` argument to ``(open journal, lazy dir)``.
+
+    Accepts ``None``, an open :class:`~repro.net.journal.SessionJournal`
+    (recovery and the supervised server pass one), or a
+    :class:`~repro.net.journal.JournalDir` to open a per-session file
+    from once the session id is known.
+    """
+    if journal is None:
+        return None, None
+    from .journal import JournalDir, SessionJournal
+
+    if isinstance(journal, JournalDir):
+        return None, journal
+    if isinstance(journal, SessionJournal):
+        return journal, None
+    raise TypeError(
+        f"journal= takes a SessionJournal or JournalDir, "
+        f"not {type(journal).__name__}"
+    )
+
+
 class SenderSession:
     """Party S's resumable run: accept, hand-shake, serve, survive.
 
@@ -469,6 +519,7 @@ class SenderSession:
         config: SessionConfig | None = None,
         rng: random.Random | None = None,
         recorder: Any = None,
+        journal: Any = None,
     ):
         from ..protocols.spec import get_spec
 
@@ -486,6 +537,29 @@ class SenderSession:
         self._outbound: list[Any] = []
         self._attempted_sends: set[int] = set()
         self._complete = False
+        self.journal, self._journal_dir = _split_journal(journal)
+
+    def _attach_journal(self) -> None:
+        """Adopt a per-session journal once the session id is known.
+
+        Only relevant when constructed with a
+        :class:`~repro.net.journal.JournalDir`: the sender learns its
+        session id from the first hello, so the journal file (named by
+        that id) cannot exist before the handshake.
+        """
+        if self.journal is not None or self._journal_dir is None:
+            return
+        from .journal import JournalError
+
+        journal = self._journal_dir.open_session(
+            "sender", self.protocol, self._session_id
+        )
+        if any(r[0] in ("in", "out", "done") for r in journal.records):
+            raise JournalError(
+                f"{journal.path}: a previous run already journaled rounds "
+                "for this session - recover it instead of restarting it"
+            )
+        self.journal = journal
 
     def _ensure_machine(self) -> Any:
         if self._machine is None:
@@ -512,7 +586,7 @@ class SenderSession:
                 result = self._script(endpoint, client_next_recv)
                 self.stats.finish()
                 return result
-            except HandshakeError:
+            except (HandshakeError, SessionAborted):
                 raise
             except (SessionError, ValueError, *_TRANSIENT) as exc:
                 if self._complete:
@@ -569,6 +643,7 @@ class SenderSession:
             )
         if self._session_id is None:
             self._session_id = session_id
+            self._attach_journal()
         elif session_id != self._session_id:
             self._reject(transport, "unknown session id")
             raise SessionError(f"unknown session id {session_id}")
@@ -616,11 +691,20 @@ class SenderSession:
                     with machine.wait(rnd):
                         payload = endpoint.recv()
                     self._inbound.append(payload)
+                    if self.journal is not None:
+                        self.journal.record_inbound(
+                            received, serialization.encode(payload)
+                        )
                     machine.consume(rnd, payload)
                 received += 1
             else:
                 if produced >= len(self._outbound):
-                    self._outbound.append(machine.produce(rnd).to_wire())
+                    wire = machine.produce(rnd).to_wire()
+                    self._outbound.append(wire)
+                    if self.journal is not None:
+                        self.journal.record_outbound(
+                            produced, serialization.encode(wire)
+                        )
                     self.stats.rounds_computed += 1
                 produced += 1
                 # Ship, in order, every cached frame the client lacks.
@@ -631,6 +715,10 @@ class SenderSession:
                     self._attempted_sends.add(seq)
                     endpoint.send(self._outbound[seq])
         self._complete = True
+        if self.journal is not None:
+            if not self.journal.complete:
+                self.journal.record_complete()
+            self.journal.rotate()
         if endpoint.await_fin(self.config.fin_grace_s):
             # Echo the fin so the lingering client can leave promptly.
             endpoint.fin(self._session_id)
@@ -655,6 +743,7 @@ class ReceiverSession:
         rng: random.Random | None = None,
         session_id: int | None = None,
         recorder: Any = None,
+        journal: Any = None,
     ):
         from ..protocols.spec import get_spec
 
@@ -673,6 +762,21 @@ class ReceiverSession:
         self._inbound: list[Any] = []
         self._outbound: list[Any] = []
         self._attempted_sends: set[int] = set()
+        self.journal, journal_dir = _split_journal(journal)
+        if journal_dir is not None:
+            # R picks its session id up front, so the per-session file
+            # can be adopted immediately (unlike the sender's lazy path).
+            from .journal import JournalError
+
+            opened = journal_dir.open_session(
+                "receiver", self.protocol, self.session_id
+            )
+            if any(r[0] in ("in", "out", "done") for r in opened.records):
+                raise JournalError(
+                    f"{opened.path}: a previous run already journaled "
+                    "rounds for this session - recover it instead"
+                )
+            self.journal = opened
 
     def _ensure_machine(self) -> Any:
         if self._machine is None:
@@ -702,7 +806,7 @@ class ReceiverSession:
                 endpoint.fin_wait(self.session_id)
                 self.stats.finish()
                 return answer
-            except HandshakeError:
+            except (HandshakeError, SessionAborted):
                 raise
             except (SessionError, ValueError, *_TRANSIENT) as exc:
                 failures += 1
@@ -741,6 +845,10 @@ class ReceiverSession:
                 except ValueError:
                     self.stats.checksum_failures += 1
                     continue
+                if fields[0] == "busy" and len(fields) == 3:
+                    raise ServerBusyError(
+                        f"server refused the session: {fields[2]!r}"
+                    )
                 if fields[0] == "reject" and len(fields) == 3:
                     raise HandshakeError(
                         f"server rejected session: {fields[2]!r}"
@@ -777,6 +885,8 @@ class ReceiverSession:
             raise SessionError(f"server answered for session {session_id}")
         if self._params_wire is None:
             self._params_wire = tuple(params_wire)
+            if self.journal is not None:
+                self.journal.record_meta("params", self._params_wire)
         elif tuple(params_wire) != self._params_wire:
             raise HandshakeError(
                 "server changed public parameters across a resume"
@@ -806,7 +916,12 @@ class ReceiverSession:
         for rnd in self.spec.rounds:
             if rnd.source == "R":
                 if sent >= len(self._outbound):
-                    self._outbound.append(machine.produce(rnd).to_wire())
+                    wire = machine.produce(rnd).to_wire()
+                    self._outbound.append(wire)
+                    if self.journal is not None:
+                        self.journal.record_outbound(
+                            sent, serialization.encode(wire)
+                        )
                     self.stats.rounds_computed += 1
                 sent += 1
                 # Ship, in order, every cached frame the server lacks.
@@ -822,6 +937,15 @@ class ReceiverSession:
                     with machine.wait(rnd):
                         payload = endpoint.recv()
                     self._inbound.append(payload)
+                    if self.journal is not None:
+                        self.journal.record_inbound(
+                            received, serialization.encode(payload)
+                        )
                     machine.consume(rnd, payload)
                 received += 1
-        return machine.finish()
+        answer = machine.finish()
+        if self.journal is not None:
+            if not self.journal.complete:
+                self.journal.record_complete()
+            self.journal.rotate()
+        return answer

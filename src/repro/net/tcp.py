@@ -34,6 +34,7 @@ from __future__ import annotations
 import random
 import socket
 import struct
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Mapping, Sequence
 
@@ -144,11 +145,15 @@ class SocketEndpoint:
 # ----------------------------------------------------------------------
 # Socket plumbing shared by the serve/connect drivers
 # ----------------------------------------------------------------------
-def _listen(host: str, port: int, timeout: float | None) -> socket.socket:
+def _listen(
+    host: str, port: int, timeout: float | None, backlog: int = 16
+) -> socket.socket:
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((host, port))
-    listener.listen(1)
+    # A backlog of 1 made the kernel refuse the racing reconnects a
+    # resumable run depends on; 16 absorbs a burst of clients.
+    listener.listen(backlog)
     listener.settimeout(timeout)
     return listener
 
@@ -159,8 +164,13 @@ def _accept_one(
     ready_callback,
     timeout: float | None,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-) -> SocketEndpoint:
-    """Listen, announce the bound port, return the first client."""
+    endpoint_wrapper: Callable[[SocketEndpoint], Any] | None = None,
+) -> Any:
+    """Listen, announce the bound port, return the first client.
+
+    The wrapper (fault injector, recorder, ...) is applied *here* so a
+    wrapper that raises cannot leak the accepted socket.
+    """
     listener = _listen(host, port, timeout)
     try:
         if ready_callback is not None:
@@ -174,7 +184,14 @@ def _accept_one(
     finally:
         listener.close()
     conn.settimeout(timeout)
-    return SocketEndpoint(sock=conn, max_frame_bytes=max_frame_bytes)
+    endpoint = SocketEndpoint(sock=conn, max_frame_bytes=max_frame_bytes)
+    if endpoint_wrapper is None:
+        return endpoint
+    try:
+        return endpoint_wrapper(endpoint)
+    except BaseException:
+        conn.close()
+        raise
 
 
 def _dial(
@@ -228,8 +245,10 @@ def serve(
             (:class:`repro.analysis.instrumentation.MetricsRecorder`).
     """
     spec = get_spec(protocol)
-    endpoint = _accept_one(host, port, ready_callback, timeout, max_frame_bytes)
-    transport = endpoint_wrapper(endpoint) if endpoint_wrapper else endpoint
+    transport = _accept_one(
+        host, port, ready_callback, timeout, max_frame_bytes,
+        endpoint_wrapper=endpoint_wrapper,
+    )
     try:
         transport.send(("params", params.to_wire()))
         machine = SenderMachine(
@@ -269,7 +288,14 @@ def connect(
     """
     spec = get_spec(protocol)
     endpoint = _dial(host, port, timeout, max_frame_bytes)
-    transport = endpoint_wrapper(endpoint) if endpoint_wrapper else endpoint
+    if endpoint_wrapper is None:
+        transport = endpoint
+    else:
+        try:
+            transport = endpoint_wrapper(endpoint)
+        except BaseException:
+            endpoint.close()
+            raise
     try:
         tag, wire_params = transport.recv()
         if tag != "params":
@@ -298,6 +324,22 @@ def connect(
 # ----------------------------------------------------------------------
 # Deprecated per-protocol shims (kept for source compatibility)
 # ----------------------------------------------------------------------
+#: Shim names that have already warned this process (warn-once guard).
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """One ``DeprecationWarning`` per shim per process, not per call."""
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"{name}() is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def serve_intersection_sender(
     v_s: Sequence[Hashable],
     params: PublicParams,
@@ -308,12 +350,14 @@ def serve_intersection_sender(
     timeout: float | None = None,
     engine=None,
     recorder=None,
+    **kwargs: Any,
 ) -> int:
     """Deprecated: use ``serve("intersection", ...)``."""
+    _warn_deprecated("serve_intersection_sender", 'serve("intersection", ...)')
     return serve(
         "intersection", v_s, params, rng, host=host, port=port,
         ready_callback=ready_callback, timeout=timeout,
-        engine=engine, recorder=recorder,
+        engine=engine, recorder=recorder, **kwargs,
     )
 
 
@@ -325,11 +369,15 @@ def connect_intersection_receiver(
     timeout: float | None = None,
     engine=None,
     recorder=None,
+    **kwargs: Any,
 ) -> set[Hashable]:
     """Deprecated: use ``connect("intersection", ...)``."""
+    _warn_deprecated(
+        "connect_intersection_receiver", 'connect("intersection", ...)'
+    )
     answer = connect(
         "intersection", v_r, rng, host, port, timeout=timeout,
-        engine=engine, recorder=recorder,
+        engine=engine, recorder=recorder, **kwargs,
     )
     return set(answer)
 
@@ -344,12 +392,16 @@ def serve_intersection_size_sender(
     timeout: float | None = None,
     engine=None,
     recorder=None,
+    **kwargs: Any,
 ) -> int:
     """Deprecated: use ``serve("intersection-size", ...)``."""
+    _warn_deprecated(
+        "serve_intersection_size_sender", 'serve("intersection-size", ...)'
+    )
     return serve(
         "intersection-size", v_s, params, rng, host=host, port=port,
         ready_callback=ready_callback, timeout=timeout,
-        engine=engine, recorder=recorder,
+        engine=engine, recorder=recorder, **kwargs,
     )
 
 
@@ -361,11 +413,16 @@ def connect_intersection_size_receiver(
     timeout: float | None = None,
     engine=None,
     recorder=None,
+    **kwargs: Any,
 ) -> int:
     """Deprecated: use ``connect("intersection-size", ...)``."""
+    _warn_deprecated(
+        "connect_intersection_size_receiver",
+        'connect("intersection-size", ...)',
+    )
     return connect(
         "intersection-size", v_r, rng, host, port, timeout=timeout,
-        engine=engine, recorder=recorder,
+        engine=engine, recorder=recorder, **kwargs,
     )
 
 
@@ -379,16 +436,18 @@ def serve_equijoin_sender(
     timeout: float | None = None,
     engine=None,
     recorder=None,
+    **kwargs: Any,
 ) -> int:
     """Deprecated: use ``serve("equijoin", ...)``.
 
     ``ext_s`` maps each of S's values to its ``ext(v)`` payload bytes
     (the records R obtains for values in the intersection).
     """
+    _warn_deprecated("serve_equijoin_sender", 'serve("equijoin", ...)')
     return serve(
         "equijoin", ext_s, params, rng, host=host, port=port,
         ready_callback=ready_callback, timeout=timeout,
-        engine=engine, recorder=recorder,
+        engine=engine, recorder=recorder, **kwargs,
     )
 
 
@@ -400,11 +459,13 @@ def connect_equijoin_receiver(
     timeout: float | None = None,
     engine=None,
     recorder=None,
+    **kwargs: Any,
 ) -> dict[Hashable, bytes]:
     """Deprecated: use ``connect("equijoin", ...)``."""
+    _warn_deprecated("connect_equijoin_receiver", 'connect("equijoin", ...)')
     return connect(
         "equijoin", v_r, rng, host, port, timeout=timeout,
-        engine=engine, recorder=recorder,
+        engine=engine, recorder=recorder, **kwargs,
     )
 
 
@@ -418,12 +479,16 @@ def serve_equijoin_size_sender(
     timeout: float | None = None,
     engine=None,
     recorder=None,
+    **kwargs: Any,
 ) -> int:
     """Deprecated: use ``serve("equijoin-size", ...)`` (multiset input)."""
+    _warn_deprecated(
+        "serve_equijoin_size_sender", 'serve("equijoin-size", ...)'
+    )
     return serve(
         "equijoin-size", v_s, params, rng, host=host, port=port,
         ready_callback=ready_callback, timeout=timeout,
-        engine=engine, recorder=recorder,
+        engine=engine, recorder=recorder, **kwargs,
     )
 
 
@@ -435,11 +500,15 @@ def connect_equijoin_size_receiver(
     timeout: float | None = None,
     engine=None,
     recorder=None,
+    **kwargs: Any,
 ) -> int:
     """Deprecated: use ``connect("equijoin-size", ...)`` (multiset input)."""
+    _warn_deprecated(
+        "connect_equijoin_size_receiver", 'connect("equijoin-size", ...)'
+    )
     return connect(
         "equijoin-size", v_r, rng, host, port, timeout=timeout,
-        engine=engine, recorder=recorder,
+        engine=engine, recorder=recorder, **kwargs,
     )
 
 
@@ -468,6 +537,8 @@ def serve_resumable_sender(
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     engine=None,
     recorder=None,
+    journal_dir: Any = None,
+    journal_fsync: bool = True,
 ) -> tuple[int, SessionStats]:
     """Serve party S of any registered protocol under the session layer.
 
@@ -478,17 +549,47 @@ def serve_resumable_sender(
     accepted connection - that is how the chaos tests inject faults.
     ``engine`` selects the batch-crypto execution strategy;
     ``recorder`` collects per-phase metrics.
+
+    With a ``journal_dir``, every round is journaled to disk
+    (:mod:`repro.net.journal`) before it is acted on, and a restart
+    against the same directory *recovers* the oldest incomplete run for
+    this protocol instead of starting a fresh one - provided ``data``
+    and ``rng`` are seeded exactly as in the crashed process (replay
+    verifies this byte-for-byte).
     """
     config = config or SessionConfig()
     spec = get_spec(protocol)
-    session = SenderSession(
-        protocol,
-        params,
-        lambda: spec.make_sender(data, params, rng, engine=engine),
-        config=config,
-        rng=random.Random(rng.getrandbits(64)),
-        recorder=recorder,
-    )
+    # Consume the session-rng seed before the factory ever touches
+    # ``rng`` - this fixed draw order is what lets a restarted process
+    # with an identically seeded ``rng`` replay its journal exactly.
+    session_rng = random.Random(rng.getrandbits(64))
+    make_sender = lambda: spec.make_sender(data, params, rng, engine=engine)  # noqa: E731
+    session = None
+    if journal_dir is not None:
+        from .journal import JournalDir, recover_sender_session
+
+        journal_dir = (
+            journal_dir
+            if isinstance(journal_dir, JournalDir)
+            else JournalDir(journal_dir, fsync=journal_fsync)
+        )
+        stale = journal_dir.incomplete("sender", protocol)
+        if stale:
+            session = recover_sender_session(
+                stale[0], params, make_sender,
+                config=config, rng=session_rng, recorder=recorder,
+                fsync=journal_dir.fsync,
+            )
+    if session is None:
+        session = SenderSession(
+            protocol,
+            params,
+            make_sender,
+            config=config,
+            rng=session_rng,
+            recorder=recorder,
+            journal=journal_dir,
+        )
     listener = _listen(
         host, port, config.timeout_s * config.retry.max_attempts
     )
@@ -524,6 +625,8 @@ def connect_resumable_receiver(
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     engine=None,
     recorder=None,
+    journal_dir: Any = None,
+    journal_fsync: bool = True,
 ) -> tuple[Any, SessionStats]:
     """Run party R of any registered protocol under the session layer.
 
@@ -533,18 +636,44 @@ def connect_resumable_receiver(
     output for R (set, size, ext mapping, or aggregate). ``engine``
     selects the batch-crypto execution strategy; ``recorder`` collects
     per-phase metrics.
+
+    With a ``journal_dir``, rounds are journaled and a restart against
+    the same directory recovers the oldest incomplete receiver run for
+    this protocol (same ``data``/``rng`` seeding required - replay
+    verifies it), reconnecting under the journaled session id so the
+    server resumes the same run.
     """
     config = config or SessionConfig()
     spec = get_spec(protocol)
-    session = ReceiverSession(
-        protocol,
-        lambda wire: spec.make_receiver(
-            data, PublicParams.from_wire(tuple(wire)), rng, engine=engine
-        ),
-        config=config,
-        rng=random.Random(rng.getrandbits(64)),
-        recorder=recorder,
+    session_rng = random.Random(rng.getrandbits(64))
+    make_receiver = lambda wire: spec.make_receiver(  # noqa: E731
+        data, PublicParams.from_wire(tuple(wire)), rng, engine=engine
     )
+    session = None
+    if journal_dir is not None:
+        from .journal import JournalDir, recover_receiver_session
+
+        journal_dir = (
+            journal_dir
+            if isinstance(journal_dir, JournalDir)
+            else JournalDir(journal_dir, fsync=journal_fsync)
+        )
+        stale = journal_dir.incomplete("receiver", protocol)
+        if stale:
+            session = recover_receiver_session(
+                stale[0], make_receiver,
+                config=config, rng=session_rng, recorder=recorder,
+                fsync=journal_dir.fsync,
+            )
+    if session is None:
+        session = ReceiverSession(
+            protocol,
+            make_receiver,
+            config=config,
+            rng=session_rng,
+            recorder=recorder,
+            journal=journal_dir,
+        )
 
     def dial() -> Any:
         endpoint = _dial(host, port, config.timeout_s, max_frame_bytes)

@@ -1,0 +1,122 @@
+"""Subprocess entrypoint for the crash-recovery chaos tests.
+
+Runs party S of one protocol under the session layer with an on-disk
+journal, announcing its bound port through ``--port-file``. On startup
+it first looks for an incomplete journal in ``--journal-dir`` and
+recovers it (the restart-after-SIGKILL path); otherwise it starts a
+fresh journaled session.
+
+``--stall-marker`` arms the crash window: after journaling outbound
+round ``--stall-round`` (i.e. durable on disk but *not yet shipped*),
+the process writes the marker file and sleeps forever, waiting for the
+parent test to SIGKILL it mid-run.
+
+The sender factory is seeded ``random.Random("S")`` - exactly how the
+golden transcript fixture was captured - so the parent can assert the
+post-resume frames byte-identical against that fixture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import socket
+import sys
+import time
+from pathlib import Path
+
+from repro.net import tcp
+from repro.net.journal import JournalDir, SessionJournal, recover_sender_session
+from repro.net.session import RetryPolicy, SenderSession, SessionConfig
+from repro.protocols.parties import PublicParams
+from repro.protocols.spec import get_spec
+
+
+def _inputs(name: str, n: int):
+    """Sender data for the golden-fixture inputs (see test_golden_transcripts)."""
+    half = n // 2
+    v_s = [f"s{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    if name == "equijoin":
+        return {v: f"payload:{v}".encode() for v in v_s}
+    if name == "equijoin-size":
+        return v_s + v_s[:3]
+    if name == "equijoin-sum":
+        return {v: (i * 7) % 23 for i, v in enumerate(v_s)}
+    return v_s
+
+
+def _arm_stall(marker: str, stall_round: int) -> None:
+    """After journaling outbound ``stall_round``, signal and hang."""
+    original = SessionJournal.record_outbound
+
+    def stalling(self, index: int, data: bytes) -> None:
+        original(self, index, data)
+        if index == stall_round:
+            Path(marker).write_text(str(index))
+            time.sleep(600)  # parent SIGKILLs us here
+
+    SessionJournal.record_outbound = stalling
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--protocol", required=True)
+    parser.add_argument("--journal-dir", required=True)
+    parser.add_argument("--port-file", required=True)
+    parser.add_argument("--stall-marker", default=None)
+    parser.add_argument("--stall-round", type=int, default=0)
+    parser.add_argument("--bits", type=int, default=128)
+    parser.add_argument("--n", type=int, default=40)
+    args = parser.parse_args()
+
+    if args.stall_marker:
+        _arm_stall(args.stall_marker, args.stall_round)
+
+    spec = get_spec(args.protocol)
+    params = PublicParams.for_bits(args.bits)
+    data = _inputs(args.protocol, args.n)
+    config = SessionConfig(
+        timeout_s=2.0,
+        retry=RetryPolicy(max_attempts=4, base_delay_s=0.02, max_delay_s=0.1),
+        max_reconnects=20,
+        fin_grace_s=0.1,
+    )
+    make_sender = lambda: spec.make_sender(  # noqa: E731
+        data, params, random.Random("S")
+    )
+    journal_dir = JournalDir(args.journal_dir)
+    stale = journal_dir.incomplete("sender", args.protocol)
+    if stale:
+        session = recover_sender_session(
+            stale[0], params, make_sender, config=config
+        )
+        print(f"recovered rounds={session.stats.rounds_recovered}", flush=True)
+    else:
+        session = SenderSession(
+            args.protocol, params, make_sender,
+            config=config, rng=random.Random(1), journal=journal_dir,
+        )
+
+    listener = tcp._listen("127.0.0.1", 0, 30.0)
+    try:
+        port = listener.getsockname()[1]
+        Path(args.port_file).write_text(str(port))
+        print(f"port={port}", flush=True)
+
+        def accept():
+            try:
+                conn, _addr = listener.accept()
+            except socket.timeout as exc:
+                raise TimeoutError("no client (re)connected") from exc
+            conn.settimeout(config.timeout_s)
+            return tcp.SocketEndpoint(sock=conn)
+
+        state = session.run(accept)
+        print(f"DONE size_v_r={state.size_v_r}", flush=True)
+        return 0
+    finally:
+        listener.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

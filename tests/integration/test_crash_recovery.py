@@ -1,0 +1,220 @@
+"""Chaos tests: SIGKILL the journaled sender mid-run, restart, recover.
+
+The sender runs as a real subprocess (``_server_main.py``) with an
+on-disk journal, armed to hang right after journaling its first
+outbound round - durable on disk, never shipped. The test SIGKILLs it
+there (the worst crash point: the client has no idea the round
+exists), restarts it against the same journal directory, and asserts:
+
+* the receiver still obtains the exact protocol answer, and
+* every frame the client saw - including all post-resume frames - is
+  byte-identical to an uninterrupted run (the PR 3 golden fixture).
+
+Run for equijoin and equijoin-sum, the two protocols whose sender
+round payloads carry per-value state worth losing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.net import tcp
+from repro.net.journal import DONE_SUFFIX, WAL_SUFFIX
+from repro.net.serialization import encode
+from repro.net.session import ReceiverSession, RetryPolicy, SessionConfig
+from repro.protocols.parties import PublicParams
+from repro.protocols.spec import PROTOCOLS
+
+SERVER_MAIN = Path(__file__).with_name("_server_main.py")
+FIXTURE = json.loads(
+    (Path(__file__).parent.parent / "protocols" / "golden_transcripts.json")
+    .read_text()
+)
+BITS = FIXTURE["bits"]
+N = FIXTURE["n"]
+
+
+def _receiver_inputs(name: str):
+    half = N // 2
+    v_r = [f"r{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    if name == "equijoin-size":
+        return v_r + v_r[:5]
+    return v_r
+
+
+def _canonical_answer(name, answer, match_count=None):
+    if name == "intersection":
+        return sorted(answer, key=repr)
+    if name == "equijoin":
+        return [(v, answer[v]) for v in sorted(answer, key=repr)]
+    if name == "equijoin-sum":
+        return [answer, match_count]
+    return answer
+
+
+def _digest(payload) -> str:
+    return hashlib.sha256(encode(payload)).hexdigest()
+
+
+class _FrameLog:
+    """Transport wrapper logging msg-frame payload bytes by sequence."""
+
+    def __init__(self, transport, frames):
+        self._transport = transport
+        self.frames = frames
+
+    def send(self, frame):
+        if isinstance(frame, tuple) and frame and frame[0] == "msg":
+            self.frames.setdefault(("sent", frame[1]), frame[2])
+        self._transport.send(frame)
+
+    def recv(self):
+        frame = self._transport.recv()
+        if isinstance(frame, tuple) and frame and frame[0] == "msg":
+            self.frames.setdefault(("received", frame[1]), frame[2])
+        return frame
+
+    def settimeout(self, timeout):
+        self._transport.settimeout(timeout)
+
+    def close(self):
+        self._transport.close()
+
+
+def _spawn_sender(name, journal_dir, port_file, stall_marker=None):
+    cmd = [
+        sys.executable, str(SERVER_MAIN),
+        "--protocol", name,
+        "--journal-dir", str(journal_dir),
+        "--port-file", str(port_file),
+        "--bits", str(BITS),
+        "--n", str(N),
+    ]
+    if stall_marker is not None:
+        cmd += ["--stall-marker", str(stall_marker)]
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _wait_for(predicate, timeout_s, what):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+@pytest.mark.parametrize("name", ["equijoin", "equijoin-sum"])
+def test_sigkill_mid_run_recovers_byte_identical(name, tmp_path):
+    journal_dir = tmp_path / "journal"
+    port_file = tmp_path / "port"
+    stall_marker = tmp_path / "stall"
+    spec = PROTOCOLS[name]
+    config = SessionConfig(
+        timeout_s=2.0,
+        retry=RetryPolicy(max_attempts=4, base_delay_s=0.02, max_delay_s=0.2),
+        max_reconnects=60,
+        fin_grace_s=0.1,
+    )
+
+    victim = _spawn_sender(name, journal_dir, port_file, stall_marker)
+    restarted = None
+    try:
+        _wait_for(port_file.exists, 30.0, "the sender to bind")
+
+        frames: dict = {}
+        session = ReceiverSession(
+            name,
+            lambda wire: spec.make_receiver(
+                _receiver_inputs(name),
+                PublicParams.from_wire(tuple(wire)),
+                random.Random("R"),
+            ),
+            config=config,
+            rng=random.Random(2),
+        )
+
+        def dial():
+            port = int(port_file.read_text())
+            sock_endpoint = tcp._dial("127.0.0.1", port, config.timeout_s)
+            return _FrameLog(sock_endpoint, frames)
+
+        answer_box: dict = {}
+
+        def client():
+            answer_box["answer"] = session.run(dial)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+
+        # The sender hangs right after journaling its first outbound
+        # round (durable, unshipped): the worst-case crash point.
+        _wait_for(stall_marker.exists, 60.0, "the stall marker")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=10)
+
+        restarted = _spawn_sender(name, journal_dir, port_file)
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "receiver never completed"
+        out, err = restarted.communicate(timeout=60)
+        assert restarted.returncode == 0, err
+        assert "recovered rounds=" in out, (
+            f"restart did not recover from the journal: {out!r}"
+        )
+
+        # Exact answer despite the crash.
+        record = FIXTURE["protocols"][name]
+        answer = answer_box["answer"]
+        match_count = getattr(session._machine.state, "match_count", None)
+        assert _digest(
+            _canonical_answer(name, answer, match_count)
+        ) == record["answer"]
+        if name == "equijoin":
+            half = N // 2
+            assert answer == {
+                f"c{i}": f"payload:c{i}".encode() for i in range(half)
+            }
+        assert f"DONE size_v_r={record['size_v_r']}" in out
+        assert session.stats.reconnects >= 1
+
+        # Every frame - pre-crash and post-resume - byte-identical to
+        # an uninterrupted run.
+        digests = {}
+        sent = received = 0
+        for i, rnd in enumerate(spec.rounds, start=1):
+            if rnd.source == "R":
+                wire_bytes = frames[("sent", sent)]
+                sent += 1
+            else:
+                wire_bytes = frames[("received", received)]
+                received += 1
+            digests[f"m{i}"] = hashlib.sha256(wire_bytes).hexdigest()
+        assert digests == record["wires"], (
+            f"post-resume transcript diverges for {name}"
+        )
+
+        # The completed journal rotated out of the recovery scan.
+        assert not list(journal_dir.glob(f"sender-*{WAL_SUFFIX}"))
+        assert list(journal_dir.glob(f"sender-*{DONE_SUFFIX}"))
+    finally:
+        for proc in (victim, restarted):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

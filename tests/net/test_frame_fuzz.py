@@ -1,0 +1,200 @@
+"""Adversarial-bytes fuzzing for the frame codecs.
+
+A seeded generator mutates valid frames - truncation, bit flips, huge
+length prefixes, random garbage, hostile nesting - and feeds them to
+``session.unseal``, ``serialization.decode`` and the TCP framing
+codec. The contract under attack: every malformed input yields a clean
+``ValueError``/``SessionError``/``FrameTooLarge``/``ConnectionError``/
+``TimeoutError``, never another exception type, a hang, or an
+allocation beyond the frame bound.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+
+import pytest
+
+from repro.net import serialization
+from repro.net.session import SESSION_VERSION, SessionError, seal, unseal
+from repro.net.tcp import FrameTooLarge, SocketEndpoint
+
+SEED = 0xC0FFEE
+ROUNDS = 300
+
+#: The full set of outcomes a hostile frame is allowed to produce.
+CLEAN_FAILURES = (ValueError, SessionError, FrameTooLarge,
+                  ConnectionError, TimeoutError)
+
+
+def _sample_frames():
+    """Valid sealed frames of every tag the session layer speaks."""
+    return [
+        seal("hello", SESSION_VERSION, "intersection", 12345, 0, 0),
+        seal("welcome", SESSION_VERSION, "intersection", 12345,
+             (1, 2, b"x"), 0),
+        seal("reject", SESSION_VERSION, "go away"),
+        seal("busy", SESSION_VERSION, "at capacity"),
+        seal("msg", 0, serialization.encode(["payload", 42, b"\x00" * 40])),
+        seal("ack", 3),
+        seal("nak", -1),
+        seal("fin", 12345),
+    ]
+
+
+def _mutate_value(rng: random.Random):
+    """One adversarial replacement for a single frame field."""
+    choice = rng.randrange(8)
+    if choice == 0:
+        return rng.getrandbits(rng.randrange(1, 128))
+    if choice == 1:
+        return -rng.getrandbits(64)
+    if choice == 2:
+        return bytes(rng.getrandbits(8) for _ in range(rng.randrange(64)))
+    if choice == 3:
+        return "x" * rng.randrange(64)
+    if choice == 4:
+        return None
+    if choice == 5:
+        return [rng.getrandbits(8) for _ in range(rng.randrange(8))]
+    if choice == 6:
+        return {"not": "encodable"}  # dicts are outside the wire format
+    return float(rng.random())  # floats too
+
+
+def _mutate_frame(rng: random.Random, frame: tuple):
+    """A corrupted variant of one valid sealed frame."""
+    fields = list(frame)
+    op = rng.randrange(6)
+    if op == 0 and len(fields) > 1:  # truncate
+        del fields[rng.randrange(len(fields)) :]
+    elif op == 1:  # replace one field
+        fields[rng.randrange(len(fields))] = _mutate_value(rng)
+    elif op == 2:  # flip bits in the crc
+        fields[-1] = fields[-1] ^ (1 << rng.randrange(32))
+    elif op == 3:  # duplicate-extend
+        fields.extend(fields[: rng.randrange(1, len(fields) + 1)])
+    elif op == 4:  # not a tuple at all
+        return _mutate_value(rng)
+    else:  # garbage tag
+        fields[0] = _mutate_value(rng)
+    return tuple(fields)
+
+
+def test_unseal_survives_mutated_frames():
+    rng = random.Random(SEED)
+    frames = _sample_frames()
+    rejected = 0
+    for _ in range(ROUNDS):
+        mutated = _mutate_frame(rng, rng.choice(frames))
+        try:
+            fields = unseal(mutated)
+        except CLEAN_FAILURES:
+            rejected += 1
+        else:
+            # A mutation may cancel out (e.g. duplicate-extend then
+            # truncate back); anything accepted must round-trip its seal.
+            assert unseal(seal(*fields)) == fields
+    assert rejected > ROUNDS // 2  # the generator does corrupt frames
+
+
+def test_unseal_rejects_primitive_garbage():
+    rng = random.Random(SEED + 1)
+    for _ in range(ROUNDS):
+        with pytest.raises(CLEAN_FAILURES):
+            unseal(_mutate_value(rng))
+
+
+def test_decode_survives_random_bytes():
+    rng = random.Random(SEED + 2)
+    for _ in range(ROUNDS):
+        blob = bytes(rng.getrandbits(8) for _ in range(rng.randrange(1, 256)))
+        try:
+            serialization.decode(blob)
+        except ValueError:
+            pass  # the only permitted failure
+
+
+def test_decode_survives_bitflipped_valid_payloads():
+    rng = random.Random(SEED + 3)
+    valid = serialization.encode(
+        ["round", 7, b"\xde\xad" * 16, ("nested", [1, 2, 3], None, True)]
+    )
+    for _ in range(ROUNDS):
+        blob = bytearray(valid)
+        for _ in range(rng.randrange(1, 4)):
+            blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+        try:
+            serialization.decode(bytes(blob))
+        except ValueError:
+            pass  # flips may still decode to a different message: fine
+
+
+def test_decode_hostile_count_is_bounded_by_payload():
+    # A list header claiming 2**32 - 1 items must fail fast on the
+    # missing items instead of allocating for the claimed count.
+    blob = b"L" + struct.pack(">I", 2**32 - 1) + b"N" * 8
+    with pytest.raises(ValueError):
+        serialization.decode(blob)
+
+
+def _framed_endpoint_pair(max_frame_bytes=4096):
+    left, right = socket.socketpair()
+    left.settimeout(1.0)
+    right.settimeout(1.0)
+    return (
+        left,
+        SocketEndpoint(sock=right, max_frame_bytes=max_frame_bytes),
+    )
+
+
+def test_framing_rejects_huge_length_prefix_without_allocating():
+    raw, endpoint = _framed_endpoint_pair(max_frame_bytes=4096)
+    try:
+        raw.sendall(struct.pack(">I", 2**31) + b"junk")
+        with pytest.raises(FrameTooLarge):
+            endpoint.recv()
+    finally:
+        raw.close()
+        endpoint.close()
+
+
+def test_framing_survives_adversarial_streams():
+    rng = random.Random(SEED + 4)
+    valid_payload = serialization.encode(seal("ack", 1))
+    for _ in range(60):
+        raw, endpoint = _framed_endpoint_pair(max_frame_bytes=4096)
+        try:
+            op = rng.randrange(4)
+            if op == 0:  # pure garbage
+                blob = bytes(
+                    rng.getrandbits(8) for _ in range(rng.randrange(1, 64))
+                )
+            elif op == 1:  # truncated valid frame
+                frame = struct.pack(">I", len(valid_payload)) + valid_payload
+                blob = frame[: rng.randrange(1, len(frame))]
+            elif op == 2:  # valid length, corrupted payload
+                payload = bytearray(valid_payload)
+                payload[rng.randrange(len(payload))] ^= 0xFF
+                blob = struct.pack(">I", len(payload)) + bytes(payload)
+            else:  # length prefix over the bound
+                blob = struct.pack(
+                    ">I", 4097 + rng.randrange(2**20)
+                ) + b"\x00" * 8
+            raw.sendall(blob)
+            if op != 2:
+                raw.close()  # truncation: let recv hit EOF, not a timeout
+            try:
+                message = endpoint.recv()
+            except CLEAN_FAILURES:
+                continue
+            # A frame that decodes must still fail the session seal if
+            # its bytes were corrupted.
+            if op == 2:
+                with pytest.raises(CLEAN_FAILURES):
+                    unseal(message)
+        finally:
+            raw.close()
+            endpoint.close()

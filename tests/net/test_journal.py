@@ -1,0 +1,420 @@
+"""Unit tests for the crash-durable session journal.
+
+Covers the record codec (scan, torn-tail truncation, rotation), the
+validated fold into :class:`JournalState`, and session recovery - the
+replay-determinism invariant in both its accepting and rejecting
+directions.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.net.journal import (
+    DONE_SUFFIX,
+    JOURNAL_MAGIC,
+    JournalDir,
+    JournalError,
+    SessionJournal,
+    recover_receiver_session,
+    recover_sender_session,
+    replay_state,
+)
+from repro.net.serialization import encode
+from repro.net.session import (
+    ReceiverSession,
+    RetryPolicy,
+    SenderSession,
+    SessionConfig,
+)
+from repro.net.tcp import SocketEndpoint
+from repro.protocols.parties import (
+    PublicParams,
+    ReceiverMachine,
+    SenderMachine,
+)
+from repro.protocols.spec import PROTOCOLS
+
+BITS = 128
+N = 12
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PublicParams.for_bits(BITS)
+
+
+def _inputs(name):
+    half = N // 2
+    v_r = [f"r{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    if name == "equijoin":
+        return v_r, {v: f"payload:{v}".encode() for v in v_s}
+    if name == "equijoin-sum":
+        return v_r, {v: (i * 7) % 23 for i, v in enumerate(v_s)}
+    return v_r, v_s
+
+
+def _machine_wires(name, params):
+    """All round wires of one deterministic run, in schedule order."""
+    spec = PROTOCOLS[name]
+    r_data, s_data = _inputs(name)
+    receiver = ReceiverMachine(spec, r_data, params, random.Random("R"))
+    sender = SenderMachine(spec, s_data, params, random.Random("S"))
+    wires = []
+    for rnd in spec.rounds:
+        producer, consumer = (
+            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+        )
+        wire = producer.produce(rnd).to_wire()
+        wires.append((rnd.source, wire))
+        consumer.consume(rnd, wire)
+    return wires, receiver.finish()
+
+
+def _write_party_journal(path, role, name, session_id, params, wires,
+                         rounds, emits):
+    """A hand-built journal for a party that processed ``rounds`` rounds."""
+    journal = SessionJournal(path, fsync=False)
+    journal.record_open(role, name)
+    journal.record_meta("session_id", session_id)
+    if role == "receiver":
+        journal.record_meta("params", tuple(params.to_wire()))
+    inb = out = 0
+    for source, wire in wires[:rounds]:
+        if source == emits:
+            journal.record_outbound(out, encode(wire))
+            out += 1
+        else:
+            journal.record_inbound(inb, encode(wire))
+            inb += 1
+    journal.close()
+    return journal
+
+
+# ----------------------------------------------------------------------
+# Record codec: scan, truncation, rotation
+# ----------------------------------------------------------------------
+def test_append_and_reopen_round_trips(tmp_path):
+    path = tmp_path / "s.wal"
+    journal = SessionJournal(path, fsync=False)
+    journal.record_open("sender", "intersection")
+    journal.record_meta("session_id", 7)
+    journal.record_inbound(0, b"\x01\x02")
+    journal.record_outbound(0, b"\x03")
+    journal.close()
+
+    reopened = SessionJournal(path, fsync=False)
+    assert reopened.records == [
+        ("open", 1, "sender", "intersection"),
+        ("meta", "session_id", 7),
+        ("in", 0, b"\x01\x02"),
+        ("out", 0, b"\x03"),
+    ]
+    assert reopened.truncated_bytes == 0
+    assert not reopened.complete
+    reopened.record_complete()
+    assert reopened.complete
+    reopened.close()
+
+
+def test_torn_tail_is_truncated_on_open(tmp_path):
+    path = tmp_path / "s.wal"
+    journal = SessionJournal(path, fsync=False)
+    journal.record_open("sender", "intersection")
+    journal.record_inbound(0, b"xy")
+    journal.close()
+    intact = path.read_bytes()
+
+    # A record cut short mid-write by the crash.
+    next_record = encode(("out", 0, b"zz"))
+    path.write_bytes(intact + len(next_record).to_bytes(4, "big")
+                     + next_record[:3])
+    reopened = SessionJournal(path, fsync=False)
+    assert reopened.truncated_bytes == 4 + 3
+    assert len(reopened.records) == 2
+    assert path.read_bytes() == intact  # file physically truncated
+    reopened.close()
+
+
+def test_corrupt_crc_truncates_from_that_record(tmp_path):
+    path = tmp_path / "s.wal"
+    journal = SessionJournal(path, fsync=False)
+    journal.record_open("sender", "intersection")
+    journal.close()
+    good = path.read_bytes()
+    journal = SessionJournal(path, fsync=False)
+    journal.record_inbound(0, b"victim")
+    journal.close()
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF  # flip a crc bit of the last record
+    path.write_bytes(bytes(blob))
+
+    reopened = SessionJournal(path, fsync=False)
+    assert len(reopened.records) == 1
+    assert reopened.truncated_bytes > 0
+    assert path.read_bytes() == good
+    reopened.close()
+
+
+def test_foreign_file_is_rejected(tmp_path):
+    path = tmp_path / "notes.wal"
+    path.write_bytes(b"these are not journal bytes at all")
+    with pytest.raises(JournalError):
+        SessionJournal(path)
+
+
+def test_crash_mid_creation_is_reset(tmp_path):
+    path = tmp_path / "s.wal"
+    path.write_bytes(JOURNAL_MAGIC[:3])  # torn header
+    journal = SessionJournal(path, fsync=False)
+    assert journal.records == []
+    journal.record_open("sender", "intersection")
+    journal.close()
+    assert SessionJournal(path, fsync=False).records[0][0] == "open"
+
+
+def test_rotate_is_atomic_and_idempotent(tmp_path):
+    path = tmp_path / "s.wal"
+    journal = SessionJournal(path, fsync=False)
+    journal.record_open("sender", "intersection")
+    journal.record_complete()
+    rotated = journal.rotate()
+    assert rotated.suffix == DONE_SUFFIX
+    assert not path.exists()
+    assert journal.rotate() == rotated  # second rotation is a no-op
+    assert rotated.exists()
+
+
+# ----------------------------------------------------------------------
+# replay_state validation
+# ----------------------------------------------------------------------
+def test_replay_state_requires_open_record(tmp_path):
+    journal = SessionJournal(tmp_path / "x.wal", fsync=False)
+    journal.append(("meta", "session_id", 1))
+    with pytest.raises(JournalError, match="missing open record"):
+        replay_state(journal)
+    journal.close()
+
+
+def test_replay_state_rejects_out_of_order_rounds(tmp_path):
+    journal = SessionJournal(tmp_path / "x.wal", fsync=False)
+    journal.record_open("sender", "intersection")
+    journal.record_inbound(1, b"skipped index 0")
+    with pytest.raises(JournalError, match="out of order"):
+        replay_state(journal)
+    journal.close()
+
+
+def test_replay_state_rejects_records_after_done(tmp_path):
+    journal = SessionJournal(tmp_path / "x.wal", fsync=False)
+    journal.record_open("sender", "intersection")
+    journal.record_complete()
+    journal.record_inbound(0, b"late")
+    with pytest.raises(JournalError, match="after completion"):
+        replay_state(journal)
+    journal.close()
+
+
+def test_journal_dir_naming_and_incomplete_scan(tmp_path, params):
+    jdir = JournalDir(tmp_path, fsync=False)
+    live = jdir.open_session("sender", "intersection", 0xAB)
+    assert live.path.name == f"sender-intersection-{0xAB:016x}.wal"
+    live.close()
+
+    done = jdir.open_session("sender", "intersection", 0xCD)
+    done.record_complete()
+    done.rotate()
+
+    # Complete-but-unrotated (crash between the marker and the rename).
+    marked = jdir.open_session("sender", "intersection", 0xEF)
+    marked.record_complete()
+    marked.close()
+
+    other_role = jdir.open_session("receiver", "intersection", 0xAB)
+    other_role.close()
+
+    stale = jdir.incomplete("sender", "intersection")
+    assert stale == [jdir.path_for("sender", "intersection", 0xAB)]
+
+
+# ----------------------------------------------------------------------
+# Recovery: the replay-determinism invariant
+# ----------------------------------------------------------------------
+def test_recover_sender_restores_cursor_and_caches(tmp_path, params):
+    wires, _ = _machine_wires("intersection", params)
+    path = tmp_path / "sender-intersection-0000000000000001.wal"
+    # Crash window: first two rounds processed, nothing shipped after.
+    _write_party_journal(
+        path, "sender", "intersection", 1, params, wires, rounds=2, emits="S"
+    )
+    _, s_data = _inputs("intersection")
+    session = recover_sender_session(
+        path, params,
+        lambda: PROTOCOLS["intersection"].make_sender(
+            s_data, params, random.Random("S")
+        ),
+        fsync=False,
+    )
+    assert session.stats.rounds_recovered == 2
+    assert session._session_id == 1
+    assert len(session._inbound) + len(session._outbound) == 2
+    assert session._attempted_sends == set(range(len(session._outbound)))
+    session.journal.close()
+
+
+def test_recover_sender_rejects_divergent_seed(tmp_path, params):
+    wires, _ = _machine_wires("intersection", params)
+    path = tmp_path / "sender-intersection-0000000000000002.wal"
+    _write_party_journal(
+        path, "sender", "intersection", 2, params, wires, rounds=2, emits="S"
+    )
+    _, s_data = _inputs("intersection")
+    with pytest.raises(JournalError, match="diverges"):
+        recover_sender_session(
+            path, params,
+            lambda: PROTOCOLS["intersection"].make_sender(
+                s_data, params, random.Random("WRONG-SEED")
+            ),
+            fsync=False,
+        )
+
+
+def test_recover_receiver_restores_session_id_and_params(tmp_path, params):
+    wires, _ = _machine_wires("intersection", params)
+    path = tmp_path / "receiver-intersection-0000000000000003.wal"
+    _write_party_journal(
+        path, "receiver", "intersection", 3, params, wires, rounds=1,
+        emits="R",
+    )
+    r_data, _ = _inputs("intersection")
+    session = recover_receiver_session(
+        path,
+        lambda wire: PROTOCOLS["intersection"].make_receiver(
+            r_data, PublicParams.from_wire(tuple(wire)), random.Random("R")
+        ),
+        fsync=False,
+    )
+    assert session.session_id == 3
+    assert session._params_wire == tuple(params.to_wire())
+    assert session.stats.rounds_recovered == 1
+    session.journal.close()
+
+
+def test_recover_receiver_rejects_rounds_before_params(tmp_path):
+    journal = SessionJournal(tmp_path / "r.wal", fsync=False)
+    journal.record_open("receiver", "intersection")
+    journal.record_meta("session_id", 4)
+    journal.record_outbound(0, encode(("a round", "with no params")))
+    journal.close()
+    with pytest.raises(JournalError, match="before the"):
+        recover_receiver_session(
+            tmp_path / "r.wal", lambda wire: None, fsync=False
+        )
+
+
+def test_recovered_pair_completes_the_run(tmp_path, params):
+    """Both parties crash mid-run; both recover and finish correctly."""
+    name = "equijoin"
+    spec = PROTOCOLS[name]
+    wires, expected = _machine_wires(name, params)
+    r_data, s_data = _inputs(name)
+    sid = 0x51
+    s_path = tmp_path / f"sender-{name}-{sid:016x}.wal"
+    r_path = tmp_path / f"receiver-{name}-{sid:016x}.wal"
+    # S journaled two rounds; the second (its first outbound) was never
+    # shipped. R journaled only its own first round.
+    _write_party_journal(
+        s_path, "sender", name, sid, params, wires, rounds=2, emits="S"
+    )
+    _write_party_journal(
+        r_path, "receiver", name, sid, params, wires, rounds=1, emits="R"
+    )
+
+    config = SessionConfig(
+        timeout_s=2.0,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05),
+        max_reconnects=1,
+        fin_grace_s=0.05,
+    )
+    sender_session = recover_sender_session(
+        s_path, params,
+        lambda: spec.make_sender(s_data, params, random.Random("S")),
+        config=config, fsync=False,
+    )
+    receiver_session = recover_receiver_session(
+        r_path,
+        lambda wire: spec.make_receiver(
+            r_data, PublicParams.from_wire(tuple(wire)), random.Random("R")
+        ),
+        config=config, fsync=False,
+    )
+    raw_s, raw_r = socket.socketpair()
+    raw_s.settimeout(10.0)
+    raw_r.settimeout(10.0)
+    connections = iter([SocketEndpoint(sock=raw_s)])
+    box = {}
+    thread = threading.Thread(
+        target=lambda: box.update(
+            state=sender_session.run(lambda: next(connections))
+        )
+    )
+    thread.start()
+    answer = receiver_session.run(lambda: SocketEndpoint(sock=raw_r))
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+    assert answer == expected
+    assert sender_session.stats.rounds_recovered == 2
+    assert receiver_session.stats.rounds_recovered == 1
+    # Both journals completed and rotated.
+    assert sender_session.journal.path.suffix == DONE_SUFFIX
+    assert receiver_session.journal.path.suffix == DONE_SUFFIX
+    assert not list(tmp_path.glob("*.wal"))
+
+
+def test_fresh_journaled_sessions_rotate_on_completion(tmp_path, params):
+    """A clean run under ``journal=JournalDir(...)`` leaves only .done."""
+    name = "intersection"
+    spec = PROTOCOLS[name]
+    r_data, s_data = _inputs(name)
+    jdir = JournalDir(tmp_path, fsync=False)
+    config = SessionConfig(
+        timeout_s=2.0,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05),
+        max_reconnects=1,
+        fin_grace_s=0.05,
+    )
+    sender_session = SenderSession(
+        name, params,
+        lambda: spec.make_sender(s_data, params, random.Random("S")),
+        config=config, rng=random.Random(1), journal=jdir,
+    )
+    receiver_session = ReceiverSession(
+        name,
+        lambda wire: spec.make_receiver(
+            r_data, PublicParams.from_wire(tuple(wire)), random.Random("R")
+        ),
+        config=config, rng=random.Random(2), journal=jdir,
+    )
+    raw_s, raw_r = socket.socketpair()
+    raw_s.settimeout(10.0)
+    raw_r.settimeout(10.0)
+    connections = iter([SocketEndpoint(sock=raw_s)])
+    thread = threading.Thread(
+        target=lambda: sender_session.run(lambda: next(connections))
+    )
+    thread.start()
+    answer = receiver_session.run(lambda: SocketEndpoint(sock=raw_r))
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+    half = N // 2
+    assert answer == {f"c{i}" for i in range(half)}
+    assert not list(tmp_path.glob("*.wal"))
+    assert len(list(tmp_path.glob(f"*{DONE_SUFFIX}"))) == 2
+    assert jdir.incomplete() == []

@@ -1,0 +1,378 @@
+"""Unit/integration tests for the supervised multi-session server.
+
+The acceptance bar from the issue: a :class:`ProtocolServer` sustains
+at least four concurrent sessions across *different* protocols while
+rejecting the ``(max_sessions + 1)``-th new client with a typed busy
+frame rather than a hang. Plus: reconnect routing by session id,
+deadline/idle reaping, graceful drain, journal-backed recovery, and
+per-session stats folded into the metrics report.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.analysis.instrumentation import MetricsRecorder
+from repro.net import tcp
+from repro.net.journal import JournalDir
+from repro.net.serialization import encode
+from repro.net.server import ProtocolOffer, ProtocolServer
+from repro.net.session import (
+    SESSION_VERSION,
+    ReceiverSession,
+    RetryPolicy,
+    ServerBusyError,
+    SessionConfig,
+    seal,
+    unseal,
+)
+from repro.protocols.parties import PublicParams, ReceiverMachine, SenderMachine
+from repro.protocols.spec import PROTOCOLS
+
+BITS = 128
+N = 12
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PublicParams.for_bits(BITS)
+
+
+def _values():
+    half = N // 2
+    v_r = [f"r{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    return v_r, v_s
+
+
+def _offers(params):
+    v_r, v_s = _values()
+    return {
+        "intersection": (v_s, params),
+        "intersection-size": (v_s, params),
+        "equijoin": ({v: f"payload:{v}".encode() for v in v_s}, params),
+        "equijoin-sum": (
+            {v: (i * 7) % 23 for i, v in enumerate(v_s)}, params
+        ),
+    }
+
+
+def _config(timeout_s=2.0, max_reconnects=8):
+    return SessionConfig(
+        timeout_s=timeout_s,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05),
+        max_reconnects=max_reconnects,
+        fin_grace_s=0.05,
+    )
+
+
+def _client(port, protocol, seed, config=None):
+    v_r, _ = _values()
+    answer, stats = tcp.connect_resumable_receiver(
+        protocol, v_r, random.Random(seed), "127.0.0.1", port,
+        config=config or _config(),
+    )
+    return answer, stats
+
+
+def _raw_hello_holder(port, protocol, session_id):
+    """A fake client: valid hello, then silence (holds its slot)."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    endpoint = tcp.SocketEndpoint(sock=sock)
+    endpoint.send(
+        seal("hello", SESSION_VERSION, protocol, session_id, 0, 0)
+    )
+    return endpoint
+
+
+def _expect_frame(endpoint, tag, timeout=5.0):
+    endpoint.settimeout(timeout)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        fields = unseal(endpoint.recv())
+        if fields[0] == tag:
+            return fields
+    raise AssertionError(f"no {tag!r} frame within {timeout}s")
+
+
+# ----------------------------------------------------------------------
+# Concurrency + typed busy rejection (the acceptance criterion)
+# ----------------------------------------------------------------------
+def test_four_concurrent_protocols_and_busy_rejection(params):
+    half = N // 2
+    server = ProtocolServer(
+        _offers(params), max_sessions=4, config=_config()
+    ).start()
+    try:
+        # Fill all four slots with holders on four different protocols.
+        holders = [
+            _raw_hello_holder(server.port, protocol, 100 + i)
+            for i, protocol in enumerate(_offers(params))
+        ]
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            with server._lock:
+                running = sum(
+                    1 for r in server.sessions.values()
+                    if r.status == "running"
+                )
+            if running == 4:
+                break
+            time.sleep(0.02)
+        assert running == 4, "server did not reach 4 concurrent sessions"
+
+        # The fifth new client gets a typed busy frame, not a hang.
+        with pytest.raises(ServerBusyError, match="capacity"):
+            _client(
+                server.port, "intersection", seed=9,
+                config=_config(max_reconnects=0),
+            )
+        assert server.rejected_busy == 1
+
+        # The four held sessions are still live: complete each of them
+        # with a real client reconnecting under the held session id.
+        answers = {}
+        threads = []
+        for i, protocol in enumerate(_offers(params)):
+            def run(protocol=protocol, sid=100 + i):
+                v_r, _ = _values()
+                spec = PROTOCOLS[protocol]
+                session = ReceiverSession(
+                    protocol,
+                    lambda wire: spec.make_receiver(
+                        v_r, PublicParams.from_wire(tuple(wire)),
+                        random.Random("R"),
+                    ),
+                    config=_config(),
+                    rng=random.Random(i),
+                    session_id=sid,
+                )
+                answers[protocol] = session.run(
+                    lambda: tcp._dial("127.0.0.1", server.port, 2.0)
+                )
+            threads.append(threading.Thread(target=run))
+        for holder in holders:
+            holder.close()  # free the dead connections
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+
+        assert answers["intersection"] == {f"c{i}" for i in range(half)}
+        assert answers["intersection-size"] == half
+        assert answers["equijoin"] == {
+            f"c{i}": f"payload:c{i}".encode() for i in range(half)
+        }
+    finally:
+        server.shutdown(drain_timeout_s=2.0)
+    statuses = {r["session_id"]: r["status"] for r in server.results()}
+    assert all(statuses[100 + i] == "done" for i in range(4)), statuses
+
+
+def test_reconnect_routes_to_owning_session(params):
+    """A dead first connection does not kill the session: a reconnect
+    under the same id resumes it on a fresh connection."""
+    server = ProtocolServer(
+        _offers(params), max_sessions=2, config=_config(timeout_s=0.5)
+    ).start()
+    try:
+        holder = _raw_hello_holder(server.port, "intersection", 0xBEEF)
+        _expect_frame(holder, "welcome")  # the session adopted conn #1
+        holder.close()  # conn #1 dies mid-handshake
+
+        v_r, _ = _values()
+        spec = PROTOCOLS["intersection"]
+        session = ReceiverSession(
+            "intersection",
+            lambda wire: spec.make_receiver(
+                v_r, PublicParams.from_wire(tuple(wire)), random.Random("R")
+            ),
+            config=_config(timeout_s=0.5),
+            rng=random.Random(3),
+            session_id=0xBEEF,
+        )
+        answer = session.run(
+            lambda: tcp._dial("127.0.0.1", server.port, 2.0)
+        )
+        assert answer == {f"c{i}" for i in range(N // 2)}
+    finally:
+        server.shutdown(drain_timeout_s=2.0)
+    (record,) = server.results()
+    assert record["session_id"] == 0xBEEF
+    assert record["status"] == "done"
+
+
+# ----------------------------------------------------------------------
+# Supervision: deadlines, reaping, drain
+# ----------------------------------------------------------------------
+def test_session_deadline_expires_and_frees_the_slot(params):
+    server = ProtocolServer(
+        _offers(params), max_sessions=1,
+        config=_config(timeout_s=0.3, max_reconnects=1),
+        session_deadline_s=0.5,
+    ).start()
+    try:
+        holder = _raw_hello_holder(server.port, "intersection", 0xDEAD)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if any(
+                r["status"] == "expired" for r in server.results()
+            ):
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("deadline reaper never fired")
+        holder.close()
+
+        # The freed slot accepts a fresh session end-to-end.
+        answer, _stats = _client(server.port, "intersection", seed=11)
+        assert answer == {f"c{i}" for i in range(N // 2)}
+    finally:
+        server.shutdown(drain_timeout_s=2.0)
+
+
+def test_drain_refuses_new_sessions_with_busy(params):
+    server = ProtocolServer(
+        _offers(params), max_sessions=4, config=_config(timeout_s=0.5)
+    ).start()
+    port = server.port
+    shutdown_thread = threading.Thread(
+        target=server.shutdown, kwargs={"drain_timeout_s": 2.0}
+    )
+    shutdown_thread.start()
+    deadline = time.monotonic() + 5.0
+    while not server.draining and time.monotonic() < deadline:
+        time.sleep(0.01)
+    try:
+        with pytest.raises(ServerBusyError, match="draining"):
+            _client(port, "intersection", seed=13,
+                    config=_config(max_reconnects=0))
+    finally:
+        shutdown_thread.join(timeout=10)
+    assert server.wait_closed(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Journal recovery through the supervisor
+# ----------------------------------------------------------------------
+def _journal_crash_window(tmp_path, params, protocol, sid):
+    """Hand-build both parties' journals at the worst crash point:
+    S journaled (in m1, out m2) but never shipped m2; R journaled m1."""
+    from repro.net.journal import SessionJournal
+
+    spec = PROTOCOLS[protocol]
+    v_r, v_s = _values()
+    receiver = ReceiverMachine(spec, v_r, params, random.Random("R"))
+    sender = SenderMachine(spec, v_s, params, random.Random("S"))
+    wires = []
+    for rnd in spec.rounds:
+        producer, consumer = (
+            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+        )
+        wire = producer.produce(rnd).to_wire()
+        wires.append((rnd.source, wire))
+        consumer.consume(rnd, wire)
+
+    jdir = JournalDir(tmp_path, fsync=False)
+    s_journal = SessionJournal(
+        jdir.path_for("sender", protocol, sid), fsync=False
+    )
+    s_journal.record_open("sender", protocol)
+    s_journal.record_meta("session_id", sid)
+    r_journal = SessionJournal(
+        jdir.path_for("receiver", protocol, sid), fsync=False
+    )
+    r_journal.record_open("receiver", protocol)
+    r_journal.record_meta("session_id", sid)
+    r_journal.record_meta("params", tuple(params.to_wire()))
+    inb = out = 0
+    for source, wire in wires[:2]:
+        if source == "R":
+            s_journal.record_inbound(inb, encode(wire))
+            inb += 1
+            if inb == 1:
+                r_journal.record_outbound(0, encode(wire))
+        else:
+            s_journal.record_outbound(out, encode(wire))
+            out += 1
+    s_journal.close()
+    r_journal.close()
+    return jdir, receiver.finish()
+
+
+def test_server_recovers_journaled_session_for_unknown_id(
+    tmp_path, params
+):
+    protocol = "intersection"
+    sid = 0x7E57
+    jdir, expected = _journal_crash_window(tmp_path, params, protocol, sid)
+
+    v_r, v_s = _values()
+    offer = ProtocolOffer(
+        protocol=protocol,
+        params=params,
+        make_sender=lambda: PROTOCOLS[protocol].make_sender(
+            v_s, params, random.Random("S")
+        ),
+    )
+    recorder = MetricsRecorder()
+    server = ProtocolServer(
+        [offer], max_sessions=2, config=_config(),
+        journal_dir=jdir, recorder=recorder,
+    ).start()
+    try:
+        from repro.net.journal import recover_receiver_session
+
+        client = recover_receiver_session(
+            jdir.path_for("receiver", protocol, sid),
+            lambda wire: PROTOCOLS[protocol].make_receiver(
+                v_r, PublicParams.from_wire(tuple(wire)), random.Random("R")
+            ),
+            config=_config(), fsync=False,
+        )
+        answer = client.run(
+            lambda: tcp._dial("127.0.0.1", server.port, 2.0)
+        )
+        assert answer == expected
+    finally:
+        server.shutdown(drain_timeout_s=2.0)
+
+    (record,) = server.results()
+    assert record["status"] == "done"
+    assert record["rounds_recovered"] == 2  # rebuilt from the journal
+    # Stats landed in the metrics report.
+    report = recorder.report()
+    assert len(report["sessions"]) == 1
+    assert report["sessions"][0]["session_id"] == sid
+    # Completed journals rotated out of the recovery scan.
+    assert jdir.incomplete("sender", protocol) == []
+
+
+def test_rejects_unknown_protocol_and_bad_version(params):
+    server = ProtocolServer(
+        {"intersection": _offers(params)["intersection"]},
+        max_sessions=2, config=_config(),
+    ).start()
+    try:
+        sock = socket.create_connection(("127.0.0.1", server.port), 5.0)
+        endpoint = tcp.SocketEndpoint(sock=sock)
+        endpoint.send(seal("hello", SESSION_VERSION, "equijoin", 1, 0, 0))
+        fields = _expect_frame(endpoint, "reject")
+        assert "not served" in fields[2]
+        endpoint.close()
+
+        sock = socket.create_connection(("127.0.0.1", server.port), 5.0)
+        endpoint = tcp.SocketEndpoint(sock=sock)
+        endpoint.send(seal("hello", 999, "intersection", 1, 0, 0))
+        fields = _expect_frame(endpoint, "reject")
+        assert "version" in fields[2]
+        endpoint.close()
+    finally:
+        server.shutdown(drain_timeout_s=1.0)
+    assert server.results() == []  # rejects never became sessions

@@ -1,0 +1,195 @@
+"""The eight deprecated ``serve_*``/``connect_*`` shims in ``net.tcp``.
+
+Two contracts: each shim emits ``DeprecationWarning`` exactly once per
+process no matter how often it is called, and each produces a wire
+transcript (and answer) identical to the generic ``serve``/``connect``
+pair it delegates to.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import warnings
+
+import pytest
+
+from repro.net import tcp
+from repro.protocols.parties import PublicParams
+
+BITS = 128
+N = 12
+
+SHIM_PAIRS = [
+    ("serve_intersection_sender", "connect_intersection_receiver",
+     "intersection"),
+    ("serve_intersection_size_sender", "connect_intersection_size_receiver",
+     "intersection-size"),
+    ("serve_equijoin_sender", "connect_equijoin_receiver", "equijoin"),
+    ("serve_equijoin_size_sender", "connect_equijoin_size_receiver",
+     "equijoin-size"),
+]
+
+
+def _values():
+    half = N // 2
+    v_r = [f"r{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(N - half)] + [f"c{i}" for i in range(half)]
+    return v_r, v_s
+
+
+def _sender_data(protocol):
+    _, v_s = _values()
+    if protocol == "equijoin":
+        return {v: f"payload:{v}".encode() for v in v_s}
+    if protocol == "equijoin-size":
+        return v_s + v_s[:3]
+    return v_s
+
+
+class _RecordingTransport:
+    """Wraps a framed transport; logs every message in arrival order."""
+
+    def __init__(self, transport, log):
+        self._transport = transport
+        self.log = log
+
+    def send(self, message):
+        self.log.append(("sent", message))
+        self._transport.send(message)
+
+    def recv(self):
+        message = self._transport.recv()
+        self.log.append(("received", message))
+        return message
+
+    def settimeout(self, timeout):
+        self._transport.settimeout(timeout)
+
+    def close(self):
+        self._transport.close()
+
+
+# ----------------------------------------------------------------------
+# Warn-once behavior (serve/connect stubbed out: no sockets needed)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("serve_name,connect_name,protocol", SHIM_PAIRS)
+def test_shims_warn_exactly_once(serve_name, connect_name, protocol,
+                                 monkeypatch):
+    monkeypatch.setattr(tcp, "serve", lambda *a, **k: 0)
+    monkeypatch.setattr(tcp, "connect", lambda *a, **k: [])
+    monkeypatch.setattr(tcp, "_DEPRECATION_WARNED", set())
+    serve_shim = getattr(tcp, serve_name)
+    connect_shim = getattr(tcp, connect_name)
+    params = PublicParams.for_bits(BITS)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(3):
+            serve_shim([], params, random.Random(0))
+            connect_shim([], random.Random(0), "127.0.0.1", 1)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 2  # one per shim, not one per call
+    messages = sorted(str(w.message) for w in deprecations)
+    assert any(serve_name in m for m in messages), messages
+    assert any(connect_name in m for m in messages), messages
+    assert all("deprecated" in m for m in messages)
+
+
+def test_warn_once_guard_spans_all_shims(monkeypatch):
+    monkeypatch.setattr(tcp, "serve", lambda *a, **k: 0)
+    monkeypatch.setattr(tcp, "connect", lambda *a, **k: [])
+    monkeypatch.setattr(tcp, "_DEPRECATION_WARNED", set())
+    params = PublicParams.for_bits(BITS)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for serve_name, connect_name, _ in SHIM_PAIRS:
+            for _ in range(2):
+                getattr(tcp, serve_name)([], params, random.Random(0))
+                getattr(tcp, connect_name)(
+                    [], random.Random(0), "127.0.0.1", 1
+                )
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == len(SHIM_PAIRS) * 2  # all 8 shims, once each
+
+
+# ----------------------------------------------------------------------
+# Transcript identity vs the generic pair (real sockets)
+# ----------------------------------------------------------------------
+def _run_generic(protocol, log):
+    v_r, _ = _values()
+    params = PublicParams.for_bits(BITS)
+    port_box, ready = [], threading.Event()
+    result_box = {}
+
+    def serve_thread():
+        result_box["size_v_r"] = tcp.serve(
+            protocol, _sender_data(protocol), params, random.Random("S"),
+            ready_callback=lambda p: (port_box.append(p), ready.set()),
+            timeout=10.0,
+        )
+
+    thread = threading.Thread(target=serve_thread)
+    thread.start()
+    assert ready.wait(timeout=10)
+    receiver_data = v_r + v_r[:5] if protocol == "equijoin-size" else v_r
+    answer = tcp.connect(
+        protocol, receiver_data, random.Random("R"), "127.0.0.1", port_box[0],
+        timeout=10.0,
+        endpoint_wrapper=lambda e: _RecordingTransport(e, log),
+    )
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    return answer, result_box["size_v_r"]
+
+
+def _run_shim(serve_name, connect_name, protocol, log):
+    v_r, _ = _values()
+    params = PublicParams.for_bits(BITS)
+    port_box, ready = [], threading.Event()
+    result_box = {}
+
+    def serve_thread():
+        result_box["size_v_r"] = getattr(tcp, serve_name)(
+            _sender_data(protocol), params, random.Random("S"),
+            ready_callback=lambda p: (port_box.append(p), ready.set()),
+            timeout=10.0,
+        )
+
+    thread = threading.Thread(target=serve_thread)
+    thread.start()
+    assert ready.wait(timeout=10)
+    receiver_data = v_r + v_r[:5] if protocol == "equijoin-size" else v_r
+    answer = getattr(tcp, connect_name)(
+        receiver_data, random.Random("R"), "127.0.0.1", port_box[0],
+        timeout=10.0,
+        endpoint_wrapper=lambda e: _RecordingTransport(e, log),
+    )
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    return answer, result_box["size_v_r"]
+
+
+@pytest.mark.parametrize("serve_name,connect_name,protocol", SHIM_PAIRS)
+def test_shim_transcripts_match_generic_pair(serve_name, connect_name,
+                                             protocol):
+    generic_log, shim_log = [], []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        generic_answer, generic_size = _run_generic(protocol, generic_log)
+        shim_answer, shim_size = _run_shim(
+            serve_name, connect_name, protocol, shim_log
+        )
+    assert shim_log == generic_log, (
+        f"{serve_name}/{connect_name} transcript diverges from the "
+        "generic serve/connect pair"
+    )
+    # The intersection shim post-processes the answer into a set.
+    expected = (
+        set(generic_answer) if protocol == "intersection" else generic_answer
+    )
+    assert shim_answer == expected
+    assert shim_size == generic_size
