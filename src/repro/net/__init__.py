@@ -21,6 +21,7 @@ from .journal import (
     JournalDir,
     JournalError,
     SessionJournal,
+    peek_state,
     recover_receiver_session,
     recover_sender_session,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "JournalDir",
     "JournalError",
     "SessionJournal",
+    "peek_state",
     "recover_sender_session",
     "recover_receiver_session",
     "ProtocolOffer",

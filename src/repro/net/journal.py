@@ -65,6 +65,7 @@ __all__ = [
     "SessionJournal",
     "JournalDir",
     "JournalState",
+    "peek_state",
     "replay_state",
     "recover_sender_session",
     "recover_receiver_session",
@@ -82,6 +83,8 @@ _CRC = struct.Struct(">I")
 WAL_SUFFIX = ".wal"
 #: Suffix a completed journal is atomically rotated to.
 DONE_SUFFIX = ".done"
+#: Suffix an unrecoverable journal is quarantined to (kept for forensics).
+CORRUPT_SUFFIX = ".corrupt"
 
 
 class JournalError(Exception):
@@ -144,18 +147,7 @@ class SessionJournal:
                 self._flush()
                 return
             raise JournalError(f"{self.path} is not a session journal")
-        if data[: len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
-            raise JournalError(
-                f"{self.path} has a foreign or future journal header"
-            )
-        offset = len(JOURNAL_MAGIC)
-        good_end = offset
-        while offset < len(data):
-            record, end = self._scan_one(data, offset)
-            if record is None:
-                break  # torn tail: keep everything before it
-            self.records.append(record)
-            good_end = offset = end
+        self.records, good_end = self._scan_bytes(data, self.path)
         if good_end < len(data):
             self.truncated_bytes = len(data) - good_end
             with open(self.path, "r+b") as fh:
@@ -163,6 +155,35 @@ class SessionJournal:
                 fh.flush()
                 os.fsync(fh.fileno())
         self._file = open(self.path, "ab")
+
+    @staticmethod
+    def _scan_bytes(data: bytes, path: Path) -> tuple[list[tuple], int]:
+        """Read-only record scan of whole-file bytes.
+
+        Returns ``(intact records, offset just past the last one)``;
+        anything after that offset is a torn tail. Never touches the
+        file - callers that own the journal truncate, callers that
+        merely inspect it (:func:`peek_state`) must not.
+
+        Raises:
+            JournalError: on a foreign or future header.
+        """
+        if data[: len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+            if JOURNAL_MAGIC.startswith(data):
+                # Crash mid-creation: nothing was journaled yet.
+                return [], len(data)
+            raise JournalError(
+                f"{path} has a foreign or future journal header"
+            )
+        records: list[tuple] = []
+        offset = good_end = len(JOURNAL_MAGIC)
+        while offset < len(data):
+            record, end = SessionJournal._scan_one(data, offset)
+            if record is None:
+                break  # torn tail: keep everything before it
+            records.append(record)
+            good_end = offset = end
+        return records, good_end
 
     @staticmethod
     def _scan_one(data: bytes, offset: int) -> tuple[tuple | None, int]:
@@ -305,6 +326,12 @@ class JournalDir:
         journaled run already completed (crash between the completion
         record and the rotation) is excluded - recovering it would be
         a no-op.
+
+        The scan is **strictly read-only** (:func:`peek_state`): it
+        never repairs a torn tail, so it is safe to run while other
+        threads or processes are appending to journals in the same
+        directory - a half-flushed append just makes that journal look
+        one record shorter.
         """
         prefix = f"{role}-" if role else ""
         if role and protocol:
@@ -316,10 +343,10 @@ class JournalDir:
             if prefix and not path.name.startswith(prefix):
                 continue
             try:
-                state = replay_state(SessionJournal(path, fsync=False))
+                state = peek_state(path)
             except JournalError:
                 continue  # unreadable: leave it for forensics
-            if state.complete:
+            if state is None or state.complete:
                 continue
             if protocol and state.protocol != protocol:
                 continue
@@ -340,6 +367,33 @@ class JournalState:
     complete: bool = False
 
 
+def peek_state(path: str | Path) -> JournalState | None:
+    """Read-only parse of one journal file on disk.
+
+    Unlike opening a :class:`SessionJournal` (which truncates a torn
+    tail and takes an append handle - a *repair*, only safe for the
+    journal's owner), this reads bytes and nothing else, so it can be
+    run against a journal another process - or another thread of this
+    process - is actively appending to. A torn or half-flushed tail is
+    simply ignored: the returned state reflects every intact record
+    before it. Returns ``None`` for a journal with no intact records
+    yet (crash mid-creation) - nothing to recover or resume.
+
+    Raises:
+        JournalError: unreadable file, foreign header, or records that
+            fail :func:`replay_state` validation.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise JournalError(f"{path}: unreadable ({exc})") from exc
+    records, _good_end = SessionJournal._scan_bytes(data, path)
+    if not records:
+        return None
+    return _fold_state(records, path)
+
+
 def replay_state(journal: SessionJournal) -> JournalState:
     """Validate a journal's records and fold them into a state.
 
@@ -349,25 +403,29 @@ def replay_state(journal: SessionJournal) -> JournalState:
             completion marker - all signs the file is not a journal
             this code wrote.
     """
-    records = journal.records
-    if not records:
+    if not journal.records:
         raise JournalError(f"{journal.path}: empty journal")
+    return _fold_state(journal.records, journal.path)
+
+
+def _fold_state(records: list[tuple], path: Path) -> JournalState:
+    """Fold already-scanned records into a validated state."""
     head = records[0]
     if head[0] != "open" or len(head) != 4:
-        raise JournalError(f"{journal.path}: missing open record")
+        raise JournalError(f"{path}: missing open record")
     _, version, role, protocol = head
     if version != JOURNAL_VERSION:
         raise JournalError(
-            f"{journal.path}: journal version {version!r}, "
+            f"{path}: journal version {version!r}, "
             f"this code reads {JOURNAL_VERSION}"
         )
     if role not in ("sender", "receiver") or not isinstance(protocol, str):
-        raise JournalError(f"{journal.path}: malformed open record")
+        raise JournalError(f"{path}: malformed open record")
     state = JournalState(role=role, protocol=protocol)
     for record in records[1:]:
         tag = record[0]
         if state.complete:
-            raise JournalError(f"{journal.path}: records after completion")
+            raise JournalError(f"{path}: records after completion")
         if tag == "meta" and len(record) == 3:
             key, value = record[1], record[2]
             if key == "session_id":
@@ -379,14 +437,14 @@ def replay_state(journal: SessionJournal) -> JournalState:
             cache = state.inbound if tag == "in" else state.outbound
             if index != len(cache) or not isinstance(data, bytes):
                 raise JournalError(
-                    f"{journal.path}: {tag} record {index!r} out of order "
+                    f"{path}: {tag} record {index!r} out of order "
                     f"(expected {len(cache)})"
                 )
             cache.append(data)
         elif tag == "done" and len(record) == 1:
             state.complete = True
         else:
-            raise JournalError(f"{journal.path}: unknown record {tag!r}")
+            raise JournalError(f"{path}: unknown record {tag!r}")
     return state
 
 
@@ -412,23 +470,36 @@ def _replay_machine(
     machine.ensure_state()
     inb = out = 0
     for rnd in spec.rounds:
-        if rnd.source == emits:
-            if out >= len(outbound):
-                break
-            recomputed = serialization.encode(machine.produce(rnd).to_wire())
-            if recomputed != outbound[out]:
-                raise JournalError(
-                    f"{path}: replay of round {rnd.name!r} diverges from "
-                    "the journal (different rng seed or input data?)"
+        try:
+            if rnd.source == emits:
+                if out >= len(outbound):
+                    break
+                recomputed = serialization.encode(
+                    machine.produce(rnd).to_wire()
                 )
-            out += 1
-        else:
-            if inb >= len(inbound):
-                break
-            machine.consume(
-                rnd, serialization.decode(inbound[inb])
-            )
-            inb += 1
+                if recomputed != outbound[out]:
+                    raise JournalError(
+                        f"{path}: replay of round {rnd.name!r} diverges "
+                        "from the journal (different rng seed or input "
+                        "data?)"
+                    )
+                out += 1
+            else:
+                if inb >= len(inbound):
+                    break
+                machine.consume(
+                    rnd, serialization.decode(inbound[inb])
+                )
+                inb += 1
+        except JournalError:
+            raise
+        except Exception as exc:
+            # Corrupt-but-CRC-valid payloads surface here as whatever
+            # the machine throws; recovery's contract is JournalError.
+            raise JournalError(
+                f"{path}: journaled round {rnd.name!r} does not replay "
+                f"({exc!r})"
+            ) from exc
     if inb < len(inbound) or out < len(outbound):
         raise JournalError(
             f"{path}: journal holds more rounds than the "
@@ -441,6 +512,26 @@ def _open(journal: SessionJournal | str | Path, fsync: bool) -> SessionJournal:
     if isinstance(journal, SessionJournal):
         return journal
     return SessionJournal(journal, fsync=fsync)
+
+
+def _decode_all(payloads: Iterable[bytes], path: Path) -> list[Any]:
+    """Decode journaled wire payloads; JournalError on garbage.
+
+    A record can pass its CRC (it was written whole) yet hold bytes
+    that are not a serialized round - e.g. a foreign tool wrote the
+    file. That must surface as :class:`JournalError`, recovery's one
+    failure type, not leak :class:`ValueError` to callers.
+    """
+    out = []
+    for index, payload in enumerate(payloads):
+        try:
+            out.append(serialization.decode(payload))
+        except ValueError as exc:
+            raise JournalError(
+                f"{path}: journaled round payload {index} does not "
+                f"decode ({exc})"
+            ) from exc
+    return out
 
 
 def recover_sender_session(
@@ -477,8 +568,8 @@ def recover_sender_session(
         journal=journal,
     )
     session._session_id = state.session_id
-    session._inbound = [serialization.decode(b) for b in state.inbound]
-    session._outbound = [serialization.decode(b) for b in state.outbound]
+    session._inbound = _decode_all(state.inbound, journal.path)
+    session._outbound = _decode_all(state.outbound, journal.path)
     session._attempted_sends = set(range(len(state.outbound)))
     session._complete = state.complete
     machine = session._ensure_machine()
@@ -522,8 +613,8 @@ def recover_receiver_session(
         journal=journal,
     )
     session._params_wire = state.params_wire
-    session._inbound = [serialization.decode(b) for b in state.inbound]
-    session._outbound = [serialization.decode(b) for b in state.outbound]
+    session._inbound = _decode_all(state.inbound, journal.path)
+    session._outbound = _decode_all(state.outbound, journal.path)
     session._attempted_sends = set(range(len(state.outbound)))
     if state.params_wire is None:
         if state.inbound or state.outbound:

@@ -18,11 +18,17 @@ provides:
   behind one shared port;
 * **crash durability** - with a ``journal_dir``, every session is
   journaled (:mod:`repro.net.journal`) and a hello for a session this
-  *process* has never seen is first looked up on disk: a server
-  restarted after a crash rebuilds the run from its journal and serves
-  the reconnect from the exact interrupted cursor;
+  *process* has never seen is first looked up on disk - only its own
+  journal path, via a read-only peek that can never disturb journals
+  other live sessions are appending to: a server restarted after a
+  crash rebuilds the run from its journal and serves the reconnect
+  from the exact interrupted cursor, while an unrecoverable journal
+  (corruption, replay divergence) is quarantined as ``*.corrupt`` and
+  the client gets a typed ``reject`` instead of a hang;
 * **supervision** - a reaper thread enforces per-session wall-clock
-  deadlines and an idle timeout (abandoned runs stop holding slots),
+  deadlines and an idle timeout measured from the last frame the
+  session actually moved (abandoned runs stop holding slots; busy
+  runs on one long-lived connection are left alone),
   and :meth:`ProtocolServer.shutdown` / SIGTERM drains gracefully:
   new sessions are refused, in-flight rounds finish (journaled as they
   go) up to ``drain_timeout_s``, stragglers are aborted, and only then
@@ -36,6 +42,7 @@ supplies the round schedule.
 
 from __future__ import annotations
 
+import os
 import queue
 import random
 import signal
@@ -43,10 +50,18 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
 from ..protocols.spec import get_spec
-from .journal import JournalDir, recover_sender_session
+from .journal import (
+    CORRUPT_SUFFIX,
+    JournalDir,
+    JournalError,
+    SessionJournal,
+    peek_state,
+    recover_sender_session,
+)
 from .session import (
     SESSION_VERSION,
     SenderSession,
@@ -99,16 +114,26 @@ class ProtocolOffer:
         )
 
 
+#: Statuses under which a record holds a session slot and accepts routing.
+_ACTIVE_STATUSES = ("starting", "running")
+
+
 @dataclass
 class SessionRecord:
-    """Supervisor-side bookkeeping for one hosted session."""
+    """Supervisor-side bookkeeping for one hosted session.
+
+    A record is born ``starting`` - the id is reserved and reconnects
+    queue on its inbox - while the (possibly slow) journal lookup and
+    replay run outside the supervisor lock; it becomes ``running`` once
+    its worker thread owns a live session.
+    """
 
     session_id: int
     protocol: str
-    session: Any
+    session: Any = None
     inbox: "queue.Queue[Any]" = field(default_factory=queue.Queue)
     thread: threading.Thread | None = None
-    status: str = "running"  # running | done | failed | expired
+    status: str = "starting"  # starting | running | done | failed | expired
     result: Any = None
     error: BaseException | None = None
     started_at: float = field(default_factory=time.monotonic)
@@ -118,12 +143,15 @@ class SessionRecord:
 
     def as_dict(self) -> dict[str, Any]:
         """Flat summary for logs and the metrics report."""
+        stats = (
+            self.session.stats.as_dict() if self.session is not None else {}
+        )
         return {
             "session_id": self.session_id,
             "protocol": self.protocol,
             "status": self.status,
             "error": repr(self.error) if self.error is not None else None,
-            **self.session.stats.as_dict(),
+            **stats,
         }
 
 
@@ -148,6 +176,41 @@ class _ReplayFirstTransport:
     def send(self, message: Any) -> None:
         """Delegate to the wrapped transport."""
         self._transport.send(message)
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Delegate to the wrapped transport."""
+        self._transport.settimeout(timeout)
+
+    def close(self) -> None:
+        """Delegate to the wrapped transport."""
+        self._transport.close()
+
+
+class _ActivityTransport:
+    """Delegating transport that timestamps every frame for the reaper.
+
+    ``SessionRecord.last_activity`` would otherwise only move on
+    *connection* events (hello routing, adoption), so a healthy session
+    exchanging many rounds over one long-lived connection would look
+    idle and get reaped mid-run. Routing each successful ``send`` /
+    ``recv`` through here keeps the idle timeout measuring what it
+    claims to: time since the session last moved bytes.
+    """
+
+    def __init__(self, transport: Any, record: SessionRecord):
+        self._transport = transport
+        self._record = record
+
+    def recv(self) -> Any:
+        """Receive, then stamp the owning record's activity clock."""
+        frame = self._transport.recv()
+        self._record.last_activity = time.monotonic()
+        return frame
+
+    def send(self, message: Any) -> None:
+        """Send, then stamp the owning record's activity clock."""
+        self._transport.send(message)
+        self._record.last_activity = time.monotonic()
 
     def settimeout(self, timeout: float | None) -> None:
         """Delegate to the wrapped transport."""
@@ -226,6 +289,7 @@ class ProtocolServer:
         self.accept_poll_s = accept_poll_s
         self.sessions: dict[int, SessionRecord] = {}
         self.rejected_busy = 0
+        self.quarantined: list[Path] = []
         self._lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
@@ -307,7 +371,8 @@ class ProtocolServer:
         while True:
             with self._lock:
                 running = [
-                    r for r in self.sessions.values() if r.status == "running"
+                    r for r in self.sessions.values()
+                    if r.status in _ACTIVE_STATUSES
                 ]
             if not running:
                 break
@@ -409,7 +474,7 @@ class ProtocolServer:
         routed = _ReplayFirstTransport(transport, raw)
         with self._lock:
             record = self.sessions.get(session_id)
-            if record is not None and record.status == "running":
+            if record is not None and record.status in _ACTIVE_STATUSES:
                 record.last_activity = time.monotonic()
                 record.inbox.put(routed)
                 return
@@ -423,19 +488,36 @@ class ProtocolServer:
                 self.rejected_busy += 1
                 self._refuse(transport, "busy", "server draining")
                 return
-            running = sum(
-                1 for r in self.sessions.values() if r.status == "running"
+            active = sum(
+                1 for r in self.sessions.values()
+                if r.status in _ACTIVE_STATUSES
             )
-            if running >= self.max_sessions:
+            if active >= self.max_sessions:
                 self.rejected_busy += 1
                 self._refuse(
                     transport, "busy",
                     f"server at capacity ({self.max_sessions} sessions)",
                 )
                 return
-            record = self._new_record(protocol, session_id)
+            record = SessionRecord(
+                session_id=session_id, protocol=protocol, status="starting"
+            )
             self.sessions[session_id] = record
+        # The slot is reserved and reconnects queue on the record's
+        # inbox; the journal lookup and (on recovery) full cryptographic
+        # replay happen outside the lock so hello routing stays live.
         record.inbox.put(routed)
+        try:
+            record.session = self._make_session(protocol, session_id)
+        except JournalError as exc:
+            self._fail_start(record, exc, quarantine=True)
+            return
+        except Exception as exc:
+            # Whatever went wrong, the dispatch daemon must survive and
+            # the queued clients must hear a reject, not a silent hang.
+            self._fail_start(record, exc, quarantine=False)
+            return
+        record.status = "running"
         record.thread = threading.Thread(
             target=self._run_session,
             args=(record,),
@@ -452,27 +534,38 @@ class ProtocolServer:
         finally:
             transport.close()
 
-    def _new_record(self, protocol: str, session_id: int) -> SessionRecord:
-        """A fresh or journal-recovered session for an unknown id."""
+    def _make_session(self, protocol: str, session_id: int) -> SenderSession:
+        """A fresh or journal-recovered session for a reserved id.
+
+        Only this session's own journal path is consulted - never a
+        directory-wide scan, which would touch journals that other,
+        currently-running sessions are appending to. The lookup itself
+        is read-only (:func:`~repro.net.journal.peek_state`); the
+        repairing open happens only on the path this id now owns.
+
+        Raises:
+            JournalError: the journal is unreadable or replay diverges.
+        """
         offer = self.offers[protocol]
+        journal = None
         if self.journal_dir is not None:
-            stale = self.journal_dir.incomplete("sender", protocol)
             path = self.journal_dir.path_for("sender", protocol, session_id)
-            if path in stale:
-                session = recover_sender_session(
+            state = peek_state(path) if path.exists() else None
+            if state is not None and not state.complete:
+                return recover_sender_session(
                     path, offer.params, offer.make_sender,
                     config=self.config, recorder=self.recorder,
                     fsync=self.journal_dir.fsync,
                 )
-                return SessionRecord(
-                    session_id=session_id, protocol=protocol, session=session
-                )
+            if state is not None and state.complete:
+                # Crash landed between the completion record and the
+                # rotation: finish the rotation so this id restarts on
+                # a fresh journal instead of appending after "done".
+                SessionJournal(path, fsync=self.journal_dir.fsync).rotate()
             journal = self.journal_dir.open_session(
                 "sender", protocol, session_id
             )
-        else:
-            journal = None
-        session = SenderSession(
+        return SenderSession(
             protocol,
             offer.params,
             offer.make_sender,
@@ -480,9 +573,51 @@ class ProtocolServer:
             recorder=self.recorder,
             journal=journal,
         )
-        return SessionRecord(
-            session_id=session_id, protocol=protocol, session=session
+
+    def _fail_start(
+        self, record: SessionRecord, exc: BaseException, quarantine: bool
+    ) -> None:
+        """Session setup failed: free the id and reject queued clients.
+
+        Every client queued on the reserved slot (the one that
+        triggered recovery plus any reconnects that raced in) gets a
+        typed reject instead of a silent hang, and the session id
+        becomes retryable. With ``quarantine`` (an unrecoverable
+        journal) the ``*.wal`` is set aside as ``*.corrupt``, so the
+        retry starts over on a fresh journal while the bad file stays
+        for forensics.
+        """
+        quarantined = (
+            self._quarantine(record.protocol, record.session_id)
+            if quarantine
+            else None
         )
+        with self._lock:
+            self.sessions.pop(record.session_id, None)
+        reason = (
+            f"journal recovery for session {record.session_id} failed: {exc}"
+        )
+        if quarantined is not None:
+            reason += f" (journal quarantined as {quarantined.name})"
+        while True:
+            try:
+                queued = record.inbox.get_nowait()
+            except queue.Empty:
+                return
+            self._refuse(queued, "reject", reason)
+
+    def _quarantine(self, protocol: str, session_id: int) -> Path | None:
+        """Rename an unrecoverable ``*.wal`` to ``*.corrupt``."""
+        if self.journal_dir is None:
+            return None
+        path = self.journal_dir.path_for("sender", protocol, session_id)
+        target = path.with_suffix(CORRUPT_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None  # already gone (or never created)
+        self.quarantined.append(target)
+        return target
 
     # ------------------------------------------------------------------
     # Session workers and the reaper
@@ -502,9 +637,10 @@ class ProtocolServer:
                     f"no client (re)connected to session "
                     f"{record.session_id} in {wait_s}s"
                 ) from None
-            record.current_transport = transport
+            wrapped = _ActivityTransport(transport, record)
+            record.current_transport = wrapped
             record.last_activity = time.monotonic()
-            return transport
+            return wrapped
 
     def _run_session(self, record: SessionRecord) -> None:
         try:

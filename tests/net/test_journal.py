@@ -20,6 +20,7 @@ from repro.net.journal import (
     JournalDir,
     JournalError,
     SessionJournal,
+    peek_state,
     recover_receiver_session,
     recover_sender_session,
     replay_state,
@@ -240,6 +241,66 @@ def test_journal_dir_naming_and_incomplete_scan(tmp_path, params):
 
     stale = jdir.incomplete("sender", "intersection")
     assert stale == [jdir.path_for("sender", "intersection", 0xAB)]
+
+
+# ----------------------------------------------------------------------
+# peek_state: the strictly read-only scan
+# ----------------------------------------------------------------------
+def test_peek_state_reads_without_repairing(tmp_path):
+    path = tmp_path / "s.wal"
+    journal = SessionJournal(path, fsync=False)
+    journal.record_open("sender", "intersection")
+    journal.record_inbound(0, b"xy")
+    journal.close()
+    # A half-flushed append, as a live concurrent writer would leave it.
+    next_record = encode(("out", 0, b"zz"))
+    torn = (
+        path.read_bytes()
+        + len(next_record).to_bytes(4, "big")
+        + next_record[:3]
+    )
+    path.write_bytes(torn)
+
+    state = peek_state(path)
+    assert state.role == "sender"
+    assert state.inbound == [b"xy"]
+    assert state.outbound == []
+    assert path.read_bytes() == torn  # not truncated: the scan is read-only
+
+
+def test_peek_state_handles_blank_missing_and_foreign_files(tmp_path):
+    blank = tmp_path / "blank.wal"
+    blank.write_bytes(JOURNAL_MAGIC[:3])  # crash mid-creation
+    assert peek_state(blank) is None
+    empty = tmp_path / "empty.wal"
+    empty.write_bytes(JOURNAL_MAGIC)  # header only, no records yet
+    assert peek_state(empty) is None
+    foreign = tmp_path / "foreign.wal"
+    foreign.write_bytes(b"these are not journal bytes at all")
+    with pytest.raises(JournalError, match="foreign"):
+        peek_state(foreign)
+    with pytest.raises(JournalError, match="unreadable"):
+        peek_state(tmp_path / "missing.wal")
+
+
+def test_incomplete_scan_leaves_live_journals_untouched(tmp_path):
+    """The directory scan must never repair: a journal whose owner is
+    mid-append (half-flushed tail) is reported one record shorter, not
+    truncated out from under its O_APPEND writer."""
+    jdir = JournalDir(tmp_path, fsync=False)
+    live = jdir.open_session("sender", "intersection", 0x11)
+    live.record_inbound(0, b"committed")
+    # Simulate the scanner racing a half-flushed append by the owner.
+    half = encode(("out", 0, b"half-flushed"))
+    with open(live.path, "ab") as fh:
+        fh.write(len(half).to_bytes(4, "big") + half[: len(half) // 2])
+    before = live.path.read_bytes()
+
+    assert jdir.incomplete("sender", "intersection") == [live.path]
+    assert live.path.read_bytes() == before  # the scan changed nothing
+    # Every committed record is still visible to the read-only peek.
+    assert peek_state(live.path).inbound == [b"committed"]
+    live.close()
 
 
 # ----------------------------------------------------------------------

@@ -354,6 +354,150 @@ def test_server_recovers_journaled_session_for_unknown_id(
     assert jdir.incomplete("sender", protocol) == []
 
 
+def test_corrupt_journal_rejects_quarantines_and_frees_the_id(
+    tmp_path, params
+):
+    """An unrecoverable journal (replay divergence) must not wedge the
+    session id or kill the dispatch thread: the client gets a typed
+    reject, the journal is quarantined as ``*.corrupt``, and a fresh
+    hello under the same id starts over on a new journal."""
+    from repro.net.journal import SessionJournal
+
+    protocol = "intersection"
+    sid = 0xBAD
+    spec = PROTOCOLS[protocol]
+    v_r, v_s = _values()
+    receiver = ReceiverMachine(spec, v_r, params, random.Random("R"))
+    m1 = receiver.produce(spec.rounds[0]).to_wire()
+
+    jdir = JournalDir(tmp_path, fsync=False)
+    journal = SessionJournal(
+        jdir.path_for("sender", protocol, sid), fsync=False
+    )
+    journal.record_open("sender", protocol)
+    journal.record_meta("session_id", sid)
+    journal.record_inbound(0, encode(m1))
+    journal.record_outbound(0, b"not what replay recomputes")
+    journal.close()
+
+    offer = ProtocolOffer(
+        protocol=protocol,
+        params=params,
+        make_sender=lambda: spec.make_sender(
+            v_s, params, random.Random("S")
+        ),
+    )
+    server = ProtocolServer(
+        [offer], max_sessions=2, config=_config(), journal_dir=jdir
+    ).start()
+    try:
+        endpoint = _raw_hello_holder(server.port, protocol, sid)
+        fields = _expect_frame(endpoint, "reject")
+        assert "recovery" in fields[2]
+        assert "quarantined" in fields[2]
+        endpoint.close()
+
+        wal = jdir.path_for("sender", protocol, sid)
+        corrupt = wal.with_suffix(".corrupt")
+        assert corrupt.exists() and not wal.exists()
+        assert server.quarantined == [corrupt]
+        with server._lock:
+            assert sid not in server.sessions  # the id is free again
+
+        # A fresh client under the same id completes on a new journal.
+        session = ReceiverSession(
+            protocol,
+            lambda wire: spec.make_receiver(
+                v_r, PublicParams.from_wire(tuple(wire)), random.Random("R2")
+            ),
+            config=_config(),
+            rng=random.Random(5),
+            session_id=sid,
+        )
+        answer = session.run(
+            lambda: tcp._dial("127.0.0.1", server.port, 2.0)
+        )
+        assert answer == {f"c{i}" for i in range(N // 2)}
+    finally:
+        server.shutdown(drain_timeout_s=2.0)
+    (record,) = server.results()
+    assert record["status"] == "done"
+    assert corrupt.exists()  # still there for forensics
+
+
+class _SlowSendTransport:
+    """Client transport that sleeps before each send.
+
+    Frames keep flowing, just slower: every inter-frame gap stays under
+    the server's idle timeout while the whole run takes longer than it
+    - the exact shape the idle reaper must *not* mistake for an
+    abandoned session."""
+
+    def __init__(self, transport, delay_s):
+        self._transport = transport
+        self._delay_s = delay_s
+
+    def send(self, message):
+        time.sleep(self._delay_s)
+        self._transport.send(message)
+
+    def recv(self):
+        return self._transport.recv()
+
+    def settimeout(self, timeout):
+        self._transport.settimeout(timeout)
+
+    def close(self):
+        self._transport.close()
+
+
+def test_idle_reaper_spares_a_session_actively_exchanging_rounds(params):
+    # The four-round equijoin-sum keeps frames flowing long enough that
+    # the whole run outlives the idle window while no single gap does.
+    protocol = "equijoin-sum"
+    idle_timeout_s = 0.75
+    spec = PROTOCOLS[protocol]
+    v_r, _ = _values()
+    s_data = _offers(params)[protocol][0]
+    receiver_m = ReceiverMachine(spec, v_r, params, random.Random("R"))
+    sender_m = SenderMachine(spec, s_data, params, random.Random("S"))
+    for rnd in spec.rounds:
+        producer, consumer = (
+            (receiver_m, sender_m) if rnd.source == "R"
+            else (sender_m, receiver_m)
+        )
+        consumer.consume(rnd, producer.produce(rnd).to_wire())
+    expected = receiver_m.finish()
+
+    server = ProtocolServer(
+        _offers(params), max_sessions=2, config=_config(timeout_s=5.0),
+        idle_timeout_s=idle_timeout_s,
+    ).start()
+    try:
+        session = ReceiverSession(
+            protocol,
+            lambda wire: spec.make_receiver(
+                v_r, PublicParams.from_wire(tuple(wire)), random.Random("R")
+            ),
+            config=_config(timeout_s=5.0),
+            rng=random.Random(21),
+            session_id=0xA11CE,
+        )
+        start = time.monotonic()
+        answer = session.run(
+            lambda: _SlowSendTransport(
+                tcp._dial("127.0.0.1", server.port, 5.0), 0.3
+            )
+        )
+        # The run really did outlive the idle window on one connection.
+        assert time.monotonic() - start > idle_timeout_s
+        assert answer == expected
+    finally:
+        server.shutdown(drain_timeout_s=2.0)
+    (record,) = server.results()
+    assert record["status"] == "done"
+
+
 def test_rejects_unknown_protocol_and_bad_version(params):
     server = ProtocolServer(
         {"intersection": _offers(params)["intersection"]},
