@@ -8,6 +8,7 @@ set sizes (Section 2.2 of the paper).
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro import ProtocolSuite, Table, run_equijoin_size, run_intersection, run_intersection_size
 from repro.db.query import (
     EquijoinQuery,
@@ -19,13 +20,28 @@ from repro.protocols import join_tables
 
 
 def main() -> None:
-    # Agreed public parameters: a 512-bit safe prime group, the hash
-    # into it, and the commutative power cipher. Each party's secret
-    # keys are drawn from its own randomness inside the suite.
-    suite = ProtocolSuite.default(bits=512, seed=2003)
-
     customers_r = ["alice@x.com", "bob@y.org", "carol@z.net", "dave@w.io"]
     customers_s = ["bob@y.org", "dave@w.io", "erin@v.com"]
+
+    # ------------------------------------------------------------------
+    # 0. The one-call facade: any registered protocol, one line. The
+    #    same call streams million-item sets with chunk_size=..., and
+    #    repro.serve/repro.connect run it over real TCP.
+    # ------------------------------------------------------------------
+    quick = repro.run(
+        "intersection", customers_r, customers_s, bits=512, seed=2003
+    )
+    print("One-call facade")
+    print(f"  repro.run('intersection', ...) -> {sorted(quick.answer)}")
+    print(f"  R learned |V_S| = {quick.size_v_s}; "
+          f"S learned |V_R| = {quick.size_v_r}\n")
+
+    # Agreed public parameters: a 512-bit safe prime group, the hash
+    # into it, and the commutative power cipher. Each party's secret
+    # keys are drawn from its own randomness inside the suite. The
+    # classic per-protocol helpers return result objects with full
+    # transcripts and byte accounting.
+    suite = ProtocolSuite.default(bits=512, seed=2003)
 
     # ------------------------------------------------------------------
     # 1. Intersection (Section 3): R learns which values are shared.

@@ -10,19 +10,35 @@ disclosure audit, the Section 6 cost model, the Appendix A circuit
 baseline (including a working Yao garbled-circuit PSI), and the two
 motivating applications (selective document sharing, medical research).
 
-Quickstart::
+Quickstart (one call, both parties in-process)::
 
-    from repro import ProtocolSuite, run_intersection
+    import repro
 
-    suite = ProtocolSuite.default(bits=512, seed=7)
-    result = run_intersection(
-        v_r=["alice", "bob", "carol"],
-        v_s=["bob", "carol", "dave"],
-        suite=suite,
+    result = repro.run(
+        "intersection",
+        receiver_data=["alice", "bob", "carol"],
+        sender_data=["bob", "carol", "dave"],
+        bits=128,
+        seed=7,
     )
-    assert result.intersection == {"bob", "carol"}
+    assert result.answer == {"bob", "carol"}
+
+Networked runs use the same three-verb facade - ``repro.serve`` hosts
+party S on a TCP port (``port=0`` picks a free one and reports it),
+``repro.connect`` runs party R against it, and both stream
+million-item rounds in bounded chunks when given a ``chunk_size``.
+The classic per-protocol helpers (``run_intersection`` and friends)
+remain for result objects carrying full transcripts.
 """
 
+from .api import (
+    ConnectResult,
+    RunResult,
+    ServeResult,
+    connect,
+    run,
+    serve,
+)
 from .db import Table, ValueMultiset
 from .protocols import (
     EquijoinResult,
@@ -40,6 +56,12 @@ from .protocols import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "run",
+    "serve",
+    "connect",
+    "RunResult",
+    "ServeResult",
+    "ConnectResult",
     "ProtocolSuite",
     "run_intersection",
     "run_intersection_size",

@@ -35,6 +35,7 @@ __all__ = [
     "CountingSuite",
     "counting_suite",
     "PhaseStats",
+    "PipelineStats",
     "MetricsRecorder",
 ]
 
@@ -175,6 +176,46 @@ class PhaseStats:
         }
 
 
+@dataclass
+class PipelineStats:
+    """Producer/consumer overlap observations for one streamed round.
+
+    The streaming transports (:mod:`repro.net.tcp` with a
+    ``chunk_size``) time chunk *production* (crypto, on the prefetch
+    thread) and chunk *sends* (wire I/O, on the driving thread)
+    separately from the round's wall clock. When the double buffer
+    works, ``produce_s + send_s > wall_s`` - the excess is the overlap
+    the pipeline bought.
+    """
+
+    name: str
+    produce_s: float = 0.0
+    send_s: float = 0.0
+    wall_s: float = 0.0
+    chunks: int = 0
+
+    @property
+    def overlap_s(self) -> float:
+        """Wall time saved by overlapping production with sending."""
+        return max(0.0, self.produce_s + self.send_s - self.wall_s)
+
+    @property
+    def overlap_ratio(self) -> float:
+        """``overlap_s`` as a fraction of the round's wall time."""
+        return self.overlap_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat mapping for the JSON report."""
+        return {
+            "produce_s": self.produce_s,
+            "send_s": self.send_s,
+            "wall_s": self.wall_s,
+            "chunks": self.chunks,
+            "overlap_s": self.overlap_s,
+            "overlap_ratio": self.overlap_ratio,
+        }
+
+
 class MetricsRecorder:
     """Named phase timers plus modexp counters, reported as JSON.
 
@@ -194,6 +235,7 @@ class MetricsRecorder:
 
     def __init__(self, engine: CryptoEngine | None = None):
         self.phases: dict[str, PhaseStats] = {}
+        self.pipelines: dict[str, PipelineStats] = {}
         self.unattributed_modexp = 0
         self.sessions: list[dict[str, Any]] = []
         self._stack: list[PhaseStats] = []
@@ -237,6 +279,27 @@ class MetricsRecorder:
         """Record which engine ran the batches (for the report)."""
         self._engine = engine
 
+    def add_pipeline(
+        self,
+        name: str,
+        produce_s: float,
+        send_s: float,
+        wall_s: float,
+        chunks: int,
+    ) -> None:
+        """Fold one streamed round's overlap timings into the report.
+
+        Re-entering a name (e.g. the same round across session
+        reconnects) accumulates into it, like :meth:`phase` does.
+        """
+        stats = self.pipelines.get(name)
+        if stats is None:
+            stats = self.pipelines[name] = PipelineStats(name=name)
+        stats.produce_s += produce_s
+        stats.send_s += send_s
+        stats.wall_s += wall_s
+        stats.chunks += chunks
+
     def add_session(self, stats: Any) -> None:
         """Fold one finished session's counters into the report.
 
@@ -263,6 +326,11 @@ class MetricsRecorder:
                 name: stats.as_dict() for name, stats in self.phases.items()
             },
         }
+        if self.pipelines:
+            out["pipeline"] = {
+                name: stats.as_dict()
+                for name, stats in self.pipelines.items()
+            }
         if self.sessions:
             out["sessions"] = list(self.sessions)
         return out

@@ -1,0 +1,293 @@
+"""One-call public API: run, serve and connect any registered protocol.
+
+The rest of the library is deliberately layered - specs as data
+(:mod:`repro.protocols.spec`), generic machines
+(:mod:`repro.protocols.parties`), transports (:mod:`repro.net.tcp`),
+sessions (:mod:`repro.net.session`) - and every layer is importable.
+But the common cases should not require assembling those layers by
+hand, so this module exposes exactly three verbs, all dispatching off
+the :data:`~repro.protocols.spec.PROTOCOLS` registry:
+
+* :func:`run` - both parties in-process, one call, returns the answer
+  plus what each party learned about the other's set size;
+* :func:`serve` - party S behind a real TCP listener (optionally under
+  the resumable session layer, optionally journaled to disk);
+* :func:`connect` - party R dialing a server.
+
+All three accept ``chunk_size`` to stream chunkable rounds in bounded
+slices (the million-item streaming pipeline); ``chunk_size=None``
+keeps the legacy whole-round frames byte-identical to earlier
+releases. New protocols registered in ``PROTOCOLS`` are runnable here
+with zero facade edits.
+
+Quickstart::
+
+    import repro
+
+    result = repro.run(
+        "intersection",
+        receiver_data=["alice", "bob", "carol"],
+        sender_data=["bob", "carol", "dave"],
+        bits=128,
+        seed=7,
+    )
+    assert result.answer == {"bob", "carol"}
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .protocols.parties import PublicParams, ReceiverMachine, SenderMachine
+from .protocols.spec import ProtocolSpec, get_spec
+
+__all__ = [
+    "RunResult",
+    "ServeResult",
+    "ConnectResult",
+    "run",
+    "serve",
+    "connect",
+]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What an in-process :func:`run` produced.
+
+    Attributes:
+        answer: the protocol's output for party R (set, size, ext
+            mapping, or aggregate - whatever the spec's ``finish``
+            computes).
+        size_v_r: ``|V_R|`` - all party S learns from the run.
+        size_v_s: ``|V_S|`` - the set-size party R observes.
+    """
+
+    answer: Any
+    size_v_r: int
+    size_v_s: int
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """What one completed :func:`serve` call produced.
+
+    Attributes:
+        size_v_r: ``|V_R|`` - all party S learns from the run.
+        port: the actual bound port (the kernel-assigned one when the
+            call asked for ``port=0``).
+        stats: the :class:`~repro.net.session.SessionStats` of a
+            resumable run; ``None`` for a plain one-shot run.
+    """
+
+    size_v_r: int
+    port: int
+    stats: Any = None
+
+
+@dataclass(frozen=True)
+class ConnectResult:
+    """What one completed :func:`connect` call produced.
+
+    Attributes:
+        answer: the protocol's output for party R.
+        stats: the :class:`~repro.net.session.SessionStats` of a
+            resumable run; ``None`` for a plain one-shot run.
+    """
+
+    answer: Any
+    stats: Any = None
+
+
+def _party_rngs(
+    seed: Any, rng: random.Random | None
+) -> tuple[random.Random, random.Random]:
+    """Derive independent per-party rngs from one master seed/rng.
+
+    Handing both machines the *same* rng would entangle their key
+    draws through call order; deriving one child rng per party from a
+    single master keeps ``seed=`` runs reproducible without that
+    coupling.
+    """
+    master = rng if rng is not None else random.Random(seed)
+    rng_r = random.Random(master.getrandbits(64))
+    rng_s = random.Random(master.getrandbits(64))
+    return rng_r, rng_s
+
+
+def run(
+    protocol: str | ProtocolSpec,
+    receiver_data: Any,
+    sender_data: Any,
+    *,
+    bits: int = 512,
+    params: PublicParams | None = None,
+    seed: Any = None,
+    rng: random.Random | None = None,
+    engine: Any = None,
+    recorder: Any = None,
+    chunk_size: int | None = None,
+) -> RunResult:
+    """Run both parties of any registered protocol in-process.
+
+    Interprets the spec's round schedule with a
+    :class:`~repro.protocols.parties.ReceiverMachine` and a
+    :class:`~repro.protocols.parties.SenderMachine` exchanging wire
+    payloads directly - the same payloads the TCP drivers would put on
+    a socket, so the logical transcript is identical to a networked
+    run.
+
+    Args:
+        protocol: registry name (or an unregistered spec object).
+        receiver_data: party R's private input (a value sequence).
+        sender_data: party S's private input, shaped per
+            ``spec.sender_input`` (value list, ``v -> ext(v)`` map, or
+            ``v -> amount`` map).
+        bits: safe-prime modulus size when ``params`` is not given.
+        params: explicit public parameters (overrides ``bits``).
+        seed: master seed for reproducible runs; each party gets an
+            independently derived rng.
+        rng: explicit master rng (overrides ``seed``).
+        engine: batch-crypto execution strategy
+            (:mod:`repro.crypto.engine`).
+        recorder: per-phase metrics collector
+            (:class:`repro.analysis.instrumentation.MetricsRecorder`).
+        chunk_size: stream chunkable rounds in slices of at most this
+            many elements; ``None`` exchanges whole-round payloads.
+    """
+    spec = get_spec(protocol)
+    if params is None:
+        params = PublicParams.for_bits(bits)
+    rng_r, rng_s = _party_rngs(seed, rng)
+    receiver = ReceiverMachine(
+        spec, receiver_data, params, rng_r, engine=engine, recorder=recorder
+    )
+    sender = SenderMachine(
+        spec, sender_data, params, rng_s, engine=engine, recorder=recorder
+    )
+    for rnd in spec.rounds:
+        producer, consumer = (
+            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+        )
+        if chunk_size is not None and rnd.chunkable:
+            payloads = list(producer.produce_chunks(rnd, chunk_size))
+            consumer.consume_chunks(rnd, payloads)
+        else:
+            consumer.consume(rnd, producer.produce(rnd).to_wire())
+    answer = receiver.finish()
+    return RunResult(
+        answer=answer,
+        size_v_r=sender.state.size_v_r,
+        size_v_s=receiver.state.size_v_s,
+    )
+
+
+def serve(
+    protocol: str | ProtocolSpec,
+    data: Any,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    bits: int = 512,
+    params: PublicParams | None = None,
+    seed: Any = None,
+    rng: random.Random | None = None,
+    ready_callback: Callable[[int], None] | None = None,
+    timeout: float | None = None,
+    engine: Any = None,
+    recorder: Any = None,
+    chunk_size: int | None = None,
+    resumable: bool = False,
+    journal_dir: Any = None,
+    config: Any = None,
+) -> ServeResult:
+    """Run party S of any registered protocol as a TCP server.
+
+    Blocks until one receiver has been served and returns a
+    :class:`ServeResult` carrying the actual bound port - with
+    ``port=0`` the kernel picks a free one, and ``ready_callback``
+    (when given) still fires with it as soon as the listener is up.
+
+    ``resumable=True`` (implied by ``journal_dir``) serves under the
+    fault-tolerant session layer: checksummed frames, resume after
+    disconnects, chunk-granular cursors when ``chunk_size`` is set,
+    and - with a ``journal_dir`` - crash recovery from the on-disk
+    round journal. ``config`` is its
+    :class:`~repro.net.session.SessionConfig`.
+    """
+    from .net import tcp
+
+    spec = get_spec(protocol)
+    if params is None:
+        params = PublicParams.for_bits(bits)
+    if rng is None:
+        rng = random.Random(seed)
+    bound: dict[str, int] = {}
+
+    def _capture(actual_port: int) -> None:
+        bound["port"] = actual_port
+        if ready_callback is not None:
+            ready_callback(actual_port)
+
+    if resumable or journal_dir is not None:
+        size_v_r, stats = tcp.serve_resumable_sender(
+            spec.name, data, params, rng, host=host, port=port,
+            ready_callback=_capture, config=config, engine=engine,
+            recorder=recorder, journal_dir=journal_dir,
+            chunk_size=chunk_size,
+        )
+        return ServeResult(size_v_r=size_v_r, port=bound["port"], stats=stats)
+    size_v_r = tcp.serve(
+        spec, data, params, rng, host=host, port=port,
+        ready_callback=_capture, timeout=timeout, engine=engine,
+        recorder=recorder, chunk_size=chunk_size,
+    )
+    return ServeResult(size_v_r=size_v_r, port=bound["port"], stats=None)
+
+
+def connect(
+    protocol: str | ProtocolSpec,
+    data: Any,
+    *,
+    host: str = "127.0.0.1",
+    port: int,
+    seed: Any = None,
+    rng: random.Random | None = None,
+    timeout: float | None = None,
+    engine: Any = None,
+    recorder: Any = None,
+    chunk_size: int | None = None,
+    resumable: bool = False,
+    journal_dir: Any = None,
+    config: Any = None,
+) -> ConnectResult:
+    """Run party R of any registered protocol as a TCP client.
+
+    The server's handshake carries the public parameters, so R needs
+    no setup beyond the address. Returns a :class:`ConnectResult`
+    whose ``answer`` is the protocol's output for R.
+
+    ``resumable=True`` (implied by ``journal_dir``) connects under the
+    fault-tolerant session layer - it must match a resumable server.
+    ``chunk_size`` streams R's chunkable outgoing rounds; inbound
+    chunking is auto-detected either way.
+    """
+    from .net import tcp
+
+    spec = get_spec(protocol)
+    if rng is None:
+        rng = random.Random(seed)
+    if resumable or journal_dir is not None:
+        answer, stats = tcp.connect_resumable_receiver(
+            spec.name, data, rng, host, port, config=config,
+            engine=engine, recorder=recorder, journal_dir=journal_dir,
+            chunk_size=chunk_size,
+        )
+        return ConnectResult(answer=answer, stats=stats)
+    answer = tcp.connect(
+        spec, data, rng, host, port, timeout=timeout, engine=engine,
+        recorder=recorder, chunk_size=chunk_size,
+    )
+    return ConnectResult(answer=answer, stats=None)

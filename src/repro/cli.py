@@ -113,6 +113,12 @@ def _add_engine_options(p: argparse.ArgumentParser) -> None:
         help="processes for batch encryption (Section 6.2's P; default 1)",
     )
     p.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="stream chunkable rounds in slices of this many items, "
+             "pipelining crypto with the wire (default: whole-round "
+             "frames, the legacy format)",
+    )
+    p.add_argument(
         "--metrics", action="store_true",
         help="print a per-phase metrics JSON to stderr "
              "(implied by --workers > 1)",
@@ -375,6 +381,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 config=_session_config(args.timeout),
                 engine=engine, recorder=recorder,
                 journal_dir=args.journal_dir,
+                chunk_size=args.chunk_size,
             )
             print(f"run complete; S learned |V_R| = {size_v_r}")
             print(f"# session stats: {stats.as_dict()}", file=sys.stderr)
@@ -384,7 +391,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         size_v_r = tcp.serve(
             args.protocol, data, params, rng, host=args.host, port=args.port,
             ready_callback=announce, timeout=args.timeout,
-            engine=engine, recorder=recorder,
+            engine=engine, recorder=recorder, chunk_size=args.chunk_size,
         )
         print(f"run complete; S learned |V_R| = {size_v_r}")
         _emit_metrics(args, recorder)
@@ -415,6 +422,7 @@ def _serve_supervised(
         config=_session_config(args.timeout),
         journal_dir=args.journal_dir,
         recorder=recorder,
+        chunk_size=args.chunk_size,
     )
     server.start()
     announce(server.port)
@@ -451,6 +459,7 @@ def _cmd_connect(args: argparse.Namespace) -> int:
                 config=_session_config(args.timeout),
                 engine=engine, recorder=recorder,
                 journal_dir=args.journal_dir,
+                chunk_size=args.chunk_size,
             )
             _print_answer(args.protocol, answer)
             print(f"# session stats: {stats.as_dict()}", file=sys.stderr)
@@ -460,6 +469,7 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         answer = tcp.connect(
             args.protocol, v_r, rng, args.host, args.port,
             timeout=args.timeout, engine=engine, recorder=recorder,
+            chunk_size=args.chunk_size,
         )
         _print_answer(args.protocol, answer)
         _emit_metrics(args, recorder)

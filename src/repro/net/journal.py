@@ -41,9 +41,9 @@ On-disk format (all integers big-endian)::
 where each payload is :mod:`repro.net.serialization` bytes for one of::
 
     ("open", version, role, protocol)
-    ("meta", key, value)              # "session_id", "params"
-    ("in",  index, wire_bytes)        # inbound round payload, encoded
-    ("out", index, wire_bytes)        # outbound round payload, encoded
+    ("meta", key, value)              # "session_id", "params", "chunk_size"
+    ("in",  index, wire_bytes)        # inbound frame payload, encoded
+    ("out", index, wire_bytes)        # outbound frame payload, encoded
     ("done",)
 """
 
@@ -356,12 +356,20 @@ class JournalDir:
 
 @dataclass
 class JournalState:
-    """The parsed, validated content of one session journal."""
+    """The parsed, validated content of one session journal.
+
+    ``inbound``/``outbound`` hold *frames*: whole-round payloads for a
+    run journaled without chunking, individual chunk / chunk-end frames
+    for one journaled with ``chunk_size`` set (recorded in the
+    ``chunk_size`` meta record). A round is durable only once its
+    closing frame made it to disk.
+    """
 
     role: str
     protocol: str
     session_id: int | None = None
     params_wire: tuple | None = None
+    chunk_size: int | None = None
     inbound: list[bytes] = field(default_factory=list)
     outbound: list[bytes] = field(default_factory=list)
     complete: bool = False
@@ -432,6 +440,12 @@ def _fold_state(records: list[tuple], path: Path) -> JournalState:
                 state.session_id = value
             elif key == "params":
                 state.params_wire = tuple(value)
+            elif key == "chunk_size":
+                if not isinstance(value, int) or value < 1:
+                    raise JournalError(
+                        f"{path}: malformed chunk_size record {value!r}"
+                    )
+                state.chunk_size = value
         elif tag in ("in", "out") and len(record) == 3:
             index, data = record[1], record[2]
             cache = state.inbound if tag == "in" else state.outbound
@@ -448,49 +462,98 @@ def _fold_state(records: list[tuple], path: Path) -> JournalState:
     return state
 
 
+def _round_frames(machine: Any, rnd: Any, chunk_size: int | None) -> list:
+    """The full frame sequence one outbound round puts on the wire.
+
+    Mirrors the session layer's frame construction exactly: one
+    whole-round payload frame, or - when ``chunk_size`` chunks this
+    round - its chunk frames closed by a chunk-end frame.
+    """
+    if chunk_size is not None and rnd.chunkable:
+        payloads = list(machine.produce_chunks(rnd, chunk_size))
+        frames = [
+            serialization.chunk_frame(i, p) for i, p in enumerate(payloads)
+        ]
+        frames.append(serialization.chunk_end_frame(len(payloads)))
+        return frames
+    return [machine.produce(rnd).to_wire()]
+
+
 def _replay_machine(
     machine: Any,
     spec: Any,
     emits: str,
-    inbound: Iterable[bytes],
-    outbound: Iterable[bytes],
+    in_frames: list,
+    out_bytes: list,
     path: Path,
-) -> int:
-    """Walk the round schedule feeding journaled payloads to a machine.
+    chunk_size: int | None = None,
+    journal: SessionJournal | None = None,
+) -> tuple[list[int], list[int]]:
+    """Walk the round schedule feeding journaled frames to a machine.
 
     ``emits`` is the role letter (``"S"``/``"R"``) of the rounds this
-    party produces. Every replayed outbound round is recomputed and
-    compared byte-for-byte against the journal - the recovery
-    invariant - so a divergent rng seed or changed input raises
-    :class:`JournalError` instead of resuming into a forked run.
-    Returns the number of rounds restored.
+    party produces; ``in_frames`` holds the decoded inbound frames and
+    ``out_bytes`` the encoded outbound ones, exactly as journaled.
+    Every outbound round with at least one journaled frame is
+    recomputed in full and compared byte-for-byte against the journal -
+    the recovery invariant - so a divergent rng seed, changed input or
+    different ``chunk_size`` raises :class:`JournalError` instead of
+    resuming into a forked run. A round whose tail frames were lost to
+    the crash is completed from the recomputation: the missing frames
+    are appended to ``out_bytes`` (and to ``journal``, when given) so
+    the journal again covers whole rounds. An inbound round cut short
+    mid-chunk stays unconsumed - the live session resumes receiving it
+    at the first missing frame.
+
+    Returns ``(in_bounds, out_bounds)``: the cumulative frame count at
+    each fully restored round boundary, i.e. the session's resume
+    cursor at chunk granularity.
     """
-    inbound = list(inbound)
-    outbound = list(outbound)
     machine.ensure_state()
-    inb = out = 0
+    in_pos = out_pos = 0
+    in_bounds: list[int] = []
+    out_bounds: list[int] = []
+    stalled_inbound = False
     for rnd in spec.rounds:
         try:
             if rnd.source == emits:
-                if out >= len(outbound):
+                if out_pos >= len(out_bytes):
                     break
-                recomputed = serialization.encode(
-                    machine.produce(rnd).to_wire()
-                )
-                if recomputed != outbound[out]:
-                    raise JournalError(
-                        f"{path}: replay of round {rnd.name!r} diverges "
-                        "from the journal (different rng seed or input "
-                        "data?)"
-                    )
-                out += 1
+                frames = _round_frames(machine, rnd, chunk_size)
+                for offset, frame in enumerate(frames):
+                    encoded = serialization.encode(frame)
+                    pos = out_pos + offset
+                    if pos < len(out_bytes):
+                        if out_bytes[pos] != encoded:
+                            raise JournalError(
+                                f"{path}: replay of round {rnd.name!r} "
+                                "diverges from the journal (different rng "
+                                "seed, input data, or chunk size?)"
+                            )
+                    else:
+                        out_bytes.append(encoded)
+                        if journal is not None:
+                            journal.record_outbound(pos, encoded)
+                out_pos += len(frames)
+                out_bounds.append(out_pos)
             else:
-                if inb >= len(inbound):
+                if in_pos >= len(in_frames):
                     break
-                machine.consume(
-                    rnd, serialization.decode(inbound[inb])
+                status, payload, used = serialization.fold_chunk_frames(
+                    in_frames[in_pos:]
                 )
-                inb += 1
+                if status == "partial":
+                    # The crash cut this round short mid-chunk: its
+                    # frames stay buffered, the round stays pending.
+                    stalled_inbound = True
+                    in_pos = len(in_frames)
+                    break
+                if status == "single":
+                    machine.consume(rnd, payload)
+                else:
+                    machine.consume_chunks(rnd, payload)
+                in_pos += used
+                in_bounds.append(in_pos)
         except JournalError:
             raise
         except Exception as exc:
@@ -500,12 +563,20 @@ def _replay_machine(
                 f"{path}: journaled round {rnd.name!r} does not replay "
                 f"({exc!r})"
             ) from exc
-    if inb < len(inbound) or out < len(outbound):
+    if in_pos < len(in_frames) or (
+        out_pos < len(out_bytes) and not stalled_inbound
+    ):
         raise JournalError(
-            f"{path}: journal holds more rounds than the "
+            f"{path}: journal holds more frames than the "
             f"{spec.name!r} schedule admits at this cursor"
         )
-    return inb + out
+    if out_pos < len(out_bytes):
+        raise JournalError(
+            f"{path}: outbound frames journaled for a round whose "
+            "inbound predecessor never completed - not a journal this "
+            "code wrote"
+        )
+    return in_bounds, out_bounds
 
 
 def _open(journal: SessionJournal | str | Path, fsync: bool) -> SessionJournal:
@@ -542,15 +613,17 @@ def recover_sender_session(
     rng: Any = None,
     recorder: Any = None,
     fsync: bool = True,
+    chunk_size: int | None = None,
 ) -> Any:
     """Rebuild a :class:`~repro.net.session.SenderSession` from disk.
 
     ``make_sender`` must be the same deterministic factory (same data,
-    same params, same rng seed) the crashed process used - replay
-    verifies this byte-for-byte. The returned session holds the open
-    journal and resumes appending to it; hand it to the usual
-    ``run(accept)`` loop and the reconnecting client is served from the
-    exact cursor the crash interrupted.
+    same params, same rng seed) the crashed process used, and
+    ``chunk_size`` must match the journaled run's - replay verifies
+    both byte-for-byte. The returned session holds the open journal and
+    resumes appending to it; hand it to the usual ``run(accept)`` loop
+    and the reconnecting client is served from the exact
+    ``(round, chunk)`` cursor the crash interrupted.
     """
     from .session import SenderSession
 
@@ -558,6 +631,11 @@ def recover_sender_session(
     state = replay_state(journal)
     if state.role != "sender":
         raise JournalError(f"{journal.path}: not a sender journal")
+    if state.chunk_size != chunk_size:
+        raise JournalError(
+            f"{journal.path}: journaled with chunk_size="
+            f"{state.chunk_size}, recovering with chunk_size={chunk_size}"
+        )
     session = SenderSession(
         state.protocol,
         params,
@@ -566,17 +644,25 @@ def recover_sender_session(
         rng=rng,
         recorder=recorder,
         journal=journal,
+        chunk_size=chunk_size,
     )
+    journaled_sends = len(state.outbound)
     session._session_id = state.session_id
     session._inbound = _decode_all(state.inbound, journal.path)
-    session._outbound = _decode_all(state.outbound, journal.path)
-    session._attempted_sends = set(range(len(state.outbound)))
     session._complete = state.complete
     machine = session._ensure_machine()
-    restored = _replay_machine(
-        machine, session.spec, "S", state.inbound, state.outbound, journal.path
+    in_bounds, out_bounds = _replay_machine(
+        machine, session.spec, "S",
+        session._inbound, state.outbound, journal.path,
+        chunk_size=chunk_size, journal=journal,
     )
-    session.stats.rounds_recovered = restored
+    # state.outbound now covers whole rounds (the replay re-journaled
+    # any tail frames the crash cut off).
+    session._outbound = _decode_all(state.outbound, journal.path)
+    session._attempted_sends = set(range(journaled_sends))
+    session._in_rounds = in_bounds
+    session._out_rounds = out_bounds
+    session.stats.rounds_recovered = len(in_bounds) + len(out_bounds)
     return session
 
 
@@ -587,13 +673,15 @@ def recover_receiver_session(
     rng: Any = None,
     recorder: Any = None,
     fsync: bool = True,
+    chunk_size: int | None = None,
 ) -> Any:
     """Rebuild a :class:`~repro.net.session.ReceiverSession` from disk.
 
     The journal supplies the session id (so the reconnect routes to
     the same server-side session) and the public parameters from the
     original welcome; ``make_receiver`` is the usual params-taking
-    factory and must be seed-deterministic, which replay verifies.
+    factory and must be seed-deterministic, and ``chunk_size`` must
+    match the journaled run's - replay verifies both.
     """
     from .session import ReceiverSession
 
@@ -603,6 +691,11 @@ def recover_receiver_session(
         raise JournalError(f"{journal.path}: not a receiver journal")
     if state.session_id is None:
         raise JournalError(f"{journal.path}: no session id journaled")
+    if state.chunk_size != chunk_size:
+        raise JournalError(
+            f"{journal.path}: journaled with chunk_size="
+            f"{state.chunk_size}, recovering with chunk_size={chunk_size}"
+        )
     session = ReceiverSession(
         state.protocol,
         make_receiver,
@@ -611,22 +704,28 @@ def recover_receiver_session(
         session_id=state.session_id,
         recorder=recorder,
         journal=journal,
+        chunk_size=chunk_size,
     )
+    journaled_sends = len(state.outbound)
     session._params_wire = state.params_wire
     session._inbound = _decode_all(state.inbound, journal.path)
-    session._outbound = _decode_all(state.outbound, journal.path)
-    session._attempted_sends = set(range(len(state.outbound)))
     if state.params_wire is None:
         if state.inbound or state.outbound:
             raise JournalError(
                 f"{journal.path}: round payloads journaled before the "
                 "public parameters - not a journal this code wrote"
             )
+        session._outbound = []
     else:
         machine = session._ensure_machine()
-        restored = _replay_machine(
+        in_bounds, out_bounds = _replay_machine(
             machine, session.spec, "R",
-            state.inbound, state.outbound, journal.path,
+            session._inbound, state.outbound, journal.path,
+            chunk_size=chunk_size, journal=journal,
         )
-        session.stats.rounds_recovered = restored
+        session._outbound = _decode_all(state.outbound, journal.path)
+        session._in_rounds = in_bounds
+        session._out_rounds = out_bounds
+        session.stats.rounds_recovered = len(in_bounds) + len(out_bounds)
+    session._attempted_sends = set(range(journaled_sends))
     return session

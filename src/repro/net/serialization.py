@@ -10,6 +10,14 @@ Big integers are encoded with a 4-byte length prefix followed by
 big-endian magnitude - i.e. a ``k``-bit group element costs
 ``ceil(k/8) + 5`` bytes. The cost-model benchmarks use the *paper's*
 accounting (exactly ``k`` bits per codeword); the channel reports both.
+
+Chunked rounds: a streamed round is shipped as a sequence of
+``("chunk", index, payload)`` frames closed by a ``("chunk-end",
+count)`` frame, built and recognized by the helpers below. No protocol
+round payload is a tuple whose first element is one of those tag
+strings, so receivers can tell a chunked round from a whole-round
+frame by inspection - the legacy single-frame wire format needs no
+version bump.
 """
 
 from __future__ import annotations
@@ -17,7 +25,18 @@ from __future__ import annotations
 import struct
 from typing import Any
 
-__all__ = ["encode", "decode", "encoded_size"]
+__all__ = [
+    "encode",
+    "decode",
+    "encoded_size",
+    "CHUNK_TAG",
+    "CHUNK_END_TAG",
+    "chunk_frame",
+    "chunk_end_frame",
+    "is_chunk_frame",
+    "is_chunk_end",
+    "fold_chunk_frames",
+]
 
 _TAG_NONE = b"N"
 _TAG_TRUE = b"T"
@@ -114,3 +133,86 @@ def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:
             items.append(item)
         return (items if tag == _TAG_LIST else tuple(items)), offset
     raise ValueError(f"unknown wire tag {tag!r} at offset {offset - 1}")
+
+
+# ----------------------------------------------------------------------
+# Chunked round framing
+# ----------------------------------------------------------------------
+#: Frame tag of one chunk of a streamed round.
+CHUNK_TAG = "chunk"
+#: Frame tag closing a streamed round (carries the chunk count).
+CHUNK_END_TAG = "chunk-end"
+
+
+def chunk_frame(index: int, payload: Any) -> tuple:
+    """Wrap one chunk payload as the ``index``-th frame of its round."""
+    return (CHUNK_TAG, index, payload)
+
+
+def chunk_end_frame(count: int) -> tuple:
+    """The terminal frame of a chunked round (total chunk count)."""
+    return (CHUNK_END_TAG, count)
+
+
+def is_chunk_frame(obj: Any) -> bool:
+    """Whether a decoded frame is a ``("chunk", index, payload)`` triple."""
+    return (
+        isinstance(obj, tuple)
+        and len(obj) == 3
+        and obj[0] == CHUNK_TAG
+        and isinstance(obj[1], int)
+    )
+
+
+def is_chunk_end(obj: Any) -> bool:
+    """Whether a decoded frame is a ``("chunk-end", count)`` pair."""
+    return (
+        isinstance(obj, tuple)
+        and len(obj) == 2
+        and obj[0] == CHUNK_END_TAG
+        and isinstance(obj[1], int)
+    )
+
+
+def fold_chunk_frames(frames: list) -> tuple[str, Any, int]:
+    """Classify a round's frame prefix.
+
+    ``frames`` is the (possibly still growing) list of data frames
+    belonging to one round, in arrival order. Returns
+    ``(status, payload, used)``:
+
+    * ``("single", wire, 1)`` - a legacy whole-round frame;
+    * ``("chunked", payloads, n)`` - a complete chunk sequence whose
+      ``chunk-end`` closed after ``n`` frames; ``payloads`` are the
+      chunk payloads in order;
+    * ``("partial", None, 0)`` - a chunk sequence still missing its
+      ``chunk-end`` (or no frames yet): keep receiving.
+
+    Raises:
+        ValueError: out-of-order chunk indices, a count mismatch in the
+            ``chunk-end``, or a whole-round frame mixed into a chunk
+            sequence - framing violations no retransmit can repair.
+    """
+    if not frames:
+        return ("partial", None, 0)
+    first = frames[0]
+    if not is_chunk_frame(first) and not is_chunk_end(first):
+        return ("single", first, 1)
+    payloads = []
+    for position, frame in enumerate(frames):
+        if is_chunk_end(frame):
+            if frame[1] != len(payloads):
+                raise ValueError(
+                    f"chunk-end declares {frame[1]} chunks, got {len(payloads)}"
+                )
+            return ("chunked", payloads, position + 1)
+        if not is_chunk_frame(frame):
+            raise ValueError(
+                "whole-round frame interleaved with a chunk sequence"
+            )
+        if frame[1] != len(payloads):
+            raise ValueError(
+                f"chunk index {frame[1]} out of order (expected {len(payloads)})"
+            )
+        payloads.append(frame[2])
+    return ("partial", None, 0)

@@ -243,6 +243,9 @@ class ProtocolServer:
         recorder: optional
             :class:`~repro.analysis.instrumentation.MetricsRecorder`;
             every finished session's stats are folded into its report.
+        chunk_size: when set, every hosted session streams chunkable
+            rounds in slices of this many items (and journaled
+            sessions must be recovered under the same value).
     """
 
     _REAP_POLL_S = 0.05
@@ -261,6 +264,7 @@ class ProtocolServer:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         backlog: int = 16,
         accept_poll_s: float = 0.1,
+        chunk_size: int | None = None,
     ):
         if isinstance(offers, Mapping):
             offers = [
@@ -287,6 +291,7 @@ class ProtocolServer:
         self.max_frame_bytes = max_frame_bytes
         self.backlog = backlog
         self.accept_poll_s = accept_poll_s
+        self.chunk_size = chunk_size
         self.sessions: dict[int, SessionRecord] = {}
         self.rejected_busy = 0
         self.quarantined: list[Path] = []
@@ -556,6 +561,7 @@ class ProtocolServer:
                     path, offer.params, offer.make_sender,
                     config=self.config, recorder=self.recorder,
                     fsync=self.journal_dir.fsync,
+                    chunk_size=self.chunk_size,
                 )
             if state is not None and state.complete:
                 # Crash landed between the completion record and the
@@ -572,6 +578,7 @@ class ProtocolServer:
             config=self.config,
             recorder=self.recorder,
             journal=journal,
+            chunk_size=self.chunk_size,
         )
 
     def _fail_start(

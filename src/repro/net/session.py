@@ -48,6 +48,16 @@ made durable before the session acts on it, so a killed *process* can
 be rebuilt to its exact resume cursor by
 :func:`repro.net.journal.recover_sender_session` /
 :func:`~repro.net.journal.recover_receiver_session`.
+
+With ``chunk_size`` set, chunkable rounds travel as a sequence of
+``("chunk", ...)`` data frames closed by a ``("chunk-end", n)`` frame
+(:mod:`repro.net.serialization`), each individually sequenced,
+acknowledged and journaled - so the resume cursor becomes
+``(round, chunk)``-granular: a reconnect or a recovered process
+restarts mid-round at the first chunk the peer lacks, and a round is
+durable only once its closing frame is journaled. Chunk production is
+double-buffered (:func:`repro.net.streaming.prefetch`): the crypto for
+chunk ``k+1`` overlaps the acknowledged send of chunk ``k``.
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ from typing import Any, Callable
 
 from . import serialization
 from .channel import ChannelClosed
+from .streaming import TimedIterator, prefetch
 
 __all__ = [
     "SESSION_VERSION",
@@ -178,6 +189,8 @@ class SessionStats:
     naks_sent: int = 0
     reconnects: int = 0
     replayed_frames: int = 0
+    chunks_sent: int = 0
+    chunks_received: int = 0
     rounds_computed: int = 0
     rounds_resumed: int = 0
     rounds_recovered: int = 0
@@ -211,6 +224,8 @@ class SessionStats:
             "naks_sent": self.naks_sent,
             "reconnects": self.reconnects,
             "replayed_frames": self.replayed_frames,
+            "chunks_sent": self.chunks_sent,
+            "chunks_received": self.chunks_received,
             "rounds_computed": self.rounds_computed,
             "rounds_resumed": self.rounds_resumed,
             "rounds_recovered": self.rounds_recovered,
@@ -498,7 +513,166 @@ def _split_journal(journal: Any) -> tuple[Any, Any]:
     )
 
 
-class SenderSession:
+class _RoundLog:
+    """Frame-granular round log shared by both session roles.
+
+    Frames (whole-round payloads, or chunk/chunk-end frames when
+    ``chunk_size`` streams a round) live in the flat ``_inbound`` /
+    ``_outbound`` lists; ``_in_rounds`` / ``_out_rounds`` hold the
+    cumulative frame count at each completed round boundary. That is
+    what makes the resume cursor chunk-granular: a reconnect or a
+    recovered process restarts mid-round at the first frame the peer
+    lacks, and a round is only *complete* once its closing frame is
+    logged. With ``chunk_size=None`` every round is exactly one frame
+    and the log degenerates to the original round-granular one.
+    """
+
+    #: Legacy receiver semantics: count a resumed round per replayed
+    #: frame. The sender instead counts one resume per reconnect.
+    _resumed_per_replay = False
+
+    def _append_outbound(self, frame: Any) -> None:
+        """Cache and journal one outgoing frame before it can be sent."""
+        self._outbound.append(frame)
+        if self.journal is not None:
+            self.journal.record_outbound(
+                len(self._outbound) - 1, serialization.encode(frame)
+            )
+
+    def _ship(self, endpoint: SessionEndpoint, bound: int) -> None:
+        """Send, in order, every cached frame below ``bound`` the peer
+        has not acknowledged."""
+        while endpoint.send_seq < bound:
+            seq = endpoint.send_seq
+            if seq in self._attempted_sends:
+                self.stats.replayed_frames += 1
+                if self._resumed_per_replay:
+                    self.stats.rounds_resumed += 1
+            self._attempted_sends.add(seq)
+            frame = self._outbound[seq]
+            if serialization.is_chunk_frame(frame):
+                self.stats.chunks_sent += 1
+            endpoint.send(frame)
+
+    def _produce_round(
+        self, endpoint: SessionEndpoint, machine: Any, rnd: Any, index: int
+    ) -> None:
+        """Compute (if new), journal and ship outbound round ``index``."""
+        if index >= len(self._out_rounds):
+            if (
+                self.chunk_size is not None
+                and rnd.chunkable
+                and rnd.chunk_step is not None
+            ):
+                self._produce_streaming(endpoint, machine, rnd)
+            else:
+                self._produce_whole(machine, rnd)
+            self._out_rounds.append(len(self._outbound))
+            self._pending_frames = None
+            self.stats.rounds_computed += 1
+        self._ship(endpoint, self._out_rounds[index])
+
+    def _produce_whole(self, machine: Any, rnd: Any) -> None:
+        """Compute a full round, then journal all its frames.
+
+        Used for unchunked rounds and for chunked rounds without an
+        incremental ``chunk_step`` - whose ``step`` may consume rng, so
+        it must run exactly once per process. ``_pending_frames`` keeps
+        the computed frames across an in-process retry of the journal
+        appends (a failed append must not recompute the round).
+        """
+        if self._pending_frames is None:
+            if self.chunk_size is not None and rnd.chunkable:
+                payloads = list(machine.produce_chunks(rnd, self.chunk_size))
+                frames: list = [
+                    serialization.chunk_frame(i, p)
+                    for i, p in enumerate(payloads)
+                ]
+                frames.append(serialization.chunk_end_frame(len(payloads)))
+            else:
+                frames = [machine.produce(rnd).to_wire()]
+            self._pending_frames = frames
+        base = self._out_rounds[-1] if self._out_rounds else 0
+        for frame in self._pending_frames[len(self._outbound) - base :]:
+            self._append_outbound(frame)
+
+    def _produce_streaming(
+        self, endpoint: SessionEndpoint, machine: Any, rnd: Any
+    ) -> None:
+        """Stream a round: journal and ship it chunk by chunk.
+
+        The chunk producer is rng-free and deterministic, so an
+        in-process retry recomputes the stream and skips the frames
+        already journaled. Production runs ahead on the prefetch
+        thread, overlapping chunk ``k+1``'s crypto with chunk ``k``'s
+        acknowledged send; the recorder (if any) gets the round's
+        produce/send/wall split for the pipeline-overlap report.
+        """
+        base = self._out_rounds[-1] if self._out_rounds else 0
+        already = len(self._outbound) - base
+        wall_start = time.perf_counter()
+        send_s = 0.0
+        timed = TimedIterator(machine.produce_chunks(rnd, self.chunk_size))
+        source = prefetch(timed)
+        count = 0
+        try:
+            for payload in source:
+                if count >= already:
+                    self._append_outbound(
+                        serialization.chunk_frame(count, payload)
+                    )
+                    begin = time.perf_counter()
+                    self._ship(endpoint, len(self._outbound))
+                    send_s += time.perf_counter() - begin
+                count += 1
+        finally:
+            source.close()
+        if already <= count:
+            self._append_outbound(serialization.chunk_end_frame(count))
+        if self.recorder is not None:
+            self.recorder.add_pipeline(
+                f"{machine.role}.{rnd.name}",
+                produce_s=timed.elapsed_s,
+                send_s=send_s,
+                wall_s=time.perf_counter() - wall_start,
+                chunks=count,
+            )
+
+    def _recv_round(
+        self, endpoint: SessionEndpoint, machine: Any, rnd: Any, index: int
+    ) -> None:
+        """Receive (if incomplete) and consume inbound round ``index``.
+
+        Frames a recovered process already journaled are folded first,
+        so receiving continues mid-round at the first missing chunk;
+        every new frame is journaled before the round can complete.
+        """
+        if index < len(self._in_rounds):
+            return
+        start = self._in_rounds[-1] if self._in_rounds else 0
+        while True:
+            status, payload, _used = serialization.fold_chunk_frames(
+                self._inbound[start:]
+            )
+            if status != "partial":
+                break
+            with machine.wait(rnd):
+                frame = endpoint.recv()
+            self._inbound.append(frame)
+            if serialization.is_chunk_frame(frame):
+                self.stats.chunks_received += 1
+            if self.journal is not None:
+                self.journal.record_inbound(
+                    len(self._inbound) - 1, serialization.encode(frame)
+                )
+        if status == "single":
+            machine.consume(rnd, payload)
+        else:
+            machine.consume_chunks(rnd, payload)
+        self._in_rounds.append(len(self._inbound))
+
+
+class SenderSession(_RoundLog):
     """Party S's resumable run: accept, hand-shake, serve, survive.
 
     The round log (inbound payloads received, outbound payloads
@@ -520,6 +694,7 @@ class SenderSession:
         rng: random.Random | None = None,
         recorder: Any = None,
         journal: Any = None,
+        chunk_size: int | None = None,
     ):
         from ..protocols.spec import get_spec
 
@@ -530,11 +705,15 @@ class SenderSession:
         self.rng = rng or random.Random(0)
         self.stats = SessionStats(protocol=protocol)
         self.recorder = recorder
+        self.chunk_size = chunk_size
         self._make_sender = make_sender
         self._machine: Any = None
         self._session_id: int | None = None
         self._inbound: list[Any] = []
         self._outbound: list[Any] = []
+        self._in_rounds: list[int] = []
+        self._out_rounds: list[int] = []
+        self._pending_frames: list[Any] | None = None
         self._attempted_sends: set[int] = set()
         self._complete = False
         self.journal, self._journal_dir = _split_journal(journal)
@@ -559,6 +738,8 @@ class SenderSession:
                 f"{journal.path}: a previous run already journaled rounds "
                 "for this session - recover it instead of restarting it"
             )
+        if self.chunk_size is not None:
+            journal.record_meta("chunk_size", self.chunk_size)
         self.journal = journal
 
     def _ensure_machine(self) -> Any:
@@ -682,38 +863,16 @@ class SenderSession:
     def _script(self, endpoint: SessionEndpoint, client_next_recv: int) -> Any:
         machine = self._ensure_machine()
         if client_next_recv < len(self._outbound):
-            # A reconnected client served from the cached round log.
+            # A reconnected client served from the cached frame log.
             self.stats.rounds_resumed += 1
         received = produced = 0
         for rnd in self.spec.rounds:
             if rnd.source == "R":
-                if received >= len(self._inbound):
-                    with machine.wait(rnd):
-                        payload = endpoint.recv()
-                    self._inbound.append(payload)
-                    if self.journal is not None:
-                        self.journal.record_inbound(
-                            received, serialization.encode(payload)
-                        )
-                    machine.consume(rnd, payload)
+                self._recv_round(endpoint, machine, rnd, received)
                 received += 1
             else:
-                if produced >= len(self._outbound):
-                    wire = machine.produce(rnd).to_wire()
-                    self._outbound.append(wire)
-                    if self.journal is not None:
-                        self.journal.record_outbound(
-                            produced, serialization.encode(wire)
-                        )
-                    self.stats.rounds_computed += 1
+                self._produce_round(endpoint, machine, rnd, produced)
                 produced += 1
-                # Ship, in order, every cached frame the client lacks.
-                while endpoint.send_seq < produced:
-                    seq = endpoint.send_seq
-                    if seq in self._attempted_sends:
-                        self.stats.replayed_frames += 1
-                    self._attempted_sends.add(seq)
-                    endpoint.send(self._outbound[seq])
         self._complete = True
         if self.journal is not None:
             if not self.journal.complete:
@@ -725,7 +884,7 @@ class SenderSession:
         return machine.state
 
 
-class ReceiverSession:
+class ReceiverSession(_RoundLog):
     """Party R's resumable run: connect, hand-shake, drive, reconnect.
 
     Like :class:`SenderSession`, R walks the protocol's registered
@@ -744,6 +903,7 @@ class ReceiverSession:
         session_id: int | None = None,
         recorder: Any = None,
         journal: Any = None,
+        chunk_size: int | None = None,
     ):
         from ..protocols.spec import get_spec
 
@@ -753,6 +913,7 @@ class ReceiverSession:
         self.rng = rng or random.Random()
         self.stats = SessionStats(protocol=protocol)
         self.recorder = recorder
+        self.chunk_size = chunk_size
         self.session_id = (
             session_id if session_id is not None else self.rng.getrandbits(63)
         )
@@ -761,6 +922,9 @@ class ReceiverSession:
         self._params_wire: tuple | None = None
         self._inbound: list[Any] = []
         self._outbound: list[Any] = []
+        self._in_rounds: list[int] = []
+        self._out_rounds: list[int] = []
+        self._pending_frames: list[Any] | None = None
         self._attempted_sends: set[int] = set()
         self.journal, journal_dir = _split_journal(journal)
         if journal_dir is not None:
@@ -776,6 +940,8 @@ class ReceiverSession:
                     f"{opened.path}: a previous run already journaled "
                     "rounds for this session - recover it instead"
                 )
+            if self.chunk_size is not None:
+                opened.record_meta("chunk_size", self.chunk_size)
             self.journal = opened
 
     def _ensure_machine(self) -> Any:
@@ -891,11 +1057,8 @@ class ReceiverSession:
             raise HandshakeError(
                 "server changed public parameters across a resume"
             )
-        rounds_from_r = sum(
-            1 for rnd in self.spec.rounds if rnd.source == "R"
-        )
         if not isinstance(server_next_recv, int) or not (
-            0 <= server_next_recv <= rounds_from_r
+            0 <= server_next_recv <= len(self._outbound)
         ):
             raise SessionError(
                 f"implausible server cursor {server_next_recv!r}"
@@ -909,39 +1072,19 @@ class ReceiverSession:
             recv_seq=next_recv,
         )
 
+    #: Legacy stat semantics: R counts a resumed round per replayed frame.
+    _resumed_per_replay = True
+
     def _script(self, endpoint: SessionEndpoint) -> Any:
         machine = self._ensure_machine()
         machine.ensure_state()
         sent = received = 0
         for rnd in self.spec.rounds:
             if rnd.source == "R":
-                if sent >= len(self._outbound):
-                    wire = machine.produce(rnd).to_wire()
-                    self._outbound.append(wire)
-                    if self.journal is not None:
-                        self.journal.record_outbound(
-                            sent, serialization.encode(wire)
-                        )
-                    self.stats.rounds_computed += 1
+                self._produce_round(endpoint, machine, rnd, sent)
                 sent += 1
-                # Ship, in order, every cached frame the server lacks.
-                while endpoint.send_seq < sent:
-                    seq = endpoint.send_seq
-                    if seq in self._attempted_sends:
-                        self.stats.replayed_frames += 1
-                        self.stats.rounds_resumed += 1
-                    self._attempted_sends.add(seq)
-                    endpoint.send(self._outbound[seq])
             else:
-                if received >= len(self._inbound):
-                    with machine.wait(rnd):
-                        payload = endpoint.recv()
-                    self._inbound.append(payload)
-                    if self.journal is not None:
-                        self.journal.record_inbound(
-                            received, serialization.encode(payload)
-                        )
-                    machine.consume(rnd, payload)
+                self._recv_round(endpoint, machine, rnd, received)
                 received += 1
         answer = machine.finish()
         if self.journal is not None:

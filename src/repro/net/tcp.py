@@ -19,14 +19,21 @@ Two families of drivers cover every protocol in the registry:
 * :func:`serve`/:func:`connect` speak the original one-shot handshake
   (the sender ships its
   :class:`~repro.protocols.parties.PublicParams`, the spec's rounds
-  follow in order, any failure aborts the run); the protocol-specific
-  ``serve_*``/``connect_*`` helpers are thin deprecated shims over
-  them, kept for source compatibility;
+  follow in order, any failure aborts the run);
 * :func:`serve_resumable_sender`/:func:`connect_resumable_receiver`
   run the same round schedule under the fault-tolerant session layer
   of :mod:`repro.net.session` - checksummed, acknowledged frames,
   retry with backoff, and resumption from the last acknowledged round
   after a dropped connection.
+
+All four take ``chunk_size``: when set, chunkable rounds ship as a
+stream of ``("chunk", ...)`` frames (:mod:`repro.net.serialization`)
+instead of one whole-round frame, holding at most O(chunk_size)
+payload in memory per frame, and chunk production is double-buffered
+(:func:`repro.net.streaming.prefetch`) so the crypto for chunk ``k+1``
+overlaps the send of chunk ``k``. Receivers auto-detect chunked
+rounds, so ``chunk_size`` is a per-party local choice; the default
+``None`` reproduces the legacy wire format byte for byte.
 """
 
 from __future__ import annotations
@@ -34,9 +41,9 @@ from __future__ import annotations
 import random
 import socket
 import struct
-import warnings
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Mapping, Sequence
+from typing import Any, Callable
 
 from ..protocols.parties import PublicParams, ReceiverMachine, SenderMachine
 from ..protocols.spec import PROTOCOLS, ProtocolSpec, get_spec
@@ -47,6 +54,7 @@ from .session import (
     SessionConfig,
     SessionStats,
 )
+from .streaming import TimedIterator, prefetch
 
 __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
@@ -54,14 +62,6 @@ __all__ = [
     "SocketEndpoint",
     "serve",
     "connect",
-    "serve_intersection_sender",
-    "connect_intersection_receiver",
-    "serve_intersection_size_sender",
-    "connect_intersection_size_receiver",
-    "serve_equijoin_sender",
-    "connect_equijoin_receiver",
-    "serve_equijoin_size_sender",
-    "connect_equijoin_size_receiver",
     "SESSION_PROTOCOLS",
     "serve_resumable_sender",
     "connect_resumable_receiver",
@@ -205,6 +205,63 @@ def _dial(
 
 
 # ----------------------------------------------------------------------
+# Round shipping shared by both parties of the one-shot drivers
+# ----------------------------------------------------------------------
+def _send_round(
+    transport: Any,
+    machine: Any,
+    rnd: Any,
+    chunk_size: int | None,
+    recorder: Any,
+) -> None:
+    """Ship one outgoing round, chunked and pipelined when enabled.
+
+    The chunk producer runs one step ahead on the prefetch thread, so
+    while frame ``k`` is in ``transport.send`` the crypto for chunk
+    ``k+1`` is already underway; the recorder (if any) gets the round's
+    produce/send/wall split for the pipeline-overlap report.
+    """
+    if chunk_size is None or not rnd.chunkable:
+        transport.send(machine.produce(rnd).to_wire())
+        return
+    wall_start = time.perf_counter()
+    timed = TimedIterator(machine.produce_chunks(rnd, chunk_size))
+    send_s = 0.0
+    count = 0
+    for payload in prefetch(timed):
+        start = time.perf_counter()
+        transport.send(serialization.chunk_frame(count, payload))
+        send_s += time.perf_counter() - start
+        count += 1
+    start = time.perf_counter()
+    transport.send(serialization.chunk_end_frame(count))
+    send_s += time.perf_counter() - start
+    if recorder is not None:
+        recorder.add_pipeline(
+            f"{machine.role}.{rnd.name}",
+            produce_s=timed.elapsed_s,
+            send_s=send_s,
+            wall_s=time.perf_counter() - wall_start,
+            chunks=count,
+        )
+
+
+def _recv_round(transport: Any, machine: Any, rnd: Any) -> None:
+    """Receive one round, whole-frame or chunked (auto-detected)."""
+    frames: list = []
+    while True:
+        with machine.wait(rnd):
+            frames.append(transport.recv())
+        status, payload, _used = serialization.fold_chunk_frames(frames)
+        if status == "single":
+            machine.consume(rnd, payload)
+            return
+        if status == "chunked":
+            machine.consume_chunks(rnd, payload)
+            return
+
+
+# ----------------------------------------------------------------------
 # Plain one-shot runs (original handshake; any failure aborts)
 # ----------------------------------------------------------------------
 def serve(
@@ -220,6 +277,7 @@ def serve(
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     engine=None,
     recorder=None,
+    chunk_size: int | None = None,
 ) -> int:
     """Run party S of any registered protocol as a TCP server.
 
@@ -235,7 +293,8 @@ def serve(
         params: the public parameters shipped in the handshake.
         rng: S's private randomness.
         ready_callback: called with the bound port once listening -
-            pass the port to the client thread/process.
+            with ``port=0`` this is the actual kernel-assigned port;
+            pass it to the client thread/process.
         timeout: bounds both the wait for a client and each socket read.
         endpoint_wrapper: wraps the accepted connection (e.g. a
             :class:`~repro.net.faults.FaultyEndpoint` constructor).
@@ -243,6 +302,9 @@ def serve(
             (:mod:`repro.crypto.engine`).
         recorder: per-phase metrics collector
             (:class:`repro.analysis.instrumentation.MetricsRecorder`).
+        chunk_size: stream chunkable outgoing rounds in frames of at
+            most this many elements (``None`` = legacy whole-round
+            frames, byte-identical to earlier releases).
     """
     spec = get_spec(protocol)
     transport = _accept_one(
@@ -257,11 +319,9 @@ def serve(
         machine.ensure_state()
         for rnd in spec.rounds:
             if rnd.source == "R":
-                with machine.wait(rnd):
-                    wire = transport.recv()
-                machine.consume(rnd, wire)
+                _recv_round(transport, machine, rnd)
             else:
-                transport.send(machine.produce(rnd).to_wire())
+                _send_round(transport, machine, rnd, chunk_size, recorder)
         return machine.state.size_v_r
     finally:
         transport.close()
@@ -278,13 +338,16 @@ def connect(
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     engine=None,
     recorder=None,
+    chunk_size: int | None = None,
 ) -> Any:
     """Run party R of any registered protocol as a TCP client.
 
     The server's handshake carries the public parameters, so R needs
     no out-of-band setup beyond the address. Returns the protocol's
     answer for R (set, size, ext mapping, or aggregate - whatever the
-    spec's ``finish`` computes).
+    spec's ``finish`` computes). ``chunk_size`` streams R's chunkable
+    outgoing rounds (see :func:`serve`); inbound chunking is
+    auto-detected regardless.
     """
     spec = get_spec(protocol)
     endpoint = _dial(host, port, timeout, max_frame_bytes)
@@ -311,205 +374,12 @@ def connect(
         machine.ensure_state()
         for rnd in spec.rounds:
             if rnd.source == "R":
-                transport.send(machine.produce(rnd).to_wire())
+                _send_round(transport, machine, rnd, chunk_size, recorder)
             else:
-                with machine.wait(rnd):
-                    wire = transport.recv()
-                machine.consume(rnd, wire)
+                _recv_round(transport, machine, rnd)
         return machine.finish()
     finally:
         transport.close()
-
-
-# ----------------------------------------------------------------------
-# Deprecated per-protocol shims (kept for source compatibility)
-# ----------------------------------------------------------------------
-#: Shim names that have already warned this process (warn-once guard).
-_DEPRECATION_WARNED: set[str] = set()
-
-
-def _warn_deprecated(name: str, replacement: str) -> None:
-    """One ``DeprecationWarning`` per shim per process, not per call."""
-    if name in _DEPRECATION_WARNED:
-        return
-    _DEPRECATION_WARNED.add(name)
-    warnings.warn(
-        f"{name}() is deprecated; use {replacement}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def serve_intersection_sender(
-    v_s: Sequence[Hashable],
-    params: PublicParams,
-    rng: random.Random,
-    host: str = "127.0.0.1",
-    port: int = 0,
-    ready_callback=None,
-    timeout: float | None = None,
-    engine=None,
-    recorder=None,
-    **kwargs: Any,
-) -> int:
-    """Deprecated: use ``serve("intersection", ...)``."""
-    _warn_deprecated("serve_intersection_sender", 'serve("intersection", ...)')
-    return serve(
-        "intersection", v_s, params, rng, host=host, port=port,
-        ready_callback=ready_callback, timeout=timeout,
-        engine=engine, recorder=recorder, **kwargs,
-    )
-
-
-def connect_intersection_receiver(
-    v_r: Sequence[Hashable],
-    rng: random.Random,
-    host: str,
-    port: int,
-    timeout: float | None = None,
-    engine=None,
-    recorder=None,
-    **kwargs: Any,
-) -> set[Hashable]:
-    """Deprecated: use ``connect("intersection", ...)``."""
-    _warn_deprecated(
-        "connect_intersection_receiver", 'connect("intersection", ...)'
-    )
-    answer = connect(
-        "intersection", v_r, rng, host, port, timeout=timeout,
-        engine=engine, recorder=recorder, **kwargs,
-    )
-    return set(answer)
-
-
-def serve_intersection_size_sender(
-    v_s: Sequence[Hashable],
-    params: PublicParams,
-    rng: random.Random,
-    host: str = "127.0.0.1",
-    port: int = 0,
-    ready_callback=None,
-    timeout: float | None = None,
-    engine=None,
-    recorder=None,
-    **kwargs: Any,
-) -> int:
-    """Deprecated: use ``serve("intersection-size", ...)``."""
-    _warn_deprecated(
-        "serve_intersection_size_sender", 'serve("intersection-size", ...)'
-    )
-    return serve(
-        "intersection-size", v_s, params, rng, host=host, port=port,
-        ready_callback=ready_callback, timeout=timeout,
-        engine=engine, recorder=recorder, **kwargs,
-    )
-
-
-def connect_intersection_size_receiver(
-    v_r: Sequence[Hashable],
-    rng: random.Random,
-    host: str,
-    port: int,
-    timeout: float | None = None,
-    engine=None,
-    recorder=None,
-    **kwargs: Any,
-) -> int:
-    """Deprecated: use ``connect("intersection-size", ...)``."""
-    _warn_deprecated(
-        "connect_intersection_size_receiver",
-        'connect("intersection-size", ...)',
-    )
-    return connect(
-        "intersection-size", v_r, rng, host, port, timeout=timeout,
-        engine=engine, recorder=recorder, **kwargs,
-    )
-
-
-def serve_equijoin_sender(
-    ext_s: Mapping[Hashable, bytes],
-    params: PublicParams,
-    rng: random.Random,
-    host: str = "127.0.0.1",
-    port: int = 0,
-    ready_callback=None,
-    timeout: float | None = None,
-    engine=None,
-    recorder=None,
-    **kwargs: Any,
-) -> int:
-    """Deprecated: use ``serve("equijoin", ...)``.
-
-    ``ext_s`` maps each of S's values to its ``ext(v)`` payload bytes
-    (the records R obtains for values in the intersection).
-    """
-    _warn_deprecated("serve_equijoin_sender", 'serve("equijoin", ...)')
-    return serve(
-        "equijoin", ext_s, params, rng, host=host, port=port,
-        ready_callback=ready_callback, timeout=timeout,
-        engine=engine, recorder=recorder, **kwargs,
-    )
-
-
-def connect_equijoin_receiver(
-    v_r: Sequence[Hashable],
-    rng: random.Random,
-    host: str,
-    port: int,
-    timeout: float | None = None,
-    engine=None,
-    recorder=None,
-    **kwargs: Any,
-) -> dict[Hashable, bytes]:
-    """Deprecated: use ``connect("equijoin", ...)``."""
-    _warn_deprecated("connect_equijoin_receiver", 'connect("equijoin", ...)')
-    return connect(
-        "equijoin", v_r, rng, host, port, timeout=timeout,
-        engine=engine, recorder=recorder, **kwargs,
-    )
-
-
-def serve_equijoin_size_sender(
-    v_s: Sequence[Hashable],
-    params: PublicParams,
-    rng: random.Random,
-    host: str = "127.0.0.1",
-    port: int = 0,
-    ready_callback=None,
-    timeout: float | None = None,
-    engine=None,
-    recorder=None,
-    **kwargs: Any,
-) -> int:
-    """Deprecated: use ``serve("equijoin-size", ...)`` (multiset input)."""
-    _warn_deprecated(
-        "serve_equijoin_size_sender", 'serve("equijoin-size", ...)'
-    )
-    return serve(
-        "equijoin-size", v_s, params, rng, host=host, port=port,
-        ready_callback=ready_callback, timeout=timeout,
-        engine=engine, recorder=recorder, **kwargs,
-    )
-
-
-def connect_equijoin_size_receiver(
-    v_r: Sequence[Hashable],
-    rng: random.Random,
-    host: str,
-    port: int,
-    timeout: float | None = None,
-    engine=None,
-    recorder=None,
-    **kwargs: Any,
-) -> int:
-    """Deprecated: use ``connect("equijoin-size", ...)`` (multiset input)."""
-    _warn_deprecated(
-        "connect_equijoin_size_receiver", 'connect("equijoin-size", ...)'
-    )
-    return connect(
-        "equijoin-size", v_r, rng, host, port, timeout=timeout,
-        engine=engine, recorder=recorder, **kwargs,
-    )
 
 
 # ----------------------------------------------------------------------
@@ -539,6 +409,7 @@ def serve_resumable_sender(
     recorder=None,
     journal_dir: Any = None,
     journal_fsync: bool = True,
+    chunk_size: int | None = None,
 ) -> tuple[int, SessionStats]:
     """Serve party S of any registered protocol under the session layer.
 
@@ -548,14 +419,17 @@ def serve_resumable_sender(
     :class:`~repro.net.faults.FaultyEndpoint` constructor) wraps every
     accepted connection - that is how the chaos tests inject faults.
     ``engine`` selects the batch-crypto execution strategy;
-    ``recorder`` collects per-phase metrics.
+    ``recorder`` collects per-phase metrics. ``chunk_size`` streams
+    chunkable outgoing rounds as acknowledged chunk frames, making the
+    resume cursor chunk-granular (a reconnect or recovery restarts
+    mid-round at the last acknowledged chunk).
 
-    With a ``journal_dir``, every round is journaled to disk
+    With a ``journal_dir``, every frame is journaled to disk
     (:mod:`repro.net.journal`) before it is acted on, and a restart
     against the same directory *recovers* the oldest incomplete run for
-    this protocol instead of starting a fresh one - provided ``data``
-    and ``rng`` are seeded exactly as in the crashed process (replay
-    verifies this byte-for-byte).
+    this protocol instead of starting a fresh one - provided ``data``,
+    ``rng`` *and* ``chunk_size`` match the crashed process (replay
+    verifies the bytes exactly).
     """
     config = config or SessionConfig()
     spec = get_spec(protocol)
@@ -578,7 +452,7 @@ def serve_resumable_sender(
             session = recover_sender_session(
                 stale[0], params, make_sender,
                 config=config, rng=session_rng, recorder=recorder,
-                fsync=journal_dir.fsync,
+                fsync=journal_dir.fsync, chunk_size=chunk_size,
             )
     if session is None:
         session = SenderSession(
@@ -589,6 +463,7 @@ def serve_resumable_sender(
             rng=session_rng,
             recorder=recorder,
             journal=journal_dir,
+            chunk_size=chunk_size,
         )
     listener = _listen(
         host, port, config.timeout_s * config.retry.max_attempts
@@ -627,6 +502,7 @@ def connect_resumable_receiver(
     recorder=None,
     journal_dir: Any = None,
     journal_fsync: bool = True,
+    chunk_size: int | None = None,
 ) -> tuple[Any, SessionStats]:
     """Run party R of any registered protocol under the session layer.
 
@@ -635,7 +511,8 @@ def connect_resumable_receiver(
     ``(answer, session stats)`` where the answer is the protocol's
     output for R (set, size, ext mapping, or aggregate). ``engine``
     selects the batch-crypto execution strategy; ``recorder`` collects
-    per-phase metrics.
+    per-phase metrics; ``chunk_size`` streams R's chunkable outgoing
+    rounds as acknowledged chunk frames (chunk-granular resume).
 
     With a ``journal_dir``, rounds are journaled and a restart against
     the same directory recovers the oldest incomplete receiver run for
@@ -663,7 +540,7 @@ def connect_resumable_receiver(
             session = recover_receiver_session(
                 stale[0], make_receiver,
                 config=config, rng=session_rng, recorder=recorder,
-                fsync=journal_dir.fsync,
+                fsync=journal_dir.fsync, chunk_size=chunk_size,
             )
     if session is None:
         session = ReceiverSession(
@@ -673,6 +550,7 @@ def connect_resumable_receiver(
             rng=session_rng,
             recorder=recorder,
             journal=journal_dir,
+            chunk_size=chunk_size,
         )
 
     def dial() -> Any:

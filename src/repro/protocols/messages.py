@@ -16,15 +16,26 @@ container choices are load-bearing — the golden-transcript fixture
 
 Messages iterate over their parts, so legacy tuple unpacking such as
 ``y_s, pairs = sender.round1(m1)`` keeps working on typed replies.
+
+Streaming: every message can also be split into an ordered sequence of
+*chunk payloads* (:meth:`Message.to_wire_chunks`) and reassembled from
+them (:meth:`Message.from_wire_chunks` / :class:`ChunkAssembler`).  A
+chunk payload is ``(part_index, kind, body)``: list-typed parts ship as
+``"seg"`` slices of at most ``chunk_size`` elements, scalar parts as a
+single ``"one"`` chunk, and messages with composite parts (e.g.
+:class:`SumReply`) define their own kinds.  Reassembly is exact: the
+message rebuilt from chunks has byte-identical :meth:`Message.to_wire`
+output, which the golden-transcript suite pins.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 __all__ = [
     "Message",
+    "ChunkAssembler",
     "CipherList",
     "IntersectionReply",
     "SizeReply",
@@ -79,6 +90,113 @@ class Message:
     def __iter__(self) -> Iterator[Any]:
         """Iterate over wire parts (legacy tuple-unpacking support)."""
         return iter(self.to_parts())
+
+    # ------------------------------------------------------------------
+    # Chunked (streamed) wire form
+    # ------------------------------------------------------------------
+    def to_part_chunks(
+        self, index: int, value: Any, chunk_size: int
+    ) -> Iterator[tuple[str, Any]]:
+        """Split one part into ``(kind, body)`` chunks.
+
+        List parts yield ``"seg"`` slices of at most ``chunk_size``
+        elements (an empty list yields one empty segment, so every part
+        contributes at least one chunk); any other part ships whole as
+        a single ``"one"`` chunk. Messages with composite parts
+        override this per part.
+        """
+        if isinstance(value, list):
+            if not value:
+                yield ("seg", [])
+                return
+            for start in range(0, len(value), chunk_size):
+                yield ("seg", value[start : start + chunk_size])
+            return
+        yield ("one", value)
+
+    @classmethod
+    def from_part_chunks(cls, index: int, chunks: list[tuple[str, Any]]) -> Any:
+        """Rebuild one part value from its ``(kind, body)`` chunks."""
+        if not chunks:
+            raise ValueError(f"no chunks received for part {index}")
+        if chunks[0][0] == "one":
+            if len(chunks) != 1:
+                raise ValueError(f"part {index}: extra chunks after 'one'")
+            return chunks[0][1]
+        part: list = []
+        for kind, body in chunks:
+            if kind != "seg" or not isinstance(body, list):
+                raise ValueError(f"part {index}: unknown chunk kind {kind!r}")
+            part.extend(body)
+        return part
+
+    def to_wire_chunks(self, chunk_size: int) -> Iterator[tuple[int, str, Any]]:
+        """The message as an ordered stream of chunk payloads.
+
+        Parts are emitted in wire order; each chunk payload is
+        ``(part_index, kind, body)``. Reassembling the stream with
+        :meth:`from_wire_chunks` reproduces this message exactly.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for index, value in enumerate(self.to_parts()):
+            for kind, body in self.to_part_chunks(index, value, chunk_size):
+                yield (index, kind, body)
+
+    @classmethod
+    def from_wire_chunks(cls, payloads: Iterable[tuple]) -> "Message":
+        """Reassemble a message from :meth:`to_wire_chunks` output."""
+        assembler = ChunkAssembler(cls)
+        for payload in payloads:
+            assembler.add(payload)
+        return assembler.message()
+
+
+class ChunkAssembler:
+    """Incremental consumer of one round's chunk payload stream.
+
+    Feed chunk payloads in arrival order with :meth:`add`; call
+    :meth:`message` once the round's terminal frame has been seen.
+    Validates part ordering (chunks of part ``k`` may not arrive after
+    part ``k+1`` opened) but leaves chunk *sequencing* to the transport
+    - frames arrive in order under both the plain TCP driver and the
+    session layer's seq-ack machinery.
+    """
+
+    def __init__(self, message_cls: type[Message]):
+        self.message_cls = message_cls
+        self._n_parts = len(fields(message_cls))  # type: ignore[arg-type]
+        self._chunks: list[list[tuple[str, Any]]] = [
+            [] for _ in range(self._n_parts)
+        ]
+        self._open_part = 0
+
+    def add(self, payload: Any) -> None:
+        """Accept one ``(part_index, kind, body)`` chunk payload."""
+        if not isinstance(payload, tuple) or len(payload) != 3:
+            raise ValueError(f"malformed chunk payload: {payload!r}")
+        index, kind, body = payload
+        if not isinstance(index, int) or not 0 <= index < self._n_parts:
+            raise ValueError(
+                f"chunk part index {index!r} outside "
+                f"{self.message_cls.__name__}'s {self._n_parts} parts"
+            )
+        if not isinstance(kind, str):
+            raise ValueError(f"chunk kind must be a string, got {kind!r}")
+        if index < self._open_part:
+            raise ValueError(
+                f"chunk for part {index} after part {self._open_part} opened"
+            )
+        self._open_part = index
+        self._chunks[index].append((kind, body))
+
+    def message(self) -> Message:
+        """Assemble the completed message (all parts present)."""
+        parts = tuple(
+            self.message_cls.from_part_chunks(index, chunks)
+            for index, chunks in enumerate(self._chunks)
+        )
+        return self.message_cls.from_parts(parts)
 
 
 @dataclass(frozen=True)
@@ -171,6 +289,40 @@ class SumReply(Message):
     def n(self) -> int:
         """The sender's Paillier public modulus."""
         return self.z_r_pk[1]
+
+    def to_part_chunks(
+        self, index: int, value: Any, chunk_size: int
+    ) -> Iterator[tuple[str, Any]]:
+        """Stream the composite first part: ``Z_R`` as segments, then
+        the Paillier modulus as its own ``"pk"`` chunk - keeping every
+        frame O(chunk_size) even though the part is a tuple."""
+        if index != 0:
+            yield from super().to_part_chunks(index, value, chunk_size)
+            return
+        z_r, n = value
+        if not z_r:
+            yield ("seg", [])
+        else:
+            for start in range(0, len(z_r), chunk_size):
+                yield ("seg", z_r[start : start + chunk_size])
+        yield ("pk", n)
+
+    @classmethod
+    def from_part_chunks(cls, index: int, chunks: list[tuple[str, Any]]) -> Any:
+        if index != 0:
+            return super().from_part_chunks(index, chunks)
+        z_r: list = []
+        n = None
+        for kind, body in chunks:
+            if kind == "seg" and isinstance(body, list):
+                z_r.extend(body)
+            elif kind == "pk":
+                n = body
+            else:
+                raise ValueError(f"part 0: unknown chunk kind {kind!r}")
+        if n is None:
+            raise ValueError("part 0: missing 'pk' chunk")
+        return (z_r, n)
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,7 @@ from ..crypto.paillier import PaillierPublicKey, generate_keypair
 from .base import HashCollisionError, sorted_ciphertexts
 from .messages import (
     BlindedSum,
+    ChunkAssembler,
     CipherList,
     EquijoinReply,
     IntersectionReply,
@@ -608,9 +609,54 @@ class _Machine:
         self.inbox[rnd.name] = message
         return message
 
+    def produce_chunks(self, rnd: Any, chunk_size: int) -> Any:
+        """Compute this role's next round as a stream of chunk payloads.
+
+        Yields ``(part_index, kind, body)`` chunk payloads in wire
+        order. Rounds with a registered ``chunk_step`` stream
+        incrementally - the chunk for segment *k+1* is only computed
+        when the consumer pulls it, so a double-buffering transport
+        overlaps its crypto with the wire. Rounds without one compute
+        the full message first and split it. Either way the assembled
+        message lands in the inbox exactly as :meth:`produce` would
+        have put it (the generator must be driven to exhaustion).
+        """
+        state = self.ensure_state()
+        self._rounds_produced += 1
+        phase = f"round{self._rounds_produced}"
+        chunk_step = getattr(rnd, "chunk_step", None)
+        if chunk_step is None:
+            with self._phase(phase):
+                message = rnd.step(state, self.inbox)
+                if not isinstance(message, rnd.message):
+                    message = rnd.message.coerce(message)
+            self.inbox[rnd.name] = message
+            yield from message.to_wire_chunks(chunk_size)
+            return
+        source = chunk_step(state, self.inbox, chunk_size)
+        assembler = ChunkAssembler(rnd.message)
+        while True:
+            # Re-enter the round phase per chunk so the recorder
+            # attributes each chunk's crypto individually (its call
+            # count is the chunk count).
+            with self._phase(phase):
+                try:
+                    payload = next(source)
+                except StopIteration:
+                    break
+            assembler.add(payload)
+            yield payload
+        self.inbox[rnd.name] = assembler.message()
+
     def consume(self, rnd: Any, wire: Any) -> Message:
         """Decode a received single-frame wire payload into the inbox."""
         message = rnd.message.from_wire(wire)
+        self.inbox[rnd.name] = message
+        return message
+
+    def consume_chunks(self, rnd: Any, payloads: Sequence[Any]) -> Message:
+        """Reassemble a received chunk payload stream into the inbox."""
+        message = rnd.message.from_wire_chunks(payloads)
         self.inbox[rnd.name] = message
         return message
 

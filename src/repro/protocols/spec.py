@@ -27,8 +27,9 @@ simulator audit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
+from .base import sorted_ciphertexts
 from .messages import (
     BlindedSum,
     CipherList,
@@ -75,6 +76,20 @@ class RoundSpec:
             typed messages.
         parts: per-part transcript labels (the paper's step numbers),
             one per message field, in wire order.
+        chunkable: whether this round's payload may be streamed as
+            fixed-size chunks. The logical payload is unchanged - a
+            chunked transmission reassembles to byte-identical wire
+            form - so only rounds whose payload scales with a set size
+            opt in.
+        chunk_step: optional streaming producer
+            ``chunk_step(state, inbox, chunk_size) -> iterator of
+            (part_index, kind, body)`` chunk payloads. When present,
+            the interpreters drive it instead of ``step`` on chunked
+            runs, so crypto for chunk *k+1* can overlap the transmission
+            of chunk *k*. It must reproduce ``step``'s message and state
+            side effects exactly (the golden-transcript suite pins
+            this); rounds without one fall back to computing the full
+            message and splitting it.
     """
 
     name: str
@@ -82,6 +97,8 @@ class RoundSpec:
     message: type[Message]
     step: Callable[[Any, Mapping[str, Message]], Message]
     parts: tuple[str, ...]
+    chunkable: bool = False
+    chunk_step: Callable[[Any, Mapping[str, Message], int], Iterator[tuple]] | None = None
 
 
 @dataclass(frozen=True)
@@ -187,15 +204,121 @@ def _finish_m4(state: Any, inbox: Mapping[str, Message]) -> Any:
     return state.finish(inbox["m4"])
 
 
+# ----------------------------------------------------------------------
+# Streaming chunk producers
+#
+# Each reproduces its round's ``step`` byte-for-byte (same crypto calls
+# on the same inputs - the ciphers are deterministic) while yielding
+# the payload as chunk streams, so the transport can ship chunk k while
+# the CryptoEngine is still exponentiating chunk k+1. Sorted parts
+# (``sorted_ciphertexts``) cannot *emit* before all their crypto is
+# done - a privacy requirement, the reorder is what unlinks ciphertexts
+# from the inbound order - so their modexp is instead interleaved with
+# the emission of earlier parts.
+# ----------------------------------------------------------------------
+def _segments(items: list, chunk_size: int) -> Iterator[list]:
+    """Slices of at most ``chunk_size``; an empty list yields one empty
+    segment (every part contributes at least one chunk)."""
+    if not items:
+        yield []
+        return
+    for start in range(0, len(items), chunk_size):
+        yield items[start : start + chunk_size]
+
+
+def _size_reply_chunks(
+    state: Any, y_s: list, y_r: list, chunk_size: int
+) -> Iterator[tuple]:
+    """Stream a :class:`SizeReply`: ``y_s`` segments first, with one
+    chunk of ``Z_R``'s encryption cranked between each emission so the
+    expensive modexp overlaps the wire instead of following it."""
+    pending = [y_r[i : i + chunk_size] for i in range(0, len(y_r), chunk_size)]
+    z_parts: list = []
+
+    def crank() -> None:
+        if pending:
+            z_parts.extend(state.cipher.encrypt_many(state._key, pending.pop(0)))
+
+    for segment in _segments(y_s, chunk_size):
+        yield (0, "seg", segment)
+        crank()
+    while pending:
+        crank()
+    for segment in _segments(sorted_ciphertexts(z_parts), chunk_size):
+        yield (1, "seg", segment)
+
+
+def _intersection_m2_chunks(
+    state: Any, inbox: Mapping[str, Message], chunk_size: int
+) -> Iterator[tuple]:
+    """Stream S's :class:`IntersectionReply`: the sorted ``Y_S`` part,
+    then the ``⟨y, f_eS(y)⟩`` pairs encrypted chunk-by-chunk in ``Y_R``
+    order - each pairs chunk's modexp overlaps its predecessor's
+    transmission."""
+    y_r = list(CipherList.coerce(inbox["m1"]))
+    state.size_v_r = len(y_r)
+    y_s = sorted_ciphertexts(state.cipher.encrypt_many(state._key, state._hashes))
+    for segment in _segments(y_s, chunk_size):
+        yield (0, "seg", segment)
+    for segment in _segments(y_r, chunk_size):
+        encrypted = state.cipher.encrypt_many(state._key, segment)
+        yield (1, "seg", list(zip(segment, encrypted)))
+
+
+def _intersection_size_m2_chunks(
+    state: Any, inbox: Mapping[str, Message], chunk_size: int
+) -> Iterator[tuple]:
+    y_r = list(CipherList.coerce(inbox["m1"]))
+    state.size_v_r = len(y_r)
+    y_s = sorted_ciphertexts(state.cipher.encrypt_many(state._key, state._hashes))
+    yield from _size_reply_chunks(state, y_s, y_r, chunk_size)
+
+
+def _equijoin_size_m2_chunks(
+    state: Any, inbox: Mapping[str, Message], chunk_size: int
+) -> Iterator[tuple]:
+    y_r = list(CipherList.coerce(inbox["m1"]))
+    state.size_v_r = len(y_r)
+    state._y_r_received = y_r
+    y_s = sorted_ciphertexts(list(state._y_multiset))
+    yield from _size_reply_chunks(state, y_s, y_r, chunk_size)
+
+
+def _equijoin_m2_chunks(
+    state: Any, inbox: Mapping[str, Message], chunk_size: int
+) -> Iterator[tuple]:
+    """Stream S's :class:`EquijoinReply`: triples chunk-by-chunk over
+    ``Y_R`` (three modexp batches per chunk, overlapping the wire),
+    then the sorted codeword pairs."""
+    y_r = list(CipherList.coerce(inbox["m1"]))
+    state.size_v_r = len(y_r)
+    for segment in _segments(y_r, chunk_size):
+        second = state.cipher.encrypt_many(state._key, segment)
+        third = state.cipher.encrypt_many(state._key_prime, segment)
+        yield (0, "seg", list(zip(segment, second, third)))
+    codewords = state.cipher.encrypt_many(state._key, state._hashes)
+    kappas = state.cipher.encrypt_many(state._key_prime, state._hashes)
+    pairs = sorted(
+        (codeword, state._ext_cipher.encrypt(kappa, state.ext[v]))
+        for v, codeword, kappa in zip(state.values, codewords, kappas)
+    )
+    for segment in _segments(pairs, chunk_size):
+        yield (1, "seg", segment)
+
+
 INTERSECTION = register(
     ProtocolSpec(
         name="intersection",
         run_label="intersection",
         rounds=(
-            RoundSpec("m1", "R", CipherList, _receiver_round1, ("3:Y_R",)),
+            RoundSpec(
+                "m1", "R", CipherList, _receiver_round1, ("3:Y_R",),
+                chunkable=True,
+            ),
             RoundSpec(
                 "m2", "S", IntersectionReply, _sender_round1,
                 ("4a:Y_S", "4b:pairs"),
+                chunkable=True, chunk_step=_intersection_m2_chunks,
             ),
         ),
         make_receiver=IntersectionReceiver,
@@ -212,9 +335,13 @@ INTERSECTION_SIZE = register(
         name="intersection-size",
         run_label="intersection_size",
         rounds=(
-            RoundSpec("m1", "R", CipherList, _receiver_round1, ("3:Y_R",)),
+            RoundSpec(
+                "m1", "R", CipherList, _receiver_round1, ("3:Y_R",),
+                chunkable=True,
+            ),
             RoundSpec(
                 "m2", "S", SizeReply, _sender_round1, ("4a:Y_S", "4b:Z_R"),
+                chunkable=True, chunk_step=_intersection_size_m2_chunks,
             ),
         ),
         make_receiver=IntersectionSizeReceiver,
@@ -231,10 +358,14 @@ EQUIJOIN = register(
         name="equijoin",
         run_label="equijoin",
         rounds=(
-            RoundSpec("m1", "R", CipherList, _receiver_round1, ("3:Y_R",)),
+            RoundSpec(
+                "m1", "R", CipherList, _receiver_round1, ("3:Y_R",),
+                chunkable=True,
+            ),
             RoundSpec(
                 "m2", "S", EquijoinReply, _sender_round1,
                 ("4:triples", "5:pairs"),
+                chunkable=True, chunk_step=_equijoin_m2_chunks,
             ),
         ),
         make_receiver=EquijoinReceiver,
@@ -251,9 +382,13 @@ EQUIJOIN_SIZE = register(
         name="equijoin-size",
         run_label="equijoin_size",
         rounds=(
-            RoundSpec("m1", "R", CipherList, _receiver_round1, ("3:Y_R",)),
+            RoundSpec(
+                "m1", "R", CipherList, _receiver_round1, ("3:Y_R",),
+                chunkable=True,
+            ),
             RoundSpec(
                 "m2", "S", SizeReply, _sender_round1, ("4a:Y_S", "4b:Z_R"),
+                chunkable=True, chunk_step=_equijoin_size_m2_chunks,
             ),
         ),
         make_receiver=EquijoinSizeReceiver,
@@ -270,9 +405,16 @@ EQUIJOIN_SUM = register(
         name="equijoin-sum",
         run_label="equijoin_sum",
         rounds=(
-            RoundSpec("m1", "R", CipherList, _receiver_round1, ("1:Y_R",)),
+            RoundSpec(
+                "m1", "R", CipherList, _receiver_round1, ("1:Y_R",),
+                chunkable=True,
+            ),
+            # m2 draws Paillier randomness in step order, so it has no
+            # incremental chunk_step: the full reply is computed (rng
+            # draw order preserved) and then split for the wire.
             RoundSpec(
                 "m2", "S", SumReply, _sender_round1, ("2:Z_R+pk", "3:pairs"),
+                chunkable=True,
             ),
             RoundSpec("m3", "R", BlindedSum, _receiver_round2, ("4:blinded",)),
             RoundSpec(

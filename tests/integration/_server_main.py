@@ -67,6 +67,7 @@ def main() -> int:
     parser.add_argument("--stall-round", type=int, default=0)
     parser.add_argument("--bits", type=int, default=128)
     parser.add_argument("--n", type=int, default=40)
+    parser.add_argument("--chunk-size", type=int, default=None)
     args = parser.parse_args()
 
     if args.stall_marker:
@@ -88,13 +89,15 @@ def main() -> int:
     stale = journal_dir.incomplete("sender", args.protocol)
     if stale:
         session = recover_sender_session(
-            stale[0], params, make_sender, config=config
+            stale[0], params, make_sender, config=config,
+            chunk_size=args.chunk_size,
         )
         print(f"recovered rounds={session.stats.rounds_recovered}", flush=True)
     else:
         session = SenderSession(
             args.protocol, params, make_sender,
             config=config, rng=random.Random(1), journal=journal_dir,
+            chunk_size=args.chunk_size,
         )
 
     listener = tcp._listen("127.0.0.1", 0, 30.0)

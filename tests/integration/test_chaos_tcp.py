@@ -64,7 +64,8 @@ def _config() -> SessionConfig:
     )
 
 
-def _run(protocol, client_injector=None, server_injector=None, seed=0):
+def _run(protocol, client_injector=None, server_injector=None, seed=0,
+         chunk_size=None):
     v_r, v_s, expected = CASES[protocol]
     config = _config()
     params = PublicParams.for_bits(128)
@@ -80,6 +81,7 @@ def _run(protocol, client_injector=None, server_injector=None, seed=0):
                 ),
                 config=config,
                 endpoint_wrapper=server_injector,
+                chunk_size=chunk_size,
             )
         except Exception as exc:  # surfaced in the main thread below
             box["error"] = exc
@@ -93,6 +95,7 @@ def _run(protocol, client_injector=None, server_injector=None, seed=0):
     answer, client_stats = connect_resumable_receiver(
         protocol, v_r, random.Random(seed + 2), "127.0.0.1", box["port"],
         config=config, endpoint_wrapper=client_injector,
+        chunk_size=chunk_size,
     )
     thread.join(timeout=30)
     assert not thread.is_alive()
@@ -170,6 +173,96 @@ class TestScriptedResume:
         assert client_stats.rounds_computed == 1
         assert server_stats.rounds_computed == 1
 
+#: chunk size for the streaming chaos runs; 1 puts every element in
+#: its own chunk frame, so every injected fault lands on (or inside) a
+#: chunk boundary rather than a whole-round frame.
+CHUNK_SIZE = 1
+
+
+@pytest.mark.parametrize("fault_class", sorted(FAULT_CLASSES))
+@pytest.mark.parametrize("protocol", ["intersection", "equijoin"])
+def test_chunked_stream_completes_under_faults(protocol, fault_class):
+    """Every fault class, injected into a chunk-frame stream, still
+    yields the exact answer - drops, corruption and disconnects at
+    chunk boundaries retransmit or resume mid-round."""
+    plan = FAULT_CLASSES[fault_class]
+    injector = FaultInjector(plan)
+    client_stats, server_stats = _run(
+        protocol, client_injector=injector, chunk_size=CHUNK_SIZE
+    )
+
+    # The rounds genuinely streamed: both directions shipped multiple
+    # chunk frames (m1 alone is 3 values -> 3 chunks at size 1).
+    assert client_stats.chunks_sent >= 3
+    assert server_stats.chunks_sent >= 3
+    assert client_stats.chunks_received >= 3
+    assert server_stats.chunks_received >= 3
+
+    if fault_class == "none":
+        assert injector.stats.injected == 0
+        assert client_stats.reconnects == 0
+        assert client_stats.retransmits == 0
+        return
+    assert injector.stats.injected > 0, "fault plan never fired"
+    if fault_class in ("drop", "corrupt", "mixed"):
+        recovered = (
+            client_stats.retransmits
+            + server_stats.retransmits
+            + client_stats.reconnects
+        )
+        assert recovered > 0, "faults injected but no recovery recorded"
+    if fault_class == "corrupt":
+        assert (
+            server_stats.checksum_failures + client_stats.checksum_failures
+            > 0
+        )
+    if fault_class == "disconnect":
+        assert injector.stats.disconnects > 0
+        assert client_stats.reconnects > 0
+
+
+class TestScriptedChunkBoundaryResume:
+    """Place one disconnect on a specific mid-round chunk frame."""
+
+    def test_server_mid_chunk_disconnect_resumes_stream(self):
+        # chunk_size=1 on the 3-element intersection case: the server
+        # sends welcome, four m1 acks (3 chunks + chunk-end), then 7 m2
+        # frames (3 y_s chunks + 3 pair chunks + chunk-end). skip=6
+        # delivers m2 chunk 0 cleanly and kills chunk 1 mid-frame - a
+        # crash inside a streaming round, not at a round edge.
+        injector = FaultInjector(
+            FaultPlan(seed=4, disconnect_rate=1.0, max_faults=1, skip=6)
+        )
+        client_stats, server_stats = _run(
+            "intersection", server_injector=injector, chunk_size=CHUNK_SIZE
+        )
+        assert injector.stats.disconnects == 1
+        assert server_stats.reconnects == 1
+        assert client_stats.reconnects == 1
+        # The (round, chunk) cursor did its job: the already-shipped
+        # chunk replays from the log and the round's crypto ran once.
+        assert server_stats.replayed_frames >= 1
+        assert server_stats.rounds_computed == 1
+        assert client_stats.rounds_computed == 1
+        assert server_stats.chunks_sent >= 6
+
+    def test_client_mid_chunk_disconnect_resumes_stream(self):
+        # skip=2: hello and m1 chunk 0 deliver, m1 chunk 1 dies.
+        injector = FaultInjector(
+            FaultPlan(seed=6, disconnect_rate=1.0, max_faults=1, skip=2)
+        )
+        client_stats, server_stats = _run(
+            "intersection-size", client_injector=injector,
+            chunk_size=CHUNK_SIZE,
+        )
+        assert injector.stats.disconnects == 1
+        assert client_stats.reconnects >= 1
+        assert client_stats.rounds_computed == 1
+        assert server_stats.rounds_computed == 1
+        assert client_stats.replayed_frames >= 1
+
+
+class TestScriptedResumeStats:
     def test_stats_surface_in_as_dict(self):
         injector = FaultInjector(
             FaultPlan(seed=4, disconnect_rate=1.0, max_faults=1, skip=2)

@@ -31,7 +31,13 @@ import pytest
 
 from repro.net import tcp
 from repro.net.journal import DONE_SUFFIX, WAL_SUFFIX
-from repro.net.serialization import encode
+from repro.net.serialization import (
+    decode,
+    encode,
+    fold_chunk_frames,
+    is_chunk_end,
+    is_chunk_frame,
+)
 from repro.net.session import ReceiverSession, RetryPolicy, SessionConfig
 from repro.protocols.parties import PublicParams
 from repro.protocols.spec import PROTOCOLS
@@ -92,7 +98,8 @@ class _FrameLog:
         self._transport.close()
 
 
-def _spawn_sender(name, journal_dir, port_file, stall_marker=None):
+def _spawn_sender(name, journal_dir, port_file, stall_marker=None,
+                  chunk_size=None, stall_round=0):
     cmd = [
         sys.executable, str(SERVER_MAIN),
         "--protocol", name,
@@ -101,8 +108,11 @@ def _spawn_sender(name, journal_dir, port_file, stall_marker=None):
         "--bits", str(BITS),
         "--n", str(N),
     ]
+    if chunk_size is not None:
+        cmd += ["--chunk-size", str(chunk_size)]
     if stall_marker is not None:
-        cmd += ["--stall-marker", str(stall_marker)]
+        cmd += ["--stall-marker", str(stall_marker),
+                "--stall-round", str(stall_round)]
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parents[2] / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
@@ -208,6 +218,157 @@ def test_sigkill_mid_run_recovers_byte_identical(name, tmp_path):
             digests[f"m{i}"] = hashlib.sha256(wire_bytes).hexdigest()
         assert digests == record["wires"], (
             f"post-resume transcript diverges for {name}"
+        )
+
+        # The completed journal rotated out of the recovery scan.
+        assert not list(journal_dir.glob(f"sender-*{WAL_SUFFIX}"))
+        assert list(journal_dir.glob(f"sender-*{DONE_SUFFIX}"))
+    finally:
+        for proc in (victim, restarted):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Chunked streams: the resume cursor is (round, chunk), not just round.
+# ----------------------------------------------------------------------
+def _group_chunk_rounds(frames):
+    """Split one direction's decoded frame stream on chunk-end marks."""
+    rounds, current = [], []
+    for frame in frames:
+        if is_chunk_frame(frame):
+            current.append(frame)
+        elif is_chunk_end(frame):
+            current.append(frame)
+            rounds.append(current)
+            current = []
+        else:
+            assert not current, "whole frame interleaved with chunks"
+            rounds.append([frame])
+    assert not current, "chunk run never terminated"
+    return rounds
+
+
+def _stream_digest(frames) -> str:
+    stream = hashlib.sha256()
+    for frame in frames:
+        stream.update(encode(frame))
+    return stream.hexdigest()
+
+
+def test_sigkill_mid_chunk_resumes_byte_identical(tmp_path):
+    """SIGKILL the sender *inside* a streaming round - after journaling
+    chunk 2 of m2, before shipping it - and restart it. The (round,
+    chunk) cursor must pick the stream back up so the client observes
+    the exact pinned chunk-frame transcript, chunk for chunk."""
+    name = "equijoin"
+    chunk_size = FIXTURE["chunk_size"]
+    journal_dir = tmp_path / "journal"
+    port_file = tmp_path / "port"
+    stall_marker = tmp_path / "stall"
+    spec = PROTOCOLS[name]
+    config = SessionConfig(
+        timeout_s=2.0,
+        retry=RetryPolicy(max_attempts=4, base_delay_s=0.02, max_delay_s=0.2),
+        max_reconnects=60,
+        fin_grace_s=0.1,
+    )
+
+    victim = _spawn_sender(
+        name, journal_dir, port_file, stall_marker,
+        chunk_size=chunk_size, stall_round=2,
+    )
+    restarted = None
+    try:
+        _wait_for(port_file.exists, 30.0, "the sender to bind")
+
+        frames: dict = {}
+        session = ReceiverSession(
+            name,
+            lambda wire: spec.make_receiver(
+                _receiver_inputs(name),
+                PublicParams.from_wire(tuple(wire)),
+                random.Random("R"),
+            ),
+            config=config,
+            rng=random.Random(2),
+            chunk_size=chunk_size,
+        )
+
+        def dial():
+            port = int(port_file.read_text())
+            sock_endpoint = tcp._dial("127.0.0.1", port, config.timeout_s)
+            return _FrameLog(sock_endpoint, frames)
+
+        answer_box: dict = {}
+
+        def client():
+            answer_box["answer"] = session.run(dial)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+
+        # The sender hangs after journaling m2 chunk 2 - durable,
+        # unshipped, mid-round (equijoin m2 streams 12 chunks at
+        # chunk_size=7 for n=40). The crash lands between chunks.
+        _wait_for(stall_marker.exists, 60.0, "the stall marker")
+        assert stall_marker.read_text() == "2", "stall missed mid-round"
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=10)
+
+        restarted = _spawn_sender(
+            name, journal_dir, port_file, chunk_size=chunk_size
+        )
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "receiver never completed"
+        out, err = restarted.communicate(timeout=60)
+        assert restarted.returncode == 0, err
+        assert "recovered rounds=" in out, (
+            f"restart did not recover from the journal: {out!r}"
+        )
+
+        # Exact answer despite the mid-stream crash.
+        record = FIXTURE["protocols"][name]
+        answer = answer_box["answer"]
+        assert _digest(_canonical_answer(name, answer)) == record["answer"]
+        assert session.stats.reconnects >= 1
+        assert session.stats.chunks_sent > 0
+        assert session.stats.chunks_received > 0
+
+        # Every chunk frame the client saw - pre-crash and post-resume
+        # - reassembles into the pinned logical rounds AND matches the
+        # pinned chunk-frame stream byte for byte.
+        sent = [
+            decode(data) for (_d, _s), data in sorted(
+                (key, data) for key, data in frames.items()
+                if key[0] == "sent"
+            )
+        ]
+        received = [
+            decode(data) for (_d, _s), data in sorted(
+                (key, data) for key, data in frames.items()
+                if key[0] == "received"
+            )
+        ]
+        sent_iter = iter(_group_chunk_rounds(sent))
+        recv_iter = iter(_group_chunk_rounds(received))
+        logical, streamed = {}, {}
+        for i, rnd in enumerate(spec.rounds, start=1):
+            group = next(sent_iter if rnd.source == "R" else recv_iter)
+            status, payload, used = fold_chunk_frames(group)
+            assert used == len(group)
+            wire = (
+                payload if status == "single"
+                else rnd.message.from_wire_chunks(payload).to_wire()
+            )
+            logical[f"m{i}"] = _digest(wire)
+            streamed[f"m{i}"] = _stream_digest(group)
+        assert logical == record["wires"], (
+            f"post-resume logical transcript diverges for {name}"
+        )
+        assert streamed == record["chunked_wires"], (
+            f"post-resume chunk stream diverges for {name}"
         )
 
         # The completed journal rotated out of the recovery scan.

@@ -16,14 +16,8 @@ from repro.net.tcp import (
     DEFAULT_MAX_FRAME_BYTES,
     FrameTooLarge,
     SocketEndpoint,
-    connect_equijoin_receiver,
-    connect_equijoin_size_receiver,
-    connect_intersection_receiver,
-    connect_intersection_size_receiver,
-    serve_equijoin_sender,
-    serve_equijoin_size_sender,
-    serve_intersection_sender,
-    serve_intersection_size_sender,
+    connect,
+    serve,
 )
 from repro.protocols.parties import PublicParams
 
@@ -150,9 +144,9 @@ class TestHardenedFraming:
 
     def test_accept_timeout_raises(self):
         with pytest.raises(TimeoutError, match="no client"):
-            serve_intersection_sender(
-                ["a"], PublicParams.for_bits(64), random.Random(0),
-                timeout=0.05,
+            serve(
+                "intersection", ["a"], PublicParams.for_bits(64),
+                random.Random(0), timeout=0.05,
             )
 
     def test_truncated_handshake_aborts_client(self):
@@ -173,8 +167,9 @@ class TestHardenedFraming:
         thread = threading.Thread(target=half_handshake)
         thread.start()
         with pytest.raises(ConnectionError):
-            connect_intersection_receiver(
-                ["a"], random.Random(0), "127.0.0.1", port, timeout=2.0
+            connect(
+                "intersection", ["a"], random.Random(0), "127.0.0.1", port,
+                timeout=2.0,
             )
         thread.join()
         listener.close()
@@ -193,122 +188,130 @@ class TestHardenedFraming:
         thread = threading.Thread(target=bad_handshake)
         thread.start()
         with pytest.raises(ValueError, match="handshake"):
-            connect_intersection_receiver(
-                ["a"], random.Random(0), "127.0.0.1", port, timeout=2.0
+            connect(
+                "intersection", ["a"], random.Random(0), "127.0.0.1", port,
+                timeout=2.0,
             )
         thread.join()
         listener.close()
 
 
-def _run_over_tcp(server_fn, client_fn, v_r, v_s, bits=128):
+def _run_over_tcp(protocol, v_r, v_s, bits=128, chunk_size=None):
     """Spawn S as a server thread, run R as a client; return both results."""
     params = PublicParams.for_bits(bits)
     port_box: queue.Queue[int] = queue.Queue()
     server_result: dict = {}
 
-    def serve():
-        server_result["size_v_r"] = server_fn(
-            v_s, params, random.Random("s"), ready_callback=port_box.put
+    def serve_s():
+        server_result["size_v_r"] = serve(
+            protocol, v_s, params, random.Random("s"),
+            ready_callback=port_box.put, chunk_size=chunk_size,
         )
 
-    thread = threading.Thread(target=serve)
+    thread = threading.Thread(target=serve_s)
     thread.start()
     port = port_box.get(timeout=10)
-    answer = client_fn(v_r, random.Random("r"), "127.0.0.1", port)
+    answer = connect(
+        protocol, v_r, random.Random("r"), "127.0.0.1", port,
+        chunk_size=chunk_size,
+    )
     thread.join(timeout=10)
     assert not thread.is_alive()
     return answer, server_result["size_v_r"]
 
 
+#: ``chunk_size=None`` is the legacy whole-round wire format; the
+#: chunked runs must produce the same answers over the same schedule.
+CHUNKINGS = [None, 4]
+
+
+@pytest.mark.parametrize("chunk_size", CHUNKINGS)
 class TestDistributedIntersection:
-    def test_end_to_end(self):
+    def test_end_to_end(self, chunk_size):
         answer, size_v_r = _run_over_tcp(
-            serve_intersection_sender,
-            connect_intersection_receiver,
+            "intersection",
             v_r=["alice", "bob", "carol"],
             v_s=["bob", "carol", "dave", "erin"],
+            chunk_size=chunk_size,
         )
         assert answer == {"bob", "carol"}
         assert size_v_r == 3
 
-    def test_disjoint(self):
+    def test_disjoint(self, chunk_size):
         answer, _ = _run_over_tcp(
-            serve_intersection_sender,
-            connect_intersection_receiver,
-            v_r=["a"],
-            v_s=["b"],
+            "intersection", v_r=["a"], v_s=["b"], chunk_size=chunk_size
         )
         assert answer == set()
 
-    def test_larger_run(self):
+    def test_larger_run(self, chunk_size):
         v_r = [f"r{i}" for i in range(40)] + [f"c{i}" for i in range(15)]
         v_s = [f"s{i}" for i in range(30)] + [f"c{i}" for i in range(15)]
         answer, size_v_r = _run_over_tcp(
-            serve_intersection_sender, connect_intersection_receiver, v_r, v_s
+            "intersection", v_r, v_s, chunk_size=chunk_size
         )
         assert answer == {f"c{i}" for i in range(15)}
         assert size_v_r == 55
 
 
+@pytest.mark.parametrize("chunk_size", CHUNKINGS)
 class TestDistributedIntersectionSize:
-    def test_end_to_end(self):
+    def test_end_to_end(self, chunk_size):
         size, size_v_r = _run_over_tcp(
-            serve_intersection_size_sender,
-            connect_intersection_size_receiver,
+            "intersection-size",
             v_r=["a", "b", "c", "d"],
             v_s=["c", "d", "e"],
+            chunk_size=chunk_size,
         )
         assert size == 2
         assert size_v_r == 4
 
-    def test_params_travel_in_handshake(self):
+    def test_params_travel_in_handshake(self, chunk_size):
         """The receiver needs no out-of-band parameters: a 64-bit run
         works because the server's handshake carries the modulus."""
         size, _ = _run_over_tcp(
-            serve_intersection_size_sender,
-            connect_intersection_size_receiver,
+            "intersection-size",
             v_r=["x", "y"],
             v_s=["y"],
             bits=64,
+            chunk_size=chunk_size,
         )
         assert size == 1
 
 
+@pytest.mark.parametrize("chunk_size", CHUNKINGS)
 class TestDistributedEquijoin:
-    def test_end_to_end(self):
+    def test_end_to_end(self, chunk_size):
         ext_s = {"b": b"rec-b", "c": b"rec-c", "z": b"rec-z"}
         matches, size_v_r = _run_over_tcp(
-            serve_equijoin_sender,
-            connect_equijoin_receiver,
+            "equijoin",
             v_r=["a", "b", "c"],
             v_s=ext_s,
+            chunk_size=chunk_size,
         )
         assert matches == {"b": b"rec-b", "c": b"rec-c"}
         assert size_v_r == 3
 
-    def test_no_matches(self):
+    def test_no_matches(self, chunk_size):
         matches, _ = _run_over_tcp(
-            serve_equijoin_sender,
-            connect_equijoin_receiver,
-            v_r=["a"],
-            v_s={"b": b"x"},
+            "equijoin", v_r=["a"], v_s={"b": b"x"}, chunk_size=chunk_size
         )
         assert matches == {}
 
 
+@pytest.mark.parametrize("chunk_size", CHUNKINGS)
 class TestDistributedEquijoinSize:
-    def test_multiset_join_size(self):
+    def test_multiset_join_size(self, chunk_size):
         # a matches once (1*1), b matches twice (1*2): join size 3.
         size, size_v_r = _run_over_tcp(
-            serve_equijoin_size_sender,
-            connect_equijoin_size_receiver,
+            "equijoin-size",
             v_r=["a", "a", "b", "c"],
             v_s=["a", "b", "b", "e"],
+            chunk_size=chunk_size,
         )
         assert size == 2 * 1 + 1 * 2
         assert size_v_r == 4
 
-    def test_agrees_with_driver(self):
+    def test_agrees_with_driver(self, chunk_size):
         from repro.protocols.base import ProtocolSuite
         from repro.protocols.equijoin_size import run_equijoin_size
 
@@ -318,7 +321,44 @@ class TestDistributedEquijoinSize:
             v_r, v_s, ProtocolSuite.default(bits=128, seed=5)
         )
         size, _ = _run_over_tcp(
-            serve_equijoin_size_sender, connect_equijoin_size_receiver,
-            v_r=v_r, v_s=v_s,
+            "equijoin-size", v_r=v_r, v_s=v_s, chunk_size=chunk_size
         )
         assert size == driver.join_size
+
+
+class TestDistributedEquijoinSum:
+    def test_sum_over_intersection(self):
+        # The 4-round aggregate protocol also runs over the generic
+        # drivers (chunked: its big m1/m2 rounds stream, the Paillier
+        # rounds stay whole-frame).
+        total, size_v_r = _run_over_tcp(
+            "equijoin-sum",
+            v_r=["a", "b", "c"],
+            v_s={"b": 10, "c": 32, "z": 99},
+            chunk_size=2,
+        )
+        assert total == 42
+        assert size_v_r == 3
+
+
+class TestBoundPortReporting:
+    def test_port_zero_reports_kernel_assigned_port(self):
+        """``port=0`` must hand the ready callback the *actual* bound
+        port - the suites depend on it to dial the right address."""
+        ports: queue.Queue[int] = queue.Queue()
+
+        def serve_s():
+            serve(
+                "intersection", ["v"], PublicParams.for_bits(64),
+                random.Random(1), port=0, ready_callback=ports.put,
+            )
+
+        thread = threading.Thread(target=serve_s)
+        thread.start()
+        port = ports.get(timeout=10)
+        assert port != 0
+        answer = connect(
+            "intersection", ["v"], random.Random(2), "127.0.0.1", port
+        )
+        thread.join(timeout=10)
+        assert answer == {"v"}

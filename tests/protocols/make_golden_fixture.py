@@ -39,6 +39,7 @@ FIXTURE_PATH = Path(__file__).with_name("golden_transcripts.json")
 
 BITS = 128
 N = 40  # above DEFAULT_MIN_PARALLEL so pooled runs actually batch
+CHUNK_SIZE = 7  # the chunked column's fixed streaming slice
 
 
 def fixture_values() -> tuple[list[str], list[str]]:
@@ -166,6 +167,63 @@ def capture(protocol: str) -> dict[str, object]:
     return record
 
 
+def _chunk_inputs(protocol: str) -> tuple[object, object]:
+    """(receiver data, sender data) for the machine-driven capture."""
+    v_r, v_s = fixture_values()
+    if protocol == "equijoin":
+        return v_r, fixture_ext()
+    if protocol == "equijoin-size":
+        return fixture_multisets()
+    if protocol == "equijoin-sum":
+        return v_r, fixture_amounts()
+    return v_r, v_s
+
+
+def capture_chunked(protocol: str) -> dict[str, str]:
+    """Per-round digests of the chunk-frame stream at ``CHUNK_SIZE``.
+
+    The legacy columns pin the pre-refactor whole-round bytes; this
+    one pins the *streamed* wire format - the exact chunk frames (plus
+    terminal chunk-end frame) a ``chunk_size=CHUNK_SIZE`` transport
+    puts on the wire, hashed in order per round. Non-chunkable rounds
+    ship their single legacy frame, so their digest doubles as proof
+    the stream leaves them untouched.
+    """
+    from repro.net.serialization import chunk_end_frame, chunk_frame
+    from repro.protocols.parties import (
+        PublicParams,
+        ReceiverMachine,
+        SenderMachine,
+    )
+    from repro.protocols.spec import PROTOCOLS
+
+    spec = PROTOCOLS[protocol]
+    params = PublicParams.for_bits(BITS)
+    r_data, s_data = _chunk_inputs(protocol)
+    receiver = ReceiverMachine(spec, r_data, params, random.Random("R"))
+    sender = SenderMachine(spec, s_data, params, random.Random("S"))
+    digests: dict[str, str] = {}
+    for i, rnd in enumerate(spec.rounds, start=1):
+        producer, consumer = (
+            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+        )
+        if rnd.chunkable:
+            payloads = list(producer.produce_chunks(rnd, CHUNK_SIZE))
+            frames = [
+                chunk_frame(j, payload) for j, payload in enumerate(payloads)
+            ] + [chunk_end_frame(len(payloads))]
+            consumer.consume_chunks(rnd, payloads)
+        else:
+            frames = [producer.produce(rnd).to_wire()]
+            consumer.consume(rnd, frames[0])
+        stream = hashlib.sha256()
+        for frame in frames:
+            stream.update(encode(frame))
+        digests[f"m{i}"] = stream.hexdigest()
+    receiver.finish()
+    return digests
+
+
 def _cross_check_parties(fixture: dict) -> None:
     """The party state machines must emit the same bytes as the drivers."""
     from repro.protocols.parties import (
@@ -216,8 +274,11 @@ def main() -> None:
     fixture = {
         "bits": BITS,
         "n": N,
+        "chunk_size": CHUNK_SIZE,
         "protocols": {name: capture(name) for name in ROUND_PARTS},
     }
+    for name, record in fixture["protocols"].items():
+        record["chunked_wires"] = capture_chunked(name)
     _cross_check_parties(fixture)
     FIXTURE_PATH.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
     print(f"wrote {FIXTURE_PATH}")

@@ -20,7 +20,14 @@ from pathlib import Path
 import pytest
 
 from repro.crypto.engine import ProcessPoolEngine
-from repro.net.serialization import encode
+from repro.net.serialization import (
+    chunk_end_frame,
+    chunk_frame,
+    encode,
+    fold_chunk_frames,
+    is_chunk_end,
+    is_chunk_frame,
+)
 from repro.net.session import (
     ReceiverSession,
     RetryPolicy,
@@ -40,6 +47,7 @@ FIXTURE = json.loads(
 )
 BITS = FIXTURE["bits"]
 N = FIXTURE["n"]
+CHUNK_SIZE = FIXTURE["chunk_size"]
 
 PROTOCOL_NAMES = sorted(FIXTURE["protocols"])
 
@@ -315,3 +323,223 @@ def test_resumable_matches_golden(name, params, engines):
     assert receiver_session.stats.rounds_computed == sum(
         1 for rnd in spec.rounds if rnd.source == "R"
     )
+
+
+# ----------------------------------------------------------------------
+# Chunked execution: the streamed wire format must carry the identical
+# logical transcript, and its chunk-frame stream is pinned too.
+# ----------------------------------------------------------------------
+def _stream_digest(frames) -> str:
+    stream = hashlib.sha256()
+    for frame in frames:
+        stream.update(encode(frame))
+    return stream.hexdigest()
+
+
+def _assert_chunked_wires(name, digests):
+    expected = FIXTURE["protocols"][name]["chunked_wires"]
+    assert digests == expected, f"chunk-frame stream diverges for {name}"
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_in_memory_chunked_matches_golden(name, params, engines):
+    """Machines driven chunk-by-chunk reproduce both columns: the
+    reassembled logical wires equal the legacy whole-round digests,
+    and the chunk-frame stream equals the chunked column."""
+    r_engine, s_engine = engines
+    spec = PROTOCOLS[name]
+    r_data, s_data = _inputs(name)
+    receiver = ReceiverMachine(
+        spec, r_data, params, random.Random("R"), engine=r_engine
+    )
+    sender = SenderMachine(
+        spec, s_data, params, random.Random("S"), engine=s_engine
+    )
+    logical = {}
+    streamed = {}
+    for i, rnd in enumerate(spec.rounds, start=1):
+        producer, consumer = (
+            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+        )
+        if rnd.chunkable:
+            payloads = list(producer.produce_chunks(rnd, CHUNK_SIZE))
+            frames = [
+                chunk_frame(j, payload) for j, payload in enumerate(payloads)
+            ] + [chunk_end_frame(len(payloads))]
+            consumer.consume_chunks(rnd, payloads)
+            message = consumer.inbox[rnd.name]
+        else:
+            wire = producer.produce(rnd).to_wire()
+            frames = [wire]
+            message = consumer.consume(rnd, wire)
+        logical[f"m{i}"] = _digest(message.to_wire())
+        streamed[f"m{i}"] = _stream_digest(frames)
+    answer = receiver.finish()
+
+    _assert_wires(name, logical)
+    _assert_chunked_wires(name, streamed)
+    _assert_answer(
+        name, answer, getattr(receiver.state, "match_count", None)
+    )
+
+
+def _group_round_frames(frames):
+    """Split a flat frame log into per-round frame groups."""
+    rounds = []
+    current: list = []
+    for frame in frames:
+        if is_chunk_frame(frame):
+            current.append(frame)
+        elif is_chunk_end(frame):
+            current.append(frame)
+            rounds.append(current)
+            current = []
+        else:
+            assert not current, "whole-round frame interleaved with chunks"
+            rounds.append([frame])
+    assert not current, "chunk run never terminated"
+    return rounds
+
+
+def _round_digests_from_frames(spec, frame_groups):
+    """(logical, streamed) per-round digests from grouped frames."""
+    logical = {}
+    streamed = {}
+    assert len(frame_groups) == len(spec.rounds)
+    for i, (rnd, frames) in enumerate(
+        zip(spec.rounds, frame_groups), start=1
+    ):
+        status, payload, used = fold_chunk_frames(frames)
+        assert used == len(frames)
+        if status == "single":
+            wire = payload
+        else:
+            wire = rnd.message.from_wire_chunks(payload).to_wire()
+        logical[f"m{i}"] = _digest(wire)
+        streamed[f"m{i}"] = _stream_digest(frames)
+    return logical, streamed
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_tcp_chunked_matches_golden(name, params, engines):
+    """A ``chunk_size`` TCP run streams the pinned chunk frames and
+    reassembles to the pinned logical transcript."""
+    r_engine, s_engine = engines
+    spec = PROTOCOLS[name]
+    r_data, s_data = _inputs(name)
+    port_box: list[int] = []
+    ready = threading.Event()
+    server_box: dict = {}
+
+    def serve_thread():
+        server_box["size_v_r"] = serve(
+            name, s_data, params, random.Random("S"),
+            ready_callback=lambda port: (port_box.append(port), ready.set()),
+            timeout=10.0, engine=s_engine, chunk_size=CHUNK_SIZE,
+        )
+
+    thread = threading.Thread(target=serve_thread)
+    thread.start()
+    assert ready.wait(timeout=10)
+    log: list = []
+    answer = connect(
+        name, r_data, random.Random("R"), "127.0.0.1", port_box[0],
+        timeout=10.0, engine=r_engine, chunk_size=CHUNK_SIZE,
+        endpoint_wrapper=lambda endpoint: _RecordingTransport(endpoint, log),
+    )
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+    frames = [message for _direction, message in log[1:]]  # drop params
+    logical, streamed = _round_digests_from_frames(
+        spec, _group_round_frames(frames)
+    )
+    _assert_wires(name, logical)
+    _assert_chunked_wires(name, streamed)
+    match_count = _plain_match_count() if name == "equijoin-sum" else None
+    _assert_answer(name, answer, match_count)
+    assert server_box["size_v_r"] == FIXTURE["protocols"][name]["size_v_r"]
+
+
+@pytest.mark.parametrize("name", PROTOCOL_NAMES)
+def test_resumable_chunked_matches_golden(name, params, engines):
+    """Chunked sessions: every ``msg`` frame is one chunk (or one
+    whole non-chunkable round), and both pinned columns reproduce."""
+    from repro.net.serialization import decode
+
+    r_engine, s_engine = engines
+    spec = PROTOCOLS[name]
+    r_data, s_data = _inputs(name)
+    config = _session_config()
+    raw_s, raw_r = socket.socketpair()
+    raw_s.settimeout(10.0)
+    raw_r.settimeout(10.0)
+    sender_session = SenderSession(
+        name,
+        params,
+        lambda: spec.make_sender(
+            s_data, params, random.Random("S"), engine=s_engine
+        ),
+        config=config,
+        rng=random.Random(1),
+        chunk_size=CHUNK_SIZE,
+    )
+    receiver_session = ReceiverSession(
+        name,
+        lambda wire: spec.make_receiver(
+            r_data,
+            PublicParams.from_wire(tuple(wire)),
+            random.Random("R"),
+            engine=r_engine,
+        ),
+        config=config,
+        rng=random.Random(2),
+        chunk_size=CHUNK_SIZE,
+    )
+    server_box: dict = {}
+    connections = iter([SocketEndpoint(sock=raw_s)])
+
+    def serve_thread():
+        server_box["state"] = sender_session.run(lambda: next(connections))
+
+    thread = threading.Thread(target=serve_thread)
+    thread.start()
+    frames: dict = {}
+    answer = receiver_session.run(
+        lambda: _SessionRecordingTransport(SocketEndpoint(sock=raw_r), frames)
+    )
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+    sent = sorted(
+        (seq, data) for (direction, seq), data in frames.items()
+        if direction == "sent"
+    )
+    received = sorted(
+        (seq, data) for (direction, seq), data in frames.items()
+        if direction == "received"
+    )
+    # Interleave the two directions back into spec-round order by
+    # decoding each direction's frame stream and grouping on chunk-end.
+    sent_groups = _group_round_frames([decode(d) for _seq, d in sent])
+    recv_groups = _group_round_frames([decode(d) for _seq, d in received])
+    sent_iter, recv_iter = iter(sent_groups), iter(recv_groups)
+    groups = [
+        next(sent_iter) if rnd.source == "R" else next(recv_iter)
+        for rnd in spec.rounds
+    ]
+    logical, streamed = _round_digests_from_frames(spec, groups)
+    _assert_wires(name, logical)
+    _assert_chunked_wires(name, streamed)
+    match_count = getattr(
+        receiver_session._machine.state, "match_count", None
+    )
+    _assert_answer(name, answer, match_count)
+    record = FIXTURE["protocols"][name]
+    assert server_box["state"].size_v_r == record["size_v_r"]
+    chunkable_sent = sum(
+        1 for rnd in spec.rounds if rnd.source == "R" and rnd.chunkable
+    )
+    if chunkable_sent:
+        assert receiver_session.stats.chunks_sent > 0
+    assert sender_session.stats.chunks_sent > 0

@@ -9,12 +9,17 @@ package re-exports the primary entry points.
 from __future__ import annotations
 
 import importlib
+import importlib.util
 import inspect
 import pkgutil
+from pathlib import Path
 
 import pytest
 
 import repro
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+API_REFERENCE = REPO_ROOT / "docs" / "API.md"
 
 MODULES = sorted(
     name
@@ -89,3 +94,67 @@ class TestTopLevelExports:
         for sub in ("crypto", "db", "net", "protocols", "circuits",
                     "analysis", "apps", "workloads"):
             importlib.import_module(f"repro.{sub}")
+
+
+#: The one-call facade: the documented way in and out of the package.
+FACADE = ["run", "serve", "connect", "RunResult", "ServeResult",
+          "ConnectResult"]
+
+#: Packages whose ``__all__`` is the audited public surface.
+AUDITED = ["repro", "repro.net", "repro.protocols", "repro.crypto"]
+
+
+class TestFacadeSurface:
+    """The facade, ``docs/API.md`` and ``__all__`` must agree."""
+
+    @pytest.mark.parametrize("name", FACADE)
+    def test_facade_is_the_top_level_export(self, name):
+        assert name in repro.__all__
+        api = importlib.import_module("repro.api")
+        assert getattr(repro, name) is getattr(api, name)
+        assert name in api.__all__
+
+    def test_facade_leads_the_export_list(self):
+        """The redesigned entry points come first: the quickstart names
+        a reader sees are the first names ``__all__`` advertises."""
+        assert repro.__all__[: len(FACADE)] == FACADE
+
+    @pytest.mark.parametrize("module_name", AUDITED)
+    def test_all_has_no_duplicates(self, module_name):
+        module = importlib.import_module(module_name)
+        exports = list(getattr(module, "__all__"))
+        assert len(exports) == len(set(exports)), f"{module_name}.__all__"
+
+    def test_removed_tcp_shims_stay_removed(self):
+        net = importlib.import_module("repro.net")
+        for name in net.__all__:
+            assert not (
+                name.startswith(("serve_", "connect_"))
+                and name not in (
+                    "serve_resumable_sender", "connect_resumable_receiver"
+                )
+            ), f"per-protocol shim {name} resurfaced in repro.net.__all__"
+
+    def _generated_reference(self) -> str:
+        spec = importlib.util.spec_from_file_location(
+            "make_api_reference",
+            REPO_ROOT / "benchmarks" / "make_api_reference.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.generate()
+
+    def test_api_reference_matches_the_code(self):
+        """``docs/API.md`` is exactly what the generator derives from
+        the live ``__all__`` lists - docs and surface cannot drift."""
+        assert API_REFERENCE.read_text() == self._generated_reference()
+
+    def test_facade_documented_in_api_reference(self):
+        text = API_REFERENCE.read_text()
+        assert "## `repro.api`" in text
+        section = text.split("## `repro.api`", 1)[1].split("\n## ", 1)[0]
+        for name in FACADE:
+            assert name in section, f"facade {name} missing from docs/API.md"
+        for removed in ("serve_intersection_sender",
+                        "connect_equijoin_receiver"):
+            assert removed not in text
