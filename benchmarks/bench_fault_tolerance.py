@@ -16,9 +16,11 @@ import json
 import random
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
+from repro.net.chaos import ChaosSchedule, run_schedule
 from repro.net.faults import FaultInjector, FaultPlan
 from repro.net.journal import JournalDir, recover_sender_session
 from repro.net.serialization import encode
@@ -38,6 +40,31 @@ from repro.protocols.spec import PROTOCOLS
 #: chosen (deterministically, once) such that the nonzero rates do
 #: observably fire within the run.
 FAULT_RATES = {0.0: 5, 0.05: 15, 0.10: 15, 0.20: 15}
+
+#: Collected records from every report test in this module; the
+#: autouse module fixture writes them to ``BENCH_robustness.json``.
+RESULTS: list[dict] = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_robustness_report():
+    """Write one normalized ``BENCH_robustness.json`` per bench run.
+
+    Every report test appends its records to :data:`RESULTS`; at module
+    teardown they land, sorted and schema-tagged, at the repository
+    root so robustness numbers are diffable across PRs.
+    """
+    RESULTS.clear()
+    yield
+    if not RESULTS:
+        return
+    payload = {
+        "schema": 1,
+        "benchmark": "robustness",
+        "records": RESULTS,
+    }
+    path = Path(__file__).resolve().parents[1] / "BENCH_robustness.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 class _TrackingInjector(FaultInjector):
@@ -136,6 +163,9 @@ def test_report_completion_vs_fault_rate(bench_bits):
     ]
     for record in records:
         print("  " + json.dumps(record, sort_keys=True))
+    RESULTS.extend(
+        {"benchmark": "completion-vs-fault-rate", **r} for r in records
+    )
 
     clean = records[0]
     assert clean["faults"]["dropped"] == 0
@@ -240,6 +270,7 @@ def test_report_journal_overhead(bench_bits, tmp_path):
     ]
     for record in records:
         print("  " + json.dumps(record, sort_keys=True))
+    RESULTS.extend(records)
     # Every cell completed with the exact answer (asserted inside the
     # runner); all that is left to check is that the sweep is complete.
     assert len(records) == len(JOURNAL_SET_SIZES) * len(JOURNAL_MODES)
@@ -317,5 +348,57 @@ def test_report_kill_resume_recovery_time(bench_bits, tmp_path):
         }
         records.append(record)
         print("  " + json.dumps(record, sort_keys=True))
+    RESULTS.extend(records)
     # Larger sets journal more protocol state; replay must reflect it.
     assert records[-1]["rounds_recovered"] == records[0]["rounds_recovered"]
+
+
+# ----------------------------------------------------------------------
+# Chaos survival: outcome mix across seeded composed-fault schedules
+# ----------------------------------------------------------------------
+#: Fixed seeds so the committed BENCH_robustness.json is reproducible;
+#: the range matches the start of the property suite's sweep.
+CHAOS_BENCH_SEEDS = tuple(range(40))
+
+
+def test_report_chaos_schedule_survival():
+    """Drive seeded chaos schedules and record the outcome mix.
+
+    Each schedule composes network faults, disk faults, and crash
+    points from its seed (see :mod:`repro.net.chaos`); the invariant -
+    correct answer or typed clean failure - is asserted on every run,
+    and the per-seed outcome records (who answered, who errored, how
+    many restarts, which faults actually fired) are the benchmark.
+    """
+    print("\nchaos survival (seeded composed-fault schedules):")
+    records = []
+    for seed in CHAOS_BENCH_SEEDS:
+        started = time.perf_counter()
+        result = run_schedule(
+            ChaosSchedule.generate(seed), wall_timeout_s=30.0
+        )
+        assert result.ok, result.describe()
+        records.append({
+            "benchmark": "chaos-schedule",
+            "elapsed_s": round(time.perf_counter() - started, 6),
+            **result.as_dict(),
+        })
+    outcomes: dict[str, int] = {}
+    for record in records:
+        key = f"{record['receiver']}/{record['sender']}"
+        outcomes[key] = outcomes.get(key, 0) + 1
+    summary = {
+        "benchmark": "chaos-summary",
+        "schedules": len(records),
+        "outcomes": outcomes,
+        "total_restarts": sum(
+            r["receiver_restarts"] + r["sender_restarts"] for r in records
+        ),
+        "answers": sum(1 for r in records if r["receiver"] == "answer"),
+    }
+    print("  " + json.dumps(summary, sort_keys=True))
+    RESULTS.extend(records)
+    RESULTS.append(summary)
+    assert summary["answers"] >= len(records) // 2, (
+        "chaos schedules should mostly still complete"
+    )

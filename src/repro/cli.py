@@ -57,7 +57,29 @@ from .protocols.intersection import run_intersection
 from .protocols.intersection_size import run_intersection_size
 from .protocols.spec import PROTOCOLS, get_spec
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_HANDSHAKE",
+    "EXIT_BUSY",
+    "EXIT_UNREACHABLE",
+    "EXIT_TIMEOUT",
+    "EXIT_JOURNAL",
+    "EXIT_SESSION",
+]
+
+#: Exit code: the server speaks a different version or protocol.
+EXIT_HANDSHAKE = 3
+#: Exit code: the server refused the session (capacity/draining).
+EXIT_BUSY = 4
+#: Exit code: nothing answered at the address (connection refused).
+EXIT_UNREACHABLE = 5
+#: Exit code: the peer answered but the run timed out.
+EXIT_TIMEOUT = 6
+#: Exit code: the session journal is unreadable or fail-stopped.
+EXIT_JOURNAL = 7
+#: Exit code: any other typed session-layer failure.
+EXIT_SESSION = 8
 
 
 def _read_values(path: str) -> list[str]:
@@ -221,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal-dir", default=None,
         help="journal resumable rounds to this directory and recover "
              "an interrupted run from it on restart (requires --resumable)",
+    )
+    p.add_argument(
+        "--retry-busy", type=int, default=0, metavar="N",
+        help="when the server answers busy, wait out its retry hint "
+             "and redial up to N times before exiting busy (default 0)",
     )
     _add_engine_options(p)
 
@@ -441,18 +468,20 @@ def _serve_supervised(
 
 def _cmd_connect(args: argparse.Namespace) -> int:
     import random as _random
+    import time as _time
 
     from .net import tcp
+    from .net.session import ServerBusyError
 
     v_r = _read_values(args.receiver)
-    rng = _random.Random(args.seed)
     engine, recorder = _build_engine_and_recorder(args)
 
     if args.journal_dir and not args.resumable:
         print("--journal-dir requires --resumable", file=sys.stderr)
         return 2
 
-    try:
+    def attempt() -> int:
+        rng = _random.Random(args.seed)
         if args.resumable:
             answer, stats = tcp.connect_resumable_receiver(
                 args.protocol, v_r, rng, args.host, args.port,
@@ -474,13 +503,30 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         _print_answer(args.protocol, answer)
         _emit_metrics(args, recorder)
         return 0
+
+    retries_left = max(args.retry_busy, 0)
+    try:
+        while True:
+            try:
+                return attempt()
+            except ServerBusyError as exc:
+                if retries_left <= 0:
+                    raise
+                retries_left -= 1
+                delay = (
+                    exc.retry_after_s if exc.retry_after_s is not None else 0.5
+                )
+                print(
+                    f"repro: server busy; retrying in {delay:g}s "
+                    f"({retries_left} retries left)",
+                    file=sys.stderr,
+                )
+                _time.sleep(delay)
     finally:
         engine.close()
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ("intersection", "intersection-size",
                         "equijoin-size", "equijoin-sum"):
         return _cmd_protocol(args)
@@ -495,6 +541,54 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "connect":
         return _cmd_connect(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _fail(code: int, message: str) -> int:
+    print(f"repro: {message}", file=sys.stderr)
+    return code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code.
+
+    Expected operational failures exit with a one-line message and a
+    distinct code instead of a traceback: handshake mismatch
+    (:data:`EXIT_HANDSHAKE`), server busy (:data:`EXIT_BUSY`), nothing
+    listening (:data:`EXIT_UNREACHABLE`), timeout
+    (:data:`EXIT_TIMEOUT`), a fail-stopped journal
+    (:data:`EXIT_JOURNAL`) and other session failures
+    (:data:`EXIT_SESSION`). Unexpected errors (bad input files,
+    genuine bugs) still raise.
+    """
+    from .net.journal import JournalError
+    from .net.session import HandshakeError, ServerBusyError, SessionError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ServerBusyError as exc:
+        return _fail(EXIT_BUSY, f"server busy: {exc}")
+    except HandshakeError as exc:
+        return _fail(EXIT_HANDSHAKE, f"handshake failed: {exc}")
+    except JournalError as exc:
+        return _fail(EXIT_JOURNAL, f"journal failure: {exc}")
+    except SessionError as exc:
+        # A session gives up by wrapping the last transport failure;
+        # classify by the root cause so "nothing is listening" exits
+        # the same whether or not the session layer retried first.
+        cause: BaseException | None = exc.__cause__
+        while cause is not None and cause.__cause__ is not None:
+            cause = cause.__cause__
+        if isinstance(cause, ConnectionError):
+            return _fail(EXIT_UNREACHABLE, f"cannot reach the server: {exc}")
+        if isinstance(cause, TimeoutError):
+            return _fail(EXIT_TIMEOUT, f"timed out waiting for the peer: {exc}")
+        return _fail(EXIT_SESSION, f"session failed: {exc}")
+    except ConnectionError as exc:
+        return _fail(EXIT_UNREACHABLE, f"cannot reach the server: {exc}")
+    except TimeoutError as exc:
+        detail = f": {exc}" if str(exc) else ""
+        return _fail(EXIT_TIMEOUT, f"timed out waiting for the peer{detail}")
 
 
 if __name__ == "__main__":  # pragma: no cover

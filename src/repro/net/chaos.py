@@ -1,0 +1,776 @@
+"""Deterministic chaos simulation: crash points, schedules, a driver.
+
+PR 1 gave the repo seeded *network* faults (:mod:`repro.net.faults`),
+:mod:`repro.net.diskfaults` adds seeded *disk* faults; this module
+composes both with a third failure axis - process crashes at named
+code points - and drives whole protocol runs under the composition,
+FoundationDB-style:
+
+* **crash points** - the journal, session, streaming and server layers
+  call :func:`crash_point` at every boundary that matters for
+  durability (pre/post-append, pre/post-rotate, per frame shipped or
+  received, per streamed chunk). The call is a thread-local lookup and
+  costs nothing when no hook is installed; under :func:`hooked` a
+  :class:`CrashHook` raises :class:`SimulatedCrash` (a
+  ``BaseException``, so no retry loop can swallow it) at the Nth hit
+  of its named point - the in-process equivalent of ``SIGKILL`` at an
+  exact instruction.
+* **schedules** - a :class:`ChaosSchedule` bundles one seed's worth of
+  chaos: a network fault plan per direction, a disk fault plan per
+  party, a crash point per party, and a restart budget.
+  :meth:`ChaosSchedule.generate` derives all of it from a single
+  integer, so a failing schedule is reproduced from its printed seed.
+* **the driver** - :func:`run_schedule` executes any registered
+  protocol under a schedule, entirely in-process: both parties run
+  journaled sessions over ``socketpair`` transports, each under a
+  supervisor loop that restarts it (recover-from-journal, exactly like
+  the resumable TCP helpers) after every simulated crash or journal
+  failure, up to the restart budget.
+
+The invariant the driver checks is the repo's durability contract:
+**every run ends in the correct answer or a typed, clean failure** -
+never a wrong answer, never a hang, never a journal whose content
+silently diverges from the reference wires. A completed run's journals
+are compared byte-for-byte against a clean in-memory reference run of
+the same seeds (:class:`ChaosResult.journals_ok`), which is what rules
+out undetected corruption, not just wrong answers.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from .diskfaults import DiskFaultPlan, FaultyJournalIO
+from .faults import FaultPlan
+
+__all__ = [
+    "SimulatedCrash",
+    "crash_point",
+    "hooked",
+    "CrashHook",
+    "RecordingHook",
+    "CRASH_POINTS",
+    "SCHEDULABLE_POINTS",
+    "ChaosSchedule",
+    "PartyOutcome",
+    "ChaosResult",
+    "run_schedule",
+]
+
+
+class SimulatedCrash(BaseException):
+    """A simulated process death at a crash point.
+
+    Deliberately a ``BaseException``: the session layer retries broad
+    ``Exception`` classes (that is its job), and a simulated crash must
+    behave like ``SIGKILL`` - nothing between the crash point and the
+    supervisor may catch it and carry on.
+    """
+
+
+#: The crash-point matrix: every named hook wired through the net
+#: layer, mapped to the boundary it models.
+CRASH_POINTS: dict[str, str] = {
+    "journal.append.pre": "record encoded, nothing written yet",
+    "journal.append.post": "record durable, caller has not acted on it",
+    "journal.rotate.pre": "completion journaled, .wal -> .done rename pending",
+    "journal.rotate.post": "journal rotated, caller has not returned",
+    "session.ship.frame": "before each data/chunk frame is sent",
+    "session.recv.frame": "after each received frame is journaled",
+    "streaming.chunk.yield": "between chunks of a streamed round",
+    "server.session.run": "supervisor worker about to run a session",
+}
+
+#: Crash points :meth:`ChaosSchedule.generate` schedules. The server
+#: supervisor point is exercised by the server's own tests, not by the
+#: in-process two-party driver.
+SCHEDULABLE_POINTS: tuple[str, ...] = tuple(
+    name for name in CRASH_POINTS if not name.startswith("server.")
+)
+
+_tls = threading.local()
+
+
+def crash_point(name: str) -> None:
+    """Fire the calling thread's crash hook, if one is installed.
+
+    Instrumented code calls this at durability boundaries; with no
+    hook installed (the default, and always in production use) it is a
+    thread-local attribute read and an ``is None`` test. Hooks are
+    per-thread so a chaos run crashes exactly the party under test.
+    """
+    hook = getattr(_tls, "hook", None)
+    if hook is not None:
+        hook(name)
+
+
+@contextmanager
+def hooked(hook: Callable[[str], None] | None) -> Iterator[None]:
+    """Install a crash hook on this thread for the ``with`` body.
+
+    ``hooked(None)`` is a no-op, so drivers can pass an optional hook
+    straight through. The previous hook (usually none) is restored on
+    exit, even when the body dies at a crash point.
+    """
+    if hook is None:
+        yield
+        return
+    previous = getattr(_tls, "hook", None)
+    _tls.hook = hook
+    try:
+        yield
+    finally:
+        _tls.hook = previous
+
+
+class CrashHook:
+    """Raise :class:`SimulatedCrash` at the Nth hit of one named point.
+
+    Counts every crash point it observes (``counts``), and fires once:
+    when ``point`` reaches its ``hit``-th observation the hook raises
+    and disarms, so a restarted party replays past the crash site
+    instead of dying there forever. Counts persist across restarts -
+    the hook models one scheduled death of one process, deterministic
+    in the schedule.
+    """
+
+    def __init__(self, point: str, hit: int = 1):
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}")
+        self.point = point
+        self.hit = hit
+        self.fired = False
+        self.counts: dict[str, int] = {}
+
+    def __call__(self, name: str) -> None:
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if (
+            not self.fired
+            and name == self.point
+            and self.counts[name] >= self.hit
+        ):
+            self.fired = True
+            raise SimulatedCrash(
+                f"crash point {self.point!r} (hit {self.counts[name]})"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat summary (target, whether it fired, observed counts)."""
+        return {
+            "point": self.point,
+            "hit": self.hit,
+            "fired": self.fired,
+            "counts": dict(self.counts),
+        }
+
+
+class RecordingHook:
+    """A hook that only counts crash-point hits (never raises).
+
+    Useful for discovering a run's crash-point space: record a clean
+    run, then schedule a :class:`CrashHook` at any ``(point, hit)``
+    the recording observed.
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def __call__(self, name: str) -> None:
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+
+#: Default inputs per registered protocol for :func:`run_schedule`.
+_DEFAULT_DATA: dict[str, tuple[Any, Any]] = {
+    "intersection": (["a", "b", "c", "d"], ["b", "c", "e"]),
+    "intersection-size": (["a", "b", "c", "d"], ["c", "d", "e"]),
+    "equijoin": (
+        ["a", "b", "c"],
+        {"b": b"rec-b", "c": b"rec-c", "z": b"rec-z"},
+    ),
+    "equijoin-size": (["a", "a", "b", "c"], ["a", "b", "b", "e"]),
+    "equijoin-sum": (["a", "b", "c"], {"b": 10, "c": 32, "z": 999}),
+}
+
+#: Protocols :meth:`ChaosSchedule.generate` draws from.
+_PROTOCOLS: tuple[str, ...] = tuple(sorted(_DEFAULT_DATA))
+
+
+def _net_plan(rng: random.Random) -> FaultPlan | None:
+    """Maybe one direction's network fault plan, from the schedule rng."""
+    if rng.random() < 0.45:
+        return None
+    rates = {
+        "drop_rate": 0.0,
+        "corrupt_rate": 0.0,
+        "delay_rate": 0.0,
+        "disconnect_rate": 0.0,
+    }
+    for kind in rng.sample(sorted(rates), rng.choice((1, 1, 2))):
+        rates[kind] = round(rng.uniform(0.15, 0.35), 3)
+    return FaultPlan(
+        seed=rng.getrandbits(32),
+        delay_s=0.002,
+        max_faults=rng.choice((1, 2, 3)),
+        skip=rng.choice((0, 0, 1, 2, 4)),
+        **rates,
+    )
+
+
+def _disk_plan(rng: random.Random) -> DiskFaultPlan | None:
+    """Maybe one party's disk fault plan, from the schedule rng."""
+    if rng.random() < 0.55:
+        return None
+    rates = {
+        "fsync_error_rate": 0.0,
+        "torn_write_rate": 0.0,
+        "enospc_rate": 0.0,
+        "rename_error_rate": 0.0,
+        "dir_fsync_error_rate": 0.0,
+    }
+    for kind in rng.sample(sorted(rates), rng.choice((1, 1, 2))):
+        rates[kind] = round(rng.uniform(0.3, 0.8), 3)
+    if rates["torn_write_rate"] + rates["enospc_rate"] > 1.0:
+        rates["enospc_rate"] = round(1.0 - rates["torn_write_rate"], 3)
+    return DiskFaultPlan(
+        seed=rng.getrandbits(32),
+        max_faults=rng.choice((1, 1, 2)),
+        skip=rng.choice((0, 1, 2, 4, 8)),
+        **rates,
+    )
+
+
+def _crash_plan(rng: random.Random) -> tuple[str, int] | None:
+    """Maybe one party's scheduled crash, from the schedule rng."""
+    if rng.random() < 0.6:
+        return None
+    return (rng.choice(SCHEDULABLE_POINTS), rng.choice((1, 1, 2, 3, 4)))
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One seed's worth of composed chaos for a two-party run.
+
+    Any field may be ``None`` (that axis stays clean); a default
+    schedule is a clean run. ``max_restarts`` bounds how many times the
+    driver's supervisor loop resurrects each party after a simulated
+    crash or a journal failure before giving up with that failure.
+    """
+
+    seed: int = 0
+    protocol: str | None = None
+    chunk_size: int | None = None
+    client_net: FaultPlan | None = None
+    server_net: FaultPlan | None = None
+    sender_disk: DiskFaultPlan | None = None
+    receiver_disk: DiskFaultPlan | None = None
+    sender_crash: tuple[str, int] | None = None
+    receiver_crash: tuple[str, int] | None = None
+    max_restarts: int = 4
+
+    @classmethod
+    def generate(cls, seed: int, protocol: str | None = None) -> "ChaosSchedule":
+        """Derive a full composed schedule deterministically from ``seed``.
+
+        Each axis (per-direction network faults, per-party disk faults,
+        per-party crash points, chunked vs whole-round wire format) is
+        drawn independently, so the population covers clean runs,
+        single-axis failures and every pairwise composition. The same
+        seed always yields the same schedule - the reproduction handle
+        the chaos suite prints on failure.
+        """
+        rng = random.Random(f"repro-chaos-{seed}")
+        return cls(
+            seed=seed,
+            protocol=protocol if protocol is not None else rng.choice(_PROTOCOLS),
+            chunk_size=rng.choice((None, None, None, 1, 2)),
+            client_net=_net_plan(rng),
+            server_net=_net_plan(rng),
+            sender_disk=_disk_plan(rng),
+            receiver_disk=_disk_plan(rng),
+            sender_crash=_crash_plan(rng),
+            receiver_crash=_crash_plan(rng),
+            max_restarts=4,
+        )
+
+
+@dataclass
+class PartyOutcome:
+    """How one party's supervised run ended.
+
+    ``kind`` is ``"answer"`` (ran to completion; ``value`` holds the
+    receiver's protocol answer, or the sender's party state),
+    ``"error"`` (a typed, clean failure - the invariant's acceptable
+    negative outcome), ``"violation"`` (an untyped exception escaped -
+    an invariant breach), or ``"hang"`` (the party never finished
+    inside the driver's wall-clock budget - also a breach).
+    """
+
+    kind: str
+    value: Any = None
+    error: BaseException | None = None
+    restarts: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether this outcome satisfies the durability invariant."""
+        return self.kind in ("answer", "error")
+
+
+@dataclass
+class ChaosResult:
+    """Everything :func:`run_schedule` observed for one schedule."""
+
+    schedule: ChaosSchedule
+    protocol: str
+    expected: Any
+    receiver: PartyOutcome
+    sender: PartyOutcome
+    journals_ok: bool = True
+    notes: list[str] = field(default_factory=list)
+    net_stats: dict[str, Any] = field(default_factory=dict)
+    disk_stats: dict[str, Any] = field(default_factory=dict)
+    crash_stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def answer(self) -> Any:
+        """The receiver's answer (``None`` unless it completed)."""
+        return self.receiver.value if self.receiver.kind == "answer" else None
+
+    @property
+    def ok(self) -> bool:
+        """The durability invariant: correct answer or typed failure.
+
+        False on a wrong answer, an untyped escape, a hang, or a
+        completed journal whose bytes diverge from the reference run.
+        """
+        if not (self.receiver.clean and self.sender.clean):
+            return False
+        if not self.journals_ok:
+            return False
+        if self.receiver.kind == "answer" and self.receiver.value != self.expected:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """A failure-report line; the seed reproduces the schedule."""
+        parts = [
+            f"chaos seed {self.schedule.seed} ({self.protocol}, "
+            f"chunk_size={self.schedule.chunk_size}):",
+            f"receiver={self.receiver.kind}"
+            + (f" ({self.receiver.error!r})" if self.receiver.error else "")
+            + f" after {self.receiver.restarts} restarts,",
+            f"sender={self.sender.kind}"
+            + (f" ({self.sender.error!r})" if self.sender.error else "")
+            + f" after {self.sender.restarts} restarts",
+        ]
+        if self.receiver.kind == "answer" and self.receiver.value != self.expected:
+            parts.append(
+                f"- WRONG ANSWER {self.receiver.value!r} != {self.expected!r}"
+            )
+        for note in self.notes:
+            parts.append(f"- {note}")
+        parts.append(
+            "- replay: run_schedule(ChaosSchedule.generate("
+            f"{self.schedule.seed}))"
+        )
+        return " ".join(parts)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat mapping for JSON benchmark records."""
+        return {
+            "seed": self.schedule.seed,
+            "protocol": self.protocol,
+            "chunk_size": self.schedule.chunk_size,
+            "ok": self.ok,
+            "receiver": self.receiver.kind,
+            "sender": self.sender.kind,
+            "receiver_restarts": self.receiver.restarts,
+            "sender_restarts": self.sender.restarts,
+            "receiver_error": repr(self.receiver.error) if self.receiver.error else None,
+            "sender_error": repr(self.sender.error) if self.sender.error else None,
+            "journals_ok": self.journals_ok,
+            "net": self.net_stats,
+            "disk": self.disk_stats,
+            "crash": self.crash_stats,
+        }
+
+
+class _PairBroker:
+    """An in-process rendezvous replacing the TCP listener.
+
+    Each ``connect()`` builds a fresh ``socketpair``, queues the server
+    half for the sender's ``accept()`` and returns the client half -
+    the same connect/accept contract the resumable TCP helpers give
+    the session layer, minus the port.
+    """
+
+    def __init__(self, timeout_s: float, endpoint_cls: Any):
+        import queue
+
+        self._queue: Any = queue.Queue()
+        self.timeout_s = timeout_s
+        self._endpoint_cls = endpoint_cls
+
+    def connect(self) -> Any:
+        import socket
+
+        client, server = socket.socketpair()
+        client.settimeout(self.timeout_s)
+        server.settimeout(self.timeout_s)
+        self._queue.put(self._endpoint_cls(sock=server))
+        return self._endpoint_cls(sock=client)
+
+    def accept(self) -> Any:
+        import queue
+
+        try:
+            return self._queue.get(timeout=self.timeout_s)
+        except queue.Empty:
+            raise TimeoutError("no chaos client connected") from None
+
+
+def run_schedule(
+    schedule: ChaosSchedule,
+    protocol: str | None = None,
+    params: Any = None,
+    data: tuple[Any, Any] | None = None,
+    journal_root: str | Path | None = None,
+    wall_timeout_s: float = 45.0,
+) -> ChaosResult:
+    """Execute one protocol run under a chaos schedule, in-process.
+
+    Both parties run journaled resumable sessions over ``socketpair``
+    transports, each on its own thread under a supervisor loop that -
+    exactly like the resumable TCP helpers - scans its journal
+    directory and recovers (or salvages a completed journal) after
+    every :class:`SimulatedCrash` or
+    :class:`~repro.net.journal.JournalError`, up to
+    ``schedule.max_restarts`` resurrections. Network faults, disk
+    faults and crash hooks all come from the schedule; all randomness
+    derives from ``schedule.seed``, so a failing run replays
+    deterministically.
+
+    The expected answer *and* the byte-exact reference wires come from
+    a clean in-memory run of the same machine seeds; when a party
+    completes an unchunked run, its journal is compared byte-for-byte
+    against those wires (``journals_ok``) - the "no undetected corrupt
+    journal" half of the invariant.
+
+    Args:
+        schedule: the composed fault schedule (see
+            :meth:`ChaosSchedule.generate`).
+        protocol: registered protocol name; defaults to
+            ``schedule.protocol``.
+        params: public parameters (defaults to 128-bit, the test size).
+        data: optional ``(receiver values, sender values)`` override.
+        journal_root: directory for the two parties' journal dirs; a
+            temporary directory (cleaned up afterwards) when omitted.
+        wall_timeout_s: budget after which a party is declared hung.
+
+    Returns:
+        A :class:`ChaosResult`; assert on ``result.ok`` and print
+        ``result.describe()`` on failure.
+    """
+    from ..protocols.parties import PublicParams, ReceiverMachine, SenderMachine
+    from ..protocols.spec import get_spec
+    from . import serialization
+    from .faults import FaultInjector
+    from .journal import (
+        WAL_SUFFIX,
+        JournalDir,
+        JournalError,
+        SessionJournal,
+        peek_state,
+        recover_receiver_session,
+        recover_sender_session,
+    )
+    from .session import (
+        ReceiverSession,
+        RetryPolicy,
+        SenderSession,
+        SessionConfig,
+        SessionError,
+    )
+    from .tcp import SocketEndpoint
+
+    protocol = protocol if protocol is not None else schedule.protocol
+    if protocol is None:
+        raise ValueError(
+            "no protocol: pass protocol= or use ChaosSchedule.generate"
+        )
+    spec = get_spec(protocol)
+    if data is not None:
+        v_r, v_s = data
+    elif protocol in _DEFAULT_DATA:
+        v_r, v_s = _DEFAULT_DATA[protocol]
+    else:
+        raise ValueError(
+            f"no default data for {protocol!r}; pass data=(v_r, v_s)"
+        )
+    if params is None:
+        params = PublicParams.for_bits(128)
+
+    s_seed = f"chaos-s-{schedule.seed}"
+    r_seed = f"chaos-r-{schedule.seed}"
+
+    def make_sender() -> Any:
+        return spec.make_sender(v_s, params, random.Random(s_seed))
+
+    def make_receiver(params_wire: Any) -> Any:
+        return spec.make_receiver(
+            v_r, PublicParams.from_wire(params_wire), random.Random(r_seed)
+        )
+
+    # Clean reference run: the expected answer plus the byte-exact
+    # wires every completed journal must reproduce.
+    ref_sender = SenderMachine(spec, v_s, params, random.Random(s_seed))
+    ref_receiver = ReceiverMachine(spec, v_r, params, random.Random(r_seed))
+    wires: list[tuple[str, Any]] = []
+    for rnd in spec.rounds:
+        producer, consumer = (
+            (ref_receiver, ref_sender)
+            if rnd.source == "R"
+            else (ref_sender, ref_receiver)
+        )
+        wire = producer.produce(rnd).to_wire()
+        wires.append((rnd.source, wire))
+        consumer.consume(rnd, wire)
+    expected = ref_receiver.finish()
+
+    config = SessionConfig(
+        timeout_s=0.25,
+        retry=RetryPolicy(
+            max_attempts=4, base_delay_s=0.005, max_delay_s=0.04
+        ),
+        max_reconnects=12,
+        fin_grace_s=0.02,
+    )
+
+    cleanup = None
+    if journal_root is None:
+        cleanup = tempfile.TemporaryDirectory(
+            prefix="repro-chaos-", ignore_cleanup_errors=True
+        )
+        journal_root = cleanup.name
+    root = Path(journal_root)
+
+    sender_io = (
+        FaultyJournalIO(schedule.sender_disk) if schedule.sender_disk else None
+    )
+    receiver_io = (
+        FaultyJournalIO(schedule.receiver_disk)
+        if schedule.receiver_disk
+        else None
+    )
+    sender_dir = JournalDir(root / "sender", io=sender_io)
+    receiver_dir = JournalDir(root / "receiver", io=receiver_io)
+    client_net = (
+        FaultInjector(schedule.client_net) if schedule.client_net else None
+    )
+    server_net = (
+        FaultInjector(schedule.server_net) if schedule.server_net else None
+    )
+    sender_hook = (
+        CrashHook(*schedule.sender_crash) if schedule.sender_crash else None
+    )
+    receiver_hook = (
+        CrashHook(*schedule.receiver_crash)
+        if schedule.receiver_crash
+        else None
+    )
+
+    broker = _PairBroker(config.timeout_s, SocketEndpoint)
+
+    def sender_accept() -> Any:
+        transport = broker.accept()
+        return server_net.wrap(transport) if server_net else transport
+
+    def receiver_connect() -> Any:
+        transport = broker.connect()
+        return client_net.wrap(transport) if client_net else transport
+
+    def complete_path(jdir: Any, role: str) -> Path | None:
+        """A completed (rotated or done-but-unrotated) journal, if any."""
+        for path in sorted(jdir.path.glob(f"{role}-{protocol}-*")):
+            if path.suffix == WAL_SUFFIX:
+                try:
+                    state = peek_state(path)
+                except JournalError:
+                    continue
+                if state is None or not state.complete:
+                    continue
+            elif path.suffix != ".done":
+                continue
+            return path
+        return None
+
+    def close_journal(session: Any) -> None:
+        if session is not None and session.journal is not None:
+            session.journal.close()
+
+    def sender_attempt() -> Any:
+        done = complete_path(sender_dir, "sender")
+        if done is not None:
+            # A previous life finished the run; only the rotation (and
+            # the in-memory state, which dies with a process) was lost.
+            if done.suffix == WAL_SUFFIX:
+                SessionJournal(done, io=sender_io).rotate()
+            return None
+        pending = sender_dir.incomplete("sender", protocol)
+        if pending:
+            session = recover_sender_session(
+                pending[0], params, make_sender, config=config,
+                chunk_size=schedule.chunk_size, io=sender_io,
+            )
+        else:
+            session = SenderSession(
+                protocol, params, make_sender, config=config,
+                rng=random.Random(f"chaos-sx-{schedule.seed}"),
+                journal=sender_dir, chunk_size=schedule.chunk_size,
+            )
+        try:
+            return session.run(sender_accept)
+        finally:
+            close_journal(session)
+
+    def receiver_attempt() -> Any:
+        done = complete_path(receiver_dir, "receiver")
+        if done is not None:
+            # Salvage: replay the completed journal to its answer
+            # offline - the peer may be long gone.
+            session = recover_receiver_session(
+                done, make_receiver, config=config,
+                chunk_size=schedule.chunk_size, io=receiver_io,
+            )
+            try:
+                if session._machine is None:
+                    raise JournalError(
+                        f"{done}: complete journal without parameters"
+                    )
+                answer = session._machine.finish()
+                session.journal.rotate()
+                return answer
+            finally:
+                close_journal(session)
+        pending = receiver_dir.incomplete("receiver", protocol)
+        if pending:
+            session = recover_receiver_session(
+                pending[0], make_receiver, config=config,
+                chunk_size=schedule.chunk_size, io=receiver_io,
+            )
+        else:
+            session = ReceiverSession(
+                protocol, make_receiver, config=config,
+                rng=random.Random(f"chaos-rx-{schedule.seed}"),
+                journal=receiver_dir, chunk_size=schedule.chunk_size,
+            )
+        try:
+            return session.run(receiver_connect)
+        finally:
+            close_journal(session)
+
+    def supervise(
+        hook: CrashHook | None, attempt: Callable[[], Any]
+    ) -> PartyOutcome:
+        """The per-party supervisor: run, die, recover, repeat."""
+        restarts = 0
+        while True:
+            try:
+                with hooked(hook):
+                    return PartyOutcome("answer", attempt(), None, restarts)
+            except (SimulatedCrash, JournalError) as exc:
+                restarts += 1
+                if restarts > schedule.max_restarts:
+                    return PartyOutcome("error", None, exc, restarts)
+            except SessionError as exc:
+                return PartyOutcome("error", None, exc, restarts)
+            except BaseException as exc:
+                return PartyOutcome("violation", None, exc, restarts)
+
+    outcomes: dict[str, PartyOutcome] = {}
+    threads = [
+        threading.Thread(
+            target=lambda: outcomes.__setitem__(
+                "sender", supervise(sender_hook, sender_attempt)
+            ),
+            name="chaos-sender",
+            daemon=True,
+        ),
+        threading.Thread(
+            target=lambda: outcomes.__setitem__(
+                "receiver", supervise(receiver_hook, receiver_attempt)
+            ),
+            name="chaos-receiver",
+            daemon=True,
+        ),
+    ]
+    import time as _time
+
+    for thread in threads:
+        thread.start()
+    deadline = _time.monotonic() + wall_timeout_s
+    for thread in threads:
+        thread.join(timeout=max(deadline - _time.monotonic(), 0.0))
+    sender_out = outcomes.get("sender", PartyOutcome("hang"))
+    receiver_out = outcomes.get("receiver", PartyOutcome("hang"))
+
+    journals_ok = True
+    notes: list[str] = []
+    if schedule.chunk_size is None:
+        for role, jdir, letter, outcome in (
+            ("sender", sender_dir, "S", sender_out),
+            ("receiver", receiver_dir, "R", receiver_out),
+        ):
+            if outcome.kind != "answer":
+                continue
+            path = complete_path(jdir, role)
+            if path is None:
+                journals_ok = False
+                notes.append(f"{role} finished without a complete journal")
+                continue
+            state = peek_state(path)
+            expect_out = [
+                serialization.encode(w) for src, w in wires if src == letter
+            ]
+            expect_in = [
+                serialization.encode(w) for src, w in wires if src != letter
+            ]
+            if state is None or not state.complete:
+                journals_ok = False
+                notes.append(f"{role} journal {path.name} not complete")
+            elif state.outbound != expect_out or state.inbound != expect_in:
+                journals_ok = False
+                notes.append(
+                    f"{role} journal {path.name} diverges from the "
+                    "reference wires"
+                )
+    if cleanup is not None:
+        cleanup.cleanup()
+
+    return ChaosResult(
+        schedule=schedule,
+        protocol=protocol,
+        expected=expected,
+        receiver=receiver_out,
+        sender=sender_out,
+        journals_ok=journals_ok,
+        notes=notes,
+        net_stats={
+            "client": client_net.stats.as_dict() if client_net else None,
+            "server": server_net.stats.as_dict() if server_net else None,
+        },
+        disk_stats={
+            "sender": sender_io.stats.as_dict() if sender_io else None,
+            "receiver": receiver_io.stats.as_dict() if receiver_io else None,
+        },
+        crash_stats={
+            "sender": sender_hook.as_dict() if sender_hook else None,
+            "receiver": receiver_hook.as_dict() if receiver_hook else None,
+        },
+    )

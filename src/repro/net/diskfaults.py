@@ -1,0 +1,279 @@
+"""Deterministic disk-fault injection for the session journal.
+
+:mod:`repro.net.faults` attacks the wire; this module attacks the
+disk. The journal layer (:mod:`repro.net.journal`) performs every file
+operation through a tiny I/O seam - :class:`JournalIO` - whose default
+implementation is the real ``os`` calls with zero added overhead.
+:class:`FaultyJournalIO` is the seeded drop-in that injects the
+classic storage failure modes at that seam:
+
+* **fsync error** - ``fsync`` raises ``EIO``. Per the fsyncgate rule
+  the caller must treat the handle as poisoned: after a failed fsync
+  the page cache state is unknowable, so the journal goes fail-stop.
+* **torn write** - an append is cut at a seeded byte offset mid-record
+  and then raises ``EIO``, modelling a crash (or a lying disk) that
+  persists only a prefix of the record.
+* **ENOSPC** - the append fails before a single byte lands.
+* **rename error** - ``os.replace`` during ``.wal`` → ``.done``
+  rotation fails, leaving the completed journal un-rotated.
+* **directory fsync error** - the durability barrier after a create
+  or rename fails; counted, surfaced in journal stats.
+
+Every injection increments a per-class counter in
+:class:`DiskFaultStats`, mirroring :class:`~repro.net.faults.FaultStats`,
+so chaos tests can assert a fault actually fired. One
+:class:`FaultyJournalIO` owns one RNG stream for a whole run: shared
+across a :class:`~repro.net.journal.JournalDir` it keeps injecting in
+sequence across crash-restart cycles, so the entire schedule stays
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, BinaryIO
+
+__all__ = [
+    "DiskFaultPlan",
+    "DiskFaultStats",
+    "JournalIO",
+    "FaultyJournalIO",
+    "FaultyFile",
+]
+
+
+class JournalIO:
+    """The journal's file-operation seam: real ``os`` calls by default.
+
+    :class:`~repro.net.journal.SessionJournal` routes every disk touch
+    through one of these methods, so swapping in a
+    :class:`FaultyJournalIO` subjects the journal to seeded storage
+    faults without monkeypatching. Each method maps one-to-one onto
+    the underlying OS call and raises plain :class:`OSError` on
+    failure - policy (fail-stop, poisoning, counting) lives in the
+    journal, not here.
+    """
+
+    def open_append(self, path: Path) -> BinaryIO:
+        """Open ``path`` for binary append."""
+        return open(path, "ab")
+
+    def write(self, fh: BinaryIO, data: bytes) -> None:
+        """Write ``data`` to an open handle."""
+        fh.write(data)
+
+    def flush(self, fh: BinaryIO) -> None:
+        """Flush userspace buffers to the kernel."""
+        fh.flush()
+
+    def fsync(self, fh: BinaryIO) -> None:
+        """Force the handle's data to stable storage."""
+        os.fsync(fh.fileno())
+
+    def truncate(self, path: Path, size: int) -> None:
+        """Durably truncate ``path`` to ``size`` bytes (torn-tail repair)."""
+        with open(path, "r+b") as fh:
+            fh.truncate(size)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def replace(self, src: Path, dst: Path) -> None:
+        """Atomically rename ``src`` over ``dst`` (``os.replace``)."""
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: Path) -> None:
+        """Fsync a directory so a create/rename in it is durable."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """Seeded per-operation fault probabilities for journal I/O.
+
+    Write faults are cumulative-exclusive per append (one uniform draw
+    decides: torn write, else ENOSPC, else clean), so
+    ``torn_write_rate + enospc_rate`` must stay at or below 1; the
+    other rates are independent per operation of their class.
+    ``skip`` delivers that many faultable operations cleanly before
+    faults arm (scripting a fault at an exact record), and
+    ``max_faults`` caps total injections so a test schedules *exactly
+    N* faults regardless of how many retries follow.
+    """
+
+    seed: int = 0
+    fsync_error_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    enospc_rate: float = 0.0
+    rename_error_rate: float = 0.0
+    dir_fsync_error_rate: float = 0.0
+    max_faults: int | None = None
+    skip: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate every rate is a probability and writes sum to <= 1."""
+        for name in (
+            "fsync_error_rate", "torn_write_rate", "enospc_rate",
+            "rename_error_rate", "dir_fsync_error_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name}={rate}, must be in [0, 1]")
+        total = self.torn_write_rate + self.enospc_rate
+        if total > 1.0:
+            raise ValueError(
+                f"write fault rates sum to {total}, must be in [0, 1]"
+            )
+
+
+@dataclass
+class DiskFaultStats:
+    """Per-fault-class counters for injected disk faults."""
+
+    ops: int = 0
+    torn_writes: int = 0
+    enospc_errors: int = 0
+    fsync_errors: int = 0
+    rename_errors: int = 0
+    dir_fsync_errors: int = 0
+
+    @property
+    def injected(self) -> int:
+        """Total disk faults injected so far."""
+        return (
+            self.torn_writes + self.enospc_errors + self.fsync_errors
+            + self.rename_errors + self.dir_fsync_errors
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat mapping for JSON benchmark records."""
+        return {
+            "ops": self.ops,
+            "torn_writes": self.torn_writes,
+            "enospc_errors": self.enospc_errors,
+            "fsync_errors": self.fsync_errors,
+            "rename_errors": self.rename_errors,
+            "dir_fsync_errors": self.dir_fsync_errors,
+        }
+
+
+def _os_error(code: int, message: str) -> OSError:
+    """An ``OSError`` carrying a real errno, as the kernel would raise."""
+    return OSError(code, f"fault injection: {message}")
+
+
+class FaultyJournalIO(JournalIO):
+    """A :class:`JournalIO` that injects seeded faults per operation.
+
+    Owns one RNG stream and one :class:`DiskFaultStats` for its whole
+    lifetime - share a single instance across every journal of a run
+    (via ``JournalDir(io=...)``) so the fault sequence continues across
+    crash-restart cycles instead of replaying from the seed.
+    """
+
+    def __init__(
+        self,
+        plan: DiskFaultPlan,
+        stats: DiskFaultStats | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.plan = plan
+        self.stats = stats if stats is not None else DiskFaultStats()
+        self.rng = rng if rng is not None else random.Random(plan.seed)
+
+    def _armed(self) -> bool:
+        """Whether faults may fire on this operation (skip/cap gates)."""
+        self.stats.ops += 1
+        if self.stats.ops <= self.plan.skip:
+            return False
+        if (
+            self.plan.max_faults is not None
+            and self.stats.injected >= self.plan.max_faults
+        ):
+            return False
+        return True
+
+    def write(self, fh: BinaryIO, data: bytes) -> None:
+        """Write ``data``, or tear it mid-record, or fail with ENOSPC."""
+        if self._armed():
+            r = self.rng.random()
+            if r < self.plan.torn_write_rate:
+                self.stats.torn_writes += 1
+                cut = self.rng.randrange(max(len(data), 1))
+                fh.write(data[:cut])
+                fh.flush()
+                raise _os_error(errno.EIO, f"torn write at byte {cut}")
+            if r < self.plan.torn_write_rate + self.plan.enospc_rate:
+                self.stats.enospc_errors += 1
+                raise _os_error(errno.ENOSPC, "no space left on device")
+        fh.write(data)
+
+    def fsync(self, fh: BinaryIO) -> None:
+        """Fsync the handle, or raise ``EIO`` (the fsyncgate fault)."""
+        if self._armed() and self.rng.random() < self.plan.fsync_error_rate:
+            self.stats.fsync_errors += 1
+            raise _os_error(errno.EIO, "fsync failed, cache state unknown")
+        os.fsync(fh.fileno())
+
+    def replace(self, src: Path, dst: Path) -> None:
+        """Rename ``src`` over ``dst``, or fail leaving ``src`` intact."""
+        if self._armed() and self.rng.random() < self.plan.rename_error_rate:
+            self.stats.rename_errors += 1
+            raise _os_error(errno.EIO, f"rename {src.name} -> {dst.name}")
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: Path) -> None:
+        """Fsync the directory, or fail the durability barrier."""
+        if (
+            self._armed()
+            and self.rng.random() < self.plan.dir_fsync_error_rate
+        ):
+            self.stats.dir_fsync_errors += 1
+            raise _os_error(errno.EIO, f"directory fsync of {path}")
+        super().fsync_dir(path)
+
+
+class FaultyFile:
+    """A file-object wrapper routing writes through a fault injector.
+
+    For code that holds a plain binary file handle rather than going
+    through the :class:`JournalIO` seam: wraps the handle so ``write``
+    and ``flush``+``fsync`` (via :meth:`sync`) inject the same seeded
+    fault classes. Reads and everything else delegate untouched.
+    """
+
+    def __init__(self, fh: BinaryIO, io: FaultyJournalIO):
+        self.raw = fh
+        self.io = io
+
+    def write(self, data: bytes) -> int:
+        """Write through the injector; returns ``len(data)`` on success."""
+        self.io.write(self.raw, data)
+        return len(data)
+
+    def flush(self) -> None:
+        """Flush the wrapped handle (never faulted: userspace only)."""
+        self.raw.flush()
+
+    def sync(self) -> None:
+        """Fsync through the injector (the faultable durability step)."""
+        self.io.fsync(self.raw)
+
+    def fileno(self) -> int:
+        """The wrapped handle's file descriptor."""
+        return self.raw.fileno()
+
+    def close(self) -> None:
+        """Close the wrapped handle."""
+        self.raw.close()
+
+    def __getattr__(self, name: str) -> Any:
+        """Delegate everything else to the wrapped handle."""
+        return getattr(self.raw, name)

@@ -49,7 +49,6 @@ where each payload is :mod:`repro.net.serialization` bytes for one of::
 
 from __future__ import annotations
 
-import os
 import struct
 import zlib
 from dataclasses import dataclass, field
@@ -57,6 +56,8 @@ from pathlib import Path
 from typing import Any, Callable, Iterable
 
 from . import serialization
+from .chaos import crash_point
+from .diskfaults import JournalIO
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -88,21 +89,16 @@ CORRUPT_SUFFIX = ".corrupt"
 
 
 class JournalError(Exception):
-    """A journal is unreadable, inconsistent, or diverges on replay."""
+    """A journal is unreadable, inconsistent, or diverges on replay.
+
+    Deliberately *not* an :class:`OSError`: the session layer retries
+    transient OS errors, but a journal failure is fail-stop - it must
+    escape every retry loop and reach the supervisor.
+    """
 
 
-def _fsync_dir(path: Path) -> None:
-    """Best-effort directory fsync so renames/creates are durable."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+#: The default I/O seam: real ``os`` calls, shared and stateless.
+_REAL_IO = JournalIO()
 
 
 class SessionJournal:
@@ -115,14 +111,33 @@ class SessionJournal:
     ``write + flush + fsync`` (fsync skippable via ``fsync=False`` for
     benchmarks) so a record returned from :meth:`append` survives the
     process.
+
+    Every disk touch goes through an injectable I/O seam (``io``, a
+    :class:`~repro.net.diskfaults.JournalIO`; defaults to the real
+    ``os`` calls). The journal is **fail-stop**: any write or fsync
+    failure poisons it - per the fsyncgate rule a failed fsync leaves
+    the page cache state unknowable, so the handle is closed, never
+    reused, and every later operation raises :class:`JournalError`.
+    Failure counts surface in :meth:`io_stats`.
     """
 
-    def __init__(self, path: str | Path, fsync: bool = True):
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: bool = True,
+        io: JournalIO | None = None,
+    ):
         self.path = Path(path)
         self.fsync = fsync
         self.records: list[tuple] = []
         self.truncated_bytes = 0
         self.appends = 0
+        self.poisoned: str | None = None
+        self.write_failures = 0
+        self.fsync_failures = 0
+        self.dir_fsync_failures = 0
+        self.rotate_failures = 0
+        self._io = io if io is not None else _REAL_IO
         self._file: Any = None
         self._load()
 
@@ -133,28 +148,41 @@ class SessionJournal:
         exists = self.path.exists()
         if not exists:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._file = open(self.path, "ab")
-            self._file.write(JOURNAL_MAGIC)
-            self._flush()
-            _fsync_dir(self.path.parent)
+            try:
+                self._file = self._io.open_append(self.path)
+                self._io.write(self._file, JOURNAL_MAGIC)
+                self._flush()
+            except OSError as exc:
+                self.write_failures += 1
+                self._poison("create", exc)
+            self._dir_barrier()
             return
         data = self.path.read_bytes()
         if len(data) < len(JOURNAL_MAGIC):
             if JOURNAL_MAGIC.startswith(data):
                 # Crash mid-creation: nothing was journaled yet.
-                self.path.write_bytes(JOURNAL_MAGIC)
-                self._file = open(self.path, "ab")
-                self._flush()
+                try:
+                    self.path.write_bytes(JOURNAL_MAGIC)
+                    self._file = self._io.open_append(self.path)
+                    self._flush()
+                except OSError as exc:
+                    self.write_failures += 1
+                    self._poison("repair", exc)
                 return
             raise JournalError(f"{self.path} is not a session journal")
         self.records, good_end = self._scan_bytes(data, self.path)
         if good_end < len(data):
             self.truncated_bytes = len(data) - good_end
-            with open(self.path, "r+b") as fh:
-                fh.truncate(good_end)
-                fh.flush()
-                os.fsync(fh.fileno())
-        self._file = open(self.path, "ab")
+            try:
+                self._io.truncate(self.path, good_end)
+            except OSError as exc:
+                self.write_failures += 1
+                self._poison("truncate", exc)
+        try:
+            self._file = self._io.open_append(self.path)
+        except OSError as exc:
+            self.write_failures += 1
+            self._poison("open", exc)
 
     @staticmethod
     def _scan_bytes(data: bytes, path: Path) -> tuple[list[tuple], int]:
@@ -213,22 +241,78 @@ class SessionJournal:
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
+    def _poison(self, op: str, exc: OSError) -> None:
+        """Fail-stop: close and never reuse the handle, raise typed.
+
+        After a failed write the file offset is unknowable; after a
+        failed fsync the page cache is (fsyncgate) - either way no
+        later append through this handle can be trusted, so the
+        journal refuses all further writes until reopened (which
+        re-scans and truncates whatever half-record made it to disk).
+        """
+        self.poisoned = f"{op}: {exc}"
+        fh, self._file = self._file, None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:
+                pass
+        raise JournalError(
+            f"{self.path}: {op} failed; journal is fail-stop ({exc})"
+        ) from exc
+
+    def _dir_barrier(self, path: Path | None = None) -> None:
+        """Directory durability barrier; failures counted, not fatal.
+
+        A failed directory fsync means the file's *name* may not
+        survive a power cut - but the data a successful ``append``
+        fsync'd is intact, so this is recorded
+        (:attr:`dir_fsync_failures`, surfaced by :meth:`io_stats`)
+        rather than poisoning the journal.
+        """
+        try:
+            self._io.fsync_dir(path if path is not None else self.path.parent)
+        except OSError:
+            self.dir_fsync_failures += 1
+
     def _flush(self) -> None:
-        self._file.flush()
+        self._io.flush(self._file)
         if self.fsync:
-            os.fsync(self._file.fileno())
+            self._io.fsync(self._file)
 
     def append(self, record: tuple) -> None:
-        """Seal, write, and make one record durable before returning."""
+        """Seal, write, and make one record durable before returning.
+
+        Raises:
+            JournalError: if the journal is closed or poisoned, or if
+                the write/fsync fails - in which case the journal
+                poisons itself (fail-stop) before raising.
+        """
+        if self.poisoned is not None:
+            raise JournalError(
+                f"{self.path}: fail-stop after {self.poisoned}"
+            )
         if self._file is None:
             raise JournalError(f"{self.path} is closed")
         payload = serialization.encode(record)
-        self._file.write(
-            _LEN.pack(len(payload)) + payload + _CRC.pack(zlib.crc32(payload))
-        )
-        self._flush()
+        crash_point("journal.append.pre")
+        try:
+            self._io.write(
+                self._file,
+                _LEN.pack(len(payload)) + payload
+                + _CRC.pack(zlib.crc32(payload)),
+            )
+        except OSError as exc:
+            self.write_failures += 1
+            self._poison("write", exc)
+        try:
+            self._flush()
+        except OSError as exc:
+            self.fsync_failures += 1
+            self._poison("fsync", exc)
         self.records.append(record)
         self.appends += 1
+        crash_point("journal.append.post")
 
     def record_open(self, role: str, protocol: str) -> None:
         """The first record: which role and protocol this journal logs."""
@@ -255,30 +339,85 @@ class SessionJournal:
         """Whether a completion marker has been journaled."""
         return any(r and r[0] == "done" for r in self.records)
 
+    def io_stats(self) -> dict[str, Any]:
+        """Lifetime I/O and failure counters for this journal.
+
+        Every swallowed-or-poisoned failure shows up here - directory
+        fsync failures are the only class that is counted without
+        raising, everything else also fail-stopped the journal.
+        """
+        return {
+            "appends": self.appends,
+            "truncated_bytes": self.truncated_bytes,
+            "write_failures": self.write_failures,
+            "fsync_failures": self.fsync_failures,
+            "dir_fsync_failures": self.dir_fsync_failures,
+            "rotate_failures": self.rotate_failures,
+            "poisoned": self.poisoned,
+        }
+
     # ------------------------------------------------------------------
     # Teardown / rotation
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Flush and close the underlying file (idempotent)."""
-        if self._file is not None:
-            self._flush()
-            self._file.close()
-            self._file = None
+        """Flush and close the underlying file (idempotent, no-raise).
+
+        Teardown must be safe from ``finally`` blocks, so a flush or
+        fsync failure here does not raise: it is counted, the handle is
+        closed and the journal marked poisoned - the next *operation*
+        raises. Every record a prior :meth:`append` returned for was
+        already durable, so nothing acknowledged is at risk.
+        """
+        if self._file is None:
+            return
+        fh, self._file = self._file, None
+        try:
+            self._io.flush(fh)
+            if self.fsync:
+                self._io.fsync(fh)
+        except OSError as exc:
+            self.fsync_failures += 1
+            if self.poisoned is None:
+                self.poisoned = f"close: {exc}"
+        finally:
+            try:
+                fh.close()
+            except OSError:
+                pass
 
     def rotate(self) -> Path:
         """Atomically rename a completed ``*.wal`` to ``*.done``.
 
         ``os.replace`` is atomic on POSIX, so a crash leaves either the
-        live journal or the rotated one - never a half state. Returns
-        the rotated path; idempotent on an already-rotated journal.
+        live journal or the rotated one - never a half state. A failed
+        rename raises :class:`JournalError` but leaves the ``*.wal``
+        byte-identical, so :func:`peek_state` still classifies it as a
+        completed run and a later scan can rotate it. Returns the
+        rotated path; idempotent on an already-rotated journal.
         """
         self.close()
+        if self.poisoned is not None:
+            self.rotate_failures += 1
+            raise JournalError(
+                f"{self.path}: refusing to rotate a poisoned journal "
+                f"({self.poisoned})"
+            )
         if self.path.suffix == DONE_SUFFIX:
             return self.path
         target = self.path.with_suffix(DONE_SUFFIX)
-        os.replace(self.path, target)
-        _fsync_dir(target.parent)
+        crash_point("journal.rotate.pre")
+        try:
+            self._io.replace(self.path, target)
+        except OSError as exc:
+            self.rotate_failures += 1
+            raise JournalError(
+                f"{self.path}: rotation rename failed ({exc}); the "
+                "completed journal is intact and still classifies as "
+                "complete"
+            ) from exc
+        self._dir_barrier(target.parent)
         self.path = target
+        crash_point("journal.rotate.post")
         return target
 
 
@@ -290,9 +429,15 @@ class JournalDir:
     a database.
     """
 
-    def __init__(self, path: str | Path, fsync: bool = True):
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: bool = True,
+        io: JournalIO | None = None,
+    ):
         self.path = Path(path)
         self.fsync = fsync
+        self.io = io
         self.path.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, role: str, protocol: str, session_id: int) -> Path:
@@ -310,7 +455,9 @@ class JournalDir:
         to resume it).
         """
         journal = SessionJournal(
-            self.path_for(role, protocol, session_id), fsync=self.fsync
+            self.path_for(role, protocol, session_id),
+            fsync=self.fsync,
+            io=self.io,
         )
         if not journal.records:
             journal.record_open(role, protocol)
@@ -579,10 +726,14 @@ def _replay_machine(
     return in_bounds, out_bounds
 
 
-def _open(journal: SessionJournal | str | Path, fsync: bool) -> SessionJournal:
+def _open(
+    journal: SessionJournal | str | Path,
+    fsync: bool,
+    io: JournalIO | None = None,
+) -> SessionJournal:
     if isinstance(journal, SessionJournal):
         return journal
-    return SessionJournal(journal, fsync=fsync)
+    return SessionJournal(journal, fsync=fsync, io=io)
 
 
 def _decode_all(payloads: Iterable[bytes], path: Path) -> list[Any]:
@@ -614,6 +765,7 @@ def recover_sender_session(
     recorder: Any = None,
     fsync: bool = True,
     chunk_size: int | None = None,
+    io: JournalIO | None = None,
 ) -> Any:
     """Rebuild a :class:`~repro.net.session.SenderSession` from disk.
 
@@ -627,7 +779,7 @@ def recover_sender_session(
     """
     from .session import SenderSession
 
-    journal = _open(journal, fsync)
+    journal = _open(journal, fsync, io)
     state = replay_state(journal)
     if state.role != "sender":
         raise JournalError(f"{journal.path}: not a sender journal")
@@ -674,6 +826,7 @@ def recover_receiver_session(
     recorder: Any = None,
     fsync: bool = True,
     chunk_size: int | None = None,
+    io: JournalIO | None = None,
 ) -> Any:
     """Rebuild a :class:`~repro.net.session.ReceiverSession` from disk.
 
@@ -685,7 +838,7 @@ def recover_receiver_session(
     """
     from .session import ReceiverSession
 
-    journal = _open(journal, fsync)
+    journal = _open(journal, fsync, io)
     state = replay_state(journal)
     if state.role != "receiver":
         raise JournalError(f"{journal.path}: not a receiver journal")

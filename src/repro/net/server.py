@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
 from ..protocols.spec import get_spec
+from .chaos import crash_point
 from .journal import (
     CORRUPT_SUFFIX,
     JournalDir,
@@ -265,6 +266,7 @@ class ProtocolServer:
         backlog: int = 16,
         accept_poll_s: float = 0.1,
         chunk_size: int | None = None,
+        busy_retry_hint_s: float = 0.5,
     ):
         if isinstance(offers, Mapping):
             offers = [
@@ -292,6 +294,7 @@ class ProtocolServer:
         self.backlog = backlog
         self.accept_poll_s = accept_poll_s
         self.chunk_size = chunk_size
+        self.busy_retry_hint_s = busy_retry_hint_s
         self.sessions: dict[int, SessionRecord] = {}
         self.rejected_busy = 0
         self.quarantined: list[Path] = []
@@ -491,7 +494,10 @@ class ProtocolServer:
                 return
             if self._draining.is_set():
                 self.rejected_busy += 1
-                self._refuse(transport, "busy", "server draining")
+                self._refuse(
+                    transport, "busy", "server draining",
+                    retry_after_s=self.busy_retry_hint_s,
+                )
                 return
             active = sum(
                 1 for r in self.sessions.values()
@@ -502,6 +508,7 @@ class ProtocolServer:
                 self._refuse(
                     transport, "busy",
                     f"server at capacity ({self.max_sessions} sessions)",
+                    retry_after_s=self.busy_retry_hint_s,
                 )
                 return
             record = SessionRecord(
@@ -531,9 +538,22 @@ class ProtocolServer:
         )
         record.thread.start()
 
-    def _refuse(self, transport: Any, tag: str, reason: str) -> None:
+    def _refuse(
+        self,
+        transport: Any,
+        tag: str,
+        reason: str,
+        retry_after_s: float | None = None,
+    ) -> None:
+        fields = [tag, SESSION_VERSION, reason]
+        if retry_after_s is not None:
+            # Busy frames carry the server's retry hint as a fourth
+            # field, in integer milliseconds (the wire format has no
+            # floats); old clients (which check for exactly 3 fields)
+            # ignore the whole frame and simply retry their hello.
+            fields.append(max(int(round(retry_after_s * 1000)), 0))
         try:
-            transport.send(seal(tag, SESSION_VERSION, reason))
+            transport.send(seal(*fields))
         except (OSError, ValueError):
             pass
         finally:
@@ -562,12 +582,16 @@ class ProtocolServer:
                     config=self.config, recorder=self.recorder,
                     fsync=self.journal_dir.fsync,
                     chunk_size=self.chunk_size,
+                    io=self.journal_dir.io,
                 )
             if state is not None and state.complete:
                 # Crash landed between the completion record and the
                 # rotation: finish the rotation so this id restarts on
                 # a fresh journal instead of appending after "done".
-                SessionJournal(path, fsync=self.journal_dir.fsync).rotate()
+                SessionJournal(
+                    path, fsync=self.journal_dir.fsync,
+                    io=self.journal_dir.io,
+                ).rotate()
             journal = self.journal_dir.open_session(
                 "sender", protocol, session_id
             )
@@ -651,6 +675,7 @@ class ProtocolServer:
 
     def _run_session(self, record: SessionRecord) -> None:
         try:
+            crash_point("server.session.run")
             state = record.session.run(lambda: self._accept_for(record))
         except SessionAborted as exc:
             record.status = "expired"

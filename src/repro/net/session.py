@@ -71,6 +71,7 @@ from typing import Any, Callable
 
 from . import serialization
 from .channel import ChannelClosed
+from .chaos import crash_point
 from .streaming import TimedIterator, prefetch
 
 __all__ = [
@@ -108,7 +109,13 @@ class ServerBusyError(HandshakeError):
 
     Raised client-side on receipt of a typed ``busy`` frame, so a
     rejected client fails fast instead of hanging in reconnect loops.
+    ``retry_after_s`` carries the server's optional retry hint (the
+    busy frame's fourth field), ``None`` when the server sent none.
     """
+
+    def __init__(self, message: str, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class SessionAborted(SessionError):
@@ -539,6 +546,21 @@ class _RoundLog:
                 len(self._outbound) - 1, serialization.encode(frame)
             )
 
+    def _rotate_quietly(self) -> None:
+        """Rotate the completed journal; tolerate a failed rename.
+
+        The completion record is already durable, so a rotation failure
+        loses nothing: the ``*.wal`` still classifies as complete and
+        the next directory scan (or server hello) rotates it. The
+        failure stays visible in the journal's ``rotate_failures``.
+        """
+        from .journal import JournalError
+
+        try:
+            self.journal.rotate()
+        except JournalError:
+            pass
+
     def _ship(self, endpoint: SessionEndpoint, bound: int) -> None:
         """Send, in order, every cached frame below ``bound`` the peer
         has not acknowledged."""
@@ -552,6 +574,7 @@ class _RoundLog:
             frame = self._outbound[seq]
             if serialization.is_chunk_frame(frame):
                 self.stats.chunks_sent += 1
+            crash_point("session.ship.frame")
             endpoint.send(frame)
 
     def _produce_round(
@@ -665,6 +688,7 @@ class _RoundLog:
                 self.journal.record_inbound(
                     len(self._inbound) - 1, serialization.encode(frame)
                 )
+            crash_point("session.recv.frame")
         if status == "single":
             machine.consume(rnd, payload)
         else:
@@ -877,7 +901,7 @@ class SenderSession(_RoundLog):
         if self.journal is not None:
             if not self.journal.complete:
                 self.journal.record_complete()
-            self.journal.rotate()
+            self._rotate_quietly()
         if endpoint.await_fin(self.config.fin_grace_s):
             # Echo the fin so the lingering client can leave promptly.
             endpoint.fin(self._session_id)
@@ -1011,9 +1035,19 @@ class ReceiverSession(_RoundLog):
                 except ValueError:
                     self.stats.checksum_failures += 1
                     continue
-                if fields[0] == "busy" and len(fields) == 3:
+                if fields[0] == "busy" and len(fields) in (3, 4):
+                    # Optional 4th field: retry hint in integer ms.
+                    hint_ms = fields[3] if len(fields) == 4 else None
+                    hint = (
+                        hint_ms / 1000.0
+                        if isinstance(hint_ms, int)
+                        and not isinstance(hint_ms, bool)
+                        and hint_ms >= 0
+                        else None
+                    )
                     raise ServerBusyError(
-                        f"server refused the session: {fields[2]!r}"
+                        f"server refused the session: {fields[2]!r}",
+                        retry_after_s=hint,
                     )
                 if fields[0] == "reject" and len(fields) == 3:
                     raise HandshakeError(
@@ -1090,5 +1124,5 @@ class ReceiverSession(_RoundLog):
         if self.journal is not None:
             if not self.journal.complete:
                 self.journal.record_complete()
-            self.journal.rotate()
+            self._rotate_quietly()
         return answer

@@ -23,6 +23,8 @@ import threading
 import time
 from typing import Any, Iterable, Iterator
 
+from .chaos import crash_point
+
 __all__ = ["DEFAULT_PREFETCH_DEPTH", "prefetch", "TimedIterator"]
 
 #: Queue depth of the production-side double buffer: one chunk in
@@ -111,6 +113,9 @@ def prefetch(
             item = buffer.get()
             if item is _DONE:
                 break
+            # Fires on the consumer (session) thread, so a simulated
+            # crash kills the party mid-stream, not the prefetcher.
+            crash_point("streaming.chunk.yield")
             yield item
         if failure:
             raise failure[0]

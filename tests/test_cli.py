@@ -125,16 +125,17 @@ class TestDistributedCommands:
         thread.start()
         import time
 
+        from repro.cli import EXIT_TIMEOUT, EXIT_UNREACHABLE
+
         deadline = time.time() + 10
         while time.time() < deadline:
-            try:
-                code = main(
-                    ["--bits", "128", "connect", "--receiver", str(r_file),
-                     "--host", "127.0.0.1", "--port", str(port)]
-                )
+            code = main(
+                ["--bits", "128", "connect", "--receiver", str(r_file),
+                 "--host", "127.0.0.1", "--port", str(port)]
+            )
+            if code not in (EXIT_UNREACHABLE, EXIT_TIMEOUT):
                 break
-            except (ConnectionRefusedError, OSError):
-                time.sleep(0.05)
+            time.sleep(0.05)
         else:  # pragma: no cover
             raise TimeoutError("server never came up")
         thread.join(timeout=10)
@@ -163,13 +164,14 @@ class TestDistributedProtocolOptions:
 
         thread = threading.Thread(target=serve)
         thread.start()
+        from repro.cli import EXIT_TIMEOUT, EXIT_UNREACHABLE
+
         deadline = time.time() + 10
         while time.time() < deadline:
-            try:
-                code = main(connect_args + ["--port", str(port)])
+            code = main(connect_args + ["--port", str(port)])
+            if code not in (EXIT_UNREACHABLE, EXIT_TIMEOUT):
                 break
-            except (ConnectionRefusedError, OSError):
-                time.sleep(0.05)
+            time.sleep(0.05)
         else:  # pragma: no cover
             raise TimeoutError("server never came up")
         thread.join(timeout=10)
@@ -297,3 +299,103 @@ class TestDistributedProtocolOptions:
             # Tiny sets stay under the parallel crossover - routed
             # serially, but still counted.
             assert report["total_modexp"] > 0
+
+
+class TestFailureExitCodes:
+    """Operational failures exit with a code and one stderr line."""
+
+    def _free_port(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_connection_refused_is_unreachable(self, value_files, capsys):
+        from repro.cli import EXIT_UNREACHABLE
+
+        r, _ = value_files
+        code = main(["--bits", "128", "connect", "--receiver", r,
+                     "--port", str(self._free_port()), "--timeout", "2"])
+        assert code == EXIT_UNREACHABLE
+        err = capsys.readouterr().err
+        assert err.startswith("repro: cannot reach the server")
+        assert len(err.strip().splitlines()) == 1  # no traceback
+
+    def test_unresponsive_peer_times_out(self, value_files, capsys):
+        import socket
+
+        from repro.cli import EXIT_TIMEOUT
+
+        r, _ = value_files
+        mute = socket.socket()
+        mute.bind(("127.0.0.1", 0))
+        mute.listen(1)
+        try:
+            code = main(["--bits", "128", "connect", "--receiver", r,
+                         "--port", str(mute.getsockname()[1]),
+                         "--timeout", "0.3"])
+        finally:
+            mute.close()
+        assert code == EXIT_TIMEOUT
+        assert capsys.readouterr().err.startswith("repro: timed out")
+
+    @pytest.fixture()
+    def busy_server(self):
+        from repro.net.server import ProtocolServer
+        from repro.protocols.parties import PublicParams
+
+        params = PublicParams.for_bits(128)
+        server = ProtocolServer(
+            {"intersection": (["b", "c"], params)},
+            busy_retry_hint_s=0.05,
+        ).start()
+        try:
+            yield server
+        finally:
+            server.shutdown(drain_timeout_s=0.1)
+
+    def test_protocol_mismatch_is_handshake(
+        self, busy_server, value_files, capsys
+    ):
+        from repro.cli import EXIT_HANDSHAKE
+
+        r, _ = value_files
+        code = main(["--bits", "128", "connect", "--resumable",
+                     "--protocol", "intersection-size", "--receiver", r,
+                     "--port", str(busy_server.port), "--timeout", "2"])
+        assert code == EXIT_HANDSHAKE
+        assert capsys.readouterr().err.startswith("repro: handshake failed")
+
+    def test_draining_server_is_busy(self, busy_server, value_files, capsys):
+        from repro.cli import EXIT_BUSY
+
+        busy_server._draining.set()
+        r, _ = value_files
+        code = main(["--bits", "128", "connect", "--resumable",
+                     "--receiver", r, "--port", str(busy_server.port),
+                     "--timeout", "2"])
+        assert code == EXIT_BUSY
+        assert capsys.readouterr().err.startswith("repro: server busy")
+
+    def test_retry_busy_honors_server_hint(
+        self, busy_server, value_files, capsys
+    ):
+        import time
+
+        from repro.cli import EXIT_BUSY
+
+        busy_server._draining.set()
+        r, _ = value_files
+        start = time.monotonic()
+        code = main(["--bits", "128", "connect", "--resumable",
+                     "--receiver", r, "--port", str(busy_server.port),
+                     "--timeout", "2", "--retry-busy", "2"])
+        elapsed = time.monotonic() - start
+        assert code == EXIT_BUSY
+        err = capsys.readouterr().err
+        # Two retries, each waiting the server's 0.05s hint.
+        assert err.count("retrying in 0.05s") == 2
+        assert elapsed >= 0.1
