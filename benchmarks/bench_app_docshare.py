@@ -91,3 +91,15 @@ def test_document_sharing_benchmark(benchmark):
 
     result = benchmark(run)
     assert result.protocol_runs == 8
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("apps.document-sharing"))

@@ -72,3 +72,15 @@ def test_medical_pipeline_benchmark(benchmark, people):
 
     result = benchmark(run)
     assert result.table.total <= people
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("apps.medical"))

@@ -93,3 +93,15 @@ def test_garbling_benchmark(benchmark, n):
     rng = random.Random(1)
     garbled, _ = benchmark(garble, circuit, rng)
     assert len(garbled.tables) == circuit.gate_count
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("costmodel.appendix-a-comparison,circuits.garbling"))

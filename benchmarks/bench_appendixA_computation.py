@@ -91,3 +91,15 @@ def test_prf_benchmark(benchmark):
     """One PRF call (the unit C_r)."""
     payload = b"x" * 40
     benchmark(lambda: hashlib.sha256(payload).digest())
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("costmodel.appendix-a-comparison"))

@@ -68,3 +68,15 @@ def test_report_model_vs_built_circuits():
 def test_circuit_construction_benchmark(benchmark, n):
     circuit = benchmark(brute_force_intersection_circuit, 8, n, n)
     assert circuit.gate_count == n * n * equality_gates(8) + n * (n - 1)
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("costmodel.appendix-a-gates"))

@@ -77,3 +77,15 @@ def test_report_ot_vs_ce(calibration_1024):
     ratio = per_ot / calibration_1024.constants.ce_seconds
     print(f"\nA.1.1 executable OT: {per_ot*1e3:.2f} ms/transfer = {ratio:.1f} C_e")
     assert 3 <= ratio <= 12  # 4-6 modexps' worth
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("costmodel.appendix-a-ot"))

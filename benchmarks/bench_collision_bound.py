@@ -51,3 +51,15 @@ def test_collision_check_throughput(benchmark, bench_suite, bench_rng):
     hashes = [bench_suite.group.random_element(bench_rng) for _ in range(10_000)]
     result = benchmark(find_collisions, hashes)
     assert result == []
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("crypto.collision-bound,crypto.hash-throughput"))

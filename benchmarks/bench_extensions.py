@@ -94,3 +94,15 @@ def test_equijoin_sum_benchmark(benchmark, n):
 
     result = benchmark(run)
     assert result.total == 7 * len(expected)
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("protocols.extensions"))

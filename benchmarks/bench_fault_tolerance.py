@@ -2,170 +2,53 @@
 
 Not a paper table (the paper's Section 6 cost model assumes a clean
 channel); this measures what the fault-tolerant session layer pays to
-restore that assumption over a lossy one. Each run drives the
-intersection protocol over a real TCP connection with a seeded
-:class:`~repro.net.faults.FaultInjector` on the client's sends, at
-fault rates from 0% to 20% (split between drops and corruption), and
-records completion time, wire bytes, retransmits and reconnects as one
-JSON line per rate - correctness asserted on every run.
+restore that assumption over a lossy one. The measurement cores live
+in :mod:`repro.bench.tasks.robustness` (registered as the
+``robustness.*`` harness tasks, which also regenerate the committed
+``BENCH_robustness.json``); this module keeps the pytest assertions
+over the same code paths.
 """
 
 from __future__ import annotations
 
 import json
 import random
-import threading
 import time
-from pathlib import Path
 
 import pytest
 
+from repro.bench.tasks.robustness import (
+    CHAOS_BENCH_SEEDS,
+    FAULT_RATES,
+    JOURNAL_MODES,
+    JOURNAL_SET_SIZES,
+    build_crashed_journal,
+    run_journaled,
+    run_once,
+    session_config,
+)
 from repro.net.chaos import ChaosSchedule, run_schedule
-from repro.net.faults import FaultInjector, FaultPlan
 from repro.net.journal import JournalDir, recover_sender_session
-from repro.net.serialization import encode
-from repro.net.session import RetryPolicy, SessionConfig
-from repro.net.tcp import (
-    connect_resumable_receiver,
-    serve_resumable_sender,
-)
-from repro.protocols.parties import (
-    PublicParams,
-    ReceiverMachine,
-    SenderMachine,
-)
+from repro.protocols.parties import PublicParams
 from repro.protocols.spec import PROTOCOLS
 
-#: rate -> RNG seed. Runs are only a handful of frames, so seeds are
-#: chosen (deterministically, once) such that the nonzero rates do
-#: observably fire within the run.
-FAULT_RATES = {0.0: 5, 0.05: 15, 0.10: 15, 0.20: 15}
 
-#: Collected records from every report test in this module; the
-#: autouse module fixture writes them to ``BENCH_robustness.json``.
-RESULTS: list[dict] = []
-
-
-@pytest.fixture(scope="module", autouse=True)
-def _bench_robustness_report():
-    """Write one normalized ``BENCH_robustness.json`` per bench run.
-
-    Every report test appends its records to :data:`RESULTS`; at module
-    teardown they land, sorted and schema-tagged, at the repository
-    root so robustness numbers are diffable across PRs.
-    """
-    RESULTS.clear()
-    yield
-    if not RESULTS:
-        return
-    payload = {
-        "schema": 1,
-        "benchmark": "robustness",
-        "records": RESULTS,
-    }
-    path = Path(__file__).resolve().parents[1] / "BENCH_robustness.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-
-
-class _TrackingInjector(FaultInjector):
-    """Keeps every wrapped endpoint so wire bytes survive reconnects."""
-
-    def __init__(self, plan: FaultPlan):
-        super().__init__(plan)
-        self.endpoints: list = []
-
-    def wrap(self, transport):
-        endpoint = super().wrap(transport)
-        self.endpoints.append(endpoint)
-        return endpoint
-
-    __call__ = wrap
-
-    @property
-    def total_bytes_sent(self) -> int:
-        return sum(e.bytes_sent for e in self.endpoints)
-
-    @property
-    def total_bytes_received(self) -> int:
-        return sum(e.bytes_received for e in self.endpoints)
-
-
-def _config() -> SessionConfig:
-    return SessionConfig(
-        timeout_s=0.3,
-        retry=RetryPolicy(max_attempts=8, base_delay_s=0.01,
-                          max_delay_s=0.05),
-        max_reconnects=20,
-        fin_grace_s=0.05,
-    )
-
-
-def _run_once(rate: float, seed: int, bits: int) -> dict:
-    v_r = [f"r{i}" for i in range(12)] + [f"c{i}" for i in range(4)]
-    v_s = [f"s{i}" for i in range(12)] + [f"c{i}" for i in range(4)]
-    expected = {f"c{i}" for i in range(4)}
-
-    plan = FaultPlan(seed=seed, drop_rate=rate / 2, corrupt_rate=rate / 2)
-    injector = _TrackingInjector(plan)
-    config = _config()
-    params = PublicParams.for_bits(bits)
-    ready = threading.Event()
-    box: dict = {}
-
-    def serve():
-        box["server"] = serve_resumable_sender(
-            "intersection", v_s, params, random.Random(seed + 1),
-            ready_callback=lambda port: (
-                box.__setitem__("port", port), ready.set()
-            ),
-            config=config,
-        )
-
-    thread = threading.Thread(target=serve)
-    thread.start()
-    assert ready.wait(timeout=10)
-    started = time.perf_counter()
-    answer, client_stats = connect_resumable_receiver(
-        "intersection", v_r, random.Random(seed + 2), "127.0.0.1",
-        box["port"], config=config, endpoint_wrapper=injector,
-    )
-    elapsed = time.perf_counter() - started
-    thread.join(timeout=30)
-    assert not thread.is_alive()
-    assert answer == expected, f"rate {rate}: wrong answer {answer!r}"
-    _size_v_r, server_stats = box["server"]
-
-    return {
-        "protocol": "intersection",
-        "fault_rate": rate,
-        "seed": seed,
-        "bits": bits,
-        "n_r": len(v_r),
-        "n_s": len(v_s),
-        "elapsed_s": round(elapsed, 6),
-        "client_bytes_sent": injector.total_bytes_sent,
-        "client_bytes_received": injector.total_bytes_received,
-        "retransmits": client_stats.retransmits
-        + server_stats.retransmits,
-        "reconnects": client_stats.reconnects,
-        "replayed_frames": client_stats.replayed_frames
-        + server_stats.replayed_frames,
-        "faults": injector.stats.as_dict(),
-    }
+def _inputs(n: int):
+    half = max(1, n // 4)
+    v_r = [f"r{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    return v_r, v_s, {f"c{i}" for i in range(half)}
 
 
 def test_report_completion_vs_fault_rate(bench_bits):
     """One JSON record per fault rate; cost grows, answers never change."""
     print("\nfault tolerance (completion cost vs injected fault rate):")
     records = [
-        _run_once(rate, seed=seed, bits=min(bench_bits, 256))
+        run_once(rate, seed=seed, bits=min(bench_bits, 256))
         for rate, seed in sorted(FAULT_RATES.items())
     ]
     for record in records:
         print("  " + json.dumps(record, sort_keys=True))
-    RESULTS.extend(
-        {"benchmark": "completion-vs-fault-rate", **r} for r in records
-    )
 
     clean = records[0]
     assert clean["faults"]["dropped"] == 0
@@ -186,71 +69,8 @@ def test_report_completion_vs_fault_rate(bench_bits):
 @pytest.mark.parametrize("rate", [0.0, 0.20])
 def test_fault_rate_extremes_complete(bench_bits, rate):
     """The endpoints of the sweep complete correctly on their own."""
-    record = _run_once(rate, seed=15, bits=min(bench_bits, 128))
+    record = run_once(rate, seed=15, bits=min(bench_bits, 128))
     assert record["fault_rate"] == rate
-
-
-# ----------------------------------------------------------------------
-# Journal overhead: what crash durability costs per run
-# ----------------------------------------------------------------------
-#: journal mode label -> fsync flag (None = journaling disabled).
-JOURNAL_MODES = {"off": None, "fsync-off": False, "fsync-on": True}
-JOURNAL_SET_SIZES = (8, 32)
-
-
-def _inputs(n: int):
-    half = max(1, n // 4)
-    v_r = [f"r{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
-    v_s = [f"s{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
-    return v_r, v_s, {f"c{i}" for i in range(half)}
-
-
-def _run_journaled(n: int, mode: str, bits: int, tmp_path) -> dict:
-    fsync = JOURNAL_MODES[mode]
-    v_r, v_s, expected = _inputs(n)
-    config = _config()
-    params = PublicParams.for_bits(bits)
-    journal_kwargs = (
-        {}
-        if fsync is None
-        else {
-            "journal_dir": tmp_path / f"{mode}-{n}",
-            "journal_fsync": fsync,
-        }
-    )
-    ready = threading.Event()
-    box: dict = {}
-
-    def serve():
-        box["server"] = serve_resumable_sender(
-            "intersection", v_s, params, random.Random(11),
-            ready_callback=lambda port: (
-                box.__setitem__("port", port), ready.set()
-            ),
-            config=config, **journal_kwargs,
-        )
-
-    thread = threading.Thread(target=serve)
-    thread.start()
-    assert ready.wait(timeout=10)
-    started = time.perf_counter()
-    answer, client_stats = connect_resumable_receiver(
-        "intersection", v_r, random.Random(12), "127.0.0.1", box["port"],
-        config=config, **journal_kwargs,
-    )
-    elapsed = time.perf_counter() - started
-    thread.join(timeout=30)
-    assert not thread.is_alive()
-    assert answer == expected
-    return {
-        "benchmark": "journal-overhead",
-        "protocol": "intersection",
-        "journal": mode,
-        "n": n,
-        "bits": bits,
-        "elapsed_s": round(elapsed, 6),
-        "rounds": client_stats.rounds_computed,
-    }
 
 
 def test_report_journal_overhead(bench_bits, tmp_path):
@@ -264,49 +84,15 @@ def test_report_journal_overhead(bench_bits, tmp_path):
     bits = min(bench_bits, 256)
     print("\njournal overhead (crash durability cost per run):")
     records = [
-        _run_journaled(n, mode, bits, tmp_path)
+        run_journaled(n, mode, bits, tmp_path)
         for n in JOURNAL_SET_SIZES
         for mode in JOURNAL_MODES
     ]
     for record in records:
         print("  " + json.dumps(record, sort_keys=True))
-    RESULTS.extend(records)
     # Every cell completed with the exact answer (asserted inside the
     # runner); all that is left to check is that the sweep is complete.
     assert len(records) == len(JOURNAL_SET_SIZES) * len(JOURNAL_MODES)
-
-
-# ----------------------------------------------------------------------
-# Kill-resume: how long recovery from a crash-point journal takes
-# ----------------------------------------------------------------------
-def _build_crashed_journal(journal_dir: JournalDir, params, n: int,
-                           session_id: int):
-    """A sender journal frozen at the worst crash point.
-
-    All inbound rounds consumed and the final outbound round journaled
-    but never shipped - the maximum amount of state a restart has to
-    rebuild by replay.
-    """
-    spec = PROTOCOLS["intersection"]
-    v_r, v_s, expected = _inputs(n)
-    receiver = ReceiverMachine(spec, v_r, params, random.Random("R"))
-    sender = SenderMachine(spec, v_s, params, random.Random("S"))
-    journal = journal_dir.open_session("sender", "intersection", session_id)
-    inbound = outbound = 0
-    for rnd in spec.rounds:
-        producer, consumer = (
-            (receiver, sender) if rnd.source == "R" else (sender, receiver)
-        )
-        wire = producer.produce(rnd).to_wire()
-        if rnd.source == "R":
-            journal.record_inbound(inbound, encode(wire))
-            inbound += 1
-        else:
-            journal.record_outbound(outbound, encode(wire))
-            outbound += 1
-        consumer.consume(rnd, wire)
-    journal.close()
-    return inbound + outbound
 
 
 def test_report_kill_resume_recovery_time(bench_bits, tmp_path):
@@ -325,7 +111,7 @@ def test_report_kill_resume_recovery_time(bench_bits, tmp_path):
     records = []
     for n in JOURNAL_SET_SIZES:
         journal_dir = JournalDir(tmp_path / f"resume-{n}", fsync=False)
-        rounds = _build_crashed_journal(journal_dir, params, n, 0xBE0000 + n)
+        rounds = build_crashed_journal(journal_dir, params, n, 0xBE0000 + n)
         _, v_s, _ = _inputs(n)
         stale = journal_dir.incomplete("sender", "intersection")
         assert len(stale) == 1
@@ -333,7 +119,7 @@ def test_report_kill_resume_recovery_time(bench_bits, tmp_path):
         session = recover_sender_session(
             stale[0], params,
             lambda: spec.make_sender(v_s, params, random.Random("S")),
-            config=_config(), fsync=False,
+            config=session_config(), fsync=False,
         )
         elapsed = time.perf_counter() - started
         assert session.stats.rounds_recovered == rounds
@@ -348,17 +134,8 @@ def test_report_kill_resume_recovery_time(bench_bits, tmp_path):
         }
         records.append(record)
         print("  " + json.dumps(record, sort_keys=True))
-    RESULTS.extend(records)
     # Larger sets journal more protocol state; replay must reflect it.
     assert records[-1]["rounds_recovered"] == records[0]["rounds_recovered"]
-
-
-# ----------------------------------------------------------------------
-# Chaos survival: outcome mix across seeded composed-fault schedules
-# ----------------------------------------------------------------------
-#: Fixed seeds so the committed BENCH_robustness.json is reproducible;
-#: the range matches the start of the property suite's sweep.
-CHAOS_BENCH_SEEDS = tuple(range(40))
 
 
 def test_report_chaos_schedule_survival():
@@ -366,9 +143,7 @@ def test_report_chaos_schedule_survival():
 
     Each schedule composes network faults, disk faults, and crash
     points from its seed (see :mod:`repro.net.chaos`); the invariant -
-    correct answer or typed clean failure - is asserted on every run,
-    and the per-seed outcome records (who answered, who errored, how
-    many restarts, which faults actually fired) are the benchmark.
+    correct answer or typed clean failure - is asserted on every run.
     """
     print("\nchaos survival (seeded composed-fault schedules):")
     records = []
@@ -397,8 +172,18 @@ def test_report_chaos_schedule_survival():
         "answers": sum(1 for r in records if r["receiver"] == "answer"),
     }
     print("  " + json.dumps(summary, sort_keys=True))
-    RESULTS.extend(records)
-    RESULTS.append(summary)
     assert summary["answers"] >= len(records) // 2, (
         "chaos schedules should mostly still complete"
     )
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("robustness"))

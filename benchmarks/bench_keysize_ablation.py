@@ -78,3 +78,15 @@ def test_modexp_benchmark_by_size(benchmark, bits):
     rng = random.Random(0)
     x, e = group.random_element(rng), group.random_exponent(rng)
     benchmark(pow, x, e, group.p)
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("crypto.keysize-ablation,crypto.hash-construction"))

@@ -90,3 +90,15 @@ def test_leakage_analysis_benchmark(benchmark, uniform):
     profile = benchmark(leakage_profile, ms_r, ms_s)
     if uniform:
         assert profile.identified_fraction(200) == 0.0
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("leakage"))

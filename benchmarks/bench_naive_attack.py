@@ -78,3 +78,15 @@ def test_attack_benchmark(benchmark, domain_size):
         dictionary_attack, naive.observed_hashes, domain, suite.hash
     )
     assert len(recovered) == 40
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("attacks.naive-dictionary"))

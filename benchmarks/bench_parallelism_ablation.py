@@ -10,102 +10,26 @@ in all three protocols". Two layers of measurement here:
   once);
 * the **real protocols** - the party state machines of
   :mod:`repro.protocols.parties` run end-to-end with a
-  :class:`~repro.crypto.engine.ProcessPoolEngine` on both sides,
-  sweeping workers x set size x key bits, locating where end-to-end
-  speedup crosses 1x (pool overhead amortized) and emitting one JSON
-  record per configuration.
+  :class:`~repro.crypto.engine.ProcessPoolEngine` on both sides.
 
-Run standalone for the full sweep:
+The measurement cores (``run_intersection_with_engine``, ``sweep``)
+live in :mod:`repro.bench.tasks.parallelism`, registered as the
+``parallelism.*`` harness tasks. Run standalone for the full sweep:
 
-    PYTHONPATH=src python benchmarks/bench_parallelism_ablation.py \
-        --workers 1,2,4 --sizes 128,512 --bits 512 --json sweep.json
+    PYTHONPATH=src python benchmarks/bench_parallelism_ablation.py --full
 """
 
 from __future__ import annotations
 
-import argparse
 import json
 import os
 import random
-import time
 
 import pytest
 
-from repro.analysis.instrumentation import MetricsRecorder
+from repro.bench.tasks.parallelism import sweep
 from repro.crypto.batch import measure_speedup, parallel_pow, sequential_pow
-from repro.crypto.engine import create_engine
 from repro.crypto.groups import QRGroup
-from repro.protocols.parties import (
-    IntersectionReceiver,
-    IntersectionSender,
-    PublicParams,
-)
-
-
-def run_intersection_with_engine(
-    n: int, bits: int, workers: int, seed: int = 7
-) -> dict:
-    """One end-to-end intersection run; returns a flat JSON record.
-
-    Both parties share one engine (they are in-process here); the
-    record carries total wall time, per-phase timings and modexp
-    counts from the metrics recorder.
-    """
-    params = PublicParams.for_bits(bits)
-    half = n // 2
-    v_r = [f"r{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
-    v_s = [f"s{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
-    recorder = MetricsRecorder()
-    engine = create_engine(workers, on_modexp=recorder.count_modexp)
-    recorder.attach_engine(engine)
-    try:
-        engine.warm_up()  # pool startup is measured once, not per-run
-        rng_r, rng_s = random.Random(f"{seed}/R"), random.Random(f"{seed}/S")
-        start = time.perf_counter()
-        with recorder.phase("setup"):
-            receiver = IntersectionReceiver(v_r, params, rng_r, engine=engine)
-            sender = IntersectionSender(v_s, params, rng_s, engine=engine)
-        with recorder.phase("r.round1"):
-            m1 = receiver.round1()
-        with recorder.phase("s.round1"):
-            m2 = sender.round1(m1)
-        with recorder.phase("r.finish"):
-            answer = receiver.finish(m2)
-        wall_s = time.perf_counter() - start
-    finally:
-        engine.close()
-    assert answer == {f"c{i}" for i in range(half)}
-    report = recorder.report()
-    return {
-        "protocol": "intersection",
-        "n": n,
-        "bits": bits,
-        "workers": workers,
-        "wall_s": wall_s,
-        "total_modexp": report["total_modexp"],
-        "phases": report["phases"],
-    }
-
-
-def sweep(
-    workers_list: list[int], sizes: list[int], bits_list: list[int]
-) -> list[dict]:
-    """The full ablation grid, serial baseline included per cell."""
-    records = []
-    for bits in bits_list:
-        for n in sizes:
-            baseline = None
-            for workers in workers_list:
-                record = run_intersection_with_engine(n, bits, workers)
-                if workers <= 1:
-                    baseline = record["wall_s"]
-                record["speedup_vs_serial"] = (
-                    baseline / record["wall_s"]
-                    if baseline is not None and record["wall_s"]
-                    else None
-                )
-                records.append(record)
-    return records
 
 
 def test_report_parallel_speedup():
@@ -175,25 +99,13 @@ def test_batch_pow_benchmark(benchmark, processors):
     assert out == sequential_pow(xs, exponent, group.p)
 
 
-def main() -> None:
-    """Standalone sweep: print one JSON record per line, or save all."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workers", default="1,2,4")
-    parser.add_argument("--sizes", default="128,512")
-    parser.add_argument("--bits", default="512")
-    parser.add_argument("--json", default=None, help="write records here")
-    args = parser.parse_args()
-    records = sweep(
-        [int(w) for w in args.workers.split(",")],
-        [int(s) for s in args.sizes.split(",")],
-        [int(b) for b in args.bits.split(",")],
-    )
-    for record in records:
-        print(json.dumps(record))
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(records, fh, indent=2)
-
-
 if __name__ == "__main__":
-    main()
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("parallelism"))

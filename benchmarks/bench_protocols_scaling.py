@@ -92,3 +92,15 @@ def test_report_equijoin_size_multisets(bench_bits):
             f"{result.run.total_bytes/1024:.1f} kB"
         )
         assert result.join_size == ms_r.join_size(ms_s)
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("protocols.scaling,protocols.multiset-join"))

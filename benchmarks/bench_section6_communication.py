@@ -102,3 +102,15 @@ def test_wire_bytes_benchmark(benchmark, n):
     total = benchmark(run)
     # 3n codewords of (256/8 + 5) bytes + framing.
     assert total == pytest.approx(3 * n * 37, rel=0.02)
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("costmodel.section6-communication"))

@@ -111,3 +111,15 @@ def test_wall_clock_tracks_model(bench_bits, calibration_1024):
     # directions (calibration noise, Python-level bookkeeping) while
     # still pinning measured time to the same order of magnitude.
     assert 0.3 * predicted < elapsed < 6 * predicted + 0.5
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("costmodel.section6-computation"))

@@ -16,44 +16,14 @@ from __future__ import annotations
 
 import random
 
-from repro.net.runner import ProtocolRun
+from repro.bench.tasks.attacks import intersection_size_run
 from repro.protocols.audit import audit_view
-from repro.protocols.base import ProtocolSuite, sorted_ciphertexts
+from repro.protocols.base import ProtocolSuite
 from repro.workloads.generator import overlapping_sets
 
-
-def _intersection_size_run(v_r, v_s, suite, reorder_z_r: bool):
-    """The S5.1 protocol with the step-4(b) reordering switchable."""
-    run = ProtocolRun(protocol="intersection_size_ablation")
-    r_values = sorted(set(v_r), key=repr)
-    s_values = sorted(set(v_s), key=repr)
-    x_r = suite.hash_side("R", r_values)
-    x_s = suite.hash_side("S", s_values)
-    e_r = suite.cipher.sample_key(suite.rng_r)
-    e_s = suite.cipher.sample_key(suite.rng_s)
-
-    # R ships Y_R *unsorted* (paired with its own value order, which a
-    # semi-honest R legitimately remembers).
-    y_r = suite.cipher.encrypt_many(e_r, x_r)
-    y_r_received = run.to_s("3:Y_R", y_r)
-
-    y_s_received = run.to_r(
-        "4a:Y_S", sorted_ciphertexts(suite.cipher.encrypt_many(e_s, x_s))
-    )
-    z_r = suite.cipher.encrypt_many(e_s, y_r_received)
-    if reorder_z_r:
-        z_r = sorted_ciphertexts(z_r)
-    z_r_received = run.to_r("4b:Z_R", z_r)
-
-    z_s = set(suite.cipher.encrypt_many(e_r, y_s_received))
-    size = len(z_s & set(z_r_received))
-
-    # R's positional attack: if Z_R came back in Y_R order, position i
-    # of Z_R corresponds to R's value i.
-    recovered = {
-        r_values[i] for i, z in enumerate(z_r_received) if z in z_s
-    }
-    return size, recovered, run
+#: The switchable-reorder protocol now lives with the harness task
+#: (``attacks.sorting-ablation``); keep the old private name importable.
+_intersection_size_run = intersection_size_run
 
 
 def test_report_sorting_ablation():
@@ -87,3 +57,15 @@ def test_report_sorting_ablation():
     failed = {c.name for c in report.failures()}
     print(f"  audit verdict on the broken run: failed checks {failed}")
     assert any(name.startswith("sorted:") for name in failed)
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("attacks.sorting-ablation"))

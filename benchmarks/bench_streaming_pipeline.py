@@ -3,168 +3,24 @@
 Measures what the chunked wire format buys on the plain TCP path: with
 ``chunk_size`` set, each party journals-and-ships round payloads chunk
 by chunk while the next chunk's crypto runs ahead on the prefetch
-thread. The per-round produce/send/wall split lands in the metrics
-recorder, and ``overlap_ratio`` - the fraction of the round's wall
-clock during which crypto and the wire were busy simultaneously - is
-the pipelining payoff. A simulated per-frame link delay (off by
-default, on in the sweep) models a real network, where the overlap is
-the difference between "encrypt, then transmit" and "encrypt while
-transmitting".
+thread. ``overlap_ratio`` - the fraction of the round's wall clock
+during which crypto and the wire were busy simultaneously - is the
+pipelining payoff.
 
-Each cell emits one flat JSON record; ``chunk_size=null`` cells are
-the whole-round baseline the streamed cells are compared against.
+The measurement cores (``run_streamed``, ``sweep``) live in
+:mod:`repro.bench.tasks.streaming`, registered as the
+``streaming.pipeline-sweep`` harness task. Run standalone for the
+full sweep:
 
-Run standalone for the full sweep:
-
-    PYTHONPATH=src python benchmarks/bench_streaming_pipeline.py \
-        --sizes 128,512 --chunks 16,64 --workers 1,2,4 --json sweep.json
+    PYTHONPATH=src python benchmarks/bench_streaming_pipeline.py --full
 """
 
 from __future__ import annotations
 
-import argparse
 import json
 import os
-import queue
-import random
-import threading
-import time
 
-from repro.analysis.instrumentation import MetricsRecorder
-from repro.crypto.engine import create_engine
-from repro.net import tcp
-from repro.protocols.parties import PublicParams
-
-PROTOCOL = "intersection"
-
-
-class _DelayedEndpoint:
-    """Adds a fixed per-frame send delay: a crude wide-area link."""
-
-    def __init__(self, transport, delay_s: float):
-        self._transport = transport
-        self._delay_s = delay_s
-
-    def send(self, message):
-        time.sleep(self._delay_s)
-        self._transport.send(message)
-
-    def recv(self):
-        return self._transport.recv()
-
-    def settimeout(self, timeout):
-        self._transport.settimeout(timeout)
-
-    def close(self):
-        self._transport.close()
-
-
-def _values(n: int) -> tuple[list[str], list[str], set[str]]:
-    half = n // 2
-    v_r = [f"r{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
-    v_s = [f"s{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
-    return v_r, v_s, {f"c{i}" for i in range(half)}
-
-
-def run_streamed(
-    n: int,
-    bits: int,
-    chunk_size: int | None,
-    workers: int,
-    link_delay_s: float = 0.0,
-) -> dict:
-    """One full TCP run of the intersection protocol; one JSON record.
-
-    Both parties run in-process (server on a thread) with their own
-    engine and recorder; the record aggregates the per-round pipeline
-    entries from both sides.
-    """
-    params = PublicParams.for_bits(bits)
-    v_r, v_s, expected = _values(n)
-    s_recorder, r_recorder = MetricsRecorder(), MetricsRecorder()
-    s_engine, r_engine = create_engine(workers), create_engine(workers)
-    wrapper = None
-    if link_delay_s:
-        wrapper = lambda e: _DelayedEndpoint(e, link_delay_s)  # noqa: E731
-    try:
-        s_engine.warm_up()
-        r_engine.warm_up()
-        port_box: queue.Queue[int] = queue.Queue()
-
-        def serve_s():
-            tcp.serve(
-                PROTOCOL, v_s, params, random.Random("S"),
-                ready_callback=port_box.put, chunk_size=chunk_size,
-                engine=s_engine, recorder=s_recorder,
-                endpoint_wrapper=wrapper,
-            )
-
-        thread = threading.Thread(target=serve_s)
-        thread.start()
-        port = port_box.get(timeout=30)
-        start = time.perf_counter()
-        answer = tcp.connect(
-            PROTOCOL, v_r, random.Random("R"), "127.0.0.1", port,
-            chunk_size=chunk_size, engine=r_engine, recorder=r_recorder,
-            endpoint_wrapper=wrapper,
-        )
-        wall_s = time.perf_counter() - start
-        thread.join(timeout=60)
-    finally:
-        s_engine.close()
-        r_engine.close()
-    assert answer == expected
-
-    pipeline = {
-        **r_recorder.report().get("pipeline", {}),
-        **s_recorder.report().get("pipeline", {}),
-    }
-    chunks = sum(entry["chunks"] for entry in pipeline.values())
-    busy = sum(e["produce_s"] + e["send_s"] for e in pipeline.values())
-    round_wall = sum(e["wall_s"] for e in pipeline.values())
-    overlap_s = sum(e["overlap_s"] for e in pipeline.values())
-    return {
-        "protocol": PROTOCOL,
-        "n": n,
-        "bits": bits,
-        "chunk_size": chunk_size,
-        "workers": workers,
-        "link_delay_ms": link_delay_s * 1e3,
-        "wall_s": wall_s,
-        "chunks": chunks,
-        "busy_s": busy,
-        "overlap_s": overlap_s,
-        "overlap_ratio": (overlap_s / round_wall) if round_wall else 0.0,
-        "pipeline": pipeline,
-    }
-
-
-def sweep(
-    sizes: list[int],
-    chunk_sizes: list[int | None],
-    workers_list: list[int],
-    bits: int,
-    link_delay_s: float,
-) -> list[dict]:
-    """The full grid; each streamed cell carries the speedup over the
-    same-shape whole-round baseline."""
-    records = []
-    for n in sizes:
-        for workers in workers_list:
-            baseline = run_streamed(n, bits, None, workers, link_delay_s)
-            records.append(baseline)
-            for chunk_size in chunk_sizes:
-                if chunk_size is None:
-                    continue
-                record = run_streamed(
-                    n, bits, chunk_size, workers, link_delay_s
-                )
-                record["speedup_vs_whole_round"] = (
-                    baseline["wall_s"] / record["wall_s"]
-                    if record["wall_s"] else None
-                )
-                records.append(record)
-    return records
+from repro.bench.tasks.streaming import sweep
 
 
 def test_report_streaming_pipeline_sweep():
@@ -199,34 +55,13 @@ def test_report_streaming_pipeline_sweep():
         )
 
 
-def main() -> None:
-    """Standalone sweep: print one JSON record per line, or save all."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--sizes", default="128,512")
-    parser.add_argument("--chunks", default="16,64")
-    parser.add_argument("--workers", default="1,2,4")
-    parser.add_argument("--bits", type=int, default=512)
-    parser.add_argument(
-        "--link-delay-ms", type=float, default=2.0,
-        help="simulated per-frame send delay (default 2ms)",
-    )
-    parser.add_argument("--json", default=None, help="write records here")
-    args = parser.parse_args()
-    records = sweep(
-        [int(s) for s in args.sizes.split(",")],
-        [int(c) for c in args.chunks.split(",")],
-        [int(w) for w in args.workers.split(",")],
-        args.bits,
-        args.link_delay_ms / 1e3,
-    )
-    for record in records:
-        print(json.dumps({
-            k: v for k, v in record.items() if k != "pipeline"
-        }))
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(records, fh, indent=2)
-
-
 if __name__ == "__main__":
-    main()
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("streaming"))

@@ -75,3 +75,15 @@ def test_yao_psi_benchmark(benchmark, n):
 
     stats = benchmark(run)
     assert stats.intersection == set(v_s) & set(v_r)
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("circuits.yao-empirical"))

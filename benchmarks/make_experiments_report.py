@@ -1,328 +1,27 @@
 #!/usr/bin/env python3
-"""Regenerate EXPERIMENTS.md: paper-reported vs measured, every experiment.
+"""Regenerate EXPERIMENTS.md - now a shim onto the benchmark harness.
 
-Run:  python benchmarks/make_experiments_report.py > EXPERIMENTS.md
+The bespoke report generator this file used to contain moved into
+:mod:`repro.bench.report` (the harness's extract/view phase): every
+section now cites the registry task name, record-schema version, and
+parameters that produced it, and the same records land in the
+committed ``BENCH_<area>.json`` trajectory files.
+
+Both spellings work:
+
+    PYTHONPATH=src python benchmarks/make_experiments_report.py > EXPERIMENTS.md
+    PYTHONPATH=src python -m repro.bench report --out EXPERIMENTS.md
 """
 
 from __future__ import annotations
 
-import math
-import random
-import time
-
-from repro.analysis.calibration import calibrate
-from repro.analysis.costmodel import CostConstants, ProtocolCostModel
-from repro.analysis.estimates import (
-    document_sharing_estimate,
-    medical_research_estimate,
-)
-from repro.analysis.instrumentation import counting_suite
-from repro.analysis.leakage import leakage_profile
-from repro.circuits.costmodel import CircuitCostModel
-from repro.circuits.garble import yao_intersection
-from repro.crypto.groups import QRGroup
-from repro.crypto.hashing import collision_probability
-from repro.crypto.ot import NaorPinkasCostModel
-from repro.protocols.base import ProtocolSuite
-from repro.protocols.equijoin import run_equijoin
-from repro.protocols.intersection import run_intersection
-from repro.protocols.intersection_size import run_intersection_size
-from repro.protocols.naive_hash import dictionary_attack, run_naive_intersection
-from repro.workloads.generator import multiset_pair, overlapping_sets
-
-
-def main() -> None:
-    emit = print
-    emit("# EXPERIMENTS - paper-reported vs measured")
-    emit()
-    emit("Regenerated by `python benchmarks/make_experiments_report.py`.")
-    emit("Measured values come from live runs on the current machine;")
-    emit("'model' values are the re-derived closed forms evaluated with the")
-    emit("paper's constants (C_e = 0.02 s, k = 1024, T1 line, P = 10).")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## S3.2.2 - hash collision bound")
-    emit()
-    p = collision_probability(10**6, 2**1024 // 2)
-    emit("| quantity | paper | reproduced |")
-    emit("|---|---|---|")
-    emit(f"| Pr[collision], n=1e6, 1024-bit | ~1e-295 | 10^{math.log10(p):.1f} |")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## S3.1 - naive protocol attack (motivating the design)")
-    emit()
-    suite = ProtocolSuite.default(bits=256, seed=31)
-    domain = [f"id-{i:04d}" for i in range(1000)]
-    v_s, v_r = domain[100:250], domain[200:260]
-    naive = run_naive_intersection(v_r, v_s, suite)
-    rec_naive = dictionary_attack(naive.observed_hashes, domain, suite.hash)
-    secure = run_intersection(v_r, v_s, suite)
-    rec_secure = dictionary_attack(
-        set(secure.run.r_view.flat_integers()), domain, suite.hash
-    )
-    emit("| protocol | paper claim | measured recovery |")
-    emit("|---|---|---|")
-    emit(f"| naive hash (S3.1) | R completely learns V_S | "
-         f"{len(rec_naive)}/{len(v_s)} values |")
-    emit(f"| commutative (S3.3) | attack infeasible | {len(rec_secure)}/{len(v_s)} values |")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## S6.1 - computation model")
-    emit()
-    model = ProtocolCostModel(CostConstants())
-    emit("Operation counts from instrumented runs (exact match required):")
-    emit()
-    emit("| protocol | n_R, n_S | model modexps | measured modexps |")
-    emit("|---|---|---|---|")
-    for n_r, n_s in [(50, 50), (20, 80)]:
-        cs = counting_suite(bits=64)
-        run_intersection([f"r{i}" for i in range(n_r)],
-                         [f"s{i}" for i in range(n_s)], cs.suite)
-        pred = model.intersection_ops(n_s, n_r).encryptions
-        emit(f"| intersection | {n_r}, {n_s} | {pred} | {cs.counter.encryptions} |")
-        cs = counting_suite(bits=64)
-        run_equijoin([f"r{i}" for i in range(n_r)],
-                     {f"s{i}": b"x" for i in range(n_s)}, cs.suite)
-        pred = model.join_ops(n_s, n_r, 0).encryptions
-        emit(f"| equijoin | {n_r}, {n_s} | {pred} | {cs.counter.encryptions} |")
-    emit()
-
-    cal = calibrate(bits=1024, samples=15)
-    here = ProtocolCostModel(cal.constants.with_processors(10))
-    n = 10**6
-    emit("Extrapolation to the paper's n = 1M (intersection, P = 10):")
-    emit()
-    emit("| constants | hours |")
-    emit("|---|---|")
-    emit(f"| paper (2001 Pentium III, C_e = 20 ms) | "
-         f"{model.parallel_seconds(model.intersection_seconds(n, n))/3600:.2f} |")
-    emit(f"| this machine (measured C_e = {cal.constants.ce_seconds*1e3:.2f} ms) | "
-         f"{here.parallel_seconds(here.intersection_seconds(n, n))/3600:.2f} |")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## S6.1 - communication model")
-    emit()
-    emit("| protocol | model codewords | measured codewords |")
-    emit("|---|---|---|")
-    for n_r, n_s in [(50, 50), (30, 90)]:
-        s = ProtocolSuite.default(bits=128, seed=n_r)
-        result = run_intersection_size(
-            [f"r{i}" for i in range(n_r)], [f"s{i}" for i in range(n_s)], s
-        )
-        measured = sum(
-            len(v.flat_integers()) for v in (result.run.r_view, result.run.s_view)
-        )
-        emit(f"| intersection size ({n_r}, {n_s}) | {n_s + 2*n_r} | {measured} |")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## S6.2.1 - selective document sharing")
-    emit()
-    est = document_sharing_estimate()
-    emit("| quantity | paper | model |")
-    emit("|---|---|---|")
-    emit(f"| encryptions | 4e6 C_e | {est.encryptions_ce:.1e} C_e |")
-    emit(f"| computation (P=10) | ~2 h | {est.computation_hours:.2f} h |")
-    emit(f"| communication | 3e6 k ~ 3 Gbit | {est.communication_bits:.2e} bit |")
-    emit(f"| transfer (T1) | ~35 min | {est.communication_minutes:.0f} min |")
-    emit()
-
-    emit("## S6.2.2 - medical research")
-    emit()
-    est = medical_research_estimate()
-    emit("| quantity | paper | model |")
-    emit("|---|---|---|")
-    emit(f"| encryptions | 8e6 C_e | {est.encryptions_ce:.1e} C_e |")
-    emit(f"| computation (P=10) | ~4 h | {est.computation_hours:.2f} h |")
-    emit(f"| communication | 8e6 k ~ 8 Gbit | {est.communication_bits:.2e} bit |")
-    emit(f"| transfer (T1) | ~1.5 h | {est.communication_hours:.2f} h |")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## A.1.1 - oblivious transfer cost")
-    emit()
-    ot = NaorPinkasCostModel(ce_over_cx=1000.0, k1_bits=100)
-    emit("| quantity | paper | reproduced |")
-    emit("|---|---|---|")
-    emit(f"| optimal l | 8 | {ot.optimal_l()} |")
-    emit(f"| C_ot | 0.157 C_e | {ot.computation_cost(8):.3f} C_e |")
-    emit(f"| C'_ot | >= 32 k1 = 3200 bit | {ot.communication_bits(8):.0f} bit |")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## A.1.2 - circuit sizes")
-    emit()
-    cm = CircuitCostModel()
-    emit("| n | paper (m, f) | reproduced (m, f) | brute force paper | reproduced |")
-    emit("|---|---|---|---|---|")
-    paper_rows = {10**4: (11, "2.3e8", "6.3e9"), 10**6: (19, "7.3e10", "6.3e13"),
-                  10**8: (32, "1.9e13", "6.3e17")}
-    for row in cm.circuit_size_table():
-        pm, pf, pb = paper_rows[row.n]
-        emit(f"| {row.n:.0e} | ({pm}, {pf}) | ({row.m}, {row.gates:.1e}) "
-             f"| {pb} | {cm.brute_force_gates(row.n, row.n):.1e} |")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## A.2 - computation comparison")
-    emit()
-    emit("| n | input OT [C_e] paper/repro | eval [C_r] paper/repro | ours [C_e] paper/repro |")
-    emit("|---|---|---|---|")
-    paper_comp = {10**4: ("5e4", "4.7e8", "4e4"), 10**6: ("5e6", "1.5e11", "4e6"),
-                  10**8: ("5e8", "3.8e13", "4e8")}
-    for row in cm.comparison_table():
-        p = paper_comp[row.n]
-        emit(f"| {row.n:.0e} | {p[0]} / {row.circuit_input_ce:.1e} "
-             f"| {p[1]} / {row.circuit_eval_cr:.1e} | {p[2]} / {row.ours_ce:.1e} |")
-    emit()
-
-    emit("## A.2 - communication comparison")
-    emit()
-    emit("| n | OT bits paper/repro | table bits paper/repro | ours paper/repro |")
-    emit("|---|---|---|---|")
-    paper_comm = {10**4: ("1e9", "6.0e10", "3e7"), 10**6: ("1e11", "1.8e13", "3e9"),
-                  10**8: ("1e13", "4.9e15", "3e11")}
-    for row in cm.comparison_table():
-        p = paper_comm[row.n]
-        emit(f"| {row.n:.0e} | {p[0]} / {row.circuit_input_bits:.1e} "
-             f"| {p[1]} / {row.circuit_tables_bits:.1e} | {p[2]} / {row.ours_bits:.1e} |")
-    emit()
-    headline = {r.n: r for r in cm.comparison_table()}[10**6]
-    emit(f"Headline: paper says **144 days vs 0.5 hours** on a T1 at n = 1e6; "
-         f"reproduced: **{cm.t1_transfer_days(headline.circuit_tables_bits):.0f} days "
-         f"vs {cm.t1_transfer_days(headline.ours_bits)*24:.2f} hours**.")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## Appendix A made empirical - working Yao PSI vs ours")
-    emit()
-    group = QRGroup.for_bits(256)
-    emit("| n | Yao bytes | ours bytes | gap |")
-    emit("|---|---|---|---|")
-    for n in (4, 8, 16):
-        rng = random.Random(n)
-        universe = list(range(1 << 16))
-        v_s = rng.sample(universe, n)
-        v_r = rng.sample(v_s, n // 2) + rng.sample(universe, n - n // 2)
-        yao = yao_intersection(v_s, v_r, width=16, group=group, rng=rng)
-        s = ProtocolSuite.default(bits=256, seed=n)
-        ours = run_intersection(v_r, v_s, s)
-        assert yao.intersection == ours.intersection
-        emit(f"| {n} | {yao.total_bytes} | {ours.run.total_bytes} "
-             f"| {yao.total_bytes/ours.run.total_bytes:.1f}x |")
-    emit()
-    emit("(The gap widens with n - the brute-force circuit is quadratic; the")
-    emit("paper's analytic gap at n = 1e6 is ~6000x.)")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## S5.2 - equijoin-size leakage ablation")
-    emit()
-    rng = random.Random(5)
-    emit("| duplicate structure | paper prediction | identified fraction |")
-    emit("|---|---|---|")
-    ms_r, ms_s = multiset_pair(20, 20, 8, rng, uniform_count=3)
-    f_uniform = leakage_profile(ms_r, ms_s).identified_fraction(20)
-    emit(f"| uniform counts | 'R only learns the size' | {f_uniform:.2f} |")
-    ms_r, ms_s = multiset_pair(20, 20, 8, rng, alpha=1.5)
-    f_zipf = leakage_profile(ms_r, ms_s).identified_fraction(20)
-    emit(f"| Zipf counts | between the extremes | {f_zipf:.2f} |")
-    values = [f"v{i}" for i in range(20)]
-    ms_r = __import__("repro.db.multiset", fromlist=["ValueMultiset"]).ValueMultiset.from_values(
-        [v for i, v in enumerate(values) for _ in range(i + 1)]
-    )
-    ms_s_vals = values[:8] + [f"s{i}" for i in range(12)]
-    ms_s = type(ms_r).from_values(
-        [v for i, v in enumerate(ms_s_vals) for _ in range(i + 1)]
-    )
-    f_distinct = leakage_profile(ms_r, ms_s).identified_fraction(20)
-    emit(f"| all-distinct counts | 'R will learn V_R ∩ V_S' | {f_distinct:.2f} |")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## Protocol scaling (validation, not a paper table)")
-    emit()
-    emit("512-bit modulus, 50% overlap, wall clock and wire bytes:")
-    emit()
-    emit("| n | intersection | size | equijoin | join size |")
-    emit("|---|---|---|---|---|")
-    for n in (16, 64):
-        cells = []
-        for name, fn in [
-            ("i", lambda vr, vs, s: run_intersection(vr, vs, s)),
-            ("is", lambda vr, vs, s: run_intersection_size(vr, vs, s)),
-            ("ej", lambda vr, vs, s: run_equijoin(vr, {v: b"r" for v in vs}, s)),
-            ("ejs", lambda vr, vs, s: __import__(
-                "repro.protocols.equijoin_size", fromlist=["run_equijoin_size"]
-            ).run_equijoin_size(vr, vs, s)),
-        ]:
-            v_r, v_s, _ = overlapping_sets(n, n, n // 2, random.Random(n))
-            s = ProtocolSuite.default(bits=512, seed=n)
-            t0 = time.perf_counter()
-            result = fn(v_r, v_s, s)
-            dt = time.perf_counter() - t0
-            cells.append(f"{dt:.2f}s / {result.run.total_bytes//1024}kB")
-        emit(f"| {n} | " + " | ".join(cells) + " |")
-    emit()
-    emit(f"Measured 1024-bit C_e on this machine: "
-         f"{cal.constants.ce_seconds*1e3:.2f} ms "
-         f"({cal.exponentiations_per_hour():.1e}/hour vs the paper's 1.8e5/hour).")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## Footnote-3 ablation - the reordering requirement")
-    emit()
-    emit("Running the intersection-size protocol with S returning `Z_R`")
-    emit("in received order instead of reordered:")
-    emit()
-    import sys as _sys
-    from pathlib import Path as _Path
-
-    _sys.path.insert(0, str(_Path(__file__).resolve().parent))
-    from bench_sorting_ablation import _intersection_size_run
-
-    rng = random.Random(8)
-    v_r2, v_s2, expected2 = overlapping_sets(20, 25, 9, rng)
-    s = ProtocolSuite.default(bits=128, seed=8)
-    _, rec_sorted, _ = _intersection_size_run(v_r2, v_s2, s, reorder_z_r=True)
-    s = ProtocolSuite.default(bits=128, seed=8)
-    _, rec_unsorted, _ = _intersection_size_run(v_r2, v_s2, s, reorder_z_r=False)
-    emit("| variant | positional attack recovers |")
-    emit("|---|---|")
-    emit(f"| reordered (paper) | {len(rec_sorted & expected2)}/{len(expected2)} (chance) |")
-    emit(f"| input order (broken) | {len(rec_unsorted & expected2)}/{len(expected2)} (total break) |")
-    emit()
-
-    # ------------------------------------------------------------------
-    emit("## Extensions (the paper's future work)")
-    emit()
-    from repro.protocols.aggregate import run_equijoin_sum
-    from repro.protocols.selection import run_selection
-
-    s = ProtocolSuite.default(bits=256, seed=77)
-    values_s = {f"c{i}": 100 + i for i in range(10)}
-    sum_result = run_equijoin_sum(
-        [f"c{i}" for i in range(5)] + ["x"], values_s, s, paillier_bits=256
-    )
-    truth = sum(100 + i for i in range(5))
-    emit("| extension | check | result |")
-    emit("|---|---|---|")
-    emit(f"| equijoin sum (aggregation) | protocol == plaintext sum | "
-         f"{sum_result.total} == {truth} |")
-    records = [f"rec-{i}".encode() for i in range(16)]
-    sel = run_selection(11, records, s)
-    emit(f"| private selection (PIR-style) | retrieved record 11 | "
-         f"{sel.record == records[11]} |")
-    emit()
-    emit("Multi-query composition (S2.3): the tracker attack against live")
-    emit("intersection-size runs pins individual membership from two size-only")
-    emit("answers; the `QueryAuditor` overlap rule refuses the second probe")
-    emit("(demonstrated in `tests/analysis/test_composition.py`).")
-
+import pathlib
+import sys
 
 if __name__ == "__main__":
-    main()
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import main
+
+    raise SystemExit(main(["report", *sys.argv[1:]]))

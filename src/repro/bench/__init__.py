@@ -1,0 +1,66 @@
+"""The unified benchmark harness: a task registry + one runner.
+
+Every experiment in ``benchmarks/`` registers here as a named
+:class:`~repro.bench.registry.BenchTask` (``<area>.<task>``), and one
+CLI runs any subset with a seeded RNG, warmup/repeat control, and
+environment capture::
+
+    python -m repro.bench list
+    python -m repro.bench run all --smoke
+    python -m repro.bench run robustness --out BENCH_robustness.json
+    python -m repro.bench compare --baseline HEAD
+    python -m repro.bench report --out EXPERIMENTS.md
+
+Each run emits one normalized, schema-tagged ``BENCH_<area>.json`` per
+area; those files are committed per PR so the repo carries its own
+perf trajectory, and the ``compare`` phase (plus the ``bench-smoke``
+CI job) fails on a >20% regression against the last committed numbers.
+See ``docs/BENCHMARKS.md`` for the user guide.
+"""
+
+from __future__ import annotations
+
+from .compare import Comparison, MetricDelta, compare_payloads, load_baseline
+from .registry import (
+    BenchTask,
+    DuplicateTaskError,
+    UnknownTaskError,
+    all_tasks,
+    areas,
+    get_task,
+    load_all_tasks,
+    register,
+    select_tasks,
+)
+from .runner import RunContext, run_selection, write_bench_files
+from .schema import (
+    FILE_SCHEMA,
+    capture_environment,
+    dump_payload,
+    load_payload,
+    strip_volatile,
+)
+
+__all__ = [
+    "BenchTask",
+    "Comparison",
+    "DuplicateTaskError",
+    "FILE_SCHEMA",
+    "MetricDelta",
+    "RunContext",
+    "UnknownTaskError",
+    "all_tasks",
+    "areas",
+    "capture_environment",
+    "compare_payloads",
+    "dump_payload",
+    "get_task",
+    "load_all_tasks",
+    "load_baseline",
+    "load_payload",
+    "register",
+    "run_selection",
+    "select_tasks",
+    "strip_volatile",
+    "write_bench_files",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` — dispatch to the harness CLI."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,229 @@
+"""``python -m repro.bench`` — the harness command line.
+
+Phases::
+
+    list                       show registered tasks (name, area, summary)
+    run <task|area|all>        execute a subset, emit BENCH_<area>.json
+    compare --baseline <ref>   diff a run against committed numbers
+    report                     regenerate the EXPERIMENTS.md report
+
+``run`` selectors take a full task name (``robustness.chaos-survival``),
+an area (``robustness``), ``all``, or a comma-separated mix. Exit
+codes: 0 success, 1 regression found (``compare``), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .compare import (
+    DEFAULT_MIN_ABS,
+    DEFAULT_THRESHOLD,
+    Comparison,
+    compare_payloads,
+    load_baseline,
+)
+from .registry import UnknownTaskError, all_tasks, select_tasks
+from .runner import run_selection, write_bench_files
+from .schema import load_payload
+
+__all__ = ["build_parser", "legacy_main", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.bench`` argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Unified benchmark harness (see docs/BENCHMARKS.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="show registered tasks")
+    p.add_argument("--area", default=None, help="only this area")
+
+    p = sub.add_parser("run", help="execute tasks, emit BENCH_<area>.json")
+    p.add_argument(
+        "selector",
+        help="task name, area, 'all', or a comma-separated mix",
+    )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--smoke", dest="mode", action="store_const", const="smoke",
+        help="tiny parameters (CI-sized; the default)",
+    )
+    mode.add_argument(
+        "--full", dest="mode", action="store_const", const="full",
+        help="real parameters (the committed-trajectory scale)",
+    )
+    mode.add_argument(
+        "--mode", dest="mode", choices=("smoke", "full", "report"),
+        help="explicit parameter-set choice",
+    )
+    p.set_defaults(mode="smoke")
+    p.add_argument("--seed", type=int, default=20030609,
+                   help="run seed (per-task streams derive from it)")
+    p.add_argument("--warmup", type=int, default=None,
+                   help="discarded timing calls (default: 0 smoke, 1 else)")
+    p.add_argument("--repeat", type=int, default=None,
+                   help="timed calls, best kept (default: 1 smoke, 3 else)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the single produced area file here "
+                        "(error if the selection spans areas)")
+    p.add_argument("--out-dir", default=".", metavar="DIR",
+                   help="directory for BENCH_<area>.json files (default .)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-task progress lines")
+
+    p = sub.add_parser(
+        "compare", help="diff BENCH files against a baseline"
+    )
+    p.add_argument(
+        "--baseline", default="HEAD",
+        help="git ref holding the committed numbers, or a directory of "
+             "BENCH_<area>.json files (default HEAD)",
+    )
+    p.add_argument(
+        "--current", default=".", metavar="DIR",
+        help="directory holding the freshly produced files (default .)",
+    )
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="fail above this fractional slowdown (default 0.20)")
+    p.add_argument("--min-abs", type=float, default=DEFAULT_MIN_ABS,
+                   help="ignore absolute drifts at or below this many "
+                        "seconds (default 0.01)")
+    p.add_argument("--area", action="append", default=None,
+                   help="only compare these areas (repeatable)")
+    p.add_argument("--no-fail", action="store_true",
+                   help="report regressions but exit 0 (first-run CI)")
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write here (default stdout)")
+    p.add_argument("--mode", choices=("smoke", "full", "report"),
+                   default="report", help="parameter scale (default report)")
+    p.add_argument("--seed", type=int, default=20030609)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    tasks = all_tasks()
+    if args.area:
+        tasks = [t for t in tasks if t.area == args.area]
+        if not tasks:
+            print(f"repro.bench: no tasks in area {args.area!r}",
+                  file=sys.stderr)
+            return 2
+    width = max(len(t.name) for t in tasks)
+    for task in tasks:
+        print(f"{task.name:<{width}}  {task.summary}")
+    print(f"# {len(tasks)} tasks; run one, an area, or 'all'")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        tasks = select_tasks(args.selector)
+    except UnknownTaskError as exc:
+        print(f"repro.bench: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr, flush=True)
+    )
+    by_area = run_selection(
+        tasks, mode=args.mode, seed=args.seed,
+        warmup=args.warmup, repeat=args.repeat, progress=progress,
+    )
+    if args.out is not None:
+        if len(by_area) != 1:
+            print(
+                f"repro.bench: --out needs a single-area selection, got "
+                f"{sorted(by_area)}; use --out-dir",
+                file=sys.stderr,
+            )
+            return 2
+        from .schema import dump_payload
+
+        (payload,) = by_area.values()
+        dump_payload(payload, args.out)
+        print(args.out)
+        return 0
+    for path in write_bench_files(by_area, args.out_dir):
+        print(path)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    current_dir = Path(args.current)
+    files = sorted(current_dir.glob("BENCH_*.json"))
+    if args.area:
+        wanted = set(args.area)
+        files = [
+            f for f in files
+            if f.name[len("BENCH_"):-len(".json")] in wanted
+        ]
+    if not files:
+        print(f"repro.bench: no BENCH_*.json under {current_dir}",
+              file=sys.stderr)
+        return 2
+    comparison = Comparison(threshold=args.threshold, min_abs=args.min_abs)
+    for path in files:
+        current = load_payload(path)
+        area = current.get("area", path.stem)
+        baseline = load_baseline(args.baseline, area)
+        if baseline is None:
+            comparison.notes.append(
+                f"{area}: no baseline in {args.baseline!r}; skipped"
+            )
+            continue
+        compare_payloads(
+            baseline, current, threshold=args.threshold,
+            min_abs=args.min_abs, comparison=comparison,
+        )
+    print(comparison.describe())
+    if not comparison.ok and not args.no_fail:
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import write_report
+
+    text = write_report(mode=args.mode, seed=args.seed)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(args.out)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def legacy_main(task_selector: str, argv: Sequence[str] | None = None) -> int:
+    """Back-compat shim for ``python benchmarks/bench_<x>.py [args]``.
+
+    Each legacy script forwards here with its registry selector; extra
+    CLI args pass straight through to ``run`` (so e.g. ``--full`` or
+    ``--seed 7`` keep working from the old entrypoints).
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    print(
+        f"# legacy entrypoint -> python -m repro.bench run {task_selector}",
+        file=sys.stderr,
+    )
+    return main(["run", task_selector, *argv])

@@ -1,0 +1,204 @@
+"""The compare phase: diff a run against the last committed numbers.
+
+Baselines come from a git ref (``--baseline HEAD`` reads the committed
+``BENCH_<area>.json`` files via ``git show``) or from a directory of
+previously emitted files (the CI cache). Only the metrics a task
+declares in ``regress_on`` are gated; a record regresses when::
+
+    current > baseline * (1 + threshold)   # strictly greater
+    and current - baseline > min_abs       # noise floor
+
+so a slowdown of *exactly* the threshold (20% by default) passes, and
+microsecond-scale jitter on tiny smoke timings never trips the gate.
+Structural drift — tasks or records present on one side only — is
+reported but does not fail the comparison (new benchmarks must be
+landable).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .schema import FILE_SCHEMA, bench_filename
+
+__all__ = [
+    "Comparison",
+    "DEFAULT_MIN_ABS",
+    "DEFAULT_THRESHOLD",
+    "MetricDelta",
+    "compare_payloads",
+    "load_baseline",
+]
+
+#: Fail on regressions beyond 20% by default (the CI gate).
+DEFAULT_THRESHOLD = 0.20
+#: Ignore absolute drifts at or below 10ms — smoke-run timing noise.
+DEFAULT_MIN_ABS = 0.01
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One gated metric compared across baseline and current."""
+
+    area: str
+    task: str
+    record_id: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (inf when the baseline measured zero)."""
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        """One aligned report line for this delta."""
+        change = self.ratio - 1.0
+        return (
+            f"{self.task} [{self.record_id}] {self.metric}: "
+            f"{self.baseline:.6g} -> {self.current:.6g} ({change:+.1%})"
+        )
+
+
+@dataclass
+class Comparison:
+    """Everything the compare phase found, regression verdict included."""
+
+    threshold: float = DEFAULT_THRESHOLD
+    min_abs: float = DEFAULT_MIN_ABS
+    #: Deltas beyond the gate — any entry fails the comparison.
+    regressions: list[MetricDelta] = field(default_factory=list)
+    #: Deltas that got faster beyond the same (mirrored) margin.
+    improvements: list[MetricDelta] = field(default_factory=list)
+    #: Everything else that was matched and within noise.
+    stable: list[MetricDelta] = field(default_factory=list)
+    #: Structural drift notes (missing/new tasks, records, schemas).
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed beyond the gate."""
+        return not self.regressions
+
+    def add(self, delta: MetricDelta) -> None:
+        """Classify one delta against the gate."""
+        worse = delta.current - delta.baseline
+        if (
+            delta.current > delta.baseline * (1.0 + self.threshold)
+            and worse > self.min_abs
+        ):
+            self.regressions.append(delta)
+        elif (
+            delta.baseline > delta.current * (1.0 + self.threshold)
+            and -worse > self.min_abs
+        ):
+            self.improvements.append(delta)
+        else:
+            self.stable.append(delta)
+
+    def describe(self) -> str:
+        """The multi-line human report the CLI prints."""
+        lines = [
+            f"compared {len(self.regressions) + len(self.improvements) + len(self.stable)} "
+            f"gated metrics (fail above {self.threshold:.0%} + {self.min_abs:g}s)"
+        ]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for delta in self.improvements:
+            lines.append(f"  faster: {delta.describe()}")
+        for delta in self.regressions:
+            lines.append(f"  REGRESSION: {delta.describe()}")
+        lines.append("OK" if self.ok else "FAIL: performance regression")
+        return "\n".join(lines)
+
+
+def load_baseline(
+    baseline: str, area: str, repo_root: Path | str = "."
+) -> dict | None:
+    """Fetch the baseline ``BENCH_<area>.json`` payload, or None.
+
+    ``baseline`` is a directory path (the CI cache) when one exists,
+    otherwise a git ref — the file is read from that commit via
+    ``git show``, i.e. "the last committed numbers".
+    """
+    import json
+
+    name = bench_filename(area)
+    as_dir = Path(baseline)
+    if as_dir.is_dir():
+        path = as_dir / name
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+    out = subprocess.run(
+        ["git", "show", f"{baseline}:{name}"],
+        capture_output=True,
+        text=True,
+        cwd=str(repo_root),
+    )
+    if out.returncode != 0:
+        return None
+    return json.loads(out.stdout)
+
+
+def _indexed(payload: dict) -> dict[str, dict]:
+    """task name -> task result, for one payload."""
+    return {t["task"]: t for t in payload.get("tasks", [])}
+
+
+def compare_payloads(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_abs: float = DEFAULT_MIN_ABS,
+    comparison: Comparison | None = None,
+) -> Comparison:
+    """Diff two same-area payloads record by record, metric by metric."""
+    result = comparison or Comparison(threshold=threshold, min_abs=min_abs)
+    area = current.get("area", "?")
+    if baseline.get("schema") != FILE_SCHEMA:
+        result.notes.append(
+            f"{area}: baseline file schema "
+            f"{baseline.get('schema')!r} != {FILE_SCHEMA}; skipped"
+        )
+        return result
+    if baseline.get("mode") != current.get("mode"):
+        result.notes.append(
+            f"{area}: comparing mode {current.get('mode')!r} against "
+            f"baseline mode {baseline.get('mode')!r}"
+        )
+    base_tasks = _indexed(baseline)
+    for task in current.get("tasks", []):
+        name = task["task"]
+        base = base_tasks.get(name)
+        if base is None:
+            result.notes.append(f"{name}: new task (no baseline)")
+            continue
+        if base.get("schema") != task.get("schema"):
+            result.notes.append(
+                f"{name}: record schema changed "
+                f"{base.get('schema')} -> {task.get('schema')}; skipped"
+            )
+            continue
+        base_records = {r["id"]: r for r in base.get("records", [])}
+        for record in task.get("records", []):
+            base_record = base_records.get(record["id"])
+            if base_record is None:
+                result.notes.append(
+                    f"{name}: new record {record['id']!r} (no baseline)"
+                )
+                continue
+            for metric in task.get("regress_on", []):
+                old = base_record.get("metrics", {}).get(metric)
+                new = record.get("metrics", {}).get(metric)
+                if old is None or new is None:
+                    continue
+                result.add(MetricDelta(
+                    area=area, task=name, record_id=record["id"],
+                    metric=metric, baseline=float(old), current=float(new),
+                ))
+    return result

@@ -1,0 +1,121 @@
+"""The normalized ``BENCH_<area>.json`` result format.
+
+One file per area, schema-tagged at both levels so the trajectory
+stays diffable across PRs::
+
+    {
+      "schema": 2,                 # file format version (this module)
+      "area": "robustness",
+      "mode": "smoke",             # which parameter set produced it
+      "seed": 20030609,
+      "environment": {...},        # volatile: machine, sha, timestamp
+      "tasks": [
+        {
+          "task": "robustness.fault-tolerance",
+          "schema": 1,             # task's own record-shape version
+          "source": "benchmarks/bench_fault_tolerance.py",
+          "params": {...},
+          "regress_on": ["elapsed_s"],
+          "records": [
+            {"id": "rate-0.05", ..., "metrics": {"elapsed_s": 0.41}}
+          ]
+        }
+      ]
+    }
+
+Record discipline: every record carries a stable ``id`` (unique within
+its task), deterministic facts (counts, byte totals, answers — identical
+across reruns at the same seed and params) at the top level, and noisy
+measured values under ``"metrics"``. The compare phase diffs only the
+metrics named by ``regress_on``; the determinism test diffs everything
+*except* metrics and the environment block (:func:`strip_volatile`).
+
+Schema history: ``1`` was the flat ``{"benchmark", "records"}`` shape
+the pre-harness ``bench_fault_tolerance.py`` emitted; ``2`` is the
+registry format above.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "FILE_SCHEMA",
+    "bench_filename",
+    "capture_environment",
+    "dump_payload",
+    "load_payload",
+    "strip_volatile",
+]
+
+#: Version tag written at the top of every ``BENCH_<area>.json``.
+FILE_SCHEMA = 2
+
+
+def bench_filename(area: str) -> str:
+    """The committed artifact name for an area: ``BENCH_<area>.json``."""
+    return f"BENCH_{area}.json"
+
+
+def _git_sha() -> str | None:
+    """The current commit sha, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def capture_environment() -> dict[str, Any]:
+    """Everything volatile about the machine that produced a run.
+
+    Kept in one block so comparisons and determinism checks can drop
+    it wholesale — two runs of the same code at the same seed differ
+    only here (and in measured metrics).
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def strip_volatile(payload: dict) -> dict:
+    """A deep copy of a bench payload minus environment and metrics.
+
+    What remains must be byte-identical across reruns at the same seed
+    and params — the determinism contract the harness tests enforce.
+    """
+    clean = json.loads(json.dumps(payload))
+    clean.pop("environment", None)
+    for task in clean.get("tasks", []):
+        for record in task.get("records", []):
+            record.pop("metrics", None)
+    return clean
+
+
+def dump_payload(payload: dict, path: Path | str) -> None:
+    """Write a payload as sorted, indented JSON with a trailing newline."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def load_payload(path: Path | str) -> dict:
+    """Read one ``BENCH_<area>.json`` back."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

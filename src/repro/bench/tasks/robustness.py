@@ -1,0 +1,411 @@
+"""Area ``robustness`` — what fault tolerance costs and survives.
+
+The measurement cores moved here from
+``benchmarks/bench_fault_tolerance.py`` (which imports them back for
+its pytest assertions). This area is the migrated emitter of
+``BENCH_robustness.json``: the registry regenerates it at schema 2
+via ``python -m repro.bench run robustness``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from ...net.chaos import ChaosSchedule, run_schedule
+from ...net.faults import FaultInjector, FaultPlan
+from ...net.journal import JournalDir, recover_sender_session
+from ...net.serialization import encode
+from ...net.session import RetryPolicy, SessionConfig
+from ...net.tcp import connect_resumable_receiver, serve_resumable_sender
+from ...protocols.parties import PublicParams, ReceiverMachine, SenderMachine
+from ...protocols.spec import PROTOCOLS
+from ..registry import register
+
+__all__ = [
+    "CHAOS_BENCH_SEEDS",
+    "FAULT_RATES",
+    "JOURNAL_MODES",
+    "JOURNAL_SET_SIZES",
+    "TrackingInjector",
+    "build_crashed_journal",
+    "run_once",
+    "run_journaled",
+    "session_config",
+]
+
+#: rate -> RNG seed. Runs are only a handful of frames, so seeds are
+#: chosen (deterministically, once) such that the nonzero rates do
+#: observably fire within the run.
+FAULT_RATES = {0.0: 5, 0.05: 15, 0.10: 15, 0.20: 15}
+
+#: journal mode label -> fsync flag (None = journaling disabled).
+JOURNAL_MODES = {"off": None, "fsync-off": False, "fsync-on": True}
+JOURNAL_SET_SIZES = (8, 32)
+
+#: Fixed seeds for the legacy full chaos sweep; the harness task's
+#: ``full`` params drive the same range.
+CHAOS_BENCH_SEEDS = tuple(range(40))
+
+
+class TrackingInjector(FaultInjector):
+    """Keeps every wrapped endpoint so wire bytes survive reconnects."""
+
+    def __init__(self, plan: FaultPlan):
+        super().__init__(plan)
+        self.endpoints: list = []
+
+    def wrap(self, transport):
+        """Wrap a transport, remembering the endpoint for accounting."""
+        endpoint = super().wrap(transport)
+        self.endpoints.append(endpoint)
+        return endpoint
+
+    __call__ = wrap
+
+    @property
+    def total_bytes_sent(self) -> int:
+        """Bytes sent across every endpoint this injector wrapped."""
+        return sum(e.bytes_sent for e in self.endpoints)
+
+    @property
+    def total_bytes_received(self) -> int:
+        """Bytes received across every endpoint this injector wrapped."""
+        return sum(e.bytes_received for e in self.endpoints)
+
+
+def session_config() -> SessionConfig:
+    """The aggressive-retry session config every robustness run uses."""
+    return SessionConfig(
+        timeout_s=0.3,
+        retry=RetryPolicy(max_attempts=8, base_delay_s=0.01,
+                          max_delay_s=0.05),
+        max_reconnects=20,
+        fin_grace_s=0.05,
+    )
+
+
+def run_once(rate: float, seed: int, bits: int) -> dict:
+    """One resumable intersection run under an injected fault rate."""
+    v_r = [f"r{i}" for i in range(12)] + [f"c{i}" for i in range(4)]
+    v_s = [f"s{i}" for i in range(12)] + [f"c{i}" for i in range(4)]
+    expected = {f"c{i}" for i in range(4)}
+
+    plan = FaultPlan(seed=seed, drop_rate=rate / 2, corrupt_rate=rate / 2)
+    injector = TrackingInjector(plan)
+    config = session_config()
+    params = PublicParams.for_bits(bits)
+    ready = threading.Event()
+    box: dict = {}
+
+    def serve():
+        box["server"] = serve_resumable_sender(
+            "intersection", v_s, params, random.Random(seed + 1),
+            ready_callback=lambda port: (
+                box.__setitem__("port", port), ready.set()
+            ),
+            config=config,
+        )
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    assert ready.wait(timeout=10)
+    started = time.perf_counter()
+    answer, client_stats = connect_resumable_receiver(
+        "intersection", v_r, random.Random(seed + 2), "127.0.0.1",
+        box["port"], config=config, endpoint_wrapper=injector,
+    )
+    elapsed = time.perf_counter() - started
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert answer == expected, f"rate {rate}: wrong answer {answer!r}"
+    _size_v_r, server_stats = box["server"]
+
+    return {
+        "protocol": "intersection",
+        "fault_rate": rate,
+        "seed": seed,
+        "bits": bits,
+        "n_r": len(v_r),
+        "n_s": len(v_s),
+        "elapsed_s": round(elapsed, 6),
+        "client_bytes_sent": injector.total_bytes_sent,
+        "client_bytes_received": injector.total_bytes_received,
+        "retransmits": client_stats.retransmits
+        + server_stats.retransmits,
+        "reconnects": client_stats.reconnects,
+        "replayed_frames": client_stats.replayed_frames
+        + server_stats.replayed_frames,
+        "faults": injector.stats.as_dict(),
+    }
+
+
+def _inputs(n: int):
+    half = max(1, n // 4)
+    v_r = [f"r{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    return v_r, v_s, {f"c{i}" for i in range(half)}
+
+
+def run_journaled(n: int, mode: str, bits: int, tmp_path) -> dict:
+    """One clean-channel run with the given journal durability mode."""
+    fsync = JOURNAL_MODES[mode]
+    v_r, v_s, expected = _inputs(n)
+    config = session_config()
+    params = PublicParams.for_bits(bits)
+    journal_kwargs = (
+        {}
+        if fsync is None
+        else {
+            "journal_dir": tmp_path / f"{mode}-{n}",
+            "journal_fsync": fsync,
+        }
+    )
+    ready = threading.Event()
+    box: dict = {}
+
+    def serve():
+        box["server"] = serve_resumable_sender(
+            "intersection", v_s, params, random.Random(11),
+            ready_callback=lambda port: (
+                box.__setitem__("port", port), ready.set()
+            ),
+            config=config, **journal_kwargs,
+        )
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    assert ready.wait(timeout=10)
+    started = time.perf_counter()
+    answer, client_stats = connect_resumable_receiver(
+        "intersection", v_r, random.Random(12), "127.0.0.1", box["port"],
+        config=config, **journal_kwargs,
+    )
+    elapsed = time.perf_counter() - started
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert answer == expected
+    return {
+        "protocol": "intersection",
+        "journal": mode,
+        "n": n,
+        "bits": bits,
+        "elapsed_s": round(elapsed, 6),
+        "rounds": client_stats.rounds_computed,
+    }
+
+
+def build_crashed_journal(journal_dir: JournalDir, params, n: int,
+                          session_id: int) -> int:
+    """A sender journal frozen at the worst crash point.
+
+    All inbound rounds consumed and the final outbound round journaled
+    but never shipped - the maximum amount of state a restart has to
+    rebuild by replay. Returns the number of journaled rounds.
+    """
+    spec = PROTOCOLS["intersection"]
+    v_r, v_s, _expected = _inputs(n)
+    receiver = ReceiverMachine(spec, v_r, params, random.Random("R"))
+    sender = SenderMachine(spec, v_s, params, random.Random("S"))
+    journal = journal_dir.open_session("sender", "intersection", session_id)
+    inbound = outbound = 0
+    for rnd in spec.rounds:
+        producer, consumer = (
+            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+        )
+        wire = producer.produce(rnd).to_wire()
+        if rnd.source == "R":
+            journal.record_inbound(inbound, encode(wire))
+            inbound += 1
+        else:
+            journal.record_outbound(outbound, encode(wire))
+            outbound += 1
+        consumer.consume(rnd, wire)
+    journal.close()
+    return inbound + outbound
+
+
+@register(
+    "robustness.fault-tolerance",
+    smoke={"bits": 128, "rates": [0.0, 0.10]},
+    full={"bits": 256, "rates": [0.0, 0.05, 0.10, 0.20]},
+    source="benchmarks/bench_fault_tolerance.py",
+    summary="Completion cost vs injected fault rate over real TCP: "
+            "retransmits, reconnects, wire bytes; answers never change.",
+    regress_on=("elapsed_s",),
+)
+def fault_tolerance(ctx) -> list[dict]:
+    """Sweep fault rates through the resumable session layer."""
+    bits = ctx.param("bits")
+    records = []
+    clean = None
+    for rate in ctx.param("rates"):
+        row = run_once(rate, seed=FAULT_RATES[rate], bits=bits)
+        if rate == 0.0:
+            assert row["faults"]["dropped"] == 0
+            assert row["faults"]["corrupted"] == 0
+            assert row["retransmits"] == 0
+            clean = row
+        elif clean is not None:
+            # Every recovery is extra traffic on top of the protocol's
+            # own frames.
+            assert row["client_bytes_sent"] >= clean["client_bytes_sent"]
+        records.append({
+            "id": f"rate{rate:g}",
+            "protocol": row["protocol"],
+            "fault_rate": rate,
+            "bits": bits,
+            "n_r": row["n_r"],
+            "n_s": row["n_s"],
+            "metrics": {
+                "elapsed_s": row["elapsed_s"],
+                "client_bytes_sent": row["client_bytes_sent"],
+                "client_bytes_received": row["client_bytes_received"],
+                "retransmits": row["retransmits"],
+                "reconnects": row["reconnects"],
+                "replayed_frames": row["replayed_frames"],
+                "faults_dropped": row["faults"]["dropped"],
+                "faults_corrupted": row["faults"]["corrupted"],
+            },
+        })
+    assert any(
+        r["metrics"]["faults_dropped"] + r["metrics"]["faults_corrupted"] > 0
+        for r in records if r["fault_rate"] > 0
+    ), "no faults fired across the swept rates"
+    return records
+
+
+@register(
+    "robustness.journal-overhead",
+    smoke={"bits": 128, "sizes": [8]},
+    full={"bits": 256, "sizes": [8, 32]},
+    source="benchmarks/bench_fault_tolerance.py",
+    summary="Crash durability cost per run: journal off vs fsync-off "
+            "vs fsync-on across set sizes on a clean channel.",
+    regress_on=("elapsed_s",),
+)
+def journal_overhead(ctx) -> list[dict]:
+    """Sweep journal modes x set sizes; one record per cell."""
+    import tempfile
+    from pathlib import Path
+
+    bits = ctx.param("bits")
+    records = []
+    with tempfile.TemporaryDirectory(prefix="bench-journal-") as tmp:
+        for n in ctx.param("sizes"):
+            for mode in JOURNAL_MODES:
+                row = run_journaled(n, mode, bits, Path(tmp))
+                records.append({
+                    "id": f"{mode}-n{n}",
+                    "protocol": row["protocol"],
+                    "journal": mode,
+                    "n": n,
+                    "bits": bits,
+                    "rounds": row["rounds"],
+                    "metrics": {"elapsed_s": row["elapsed_s"]},
+                })
+    return records
+
+
+@register(
+    "robustness.kill-resume",
+    smoke={"bits": 128, "sizes": [8]},
+    full={"bits": 256, "sizes": [8, 32]},
+    source="benchmarks/bench_fault_tolerance.py",
+    summary="Time to rebuild a SenderSession from its journal after a "
+            "crash at the worst point (all rounds journaled, none "
+            "shipped).",
+    regress_on=("recovery_s",),
+)
+def kill_resume(ctx) -> list[dict]:
+    """Build a crashed journal per size and time its replay recovery."""
+    import tempfile
+    from pathlib import Path
+
+    bits = ctx.param("bits")
+    params = PublicParams.for_bits(bits)
+    spec = PROTOCOLS["intersection"]
+    records = []
+    with tempfile.TemporaryDirectory(prefix="bench-resume-") as tmp:
+        for n in ctx.param("sizes"):
+            journal_dir = JournalDir(Path(tmp) / f"resume-{n}", fsync=False)
+            rounds = build_crashed_journal(
+                journal_dir, params, n, 0xBE0000 + n
+            )
+            _, v_s, _ = _inputs(n)
+            stale = journal_dir.incomplete("sender", "intersection")
+            assert len(stale) == 1
+            started = time.perf_counter()
+            session = recover_sender_session(
+                stale[0], params,
+                lambda v=v_s: spec.make_sender(
+                    v, params, random.Random("S")
+                ),
+                config=session_config(), fsync=False,
+            )
+            elapsed = time.perf_counter() - started
+            assert session.stats.rounds_recovered == rounds
+            session.journal.close()
+            records.append({
+                "id": f"n{n}",
+                "protocol": "intersection",
+                "n": n,
+                "bits": bits,
+                "rounds_recovered": rounds,
+                "metrics": {"recovery_s": round(elapsed, 6)},
+            })
+    return records
+
+
+@register(
+    "robustness.chaos-survival",
+    smoke={"seeds": 6, "wall_timeout_s": 30.0},
+    full={"seeds": 40, "wall_timeout_s": 30.0},
+    source="benchmarks/bench_fault_tolerance.py",
+    summary="Seeded composed-fault chaos schedules: outcome mix, "
+            "restart counts, and the correct-or-typed-failure "
+            "invariant on every run.",
+    regress_on=("elapsed_s",),
+)
+def chaos_survival(ctx) -> list[dict]:
+    """Drive the first N chaos schedules; per-seed records + summary."""
+    records = []
+    outcomes: dict = {}
+    total_restarts = 0
+    answers = 0
+    for seed in range(ctx.param("seeds")):
+        started = time.perf_counter()
+        result = run_schedule(
+            ChaosSchedule.generate(seed),
+            wall_timeout_s=ctx.param("wall_timeout_s"),
+        )
+        elapsed = time.perf_counter() - started
+        assert result.ok, result.describe()
+        row = result.as_dict()
+        # Error strings embed temp paths; keep only the exception type
+        # so records stay byte-identical across reruns.
+        for side in ("receiver", "sender"):
+            error = row.get(f"{side}_error")
+            if error:
+                row[f"{side}_error"] = error.split("(", 1)[0]
+        key = f"{row['receiver']}/{row['sender']}"
+        outcomes[key] = outcomes.get(key, 0) + 1
+        total_restarts += row["receiver_restarts"] + row["sender_restarts"]
+        answers += 1 if row["receiver"] == "answer" else 0
+        records.append({
+            "id": f"seed{seed}",
+            **row,
+            "metrics": {"elapsed_s": round(elapsed, 6)},
+        })
+    assert answers >= len(records) // 2, (
+        "chaos schedules should mostly still complete"
+    )
+    records.append({
+        "id": "summary",
+        "schedules": ctx.param("seeds"),
+        "outcomes": outcomes,
+        "total_restarts": total_restarts,
+        "answers": answers,
+    })
+    return records

@@ -1,0 +1,203 @@
+"""Area ``streaming`` — the chunked round pipeline over real TCP.
+
+The measurement cores (``run_streamed``, ``sweep``) moved here from
+``benchmarks/bench_streaming_pipeline.py``; the legacy script imports
+them back for its pytest assertions (which CI's streaming-smoke job
+still runs).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import random
+import threading
+import time
+
+from ...analysis.instrumentation import MetricsRecorder
+from ...crypto.engine import create_engine
+from ...net import tcp
+from ...protocols.parties import PublicParams
+from ..registry import register
+
+__all__ = ["run_streamed", "sweep"]
+
+_PROTOCOL = "intersection"
+
+
+class _DelayedEndpoint:
+    """Adds a fixed per-frame send delay: a crude wide-area link."""
+
+    def __init__(self, transport, delay_s: float):
+        self._transport = transport
+        self._delay_s = delay_s
+
+    def send(self, message):
+        time.sleep(self._delay_s)
+        self._transport.send(message)
+
+    def recv(self):
+        return self._transport.recv()
+
+    def settimeout(self, timeout):
+        self._transport.settimeout(timeout)
+
+    def close(self):
+        self._transport.close()
+
+
+def _values(n: int) -> tuple[list[str], list[str], set[str]]:
+    half = n // 2
+    v_r = [f"r{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    v_s = [f"s{i}" for i in range(n - half)] + [f"c{i}" for i in range(half)]
+    return v_r, v_s, {f"c{i}" for i in range(half)}
+
+
+def run_streamed(
+    n: int,
+    bits: int,
+    chunk_size: int | None,
+    workers: int,
+    link_delay_s: float = 0.0,
+) -> dict:
+    """One full TCP run of the intersection protocol; one JSON record.
+
+    Both parties run in-process (server on a thread) with their own
+    engine and recorder; the record aggregates the per-round pipeline
+    entries from both sides.
+    """
+    params = PublicParams.for_bits(bits)
+    v_r, v_s, expected = _values(n)
+    s_recorder, r_recorder = MetricsRecorder(), MetricsRecorder()
+    s_engine, r_engine = create_engine(workers), create_engine(workers)
+    wrapper = None
+    if link_delay_s:
+        wrapper = lambda e: _DelayedEndpoint(e, link_delay_s)  # noqa: E731
+    try:
+        s_engine.warm_up()
+        r_engine.warm_up()
+        port_box: queue.Queue[int] = queue.Queue()
+
+        def serve_s():
+            tcp.serve(
+                _PROTOCOL, v_s, params, random.Random("S"),
+                ready_callback=port_box.put, chunk_size=chunk_size,
+                engine=s_engine, recorder=s_recorder,
+                endpoint_wrapper=wrapper,
+            )
+
+        thread = threading.Thread(target=serve_s)
+        thread.start()
+        port = port_box.get(timeout=30)
+        start = time.perf_counter()
+        answer = tcp.connect(
+            _PROTOCOL, v_r, random.Random("R"), "127.0.0.1", port,
+            chunk_size=chunk_size, engine=r_engine, recorder=r_recorder,
+            endpoint_wrapper=wrapper,
+        )
+        wall_s = time.perf_counter() - start
+        thread.join(timeout=60)
+    finally:
+        s_engine.close()
+        r_engine.close()
+    assert answer == expected
+
+    pipeline = {
+        **r_recorder.report().get("pipeline", {}),
+        **s_recorder.report().get("pipeline", {}),
+    }
+    chunks = sum(entry["chunks"] for entry in pipeline.values())
+    busy = sum(e["produce_s"] + e["send_s"] for e in pipeline.values())
+    round_wall = sum(e["wall_s"] for e in pipeline.values())
+    overlap_s = sum(e["overlap_s"] for e in pipeline.values())
+    return {
+        "protocol": _PROTOCOL,
+        "n": n,
+        "bits": bits,
+        "chunk_size": chunk_size,
+        "workers": workers,
+        "link_delay_ms": link_delay_s * 1e3,
+        "wall_s": wall_s,
+        "chunks": chunks,
+        "busy_s": busy,
+        "overlap_s": overlap_s,
+        "overlap_ratio": (overlap_s / round_wall) if round_wall else 0.0,
+        "pipeline": pipeline,
+    }
+
+
+def sweep(
+    sizes: list,
+    chunk_sizes: list,
+    workers_list: list,
+    bits: int,
+    link_delay_s: float,
+) -> list[dict]:
+    """The full grid; each streamed cell carries the speedup over the
+    same-shape whole-round baseline."""
+    records = []
+    for n in sizes:
+        for workers in workers_list:
+            baseline = run_streamed(n, bits, None, workers, link_delay_s)
+            records.append(baseline)
+            for chunk_size in chunk_sizes:
+                if chunk_size is None:
+                    continue
+                record = run_streamed(
+                    n, bits, chunk_size, workers, link_delay_s
+                )
+                record["speedup_vs_whole_round"] = (
+                    baseline["wall_s"] / record["wall_s"]
+                    if record["wall_s"] else None
+                )
+                records.append(record)
+    return records
+
+
+@register(
+    "streaming.pipeline-sweep",
+    smoke={"sizes": [48], "chunks": [8], "workers": [1, 2], "bits": 256,
+           "link_delay_ms": 2.0},
+    full={"sizes": [96, 256], "chunks": [8, 32], "workers": [1, 2, 4],
+          "bits": 256, "link_delay_ms": 2.0},
+    source="benchmarks/bench_streaming_pipeline.py",
+    summary="Chunked wire format over real TCP: chunk accounting and "
+            "the crypto/wire overlap_ratio the pipelining buys.",
+    regress_on=("wall_s",),
+)
+def pipeline_sweep(ctx) -> list[dict]:
+    """Run the streaming grid; one record per cell, baselines included."""
+    cpus = os.cpu_count() or 1
+    workers_list = sorted({min(w, cpus) for w in ctx.param("workers")})
+    raw = sweep(
+        sizes=ctx.param("sizes"),
+        chunk_sizes=ctx.param("chunks"),
+        workers_list=workers_list,
+        bits=ctx.param("bits"),
+        link_delay_s=ctx.param("link_delay_ms") / 1e3,
+    )
+    records = []
+    for row in raw:
+        chunk = row["chunk_size"]
+        if chunk is None:
+            assert row["chunks"] == 0
+        else:
+            assert row["chunks"] > 0
+        records.append({
+            "id": (
+                f"n{row['n']}-w{row['workers']}-"
+                + ("whole" if chunk is None else f"c{chunk}")
+            ),
+            "n": row["n"],
+            "bits": row["bits"],
+            "workers": row["workers"],
+            "chunk_size": chunk,
+            "chunks": row["chunks"],
+            "metrics": {
+                "wall_s": round(row["wall_s"], 6),
+                "busy_s": round(row["busy_s"], 6),
+                "overlap_s": round(row["overlap_s"], 6),
+                "overlap_ratio": round(row["overlap_ratio"], 4),
+            },
+        })
+    return records

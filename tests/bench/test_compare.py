@@ -1,0 +1,195 @@
+"""Compare-phase math and the regression-gating CLI exit code."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.bench.cli import main
+from repro.bench.compare import (
+    Comparison,
+    MetricDelta,
+    compare_payloads,
+    load_baseline,
+)
+from repro.bench.schema import FILE_SCHEMA
+
+
+def _payload(elapsed: float = 1.0, *, mode: str = "smoke",
+             task_schema: int = 1) -> dict:
+    return {
+        "schema": FILE_SCHEMA,
+        "area": "demo",
+        "mode": mode,
+        "seed": 1,
+        "environment": {"cpu_count": 1},
+        "tasks": [{
+            "task": "demo.thing",
+            "schema": task_schema,
+            "source": "benchmarks/bench_demo.py",
+            "summary": "",
+            "params": {},
+            "regress_on": ["elapsed_s"],
+            "records": [{
+                "id": "only",
+                "n": 4,
+                "metrics": {"elapsed_s": elapsed, "untracked_s": 99.0},
+            }],
+        }],
+    }
+
+
+class TestRegressionMath:
+    def test_exactly_twenty_percent_passes(self):
+        """The boundary is strict: current == baseline*1.2 is stable."""
+        comparison = compare_payloads(_payload(1.0), _payload(1.2))
+        assert comparison.ok
+        assert not comparison.regressions
+        assert comparison.stable
+
+    def test_just_over_twenty_percent_fails(self):
+        comparison = compare_payloads(_payload(1.0), _payload(1.2001))
+        assert not comparison.ok
+        (delta,) = comparison.regressions
+        assert delta.metric == "elapsed_s"
+        assert delta.task == "demo.thing"
+
+    def test_min_abs_damps_fast_metrics(self):
+        """A 2x jump on a sub-centisecond metric is noise, not a fail."""
+        comparison = compare_payloads(_payload(0.004), _payload(0.008))
+        assert comparison.ok
+
+    def test_improvements_are_reported_not_failed(self):
+        comparison = compare_payloads(_payload(2.0), _payload(1.0))
+        assert comparison.ok
+        assert comparison.improvements
+
+    def test_untracked_metrics_never_gate(self):
+        """Only regress_on metrics gate; untracked_s is 99.0 both sides
+        but even if it moved it would not be compared."""
+        current = _payload(1.0)
+        current["tasks"][0]["records"][0]["metrics"]["untracked_s"] = 9999.0
+        comparison = compare_payloads(_payload(1.0), current)
+        assert comparison.ok
+        assert not comparison.regressions
+
+    def test_custom_threshold(self):
+        comparison = compare_payloads(
+            _payload(1.0), _payload(1.6), threshold=0.5
+        )
+        assert not comparison.ok
+        comparison = compare_payloads(
+            _payload(1.0), _payload(1.45), threshold=0.5
+        )
+        assert comparison.ok
+
+    def test_delta_describe_shows_relative_change(self):
+        delta = MetricDelta(
+            area="a", task="a.t", record_id="r", metric="elapsed_s",
+            baseline=1.0, current=1.5,
+        )
+        assert "+50.0%" in delta.describe()
+
+
+class TestPayloadDiffing:
+    def test_mode_mismatch_noted(self):
+        comparison = compare_payloads(
+            _payload(1.0, mode="full"), _payload(1.0, mode="smoke")
+        )
+        assert comparison.ok
+        assert any("mode" in note for note in comparison.notes)
+
+    def test_file_schema_mismatch_skips(self):
+        baseline = _payload(1.0)
+        baseline["schema"] = FILE_SCHEMA - 1
+        comparison = compare_payloads(baseline, _payload(99.0))
+        assert comparison.ok  # nothing comparable
+        assert any("schema" in note for note in comparison.notes)
+
+    def test_task_schema_bump_skips_that_task(self):
+        comparison = compare_payloads(
+            _payload(1.0, task_schema=1), _payload(99.0, task_schema=2)
+        )
+        assert comparison.ok
+        assert any("schema" in note for note in comparison.notes)
+
+    def test_new_task_and_record_noted_not_failed(self):
+        current = _payload(1.0)
+        current["tasks"][0]["records"].append(
+            {"id": "fresh", "metrics": {"elapsed_s": 500.0}}
+        )
+        current["tasks"].append({
+            "task": "demo.new", "schema": 1, "source": "", "summary": "",
+            "params": {}, "regress_on": ["elapsed_s"],
+            "records": [{"id": "x", "metrics": {"elapsed_s": 1.0}}],
+        })
+        comparison = compare_payloads(_payload(1.0), current)
+        assert comparison.ok
+        assert len(comparison.notes) >= 2
+
+    def test_accumulates_across_payloads(self):
+        comparison = Comparison(threshold=0.2, min_abs=0.01)
+        compare_payloads(_payload(1.0), _payload(2.0), comparison=comparison)
+        other_base, other_cur = _payload(1.0), _payload(1.0)
+        for p in (other_base, other_cur):
+            p["area"] = "demo2"
+            p["tasks"][0]["task"] = "demo2.thing"
+        compare_payloads(other_base, other_cur, comparison=comparison)
+        assert len(comparison.regressions) == 1
+        assert len(comparison.stable) == 1
+
+
+class TestLoadBaseline:
+    def test_directory_source(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(_payload(1.0)))
+        assert load_baseline(str(tmp_path), "demo") is not None
+        assert load_baseline(str(tmp_path), "missing") is None
+
+    def test_git_ref_source(self):
+        """HEAD has the committed robustness numbers."""
+        payload = load_baseline("HEAD", "robustness", repo_root=".")
+        assert payload is not None
+        assert load_baseline("HEAD", "no-such-area", repo_root=".") is None
+
+
+class TestCompareCli:
+    def _write(self, directory, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_demo.json").write_text(json.dumps(payload))
+
+    def test_injected_slowdown_fails_with_exit_1(self, tmp_path, capsys):
+        """The acceptance check: >20% slower on a gated metric -> exit 1."""
+        self._write(tmp_path / "base", _payload(1.0))
+        slower = copy.deepcopy(_payload(1.0))
+        slower["tasks"][0]["records"][0]["metrics"]["elapsed_s"] = 1.3
+        self._write(tmp_path / "cur", slower)
+        code = main([
+            "compare", "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_identical_runs_pass(self, tmp_path, capsys):
+        self._write(tmp_path / "base", _payload(1.0))
+        self._write(tmp_path / "cur", _payload(1.0))
+        code = main([
+            "compare", "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_no_fail_reports_but_exits_zero(self, tmp_path):
+        self._write(tmp_path / "base", _payload(1.0))
+        self._write(tmp_path / "cur", _payload(9.0))
+        code = main([
+            "compare", "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"), "--no-fail",
+        ])
+        assert code == 0
+
+    def test_missing_current_files_is_usage_error(self, tmp_path):
+        code = main(["compare", "--current", str(tmp_path)])
+        assert code == 2

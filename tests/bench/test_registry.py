@@ -1,0 +1,124 @@
+"""Registry behavior: naming, collisions, lookup, and selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import (
+    DuplicateTaskError,
+    UnknownTaskError,
+    all_tasks,
+    areas,
+    get_task,
+    register,
+    select_tasks,
+)
+from repro.bench.registry import _REGISTRY
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    """An isolated registry so test registrations never leak.
+
+    The real task modules are imported first: ``load_all_tasks`` relies
+    on the import cache for idempotence, so importing them while the
+    scratch dict is active would lose their registrations for good.
+    """
+    from repro.bench.registry import load_all_tasks
+
+    load_all_tasks()
+    monkeypatch.setattr("repro.bench.registry._REGISTRY", {})
+    return None
+
+
+def _noop(ctx):
+    return [{"id": "only"}]
+
+
+class TestRegistration:
+    def test_register_returns_the_function(self, scratch_registry):
+        decorated = register("area.task", smoke={}, full={})(_noop)
+        assert decorated is _noop
+        assert get_task("area.task").fn is _noop
+
+    def test_duplicate_name_rejected(self, scratch_registry):
+        register("area.task", smoke={}, full={})(_noop)
+        with pytest.raises(DuplicateTaskError, match="area.task"):
+            register("area.task", smoke={}, full={})(_noop)
+
+    @pytest.mark.parametrize("name", [
+        "NoDots", "UPPER.case", "area.", ".task", "area.task.extra",
+        "area.task_snake", "a rea.task",
+    ])
+    def test_malformed_names_rejected(self, scratch_registry, name):
+        with pytest.raises(ValueError, match="kebab-case"):
+            register(name, smoke={}, full={})(_noop)
+
+    def test_area_is_the_prefix(self, scratch_registry):
+        register("robustness.chaos-survival", smoke={}, full={})(_noop)
+        task = get_task("robustness.chaos-survival")
+        assert task.area == "robustness"
+
+    def test_params_for_report_falls_back_to_full(self, scratch_registry):
+        register("a.t", smoke={"n": 1}, full={"n": 9})(_noop)
+        task = get_task("a.t")
+        assert task.params_for("smoke") == {"n": 1}
+        assert task.params_for("full") == {"n": 9}
+        assert task.params_for("report") == {"n": 9}
+
+    def test_explicit_report_params_win(self, scratch_registry):
+        register("a.t", smoke={"n": 1}, full={"n": 9}, report={"n": 5})(_noop)
+        assert get_task("a.t").params_for("report") == {"n": 5}
+
+
+class TestLookup:
+    def test_unknown_task_suggests_neighbours(self, scratch_registry):
+        register("crypto.collision-bound", smoke={}, full={})(_noop)
+        with pytest.raises(UnknownTaskError) as excinfo:
+            get_task("crypto.colision-bound")
+        assert "crypto.collision-bound" in str(excinfo.value)
+
+    def test_select_by_task_area_and_all(self, scratch_registry):
+        for name in ("a.one", "a.two", "b.one"):
+            register(name, smoke={}, full={})(_noop)
+        assert [t.name for t in select_tasks("a.one")] == ["a.one"]
+        assert [t.name for t in select_tasks("a")] == ["a.one", "a.two"]
+        assert [t.name for t in select_tasks("all")] == [
+            "a.one", "a.two", "b.one"
+        ]
+
+    def test_select_comma_union_deduplicates(self, scratch_registry):
+        for name in ("a.one", "a.two", "b.one"):
+            register(name, smoke={}, full={})(_noop)
+        names = [t.name for t in select_tasks("b,a.one,b.one")]
+        assert names == ["a.one", "b.one"]
+
+    def test_select_unknown_raises(self, scratch_registry):
+        register("a.one", smoke={}, full={})(_noop)
+        with pytest.raises(UnknownTaskError):
+            select_tasks("nope")
+
+
+class TestRealRegistry:
+    """The shipped task set, loaded for real."""
+
+    def test_loads_and_is_plentiful(self):
+        tasks = all_tasks()
+        assert len(tasks) >= 20
+        assert len(areas()) >= 8
+        assert _REGISTRY  # loaded by side effect
+
+    def test_every_task_has_source_and_summary(self):
+        for task in all_tasks():
+            assert task.summary, task.name
+            assert task.source.startswith("benchmarks/"), task.name
+            assert task.schema >= 1, task.name
+
+    def test_migrated_robustness_tasks_present(self):
+        names = {t.name for t in all_tasks()}
+        assert {
+            "robustness.fault-tolerance",
+            "robustness.journal-overhead",
+            "robustness.kill-resume",
+            "robustness.chaos-survival",
+        } <= names

@@ -1,0 +1,67 @@
+"""One real smoke run of every registered task, through the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.registry import all_tasks, areas
+from repro.bench.schema import FILE_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def smoke_dir(tmp_path_factory):
+    """``run all --smoke`` once; every test inspects the output."""
+    out = tmp_path_factory.mktemp("bench-smoke")
+    code = main([
+        "run", "all", "--smoke", "--quiet", "--out-dir", str(out),
+    ])
+    assert code == 0
+    return out
+
+
+def _payloads(smoke_dir):
+    return [
+        json.loads(p.read_text(encoding="utf-8"))
+        for p in sorted(smoke_dir.glob("BENCH_*.json"))
+    ]
+
+
+def test_every_area_emits_a_file(smoke_dir):
+    produced = {p["area"] for p in _payloads(smoke_dir)}
+    assert produced == set(areas())
+
+
+def test_every_task_emits_records(smoke_dir):
+    ran = {
+        t["task"]: t
+        for p in _payloads(smoke_dir)
+        for t in p["tasks"]
+    }
+    assert set(ran) == {t.name for t in all_tasks()}
+    for name, entry in ran.items():
+        assert entry["records"], f"{name} produced no records"
+
+
+def test_schema_tags_present(smoke_dir):
+    for payload in _payloads(smoke_dir):
+        assert payload["schema"] == FILE_SCHEMA
+        assert payload["mode"] == "smoke"
+        assert payload["environment"].get("python")
+        for entry in payload["tasks"]:
+            assert entry["schema"] >= 1
+            assert isinstance(entry["regress_on"], list)
+
+
+def test_smoke_files_match_committed_areas(smoke_dir):
+    """The committed trajectory covers exactly the registered areas."""
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    committed = {
+        p.name[len("BENCH_"):-len(".json")]
+        for p in repo_root.glob("BENCH_*.json")
+    }
+    assert committed == set(areas())
