@@ -1,0 +1,53 @@
+"""Concurrent-session load against the sharded event-loop server.
+
+Launches a whole herd of streaming receiver sessions into one client
+event loop at once - every one of them in flight together - against a
+:class:`~repro.net.shard.ShardedProtocolServer`, and records the
+distribution of per-session completion latency (p50/p95/p99). Tail
+latency under admission pressure is the serving claim the event-loop
+refactor makes; a mean would hide exactly the part worth watching.
+
+The measurement core (``drive_sessions``) lives in
+:mod:`repro.bench.tasks.load`, registered as the
+``load.async-sessions`` harness task. Run standalone for the full
+1000-session herd across forked workers:
+
+    PYTHONPATH=src python benchmarks/bench_load_sessions.py --full
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.bench.tasks.load import drive_sessions
+
+
+def test_report_concurrent_session_load():
+    """Smoke herd: every session completes with the right answer and
+    the latency tail is recorded as monotone percentiles."""
+    record = drive_sessions(
+        sessions=24, shards=2, max_sessions=16, n=4, bits=96,
+        chunk_size=2, process_workers=False, rng=random.Random(20030609),
+    )
+    print("\nConcurrent-session load (sharded event-loop server):")
+    print("  " + json.dumps({k: v for k, v in record.items()
+                             if k != "metrics"}))
+    print("  " + json.dumps(record["metrics"]))
+    assert record["completed"] == 24
+    assert record["answers_ok"] == 24
+    metrics = record["metrics"]
+    assert 0 < metrics["p50_ms"] <= metrics["p95_ms"] <= metrics["p99_ms"]
+    assert metrics["throughput_sps"] > 0
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("load"))

@@ -95,10 +95,13 @@ class ConnectResult:
         answer: the protocol's output for party R.
         stats: the :class:`~repro.net.session.SessionStats` of a
             resumable run; ``None`` for a plain one-shot run.
+        busy_retries: how many busy refusals were waited out (under
+            ``retry_busy``) before the server admitted this session.
     """
 
     answer: Any
     stats: Any = None
+    busy_retries: int = 0
 
 
 def _party_rngs(
@@ -202,6 +205,7 @@ def serve(
     resumable: bool = False,
     journal_dir: Any = None,
     config: Any = None,
+    async_: bool = False,
 ) -> ServeResult:
     """Run party S of any registered protocol as a TCP server.
 
@@ -216,6 +220,13 @@ def serve(
     and - with a ``journal_dir`` - crash recovery from the on-disk
     round journal. ``config`` is its
     :class:`~repro.net.session.SessionConfig`.
+
+    ``async_=True`` hosts the same one-session run on the event-loop
+    server (:class:`~repro.net.server.ProtocolServer`): identical wire
+    bytes and journals, but sockets are owned by an event loop rather
+    than a blocked accept thread. Implies the resumable session layer.
+    For serving many sessions concurrently, use ``ProtocolServer`` (or
+    :class:`~repro.net.shard.ShardedProtocolServer`) directly.
     """
     from .net import tcp
 
@@ -231,6 +242,13 @@ def serve(
         if ready_callback is not None:
             ready_callback(actual_port)
 
+    if async_:
+        return _serve_async(
+            spec, data, params, rng, host=host, port=port,
+            ready_callback=_capture, config=config, engine=engine,
+            recorder=recorder, journal_dir=journal_dir,
+            chunk_size=chunk_size,
+        )
     if resumable or journal_dir is not None:
         size_v_r, stats = tcp.serve_resumable_sender(
             spec.name, data, params, rng, host=host, port=port,
@@ -245,6 +263,55 @@ def serve(
         recorder=recorder, chunk_size=chunk_size,
     )
     return ServeResult(size_v_r=size_v_r, port=bound["port"], stats=None)
+
+
+def _serve_async(
+    spec: ProtocolSpec,
+    data: Any,
+    params: PublicParams,
+    rng: random.Random,
+    *,
+    host: str,
+    port: int,
+    ready_callback: Callable[[int], None],
+    config: Any,
+    engine: Any,
+    recorder: Any,
+    journal_dir: Any,
+    chunk_size: int | None,
+) -> ServeResult:
+    """One-session serve on the event-loop server (``async_=True``)."""
+    from .net.server import ProtocolOffer, ProtocolServer
+
+    offer = ProtocolOffer(
+        protocol=spec.name,
+        params=params,
+        make_sender=lambda: spec.make_sender(data, params, rng, engine=engine),
+    )
+    server = ProtocolServer(
+        [offer], host=host, port=port, max_sessions=1, config=config,
+        journal_dir=journal_dir, recorder=recorder, chunk_size=chunk_size,
+    ).start()
+    try:
+        ready_callback(server.port)
+        cfg = server.config
+        deadline_s = cfg.timeout_s * cfg.retry.max_attempts
+        if not server.wait_for_sessions(count=1, timeout=deadline_s):
+            raise TimeoutError(f"no client connected within {deadline_s}s")
+        records = list(server.sessions.values())
+        if not records:  # the only session failed at start (journal)
+            raise RuntimeError("session failed during startup/recovery")
+        record = records[0]
+    finally:
+        bound_port = server._bound_port
+        server.shutdown(drain_timeout_s=server.config.timeout_s)
+    if record.error is not None:
+        raise record.error
+    return ServeResult(
+        size_v_r=record.result.size_v_r,
+        port=bound_port,
+        stats=record.session.stats,
+    )
 
 
 def connect(
@@ -262,6 +329,7 @@ def connect(
     resumable: bool = False,
     journal_dir: Any = None,
     config: Any = None,
+    retry_busy: int = 0,
 ) -> ConnectResult:
     """Run party R of any registered protocol as a TCP client.
 
@@ -273,21 +341,54 @@ def connect(
     fault-tolerant session layer - it must match a resumable server.
     ``chunk_size`` streams R's chunkable outgoing rounds; inbound
     chunking is auto-detected either way.
+
+    ``retry_busy`` waits out up to that many typed busy refusals from
+    a saturated or draining server, sleeping the server's own retry
+    hint stretched by jitter
+    (:func:`~repro.net.session.busy_backoff_s`) between redials; the
+    refusals actually waited out are reported as
+    ``ConnectResult.busy_retries``. The default 0 keeps busy an
+    immediate :class:`~repro.net.session.ServerBusyError`, exactly as
+    before.
     """
+    import time
+
     from .net import tcp
+    from .net.session import ServerBusyError, busy_backoff_s
 
     spec = get_spec(protocol)
     if rng is None:
         rng = random.Random(seed)
-    if resumable or journal_dir is not None:
-        answer, stats = tcp.connect_resumable_receiver(
-            spec.name, data, rng, host, port, config=config,
-            engine=engine, recorder=recorder, journal_dir=journal_dir,
-            chunk_size=chunk_size,
+
+    def _attempt() -> ConnectResult:
+        if resumable or journal_dir is not None:
+            answer, stats = tcp.connect_resumable_receiver(
+                spec.name, data, rng, host, port, config=config,
+                engine=engine, recorder=recorder, journal_dir=journal_dir,
+                chunk_size=chunk_size,
+            )
+            return ConnectResult(answer=answer, stats=stats)
+        answer = tcp.connect(
+            spec, data, rng, host, port, timeout=timeout, engine=engine,
+            recorder=recorder, chunk_size=chunk_size,
         )
-        return ConnectResult(answer=answer, stats=stats)
-    answer = tcp.connect(
-        spec, data, rng, host, port, timeout=timeout, engine=engine,
-        recorder=recorder, chunk_size=chunk_size,
-    )
-    return ConnectResult(answer=answer, stats=None)
+        return ConnectResult(answer=answer, stats=None)
+
+    waited = 0
+    backoff_rng: random.Random | None = None
+    while True:
+        try:
+            result = _attempt()
+        except ServerBusyError as exc:
+            if waited >= max(retry_busy, 0):
+                raise
+            waited += 1
+            if backoff_rng is None:
+                # Derived lazily so retry_busy=0 runs draw exactly the
+                # same rng stream they always did.
+                backoff_rng = random.Random(rng.getrandbits(64))
+            time.sleep(busy_backoff_s(exc.retry_after_s, backoff_rng))
+            continue
+        return ConnectResult(
+            answer=result.answer, stats=result.stats, busy_retries=waited
+        )

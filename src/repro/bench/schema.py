@@ -38,6 +38,7 @@ registry format above.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import subprocess
@@ -51,6 +52,7 @@ __all__ = [
     "capture_environment",
     "dump_payload",
     "load_payload",
+    "percentiles",
     "strip_volatile",
 ]
 
@@ -108,6 +110,37 @@ def strip_volatile(payload: dict) -> dict:
         for record in task.get("records", []):
             record.pop("metrics", None)
     return clean
+
+
+def percentiles(
+    samples: Any, points: tuple[float, ...] = (50, 95, 99)
+) -> dict[str, float]:
+    """Latency-distribution summary for a record's ``"metrics"`` block.
+
+    Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (keys follow
+    ``points``), computed by linear interpolation between closest
+    ranks on the sorted samples - the same convention as
+    ``numpy.percentile``'s default, but dependency-free. Load-style
+    tasks record distributions this way instead of means alone: a
+    mean hides exactly the tail the concurrency benches exist to
+    watch.
+
+    Raises:
+        ValueError: no samples, or a point outside [0, 100].
+    """
+    data = sorted(float(sample) for sample in samples)
+    if not data:
+        raise ValueError("percentiles need at least one sample")
+    summary: dict[str, float] = {}
+    for point in points:
+        if not 0 <= point <= 100:
+            raise ValueError(f"percentile point out of range: {point}")
+        rank = (len(data) - 1) * point / 100.0
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        value = data[lo] + (data[hi] - data[lo]) * (rank - lo)
+        summary[f"p{point:g}"] = value
+    return summary
 
 
 def dump_payload(payload: dict, path: Path | str) -> None:

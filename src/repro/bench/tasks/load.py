@@ -1,0 +1,175 @@
+"""Area ``load`` — concurrent-session capacity of the serving stack.
+
+The serving claim the event-loop refactor makes is not about one
+session's speed (areas ``protocols``/``streaming`` own that) but about
+*many at once*: a :class:`~repro.net.shard.ShardedProtocolServer`
+holding hundreds to thousands of concurrent streaming sessions without
+a per-session thread on the accept path. This area drives exactly that
+- one client event loop launches every session together
+(:func:`~repro.net.aio.connect_receiver_async`), all of them in flight
+at once, against a sharded server - and records the *distribution* of
+per-session completion latency (p50/p95/p99 via
+:func:`~repro.bench.schema.percentiles`), because tail latency under
+admission pressure is the thing a mean would hide.
+
+Sessions refused with a typed busy wait out the server's retry hint
+(jittered, :func:`~repro.net.session.busy_backoff_s`) and redial, so a
+capacity smaller than the herd shows up as busy retries and a longer
+tail rather than failures - the intended degradation mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+from ...net.aio import connect_receiver_async
+from ...net.session import ServerBusyError, SessionConfig, busy_backoff_s
+from ...net.shard import ShardedProtocolServer
+from ...protocols.parties import PublicParams
+from ..registry import register
+from ..schema import percentiles
+
+__all__ = ["drive_sessions"]
+
+#: Session-layer deadlines generous enough that a 1-core CI runner's
+#: scheduling storms show up as tail latency, not spurious reconnects.
+_LOAD_TIMEOUT_S = 30.0
+
+
+async def _one_session(
+    index: int,
+    protocol: str,
+    data: list,
+    seed_rng: random.Random,
+    port: int,
+    config: SessionConfig,
+    chunk_size: int,
+) -> dict:
+    """Run one client session to completion; busy refusals redial.
+
+    Returns the session's latency (dialing to answer, busy waits
+    included - that *is* the latency a refused client experiences) plus
+    its answer and retry count.
+    """
+    rng = random.Random(seed_rng.getrandbits(64))
+    started = time.perf_counter()
+    busy_retries = 0
+    while True:
+        try:
+            answer, stats = await connect_receiver_async(
+                protocol, data, rng, "127.0.0.1", port,
+                config=config, chunk_size=chunk_size,
+            )
+            break
+        except ServerBusyError as exc:
+            busy_retries += 1
+            await asyncio.sleep(busy_backoff_s(exc.retry_after_s, rng))
+    return {
+        "latency_ms": (time.perf_counter() - started) * 1000.0,
+        "answer": sorted(answer),
+        "busy_retries": busy_retries,
+        "reconnects": stats.reconnects,
+    }
+
+
+def drive_sessions(
+    sessions: int,
+    shards: int,
+    max_sessions: int,
+    n: int,
+    bits: int,
+    chunk_size: int,
+    process_workers: bool,
+    rng: random.Random,
+) -> dict:
+    """All ``sessions`` concurrent streaming runs; one summary dict.
+
+    Every client is launched into the same event loop before any of
+    them finishes, so the server sees the full herd at once;
+    ``max_sessions`` is the per-shard admission ceiling, making
+    ``shards * max_sessions`` the server's true concurrency and the
+    rest of the herd exercise busy-refusal backoff.
+    """
+    params = PublicParams.for_bits(bits)
+    overlap = [f"common-{i}" for i in range(n // 2)]
+    v_s = overlap + [f"sender-{i}" for i in range(n - n // 2)]
+    v_r = overlap + [f"receiver-{i}" for i in range(n - n // 2)]
+    expected = sorted(overlap)
+    config = SessionConfig(timeout_s=_LOAD_TIMEOUT_S)
+    server = ShardedProtocolServer(
+        {"intersection": (v_s, params)},
+        shards=shards,
+        worker_processes=process_workers,
+        config=config,
+        max_sessions=max_sessions,
+        chunk_size=chunk_size,
+        busy_retry_hint_s=0.2,
+        backlog=min(max(sessions, 16), 1024),
+    )
+
+    async def _herd(port: int) -> list[dict]:
+        seed_rng = random.Random(rng.getrandbits(64))
+        tasks = [
+            _one_session(
+                i, "intersection", v_r, seed_rng, port, config, chunk_size
+            )
+            for i in range(sessions)
+        ]
+        return await asyncio.gather(*tasks)
+
+    with server:
+        started = time.perf_counter()
+        outcomes = asyncio.run(_herd(server.port))
+        elapsed_s = time.perf_counter() - started
+
+    latencies = [o["latency_ms"] for o in outcomes]
+    tails = percentiles(latencies)
+    return {
+        "completed": len(outcomes),
+        "answers_ok": sum(1 for o in outcomes if o["answer"] == expected),
+        "capacity": shards * max_sessions,
+        "metrics": {
+            "elapsed_s": round(elapsed_s, 3),
+            "p50_ms": round(tails["p50"], 3),
+            "p95_ms": round(tails["p95"], 3),
+            "p99_ms": round(tails["p99"], 3),
+            "throughput_sps": round(len(outcomes) / elapsed_s, 3),
+            "busy_retries": sum(o["busy_retries"] for o in outcomes),
+            "reconnects": sum(o["reconnects"] for o in outcomes),
+        },
+    }
+
+
+@register(
+    "load.async-sessions",
+    smoke={
+        "sessions": 128, "shards": 2, "max_sessions": 64,
+        "n": 4, "bits": 96, "chunk_size": 2, "process_workers": False,
+    },
+    full={
+        "sessions": 1000, "shards": 4, "max_sessions": 250,
+        "n": 4, "bits": 96, "chunk_size": 2, "process_workers": True,
+    },
+    source="benchmarks/bench_load_sessions.py",
+    summary="Concurrent streaming sessions through the sharded "
+            "event-loop server; per-session latency percentiles.",
+    regress_on=("elapsed_s",),
+)
+def async_sessions(ctx) -> list[dict]:
+    """Drive the whole herd at once; record the latency distribution."""
+    sessions = ctx.param("sessions")
+    shards = ctx.param("shards")
+    record = drive_sessions(
+        sessions=sessions,
+        shards=shards,
+        max_sessions=ctx.param("max_sessions"),
+        n=ctx.param("n"),
+        bits=ctx.param("bits"),
+        chunk_size=ctx.param("chunk_size"),
+        process_workers=ctx.param("process_workers"),
+        rng=ctx.rng,
+    )
+    return [{"id": f"s{sessions}x{shards}", "sessions": sessions,
+             "shards": shards, **record}]

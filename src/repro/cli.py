@@ -219,6 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds the supervised server lets in-flight sessions "
              "finish after SIGTERM before aborting them (default 5)",
     )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="split the supervised server into N worker processes "
+             "routed by session id (default 1 = one process; "
+             "requires --resumable and --max-sessions > 1)",
+    )
     _add_engine_options(p)
 
     p = sub.add_parser(
@@ -395,6 +401,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("--journal-dir/--max-sessions require --resumable",
               file=sys.stderr)
         return 2
+    if args.shards > 1 and args.max_sessions <= 1:
+        print("--shards requires --max-sessions > 1", file=sys.stderr)
+        return 2
 
     try:
         if args.resumable and args.max_sessions > 1:
@@ -434,29 +443,52 @@ def _serve_supervised(
 
     Hosts up to N concurrent sessions of the chosen protocol until
     SIGTERM/SIGINT, then drains within ``--drain-timeout`` seconds and
-    prints one stats line per hosted session.
+    prints one stats line per hosted session. With ``--shards K`` the
+    sessions are spread over K worker processes routed by session id
+    (``--max-sessions`` stays the per-worker ceiling).
     """
     from .net.server import ProtocolOffer, ProtocolServer
+    from .net.shard import ShardedProtocolServer
 
     offer = ProtocolOffer.from_data(
         args.protocol, data, params, seed=args.seed or 0, engine=engine
     )
-    server = ProtocolServer(
-        [offer],
-        host=args.host,
-        port=args.port,
-        max_sessions=args.max_sessions,
-        config=_session_config(args.timeout),
-        journal_dir=args.journal_dir,
-        recorder=recorder,
-        chunk_size=args.chunk_size,
-    )
+    if args.shards > 1:
+        # Worker processes build their own party state post-fork; a
+        # parent-owned pool engine would not survive the fork, so the
+        # sharded path always uses the in-process engine.
+        server = ShardedProtocolServer(
+            [ProtocolOffer.from_data(
+                args.protocol, data, params, seed=args.seed or 0
+            )],
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            worker_processes=True,
+            max_sessions=args.max_sessions,
+            config=_session_config(args.timeout),
+            journal_dir=args.journal_dir,
+            chunk_size=args.chunk_size,
+        )
+    else:
+        server = ProtocolServer(
+            [offer],
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            config=_session_config(args.timeout),
+            journal_dir=args.journal_dir,
+            recorder=recorder,
+            chunk_size=args.chunk_size,
+        )
     server.start()
     announce(server.port)
     server.install_signal_handlers(drain_timeout_s=args.drain_timeout)
+    capacity = args.max_sessions * max(args.shards, 1)
     print(
-        f"supervising up to {args.max_sessions} concurrent sessions "
-        f"(SIGTERM drains within {args.drain_timeout}s)",
+        f"supervising up to {capacity} concurrent sessions"
+        + (f" across {args.shards} shard processes" if args.shards > 1 else "")
+        + f" (SIGTERM drains within {args.drain_timeout}s)",
         flush=True,
     )
     server.wait_closed()
@@ -471,7 +503,7 @@ def _cmd_connect(args: argparse.Namespace) -> int:
     import time as _time
 
     from .net import tcp
-    from .net.session import ServerBusyError
+    from .net.session import ServerBusyError, busy_backoff_s
 
     v_r = _read_values(args.receiver)
     engine, recorder = _build_engine_and_recorder(args)
@@ -505,6 +537,9 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         return 0
 
     retries_left = max(args.retry_busy, 0)
+    # Jittered independently of the protocol seed so identically-seeded
+    # clients refused in one burst do not redial in lockstep.
+    backoff_rng = _random.Random()
     try:
         while True:
             try:
@@ -513,11 +548,9 @@ def _cmd_connect(args: argparse.Namespace) -> int:
                 if retries_left <= 0:
                     raise
                 retries_left -= 1
-                delay = (
-                    exc.retry_after_s if exc.retry_after_s is not None else 0.5
-                )
+                delay = busy_backoff_s(exc.retry_after_s, backoff_rng)
                 print(
-                    f"repro: server busy; retrying in {delay:g}s "
+                    f"repro: server busy; retrying in {delay:.3f}s "
                     f"({retries_left} retries left)",
                     file=sys.stderr,
                 )

@@ -1,4 +1,4 @@
-"""Supervised multi-session protocol server.
+"""Supervised multi-session protocol server on the asyncio core.
 
 :func:`repro.net.tcp.serve_resumable_sender` hosts exactly one run on
 one listener; a deployment-shaped endpoint (the ROADMAP's heavy-traffic
@@ -7,13 +7,18 @@ equi-join and Prism lines of work) needs the supervisor this module
 provides:
 
 * **many concurrent clients** - a :class:`ProtocolServer` accepts on
-  one port and runs each session on its own worker thread, up to
-  ``max_sessions`` at a time; the ``(max_sessions + 1)``-th new client
-  is turned away with a typed ``busy`` frame (raised client-side as
-  :class:`~repro.net.session.ServerBusyError`) instead of queueing or
-  hanging;
+  one port with an event loop (:mod:`repro.net.aio`) that owns every
+  socket: connection handling, hello routing, and all frame I/O are
+  coroutines, so ten thousand idle connections cost file descriptors,
+  not blocked threads. Admitted sessions - up to ``max_sessions`` at a
+  time - run the synchronous, byte-exact session layer on a worker
+  pool sized so every admitted session executes immediately; the
+  ``(max_sessions + 1)``-th new client is turned away with a typed
+  ``busy`` frame (raised client-side as
+  :class:`~repro.net.session.ServerBusyError`) carrying a retry hint
+  instead of queueing or hanging;
 * **reconnect routing** - the session id in every hello routes a
-  reconnecting client back to the worker that owns its run, so the
+  reconnecting client back to the record that owns its run, so the
   session layer's resume-from-round-log machinery works unchanged
   behind one shared port;
 * **crash durability** - with a ``journal_dir``, every session is
@@ -25,28 +30,31 @@ provides:
   from the exact interrupted cursor, while an unrecoverable journal
   (corruption, replay divergence) is quarantined as ``*.corrupt`` and
   the client gets a typed ``reject`` instead of a hang;
-* **supervision** - a reaper thread enforces per-session wall-clock
-  deadlines and an idle timeout measured from the last frame the
-  session actually moved (abandoned runs stop holding slots; busy
-  runs on one long-lived connection are left alone),
+* **supervision** - a reaper task on the loop enforces per-session
+  wall-clock deadlines and an idle timeout measured from the last
+  frame the session actually moved (abandoned runs stop holding
+  slots; busy runs on one long-lived connection are left alone),
   and :meth:`ProtocolServer.shutdown` / SIGTERM drains gracefully:
   new sessions are refused, in-flight rounds finish (journaled as they
   go) up to ``drain_timeout_s``, stragglers are aborted, and only then
-  does the listener close.
+  do the workers join and the loop stop.
 
 Every protocol in the :data:`~repro.protocols.spec.PROTOCOLS` registry
 is servable concurrently from one ``ProtocolServer`` with zero
 protocol-specific code - the hello names the protocol, the registry
-supplies the round schedule.
+supplies the round schedule. For session counts beyond one process's
+capacity, :class:`repro.net.shard.ShardedProtocolServer` runs several
+of these as sharded workers behind one routing front end.
 """
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
 import os
 import queue
 import random
 import signal
-import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -54,6 +62,8 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
 from ..protocols.spec import get_spec
+from . import serialization
+from .aio import AsyncFrameEndpoint, LoopThread, LoopTransport, _TIMEOUTS
 from .chaos import crash_point
 from .journal import (
     CORRUPT_SUFFIX,
@@ -71,7 +81,7 @@ from .session import (
     seal,
     unseal,
 )
-from .tcp import DEFAULT_MAX_FRAME_BYTES, SocketEndpoint, _listen
+from .tcp import DEFAULT_MAX_FRAME_BYTES
 
 __all__ = [
     "ProtocolOffer",
@@ -125,15 +135,15 @@ class SessionRecord:
 
     A record is born ``starting`` - the id is reserved and reconnects
     queue on its inbox - while the (possibly slow) journal lookup and
-    replay run outside the supervisor lock; it becomes ``running`` once
-    its worker thread owns a live session.
+    replay run on the worker pool outside the supervisor lock; it
+    becomes ``running`` once a pool worker owns a live session.
     """
 
     session_id: int
     protocol: str
     session: Any = None
     inbox: "queue.Queue[Any]" = field(default_factory=queue.Queue)
-    thread: threading.Thread | None = None
+    future: Any = None
     status: str = "starting"  # starting | running | done | failed | expired
     result: Any = None
     error: BaseException | None = None
@@ -154,37 +164,6 @@ class SessionRecord:
             "error": repr(self.error) if self.error is not None else None,
             **stats,
         }
-
-
-class _ReplayFirstTransport:
-    """Delegating transport that re-delivers one already-read frame.
-
-    The dispatcher must read the hello itself to route by session id;
-    the session layer then expects to read that same hello. This shim
-    hands the buffered frame back on the first ``recv``.
-    """
-
-    def __init__(self, transport: Any, first: Any):
-        self._transport = transport
-        self._first: list[Any] = [first]
-
-    def recv(self) -> Any:
-        """The buffered hello first, then the live transport."""
-        if self._first:
-            return self._first.pop()
-        return self._transport.recv()
-
-    def send(self, message: Any) -> None:
-        """Delegate to the wrapped transport."""
-        self._transport.send(message)
-
-    def settimeout(self, timeout: float | None) -> None:
-        """Delegate to the wrapped transport."""
-        self._transport.settimeout(timeout)
-
-    def close(self) -> None:
-        """Delegate to the wrapped transport."""
-        self._transport.close()
 
 
 class _ActivityTransport:
@@ -225,6 +204,13 @@ class _ActivityTransport:
 class ProtocolServer:
     """Accepts many concurrent protocol clients behind one port.
 
+    The event loop (on its own thread) owns the listener and every
+    connection; admitted sessions run the synchronous session layer on
+    a worker pool of exactly ``max_sessions`` threads, reading frames
+    through :class:`~repro.net.aio.LoopTransport` bridges. Wire bytes,
+    journal bytes, and the refusal/recovery semantics are identical to
+    the earlier thread-per-session implementation.
+
     Args:
         offers: the protocols this server runs - an iterable of
             :class:`ProtocolOffer` or a mapping
@@ -247,6 +233,7 @@ class ProtocolServer:
         chunk_size: when set, every hosted session streams chunkable
             rounds in slices of this many items (and journaled
             sessions must be recovered under the same value).
+        busy_retry_hint_s: retry hint shipped in busy frames.
     """
 
     _REAP_POLL_S = 0.05
@@ -299,11 +286,16 @@ class ProtocolServer:
         self.rejected_busy = 0
         self.quarantined: list[Path] = []
         self._lock = threading.Lock()
-        self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
-        self._reaper_thread: threading.Thread | None = None
+        self._finished = threading.Condition(self._lock)
+        self._loop_thread: LoopThread | None = None
+        self._aserver: asyncio.AbstractServer | None = None
+        self._bound_port: int | None = None
+        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._reaper_task: asyncio.Task | None = None
         self._draining = threading.Event()
         self._closed = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -311,27 +303,33 @@ class ProtocolServer:
     @property
     def port(self) -> int:
         """The bound port (valid after :meth:`start`)."""
-        if self._listener is None:
+        if self._bound_port is None:
             raise RuntimeError("server not started")
-        return self._listener.getsockname()[1]
+        return self._bound_port
 
     def start(self) -> "ProtocolServer":
-        """Bind, listen, and spawn the accept + reaper threads."""
-        if self._listener is not None:
+        """Spin up the event loop, bind, listen, start the reaper."""
+        if self._loop_thread is not None:
             raise RuntimeError("server already started")
-        self._listener = _listen(
-            self.host, self.requested_port, self.accept_poll_s,
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_sessions,
+            thread_name_prefix="repro-session",
+        )
+        self._loop_thread = LoopThread(name="repro-server-loop").start()
+        self._loop_thread.run(self._start_async(), timeout=30)
+        return self
+
+    async def _start_async(self) -> None:
+        self._aserver = await asyncio.start_server(
+            self._handle_client,
+            self.host,
+            self.requested_port,
             backlog=self.backlog,
         )
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="repro-server-accept", daemon=True
+        self._bound_port = self._aserver.sockets[0].getsockname()[1]
+        self._reaper_task = asyncio.get_running_loop().create_task(
+            self._reap_loop()
         )
-        self._accept_thread.start()
-        self._reaper_thread = threading.Thread(
-            target=self._reap_loop, name="repro-server-reaper", daemon=True
-        )
-        self._reaper_thread.start()
-        return self
 
     def __enter__(self) -> "ProtocolServer":
         """Start on entry."""
@@ -368,44 +366,97 @@ class ProtocolServer:
 
         Running sessions get up to ``drain_timeout_s`` seconds to
         finish their rounds (journaling as they go); whatever is still
-        running after that is aborted. Idempotent.
+        running after that is aborted. The worker pool joins *before*
+        the loop stops, so no session is ever left blocked on a dead
+        loop. Idempotent.
         """
         self._draining.set()
-        deadline = (
-            time.monotonic() + drain_timeout_s
-            if drain_timeout_s is not None
-            else None
-        )
-        while True:
+        with self._shutdown_lock:
+            if self._shutdown_done:
+                return
+            deadline = (
+                time.monotonic() + drain_timeout_s
+                if drain_timeout_s is not None
+                else None
+            )
+            while True:
+                with self._lock:
+                    running = [
+                        r for r in self.sessions.values()
+                        if r.status in _ACTIVE_STATUSES
+                    ]
+                if not running:
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    for record in running:
+                        self._abort(record, "drain timeout")
+                    break
+                time.sleep(self._REAP_POLL_S)
+            self._closed.set()
             with self._lock:
-                running = [
-                    r for r in self.sessions.values()
-                    if r.status in _ACTIVE_STATUSES
+                futures = [
+                    r.future for r in self.sessions.values()
+                    if r.future is not None
                 ]
-            if not running:
-                break
-            if deadline is not None and time.monotonic() >= deadline:
-                for record in running:
-                    self._abort(record, "drain timeout")
-                break
-            time.sleep(self._REAP_POLL_S)
-        self._closed.set()
-        with self._lock:
-            threads = [
-                r.thread for r in self.sessions.values() if r.thread is not None
-            ]
-        for thread in threads:
-            thread.join(timeout=self.config.timeout_s * 2)
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-        if self._reaper_thread is not None:
-            self._reaper_thread.join(timeout=2.0)
-        if self._listener is not None:
-            self._listener.close()
+            for future in futures:
+                try:
+                    future.result(timeout=self.config.timeout_s * 2)
+                except (concurrent.futures.TimeoutError, Exception):
+                    pass  # outcomes live on the records, not the futures
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+            if self._loop_thread is not None:
+                # Refusal grace: clients that raced the drain are mid
+                # busy/reject exchange on the loop right now; give those
+                # handlers a beat so they hear a typed refusal instead
+                # of a reset (the thread-per-session server had the same
+                # window, one accept poll wide).
+                time.sleep(self.accept_poll_s * 2)
+                try:
+                    self._loop_thread.run(self._stop_async(), timeout=10)
+                except (concurrent.futures.TimeoutError, RuntimeError):
+                    pass
+                self._loop_thread.stop()
+            self._shutdown_done = True
+
+    async def _stop_async(self) -> None:
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+        if self._aserver is not None:
+            self._aserver.close()
+            await self._aserver.wait_closed()
 
     def wait_closed(self, timeout: float | None = None) -> bool:
         """Block until :meth:`shutdown` has completed."""
         return self._closed.wait(timeout)
+
+    def wait_for_sessions(
+        self, count: int = 1, timeout: float | None = None
+    ) -> bool:
+        """Block until ``count`` sessions have reached a terminal status.
+
+        Terminal means ``done``, ``failed`` or ``expired``. Returns
+        whether the count was reached before ``timeout``. This is what
+        lets a caller host "one run, then stop" on the supervised
+        server without polling :meth:`results`.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._finished:
+            while True:
+                finished = sum(
+                    1 for r in self.sessions.values()
+                    if r.status not in _ACTIVE_STATUSES
+                )
+                if finished >= count:
+                    return True
+                if deadline is None:
+                    self._finished.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._finished.wait(remaining):
+                        return False
 
     @property
     def draining(self) -> bool:
@@ -421,122 +472,166 @@ class ProtocolServer:
             return [record.as_dict() for record in records]
 
     # ------------------------------------------------------------------
-    # Accepting and routing
+    # Accepting and routing (event-loop side)
     # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
-        while not self._closed.is_set():
-            try:
-                conn, _addr = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                return  # listener closed under us during shutdown
-            threading.Thread(
-                target=self._dispatch, args=(conn,), daemon=True
-            ).start()
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: read its hello, validate, route or refuse."""
+        endpoint = AsyncFrameEndpoint(
+            reader, writer, max_frame_bytes=self.max_frame_bytes
+        )
+        try:
+            hello = await self._read_hello(endpoint)
+            if hello is None:
+                await endpoint.close()
+                return
+            raw, fields = hello
+            _, version, protocol, session_id, _next_send, _next_recv = fields
+            if version != SESSION_VERSION:
+                await self._refuse_async(
+                    endpoint, "reject",
+                    f"unsupported session version {version}",
+                )
+                return
+            if protocol not in self.offers:
+                await self._refuse_async(
+                    endpoint, "reject",
+                    f"protocol {protocol!r} not served here",
+                )
+                return
+            if not isinstance(session_id, int):
+                await self._refuse_async(
+                    endpoint, "reject", "malformed session id"
+                )
+                return
+            await self._route(endpoint, raw, protocol, session_id)
+        except (ConnectionError, OSError, *_TIMEOUTS):
+            await endpoint.close()
+        except asyncio.CancelledError:
+            await endpoint.close()
+            raise
 
-    def _read_hello(self, transport: Any) -> tuple | None:
-        """One valid hello from a fresh connection, or ``None``."""
+    async def _read_hello(
+        self, endpoint: AsyncFrameEndpoint
+    ) -> tuple[bytes, tuple] | None:
+        """One valid hello from a fresh connection, or ``None``.
+
+        Returns the hello's raw payload bytes (for replay into the
+        routed session's transport) alongside its unsealed fields.
+        """
         deadline = time.monotonic() + self.config.timeout_s
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 return None
-            transport.settimeout(max(remaining, 1e-3))
             try:
-                frame = transport.recv()
-            except (TimeoutError, OSError, ValueError):
+                raw = await endpoint.recv_bytes_within(remaining)
+            except (*_TIMEOUTS, ConnectionError, OSError):
                 return None
+            try:
+                frame = serialization.decode(raw)
+            except ValueError:
+                return None  # not even wire format: close, as before
             try:
                 fields = unseal(frame)
             except ValueError:
-                continue  # garbled: let the client retransmit
+                continue  # garbled seal: let the client retransmit
             if fields[0] == "hello" and len(fields) == 6:
-                return (frame, fields)
+                return raw, fields
 
-    def _dispatch(self, conn: socket.socket) -> None:
-        conn.settimeout(self.config.timeout_s)
-        transport = SocketEndpoint(
-            sock=conn, max_frame_bytes=self.max_frame_bytes
-        )
-        hello = self._read_hello(transport)
-        if hello is None:
-            transport.close()
-            return
-        raw, fields = hello
-        _, version, protocol, session_id, _next_send, _next_recv = fields
-        if version != SESSION_VERSION:
-            self._refuse(
-                transport, "reject", f"unsupported session version {version}"
-            )
-            return
-        if protocol not in self.offers:
-            self._refuse(
-                transport, "reject",
-                f"protocol {protocol!r} not served here",
-            )
-            return
-        if not isinstance(session_id, int):
-            self._refuse(transport, "reject", "malformed session id")
-            return
-        routed = _ReplayFirstTransport(transport, raw)
+    async def _route(
+        self,
+        endpoint: AsyncFrameEndpoint,
+        raw_hello: bytes,
+        protocol: str,
+        session_id: int,
+    ) -> None:
+        """Deliver a validated hello to its session, new or existing."""
+        loop = asyncio.get_running_loop()
         with self._lock:
             record = self.sessions.get(session_id)
             if record is not None and record.status in _ACTIVE_STATUSES:
                 record.last_activity = time.monotonic()
-                record.inbox.put(routed)
+                transport = LoopTransport(
+                    endpoint, loop, replay=[raw_hello],
+                    timeout=self.config.timeout_s,
+                )
+                transport.start_pump()
+                record.inbox.put(transport)
                 return
             if record is not None:
-                self._refuse(
-                    transport, "reject",
+                refusal = (
+                    "reject",
                     f"session {session_id} already {record.status}",
+                    None,
                 )
-                return
-            if self._draining.is_set():
+            elif self._draining.is_set():
                 self.rejected_busy += 1
-                self._refuse(
-                    transport, "busy", "server draining",
-                    retry_after_s=self.busy_retry_hint_s,
+                refusal = ("busy", "server draining", self.busy_retry_hint_s)
+            else:
+                active = sum(
+                    1 for r in self.sessions.values()
+                    if r.status in _ACTIVE_STATUSES
                 )
-                return
-            active = sum(
-                1 for r in self.sessions.values()
-                if r.status in _ACTIVE_STATUSES
+                if active >= self.max_sessions:
+                    self.rejected_busy += 1
+                    refusal = (
+                        "busy",
+                        f"server at capacity ({self.max_sessions} sessions)",
+                        self.busy_retry_hint_s,
+                    )
+                else:
+                    refusal = None
+                    record = SessionRecord(
+                        session_id=session_id,
+                        protocol=protocol,
+                        status="starting",
+                    )
+                    self.sessions[session_id] = record
+                    transport = LoopTransport(
+                        endpoint, loop, replay=[raw_hello],
+                        timeout=self.config.timeout_s,
+                    )
+                    transport.start_pump()
+                    record.inbox.put(transport)
+        if refusal is not None:
+            tag, reason, hint = refusal
+            await self._refuse_async(
+                endpoint, tag, reason, retry_after_s=hint
             )
-            if active >= self.max_sessions:
-                self.rejected_busy += 1
-                self._refuse(
-                    transport, "busy",
-                    f"server at capacity ({self.max_sessions} sessions)",
-                    retry_after_s=self.busy_retry_hint_s,
-                )
-                return
-            record = SessionRecord(
-                session_id=session_id, protocol=protocol, status="starting"
-            )
-            self.sessions[session_id] = record
+            return
         # The slot is reserved and reconnects queue on the record's
         # inbox; the journal lookup and (on recovery) full cryptographic
-        # replay happen outside the lock so hello routing stays live.
-        record.inbox.put(routed)
+        # replay run on the worker pool so hello routing stays live.
+        record.future = self._executor.submit(self._start_and_run, record)
+
+    async def _refuse_async(
+        self,
+        endpoint: AsyncFrameEndpoint,
+        tag: str,
+        reason: str,
+        retry_after_s: float | None = None,
+    ) -> None:
+        """Send a typed reject/busy frame and close (loop side)."""
         try:
-            record.session = self._make_session(protocol, session_id)
-        except JournalError as exc:
-            self._fail_start(record, exc, quarantine=True)
-            return
-        except Exception as exc:
-            # Whatever went wrong, the dispatch daemon must survive and
-            # the queued clients must hear a reject, not a silent hang.
-            self._fail_start(record, exc, quarantine=False)
-            return
-        record.status = "running"
-        record.thread = threading.Thread(
-            target=self._run_session,
-            args=(record,),
-            name=f"repro-session-{session_id:x}",
-            daemon=True,
-        )
-        record.thread.start()
+            await endpoint.send(self._refusal_frame(tag, reason, retry_after_s))
+        except (OSError, ValueError):
+            pass
+        finally:
+            await endpoint.close()
+
+    def _refusal_frame(
+        self, tag: str, reason: str, retry_after_s: float | None
+    ) -> tuple:
+        fields = [tag, SESSION_VERSION, reason]
+        if retry_after_s is not None:
+            # Busy frames carry the server's retry hint as a fourth
+            # field, in integer milliseconds (the wire format has no
+            # floats); old clients (which check for exactly 3 fields)
+            # ignore the whole frame and simply retry their hello.
+            fields.append(max(int(round(retry_after_s * 1000)), 0))
+        return seal(*fields)
 
     def _refuse(
         self,
@@ -545,19 +640,33 @@ class ProtocolServer:
         reason: str,
         retry_after_s: float | None = None,
     ) -> None:
-        fields = [tag, SESSION_VERSION, reason]
-        if retry_after_s is not None:
-            # Busy frames carry the server's retry hint as a fourth
-            # field, in integer milliseconds (the wire format has no
-            # floats); old clients (which check for exactly 3 fields)
-            # ignore the whole frame and simply retry their hello.
-            fields.append(max(int(round(retry_after_s * 1000)), 0))
+        """Send a typed reject/busy on a routed transport (worker side)."""
         try:
-            transport.send(seal(*fields))
+            transport.send(self._refusal_frame(tag, reason, retry_after_s))
         except (OSError, ValueError):
             pass
         finally:
             transport.close()
+
+    # ------------------------------------------------------------------
+    # Session workers (pool side)
+    # ------------------------------------------------------------------
+    def _start_and_run(self, record: SessionRecord) -> None:
+        """Pool entry point: build (or recover) the session, then run it."""
+        try:
+            record.session = self._make_session(
+                record.protocol, record.session_id
+            )
+        except JournalError as exc:
+            self._fail_start(record, exc, quarantine=True)
+            return
+        except Exception as exc:
+            # Whatever went wrong, the pool worker must survive and the
+            # queued clients must hear a reject, not a silent hang.
+            self._fail_start(record, exc, quarantine=False)
+            return
+        record.status = "running"
+        self._run_session(record)
 
     def _make_session(self, protocol: str, session_id: int) -> SenderSession:
         """A fresh or journal-recovered session for a reserved id.
@@ -625,6 +734,7 @@ class ProtocolServer:
         )
         with self._lock:
             self.sessions.pop(record.session_id, None)
+            self._finished.notify_all()
         reason = (
             f"journal recovery for session {record.session_id} failed: {exc}"
         )
@@ -650,9 +760,6 @@ class ProtocolServer:
         self.quarantined.append(target)
         return target
 
-    # ------------------------------------------------------------------
-    # Session workers and the reaper
-    # ------------------------------------------------------------------
     def _accept_for(self, record: SessionRecord) -> Any:
         """The blocking ``accept()`` callable one session runs under."""
         wait_s = self.config.timeout_s
@@ -680,7 +787,7 @@ class ProtocolServer:
         except SessionAborted as exc:
             record.status = "expired"
             record.error = exc
-        except BaseException as exc:  # worker thread: never propagate
+        except BaseException as exc:  # pool worker: never propagate
             record.status = "failed"
             record.error = exc
         else:
@@ -693,7 +800,12 @@ class ProtocolServer:
             journal = getattr(record.session, "journal", None)
             if journal is not None:
                 journal.close()
+            with self._finished:
+                self._finished.notify_all()
 
+    # ------------------------------------------------------------------
+    # The reaper (event-loop side)
+    # ------------------------------------------------------------------
     def _abort(self, record: SessionRecord, reason: str) -> None:
         """Mark a session aborted and unstick its blocked reads."""
         record.aborted = True
@@ -705,7 +817,7 @@ class ProtocolServer:
                 pass
         # A worker blocked in inbox.get sees `aborted` on its next poll.
 
-    def _reap_loop(self) -> None:
+    async def _reap_loop(self) -> None:
         while not self._closed.is_set():
             now = time.monotonic()
             with self._lock:
@@ -723,4 +835,4 @@ class ProtocolServer:
                     and now - record.last_activity > self.idle_timeout_s
                 ):
                     self._abort(record, "idle timeout")
-            time.sleep(self._REAP_POLL_S)
+            await asyncio.sleep(self._REAP_POLL_S)

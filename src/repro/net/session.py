@@ -86,6 +86,7 @@ __all__ = [
     "SessionEndpoint",
     "SenderSession",
     "ReceiverSession",
+    "busy_backoff_s",
     "seal",
     "unseal",
 ]
@@ -169,6 +170,27 @@ class RetryPolicy:
         if self.jitter:
             raw *= 1.0 - self.jitter * rng.random()
         return raw
+
+
+def busy_backoff_s(
+    retry_after_s: float | None,
+    rng: random.Random,
+    *,
+    fallback_s: float = 0.5,
+    jitter: float = 0.5,
+) -> float:
+    """How long a busy-refused client should sleep before redialing.
+
+    The server's ``retry_after_s`` hint (or ``fallback_s`` when the
+    busy frame carried none) is stretched by up to ``jitter`` of
+    itself: ``base * (1 + jitter * rng.random())``. Jitter is *added*,
+    never subtracted - retrying before the server's own hint elapses
+    would land inside the very window it said it was busy for - and it
+    de-synchronizes the herd of clients a draining or saturated server
+    just refused in one burst, so they do not all redial in lockstep.
+    """
+    base = max(retry_after_s if retry_after_s is not None else fallback_s, 0.0)
+    return base * (1.0 + jitter * rng.random())
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,470 @@
+"""Session-sharded serving: one routing front end, N worker servers.
+
+One :class:`~repro.net.server.ProtocolServer` scales to the sessions a
+single process can crypto for; past that the bottleneck is the GIL and
+one process's executor, not the sockets. This module splits the roles:
+
+* **workers** - plain :class:`ProtocolServer` instances (each with its
+  own event loop, worker pool, and journal subdirectory
+  ``shard-<i>/``), either forked into child processes
+  (``worker_processes=True``, real parallelism) or started in-process
+  (``False`` - cheap, deterministic, and what the tests and smoke
+  benches use);
+* **front end** - a :class:`ShardedProtocolServer` accept/route loop
+  that owns the public port. It reads frames off a new connection just
+  far enough to find the first valid ``hello``, takes the session id
+  from it, and splices the connection through to worker
+  ``session_id % shards`` - first replaying the buffered frames
+  byte-for-byte, then degenerating into a dumb bidirectional byte
+  relay. The front end never unseals payloads beyond the hello and
+  holds no session state, so it stays O(connections), not O(sessions).
+
+Routing by ``session_id % shards`` is what makes *reconnects* work:
+the id in every hello is stable across a client's reconnect attempts,
+so a resumed session always lands on the worker that owns its journal.
+The relay closes both legs when either side drops, which the session
+layer already treats as an ordinary transient - the client redials,
+the front end re-routes, the worker resumes from its round log.
+
+Wire bytes are untouched: a client cannot tell a sharded server from a
+flat one (same hello/welcome/busy/reject frames, same CRC seals), and
+each worker journals exactly what a standalone server would.
+
+Process workers are started by **fork** (party factories are closures
+over live data and do not pickle), so ``worker_processes=True`` is
+POSIX-only; construction fails fast elsewhere. Workers are forked
+*before* the front end's event-loop thread starts, keeping the
+children free of inherited locked state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from . import serialization
+from .aio import AsyncFrameEndpoint, LoopThread, _TIMEOUTS
+from .server import ProtocolOffer, ProtocolServer
+from .session import SessionConfig, unseal
+from .tcp import DEFAULT_MAX_FRAME_BYTES
+
+__all__ = ["ShardedProtocolServer"]
+
+#: Pre-hello frames the front end will buffer before giving up on a
+#: connection. A well-behaved client's first frame *is* its hello;
+#: the allowance merely tolerates a burst of garbled retransmits.
+_MAX_PREHELLO_FRAMES = 32
+
+#: Relay chunk size for the post-hello byte splice.
+_RELAY_CHUNK = 65536
+
+
+def _worker_main(
+    offers: list[ProtocolOffer],
+    kwargs: dict[str, Any],
+    conn: Any,
+) -> None:
+    """Child-process entry: serve one shard until told to drain."""
+    # A terminal Ctrl-C signals the whole process group; workers must
+    # outlive it so the front end's pipe-driven drain (which the
+    # parent's own handler triggers) can journal a clean stop.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    server = ProtocolServer(offers, **kwargs).start()
+    try:
+        conn.send(("port", server.port))
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                # Parent died: drain nothing, just stop cleanly so the
+                # journals are consistent.
+                server.shutdown(drain_timeout_s=0)
+                return
+            if message[0] == "shutdown":
+                server.shutdown(drain_timeout_s=message[1])
+                try:
+                    conn.send(("results", server.results()))
+                except (BrokenPipeError, OSError):
+                    pass
+                return
+    finally:
+        conn.close()
+
+
+class _Shard:
+    """Front-end handle on one worker, in-process or forked."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.port: int | None = None
+        self.server: ProtocolServer | None = None  # in-process mode
+        self.process: Any = None  # process mode
+        self.conn: Any = None
+        self.results: list[dict[str, Any]] = []
+
+
+class ShardedProtocolServer:
+    """N worker servers behind one hello-routing public port.
+
+    Accepts every :class:`ProtocolServer` keyword argument and forwards
+    them to each worker unchanged, except ``journal_dir``, which is
+    namespaced per shard (``<journal_dir>/shard-<i>``) so workers never
+    contend for each other's journals, and ``max_sessions``, which is
+    the **per-worker** ceiling (total capacity = ``shards x
+    max_sessions``).
+
+    Args:
+        offers: as for :class:`ProtocolServer` (offers or mapping).
+        shards: worker count; session ``sid`` is served by worker
+            ``sid % shards``.
+        worker_processes: fork each worker into its own process (true
+            parallel crypto; POSIX only) instead of running them all
+            in this process behind distinct ports.
+    """
+
+    def __init__(
+        self,
+        offers: Iterable[ProtocolOffer] | Mapping[str, tuple[Any, Any]],
+        shards: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_processes: bool = False,
+        config: SessionConfig | None = None,
+        journal_dir: Any = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        backlog: int = 128,
+        **worker_kwargs: Any,
+    ):
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if worker_processes and "fork" not in (
+            multiprocessing.get_all_start_methods()
+        ):
+            raise RuntimeError(
+                "worker_processes=True needs the fork start method "
+                "(party factories are closures and do not pickle)"
+            )
+        if isinstance(offers, Mapping):
+            offers = [
+                ProtocolOffer.from_data(name, data, params, seed=name)
+                for name, (data, params) in offers.items()
+            ]
+        self.offers = list(offers)
+        self.shards = shards
+        self.host = host
+        self.requested_port = port
+        self.worker_processes = worker_processes
+        self.config = config or SessionConfig()
+        self.journal_dir = journal_dir
+        self.max_frame_bytes = max_frame_bytes
+        self.backlog = backlog
+        self.worker_kwargs = worker_kwargs
+        self.routed = 0
+        self.refused_unroutable = 0
+        self._shards: list[_Shard] = []
+        self._loop_thread: LoopThread | None = None
+        self._aserver: asyncio.AbstractServer | None = None
+        self._bound_port: int | None = None
+        self._draining = threading.Event()
+        self._closed = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The public (front-end) port, valid after :meth:`start`."""
+        if self._bound_port is None:
+            raise RuntimeError("server not started")
+        return self._bound_port
+
+    def _worker_config(self, index: int) -> dict[str, Any]:
+        kwargs = dict(
+            host="127.0.0.1",
+            port=0,
+            config=self.config,
+            max_frame_bytes=self.max_frame_bytes,
+            **self.worker_kwargs,
+        )
+        if self.journal_dir is not None:
+            kwargs["journal_dir"] = Path(self.journal_dir) / f"shard-{index}"
+        return kwargs
+
+    def start(self) -> "ShardedProtocolServer":
+        """Start every worker, then the routing front end.
+
+        Worker processes are forked *before* the front end's event-loop
+        thread exists, so children never inherit a half-locked loop.
+        """
+        if self._loop_thread is not None:
+            raise RuntimeError("server already started")
+        for index in range(self.shards):
+            shard = _Shard(index)
+            if self.worker_processes:
+                ctx = multiprocessing.get_context("fork")
+                parent_conn, child_conn = ctx.Pipe()
+                shard.process = ctx.Process(
+                    target=_worker_main,
+                    args=(self.offers, self._worker_config(index), child_conn),
+                    daemon=True,
+                    name=f"repro-shard-{index}",
+                )
+                shard.process.start()
+                child_conn.close()
+                shard.conn = parent_conn
+                if not parent_conn.poll(30):
+                    raise RuntimeError(f"shard {index} failed to start")
+                tag, value = parent_conn.recv()
+                if tag != "port":
+                    raise RuntimeError(
+                        f"shard {index} failed to start: {value!r}"
+                    )
+                shard.port = value
+            else:
+                shard.server = ProtocolServer(
+                    self.offers, **self._worker_config(index)
+                ).start()
+                shard.port = shard.server.port
+            self._shards.append(shard)
+        self._loop_thread = LoopThread(name="repro-shard-front").start()
+        self._loop_thread.run(self._start_async(), timeout=30)
+        return self
+
+    async def _start_async(self) -> None:
+        self._aserver = await asyncio.start_server(
+            self._route_client,
+            self.host,
+            self.requested_port,
+            backlog=self.backlog,
+        )
+        self._bound_port = self._aserver.sockets[0].getsockname()[1]
+
+    def __enter__(self) -> "ShardedProtocolServer":
+        """Start on entry."""
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Drain briefly and close on exit."""
+        self.shutdown(drain_timeout_s=self.config.timeout_s)
+
+    @property
+    def draining(self) -> bool:
+        """Whether a shutdown/drain has begun."""
+        return self._draining.is_set()
+
+    def install_signal_handlers(
+        self, drain_timeout_s: float = 5.0, signals: tuple | None = None
+    ) -> None:
+        """Drain gracefully on SIGTERM (and SIGINT by default).
+
+        Main-thread only (a Python ``signal`` restriction). The handler
+        runs :meth:`shutdown` on a helper thread so the signal context
+        returns immediately. Worker processes are daemonized children;
+        the front end's drain is what stops them cleanly.
+        """
+        if signals is None:
+            signals = (signal.SIGTERM, signal.SIGINT)
+
+        def _handler(signum: int, frame: Any) -> None:
+            threading.Thread(
+                target=self.shutdown,
+                kwargs={"drain_timeout_s": drain_timeout_s},
+                daemon=True,
+            ).start()
+
+        for sig in signals:
+            signal.signal(sig, _handler)
+
+    def shutdown(self, drain_timeout_s: float | None = 5.0) -> None:
+        """Stop accepting, drain every worker, then stop the relay.
+
+        The front end closes its listener first but leaves live relays
+        running, so in-flight sessions keep talking to their workers
+        for the whole drain window. Idempotent.
+        """
+        self._draining.set()
+        with self._shutdown_lock:
+            if self._shutdown_done:
+                return
+            if self._loop_thread is not None and self._aserver is not None:
+                try:
+                    self._loop_thread.run(self._close_listener(), timeout=10)
+                except Exception:
+                    pass
+            drain = drain_timeout_s if drain_timeout_s is not None else 0
+            for shard in self._shards:
+                if shard.server is not None:
+                    shard.server.shutdown(drain_timeout_s=drain_timeout_s)
+                    shard.results = shard.server.results()
+                elif shard.conn is not None:
+                    try:
+                        shard.conn.send(("shutdown", drain))
+                    except (BrokenPipeError, OSError):
+                        pass
+            for shard in self._shards:
+                if shard.process is None:
+                    continue
+                try:
+                    if shard.conn.poll(drain + self.config.timeout_s * 2):
+                        tag, value = shard.conn.recv()
+                        if tag == "results":
+                            shard.results = value
+                except (EOFError, OSError):
+                    pass
+                shard.process.join(timeout=self.config.timeout_s * 2)
+                if shard.process.is_alive():
+                    shard.process.terminate()
+                    shard.process.join(timeout=5)
+                shard.conn.close()
+            if self._loop_thread is not None:
+                self._loop_thread.stop()
+            self._closed.set()
+            self._shutdown_done = True
+
+    async def _close_listener(self) -> None:
+        self._aserver.close()
+        await self._aserver.wait_closed()
+
+    def wait_closed(self, timeout: float | None = None) -> bool:
+        """Block until :meth:`shutdown` has completed."""
+        return self._closed.wait(timeout)
+
+    def results(self) -> list[dict[str, Any]]:
+        """Session summaries from every shard, tagged with ``"shard"``.
+
+        Live (pre-shutdown) results are only visible for in-process
+        workers; forked workers report theirs at drain time.
+        """
+        merged: list[dict[str, Any]] = []
+        for shard in self._shards:
+            rows = (
+                shard.server.results()
+                if shard.server is not None
+                else shard.results
+            )
+            for row in rows:
+                merged.append({**row, "shard": shard.index})
+        return merged
+
+    # ------------------------------------------------------------------
+    # Routing (event-loop side)
+    # ------------------------------------------------------------------
+    async def _route_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One public connection: find its hello, splice to its shard."""
+        endpoint = AsyncFrameEndpoint(
+            reader, writer, max_frame_bytes=self.max_frame_bytes
+        )
+        upstream: AsyncFrameEndpoint | None = None
+        try:
+            routed = await self._read_routable_hello(endpoint)
+            if routed is None:
+                self.refused_unroutable += 1
+                await endpoint.close()
+                return
+            buffered, session_id = routed
+            shard = self._shards[session_id % self.shards]
+            up_reader, up_writer = await asyncio.open_connection(
+                "127.0.0.1", shard.port
+            )
+            upstream = AsyncFrameEndpoint(
+                up_reader, up_writer, max_frame_bytes=self.max_frame_bytes
+            )
+            for raw in buffered:
+                await upstream.send_bytes(raw)
+            self.routed += 1
+            await self._splice(reader, writer, up_reader, up_writer)
+        except (ConnectionError, OSError, *_TIMEOUTS):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            await endpoint.close()
+            if upstream is not None:
+                await upstream.close()
+
+    async def _read_routable_hello(
+        self, endpoint: AsyncFrameEndpoint
+    ) -> tuple[list[bytes], int] | None:
+        """Buffer frames until a valid hello yields a session id.
+
+        Mirrors the worker's own hello tolerance: garbled seals are
+        buffered and passed along (the worker re-judges them), frames
+        that are not even wire format close the connection, and a
+        pre-hello burst beyond ``_MAX_PREHELLO_FRAMES`` is dropped as
+        hostile.
+        """
+        deadline = time.monotonic() + self.config.timeout_s
+        buffered: list[bytes] = []
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                raw = await endpoint.recv_bytes_within(remaining)
+            except (*_TIMEOUTS, ConnectionError, OSError):
+                return None
+            buffered.append(raw)
+            if len(buffered) > _MAX_PREHELLO_FRAMES:
+                return None
+            try:
+                frame = serialization.decode(raw)
+            except ValueError:
+                return None
+            try:
+                fields = unseal(frame)
+            except ValueError:
+                continue
+            if (
+                fields[0] == "hello"
+                and len(fields) == 6
+                and isinstance(fields[3], int)
+            ):
+                return buffered, fields[3]
+
+    async def _splice(
+        self,
+        down_reader: asyncio.StreamReader,
+        down_writer: asyncio.StreamWriter,
+        up_reader: asyncio.StreamReader,
+        up_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Dumb byte relay, both directions, until either side drops."""
+
+        async def _pipe(
+            src: asyncio.StreamReader, dst: asyncio.StreamWriter
+        ) -> None:
+            while True:
+                chunk = await src.read(_RELAY_CHUNK)
+                if not chunk:
+                    return
+                dst.write(chunk)
+                await dst.drain()
+
+        tasks = {
+            asyncio.ensure_future(_pipe(down_reader, up_writer)),
+            asyncio.ensure_future(_pipe(up_reader, down_writer)),
+        }
+        try:
+            _done, pending = await asyncio.wait(
+                tasks, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            # One side dropped (or we were cancelled): tear down both
+            # legs; the session layer treats it as an ordinary
+            # transient and the client redials through the router.
+            for task in tasks:
+                task.cancel()
+            for task in tasks:
+                try:
+                    await task
+                except (asyncio.CancelledError, ConnectionError, OSError):
+                    pass

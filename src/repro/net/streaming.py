@@ -18,14 +18,15 @@ compute the pipeline-overlap ratio reported by
 
 from __future__ import annotations
 
+import asyncio
 import queue
 import threading
 import time
-from typing import Any, Iterable, Iterator
+from typing import Any, AsyncIterator, Iterable, Iterator
 
 from .chaos import crash_point
 
-__all__ = ["DEFAULT_PREFETCH_DEPTH", "prefetch", "TimedIterator"]
+__all__ = ["DEFAULT_PREFETCH_DEPTH", "aprefetch", "prefetch", "TimedIterator"]
 
 #: Queue depth of the production-side double buffer: one chunk in
 #: flight on the wire, one being computed, is the classic double
@@ -122,3 +123,66 @@ def prefetch(
         worker.join()
     finally:
         stop.set()
+
+
+async def aprefetch(
+    source: Iterable[Any],
+    depth: int = DEFAULT_PREFETCH_DEPTH,
+    executor: Any = None,
+) -> AsyncIterator[Any]:
+    """Async :func:`prefetch`: the double buffer as a producer task.
+
+    Same overlap, different mechanics: instead of a producer *thread*,
+    a producer *task* steps the (synchronous, possibly crypto-heavy)
+    iterator through ``loop.run_in_executor`` - so production blocks an
+    executor worker, never the event loop - and feeds a bounded
+    ``asyncio.Queue`` the consumer drains. While the consumer awaits an
+    acknowledged send of chunk ``k``, chunk ``k+1`` is already being
+    computed. Order is preserved; a producer exception re-raises at the
+    consumer's next pull; abandoning the async generator cancels the
+    producer task. ``executor=None`` uses the loop's default executor.
+    """
+    if depth < 1:
+        raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+    loop = asyncio.get_running_loop()
+    iterator = iter(source)
+
+    def _step() -> Any:
+        # StopIteration must not cross the executor boundary into a
+        # coroutine (it would surface as RuntimeError): fold it into
+        # the sentinel here, on the worker thread.
+        try:
+            return next(iterator)
+        except StopIteration:
+            return _DONE
+
+    buffer: asyncio.Queue = asyncio.Queue(maxsize=depth)
+    failure: list[BaseException] = []
+
+    async def _produce() -> None:
+        try:
+            while True:
+                item = await loop.run_in_executor(executor, _step)
+                if item is _DONE:
+                    break
+                await buffer.put(item)
+        except asyncio.CancelledError:
+            # The consumer abandoned the stream: nobody is waiting for
+            # the sentinel, and putting it could block forever.
+            raise
+        except BaseException as exc:  # re-raised consumer-side
+            failure.append(exc)
+        await buffer.put(_DONE)
+
+    task = loop.create_task(_produce())
+    try:
+        while True:
+            item = await buffer.get()
+            if item is _DONE:
+                break
+            crash_point("streaming.chunk.yield")
+            yield item
+        if failure:
+            raise failure[0]
+    finally:
+        task.cancel()

@@ -145,6 +145,23 @@ class SocketEndpoint:
 # ----------------------------------------------------------------------
 # Socket plumbing shared by the serve/connect drivers
 # ----------------------------------------------------------------------
+def _nodelay(sock: socket.socket) -> socket.socket:
+    """Disable Nagle on a protocol socket.
+
+    Every exchange here is stop-and-wait: a small sealed frame, then a
+    wait for the peer's (even smaller) ack. Nagle's algorithm holds
+    exactly those sub-MSS writes back waiting for acks that will never
+    precede them, so leaving it on taxes every round trip; all protocol
+    sockets (dialed and accepted alike) run with ``TCP_NODELAY``. See
+    docs/PERFORMANCE.md for the measured before/after.
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass  # not a TCP socket (tests splice in socketpairs)
+    return sock
+
+
 def _listen(
     host: str, port: int, timeout: float | None, backlog: int = 16
 ) -> socket.socket:
@@ -184,6 +201,7 @@ def _accept_one(
     finally:
         listener.close()
     conn.settimeout(timeout)
+    _nodelay(conn)
     endpoint = SocketEndpoint(sock=conn, max_frame_bytes=max_frame_bytes)
     if endpoint_wrapper is None:
         return endpoint
@@ -200,7 +218,7 @@ def _dial(
     timeout: float | None,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
 ) -> SocketEndpoint:
-    sock = socket.create_connection((host, port), timeout=timeout)
+    sock = _nodelay(socket.create_connection((host, port), timeout=timeout))
     return SocketEndpoint(sock=sock, max_frame_bytes=max_frame_bytes)
 
 
@@ -478,6 +496,7 @@ def serve_resumable_sender(
             except socket.timeout as exc:
                 raise TimeoutError("no client (re)connected in time") from exc
             conn.settimeout(config.timeout_s)
+            _nodelay(conn)
             endpoint = SocketEndpoint(
                 sock=conn, max_frame_bytes=max_frame_bytes
             )

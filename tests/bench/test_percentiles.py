@@ -1,0 +1,52 @@
+"""Unit tests for :func:`repro.bench.schema.percentiles`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.schema import percentiles
+
+
+class TestPercentiles:
+    def test_single_sample_is_every_percentile(self):
+        assert percentiles([7.0]) == {"p50": 7.0, "p95": 7.0, "p99": 7.0}
+
+    def test_median_of_even_count_interpolates(self):
+        assert percentiles([1.0, 2.0, 3.0, 4.0], points=(50,)) == {
+            "p50": 2.5
+        }
+
+    def test_linear_interpolation_between_closest_ranks(self):
+        # 0..100 in steps of 1: pN lands exactly on the value N.
+        samples = [float(i) for i in range(101)]
+        random.Random(3).shuffle(samples)  # order must not matter
+        result = percentiles(samples)
+        assert result == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+
+    def test_interpolates_fractional_rank(self):
+        # rank for p95 over 3 samples = 0.95 * 2 = 1.9 -> between the
+        # 2nd and 3rd sorted values, 90% of the way.
+        result = percentiles([10.0, 20.0, 30.0], points=(95,))
+        assert result["p95"] == pytest.approx(29.0)
+
+    def test_extreme_points_clamp_to_min_and_max(self):
+        samples = [5.0, 1.0, 9.0]
+        assert percentiles(samples, points=(0, 100)) == {
+            "p0": 1.0, "p100": 9.0
+        }
+
+    def test_key_naming_drops_trailing_zeros(self):
+        result = percentiles([1.0, 2.0], points=(99.9,))
+        assert list(result) == ["p99.9"]
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            percentiles([])
+
+    def test_out_of_range_point_raises(self):
+        with pytest.raises(ValueError):
+            percentiles([1.0], points=(101,))
+        with pytest.raises(ValueError):
+            percentiles([1.0], points=(-1,))

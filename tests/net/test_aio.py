@@ -1,0 +1,291 @@
+"""Unit tests for the asyncio transport core (:mod:`repro.net.aio`).
+
+The properties that make the event-loop stack safe to put under the
+byte-exact session layer: framing round-trips, a receive timeout never
+desynchronizes the stream (the pending-read pattern), the loop-thread
+bridge delivers frames and failures to synchronous callers exactly
+once, the async prefetcher preserves order and propagates producer
+failures, and the async client speaks the same wire protocol as the
+sync resumable server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+import threading
+
+import pytest
+
+from repro.net import tcp
+from repro.net.aio import (
+    AsyncFrameEndpoint,
+    LoopThread,
+    LoopTransport,
+    connect_receiver_async,
+    open_endpoint,
+)
+from repro.net.serialization import encode
+from repro.net.streaming import aprefetch
+from repro.net.session import SessionConfig, RetryPolicy
+from repro.net.tcp import FrameTooLarge
+from repro.protocols.parties import PublicParams
+
+BITS = 128
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PublicParams.for_bits(BITS)
+
+
+def _config(timeout_s=2.0):
+    return SessionConfig(
+        timeout_s=timeout_s,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05),
+        max_reconnects=2,
+        fin_grace_s=0.05,
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _echo_server(handler):
+    """One-connection asyncio server; returns (server, port)."""
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+# ----------------------------------------------------------------------
+# AsyncFrameEndpoint
+# ----------------------------------------------------------------------
+class TestAsyncFrameEndpoint:
+    def test_round_trips_frames_and_counts_bytes(self):
+        async def scenario():
+            async def handle(reader, writer):
+                ep = AsyncFrameEndpoint(reader, writer)
+                msg = await ep.recv()
+                await ep.send(("echo", msg))
+                await ep.close()
+
+            server, port = await _echo_server(handle)
+            ep = await open_endpoint("127.0.0.1", port, timeout=5)
+            await ep.send(("k", [1, 2, b"three"]))
+            reply = await ep.recv()
+            sent, received = ep.bytes_sent, ep.bytes_received
+            await ep.close()
+            server.close()
+            await server.wait_closed()
+            return reply, sent, received
+
+        reply, sent, received = _run(scenario())
+        assert reply == ("echo", ("k", [1, 2, b"three"]))
+        assert sent > 0 and received > sent  # echo adds the tag
+
+    def test_oversized_frame_is_rejected_not_read(self):
+        async def scenario():
+            async def handle(reader, writer):
+                writer.write(struct.pack(">I", 1 << 30) + b"x" * 64)
+                await writer.drain()
+
+            server, port = await _echo_server(handle)
+            ep = await open_endpoint(
+                "127.0.0.1", port, timeout=5, max_frame_bytes=1024
+            )
+            with pytest.raises(FrameTooLarge):
+                await ep.recv()
+            await ep.close()
+            server.close()
+            await server.wait_closed()
+
+        _run(scenario())
+
+    def test_mid_frame_close_is_connection_error(self):
+        async def scenario():
+            async def handle(reader, writer):
+                writer.write(struct.pack(">I", 100) + b"only-some")
+                await writer.drain()
+                writer.close()
+
+            server, port = await _echo_server(handle)
+            ep = await open_endpoint("127.0.0.1", port, timeout=5)
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                await ep.recv()
+            await ep.close()
+            server.close()
+            await server.wait_closed()
+
+        _run(scenario())
+
+    def test_recv_timeout_does_not_desync_the_stream(self):
+        """A timed-out read resumes where it left off.
+
+        The server sends a frame's header, stalls past the client's
+        timeout, then sends the payload. Cancelling the read on timeout
+        would strand the payload as a phantom next frame; the pending
+        pattern must instead deliver the whole frame to the *next*
+        receive call.
+        """
+        payload = encode(("slow", "frame"))
+        release = asyncio.Event()
+
+        async def scenario():
+            async def handle(reader, writer):
+                writer.write(struct.pack(">I", len(payload)))
+                await writer.drain()
+                await release.wait()
+                writer.write(payload)
+                await writer.drain()
+
+            server, port = await _echo_server(handle)
+            ep = await open_endpoint("127.0.0.1", port, timeout=5)
+            with pytest.raises(asyncio.TimeoutError):
+                await ep.recv_within(0.05)
+            release.set()
+            frame = await ep.recv_within(2.0)
+            await ep.close()
+            server.close()
+            await server.wait_closed()
+            return frame
+
+        assert _run(scenario()) == ("slow", "frame")
+
+
+# ----------------------------------------------------------------------
+# LoopThread + LoopTransport (the sync-session bridge)
+# ----------------------------------------------------------------------
+class TestLoopBridge:
+    def test_loop_thread_runs_coroutines_and_stops(self):
+        loop_thread = LoopThread().start()
+        try:
+            async def answer():
+                return 41 + 1
+
+            assert loop_thread.run(answer(), timeout=5) == 42
+        finally:
+            loop_thread.stop()
+        loop_thread.stop()  # idempotent
+
+    def test_transport_replays_then_pumps_then_raises_fatal(self):
+        """Replay frames come first, live frames next, then the closed
+        connection surfaces as a sticky ConnectionError."""
+        loop_thread = LoopThread().start()
+        try:
+            async def handle(reader, writer):
+                ep = AsyncFrameEndpoint(reader, writer)
+                await ep.send(("live", 1))
+                await ep.close()
+
+            async def setup():
+                server, port = await _echo_server(handle)
+                ep = await open_endpoint("127.0.0.1", port, timeout=5)
+                transport = LoopTransport(
+                    ep, asyncio.get_running_loop(),
+                    replay=[encode(("replayed", 0))], timeout=5.0,
+                )
+                transport.start_pump()
+                return server, transport
+
+            server, transport = loop_thread.run(setup(), timeout=5)
+            assert transport.recv() == ("replayed", 0)
+            assert transport.recv() == ("live", 1)
+            with pytest.raises((ConnectionError, OSError)):
+                transport.recv()
+            with pytest.raises((ConnectionError, OSError)):
+                transport.recv()  # sticky, not one-shot
+            transport.close()
+            loop_thread.run(_close_server(server), timeout=5)
+        finally:
+            loop_thread.stop()
+
+
+async def _close_server(server):
+    server.close()
+    await server.wait_closed()
+
+
+# ----------------------------------------------------------------------
+# aprefetch
+# ----------------------------------------------------------------------
+class TestAprefetch:
+    def test_preserves_order_and_exhausts(self):
+        async def scenario():
+            items = []
+            async for item in aprefetch(iter(range(20)), depth=3):
+                items.append(item)
+            return items
+
+        assert _run(scenario()) == list(range(20))
+
+    def test_producer_failure_reraises_after_buffered_items(self):
+        def source():
+            yield "ok"
+            raise RuntimeError("producer blew up")
+
+        async def scenario():
+            seen = []
+            with pytest.raises(RuntimeError, match="blew up"):
+                async for item in aprefetch(source()):
+                    seen.append(item)
+            return seen
+
+        assert _run(scenario()) == ["ok"]
+
+    def test_abandoning_the_stream_stops_the_producer(self):
+        produced = []
+
+        def source():
+            for i in range(10_000):
+                produced.append(i)
+                yield i
+
+        async def scenario():
+            agen = aprefetch(source(), depth=2)
+            async for item in agen:
+                if item == 3:
+                    break
+            await agen.aclose()
+
+        _run(scenario())
+        assert len(produced) < 100  # bounded by depth, not the source
+
+
+# ----------------------------------------------------------------------
+# The async client against the sync resumable server
+# ----------------------------------------------------------------------
+class TestAsyncClient:
+    @pytest.mark.parametrize("chunk_size", [None, 2])
+    def test_intersection_against_sync_server(self, params, chunk_size):
+        v_r = ["a", "b", "c", "d"]
+        v_s = ["b", "c", "x"]
+        port_ready = threading.Event()
+        bound = {}
+
+        def serve():
+            tcp.serve_resumable_sender(
+                "intersection", v_s, params, random.Random(1),
+                ready_callback=lambda p: (bound.update(port=p),
+                                          port_ready.set()),
+                config=_config(), chunk_size=chunk_size,
+            )
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        assert port_ready.wait(5)
+
+        async def go():
+            return await connect_receiver_async(
+                "intersection", v_r, random.Random(2),
+                "127.0.0.1", bound["port"],
+                config=_config(), chunk_size=chunk_size,
+            )
+
+        answer, stats = _run(go())
+        server.join(timeout=10)
+        assert sorted(answer) == ["b", "c"]
+        assert stats.frames_sent > 0 and stats.frames_received > 0
+        if chunk_size is not None:
+            assert stats.chunks_sent > 0

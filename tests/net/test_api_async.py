@@ -1,0 +1,129 @@
+"""The facade's async serving and busy-retry surface (``repro.api``).
+
+``repro.serve(async_=True)`` hosts the one-session run on the
+event-loop server; ``repro.connect(retry_busy=N)`` waits out typed
+busy refusals with the server's own retry hint (jittered upward,
+never earlier). Both must compose with the plain facade paths and
+return the same typed results.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import pytest
+
+import repro
+from repro.net import tcp
+from repro.net.server import ProtocolServer
+from repro.net.session import (
+    SESSION_VERSION,
+    RetryPolicy,
+    SessionConfig,
+    seal,
+)
+from repro.protocols.parties import PublicParams
+
+BITS = 128
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PublicParams.for_bits(BITS)
+
+
+def _config(timeout_s=5.0):
+    return SessionConfig(
+        timeout_s=timeout_s,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.02, max_delay_s=0.1),
+        max_reconnects=4,
+        fin_grace_s=0.05,
+    )
+
+
+class TestServeAsync:
+    def test_one_session_round_trip(self):
+        v_r, v_s = ["a", "b", "c", "d"], ["b", "c", "x"]
+        port_ready = threading.Event()
+        bound, result = {}, {}
+
+        def serve():
+            result["serve"] = repro.serve(
+                "intersection", v_s, bits=BITS, seed=1, async_=True,
+                ready_callback=lambda p: (bound.update(port=p),
+                                          port_ready.set()),
+                config=_config(),
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert port_ready.wait(10)
+        connected = repro.connect(
+            "intersection", v_r, seed=2, port=bound["port"],
+            resumable=True, config=_config(),
+        )
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert sorted(connected.answer) == ["b", "c"]
+        assert connected.busy_retries == 0
+        serve_result = result["serve"]
+        assert serve_result.port == bound["port"] != 0
+        assert serve_result.size_v_r == len(set(v_r))
+        assert serve_result.stats.frames_sent > 0
+
+    def test_journaled_async_serve_rotates_the_journal(self, tmp_path):
+        v_r, v_s = ["a", "b"], ["b", "z"]
+        port_ready = threading.Event()
+        bound = {}
+
+        def serve():
+            repro.serve(
+                "intersection", v_s, bits=BITS, seed=3, async_=True,
+                journal_dir=tmp_path,
+                ready_callback=lambda p: (bound.update(port=p),
+                                          port_ready.set()),
+                config=_config(),
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert port_ready.wait(10)
+        connected = repro.connect(
+            "intersection", v_r, seed=4, port=bound["port"],
+            resumable=True, config=_config(),
+        )
+        thread.join(timeout=15)
+        assert sorted(connected.answer) == ["b"]
+        assert list(tmp_path.glob("*.wal")) == []
+        assert len(list(tmp_path.glob("sender-intersection-*.done"))) == 1
+
+
+class TestConnectRetryBusy:
+    def test_waits_out_busy_and_lands_when_the_slot_frees(self, params):
+        """A full 1-slot server refuses with a hint; ``retry_busy``
+        keeps redialing and succeeds once the reaper frees the slot."""
+        server = ProtocolServer(
+            {"intersection": (["b", "c", "x"], params)},
+            config=_config(),
+            max_sessions=1,
+            busy_retry_hint_s=0.05,
+            idle_timeout_s=0.4,
+        )
+        with server:
+            # Occupy the only slot: valid hello, then silence.
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            )
+            holder = tcp.SocketEndpoint(sock=sock)
+            holder.send(
+                seal("hello", SESSION_VERSION, "intersection", 77, 0, 0)
+            )
+            connected = repro.connect(
+                "intersection", ["a", "b", "c"], seed=5, port=server.port,
+                resumable=True, config=_config(), retry_busy=40,
+            )
+            holder.close()
+        assert sorted(connected.answer) == ["b", "c"]
+        assert connected.busy_retries >= 1

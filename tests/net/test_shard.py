@@ -1,0 +1,217 @@
+"""Unit tests for the sharded front end (:mod:`repro.net.shard`).
+
+The router's contract: a client cannot tell a sharded server from a
+flat one; the session id in the hello deterministically picks the
+worker (``sid % shards``), so reconnects land on the journal that owns
+them; garbage that never produces a hello is dropped without touching
+a worker; drain collects every worker's results tagged by shard.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.net import tcp
+from repro.net.serialization import encode
+from repro.net.session import (
+    SESSION_VERSION,
+    ReceiverSession,
+    RetryPolicy,
+    SessionConfig,
+    seal,
+)
+from repro.net.shard import ShardedProtocolServer
+from repro.protocols.parties import PublicParams
+
+BITS = 128
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PublicParams.for_bits(BITS)
+
+
+def _offers(params):
+    return {"intersection": (["b", "c", "x"], params)}
+
+
+def _config(timeout_s=2.0, max_reconnects=8):
+    return SessionConfig(
+        timeout_s=timeout_s,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05),
+        max_reconnects=max_reconnects,
+        fin_grace_s=0.05,
+    )
+
+
+def _session(port, seed, config=None):
+    """One sync resumable client run through the router."""
+    session = ReceiverSession(
+        "intersection",
+        lambda wire: _make_receiver(wire, seed),
+        config=config or _config(),
+        rng=random.Random(seed),
+    )
+    answer = session.run(
+        lambda: tcp._dial("127.0.0.1", port, timeout=5.0)
+    )
+    return answer, session
+
+
+def _make_receiver(params_wire, seed):
+    from repro.protocols.spec import get_spec
+
+    return get_spec("intersection").make_receiver(
+        ["a", "b", "c"],
+        PublicParams.from_wire(tuple(params_wire)),
+        random.Random(seed),
+    )
+
+
+class TestRouting:
+    def test_sessions_land_on_sid_mod_shards(self, params):
+        with ShardedProtocolServer(
+            _offers(params), shards=2, config=_config(), max_sessions=4
+        ) as server:
+            sessions = []
+            for seed in range(4):
+                answer, session = _session(server.port, seed)
+                assert sorted(answer) == ["b", "c"]
+                sessions.append(session)
+            # In-process workers expose live results: every session id
+            # must sit on exactly the worker its id selects.
+            rows = server.results()
+        by_sid = {row["session_id"]: row["shard"] for row in rows}
+        assert len(by_sid) == 4
+        for session in sessions:
+            assert by_sid[session.session_id] == session.session_id % 2
+
+    def test_reconnect_routes_back_to_the_owning_worker(self, params):
+        """A mid-run disconnect redials through the router and must
+        resume on the same worker (same sid, same journal owner)."""
+        with ShardedProtocolServer(
+            _offers(params), shards=3, config=_config(), max_sessions=4
+        ) as server:
+            session = ReceiverSession(
+                "intersection",
+                lambda wire: _make_receiver(wire, 99),
+                config=_config(),
+                rng=random.Random(99),
+            )
+            dials = {"count": 0}
+
+            def flaky_dial():
+                dials["count"] += 1
+                endpoint = tcp._dial("127.0.0.1", server.port, timeout=5.0)
+                if dials["count"] == 1:
+                    # Kill the first connection right after the
+                    # handshake frames land.
+                    original_recv = endpoint.recv
+
+                    def recv_once_then_die():
+                        original_recv()
+                        endpoint.close()
+                        raise ConnectionError("injected drop")
+
+                    endpoint.recv = recv_once_then_die
+                return endpoint
+
+            answer = session.run(flaky_dial)
+            assert sorted(answer) == ["b", "c"]
+            assert dials["count"] >= 2  # it really did reconnect
+            deadline = time.monotonic() + 5.0
+            while True:
+                rows = server.results()
+                mine = [
+                    r for r in rows
+                    if r["session_id"] == session.session_id
+                ]
+                if mine and mine[0]["status"] == "done":
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+        assert len(mine) == 1  # one record total: both dials, one worker
+        assert mine[0]["status"] == "done"
+        assert mine[0]["shard"] == session.session_id % 3
+
+    def test_garbage_connection_is_dropped_without_workers(self, params):
+        with ShardedProtocolServer(
+            _offers(params), shards=2,
+            config=_config(timeout_s=0.3), max_sessions=2,
+        ) as server:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            )
+            # Not even wire format: the router closes the connection.
+            sock.sendall(struct.pack(">I", 4) + b"\xff\xff\xff\xff")
+            sock.settimeout(2.0)
+            assert sock.recv(1024) == b""
+            sock.close()
+            deadline = time.monotonic() + 2.0
+            while server.refused_unroutable == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert server.results() == []
+
+    def test_sealed_garbage_before_hello_is_forwarded(self, params):
+        """A garbled-seal frame then a valid hello still gets served -
+        the router buffers and replays pre-hello frames verbatim."""
+        with ShardedProtocolServer(
+            _offers(params), shards=2, config=_config(), max_sessions=2
+        ) as server:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            )
+            endpoint = tcp.SocketEndpoint(sock=sock)
+            bad = encode(("hello", "garbled", "no-seal"))
+            sock.sendall(struct.pack(">I", len(bad)) + bad)
+            endpoint.send(
+                seal("hello", SESSION_VERSION, "intersection", 6, 0, 0)
+            )
+            endpoint.settimeout(5.0)
+            frame = endpoint.recv()
+            assert frame[0] == "welcome"
+            endpoint.close()
+
+
+class TestProcessWorkers:
+    def test_forked_workers_serve_and_report_results(self, params):
+        with ShardedProtocolServer(
+            _offers(params), shards=2, worker_processes=True,
+            config=_config(), max_sessions=4,
+        ) as server:
+            answers = [
+                sorted(_session(server.port, seed)[0]) for seed in range(3)
+            ]
+        assert answers == [["b", "c"]] * 3
+        rows = server.results()  # reported by workers at drain
+        assert len(rows) == 3
+        assert all(row["status"] == "done" for row in rows)
+        assert {row["shard"] for row in rows} <= {0, 1}
+
+    def test_shutdown_is_idempotent_and_joins_workers(self, params):
+        server = ShardedProtocolServer(
+            _offers(params), shards=2, worker_processes=True,
+            config=_config(), max_sessions=2,
+        ).start()
+        _session(server.port, 7)
+        server.shutdown(drain_timeout_s=2.0)
+        server.shutdown(drain_timeout_s=2.0)
+        assert server.wait_closed(timeout=5)
+        assert all(not s.process.is_alive() for s in server._shards)
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self, params):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardedProtocolServer(_offers(params), shards=0)
+
+    def test_port_before_start_raises(self, params):
+        server = ShardedProtocolServer(_offers(params), shards=1)
+        with pytest.raises(RuntimeError, match="not started"):
+            server.port

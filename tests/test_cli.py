@@ -383,6 +383,7 @@ class TestFailureExitCodes:
     def test_retry_busy_honors_server_hint(
         self, busy_server, value_files, capsys
     ):
+        import re
         import time
 
         from repro.cli import EXIT_BUSY
@@ -396,6 +397,11 @@ class TestFailureExitCodes:
         elapsed = time.monotonic() - start
         assert code == EXIT_BUSY
         err = capsys.readouterr().err
-        # Two retries, each waiting the server's 0.05s hint.
-        assert err.count("retrying in 0.05s") == 2
+        # Two retries, each waiting the server's 0.05s hint stretched
+        # by additive jitter of at most 50% (never shortened below it).
+        delays = [
+            float(text) for text in re.findall(r"retrying in ([\d.]+)s", err)
+        ]
+        assert len(delays) == 2
+        assert all(0.05 <= d <= 0.075 + 1e-9 for d in delays)
         assert elapsed >= 0.1

@@ -131,7 +131,8 @@ class TestFacadeSurface:
             assert not (
                 name.startswith(("serve_", "connect_"))
                 and name not in (
-                    "serve_resumable_sender", "connect_resumable_receiver"
+                    "serve_resumable_sender", "connect_resumable_receiver",
+                    "connect_receiver_async",  # protocol-generic, async
                 )
             ), f"per-protocol shim {name} resurfaced in repro.net.__all__"
 
