@@ -1,0 +1,55 @@
+"""Client-observed recovery latency after a shard worker SIGKILL.
+
+Runs journaled sessions against a supervised
+:class:`~repro.net.shard.ShardedProtocolServer`, murders the worker
+the moment the front end has routed each session through, and times
+the wall from the kill to the client's byte-correct answer - respawn
+backoff, journal takeover, reconnect and round replay all land inside
+the measured window.
+
+The measurement core is the ``robustness.worker-failover`` harness
+task in :mod:`repro.bench.tasks.robustness`. Run standalone for the
+full trial count:
+
+    PYTHONPATH=src python benchmarks/bench_worker_failover.py --full
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.registry import get_task
+from repro.bench.runner import run_selection
+
+
+def test_report_worker_failover_recovery():
+    """Smoke trials: every killed session recovers to the right answer
+    and the recovery tail is recorded as monotone percentiles."""
+    task = get_task("robustness.worker-failover")
+    by_area = run_selection([task], mode="smoke", seed=20030609)
+    records = by_area["robustness"]["tasks"][0]["records"]
+    print("\nWorker-failover recovery (supervised sharded server):")
+    for record in records:
+        print("  " + json.dumps(record, sort_keys=True))
+    (record,) = records
+    assert record["respawns"] >= record["trials"]
+    metrics = record["metrics"]
+    assert (
+        0
+        < metrics["recovery_p50_s"]
+        <= metrics["recovery_p95_s"]
+        <= metrics["recovery_p99_s"]
+        <= metrics["recovery_max_s"]
+    )
+
+
+if __name__ == "__main__":
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    from repro.bench.cli import legacy_main
+
+    raise SystemExit(legacy_main("robustness"))

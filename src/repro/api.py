@@ -96,12 +96,16 @@ class ConnectResult:
         stats: the :class:`~repro.net.session.SessionStats` of a
             resumable run; ``None`` for a plain one-shot run.
         busy_retries: how many busy refusals were waited out (under
-            ``retry_busy``) before the server admitted this session.
+            ``retry_busy`` or a ``retry`` policy) before the server
+            admitted this session.
+        retries: total redials a ``retry`` policy performed across all
+            retryable failure classes (busy, worker-lost).
     """
 
     answer: Any
     stats: Any = None
     busy_retries: int = 0
+    retries: int = 0
 
 
 def _party_rngs(
@@ -330,6 +334,7 @@ def connect(
     journal_dir: Any = None,
     config: Any = None,
     retry_busy: int = 0,
+    retry: Any = None,
 ) -> ConnectResult:
     """Run party R of any registered protocol as a TCP client.
 
@@ -350,15 +355,39 @@ def connect(
     ``ConnectResult.busy_retries``. The default 0 keeps busy an
     immediate :class:`~repro.net.session.ServerBusyError`, exactly as
     before.
+
+    ``retry`` is the unified alternative: a
+    :class:`~repro.net.session.ClientRetryPolicy` (or a
+    ``"key=value,..."`` spec string for
+    :meth:`~repro.net.session.ClientRetryPolicy.parse`) governing max
+    dial attempts, per-attempt timeout, a total deadline budget,
+    jittered exponential backoff that honors server retry hints, and
+    *which* typed failures are redialed - busy refusals and
+    :class:`~repro.net.session.WorkerLost` (a supervised shard whose
+    worker is mid-respawn) by default. When no explicit ``config`` is
+    passed the policy also shapes the session config
+    (per-attempt timeout, in-session reconnect budget). Mutually
+    exclusive with ``retry_busy``.
     """
     import time
 
     from .net import tcp
-    from .net.session import ServerBusyError, busy_backoff_s
+    from .net.session import (
+        ClientRetryPolicy,
+        ServerBusyError,
+        SessionError,
+        busy_backoff_s,
+    )
 
     spec = get_spec(protocol)
     if rng is None:
         rng = random.Random(seed)
+    if retry is not None and retry_busy:
+        raise ValueError("pass either retry= or retry_busy=, not both")
+    if isinstance(retry, str):
+        retry = ClientRetryPolicy.parse(retry)
+    if retry is not None and config is None:
+        config = retry.session_config()
 
     def _attempt() -> ConnectResult:
         if resumable or journal_dir is not None:
@@ -373,6 +402,45 @@ def connect(
             recorder=recorder, chunk_size=chunk_size,
         )
         return ConnectResult(answer=answer, stats=None)
+
+    if retry is not None:
+        deadline = (
+            time.monotonic() + retry.total_deadline_s
+            if retry.total_deadline_s is not None
+            else None
+        )
+        attempt = 0
+        busy_waited = 0
+        backoff_rng = random.Random(rng.getrandbits(64))
+        while True:
+            attempt += 1
+            try:
+                result = _attempt()
+            except SessionError as exc:
+                if not retry.retryable(exc):
+                    raise
+                if attempt >= retry.max_attempts:
+                    raise
+                delay = retry.backoff_s(
+                    attempt - 1,
+                    backoff_rng,
+                    hint_s=getattr(exc, "retry_after_s", None),
+                )
+                if (
+                    deadline is not None
+                    and time.monotonic() + delay > deadline
+                ):
+                    raise
+                if isinstance(exc, ServerBusyError):
+                    busy_waited += 1
+                time.sleep(delay)
+                continue
+            return ConnectResult(
+                answer=result.answer,
+                stats=result.stats,
+                busy_retries=busy_waited,
+                retries=attempt - 1,
+            )
 
     waited = 0
     backoff_rng: random.Random | None = None

@@ -22,10 +22,16 @@ from __future__ import annotations
 
 import asyncio
 import random
+import tempfile
 import time
 
 from ...net.aio import connect_receiver_async
-from ...net.session import ServerBusyError, SessionConfig, busy_backoff_s
+from ...net.session import (
+    ServerBusyError,
+    SessionConfig,
+    WorkerLost,
+    busy_backoff_s,
+)
 from ...net.shard import ShardedProtocolServer
 from ...protocols.parties import PublicParams
 from ..registry import register
@@ -56,6 +62,7 @@ async def _one_session(
     rng = random.Random(seed_rng.getrandbits(64))
     started = time.perf_counter()
     busy_retries = 0
+    worker_lost = 0
     while True:
         try:
             answer, stats = await connect_receiver_async(
@@ -66,10 +73,18 @@ async def _one_session(
         except ServerBusyError as exc:
             busy_retries += 1
             await asyncio.sleep(busy_backoff_s(exc.retry_after_s, rng))
+        except WorkerLost as exc:
+            # A mid-run kill landed on this session's shard: the typed
+            # refusal carries the respawn hint; redial and resume.
+            worker_lost += 1
+            await asyncio.sleep(
+                busy_backoff_s(exc.retry_after_s, rng, fallback_s=0.1)
+            )
     return {
         "latency_ms": (time.perf_counter() - started) * 1000.0,
         "answer": sorted(answer),
         "busy_retries": busy_retries,
+        "worker_lost": worker_lost + stats.worker_lost,
         "reconnects": stats.reconnects,
     }
 
@@ -83,6 +98,7 @@ def drive_sessions(
     chunk_size: int,
     process_workers: bool,
     rng: random.Random,
+    kill_worker: bool = False,
 ) -> dict:
     """All ``sessions`` concurrent streaming runs; one summary dict.
 
@@ -91,13 +107,29 @@ def drive_sessions(
     ``max_sessions`` is the per-shard admission ceiling, making
     ``shards * max_sessions`` the server's true concurrency and the
     rest of the herd exercise busy-refusal backoff.
+
+    ``kill_worker`` (needs ``process_workers``) SIGKILLs shard 0's
+    worker once a quarter of the herd has been routed: the herd must
+    still finish - worker-lost refusals and reconnects, not failures -
+    and the recovery cost lands in the same latency distribution the
+    gate watches.
     """
     params = PublicParams.for_bits(bits)
     overlap = [f"common-{i}" for i in range(n // 2)]
     v_s = overlap + [f"sender-{i}" for i in range(n - n // 2)]
     v_r = overlap + [f"receiver-{i}" for i in range(n - n // 2)]
     expected = sorted(overlap)
+    if kill_worker and not process_workers:
+        raise ValueError("kill_worker needs process_workers=True")
     config = SessionConfig(timeout_s=_LOAD_TIMEOUT_S)
+    # A killed worker can only resume its in-flight sessions from a
+    # journal, so the kill variant runs journaled (fsync off - the
+    # measurement is recovery, not disk durability).
+    journal_tmp = (
+        tempfile.TemporaryDirectory(prefix="bench-load-journal-")
+        if kill_worker
+        else None
+    )
     server = ShardedProtocolServer(
         {"intersection": (v_s, params)},
         shards=shards,
@@ -107,22 +139,46 @@ def drive_sessions(
         chunk_size=chunk_size,
         busy_retry_hint_s=0.2,
         backlog=min(max(sessions, 16), 1024),
+        journal_dir=journal_tmp.name if journal_tmp else None,
+        journal_fsync=False,
+        heartbeat_s=0.1,
+        # A worker saturated by the full herd can starve its heartbeat
+        # thread for whole seconds on a small CI box; this bench
+        # measures capacity, not hang detection, so only a truly dead
+        # worker (waitpid) should trigger the respawn path here.
+        heartbeat_timeout_s=_LOAD_TIMEOUT_S,
     )
+
+    async def _assassin() -> int | None:
+        while server.routed < max(sessions // 4, 1):
+            await asyncio.sleep(0.005)
+        return server.kill_worker(0)
 
     async def _herd(port: int) -> list[dict]:
         seed_rng = random.Random(rng.getrandbits(64))
+        killer = (
+            asyncio.ensure_future(_assassin()) if kill_worker else None
+        )
         tasks = [
             _one_session(
                 i, "intersection", v_r, seed_rng, port, config, chunk_size
             )
             for i in range(sessions)
         ]
-        return await asyncio.gather(*tasks)
+        outcomes = await asyncio.gather(*tasks)
+        if killer is not None:
+            assert await killer is not None, "assassin found no live worker"
+        return outcomes
 
-    with server:
-        started = time.perf_counter()
-        outcomes = asyncio.run(_herd(server.port))
-        elapsed_s = time.perf_counter() - started
+    try:
+        with server:
+            started = time.perf_counter()
+            outcomes = asyncio.run(_herd(server.port))
+            elapsed_s = time.perf_counter() - started
+            respawns = server.respawns
+    finally:
+        if journal_tmp is not None:
+            journal_tmp.cleanup()
 
     latencies = [o["latency_ms"] for o in outcomes]
     tails = percentiles(latencies)
@@ -130,6 +186,8 @@ def drive_sessions(
         "completed": len(outcomes),
         "answers_ok": sum(1 for o in outcomes if o["answer"] == expected),
         "capacity": shards * max_sessions,
+        "worker_kills": 1 if kill_worker else 0,
+        "respawns": respawns,
         "metrics": {
             "elapsed_s": round(elapsed_s, 3),
             "p50_ms": round(tails["p50"], 3),
@@ -137,6 +195,7 @@ def drive_sessions(
             "p99_ms": round(tails["p99"], 3),
             "throughput_sps": round(len(outcomes) / elapsed_s, 3),
             "busy_retries": sum(o["busy_retries"] for o in outcomes),
+            "worker_lost": sum(o["worker_lost"] for o in outcomes),
             "reconnects": sum(o["reconnects"] for o in outcomes),
         },
     }
@@ -146,15 +205,18 @@ def drive_sessions(
     "load.async-sessions",
     smoke={
         "sessions": 128, "shards": 2, "max_sessions": 64,
-        "n": 4, "bits": 96, "chunk_size": 2, "process_workers": False,
+        "n": 4, "bits": 96, "chunk_size": 2, "process_workers": True,
+        "kill_worker": True,
     },
     full={
         "sessions": 1000, "shards": 4, "max_sessions": 250,
         "n": 4, "bits": 96, "chunk_size": 2, "process_workers": True,
+        "kill_worker": False,
     },
     source="benchmarks/bench_load_sessions.py",
     summary="Concurrent streaming sessions through the sharded "
-            "event-loop server; per-session latency percentiles.",
+            "event-loop server; per-session latency percentiles "
+            "(smoke kills one worker mid-herd and rides the respawn).",
     regress_on=("elapsed_s",),
 )
 def async_sessions(ctx) -> list[dict]:
@@ -170,6 +232,7 @@ def async_sessions(ctx) -> list[dict]:
         chunk_size=ctx.param("chunk_size"),
         process_workers=ctx.param("process_workers"),
         rng=ctx.rng,
+        kill_worker=ctx.param("kill_worker"),
     )
     return [{"id": f"s{sessions}x{shards}", "sessions": sessions,
              "shards": shards, **record}]

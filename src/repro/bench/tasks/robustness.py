@@ -409,3 +409,111 @@ def chaos_survival(ctx) -> list[dict]:
         "answers": answers,
     })
     return records
+
+
+@register(
+    "robustness.worker-failover",
+    smoke={"trials": 4, "bits": 96},
+    full={"trials": 16, "bits": 128},
+    source="benchmarks/bench_worker_failover.py",
+    summary="Client-observed recovery latency after a shard worker is "
+            "SIGKILLed mid-session: kill-to-answer p50/p95/p99 under "
+            "the supervisor's respawn-and-resume path.",
+    regress_on=("recovery_p95_s",),
+)
+def worker_failover(ctx) -> list[dict]:
+    """SIGKILL a supervised worker mid-session, time the recovery.
+
+    Each trial runs one journaled chunk-streamed session against a
+    single-shard supervised server, kills the worker the moment the
+    front end has routed the session, and measures the wall time from
+    the kill to the client's (byte-correct) answer - the respawn
+    backoff, journal takeover, reconnect and replayed rounds all land
+    inside it.
+    """
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from ...net.aio import connect_receiver_async
+    from ...net.shard import ShardedProtocolServer
+    from ...net.server import ProtocolOffer
+    from ..schema import percentiles
+
+    bits = ctx.param("bits")
+    trials = ctx.param("trials")
+    params = PublicParams.for_bits(bits)
+    v_r = [f"r{i}" for i in range(10)] + ["c0", "c1"]
+    v_s = [f"s{i}" for i in range(10)] + ["c0", "c1"]
+    expected = {"c0", "c1"}
+    config = SessionConfig(
+        timeout_s=2.0,
+        retry=RetryPolicy(max_attempts=8, base_delay_s=0.02,
+                          max_delay_s=0.2),
+        max_reconnects=30,
+        fin_grace_s=0.05,
+    )
+
+    async def trial(server, index: int) -> tuple[float, int]:
+        routed_before = server.routed
+        task = asyncio.ensure_future(
+            connect_receiver_async(
+                "intersection", v_r, random.Random(f"failover-{index}"),
+                "127.0.0.1", server.port, config=config, chunk_size=1,
+            )
+        )
+        # Kill the instant the front end has spliced the session
+        # through - the worker dies owning journaled in-flight rounds.
+        while server.routed == routed_before:
+            await asyncio.sleep(0.002)
+        server.kill_worker(0)
+        killed_at = time.perf_counter()
+        answer, stats = await task
+        recovery = time.perf_counter() - killed_at
+        assert set(answer) == expected
+        assert stats.reconnects >= 1, "kill landed after the session"
+        return recovery, stats.worker_lost
+
+    records = []
+    with tempfile.TemporaryDirectory(prefix="bench-failover-") as tmp:
+        server = ShardedProtocolServer(
+            [ProtocolOffer.from_data(
+                "intersection", v_s, params, seed="failover-s"
+            )],
+            shards=1,
+            worker_processes=True,
+            config=config,
+            journal_dir=Path(tmp),
+            max_sessions=4,
+            restart_budget=trials + 4,
+            heartbeat_s=0.05,
+            respawn_backoff_s=0.05,
+            chunk_size=1,
+        ).start()
+        try:
+            samples = []
+            worker_lost_total = 0
+            for index in range(trials):
+                recovery, lost = asyncio.run(trial(server, index))
+                samples.append(recovery)
+                worker_lost_total += lost
+            respawns = server.respawns
+        finally:
+            server.shutdown(drain_timeout_s=2.0)
+    dist = percentiles(samples)
+    records.append({
+        "id": f"kill-resume-x{trials}",
+        "protocol": "intersection",
+        "trials": trials,
+        "bits": bits,
+        "shards": 1,
+        "respawns": respawns,
+        "worker_lost_notices": worker_lost_total,
+        "metrics": {
+            "recovery_p50_s": round(dist["p50"], 6),
+            "recovery_p95_s": round(dist["p95"], 6),
+            "recovery_p99_s": round(dist["p99"], 6),
+            "recovery_max_s": round(max(samples), 6),
+        },
+    })
+    return records

@@ -225,6 +225,18 @@ def build_parser() -> argparse.ArgumentParser:
              "routed by session id (default 1 = one process; "
              "requires --resumable and --max-sessions > 1)",
     )
+    p.add_argument(
+        "--restart-budget", type=int, default=3,
+        help="respawns allowed per shard worker before the shard is "
+             "marked failed and refuses new sessions (default 3; "
+             "needs --shards > 1)",
+    )
+    p.add_argument(
+        "--heartbeat-s", type=float, default=1.0,
+        help="shard worker heartbeat period in seconds; a worker "
+             "silent for 4x this is killed and respawned (default 1.0; "
+             "needs --shards > 1)",
+    )
     _add_engine_options(p)
 
     p = sub.add_parser(
@@ -254,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-busy", type=int, default=0, metavar="N",
         help="when the server answers busy, wait out its retry hint "
              "and redial up to N times before exiting busy (default 0)",
+    )
+    p.add_argument(
+        "--retry-policy", default=None, metavar="SPEC",
+        help="unified retry policy as 'key=value,...' "
+             "(keys: attempts, timeout, deadline, base, multiplier, "
+             "max-delay, jitter, busy, worker-lost); redials typed "
+             "busy and worker-lost refusals with jittered exponential "
+             "backoff under a total deadline; replaces --retry-busy",
     )
     _add_engine_options(p)
 
@@ -444,9 +464,15 @@ def _serve_supervised(
     Hosts up to N concurrent sessions of the chosen protocol until
     SIGTERM/SIGINT, then drains within ``--drain-timeout`` seconds and
     prints one stats line per hosted session. With ``--shards K`` the
-    sessions are spread over K worker processes routed by session id
-    (``--max-sessions`` stays the per-worker ceiling).
+    sessions are spread over K supervised worker processes routed by
+    session id (``--max-sessions`` stays the per-worker ceiling): dead
+    or hung workers are respawned against their journal dirs up to
+    ``--restart-budget`` times, and SIGUSR1 prints a per-shard
+    ``health()`` snapshot to stderr.
     """
+    import json as _json
+    import signal as _signal
+
     from .net.server import ProtocolOffer, ProtocolServer
     from .net.shard import ShardedProtocolServer
 
@@ -469,6 +495,8 @@ def _serve_supervised(
             config=_session_config(args.timeout),
             journal_dir=args.journal_dir,
             chunk_size=args.chunk_size,
+            restart_budget=args.restart_budget,
+            heartbeat_s=args.heartbeat_s,
         )
     else:
         server = ProtocolServer(
@@ -484,16 +512,31 @@ def _serve_supervised(
     server.start()
     announce(server.port)
     server.install_signal_handlers(drain_timeout_s=args.drain_timeout)
+    if args.shards > 1:
+
+        def _print_health(signum, frame) -> None:
+            print(
+                "# health: " + _json.dumps(server.health()),
+                file=sys.stderr,
+                flush=True,
+            )
+
+        _signal.signal(_signal.SIGUSR1, _print_health)
     capacity = args.max_sessions * max(args.shards, 1)
     print(
         f"supervising up to {capacity} concurrent sessions"
         + (f" across {args.shards} shard processes" if args.shards > 1 else "")
-        + f" (SIGTERM drains within {args.drain_timeout}s)",
+        + f" (SIGTERM drains within {args.drain_timeout}s; "
+        + ("SIGUSR1 prints shard health)" if args.shards > 1 else
+           "supervised single process)"),
         flush=True,
     )
     server.wait_closed()
     for summary in server.results():
         print(f"# session: {summary}", file=sys.stderr)
+    if args.shards > 1:
+        for row in server.drain_report:
+            print(f"# shard drain: {row}", file=sys.stderr)
     _emit_metrics(args, recorder)
     return 0
 
@@ -503,21 +546,45 @@ def _cmd_connect(args: argparse.Namespace) -> int:
     import time as _time
 
     from .net import tcp
-    from .net.session import ServerBusyError, busy_backoff_s
+    from .net.session import (
+        ClientRetryPolicy,
+        ServerBusyError,
+        SessionError,
+        busy_backoff_s,
+    )
 
     v_r = _read_values(args.receiver)
-    engine, recorder = _build_engine_and_recorder(args)
 
     if args.journal_dir and not args.resumable:
         print("--journal-dir requires --resumable", file=sys.stderr)
         return 2
+    policy = None
+    if args.retry_policy is not None:
+        if args.retry_busy:
+            print(
+                "--retry-policy replaces --retry-busy; pass only one",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            policy = ClientRetryPolicy.parse(args.retry_policy)
+        except ValueError as exc:
+            print(f"bad --retry-policy: {exc}", file=sys.stderr)
+            return 2
+
+    engine, recorder = _build_engine_and_recorder(args)
+
+    def _config():
+        if policy is not None and args.timeout is None:
+            return policy.session_config()
+        return _session_config(args.timeout)
 
     def attempt() -> int:
         rng = _random.Random(args.seed)
         if args.resumable:
             answer, stats = tcp.connect_resumable_receiver(
                 args.protocol, v_r, rng, args.host, args.port,
-                config=_session_config(args.timeout),
+                config=_config(),
                 engine=engine, recorder=recorder,
                 journal_dir=args.journal_dir,
                 chunk_size=args.chunk_size,
@@ -536,11 +603,44 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         _emit_metrics(args, recorder)
         return 0
 
-    retries_left = max(args.retry_busy, 0)
     # Jittered independently of the protocol seed so identically-seeded
     # clients refused in one burst do not redial in lockstep.
     backoff_rng = _random.Random()
     try:
+        if policy is not None:
+            deadline = (
+                _time.monotonic() + policy.total_deadline_s
+                if policy.total_deadline_s is not None
+                else None
+            )
+            attempt_no = 0
+            while True:
+                attempt_no += 1
+                try:
+                    return attempt()
+                except SessionError as exc:
+                    if not policy.retryable(exc):
+                        raise
+                    if attempt_no >= policy.max_attempts:
+                        raise
+                    delay = policy.backoff_s(
+                        attempt_no - 1,
+                        backoff_rng,
+                        hint_s=getattr(exc, "retry_after_s", None),
+                    )
+                    if (
+                        deadline is not None
+                        and _time.monotonic() + delay > deadline
+                    ):
+                        raise
+                    print(
+                        f"repro: {type(exc).__name__}; retrying in "
+                        f"{delay:.3f}s (attempt {attempt_no}/"
+                        f"{policy.max_attempts})",
+                        file=sys.stderr,
+                    )
+                    _time.sleep(delay)
+        retries_left = max(args.retry_busy, 0)
         while True:
             try:
                 return attempt()
@@ -594,13 +694,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     genuine bugs) still raise.
     """
     from .net.journal import JournalError
-    from .net.session import HandshakeError, ServerBusyError, SessionError
+    from .net.session import (
+        HandshakeError,
+        ServerBusyError,
+        SessionError,
+        WorkerLost,
+    )
 
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
     except ServerBusyError as exc:
         return _fail(EXIT_BUSY, f"server busy: {exc}")
+    except WorkerLost as exc:
+        return _fail(EXIT_SESSION, f"server lost its worker: {exc}")
     except HandshakeError as exc:
         return _fail(EXIT_HANDSHAKE, f"handshake failed: {exc}")
     except JournalError as exc:

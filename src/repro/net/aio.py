@@ -56,6 +56,9 @@ from .session import (
     SessionConfig,
     SessionError,
     SessionStats,
+    WorkerLost,
+    busy_backoff_s,
+    refusal_retry_hint_s,
     seal,
     unseal,
 )
@@ -400,6 +403,14 @@ class AsyncSessionEndpoint:
     async def _send_control(self, *fields: Any) -> None:
         await self.endpoint.send(seal(*fields))
 
+    def _raise_worker_lost(self, frame: tuple) -> None:
+        """A routed front end lost our worker: fail typed, retryable."""
+        self.stats.worker_lost += 1
+        raise WorkerLost(
+            f"server lost the session's worker: {frame[2]!r}",
+            retry_after_s=refusal_retry_hint_s(frame),
+        )
+
     async def send(self, payload: Any) -> None:
         """Ship one data frame reliably; advances the send cursor."""
         seq = self.send_seq
@@ -452,6 +463,8 @@ class AsyncSessionEndpoint:
             if tag == "fin":
                 self.fin_seen = True
                 return True  # a finished peer has everything
+            if tag == "worker-lost" and len(frame) in (3, 4):
+                self._raise_worker_lost(frame)
             continue  # hello/welcome replays, unknown tags: ignore
 
     async def recv(self) -> Any:
@@ -484,6 +497,8 @@ class AsyncSessionEndpoint:
             if tag == "fin":
                 self.fin_seen = True
                 continue
+            if tag == "worker-lost" and len(frame) in (3, 4):
+                self._raise_worker_lost(frame)
             if tag != "msg" or len(frame) != 3:
                 continue  # stray ack/nak/welcome
             _, seq, wire = frame
@@ -623,9 +638,13 @@ class AsyncReceiverSession:
                         f"receiver session gave up after {failures} failed "
                         f"connections: {exc}"
                     ) from exc
-                await asyncio.sleep(
-                    self.config.retry.delay_s(failures - 1, self.rng)
-                )
+                delay = self.config.retry.delay_s(failures - 1, self.rng)
+                hint = getattr(exc, "retry_after_s", None)
+                if hint is not None:
+                    # A worker-lost notice names its respawn window;
+                    # redialing earlier just burns a reconnect.
+                    delay = max(delay, busy_backoff_s(hint, self.rng))
+                await asyncio.sleep(delay)
             finally:
                 if endpoint is not None:
                     await endpoint.close()
@@ -653,17 +672,17 @@ class AsyncReceiverSession:
                     continue
                 if fields[0] == "busy" and len(fields) in (3, 4):
                     # Optional 4th field: retry hint in integer ms.
-                    hint_ms = fields[3] if len(fields) == 4 else None
-                    hint = (
-                        hint_ms / 1000.0
-                        if isinstance(hint_ms, int)
-                        and not isinstance(hint_ms, bool)
-                        and hint_ms >= 0
-                        else None
-                    )
                     raise ServerBusyError(
                         f"server refused the session: {fields[2]!r}",
-                        retry_after_s=hint,
+                        retry_after_s=refusal_retry_hint_s(fields),
+                    )
+                if fields[0] == "worker-lost" and len(fields) in (3, 4):
+                    # The shard front end answered for a dead worker:
+                    # retryable - the supervisor is respawning it.
+                    self.stats.worker_lost += 1
+                    raise WorkerLost(
+                        f"server lost the session's worker: {fields[2]!r}",
+                        retry_after_s=refusal_retry_hint_s(fields),
                     )
                 if fields[0] == "reject" and len(fields) == 3:
                     raise HandshakeError(

@@ -61,6 +61,10 @@ __all__ = [
     "PartyOutcome",
     "ChaosResult",
     "run_schedule",
+    "WorkerCrashSchedule",
+    "WorkerCrashOutcome",
+    "WorkerCrashResult",
+    "run_worker_crash_schedule",
 ]
 
 
@@ -774,3 +778,440 @@ def run_schedule(
             "receiver": receiver_hook.as_dict() if receiver_hook else None,
         },
     )
+
+
+# ----------------------------------------------------------------------
+# Worker-crash axis: SIGKILL and heartbeat-hang against real forked
+# shard workers, proving the supervisor's self-healing end to end.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerCrashSchedule:
+    """One seed's worth of worker murder for a sharded server run.
+
+    Unlike :class:`ChaosSchedule` (in-process, simulated crashes at
+    named code points) this axis kills *real forked worker processes*
+    under a live :class:`~repro.net.shard.ShardedProtocolServer` while
+    a herd of concurrent journaled sessions runs against it:
+
+    * ``kills`` - ``(delay_s, shard)`` pairs: SIGKILL that shard's
+      worker that long after the herd starts;
+    * ``hangs`` - ``(delay_s, shard, wedge_s)`` triples: wedge the
+      worker's control loop (it keeps serving but stops heartbeating,
+      the signature of a hung process) so the supervisor's
+      missed-heartbeat deadline kills and respawns it.
+
+    All fields derive from ``seed`` alone in :meth:`generate`, so a
+    failing schedule replays from its printed seed.
+    """
+
+    seed: int = 0
+    sessions: int = 12
+    shards: int = 2
+    kills: tuple[tuple[float, int], ...] = ((0.2, 0),)
+    hangs: tuple[tuple[float, int, float], ...] = ()
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        sessions: int | None = None,
+        shards: int | None = None,
+    ) -> "WorkerCrashSchedule":
+        """Derive a kill/hang schedule deterministically from ``seed``.
+
+        Every draw comes from one rng seeded by ``seed``, so the same
+        seed always yields the same schedule even when ``sessions`` or
+        ``shards`` are overridden (the overrides replace the drawn
+        values *after* all draws happen).
+        """
+        rng = random.Random(f"repro-worker-crash-{seed}")
+        drawn_shards = rng.choice((2, 2, 3))
+        drawn_sessions = rng.choice((8, 12, 16))
+        kills = tuple(
+            sorted(
+                (round(rng.uniform(0.05, 0.9), 3), rng.randrange(drawn_shards))
+                for _ in range(rng.choice((1, 2, 2, 3)))
+            )
+        )
+        hangs: tuple[tuple[float, int, float], ...] = ()
+        if rng.random() < 0.5:
+            hangs = (
+                (
+                    round(rng.uniform(0.05, 0.7), 3),
+                    rng.randrange(drawn_shards),
+                    round(rng.uniform(0.5, 1.0), 3),
+                ),
+            )
+        n_shards = shards if shards is not None else drawn_shards
+        kills = tuple((d, s % n_shards) for d, s in kills)
+        hangs = tuple((d, s % n_shards, w) for d, s, w in hangs)
+        return cls(
+            seed=seed,
+            sessions=sessions if sessions is not None else drawn_sessions,
+            shards=n_shards,
+            kills=kills,
+            hangs=hangs,
+        )
+
+    def describe(self) -> str:
+        """One line naming the seed and every scheduled event."""
+        events = [f"kill(shard={s}, t={d}s)" for d, s in self.kills] + [
+            f"hang(shard={s}, t={d}s, wedge={w}s)" for d, s, w in self.hangs
+        ]
+        return (
+            f"worker-crash seed {self.seed}: {self.sessions} sessions on "
+            f"{self.shards} shards, " + ", ".join(events)
+        )
+
+
+@dataclass
+class WorkerCrashOutcome:
+    """How one herd session ended under a worker-crash schedule.
+
+    ``kind`` is ``"answer"`` (finished; ``matched`` says whether the
+    bytes equal the fault-free reference), ``"error"`` (a typed
+    failure escaped the retry budget - tolerable only if typed), or
+    ``"hang"`` (never finished in the wall budget). ``raw_reset``
+    flags the one thing the supervisor contract forbids outright: a
+    raw ``ConnectionResetError`` reaching the client.
+    """
+
+    session: int
+    kind: str
+    matched: bool = False
+    elapsed_s: float = 0.0
+    redials: int = 0
+    reconnects: int = 0
+    worker_lost: int = 0
+    error: str | None = None
+    raw_reset: bool = False
+
+
+@dataclass
+class WorkerCrashResult:
+    """Everything :func:`run_worker_crash_schedule` observed."""
+
+    schedule: WorkerCrashSchedule
+    outcomes: list[WorkerCrashOutcome]
+    injected: list[dict[str, Any]] = field(default_factory=list)
+    health: list[dict[str, Any]] = field(default_factory=list)
+    drain_report: list[dict[str, Any]] = field(default_factory=list)
+    worker_deaths: int = 0
+    hung_workers: int = 0
+    respawns: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """The availability invariant under worker murder.
+
+        Every session finished with bytes identical to the fault-free
+        reference, and no client ever saw a raw connection reset.
+        """
+        if any(o.raw_reset for o in self.outcomes):
+            return False
+        return all(o.kind == "answer" and o.matched for o in self.outcomes)
+
+    def describe(self) -> str:
+        """A failure-report block; the seed reproduces the schedule."""
+        lines = [
+            self.schedule.describe(),
+            f"deaths={self.worker_deaths} hung={self.hung_workers} "
+            f"respawns={self.respawns}",
+        ]
+        for o in self.outcomes:
+            if o.kind == "answer" and o.matched and not o.raw_reset:
+                continue
+            lines.append(
+                f"- session {o.session}: {o.kind}"
+                + ("" if o.matched or o.kind != "answer" else " WRONG BYTES")
+                + (" RAW RESET" if o.raw_reset else "")
+                + (f" ({o.error})" if o.error else "")
+                + f" after {o.redials} redials/{o.reconnects} reconnects"
+            )
+        for note in self.notes:
+            lines.append(f"- {note}")
+        lines.append(
+            "- replay: run_worker_crash_schedule("
+            f"WorkerCrashSchedule.generate({self.schedule.seed}))"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat mapping for JSON benchmark records."""
+        return {
+            "seed": self.schedule.seed,
+            "ok": self.ok,
+            "sessions": self.schedule.sessions,
+            "shards": self.schedule.shards,
+            "kills": len(self.schedule.kills),
+            "hangs": len(self.schedule.hangs),
+            "worker_deaths": self.worker_deaths,
+            "hung_workers": self.hung_workers,
+            "respawns": self.respawns,
+            "answers": sum(1 for o in self.outcomes if o.kind == "answer"),
+            "matched": sum(1 for o in self.outcomes if o.matched),
+            "raw_resets": sum(1 for o in self.outcomes if o.raw_reset),
+            "redials": sum(o.redials for o in self.outcomes),
+            "reconnects": sum(o.reconnects for o in self.outcomes),
+            "worker_lost": sum(o.worker_lost for o in self.outcomes),
+        }
+
+
+def _herd_data(index: int) -> list[str]:
+    """Session ``index``'s receiver catalog - distinct per session so a
+    cross-routed or cross-recovered answer cannot go unnoticed."""
+    return (
+        ["shared", "alpha" if index % 2 else f"omega-{index}"]
+        + [f"secret-{index}-{k}" for k in range(6)]
+    )
+
+
+_HERD_SENDER = ["shared", "alpha", "beta"] + [f"filler-{k}" for k in range(5)]
+
+
+def run_worker_crash_schedule(
+    schedule: WorkerCrashSchedule,
+    journal_root: str | Path | None = None,
+    bits: int = 96,
+    heartbeat_s: float = 0.1,
+    restart_budget: int = 16,
+    wall_timeout_s: float = 60.0,
+    stagger_s: float = 0.08,
+) -> WorkerCrashResult:
+    """Run a herd of sessions while killing their workers, for real.
+
+    Starts a :class:`~repro.net.shard.ShardedProtocolServer` with
+    forked, supervised, journaled workers; drives
+    ``schedule.sessions`` concurrent async receiver sessions (each
+    with its own catalog, dials staggered ``stagger_s`` apart and
+    rounds streamed chunk-by-chunk so the herd stays in flight across
+    every scheduled event) against it; SIGKILLs and wedges workers at
+    the scheduled moments; and compares every answer byte-for-byte
+    (canonical encoding of the sorted answer) against a fault-free
+    in-memory reference run of the same protocol. Clients absorb
+    typed refusals (:class:`~repro.net.session.ServerBusyError`,
+    :class:`~repro.net.session.WorkerLost`) by redialing with the
+    server's own retry hints; anything rawer is recorded as the
+    invariant breach it is.
+
+    Returns a :class:`WorkerCrashResult`; assert on ``result.ok`` and
+    print ``result.describe()`` on failure.
+    """
+    import asyncio
+    import time
+
+    from ..protocols.parties import (
+        PublicParams,
+        ReceiverMachine,
+        SenderMachine,
+    )
+    from ..protocols.spec import get_spec
+    from . import serialization
+    from .aio import connect_receiver_async
+    from .server import ProtocolOffer
+    from .session import (
+        RetryPolicy,
+        ServerBusyError,
+        SessionConfig,
+        SessionError,
+        WorkerLost,
+        busy_backoff_s,
+    )
+    from .shard import ShardedProtocolServer
+
+    protocol = "intersection"
+    spec = get_spec(protocol)
+    params = PublicParams.for_bits(bits)
+
+    # Fault-free reference: an in-memory run per session's catalog.
+    # The answer bytes every herd session must reproduce exactly.
+    reference: list[bytes] = []
+    for i in range(schedule.sessions):
+        ref_s = SenderMachine(
+            spec, _HERD_SENDER, params, random.Random(f"ref-s-{i}")
+        )
+        ref_r = ReceiverMachine(
+            spec, _herd_data(i), params, random.Random(f"ref-r-{i}")
+        )
+        for rnd in spec.rounds:
+            producer, consumer = (
+                (ref_r, ref_s) if rnd.source == "R" else (ref_s, ref_r)
+            )
+            wire = producer.produce(rnd).to_wire()
+            consumer.consume(rnd, wire)
+        reference.append(
+            serialization.encode(sorted(ref_r.finish(), key=repr))
+        )
+
+    cleanup = None
+    if journal_root is None:
+        cleanup = tempfile.TemporaryDirectory(
+            prefix="repro-worker-crash-", ignore_cleanup_errors=True
+        )
+        journal_root = cleanup.name
+
+    config = SessionConfig(
+        timeout_s=2.0,
+        retry=RetryPolicy(
+            max_attempts=6, base_delay_s=0.02, max_delay_s=0.25
+        ),
+        max_reconnects=30,
+        fin_grace_s=0.05,
+    )
+    offer = ProtocolOffer.from_data(
+        protocol, _HERD_SENDER, params, seed="worker-crash-sender"
+    )
+    server = ShardedProtocolServer(
+        [offer],
+        shards=schedule.shards,
+        worker_processes=True,
+        config=config,
+        journal_dir=journal_root,
+        max_sessions=schedule.sessions,
+        restart_budget=restart_budget,
+        heartbeat_s=heartbeat_s,
+        chunk_size=2,
+    ).start()
+
+    outcomes: list[WorkerCrashOutcome] = []
+    injected: list[dict[str, Any]] = []
+
+    async def _herd() -> None:
+        start = time.monotonic()
+        deadline = start + wall_timeout_s
+
+        async def one(i: int) -> WorkerCrashOutcome:
+            rng = random.Random(f"repro-worker-crash-{schedule.seed}-c{i}")
+            backoff_rng = random.Random(rng.getrandbits(64))
+            # Staggered dials keep the herd in flight across every
+            # scheduled kill instead of finishing before the first one.
+            await asyncio.sleep(i * stagger_s)
+            t0 = time.monotonic()
+            redials = 0
+            worker_lost = 0
+            reconnects = 0
+            while True:
+                try:
+                    answer, stats = await connect_receiver_async(
+                        protocol, _herd_data(i), rng,
+                        "127.0.0.1", server.port, config=config,
+                        chunk_size=2,
+                    )
+                except (ServerBusyError, WorkerLost) as exc:
+                    redials += 1
+                    if isinstance(exc, WorkerLost):
+                        worker_lost += 1
+                    if time.monotonic() > deadline:
+                        return WorkerCrashOutcome(
+                            session=i, kind="hang", redials=redials,
+                            elapsed_s=time.monotonic() - t0,
+                            error=f"deadline after {type(exc).__name__}",
+                        )
+                    await asyncio.sleep(
+                        busy_backoff_s(
+                            getattr(exc, "retry_after_s", None),
+                            backoff_rng, fallback_s=0.05,
+                        )
+                    )
+                    continue
+                except SessionError as exc:
+                    return WorkerCrashOutcome(
+                        session=i, kind="error", redials=redials,
+                        elapsed_s=time.monotonic() - t0,
+                        error=repr(exc),
+                        raw_reset=isinstance(
+                            exc.__cause__, ConnectionResetError
+                        ),
+                    )
+                except (ConnectionError, OSError, TimeoutError) as exc:
+                    # A raw socket error reaching the client is exactly
+                    # what the supervisor contract forbids.
+                    return WorkerCrashOutcome(
+                        session=i, kind="error", redials=redials,
+                        elapsed_s=time.monotonic() - t0,
+                        error=repr(exc),
+                        raw_reset=isinstance(exc, ConnectionResetError),
+                    )
+                worker_lost += stats.worker_lost
+                reconnects = stats.reconnects
+                return WorkerCrashOutcome(
+                    session=i,
+                    kind="answer",
+                    matched=(
+                        serialization.encode(sorted(answer, key=repr))
+                        == reference[i]
+                    ),
+                    elapsed_s=time.monotonic() - t0,
+                    redials=redials,
+                    reconnects=reconnects,
+                    worker_lost=worker_lost,
+                )
+
+        async def murder() -> None:
+            events = [("kill", d, s, None) for d, s in schedule.kills] + [
+                ("hang", d, s, w) for d, s, w in schedule.hangs
+            ]
+            for kind, delay, shard, wedge_s in sorted(
+                events, key=lambda e: e[1]
+            ):
+                await asyncio.sleep(max(start + delay - time.monotonic(), 0))
+                if kind == "kill":
+                    pid = server.kill_worker(shard)
+                    injected.append(
+                        {"event": "kill", "shard": shard, "pid": pid,
+                         "t_s": round(time.monotonic() - start, 3)}
+                    )
+                else:
+                    sent = server.wedge_worker(shard, wedge_s)
+                    injected.append(
+                        {"event": "hang", "shard": shard, "sent": sent,
+                         "wedge_s": wedge_s,
+                         "t_s": round(time.monotonic() - start, 3)}
+                    )
+
+        murderer = asyncio.ensure_future(murder())
+        tasks = [
+            asyncio.wait_for(one(i), wall_timeout_s)
+            for i in range(schedule.sessions)
+        ]
+        for i, result in enumerate(
+            await asyncio.gather(*tasks, return_exceptions=True)
+        ):
+            if isinstance(result, WorkerCrashOutcome):
+                outcomes.append(result)
+            elif isinstance(result, asyncio.TimeoutError):
+                outcomes.append(
+                    WorkerCrashOutcome(session=i, kind="hang",
+                                       elapsed_s=wall_timeout_s)
+                )
+            else:
+                outcomes.append(
+                    WorkerCrashOutcome(
+                        session=i, kind="error", error=repr(result),
+                        raw_reset=isinstance(result, ConnectionResetError),
+                    )
+                )
+        await murderer
+
+    health: list[dict[str, Any]] = []
+    try:
+        asyncio.run(_herd())
+        health = server.health()
+    finally:
+        server.shutdown(drain_timeout_s=2.0)
+    result = WorkerCrashResult(
+        schedule=schedule,
+        outcomes=sorted(outcomes, key=lambda o: o.session),
+        injected=injected,
+        health=health,
+        drain_report=server.drain_report,
+        worker_deaths=server.worker_deaths,
+        hung_workers=server.hung_workers,
+        respawns=server.respawns,
+    )
+    if cleanup is not None:
+        cleanup.cleanup()
+    return result

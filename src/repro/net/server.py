@@ -471,6 +471,19 @@ class ProtocolServer:
             )
             return [record.as_dict() for record in records]
 
+    def active_sessions(self) -> int:
+        """How many sessions are currently starting or running.
+
+        Cheap enough to poll from a heartbeat loop: a status sum under
+        the lock, with none of the sorting or per-record dict building
+        :meth:`results` does for its full report.
+        """
+        with self._lock:
+            return sum(
+                1 for r in self.sessions.values()
+                if r.status in _ACTIVE_STATUSES
+            )
+
     # ------------------------------------------------------------------
     # Accepting and routing (event-loop side)
     # ------------------------------------------------------------------
@@ -685,7 +698,11 @@ class ProtocolServer:
         if self.journal_dir is not None:
             path = self.journal_dir.path_for("sender", protocol, session_id)
             state = peek_state(path) if path.exists() else None
-            if state is not None and not state.complete:
+            if (
+                state is not None
+                and not state.complete
+                and (state.inbound or state.outbound)
+            ):
                 return recover_sender_session(
                     path, offer.params, offer.make_sender,
                     config=self.config, recorder=self.recorder,
@@ -693,6 +710,15 @@ class ProtocolServer:
                     chunk_size=self.chunk_size,
                     io=self.journal_dir.io,
                 )
+            if state is not None and not state.complete:
+                # Metadata-only stub: the previous process died inside
+                # the handshake, before any round frame hit disk (it
+                # may even have died between the ``open`` records and
+                # the ``chunk_size`` meta, leaving a journal recovery
+                # would wrongly quarantine). Nothing durable is lost by
+                # starting this id over on a fresh journal.
+                path.unlink()
+                state = None
             if state is not None and state.complete:
                 # Crash landed between the completion record and the
                 # rotation: finish the rotation so this id restarts on
@@ -704,6 +730,11 @@ class ProtocolServer:
             journal = self.journal_dir.open_session(
                 "sender", protocol, session_id
             )
+            if self.chunk_size is not None:
+                # The meta record recovery checks against; the session
+                # cannot write it itself (it only does so when it opens
+                # the journal, and here the journal arrives pre-opened).
+                journal.record_meta("chunk_size", self.chunk_size)
         return SenderSession(
             protocol,
             offer.params,

@@ -79,14 +79,17 @@ __all__ = [
     "SessionError",
     "HandshakeError",
     "ServerBusyError",
+    "WorkerLost",
     "SessionAborted",
     "RetryPolicy",
+    "ClientRetryPolicy",
     "SessionConfig",
     "SessionStats",
     "SessionEndpoint",
     "SenderSession",
     "ReceiverSession",
     "busy_backoff_s",
+    "refusal_retry_hint_s",
     "seal",
     "unseal",
 ]
@@ -112,6 +115,23 @@ class ServerBusyError(HandshakeError):
     rejected client fails fast instead of hanging in reconnect loops.
     ``retry_after_s`` carries the server's optional retry hint (the
     busy frame's fourth field), ``None`` when the server sent none.
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class WorkerLost(SessionError):
+    """The server lost the worker that owned this session mid-run.
+
+    Raised client-side on receipt of a typed ``worker-lost`` frame -
+    the sharded front end's translation of a worker crash (the busy
+    wire shape under a different tag). Unlike :class:`HandshakeError`
+    it is *retryable*: the supervisor respawns the worker against the
+    same journal directory, so a reconnect resumes the session where
+    it stopped. ``retry_after_s`` carries the front end's respawn
+    hint, ``None`` when the frame had none.
     """
 
     def __init__(self, message: str, retry_after_s: float | None = None):
@@ -193,6 +213,24 @@ def busy_backoff_s(
     return base * (1.0 + jitter * rng.random())
 
 
+def refusal_retry_hint_s(fields: tuple) -> float | None:
+    """The retry hint of a busy-shaped refusal frame, in seconds.
+
+    Busy and worker-lost frames optionally carry the server's hint as
+    a fourth field in integer milliseconds (the wire format has no
+    floats). Returns ``None`` for a three-field frame or a malformed
+    hint, mirroring how old clients simply ignore the extra field.
+    """
+    hint_ms = fields[3] if len(fields) == 4 else None
+    if (
+        isinstance(hint_ms, int)
+        and not isinstance(hint_ms, bool)
+        and hint_ms >= 0
+    ):
+        return hint_ms / 1000.0
+    return None
+
+
 @dataclass(frozen=True)
 class SessionConfig:
     """Deadlines and retry limits for one session."""
@@ -201,6 +239,148 @@ class SessionConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     max_reconnects: int = 8
     fin_grace_s: float = 0.25
+
+
+@dataclass(frozen=True)
+class ClientRetryPolicy:
+    """One client-side answer to every typed refusal a server can send.
+
+    Where :class:`RetryPolicy` paces *frame* retransmits inside a live
+    connection, this policy governs the whole client run: how many
+    times to redial, how long each attempt may block, the total wall
+    budget across attempts, and which typed failures are worth
+    retrying at all. It subsumes the older ad-hoc ``retry_busy``
+    counter: a busy refusal and a ``worker-lost`` notice both become
+    "sleep (honoring the server's hint), then redial", bounded by the
+    same attempt and deadline budgets.
+
+    Attributes:
+        max_attempts: total dial attempts (also the derived session
+            config's ``max_reconnects``); the first attempt counts.
+        attempt_timeout_s: per-attempt frame deadline (the derived
+            session config's ``timeout_s``).
+        total_deadline_s: wall budget across all attempts and backoff
+            sleeps; ``None`` means unbounded.
+        base_delay_s / multiplier / max_delay_s / jitter: the jittered
+            exponential backoff between attempts.
+        retry_busy: whether a typed busy refusal is retried.
+        retry_worker_lost: whether a typed worker-lost notice is
+            retried (reconnect-and-resume lands on the respawned
+            worker holding the same journal).
+    """
+
+    max_attempts: int = 8
+    attempt_timeout_s: float = 5.0
+    total_deadline_s: float | None = None
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    retry_busy: bool = True
+    retry_worker_lost: bool = True
+
+    #: ``parse`` key → (field name, converter). Module-level constants
+    #: would do, but keeping it on the class documents the spec format
+    #: next to the fields it maps onto.
+    _PARSE_KEYS = {
+        "attempts": ("max_attempts", int),
+        "timeout": ("attempt_timeout_s", float),
+        "deadline": ("total_deadline_s", float),
+        "base": ("base_delay_s", float),
+        "multiplier": ("multiplier", float),
+        "max-delay": ("max_delay_s", float),
+        "jitter": ("jitter", float),
+        "busy": ("retry_busy", None),
+        "worker-lost": ("retry_worker_lost", None),
+    }
+
+    @classmethod
+    def parse(cls, spec: str) -> "ClientRetryPolicy":
+        """Build a policy from a ``key=value,key=value`` CLI spec.
+
+        Keys: ``attempts``, ``timeout``, ``deadline``, ``base``,
+        ``multiplier``, ``max-delay``, ``jitter`` (numbers) and
+        ``busy``, ``worker-lost`` (``yes``/``no``). Unknown keys and
+        unparsable values raise ``ValueError``.
+        """
+        kwargs: dict[str, Any] = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"retry-policy item {part!r} is not key=value")
+            try:
+                field_name, conv = cls._PARSE_KEYS[key]
+            except KeyError:
+                raise ValueError(
+                    f"unknown retry-policy key {key!r} "
+                    f"(expected one of {sorted(cls._PARSE_KEYS)})"
+                ) from None
+            if conv is None:
+                lowered = value.strip().lower()
+                if lowered not in ("yes", "no", "true", "false", "1", "0"):
+                    raise ValueError(
+                        f"retry-policy {key}= wants yes/no, got {value!r}"
+                    )
+                kwargs[field_name] = lowered in ("yes", "true", "1")
+            else:
+                try:
+                    kwargs[field_name] = conv(value)
+                except ValueError:
+                    raise ValueError(
+                        f"retry-policy {key}= wants a number, got {value!r}"
+                    ) from None
+        return cls(**kwargs)
+
+    def retryable(self, exc: BaseException) -> bool:
+        """Whether this typed failure is worth another attempt."""
+        if isinstance(exc, ServerBusyError):
+            return self.retry_busy
+        if isinstance(exc, WorkerLost):
+            return self.retry_worker_lost
+        return False
+
+    def backoff_s(
+        self,
+        attempt: int,
+        rng: random.Random,
+        hint_s: float | None = None,
+    ) -> float:
+        """Sleep before retry ``attempt`` (0-based), honoring hints.
+
+        With a server hint the sleep never lands *before* the hint
+        (that would redial inside the very window the server declared
+        itself unavailable for) and jitter stretches it upward to
+        de-synchronize a refused herd. Without one it is the ordinary
+        jittered exponential.
+        """
+        raw = min(self.base_delay_s * self.multiplier ** attempt,
+                  self.max_delay_s)
+        if hint_s is not None:
+            return max(raw, hint_s) * (1.0 + self.jitter * rng.random())
+        if self.jitter:
+            raw *= 1.0 - self.jitter * rng.random()
+        return raw
+
+    def session_config(self, **overrides: Any) -> SessionConfig:
+        """The :class:`SessionConfig` this policy implies.
+
+        The per-attempt timeout becomes the frame deadline and
+        ``max_attempts`` bounds the session's reconnect loop, so the
+        in-session reconnect behavior and the out-of-session redial
+        behavior answer to the same knobs.
+        """
+        kwargs: dict[str, Any] = dict(
+            timeout_s=self.attempt_timeout_s,
+            retry=RetryPolicy(
+                base_delay_s=self.base_delay_s,
+                multiplier=self.multiplier,
+                max_delay_s=self.max_delay_s,
+                jitter=self.jitter,
+            ),
+            max_reconnects=self.max_attempts,
+        )
+        kwargs.update(overrides)
+        return SessionConfig(**kwargs)
 
 
 @dataclass
@@ -217,6 +397,7 @@ class SessionStats:
     malformed_frames: int = 0
     naks_sent: int = 0
     reconnects: int = 0
+    worker_lost: int = 0
     replayed_frames: int = 0
     chunks_sent: int = 0
     chunks_received: int = 0
@@ -252,6 +433,7 @@ class SessionStats:
             "malformed_frames": self.malformed_frames,
             "naks_sent": self.naks_sent,
             "reconnects": self.reconnects,
+            "worker_lost": self.worker_lost,
             "replayed_frames": self.replayed_frames,
             "chunks_sent": self.chunks_sent,
             "chunks_received": self.chunks_received,
@@ -303,6 +485,14 @@ class SessionEndpoint:
 
     def _send_control(self, *fields: Any) -> None:
         self.transport.send(seal(*fields))
+
+    def _raise_worker_lost(self, frame: tuple) -> None:
+        """A routed front end lost our worker: fail typed, retryable."""
+        self.stats.worker_lost += 1
+        raise WorkerLost(
+            f"server lost the session's worker: {frame[2]!r}",
+            retry_after_s=refusal_retry_hint_s(frame),
+        )
 
     # ------------------------------------------------------------------
     # Sending
@@ -359,6 +549,8 @@ class SessionEndpoint:
             if tag == "fin":
                 self.fin_seen = True
                 return True  # a finished peer has everything
+            if tag == "worker-lost" and len(frame) in (3, 4):
+                self._raise_worker_lost(frame)
             if tag == "hello" and self.on_hello is not None:
                 self.on_hello()
             continue  # unknown tag: ignore
@@ -398,6 +590,8 @@ class SessionEndpoint:
             if tag == "fin":
                 self.fin_seen = True
                 continue
+            if tag == "worker-lost" and len(frame) in (3, 4):
+                self._raise_worker_lost(frame)
             if tag == "hello" and self.on_hello is not None:
                 self.on_hello()
                 continue
@@ -1028,9 +1222,13 @@ class ReceiverSession(_RoundLog):
                         f"receiver session gave up after {failures} failed "
                         f"connections: {exc}"
                     ) from exc
-                time.sleep(
-                    self.config.retry.delay_s(failures - 1, self.rng)
-                )
+                delay = self.config.retry.delay_s(failures - 1, self.rng)
+                hint = getattr(exc, "retry_after_s", None)
+                if hint is not None:
+                    # A worker-lost notice names its respawn window;
+                    # redialing earlier just burns a reconnect.
+                    delay = max(delay, busy_backoff_s(hint, self.rng))
+                time.sleep(delay)
             finally:
                 if transport is not None:
                     _close_quietly(transport)
@@ -1059,17 +1257,17 @@ class ReceiverSession(_RoundLog):
                     continue
                 if fields[0] == "busy" and len(fields) in (3, 4):
                     # Optional 4th field: retry hint in integer ms.
-                    hint_ms = fields[3] if len(fields) == 4 else None
-                    hint = (
-                        hint_ms / 1000.0
-                        if isinstance(hint_ms, int)
-                        and not isinstance(hint_ms, bool)
-                        and hint_ms >= 0
-                        else None
-                    )
                     raise ServerBusyError(
                         f"server refused the session: {fields[2]!r}",
-                        retry_after_s=hint,
+                        retry_after_s=refusal_retry_hint_s(fields),
+                    )
+                if fields[0] == "worker-lost" and len(fields) in (3, 4):
+                    # The shard front end answered for a dead worker:
+                    # retryable - the supervisor is respawning it.
+                    self.stats.worker_lost += 1
+                    raise WorkerLost(
+                        f"server lost the session's worker: {fields[2]!r}",
+                        retry_after_s=refusal_retry_hint_s(fields),
                     )
                 if fields[0] == "reject" and len(fields) == 3:
                     raise HandshakeError(

@@ -1,4 +1,4 @@
-"""Session-sharded serving: one routing front end, N worker servers.
+"""Session-sharded serving: one routing front end, N supervised workers.
 
 One :class:`~repro.net.server.ProtocolServer` scales to the sessions a
 single process can crypto for; past that the bottleneck is the GIL and
@@ -22,25 +22,49 @@ one process's executor, not the sockets. This module splits the roles:
 Routing by ``session_id % shards`` is what makes *reconnects* work:
 the id in every hello is stable across a client's reconnect attempts,
 so a resumed session always lands on the worker that owns its journal.
-The relay closes both legs when either side drops, which the session
-layer already treats as an ordinary transient - the client redials,
-the front end re-routes, the worker resumes from its round log.
 
-Wire bytes are untouched: a client cannot tell a sharded server from a
-flat one (same hello/welcome/busy/reject frames, same CRC seals), and
-each worker journals exactly what a standalone server would.
+**Self-healing.** Forked workers are supervised: each worker sends
+periodic ``("hb", shard, sessions, ts)`` heartbeat frames up its
+control pipe, and a supervisor thread on the front end sweeps every
+shard - reaping exits via the process table (``Process.is_alive`` is
+a ``waitpid(WNOHANG)``) and treating a missed-heartbeat deadline as a
+hung worker, which it SIGKILLs. A dead worker is respawned against the
+*same* per-shard journal directory after an exponential backoff, so
+every journaled session a crash stranded is recovered by the existing
+``recover_*`` machinery the moment its client reconnects. Respawns are
+capped by a per-shard restart budget; past it the shard is marked
+``failed`` and its hellos get a typed permanent reject while the other
+shards keep serving. The per-shard lifecycle is::
+
+    alive --exit/hang--> dead --budget left--> respawning --> alive
+                           \\--budget spent--> failed
+
+While a shard is down, the front end never lets a client see a raw
+socket reset: an in-flight splice that loses its worker leg - and any
+hello routed at a dead or respawning shard - is answered with a typed
+``worker-lost`` frame (the busy wire shape under its own tag, retry
+hint included) before the client socket is closed cleanly. The session
+layer raises it as :class:`~repro.net.session.WorkerLost` and
+reconnects-and-resumes onto the respawned worker.
+
+Wire bytes are otherwise untouched: a client cannot tell a sharded
+server from a flat one (same hello/welcome/busy/reject frames, same
+CRC seals), and each worker journals exactly what a standalone server
+would.
 
 Process workers are started by **fork** (party factories are closures
 over live data and do not pickle), so ``worker_processes=True`` is
-POSIX-only; construction fails fast elsewhere. Workers are forked
-*before* the front end's event-loop thread starts, keeping the
-children free of inherited locked state.
+POSIX-only; construction fails fast elsewhere. The initial workers are
+forked *before* the front end's event-loop thread starts; respawns
+necessarily fork later, but the child immediately builds its own loop
+and touches none of the parent's threads.
 """
 
 from __future__ import annotations
 
 import asyncio
 import multiprocessing
+import os
 import signal
 import threading
 import time
@@ -50,7 +74,7 @@ from typing import Any, Iterable, Mapping
 from . import serialization
 from .aio import AsyncFrameEndpoint, LoopThread, _TIMEOUTS
 from .server import ProtocolOffer, ProtocolServer
-from .session import SessionConfig, unseal
+from .session import SESSION_VERSION, SessionConfig, seal, unseal
 from .tcp import DEFAULT_MAX_FRAME_BYTES
 
 __all__ = ["ShardedProtocolServer"]
@@ -63,13 +87,39 @@ _MAX_PREHELLO_FRAMES = 32
 #: Relay chunk size for the post-hello byte splice.
 _RELAY_CHUNK = 65536
 
+#: Ceiling on the exponential pause between respawns of one shard.
+_RESPAWN_BACKOFF_CAP_S = 2.0
+
+#: How long a freshly forked worker gets to report its port.
+_SPAWN_TIMEOUT_S = 30.0
+
+def _refusal_frame(
+    tag: str, reason: str, retry_after_s: float | None = None
+) -> tuple:
+    """A typed refusal in the busy wire shape (hint in integer ms)."""
+    fields: list[Any] = [tag, SESSION_VERSION, reason]
+    if retry_after_s is not None:
+        fields.append(max(int(round(retry_after_s * 1000)), 0))
+    return seal(*fields)
+
 
 def _worker_main(
     offers: list[ProtocolOffer],
     kwargs: dict[str, Any],
     conn: Any,
+    shard_index: int,
+    heartbeat_s: float,
 ) -> None:
-    """Child-process entry: serve one shard until told to drain."""
+    """Child-process entry: serve one shard until told to drain.
+
+    Between control messages the worker emits ``("hb", shard,
+    active_sessions, wall_ts)`` every ``heartbeat_s`` seconds; the
+    parent's supervisor treats their absence as a hang. A ``("wedge",
+    seconds)`` message - the chaos/test hook behind the heartbeat-hang
+    axis - stops the control loop (heartbeats included) for that long,
+    exactly what a worker stuck in a pathological syscall looks like
+    from the outside.
+    """
     # A terminal Ctrl-C signals the whole process group; workers must
     # outlive it so the front end's pipe-driven drain (which the
     # parent's own handler triggers) can journal a clean stop.
@@ -77,10 +127,22 @@ def _worker_main(
     server = ProtocolServer(offers, **kwargs).start()
     try:
         conn.send(("port", server.port))
+        last_hb = 0.0  # send the first heartbeat immediately
         while True:
+            now = time.monotonic()
+            if now - last_hb >= heartbeat_s:
+                try:
+                    conn.send(("hb", shard_index,
+                               server.active_sessions(), time.time()))
+                except (BrokenPipeError, OSError):
+                    pass
+                last_hb = now
+            wait = max(heartbeat_s - (time.monotonic() - last_hb), 0.01)
             try:
+                if not conn.poll(wait):
+                    continue
                 message = conn.recv()
-            except EOFError:
+            except (EOFError, OSError):
                 # Parent died: drain nothing, just stop cleanly so the
                 # journals are consistent.
                 server.shutdown(drain_timeout_s=0)
@@ -92,12 +154,19 @@ def _worker_main(
                 except (BrokenPipeError, OSError):
                     pass
                 return
+            if message[0] == "wedge":
+                time.sleep(message[1])
     finally:
         conn.close()
 
 
 class _Shard:
-    """Front-end handle on one worker, in-process or forked."""
+    """Front-end handle on one worker, in-process or forked.
+
+    ``state`` walks alive -> dead -> respawning -> alive (or ``failed``
+    once the restart budget is spent); in-process shards stay
+    ``alive`` - there is no separate process to lose.
+    """
 
     def __init__(self, index: int):
         self.index = index
@@ -106,10 +175,15 @@ class _Shard:
         self.process: Any = None  # process mode
         self.conn: Any = None
         self.results: list[dict[str, Any]] = []
+        self.state = "alive"
+        self.restarts = 0
+        self.active_sessions = 0
+        self.last_heartbeat = time.monotonic()
+        self.respawn_at = 0.0
 
 
 class ShardedProtocolServer:
-    """N worker servers behind one hello-routing public port.
+    """N supervised worker servers behind one hello-routing public port.
 
     Accepts every :class:`ProtocolServer` keyword argument and forwards
     them to each worker unchanged, except ``journal_dir``, which is
@@ -125,6 +199,17 @@ class ShardedProtocolServer:
         worker_processes: fork each worker into its own process (true
             parallel crypto; POSIX only) instead of running them all
             in this process behind distinct ports.
+        journal_fsync: fsync policy for the per-shard journal dirs
+            (pass ``False`` for throughput benches where crash
+            durability across power loss is not the point).
+        restart_budget: respawns allowed per shard before it is marked
+            ``failed`` (0 = never respawn).
+        heartbeat_s: worker heartbeat period on the control pipe.
+        heartbeat_timeout_s: missed-heartbeat deadline after which a
+            live-but-silent worker is declared hung and killed
+            (default ``4 * heartbeat_s``).
+        respawn_backoff_s: base of the exponential pause before each
+            respawn (doubled per restart, capped at 2 s).
     """
 
     def __init__(
@@ -136,8 +221,13 @@ class ShardedProtocolServer:
         worker_processes: bool = False,
         config: SessionConfig | None = None,
         journal_dir: Any = None,
+        journal_fsync: bool = True,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         backlog: int = 128,
+        restart_budget: int = 3,
+        heartbeat_s: float = 1.0,
+        heartbeat_timeout_s: float | None = None,
+        respawn_backoff_s: float = 0.1,
         **worker_kwargs: Any,
     ):
         if shards < 1:
@@ -161,15 +251,33 @@ class ShardedProtocolServer:
         self.worker_processes = worker_processes
         self.config = config or SessionConfig()
         self.journal_dir = journal_dir
+        self.journal_fsync = journal_fsync
         self.max_frame_bytes = max_frame_bytes
         self.backlog = backlog
+        self.restart_budget = restart_budget
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout_s = (
+            heartbeat_timeout_s
+            if heartbeat_timeout_s is not None
+            else heartbeat_s * 4
+        )
+        self.respawn_backoff_s = respawn_backoff_s
         self.worker_kwargs = worker_kwargs
         self.routed = 0
         self.refused_unroutable = 0
+        self.refused_failed = 0
+        self.worker_lost_notices = 0
+        self.worker_deaths = 0
+        self.hung_workers = 0
+        self.respawns = 0
+        self.drain_report: list[dict[str, Any]] = []
+        self._poll_s = min(max(heartbeat_s / 4, 0.01), 0.1)
         self._shards: list[_Shard] = []
         self._loop_thread: LoopThread | None = None
         self._aserver: asyncio.AbstractServer | None = None
         self._bound_port: int | None = None
+        self._supervisor: threading.Thread | None = None
+        self._stop_supervisor = threading.Event()
         self._draining = threading.Event()
         self._closed = threading.Event()
         self._shutdown_lock = threading.Lock()
@@ -194,11 +302,48 @@ class ShardedProtocolServer:
             **self.worker_kwargs,
         )
         if self.journal_dir is not None:
-            kwargs["journal_dir"] = Path(self.journal_dir) / f"shard-{index}"
+            from .journal import JournalDir
+
+            kwargs["journal_dir"] = JournalDir(
+                Path(self.journal_dir) / f"shard-{index}",
+                fsync=self.journal_fsync,
+            )
         return kwargs
 
+    def _spawn_worker(self, shard: _Shard) -> None:
+        """Fork one worker for ``shard`` and wait for its port.
+
+        Used both at :meth:`start` and on every respawn - crucially
+        with the *same* ``_worker_config`` (same ``shard-<i>`` journal
+        dir), which is what lets a respawned worker recover every
+        session its predecessor journaled.
+        """
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        shard.process = ctx.Process(
+            target=_worker_main,
+            args=(self.offers, self._worker_config(shard.index), child_conn,
+                  shard.index, self.heartbeat_s),
+            daemon=True,
+            name=f"repro-shard-{shard.index}",
+        )
+        shard.process.start()
+        child_conn.close()
+        shard.conn = parent_conn
+        if not parent_conn.poll(_SPAWN_TIMEOUT_S):
+            raise RuntimeError(f"shard {shard.index} failed to start")
+        tag, value = parent_conn.recv()
+        if tag != "port":
+            raise RuntimeError(
+                f"shard {shard.index} failed to start: {value!r}"
+            )
+        shard.port = value
+        shard.state = "alive"
+        shard.active_sessions = 0
+        shard.last_heartbeat = time.monotonic()
+
     def start(self) -> "ShardedProtocolServer":
-        """Start every worker, then the routing front end.
+        """Start every worker, the routing front end, the supervisor.
 
         Worker processes are forked *before* the front end's event-loop
         thread exists, so children never inherit a half-locked loop.
@@ -208,25 +353,7 @@ class ShardedProtocolServer:
         for index in range(self.shards):
             shard = _Shard(index)
             if self.worker_processes:
-                ctx = multiprocessing.get_context("fork")
-                parent_conn, child_conn = ctx.Pipe()
-                shard.process = ctx.Process(
-                    target=_worker_main,
-                    args=(self.offers, self._worker_config(index), child_conn),
-                    daemon=True,
-                    name=f"repro-shard-{index}",
-                )
-                shard.process.start()
-                child_conn.close()
-                shard.conn = parent_conn
-                if not parent_conn.poll(30):
-                    raise RuntimeError(f"shard {index} failed to start")
-                tag, value = parent_conn.recv()
-                if tag != "port":
-                    raise RuntimeError(
-                        f"shard {index} failed to start: {value!r}"
-                    )
-                shard.port = value
+                self._spawn_worker(shard)
             else:
                 shard.server = ProtocolServer(
                     self.offers, **self._worker_config(index)
@@ -235,6 +362,13 @@ class ShardedProtocolServer:
             self._shards.append(shard)
         self._loop_thread = LoopThread(name="repro-shard-front").start()
         self._loop_thread.run(self._start_async(), timeout=30)
+        if self.worker_processes:
+            self._supervisor = threading.Thread(
+                target=self._supervise_loop,
+                name="repro-shard-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
         return self
 
     async def _start_async(self) -> None:
@@ -282,51 +416,281 @@ class ShardedProtocolServer:
         for sig in signals:
             signal.signal(sig, _handler)
 
+    # ------------------------------------------------------------------
+    # Supervision (worker-process mode)
+    # ------------------------------------------------------------------
+    def _supervise_loop(self) -> None:
+        """Sweep every shard until shutdown stops us."""
+        while not self._stop_supervisor.wait(self._poll_s):
+            now = time.monotonic()
+            for shard in self._shards:
+                try:
+                    self._check_shard(shard, now)
+                except Exception:
+                    # A supervision hiccup on one shard must not stop
+                    # the sweep for the others.
+                    pass
+
+    def _check_shard(self, shard: _Shard, now: float) -> None:
+        if shard.process is None or shard.state == "failed":
+            return
+        self._absorb_heartbeats(shard, now)
+        if shard.state == "respawning":
+            if now >= shard.respawn_at:
+                self._respawn(shard)
+            return
+        # is_alive() reaps an exited child via waitpid(WNOHANG).
+        exited = not shard.process.is_alive()
+        hung = (
+            not exited
+            and now - shard.last_heartbeat > self.heartbeat_timeout_s
+        )
+        if not exited and not hung:
+            return
+        if hung:
+            # Alive but silent past the deadline: a wedged worker is
+            # indistinguishable from a dead one to its sessions, so
+            # make it actually dead and take the respawn path.
+            self.hung_workers += 1
+            try:
+                shard.process.kill()
+            except (OSError, AttributeError):
+                pass
+            shard.process.join(timeout=5)
+        self.worker_deaths += 1
+        if shard.conn is not None:
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            shard.conn = None
+        shard.port = None  # stop routing at the corpse immediately
+        shard.active_sessions = 0
+        shard.state = "dead"
+        self._schedule_respawn_or_fail(shard, now)
+
+    def _absorb_heartbeats(self, shard: _Shard, now: float) -> None:
+        try:
+            while shard.conn is not None and shard.conn.poll(0):
+                message = shard.conn.recv()
+                if message[0] == "hb":
+                    shard.last_heartbeat = now
+                    shard.active_sessions = message[2]
+        except (EOFError, OSError):
+            pass  # the exit/hang checks below classify this
+
+    def _schedule_respawn_or_fail(self, shard: _Shard, now: float) -> None:
+        if shard.restarts >= self.restart_budget:
+            shard.state = "failed"
+            return
+        delay = min(
+            self.respawn_backoff_s * (2.0 ** shard.restarts),
+            _RESPAWN_BACKOFF_CAP_S,
+        )
+        shard.state = "respawning"
+        shard.respawn_at = now + delay
+
+    def _respawn(self, shard: _Shard) -> None:
+        shard.restarts += 1
+        self.respawns += 1
+        try:
+            self._spawn_worker(shard)
+        except Exception:
+            # The fork or the port handshake failed: count it against
+            # the budget and back off further.
+            shard.state = "dead"
+            self._schedule_respawn_or_fail(shard, time.monotonic())
+
+    def _retry_hint_s(self, shard: _Shard) -> float:
+        """What to tell a refused client about when to redial."""
+        if shard.state == "respawning":
+            remaining = max(shard.respawn_at - time.monotonic(), 0.0)
+            return remaining + self._poll_s
+        return self.respawn_backoff_s + self._poll_s
+
+    # ------------------------------------------------------------------
+    # Chaos / test hooks
+    # ------------------------------------------------------------------
+    def kill_worker(
+        self, index: int, sig: int = signal.SIGKILL
+    ) -> int | None:
+        """Chaos hook: signal shard ``index``'s live worker process.
+
+        Returns the pid signalled, or ``None`` when there was no live
+        worker to kill (in-process shard, already dead, or failed).
+        """
+        shard = self._shards[index % self.shards]
+        process = shard.process
+        if process is None or process.pid is None or not process.is_alive():
+            return None
+        try:
+            os.kill(process.pid, sig)
+        except (ProcessLookupError, OSError):
+            return None
+        return process.pid
+
+    def wedge_worker(self, index: int, wedge_s: float) -> bool:
+        """Chaos hook: stop shard ``index``'s control loop for a while.
+
+        The worker keeps serving its sessions but stops heartbeating -
+        the observable signature of a hung process - so the supervisor
+        kills and respawns it once the deadline passes.
+        """
+        shard = self._shards[index % self.shards]
+        if shard.conn is None or shard.state != "alive":
+            return False
+        try:
+            shard.conn.send(("wedge", float(wedge_s)))
+        except (BrokenPipeError, OSError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def health(self) -> list[dict[str, Any]]:
+        """One snapshot row per shard: pid, state, restarts, sessions.
+
+        For forked workers ``active_sessions`` and ``heartbeat_age_s``
+        reflect the most recent heartbeat; in-process shards are read
+        directly and are always ``alive``.
+        """
+        now = time.monotonic()
+        rows = []
+        for shard in self._shards:
+            if shard.server is not None:
+                active = shard.server.active_sessions()
+                rows.append({
+                    "shard": shard.index,
+                    "state": "alive",
+                    "pid": os.getpid(),
+                    "port": shard.port,
+                    "restarts": 0,
+                    "active_sessions": active,
+                    "heartbeat_age_s": 0.0,
+                })
+            else:
+                rows.append({
+                    "shard": shard.index,
+                    "state": shard.state,
+                    "pid": (
+                        shard.process.pid
+                        if shard.process is not None
+                        else None
+                    ),
+                    "port": shard.port,
+                    "restarts": shard.restarts,
+                    "active_sessions": shard.active_sessions,
+                    "heartbeat_age_s": round(now - shard.last_heartbeat, 3),
+                })
+        return rows
+
+    # ------------------------------------------------------------------
+    # Shutdown / drain
+    # ------------------------------------------------------------------
     def shutdown(self, drain_timeout_s: float | None = 5.0) -> None:
         """Stop accepting, drain every worker, then stop the relay.
 
         The front end closes its listener first but leaves live relays
         running, so in-flight sessions keep talking to their workers
-        for the whole drain window. Idempotent.
+        for the whole drain window. Dead, failed, and respawning shards
+        are reaped without waiting on their control pipes, and every
+        shard's outcome lands in :attr:`drain_report`. Idempotent.
         """
         self._draining.set()
         with self._shutdown_lock:
             if self._shutdown_done:
                 return
+            # Stop the supervisor first: the drain owns the control
+            # pipes from here on, and a respawn racing the drain would
+            # resurrect a worker we are trying to stop.
+            self._stop_supervisor.set()
+            if self._supervisor is not None:
+                self._supervisor.join(timeout=10)
             if self._loop_thread is not None and self._aserver is not None:
                 try:
                     self._loop_thread.run(self._close_listener(), timeout=10)
                 except Exception:
                     pass
             drain = drain_timeout_s if drain_timeout_s is not None else 0
+            report: list[dict[str, Any]] = []
+            pending: list[_Shard] = []
             for shard in self._shards:
                 if shard.server is not None:
                     shard.server.shutdown(drain_timeout_s=drain_timeout_s)
                     shard.results = shard.server.results()
-                elif shard.conn is not None:
+                    report.append({
+                        "shard": shard.index, "state": "drained",
+                        "restarts": shard.restarts,
+                        "sessions": len(shard.results),
+                    })
+                    continue
+                if shard.process is None:
+                    continue
+                if (
+                    shard.state == "alive"
+                    and shard.conn is not None
+                    and shard.process.is_alive()
+                ):
                     try:
                         shard.conn.send(("shutdown", drain))
+                        pending.append(shard)
+                        continue
                     except (BrokenPipeError, OSError):
-                        pass
+                        pass  # died under us: report below
+                report.append({
+                    "shard": shard.index,
+                    "state": shard.state if shard.state != "alive" else "dead",
+                    "restarts": shard.restarts,
+                    "sessions": len(shard.results),
+                })
+            for shard in pending:
+                report.append(self._drain_worker(shard, drain))
+            # waitpid sweep: every forked child, including long-dead
+            # ones, is joined with a bounded timeout and escalated.
             for shard in self._shards:
                 if shard.process is None:
                     continue
-                try:
-                    if shard.conn.poll(drain + self.config.timeout_s * 2):
-                        tag, value = shard.conn.recv()
-                        if tag == "results":
-                            shard.results = value
-                except (EOFError, OSError):
-                    pass
                 shard.process.join(timeout=self.config.timeout_s * 2)
                 if shard.process.is_alive():
                     shard.process.terminate()
                     shard.process.join(timeout=5)
-                shard.conn.close()
+                if shard.process.is_alive():
+                    shard.process.kill()
+                    shard.process.join(timeout=5)
+                if shard.conn is not None:
+                    shard.conn.close()
+                    shard.conn = None
+            self.drain_report = sorted(report, key=lambda r: r["shard"])
             if self._loop_thread is not None:
                 self._loop_thread.stop()
             self._closed.set()
             self._shutdown_done = True
+
+    def _drain_worker(self, shard: _Shard, drain: float) -> dict[str, Any]:
+        """Wait (bounded) for one live worker's drain results."""
+        deadline = time.monotonic() + drain + self.config.timeout_s * 2
+        state = "drain-timeout"
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                if not shard.conn.poll(remaining):
+                    break
+                message = shard.conn.recv()
+            except (EOFError, OSError):
+                state = "dead"  # worker died mid-drain
+                break
+            if message[0] == "results":
+                shard.results = message[1]
+                state = "drained"
+                break
+            # Late heartbeats racing the drain: absorb, keep waiting.
+        return {
+            "shard": shard.index, "state": state,
+            "restarts": shard.restarts, "sessions": len(shard.results),
+        }
 
     async def _close_listener(self) -> None:
         self._aserver.close()
@@ -340,7 +704,9 @@ class ShardedProtocolServer:
         """Session summaries from every shard, tagged with ``"shard"``.
 
         Live (pre-shutdown) results are only visible for in-process
-        workers; forked workers report theirs at drain time.
+        workers; forked workers report theirs at drain time. Sessions
+        a killed worker never got to report are absent - their ground
+        truth lives in the shard's journal directory.
         """
         merged: list[dict[str, Any]] = []
         for shard in self._shards:
@@ -356,6 +722,19 @@ class ShardedProtocolServer:
     # ------------------------------------------------------------------
     # Routing (event-loop side)
     # ------------------------------------------------------------------
+    async def _notify(
+        self,
+        endpoint: AsyncFrameEndpoint,
+        tag: str,
+        reason: str,
+        retry_after_s: float | None = None,
+    ) -> None:
+        """Best-effort typed refusal frame on the client leg."""
+        try:
+            await endpoint.send(_refusal_frame(tag, reason, retry_after_s))
+        except (ConnectionError, OSError, ValueError, *_TIMEOUTS):
+            pass
+
     async def _route_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -368,20 +747,56 @@ class ShardedProtocolServer:
             routed = await self._read_routable_hello(endpoint)
             if routed is None:
                 self.refused_unroutable += 1
-                await endpoint.close()
                 return
             buffered, session_id = routed
             shard = self._shards[session_id % self.shards]
-            up_reader, up_writer = await asyncio.open_connection(
-                "127.0.0.1", shard.port
-            )
-            upstream = AsyncFrameEndpoint(
-                up_reader, up_writer, max_frame_bytes=self.max_frame_bytes
-            )
-            for raw in buffered:
-                await upstream.send_bytes(raw)
-            self.routed += 1
-            await self._splice(reader, writer, up_reader, up_writer)
+            if shard.state == "failed":
+                self.refused_failed += 1
+                await self._notify(
+                    endpoint, "reject",
+                    f"shard {shard.index} is failed "
+                    "(worker restart budget exhausted)",
+                )
+                return
+            port = shard.port
+            if shard.state != "alive" or port is None:
+                self.worker_lost_notices += 1
+                await self._notify(
+                    endpoint, "worker-lost",
+                    f"shard {shard.index} worker is respawning",
+                    retry_after_s=self._retry_hint_s(shard),
+                )
+                return
+            culprit = "worker"
+            try:
+                up_reader, up_writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                upstream = AsyncFrameEndpoint(
+                    up_reader, up_writer, max_frame_bytes=self.max_frame_bytes
+                )
+                for raw in buffered:
+                    await upstream.send_bytes(raw)
+                self.routed += 1
+                culprit = await self._splice(
+                    reader, writer, up_reader, up_writer
+                )
+            except (ConnectionError, OSError, *_TIMEOUTS):
+                # Everything in the try block beyond the splice talks
+                # only to the worker leg; the splice classifies its own
+                # failures. Either way this is a worker-path loss.
+                pass
+            if culprit == "worker":
+                # Satellite-fix contract: a worker-side reset is never
+                # propagated raw - the client gets a typed, retryable
+                # notice and then a clean close.
+                self.worker_lost_notices += 1
+                await self._notify(
+                    endpoint, "worker-lost",
+                    f"shard {shard.index} worker connection was lost "
+                    "mid-session",
+                    retry_after_s=self._retry_hint_s(shard),
+                )
         except (ConnectionError, OSError, *_TIMEOUTS):
             pass
         except asyncio.CancelledError:
@@ -436,31 +851,53 @@ class ShardedProtocolServer:
         down_writer: asyncio.StreamWriter,
         up_reader: asyncio.StreamReader,
         up_writer: asyncio.StreamWriter,
-    ) -> None:
-        """Dumb byte relay, both directions, until either side drops."""
+    ) -> str:
+        """Dumb byte relay, both directions, until either side drops.
+
+        Returns which side dropped first - ``"client"`` or
+        ``"worker"`` - so the caller can translate a lost worker into
+        a typed notice instead of a raw reset.
+        """
 
         async def _pipe(
-            src: asyncio.StreamReader, dst: asyncio.StreamWriter
-        ) -> None:
+            src: asyncio.StreamReader,
+            dst: asyncio.StreamWriter,
+            src_side: str,
+            dst_side: str,
+        ) -> str:
             while True:
-                chunk = await src.read(_RELAY_CHUNK)
+                try:
+                    chunk = await src.read(_RELAY_CHUNK)
+                except (ConnectionError, OSError):
+                    return src_side
                 if not chunk:
-                    return
-                dst.write(chunk)
-                await dst.drain()
+                    return src_side
+                try:
+                    dst.write(chunk)
+                    await dst.drain()
+                except (ConnectionError, OSError):
+                    return dst_side
 
         tasks = {
-            asyncio.ensure_future(_pipe(down_reader, up_writer)),
-            asyncio.ensure_future(_pipe(up_reader, down_writer)),
+            asyncio.ensure_future(
+                _pipe(down_reader, up_writer, "client", "worker")
+            ),
+            asyncio.ensure_future(
+                _pipe(up_reader, down_writer, "worker", "client")
+            ),
         }
+        culprit = "client"
         try:
-            _done, pending = await asyncio.wait(
+            done, _pending = await asyncio.wait(
                 tasks, return_when=asyncio.FIRST_COMPLETED
             )
+            for task in done:
+                if task.result() == "worker":
+                    culprit = "worker"
         finally:
             # One side dropped (or we were cancelled): tear down both
-            # legs; the session layer treats it as an ordinary
-            # transient and the client redials through the router.
+            # legs; the caller notifies the client if the worker leg
+            # was the one that died.
             for task in tasks:
                 task.cancel()
             for task in tasks:
@@ -468,3 +905,4 @@ class ShardedProtocolServer:
                     await task
                 except (asyncio.CancelledError, ConnectionError, OSError):
                     pass
+        return culprit

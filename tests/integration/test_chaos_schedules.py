@@ -145,3 +145,46 @@ def test_generated_schedules_are_pure_functions_of_the_seed():
     for seed in (0, 1, 99, 4096):
         assert ChaosSchedule.generate(seed) == ChaosSchedule.generate(seed)
     assert ChaosSchedule.generate(1) != ChaosSchedule.generate(2)
+
+
+# ----------------------------------------------------------------------
+# Worker-crash axis: schedules are pure, seeded, and override-stable
+# ----------------------------------------------------------------------
+def test_worker_crash_schedules_are_pure_functions_of_the_seed():
+    from repro.net.chaos import WorkerCrashSchedule
+
+    for seed in (0, 1, 99, 4096):
+        assert (
+            WorkerCrashSchedule.generate(seed)
+            == WorkerCrashSchedule.generate(seed)
+        )
+    assert WorkerCrashSchedule.generate(1) != WorkerCrashSchedule.generate(2)
+
+
+def test_worker_crash_schedule_overrides_keep_the_draws():
+    """Overriding sessions/shards must not shift any random draw - the
+    same seed keeps the same kill/hang times, with shard indices
+    re-folded into the overridden shard count."""
+    from repro.net.chaos import WorkerCrashSchedule
+
+    for seed in (3, 17, 2024):
+        base = WorkerCrashSchedule.generate(seed)
+        overridden = WorkerCrashSchedule.generate(seed, sessions=8, shards=2)
+        assert overridden.sessions == 8 and overridden.shards == 2
+        assert [d for d, _ in overridden.kills] == [d for d, _ in base.kills]
+        assert [(d, w) for d, _, w in overridden.hangs] == [
+            (d, w) for d, _, w in base.hangs
+        ]
+        assert all(s < 2 for _, s in overridden.kills)
+
+
+def test_worker_crash_schedule_describes_every_event():
+    from repro.net.chaos import WorkerCrashSchedule
+
+    schedule = WorkerCrashSchedule(
+        seed=5, kills=((0.1, 0), (0.3, 1)), hangs=((0.2, 1, 0.5),)
+    )
+    text = schedule.describe()
+    assert "seed 5" in text
+    assert text.count("kill(") == 2
+    assert text.count("hang(") == 1

@@ -127,3 +127,76 @@ class TestConnectRetryBusy:
             holder.close()
         assert sorted(connected.answer) == ["b", "c"]
         assert connected.busy_retries >= 1
+
+
+class TestConnectUnifiedRetry:
+    """``repro.connect(retry=...)``: the unified policy surface."""
+
+    def test_retry_and_retry_busy_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            repro.connect(
+                "intersection", ["a"], port=1,
+                retry="attempts=2", retry_busy=3,
+            )
+
+    def test_policy_spec_string_connects_and_counts_attempts(self, params):
+        server = ProtocolServer(
+            {"intersection": (["b", "c", "x"], params)},
+            config=_config(),
+        )
+        with server:
+            connected = repro.connect(
+                "intersection", ["a", "b", "c"], seed=5, port=server.port,
+                resumable=True, retry="attempts=4,timeout=5,base=0.02",
+            )
+        assert sorted(connected.answer) == ["b", "c"]
+        assert connected.retries == 0  # first attempt landed
+        assert connected.busy_retries == 0
+
+    def test_policy_waits_out_busy_and_lands(self, params):
+        """Same shape as the legacy retry_busy test, driven by the
+        unified policy: the full 1-slot server refuses with a hint and
+        the policy redials until the reaper frees the slot."""
+        from repro.net.session import ClientRetryPolicy
+
+        server = ProtocolServer(
+            {"intersection": (["b", "c", "x"], params)},
+            config=_config(),
+            max_sessions=1,
+            busy_retry_hint_s=0.05,
+            idle_timeout_s=0.4,
+        )
+        with server:
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            )
+            holder = tcp.SocketEndpoint(sock=sock)
+            holder.send(
+                seal("hello", SESSION_VERSION, "intersection", 77, 0, 0)
+            )
+            connected = repro.connect(
+                "intersection", ["a", "b", "c"], seed=5, port=server.port,
+                resumable=True, config=_config(),
+                retry=ClientRetryPolicy(
+                    max_attempts=40, base_delay_s=0.02, max_delay_s=0.2
+                ),
+            )
+            holder.close()
+        assert sorted(connected.answer) == ["b", "c"]
+        assert connected.busy_retries >= 1
+        assert connected.retries >= 1
+
+    def test_policy_with_busy_off_fails_fast(self, params):
+        from repro.net.session import ServerBusyError
+
+        server = ProtocolServer(
+            {"intersection": (["b", "c", "x"], params)},
+            config=_config(),
+        )
+        with server:
+            server._draining.set()
+            with pytest.raises(ServerBusyError):
+                repro.connect(
+                    "intersection", ["a", "b"], seed=5, port=server.port,
+                    resumable=True, retry="busy=no,timeout=2",
+                )

@@ -520,3 +520,53 @@ def test_rejects_unknown_protocol_and_bad_version(params):
     finally:
         server.shutdown(drain_timeout_s=1.0)
     assert server.results() == []  # rejects never became sessions
+
+
+def test_metadata_only_stub_journal_restarts_fresh(tmp_path, params):
+    """A worker killed between journal creation and the ``chunk_size``
+    meta append leaves a metadata-only stub (open + session_id, no
+    rounds). Recovery must treat that id as fresh - nothing durable
+    exists to replay - not quarantine the stub for a chunk_size
+    mismatch and reject the client that reconnects to resume."""
+    protocol = "intersection"
+    sid = 0x51AB
+    jdir = JournalDir(tmp_path, fsync=False)
+    jdir.open_session("sender", protocol, sid).close()  # the stub
+
+    v_r, v_s = _values()
+    offer = ProtocolOffer(
+        protocol=protocol,
+        params=params,
+        make_sender=lambda: PROTOCOLS[protocol].make_sender(
+            v_s, params, random.Random("S")
+        ),
+    )
+    server = ProtocolServer(
+        [offer], max_sessions=2, config=_config(),
+        journal_dir=jdir, chunk_size=1,
+    ).start()
+    try:
+        session = ReceiverSession(
+            protocol,
+            lambda wire: PROTOCOLS[protocol].make_receiver(
+                v_r, PublicParams.from_wire(tuple(wire)), random.Random("R")
+            ),
+            config=_config(),
+            rng=random.Random(1),
+            session_id=sid,
+            chunk_size=1,
+        )
+        answer = session.run(
+            lambda: tcp._dial("127.0.0.1", server.port, 2.0)
+        )
+    finally:
+        server.shutdown(drain_timeout_s=2.0)
+    half = N // 2
+    assert sorted(answer) == sorted(f"c{i}" for i in range(half))
+    (record,) = server.results()
+    assert record["status"] == "done"
+    assert record["session_id"] == sid
+    # The stub was discarded, not quarantined; the finished session's
+    # journal rotated normally.
+    assert list(tmp_path.glob("*.corrupt")) == []
+    assert jdir.incomplete("sender", protocol) == []

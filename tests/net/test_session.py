@@ -11,13 +11,17 @@ import pytest
 from repro.net.serialization import encode
 from repro.net.session import (
     SESSION_VERSION,
+    ClientRetryPolicy,
     HandshakeError,
     RetryPolicy,
     SenderSession,
+    ServerBusyError,
     SessionConfig,
     SessionEndpoint,
     SessionError,
     SessionStats,
+    WorkerLost,
+    refusal_retry_hint_s,
     seal,
     unseal,
 )
@@ -352,3 +356,135 @@ class TestResumableEndToEnd:
             connect_resumable_receiver(
                 "set-union", ["a"], random.Random(0), "127.0.0.1", 1
             )
+
+
+# ----------------------------------------------------------------------
+# The unified client retry policy and the typed worker-lost refusal
+# ----------------------------------------------------------------------
+class TestClientRetryPolicy:
+    def test_parse_full_spec(self):
+        policy = ClientRetryPolicy.parse(
+            "attempts=4,timeout=1.5,deadline=30,base=0.1,multiplier=3,"
+            "max-delay=1,jitter=0.25,busy=no,worker-lost=yes"
+        )
+        assert policy.max_attempts == 4
+        assert policy.attempt_timeout_s == 1.5
+        assert policy.total_deadline_s == 30.0
+        assert policy.base_delay_s == 0.1
+        assert policy.multiplier == 3.0
+        assert policy.max_delay_s == 1.0
+        assert policy.jitter == 0.25
+        assert policy.retry_busy is False
+        assert policy.retry_worker_lost is True
+
+    def test_parse_defaults_and_whitespace(self):
+        assert ClientRetryPolicy.parse("") == ClientRetryPolicy()
+        assert (
+            ClientRetryPolicy.parse(" attempts=2 , busy=TRUE ")
+            == ClientRetryPolicy(max_attempts=2, retry_busy=True)
+        )
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("yes", True), ("no", False), ("true", True), ("false", False),
+        ("1", True), ("0", False),
+    ])
+    def test_parse_bool_spellings(self, raw, expected):
+        policy = ClientRetryPolicy.parse(f"worker-lost={raw}")
+        assert policy.retry_worker_lost is expected
+
+    @pytest.mark.parametrize("spec,match", [
+        ("retries=3", "unknown retry-policy key"),
+        ("attempts", "not key=value"),
+        ("attempts=lots", "wants a number"),
+        ("busy=maybe", "wants yes/no"),
+    ])
+    def test_parse_rejections(self, spec, match):
+        with pytest.raises(ValueError, match=match):
+            ClientRetryPolicy.parse(spec)
+
+    def test_retryable_routes_by_exception_and_toggle(self):
+        policy = ClientRetryPolicy()
+        assert policy.retryable(ServerBusyError("busy"))
+        assert policy.retryable(WorkerLost("lost"))
+        assert not policy.retryable(SessionError("generic"))
+        assert not policy.retryable(HandshakeError("rejected"))
+        off = ClientRetryPolicy(retry_busy=False, retry_worker_lost=False)
+        assert not off.retryable(ServerBusyError("busy"))
+        assert not off.retryable(WorkerLost("lost"))
+
+    def test_backoff_without_hint_is_subtractive_exponential(self):
+        policy = ClientRetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=0.5, jitter=0.5
+        )
+        rng = random.Random(7)
+        for attempt, raw in enumerate([0.1, 0.2, 0.4, 0.5, 0.5]):
+            delay = policy.backoff_s(attempt, rng)
+            assert raw * 0.5 <= delay <= raw  # jitter only shortens
+
+    def test_backoff_with_hint_never_undercuts_the_server(self):
+        """A server hint is a promise of unavailability: the sleep may
+        stretch past it (jitter de-syncs the herd) but never dips
+        below it."""
+        policy = ClientRetryPolicy(base_delay_s=0.01, jitter=0.5)
+        rng = random.Random(11)
+        for attempt in range(5):
+            delay = policy.backoff_s(attempt, rng, hint_s=0.3)
+            assert 0.3 <= delay <= 0.3 * 1.5 + policy.max_delay_s
+
+    def test_session_config_mirrors_the_policy(self):
+        policy = ClientRetryPolicy(
+            max_attempts=5, attempt_timeout_s=1.25,
+            base_delay_s=0.03, multiplier=4.0, max_delay_s=0.7, jitter=0.1,
+        )
+        config = policy.session_config()
+        assert config.timeout_s == 1.25
+        assert config.max_reconnects == 5
+        assert config.retry.base_delay_s == 0.03
+        assert config.retry.multiplier == 4.0
+        assert config.retry.max_delay_s == 0.7
+        assert config.retry.jitter == 0.1
+        override = policy.session_config(fin_grace_s=0.01)
+        assert override.fin_grace_s == 0.01
+
+
+class TestRefusalRetryHint:
+    def test_integer_ms_hint_converts_to_seconds(self):
+        fields = unseal(seal("worker-lost", SESSION_VERSION, "gone", 250))
+        assert refusal_retry_hint_s(fields) == 0.25
+
+    @pytest.mark.parametrize("hint", [True, -5, "soon", 0.25])
+    def test_malformed_hints_read_as_none(self, hint):
+        # Built directly: the wire format cannot even carry some of
+        # these (no floats), but a hostile peer can hand-craft them.
+        fields = ("busy", SESSION_VERSION, "full", hint)
+        assert refusal_retry_hint_s(fields) is None
+
+    def test_three_field_frame_has_no_hint(self):
+        fields = unseal(seal("worker-lost", SESSION_VERSION, "gone"))
+        assert refusal_retry_hint_s(fields) is None
+
+
+class TestWorkerLostFrames:
+    """The endpoint's receipt of the sharded front end's typed notice."""
+
+    def test_worker_lost_during_recv_raises_typed_with_hint(self):
+        endpoint, raw = _endpoint_pair()
+        raw.send(seal("worker-lost", SESSION_VERSION, "shard 0 died", 120))
+        with pytest.raises(WorkerLost) as excinfo:
+            endpoint.recv()
+        assert excinfo.value.retry_after_s == 0.12
+        assert endpoint.stats.worker_lost == 1
+
+    def test_worker_lost_during_send_raises_typed(self):
+        endpoint, raw = _endpoint_pair()
+        raw.send(seal("worker-lost", SESSION_VERSION, "shard 0 died"))
+        with pytest.raises(WorkerLost) as excinfo:
+            endpoint.send(["data"])
+        assert excinfo.value.retry_after_s is None
+
+    def test_worker_lost_is_retryable_not_a_handshake_reject(self):
+        """WorkerLost must stay outside the HandshakeError hierarchy:
+        reconnect loops treat a handshake reject as final, while a
+        lost worker is exactly the failure a reconnect can heal."""
+        assert issubclass(WorkerLost, SessionError)
+        assert not issubclass(WorkerLost, HandshakeError)

@@ -23,7 +23,9 @@ from repro.net.session import (
     ReceiverSession,
     RetryPolicy,
     SessionConfig,
+    refusal_retry_hint_s,
     seal,
+    unseal,
 )
 from repro.net.shard import ShardedProtocolServer
 from repro.protocols.parties import PublicParams
@@ -215,3 +217,169 @@ class TestValidation:
         server = ShardedProtocolServer(_offers(params), shards=1)
         with pytest.raises(RuntimeError, match="not started"):
             server.port
+
+
+def _wait_for(predicate, timeout_s=15.0, interval_s=0.02, what="condition"):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {what}"
+        time.sleep(interval_s)
+
+
+def _raw_hello(port, session_id):
+    """Dial the front end and send a bare valid hello."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    endpoint = tcp.SocketEndpoint(sock=sock)
+    endpoint.settimeout(5.0)
+    endpoint.send(
+        seal("hello", SESSION_VERSION, "intersection", session_id, 0, 0)
+    )
+    return sock, endpoint
+
+
+class TestSupervision:
+    """The self-healing loop: death detection, typed refusals, respawn
+    with journal takeover, hang detection, budget exhaustion, drain."""
+
+    def test_killed_worker_respawns_and_serves_again(
+        self, params, tmp_path
+    ):
+        with ShardedProtocolServer(
+            _offers(params), shards=1, worker_processes=True,
+            config=_config(), max_sessions=4,
+            journal_dir=tmp_path, journal_fsync=False,
+            heartbeat_s=0.05, respawn_backoff_s=0.4, restart_budget=4,
+        ) as server:
+            answer, _ = _session(server.port, 1)
+            assert sorted(answer) == ["b", "c"]
+            (row,) = server.health()
+            old_pid = row["pid"]
+            assert row["state"] == "alive" and row["restarts"] == 0
+
+            assert server.kill_worker(0) == old_pid
+            _wait_for(
+                lambda: server.health()[0]["state"] in ("dead", "respawning"),
+                what="the supervisor to notice the corpse",
+            )
+            # A hello routed at the downed shard gets a typed,
+            # hint-carrying worker-lost frame, not a raw close.
+            sock, endpoint = _raw_hello(server.port, session_id=4)
+            fields = unseal(endpoint.recv())
+            assert fields[0] == "worker-lost"
+            assert refusal_retry_hint_s(fields) is not None
+            sock.close()
+
+            _wait_for(
+                lambda: (
+                    server.health()[0]["state"] == "alive"
+                    and server.health()[0]["restarts"] >= 1
+                ),
+                what="the respawn",
+            )
+            (row,) = server.health()
+            assert row["pid"] != old_pid
+            answer, _ = _session(server.port, 2)
+            assert sorted(answer) == ["b", "c"]
+        assert server.worker_deaths >= 1
+        assert server.respawns >= 1
+        assert server.worker_lost_notices >= 1
+
+    def test_mid_session_worker_loss_is_typed_then_clean_eof(
+        self, params
+    ):
+        """The splice contract: a worker-side reset mid-session reaches
+        the client as a typed worker-lost frame followed by a clean
+        EOF - never as a raw ``ConnectionResetError``."""
+        with ShardedProtocolServer(
+            _offers(params), shards=1, worker_processes=True,
+            config=_config(), max_sessions=4,
+            heartbeat_s=0.05, respawn_backoff_s=0.05, restart_budget=4,
+        ) as server:
+            sock, endpoint = _raw_hello(server.port, session_id=9)
+            fields = unseal(endpoint.recv())
+            assert fields[0] == "welcome"  # spliced through to a worker
+            assert server.kill_worker(0) is not None
+            deadline = time.monotonic() + 10.0
+            while True:
+                assert time.monotonic() < deadline
+                fields = unseal(endpoint.recv())
+                if fields[0] == "worker-lost":
+                    break
+            assert len(fields) in (3, 4)
+            assert refusal_retry_hint_s(fields) is not None
+            # After the typed notice: clean EOF, not a reset.
+            sock.settimeout(5.0)
+            assert sock.recv(65536) == b""
+            sock.close()
+        assert server.worker_lost_notices >= 1
+
+    def test_wedged_worker_is_killed_and_respawned(self, params):
+        with ShardedProtocolServer(
+            _offers(params), shards=1, worker_processes=True,
+            config=_config(), max_sessions=4,
+            heartbeat_s=0.05, heartbeat_timeout_s=0.25,
+            respawn_backoff_s=0.05, restart_budget=4,
+        ) as server:
+            (row,) = server.health()
+            old_pid = row["pid"]
+            # Wedge far past the missed-heartbeat deadline: the worker
+            # stops heartbeating but would otherwise keep running.
+            assert server.wedge_worker(0, 30.0)
+            _wait_for(
+                lambda: server.hung_workers >= 1,
+                what="the hang to be declared",
+            )
+            _wait_for(
+                lambda: (
+                    server.health()[0]["state"] == "alive"
+                    and server.health()[0]["pid"] != old_pid
+                ),
+                what="the respawn after the hang",
+            )
+            answer, _ = _session(server.port, 5)
+            assert sorted(answer) == ["b", "c"]
+        assert server.hung_workers == 1
+        assert server.worker_deaths >= 1
+
+    def test_budget_exhaustion_degrades_only_that_shard(self, params):
+        with ShardedProtocolServer(
+            _offers(params), shards=2, worker_processes=True,
+            config=_config(), max_sessions=4,
+            heartbeat_s=0.05, respawn_backoff_s=0.05, restart_budget=0,
+        ) as server:
+            assert server.kill_worker(0) is not None
+            _wait_for(
+                lambda: server.health()[0]["state"] == "failed",
+                what="shard 0 to exhaust its budget",
+            )
+            # Shard 0 (even session ids): typed permanent reject.
+            sock, endpoint = _raw_hello(server.port, session_id=6)
+            fields = unseal(endpoint.recv())
+            assert fields[0] == "reject"
+            assert "restart budget" in fields[2]
+            sock.close()
+            # Shard 1 (odd session ids): business as usual.
+            sock, endpoint = _raw_hello(server.port, session_id=7)
+            assert unseal(endpoint.recv())[0] == "welcome"
+            sock.close()
+            assert server.refused_failed >= 1
+            assert server.respawns == 0  # budget 0 = never respawn
+
+    def test_drain_reaps_dead_workers_without_hanging(self, params):
+        server = ShardedProtocolServer(
+            _offers(params), shards=2, worker_processes=True,
+            config=_config(), max_sessions=2,
+            heartbeat_s=0.05, respawn_backoff_s=0.05, restart_budget=0,
+        ).start()
+        assert server.kill_worker(0) is not None
+        _wait_for(
+            lambda: server.health()[0]["state"] == "failed",
+            what="shard 0 to fail",
+        )
+        started = time.monotonic()
+        server.shutdown(drain_timeout_s=1.0)
+        assert time.monotonic() - started < 15.0  # no control-pipe hang
+        assert server.wait_closed(timeout=5)
+        assert all(not s.process.is_alive() for s in server._shards)
+        states = {r["shard"]: r["state"] for r in server.drain_report}
+        assert states == {0: "failed", 1: "drained"}

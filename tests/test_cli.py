@@ -405,3 +405,107 @@ class TestFailureExitCodes:
         assert len(delays) == 2
         assert all(0.05 <= d <= 0.075 + 1e-9 for d in delays)
         assert elapsed >= 0.1
+
+
+class TestRetryPolicyFlag:
+    @pytest.fixture()
+    def busy_server(self):
+        from repro.net.server import ProtocolServer
+        from repro.protocols.parties import PublicParams
+
+        params = PublicParams.for_bits(128)
+        server = ProtocolServer(
+            {"intersection": (["b", "c"], params)},
+            busy_retry_hint_s=0.05,
+        ).start()
+        try:
+            yield server
+        finally:
+            server.shutdown(drain_timeout_s=0.1)
+
+    def test_parser_accepts_retry_policy_and_serve_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["connect", "--receiver", "r.txt", "--port", "9",
+             "--retry-policy", "attempts=3,deadline=10"]
+        )
+        assert args.retry_policy == "attempts=3,deadline=10"
+        args = build_parser().parse_args(
+            ["serve", "--sender", "s.txt", "--shards", "2",
+             "--restart-budget", "5", "--heartbeat-s", "0.25"]
+        )
+        assert args.restart_budget == 5
+        assert args.heartbeat_s == 0.25
+        # Defaults match the server's own.
+        args = build_parser().parse_args(["serve", "--sender", "s.txt"])
+        assert args.restart_budget == 3
+        assert args.heartbeat_s == 1.0
+
+    def test_bad_retry_policy_spec_is_usage_error(self, value_files, capsys):
+        r, _ = value_files
+        code = main(["connect", "--receiver", r, "--port", "9",
+                     "--retry-policy", "attempts=lots"])
+        assert code == 2
+        assert "bad --retry-policy" in capsys.readouterr().err
+
+    def test_retry_policy_and_retry_busy_are_exclusive(
+        self, value_files, capsys
+    ):
+        r, _ = value_files
+        code = main(["connect", "--receiver", r, "--port", "9",
+                     "--retry-policy", "attempts=2", "--retry-busy", "3"])
+        assert code == 2
+        assert "pass only one" in capsys.readouterr().err
+
+    def test_retry_policy_waits_out_busy(
+        self, busy_server, value_files, capsys
+    ):
+        import re
+
+        from repro.cli import EXIT_BUSY
+
+        busy_server._draining.set()
+        r, _ = value_files
+        code = main(["--bits", "128", "connect", "--resumable",
+                     "--receiver", r, "--port", str(busy_server.port),
+                     "--timeout", "2",
+                     "--retry-policy", "attempts=3,base=0.01,max-delay=0.1"])
+        assert code == EXIT_BUSY
+        err = capsys.readouterr().err
+        # attempts=3: two retries printed, then the typed busy exit.
+        delays = re.findall(r"ServerBusyError; retrying in ([\d.]+)s", err)
+        assert len(delays) == 2
+        # The server's 0.05s hint floors every delay.
+        assert all(float(d) >= 0.05 for d in delays)
+        assert err.rstrip().endswith("(attempt 2/3)") or "server busy" in err
+
+    def test_retry_policy_busy_off_fails_fast(
+        self, busy_server, value_files, capsys
+    ):
+        from repro.cli import EXIT_BUSY
+
+        busy_server._draining.set()
+        r, _ = value_files
+        code = main(["--bits", "128", "connect", "--resumable",
+                     "--receiver", r, "--port", str(busy_server.port),
+                     "--timeout", "2", "--retry-policy", "busy=no"])
+        assert code == EXIT_BUSY
+        err = capsys.readouterr().err
+        assert "retrying" not in err
+
+    def test_retry_policy_connects_on_a_live_server(
+        self, value_files, capsys
+    ):
+        from repro.net.server import ProtocolServer
+        from repro.protocols.parties import PublicParams
+
+        params = PublicParams.for_bits(128)
+        r, _ = value_files
+        with ProtocolServer(
+            {"intersection": (["bob", "carol", "dave"], params)}
+        ) as server:
+            code = main(["--bits", "128", "connect", "--resumable",
+                         "--receiver", r, "--port", str(server.port),
+                         "--retry-policy", "attempts=4,timeout=5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bob" in out and "carol" in out
