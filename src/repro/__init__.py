@@ -32,10 +32,15 @@ remain for result objects carrying full transcripts.
 """
 
 from .api import (
+    Catalog,
     ConnectResult,
+    Peer,
+    QueryResult,
     RunResult,
     ServeResult,
+    SessionOptions,
     connect,
+    open_catalog,
     run,
     serve,
 )
@@ -62,6 +67,11 @@ __all__ = [
     "RunResult",
     "ServeResult",
     "ConnectResult",
+    "open_catalog",
+    "Catalog",
+    "Peer",
+    "QueryResult",
+    "SessionOptions",
     "ProtocolSuite",
     "run_intersection",
     "run_intersection_size",

@@ -1,12 +1,14 @@
-"""One-call public API: run, serve and connect any registered protocol.
+"""Public API: one-shot verbs plus the stateful Catalog/Peer surface.
 
 The rest of the library is deliberately layered - specs as data
 (:mod:`repro.protocols.spec`), generic machines
 (:mod:`repro.protocols.parties`), transports (:mod:`repro.net.tcp`),
 sessions (:mod:`repro.net.session`) - and every layer is importable.
 But the common cases should not require assembling those layers by
-hand, so this module exposes exactly three verbs, all dispatching off
-the :data:`~repro.protocols.spec.PROTOCOLS` registry:
+hand, so this module exposes two families of entry points, all
+dispatching off the :data:`~repro.protocols.spec.PROTOCOLS` registry:
+
+**One-shot verbs** (a single query, then everything is torn down):
 
 * :func:`run` - both parties in-process, one call, returns the answer
   plus what each party learned about the other's set size;
@@ -14,13 +16,29 @@ the :data:`~repro.protocols.spec.PROTOCOLS` registry:
   the resumable session layer, optionally journaled to disk);
 * :func:`connect` - party R dialing a server.
 
-All three accept ``chunk_size`` to stream chunkable rounds in bounded
-slices (the million-item streaming pipeline); ``chunk_size=None``
-keeps the legacy whole-round frames byte-identical to earlier
-releases. New protocols registered in ``PROTOCOLS`` are runnable here
-with zero facade edits.
+**The stateful surface** (open once, query many times, mutate between
+queries - the repeated-query protocol):
 
-Quickstart::
+* :func:`open_catalog` opens a :class:`Catalog` over one party's
+  table, optionally backed by an on-disk encrypted-catalog cache
+  (:mod:`repro.net.catalog`) so a process restart skips the O(|V|)
+  hash-and-encrypt setup;
+* :meth:`Catalog.pair` / :meth:`Catalog.serve` /
+  :meth:`Catalog.connect` produce a :class:`Peer`;
+* :meth:`Peer.query` runs a full protocol on first use and only the
+  delta rounds thereafter (O(|delta|) cryptography per repeated
+  query);
+* :meth:`Catalog.insert` / :meth:`Catalog.delete` stage the table
+  mutations the next query's delta rounds will carry.
+
+The one-shot verbs are implemented as a thin open-query-close over the
+stateful core, so their wire transcripts are byte-identical to earlier
+releases. All entry points accept ``chunk_size`` to stream chunkable
+rounds in bounded slices; ``chunk_size=None`` keeps the legacy
+whole-round frames. New protocols registered in ``PROTOCOLS`` are
+runnable here with zero facade edits.
+
+Quickstart (one-shot)::
 
     import repro
 
@@ -32,14 +50,26 @@ Quickstart::
         seed=7,
     )
     assert result.answer == {"bob", "carol"}
+
+Quickstart (repeated queries)::
+
+    catalog = repro.open_catalog(["alice", "bob"], bits=128, seed=1)
+    peer = catalog.pair(repro.open_catalog(["bob", "eve"], bits=128, seed=2))
+    assert peer.query("intersection").answer == {"bob"}
+    catalog.insert("eve")
+    assert peer.query("intersection").answer == {"bob", "eve"}  # delta rounds
 """
 
 from __future__ import annotations
 
 import random
+import socket
+import warnings
+from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Hashable, Mapping
 
+from .protocols.delta import DeltaExchange
 from .protocols.parties import PublicParams, ReceiverMachine, SenderMachine
 from .protocols.spec import ProtocolSpec, get_spec
 
@@ -50,6 +80,11 @@ __all__ = [
     "run",
     "serve",
     "connect",
+    "open_catalog",
+    "Catalog",
+    "Peer",
+    "QueryResult",
+    "SessionOptions",
 ]
 
 
@@ -108,6 +143,95 @@ class ConnectResult:
     retries: int = 0
 
 
+@dataclass(frozen=True)
+class QueryResult:
+    """One completed :meth:`Peer.query`.
+
+    Attributes:
+        answer: the protocol's output for party R (``None`` on the
+            serving side of a networked peer - the sender learns no
+            answer, by design).
+        mode: ``"full"`` when the complete round schedule ran,
+            ``"delta"`` when only the incremental rounds were
+            exchanged and spliced into the committed state.
+        cache_hit: whether this party's setup was warm-started from
+            the on-disk encrypted-catalog cache.
+        size_v_r: ``|V_R|`` as known after this query (``None`` where
+            the role does not learn it).
+        size_v_s: ``|V_S|`` as known after this query (``None`` where
+            the role does not learn it).
+        stats: the :class:`~repro.net.session.SessionStats` of a
+            session-layer query; ``None`` for plain transports.
+    """
+
+    answer: Any
+    mode: str
+    cache_hit: bool = False
+    size_v_r: int | None = None
+    size_v_s: int | None = None
+    stats: Any = None
+
+
+@dataclass(frozen=True)
+class SessionOptions:
+    """Typed bundle of fault-tolerant session-layer settings.
+
+    Passing a ``SessionOptions`` (even the default ``SessionOptions()``)
+    to :func:`serve`, :func:`connect`, :meth:`Catalog.serve` or
+    :meth:`Catalog.connect` runs the exchange under the resumable
+    session layer of :mod:`repro.net.session`: checksummed,
+    acknowledged frames, reconnect-and-resume after drops, and - with a
+    ``journal_dir`` - crash recovery from the on-disk round journal.
+    It replaces the deprecated ``resumable=`` / ``journal_dir=``
+    keyword sprawl on the one-shot verbs.
+
+    Attributes:
+        journal_dir: directory (or
+            :class:`~repro.net.journal.JournalDir`) for the round
+            journal; ``None`` keeps the session in memory only.
+        config: a :class:`~repro.net.session.SessionConfig` tuning
+            timeouts and retry/backoff; ``None`` uses the defaults.
+        journal_fsync: fsync journal appends (durability vs speed).
+    """
+
+    journal_dir: Any = None
+    config: Any = None
+    journal_fsync: bool = True
+
+
+#: Deprecated-kwarg names already warned about (warn once per process).
+_SESSION_KWARG_WARNED: set[str] = set()
+
+
+def _coerce_session(
+    entry: str, resumable: bool, journal_dir: Any, session: SessionOptions | None
+) -> SessionOptions | None:
+    """Fold the legacy ``resumable=``/``journal_dir=`` kwargs into a
+    :class:`SessionOptions`, warning once per deprecated kwarg."""
+    if session is not None:
+        if resumable or journal_dir is not None:
+            raise ValueError(
+                "pass session=SessionOptions(...) or the legacy "
+                "resumable=/journal_dir= kwargs, not both"
+            )
+        return session
+    if not resumable and journal_dir is None:
+        return None
+    for kwarg, used in (
+        ("resumable", resumable),
+        ("journal_dir", journal_dir is not None),
+    ):
+        if used and kwarg not in _SESSION_KWARG_WARNED:
+            _SESSION_KWARG_WARNED.add(kwarg)
+            warnings.warn(
+                f"repro.{entry}({kwarg}=...) is deprecated; pass "
+                f"session=repro.SessionOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+    return SessionOptions(journal_dir=journal_dir)
+
+
 def _party_rngs(
     seed: Any, rng: random.Random | None
 ) -> tuple[random.Random, random.Random]:
@@ -122,6 +246,859 @@ def _party_rngs(
     rng_r = random.Random(master.getrandbits(64))
     rng_s = random.Random(master.getrandbits(64))
     return rng_r, rng_s
+
+
+def _exchange_local(
+    spec: ProtocolSpec,
+    receiver: ReceiverMachine,
+    sender: SenderMachine,
+    chunk_size: int | None,
+) -> None:
+    """Exchange a spec's rounds between two in-process machines.
+
+    The wire payloads are exactly what the TCP drivers would put on a
+    socket, so the logical transcript is identical to a networked run.
+    """
+    for rnd in spec.rounds:
+        producer, consumer = (
+            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+        )
+        if chunk_size is not None and rnd.chunkable:
+            payloads = list(producer.produce_chunks(rnd, chunk_size))
+            consumer.consume_chunks(rnd, payloads)
+        else:
+            consumer.consume(rnd, producer.produce(rnd).to_wire())
+
+
+def _delta_spec(spec: ProtocolSpec) -> ProtocolSpec | None:
+    """The registered ``<name>+delta`` schedule, or ``None``."""
+    try:
+        return get_spec(spec.name + "+delta")
+    except Exception:
+        return None
+
+
+class Catalog:
+    """One party's stateful handle over its table across many queries.
+
+    A catalog owns a private table (a value sequence, or a mapping for
+    ext/amount protocols), stages mutations via :meth:`insert` /
+    :meth:`delete`, and keeps the committed per-protocol crypto state a
+    :class:`Peer` needs to answer repeated queries incrementally: the
+    first query of a protocol runs the full round schedule; subsequent
+    queries exchange only the delta rounds (O(|delta|) modexp) and
+    splice the patch into the committed state.
+
+    With a ``cache_dir``, the party's expensive own-set setup (hash +
+    encrypt of every value) is persisted through
+    :class:`~repro.net.catalog.CatalogCache` keyed by (table digest,
+    key fingerprint, protocol), so reopening the catalog in a new
+    process warm-starts the first query without redoing the O(|V|)
+    modexp. The cache holds this party's raw cipher keys - keep the
+    directory private (see docs/PROTOCOLS.md, cache-key hygiene).
+
+    Build via :func:`open_catalog`.
+    """
+
+    def __init__(
+        self,
+        data: Any,
+        *,
+        bits: int = 512,
+        params: PublicParams | None = None,
+        seed: Any = None,
+        rng: random.Random | None = None,
+        engine: Any = None,
+        recorder: Any = None,
+        cache_dir: Any = None,
+        cache_fsync: bool = True,
+        cache_io: Any = None,
+    ):
+        self.data = dict(data) if isinstance(data, Mapping) else list(data)
+        self._bits = bits
+        self.params = params
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.engine = engine
+        self.recorder = recorder
+        self.cache = None
+        if cache_dir is not None:
+            from .net.catalog import CatalogCache
+
+            self.cache = CatalogCache(
+                cache_dir, io=cache_io, fsync=cache_fsync
+            )
+        self._links: dict[tuple[str, str], dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Table mutation (staged deltas)
+    # ------------------------------------------------------------------
+    def insert(self, value: Hashable, payload: Any = None) -> "Catalog":
+        """Stage an insert for the next query's delta rounds.
+
+        ``payload`` is the ext bytes / amount for mapping-shaped tables
+        (equijoin / equijoin-sum); inserting an existing key with a new
+        payload stages a replace (tombstone + insert on the wire).
+        Sequence-shaped tables take ``payload=None`` and may repeat a
+        value (multiset protocols count occurrences).
+        """
+        if isinstance(self.data, dict):
+            self.data[value] = payload
+        else:
+            if payload is not None:
+                raise ValueError(
+                    "payload inserts need a mapping-shaped catalog "
+                    "(ext/amount tables)"
+                )
+            self.data.append(value)
+        return self
+
+    def delete(self, value: Hashable) -> "Catalog":
+        """Stage a delete (one occurrence, for multiset tables) for the
+        next query's delta rounds. Raises if the value is absent."""
+        if isinstance(self.data, dict):
+            del self.data[value]
+        else:
+            try:
+                self.data.remove(value)
+            except ValueError:
+                raise ValueError(f"{value!r} is not in the catalog") from None
+        return self
+
+    # ------------------------------------------------------------------
+    # Peers
+    # ------------------------------------------------------------------
+    def pair(self, sender: "Catalog") -> "Peer":
+        """Link two in-process catalogs: self is party R, ``sender`` is
+        party S. Returns the :class:`Peer` both sides query through."""
+        params = self._ensure_params()
+        if sender.params is None:
+            sender.params = params
+        elif sender.params != params:
+            raise ValueError("paired catalogs must share public params")
+        return Peer(
+            kind="local", catalog=self, remote=sender, announce=False
+        )
+
+    def serve(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready_callback: Callable[[int], None] | None = None,
+        timeout: float | None = None,
+        announce: bool = True,
+        session: SessionOptions | None = None,
+    ) -> "Peer":
+        """Expose this catalog as party S on a TCP port.
+
+        Returns a server :class:`Peer` whose :meth:`Peer.query` accepts
+        one client connection and answers one query; call it repeatedly
+        (typically in lockstep with the remote side's queries) and
+        :meth:`Peer.close` when done. ``announce=False`` speaks the
+        legacy one-shot handshake (no query-announcement frame; the
+        params frame opens the connection) - that is how the
+        :func:`serve` facade keeps its wire transcript byte-identical.
+        With a :class:`SessionOptions`, each query runs under the
+        resumable session layer instead (reconnects resume mid-round,
+        and a ``journal_dir`` adds crash recovery - including for delta
+        rounds, which replay idempotently).
+        """
+        params = self._ensure_params()
+        del params  # built eagerly so the first query cannot race
+        return Peer(
+            kind="server",
+            catalog=self,
+            host=host,
+            port=port,
+            timeout=timeout,
+            announce=announce,
+            session=session,
+            ready_callback=ready_callback,
+        )
+
+    def connect(
+        self,
+        host: str = "127.0.0.1",
+        *,
+        port: int,
+        timeout: float | None = None,
+        announce: bool = True,
+        session: SessionOptions | None = None,
+    ) -> "Peer":
+        """Link this catalog (as party R) to a serving peer.
+
+        Returns a client :class:`Peer`; every :meth:`Peer.query` dials
+        the server, announces the query (protocol + full/delta), and
+        runs the rounds. Public params are adopted from the server's
+        handshake on first use. ``announce=False`` speaks the legacy
+        one-shot handshake (used by the :func:`connect` facade);
+        ``session`` runs queries under the resumable session layer.
+        """
+        return Peer(
+            kind="client",
+            catalog=self,
+            host=host,
+            port=port,
+            timeout=timeout,
+            announce=announce,
+            session=session,
+        )
+
+    def close(self) -> None:
+        """Drop the per-protocol committed state.
+
+        No file handles stay open between calls, so this is about
+        symmetry (``with open_catalog(...)``) and releasing memory.
+        """
+        self._links.clear()
+
+    def __enter__(self) -> "Catalog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals: params, cache, machines, commits
+    # ------------------------------------------------------------------
+    def _ensure_params(self) -> PublicParams:
+        if self.params is None:
+            self.params = PublicParams.for_bits(self._bits)
+        return self.params
+
+    def _adopt_params(self, params: PublicParams) -> PublicParams:
+        if self.params is None:
+            self.params = params
+        elif self.params != params:
+            raise ValueError(
+                "the server's public params differ from this catalog's"
+            )
+        return self.params
+
+    def _snapshot(self) -> Any:
+        return dict(self.data) if isinstance(self.data, dict) else list(self.data)
+
+    def _has_link(self, spec: ProtocolSpec, role: str) -> bool:
+        return (spec.name, role) in self._links
+
+    def _factory(self, spec: ProtocolSpec, role: str) -> Callable[..., Any]:
+        return spec.make_receiver if role == "receiver" else spec.make_sender
+
+    def _cacheable(self, spec: ProtocolSpec, role: str) -> bool:
+        # The equijoin-sum sender holds a Paillier keypair that is not
+        # persisted, so it is the one party without cache support.
+        return self.cache is not None and hasattr(
+            self._factory(spec, role), "cache_keys"
+        )
+
+    def _cache_name(self, spec: ProtocolSpec, role: str) -> str:
+        # Receiver and sender entries can differ in shape (equijoin's
+        # sender caches (codeword, kappa) pairs under two keys), so the
+        # role is part of the cache key.
+        return f"{spec.name}.{role[0]}"
+
+    def _cached_for(
+        self, spec: ProtocolSpec, role: str, params: PublicParams,
+        snapshot: Any,
+    ) -> tuple[Any, Any, str]:
+        """(PartyCache | None, CacheEntry | None, table digest)."""
+        from .net.catalog import CatalogCacheError, table_digest
+
+        digest = table_digest(snapshot)
+        if not self._cacheable(spec, role):
+            return None, None, digest
+        try:
+            entry = self.cache.lookup(digest, self._cache_name(spec, role))
+        except CatalogCacheError:
+            entry = None  # corrupt or foreign-keyed entry: treat as a miss
+        if entry is not None and entry.params != params:
+            entry = None
+        if entry is None:
+            return None, None, digest
+        return entry.party_cache(), entry, digest
+
+    def _full_machine(
+        self, spec: ProtocolSpec, role: str, params: PublicParams
+    ) -> tuple[Any, dict[str, Any]]:
+        # Snapshot once at query entry: the machine is built from the
+        # snapshot and the commit records the same snapshot, so table
+        # mutations staged while a query is in flight stay staged for
+        # the *next* delta instead of being silently absorbed.
+        snapshot = self._snapshot()
+        cached, entry, digest = self._cached_for(spec, role, params, snapshot)
+        cls = ReceiverMachine if role == "receiver" else SenderMachine
+        kwargs: dict[str, Any] = {
+            "engine": self.engine, "recorder": self.recorder,
+        }
+        if cached is not None:
+            kwargs["cached"] = cached
+        machine = cls(spec, snapshot, params, self.rng, **kwargs)
+        return machine, {
+            "digest": digest, "entry": entry, "hit": cached is not None,
+            "snapshot": snapshot,
+        }
+
+    def _commit_full(
+        self,
+        spec: ProtocolSpec,
+        role: str,
+        party: Any,
+        ctx: dict[str, Any],
+        params: PublicParams,
+    ) -> None:
+        entry = ctx["entry"]
+        if entry is None and self._cacheable(spec, role):
+            entry = self.cache.store(
+                ctx["digest"],
+                self._cache_name(spec, role),
+                params,
+                party.cache_keys(),
+                party.cache_entries(),
+            )
+        self._links[(spec.name, role)] = {
+            "party": party,
+            "snapshot": ctx["snapshot"],
+            "digest": ctx["digest"],
+            "entry": entry,
+            "params": params,
+        }
+
+    def _delta_exchange(
+        self, spec: ProtocolSpec, role: str, snapshot: Any
+    ) -> DeltaExchange:
+        """The staged table delta relative to this protocol's committed
+        snapshot, as a :class:`~repro.protocols.delta.DeltaExchange`."""
+        link = self._links[(spec.name, role)]
+        base, cur = link["snapshot"], snapshot
+        if isinstance(cur, dict):
+            inserts = tuple(
+                (k, cur[k])
+                for k in sorted(cur, key=repr)
+                if k not in base or base[k] != cur[k]
+            )
+            deletes = tuple(k for k in sorted(base, key=repr) if k not in cur)
+        else:
+            base_c, cur_c = Counter(base), Counter(cur)
+            inserts = tuple(
+                (v, None) for v in sorted((cur_c - base_c).elements(), key=repr)
+            )
+            deletes = tuple(sorted((base_c - cur_c).elements(), key=repr))
+        return DeltaExchange(
+            state=link["party"], inserts=inserts, deletes=deletes
+        )
+
+    def _delta_machine(
+        self, dspec: ProtocolSpec, spec: ProtocolSpec, role: str,
+        params: PublicParams,
+    ) -> tuple[Any, dict[str, Any]]:
+        snapshot = self._snapshot()
+        cls = ReceiverMachine if role == "receiver" else SenderMachine
+        machine = cls(
+            dspec,
+            self._delta_exchange(spec, role, snapshot),
+            params,
+            self.rng,
+            engine=self.engine,
+            recorder=self.recorder,
+        )
+        return machine, {"snapshot": snapshot}
+
+    def _commit_delta(
+        self, spec: ProtocolSpec, role: str, wrapper: Any,
+        ctx: dict[str, Any],
+    ) -> None:
+        from .net.catalog import table_digest
+
+        wrapper.commit()
+        link = self._links[(spec.name, role)]
+        new_digest = table_digest(ctx["snapshot"])
+        entry = link.get("entry")
+        if entry is not None:
+            new_entries = link["party"].cache_entries()
+            old = entry.entries
+            adds = {
+                v: e for v, e in new_entries.items() if old.get(v) != e
+            }
+            dels = [v for v in old if v not in new_entries]
+            link["entry"] = self.cache.append_delta(
+                entry, new_digest, adds, dels
+            )
+        link["snapshot"] = ctx["snapshot"]
+        link["digest"] = new_digest
+
+
+def open_catalog(
+    data: Any,
+    *,
+    bits: int = 512,
+    params: PublicParams | None = None,
+    seed: Any = None,
+    rng: random.Random | None = None,
+    engine: Any = None,
+    recorder: Any = None,
+    cache_dir: Any = None,
+    cache_fsync: bool = True,
+    cache_io: Any = None,
+) -> Catalog:
+    """Open a stateful :class:`Catalog` over one party's table.
+
+    Args:
+        data: the party's private table - a value sequence, or a
+            ``value -> ext/amount`` mapping for the equijoin family.
+        bits: safe-prime modulus size when ``params`` is not given
+            (connecting catalogs may omit both and adopt the server's
+            params from the handshake).
+        params: explicit shared public parameters.
+        seed: seed for this party's private randomness.
+        rng: explicit rng (overrides ``seed``).
+        engine: batch-crypto execution strategy
+            (:mod:`repro.crypto.engine`).
+        recorder: per-phase metrics collector.
+        cache_dir: directory for the persistent encrypted-catalog cache
+            (:class:`~repro.net.catalog.CatalogCache`); ``None``
+            disables persistence. The directory ends up holding this
+            party's raw cipher keys - keep it private.
+        cache_fsync: fsync cache writes before trusting them.
+        cache_io: a :class:`~repro.net.diskfaults.JournalIO` override
+            (the disk-fault harness injects a faulty one here).
+    """
+    return Catalog(
+        data,
+        bits=bits,
+        params=params,
+        seed=seed,
+        rng=rng,
+        engine=engine,
+        recorder=recorder,
+        cache_dir=cache_dir,
+        cache_fsync=cache_fsync,
+        cache_io=cache_io,
+    )
+
+
+class Peer:
+    """A live query link produced by :meth:`Catalog.pair`,
+    :meth:`Catalog.serve` or :meth:`Catalog.connect`.
+
+    One :meth:`query` call runs one protocol exchange: the full round
+    schedule the first time a protocol is queried through this
+    catalog, only the delta rounds afterwards. Networked peers are
+    role-symmetric - the serving side calls ``query`` to answer what
+    the connecting side's ``query`` asks - and each call handles one
+    connection, so a server loops ``query`` (one iteration per client
+    query) until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        catalog: Catalog,
+        remote: Catalog | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float | None = None,
+        announce: bool = True,
+        session: SessionOptions | None = None,
+        ready_callback: Callable[[int], None] | None = None,
+    ):
+        self._kind = kind
+        self._catalog = catalog
+        self._remote = remote
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._announce = announce
+        self._session = session
+        self._ready_callback = ready_callback
+        self._listener: socket.socket | None = None
+        if kind == "server" and session is None:
+            from .net import tcp
+
+            self._listener = tcp._listen(host, port, timeout)
+            self._port = self._listener.getsockname()[1]
+            if ready_callback is not None:
+                ready_callback(self._port)
+
+    @property
+    def port(self) -> int:
+        """The server's bound port (0 until a session-mode peer's first
+        query binds its listener)."""
+        return self._port
+
+    def query(
+        self,
+        protocol: str | ProtocolSpec,
+        *,
+        mode: str = "auto",
+        chunk_size: int | None = None,
+    ) -> QueryResult:
+        """Run one query of a registered protocol over this link.
+
+        ``mode`` is ``"auto"`` (full on first use, delta once state is
+        committed), or an explicit ``"full"`` / ``"delta"``. On a
+        networked link the connecting side's choice is announced in the
+        handshake and the serving side follows it (session-mode peers
+        skip the announcement; keep both sides' query loops in
+        lockstep). After a successful query the staged table mutations
+        are committed into the per-protocol state - a failed exchange
+        commits nothing and can simply be retried.
+        """
+        spec = get_spec(protocol)
+        if spec.delta_of is not None:
+            raise ValueError(
+                f"query the base protocol {spec.delta_of!r}; delta rounds "
+                "are scheduled automatically once state is committed"
+            )
+        if mode not in ("auto", "full", "delta"):
+            raise ValueError(f"unknown query mode {mode!r}")
+        if self._kind == "local":
+            return self._query_local(spec, mode, chunk_size)
+        if self._kind == "client":
+            if self._session is not None:
+                return self._query_client_session(spec, mode, chunk_size)
+            return self._query_client(spec, mode, chunk_size)
+        if self._session is not None:
+            return self._query_server_session(spec, mode, chunk_size)
+        return self._query_server(spec, mode, chunk_size)
+
+    def close(self) -> None:
+        """Tear the link down (closes a server peer's listener)."""
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def __enter__(self) -> "Peer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Mode resolution
+    # ------------------------------------------------------------------
+    def _resolve_kind(self, spec: ProtocolSpec, mode: str, role: str) -> str:
+        have = self._catalog._has_link(spec, role)
+        if self._kind == "local":
+            have = have and self._remote._has_link(spec, "sender")
+        deltas = _delta_spec(spec) is not None
+        if mode == "auto":
+            return "delta" if (have and deltas) else "full"
+        if mode == "delta":
+            if not deltas:
+                raise ValueError(f"{spec.name!r} has no delta schedule")
+            if not have:
+                raise ValueError(
+                    f"no committed {spec.name!r} state yet; run a full "
+                    "query first"
+                )
+        return mode
+
+    # ------------------------------------------------------------------
+    # In-process link
+    # ------------------------------------------------------------------
+    def _query_local(
+        self, spec: ProtocolSpec, mode: str, chunk_size: int | None
+    ) -> QueryResult:
+        recv_cat, send_cat = self._catalog, self._remote
+        params = recv_cat._ensure_params()
+        kind = self._resolve_kind(spec, mode, "receiver")
+        if kind == "full":
+            receiver, r_ctx = recv_cat._full_machine(spec, "receiver", params)
+            sender, s_ctx = send_cat._full_machine(spec, "sender", params)
+            _exchange_local(spec, receiver, sender, chunk_size)
+            answer = receiver.finish()
+            recv_cat._commit_full(spec, "receiver", receiver.state, r_ctx, params)
+            send_cat._commit_full(spec, "sender", sender.state, s_ctx, params)
+            hit = r_ctx["hit"] or s_ctx["hit"]
+        else:
+            dspec = _delta_spec(spec)
+            receiver, r_ctx = recv_cat._delta_machine(
+                dspec, spec, "receiver", params
+            )
+            sender, s_ctx = send_cat._delta_machine(
+                dspec, spec, "sender", params
+            )
+            _exchange_local(dspec, receiver, sender, chunk_size)
+            answer = receiver.finish()
+            recv_cat._commit_delta(spec, "receiver", receiver.state, r_ctx)
+            send_cat._commit_delta(spec, "sender", sender.state, s_ctx)
+            hit = False
+        return QueryResult(
+            answer=answer,
+            mode=kind,
+            cache_hit=hit,
+            size_v_r=getattr(sender.state, "size_v_r", None),
+            size_v_s=getattr(receiver.state, "size_v_s", None),
+        )
+
+    # ------------------------------------------------------------------
+    # TCP client (party R)
+    # ------------------------------------------------------------------
+    def _query_client(
+        self, spec: ProtocolSpec, mode: str, chunk_size: int | None
+    ) -> QueryResult:
+        from .net import tcp
+
+        cat = self._catalog
+        kind = self._resolve_kind(spec, mode, "receiver")
+        endpoint = tcp._dial(self._host, self._port, self._timeout)
+        try:
+            if self._announce:
+                endpoint.send(("query", spec.name, kind))
+            tag, payload = endpoint.recv()
+            if tag == "error":
+                raise RuntimeError(f"server refused the query: {payload}")
+            if tag != "params":
+                raise ValueError(f"unexpected handshake message {tag!r}")
+            params = cat._adopt_params(
+                PublicParams.from_wire(tuple(payload))
+            )
+            if kind == "full":
+                machine, ctx = cat._full_machine(spec, "receiver", params)
+                wire_spec = spec
+            else:
+                wire_spec = _delta_spec(spec)
+                machine, ctx = cat._delta_machine(
+                    wire_spec, spec, "receiver", params
+                )
+            machine.ensure_state()
+            tcp.run_rounds(
+                endpoint, machine, wire_spec, sends="R",
+                chunk_size=chunk_size, recorder=cat.recorder,
+            )
+            answer = machine.finish()
+        finally:
+            endpoint.close()
+        if kind == "full":
+            cat._commit_full(spec, "receiver", machine.state, ctx, params)
+        else:
+            cat._commit_delta(spec, "receiver", machine.state, ctx)
+        return QueryResult(
+            answer=answer,
+            mode=kind,
+            cache_hit=bool(ctx.get("hit")),
+            size_v_s=getattr(machine.state, "size_v_s", None),
+        )
+
+    def _query_client_session(
+        self, spec: ProtocolSpec, mode: str, chunk_size: int | None
+    ) -> QueryResult:
+        from .net import tcp
+
+        cat = self._catalog
+        opts = self._session
+        kind = self._resolve_kind(spec, mode, "receiver")
+        built: dict[str, Any] = {}
+        snapshot = cat._snapshot()
+        if kind == "full":
+            wire_name = spec.name
+
+            def make_receiver(wire: Any) -> Any:
+                params = cat._adopt_params(
+                    PublicParams.from_wire(tuple(wire))
+                )
+                cached, entry, digest = cat._cached_for(
+                    spec, "receiver", params, snapshot
+                )
+                extra = {"cached": cached} if cached is not None else {}
+                state = spec.make_receiver(
+                    snapshot, params, cat.rng, engine=cat.engine, **extra
+                )
+                built.update(
+                    state=state, params=params,
+                    ctx={"digest": digest, "entry": entry,
+                         "hit": cached is not None, "snapshot": snapshot},
+                )
+                return state
+        else:
+            dspec = _delta_spec(spec)
+            wire_name = dspec.name
+            exchange = cat._delta_exchange(spec, "receiver", snapshot)
+            params = cat._ensure_params()
+
+            def make_receiver(wire: Any) -> Any:
+                cat._adopt_params(PublicParams.from_wire(tuple(wire)))
+                state = dspec.make_receiver(
+                    exchange, params, cat.rng, engine=cat.engine
+                )
+                built.update(
+                    state=state, params=params,
+                    ctx={"snapshot": snapshot},
+                )
+                return state
+
+        answer, stats = tcp.connect_resumable_receiver(
+            wire_name, None, cat.rng, self._host, self._port,
+            config=opts.config, engine=cat.engine, recorder=cat.recorder,
+            journal_dir=opts.journal_dir, journal_fsync=opts.journal_fsync,
+            chunk_size=chunk_size, make_receiver=make_receiver,
+        )
+        if kind == "full":
+            cat._commit_full(
+                spec, "receiver", built["state"], built["ctx"], built["params"]
+            )
+        else:
+            cat._commit_delta(spec, "receiver", built["state"], built["ctx"])
+        return QueryResult(
+            answer=answer,
+            mode=kind,
+            cache_hit=bool(built["ctx"].get("hit")),
+            size_v_s=getattr(built["state"], "size_v_s", None),
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # TCP server (party S)
+    # ------------------------------------------------------------------
+    def _query_server(
+        self, spec: ProtocolSpec, mode: str, chunk_size: int | None
+    ) -> QueryResult:
+        from .net import tcp
+
+        cat = self._catalog
+        params = cat._ensure_params()
+        if self._listener is None:
+            raise RuntimeError("this server peer is closed")
+        try:
+            conn, _addr = self._listener.accept()
+        except socket.timeout as exc:
+            raise TimeoutError(
+                f"no client connected within {self._timeout}s"
+            ) from exc
+        conn.settimeout(self._timeout)
+        tcp._nodelay(conn)
+        endpoint = tcp.SocketEndpoint(sock=conn)
+        try:
+            if self._announce:
+                frame = endpoint.recv()
+                if not (
+                    isinstance(frame, tuple)
+                    and len(frame) == 3
+                    and frame[0] == "query"
+                ):
+                    endpoint.send(("error", "expected a query announcement"))
+                    raise ValueError("client sent no query announcement")
+                _tag, name, kind = frame
+                if name != spec.name:
+                    endpoint.send((
+                        "error",
+                        f"server is answering {spec.name!r}, not {name!r}",
+                    ))
+                    raise ValueError(
+                        f"client asked for {name!r}, server is answering "
+                        f"{spec.name!r}"
+                    )
+                if mode != "auto" and kind != mode:
+                    endpoint.send((
+                        "error", f"server requires a {mode} query",
+                    ))
+                    raise ValueError(
+                        f"client asked for a {kind} query, server requires "
+                        f"{mode}"
+                    )
+                if kind == "delta" and not cat._has_link(spec, "sender"):
+                    endpoint.send((
+                        "error",
+                        "server has no committed state for a delta query",
+                    ))
+                    raise ValueError(
+                        "client asked for a delta query but this catalog "
+                        "has no committed state"
+                    )
+            else:
+                kind = "full" if mode == "auto" else mode
+            endpoint.send(("params", params.to_wire()))
+            if kind == "full":
+                machine, ctx = cat._full_machine(spec, "sender", params)
+                wire_spec = spec
+            else:
+                wire_spec = _delta_spec(spec)
+                machine, ctx = cat._delta_machine(
+                    wire_spec, spec, "sender", params
+                )
+            machine.ensure_state()
+            tcp.run_rounds(
+                endpoint, machine, wire_spec, sends="S",
+                chunk_size=chunk_size, recorder=cat.recorder,
+            )
+        finally:
+            endpoint.close()
+        if kind == "full":
+            cat._commit_full(spec, "sender", machine.state, ctx, params)
+        else:
+            cat._commit_delta(spec, "sender", machine.state, ctx)
+        return QueryResult(
+            answer=None,
+            mode=kind,
+            cache_hit=bool(ctx.get("hit")),
+            size_v_r=getattr(machine.state, "size_v_r", None),
+        )
+
+    def _query_server_session(
+        self, spec: ProtocolSpec, mode: str, chunk_size: int | None
+    ) -> QueryResult:
+        from .net import tcp
+
+        cat = self._catalog
+        opts = self._session
+        params = cat._ensure_params()
+        kind = self._resolve_kind(spec, mode, "sender")
+        built: dict[str, Any] = {}
+        snapshot = cat._snapshot()
+        if kind == "full":
+            wire_name = spec.name
+            cached, entry, digest = cat._cached_for(
+                spec, "sender", params, snapshot
+            )
+            ctx = {
+                "digest": digest, "entry": entry,
+                "hit": cached is not None, "snapshot": snapshot,
+            }
+            extra = {"cached": cached} if cached is not None else {}
+
+            def make_sender() -> Any:
+                state = spec.make_sender(
+                    snapshot, params, cat.rng, engine=cat.engine, **extra
+                )
+                built["state"] = state
+                return state
+        else:
+            dspec = _delta_spec(spec)
+            wire_name = dspec.name
+            ctx = {"snapshot": snapshot}
+            exchange = cat._delta_exchange(spec, "sender", snapshot)
+
+            def make_sender() -> Any:
+                state = dspec.make_sender(
+                    exchange, params, cat.rng, engine=cat.engine
+                )
+                built["state"] = state
+                return state
+
+        def _capture(actual_port: int) -> None:
+            self._port = actual_port
+            if self._ready_callback is not None:
+                self._ready_callback(actual_port)
+
+        size_v_r, stats = tcp.serve_resumable_sender(
+            wire_name, None, params, cat.rng,
+            host=self._host, port=self._port, ready_callback=_capture,
+            config=opts.config, engine=cat.engine, recorder=cat.recorder,
+            journal_dir=opts.journal_dir, journal_fsync=opts.journal_fsync,
+            chunk_size=chunk_size, make_sender=make_sender,
+        )
+        if kind == "full":
+            cat._commit_full(spec, "sender", built["state"], ctx, params)
+        else:
+            cat._commit_delta(spec, "sender", built["state"], ctx)
+        return QueryResult(
+            answer=None,
+            mode=kind,
+            cache_hit=bool(ctx.get("hit")),
+            size_v_r=size_v_r,
+            stats=stats,
+        )
 
 
 def run(
@@ -139,12 +1116,13 @@ def run(
 ) -> RunResult:
     """Run both parties of any registered protocol in-process.
 
-    Interprets the spec's round schedule with a
-    :class:`~repro.protocols.parties.ReceiverMachine` and a
-    :class:`~repro.protocols.parties.SenderMachine` exchanging wire
-    payloads directly - the same payloads the TCP drivers would put on
-    a socket, so the logical transcript is identical to a networked
-    run.
+    A thin open-query-close over the stateful core: two
+    :class:`Catalog` objects are opened, paired, queried once and
+    dropped - the wire payloads (and rng draw order) are identical to
+    what this function always produced. Delta specs
+    (``"<name>+delta"``) run directly with
+    :class:`~repro.protocols.delta.DeltaExchange` inputs and commit
+    nothing (the caller owns the base state).
 
     Args:
         protocol: registry name (or an unregistered spec object).
@@ -168,26 +1146,35 @@ def run(
     if params is None:
         params = PublicParams.for_bits(bits)
     rng_r, rng_s = _party_rngs(seed, rng)
-    receiver = ReceiverMachine(
-        spec, receiver_data, params, rng_r, engine=engine, recorder=recorder
-    )
-    sender = SenderMachine(
-        spec, sender_data, params, rng_s, engine=engine, recorder=recorder
-    )
-    for rnd in spec.rounds:
-        producer, consumer = (
-            (receiver, sender) if rnd.source == "R" else (sender, receiver)
+    if spec.delta_of is not None:
+        receiver = ReceiverMachine(
+            spec, receiver_data, params, rng_r, engine=engine,
+            recorder=recorder,
         )
-        if chunk_size is not None and rnd.chunkable:
-            payloads = list(producer.produce_chunks(rnd, chunk_size))
-            consumer.consume_chunks(rnd, payloads)
-        else:
-            consumer.consume(rnd, producer.produce(rnd).to_wire())
-    answer = receiver.finish()
+        sender = SenderMachine(
+            spec, sender_data, params, rng_s, engine=engine,
+            recorder=recorder,
+        )
+        _exchange_local(spec, receiver, sender, chunk_size)
+        answer = receiver.finish()
+        return RunResult(
+            answer=answer,
+            size_v_r=getattr(sender.state, "size_v_r", None),
+            size_v_s=getattr(receiver.state, "size_v_s", None),
+        )
+    catalog_r = Catalog(
+        receiver_data, params=params, rng=rng_r, engine=engine,
+        recorder=recorder,
+    )
+    catalog_s = Catalog(
+        sender_data, params=params, rng=rng_s, engine=engine,
+        recorder=recorder,
+    )
+    result = catalog_r.pair(catalog_s).query(spec, chunk_size=chunk_size)
     return RunResult(
-        answer=answer,
-        size_v_r=sender.state.size_v_r,
-        size_v_s=receiver.state.size_v_s,
+        answer=result.answer,
+        size_v_r=result.size_v_r,
+        size_v_s=result.size_v_s,
     )
 
 
@@ -210,20 +1197,26 @@ def serve(
     journal_dir: Any = None,
     config: Any = None,
     async_: bool = False,
+    session: SessionOptions | None = None,
 ) -> ServeResult:
     """Run party S of any registered protocol as a TCP server.
 
     Blocks until one receiver has been served and returns a
     :class:`ServeResult` carrying the actual bound port - with
-    ``port=0`` the kernel picks a free one, and ``ready_callback``
-    (when given) still fires with it as soon as the listener is up.
+    ``port=0`` the kernel picks a free one, exposed as
+    ``ServeResult.port`` (and still passed to ``ready_callback`` as
+    soon as the listener is up). The plain path is a thin
+    open-query-close over :class:`Catalog` / :class:`Peer` speaking
+    the legacy handshake, so the wire transcript is byte-identical to
+    earlier releases.
 
-    ``resumable=True`` (implied by ``journal_dir``) serves under the
-    fault-tolerant session layer: checksummed frames, resume after
-    disconnects, chunk-granular cursors when ``chunk_size`` is set,
-    and - with a ``journal_dir`` - crash recovery from the on-disk
-    round journal. ``config`` is its
-    :class:`~repro.net.session.SessionConfig`.
+    ``session=SessionOptions(...)`` serves under the fault-tolerant
+    session layer: checksummed frames, resume after disconnects,
+    chunk-granular cursors when ``chunk_size`` is set, and - with a
+    ``journal_dir`` - crash recovery from the on-disk round journal.
+    The older ``resumable=`` / ``journal_dir=`` kwargs still work but
+    are deprecated (warn-once); ``config`` overrides the session
+    config either way.
 
     ``async_=True`` hosts the same one-session run on the event-loop
     server (:class:`~repro.net.server.ProtocolServer`): identical wire
@@ -239,6 +1232,7 @@ def serve(
         params = PublicParams.for_bits(bits)
     if rng is None:
         rng = random.Random(seed)
+    opts = _coerce_session("serve", resumable, journal_dir, session)
     bound: dict[str, int] = {}
 
     def _capture(actual_port: int) -> None:
@@ -249,24 +1243,35 @@ def serve(
     if async_:
         return _serve_async(
             spec, data, params, rng, host=host, port=port,
-            ready_callback=_capture, config=config, engine=engine,
-            recorder=recorder, journal_dir=journal_dir,
+            ready_callback=_capture,
+            config=config if config is not None else (opts.config if opts else None),
+            engine=engine, recorder=recorder,
+            journal_dir=opts.journal_dir if opts else None,
             chunk_size=chunk_size,
         )
-    if resumable or journal_dir is not None:
+    if opts is not None:
         size_v_r, stats = tcp.serve_resumable_sender(
             spec.name, data, params, rng, host=host, port=port,
-            ready_callback=_capture, config=config, engine=engine,
-            recorder=recorder, journal_dir=journal_dir,
-            chunk_size=chunk_size,
+            ready_callback=_capture,
+            config=config if config is not None else opts.config,
+            engine=engine, recorder=recorder, journal_dir=opts.journal_dir,
+            journal_fsync=opts.journal_fsync, chunk_size=chunk_size,
         )
         return ServeResult(size_v_r=size_v_r, port=bound["port"], stats=stats)
-    size_v_r = tcp.serve(
-        spec, data, params, rng, host=host, port=port,
-        ready_callback=_capture, timeout=timeout, engine=engine,
-        recorder=recorder, chunk_size=chunk_size,
+    catalog = Catalog(
+        data, params=params, rng=rng, engine=engine, recorder=recorder
     )
-    return ServeResult(size_v_r=size_v_r, port=bound["port"], stats=None)
+    peer = catalog.serve(
+        host=host, port=port, ready_callback=_capture, timeout=timeout,
+        announce=False,
+    )
+    try:
+        result = peer.query(spec, chunk_size=chunk_size)
+    finally:
+        peer.close()
+    return ServeResult(
+        size_v_r=result.size_v_r, port=bound["port"], stats=None
+    )
 
 
 def _serve_async(
@@ -335,17 +1340,22 @@ def connect(
     config: Any = None,
     retry_busy: int = 0,
     retry: Any = None,
+    session: SessionOptions | None = None,
 ) -> ConnectResult:
     """Run party R of any registered protocol as a TCP client.
 
     The server's handshake carries the public parameters, so R needs
     no setup beyond the address. Returns a :class:`ConnectResult`
-    whose ``answer`` is the protocol's output for R.
+    whose ``answer`` is the protocol's output for R. The plain path is
+    a thin open-query-close over :class:`Catalog` / :class:`Peer`
+    speaking the legacy handshake, so the wire transcript is
+    byte-identical to earlier releases.
 
-    ``resumable=True`` (implied by ``journal_dir``) connects under the
-    fault-tolerant session layer - it must match a resumable server.
-    ``chunk_size`` streams R's chunkable outgoing rounds; inbound
-    chunking is auto-detected either way.
+    ``session=SessionOptions(...)`` connects under the fault-tolerant
+    session layer - it must match a resumable server. The older
+    ``resumable=`` / ``journal_dir=`` kwargs still work but are
+    deprecated (warn-once). ``chunk_size`` streams R's chunkable
+    outgoing rounds; inbound chunking is auto-detected either way.
 
     ``retry_busy`` waits out up to that many typed busy refusals from
     a saturated or draining server, sleeping the server's own retry
@@ -382,6 +1392,7 @@ def connect(
     spec = get_spec(protocol)
     if rng is None:
         rng = random.Random(seed)
+    opts = _coerce_session("connect", resumable, journal_dir, session)
     if retry is not None and retry_busy:
         raise ValueError("pass either retry= or retry_busy=, not both")
     if isinstance(retry, str):
@@ -389,19 +1400,27 @@ def connect(
     if retry is not None and config is None:
         config = retry.session_config()
 
+    catalog = (
+        Catalog(data, params=None, rng=rng, engine=engine, recorder=recorder)
+        if opts is None
+        else None
+    )
+
     def _attempt() -> ConnectResult:
-        if resumable or journal_dir is not None:
+        if opts is not None:
             answer, stats = tcp.connect_resumable_receiver(
-                spec.name, data, rng, host, port, config=config,
-                engine=engine, recorder=recorder, journal_dir=journal_dir,
-                chunk_size=chunk_size,
+                spec.name, data, rng, host, port,
+                config=config if config is not None else opts.config,
+                engine=engine, recorder=recorder,
+                journal_dir=opts.journal_dir,
+                journal_fsync=opts.journal_fsync, chunk_size=chunk_size,
             )
             return ConnectResult(answer=answer, stats=stats)
-        answer = tcp.connect(
-            spec, data, rng, host, port, timeout=timeout, engine=engine,
-            recorder=recorder, chunk_size=chunk_size,
+        peer = catalog.connect(
+            host, port=port, timeout=timeout, announce=False
         )
-        return ConnectResult(answer=answer, stats=None)
+        result = peer.query(spec, mode="full", chunk_size=chunk_size)
+        return ConnectResult(answer=result.answer, stats=None)
 
     if retry is not None:
         deadline = (

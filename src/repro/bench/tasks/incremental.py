@@ -1,0 +1,133 @@
+"""Area ``incremental`` — repeated queries through the Catalog API.
+
+The repeated-query claim the Catalog/Peer redesign makes: after one
+full run, a query over a churned table costs O(|delta|) modexp work,
+not O(|V|).  This area measures exactly that crossover — a sweep of
+churn fractions over a fixed table, each fraction timing (a) the
+delta query through a warm :class:`repro.Catalog` pair and (b) a full
+re-run over the same mutated tables — and records the speedup.  Tiny
+deltas should sit far above 1x (the acceptance floor for the 1%
+point is 5x at |V|=2000); at 50% churn the delta path's bookkeeping
+approaches the full run and the ratio flattens toward 1, which is
+the honest shape of the tradeoff, not a regression.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..registry import register
+
+__all__ = ["sweep_fractions"]
+
+
+def _tables(n: int) -> tuple[list[str], list[str]]:
+    """Two tables with a 50% overlap, |V| = n each."""
+    half = n // 2
+    common = [f"common-{i}" for i in range(half)]
+    v_r = common + [f"r-only-{i}" for i in range(n - half)]
+    v_s = common + [f"s-only-{i}" for i in range(n - half)]
+    return v_r, v_s
+
+
+def _churn(catalog, prefix: str, k: int, victims: list[str]) -> None:
+    """Stage ``k`` inserts and ``k`` deletes on one catalog."""
+    for i in range(k):
+        catalog.insert(f"{prefix}-new-{i}")
+    for value in victims[:k]:
+        catalog.delete(value)
+
+
+def sweep_fractions(
+    n: int,
+    fractions: list[float],
+    bits: int,
+    protocol: str,
+    rng: random.Random,
+) -> list[dict]:
+    """One record per churn fraction: delta vs full-rerun wall time.
+
+    Every fraction gets fresh catalogs (so one point's committed
+    delta never warms the next), one full query to establish the
+    incremental state, ``k = max(1, n*fraction)`` staged inserts plus
+    ``k`` deletes per side, and then two timed runs over identical
+    mutated tables: the delta query on the warm pair and a cold full
+    exchange on a second pair.  Both answers must agree — a fast
+    wrong answer is not a speedup.
+    """
+    import repro
+
+    v_r, v_s = _tables(n)
+    records = []
+    for fraction in fractions:
+        k = max(1, int(n * fraction))
+        seed_r, seed_s = rng.getrandbits(64), rng.getrandbits(64)
+
+        cat_r = repro.open_catalog(list(v_r), bits=bits, seed=seed_r)
+        cat_s = repro.open_catalog(list(v_s), bits=bits, seed=seed_s)
+        peer = cat_r.pair(cat_s)
+        started = time.perf_counter()
+        peer.query(protocol)
+        full_s = time.perf_counter() - started
+
+        _churn(cat_r, "r", k, v_r)
+        _churn(cat_s, "s", k, v_s)
+        started = time.perf_counter()
+        delta = peer.query(protocol)
+        delta_s = time.perf_counter() - started
+        assert delta.mode == "delta"
+
+        # The baseline: a cold full run over the same mutated tables.
+        cold_r = repro.open_catalog(
+            list(cat_r.data), bits=bits, seed=rng.getrandbits(64)
+        )
+        cold_s = repro.open_catalog(
+            list(cat_s.data), bits=bits, seed=rng.getrandbits(64)
+        )
+        started = time.perf_counter()
+        rerun = cold_r.pair(cold_s).query(protocol)
+        rerun_s = time.perf_counter() - started
+
+        records.append({
+            "id": f"n{n}-frac-{fraction}",
+            "fraction": fraction,
+            "n": n,
+            "delta_values": 2 * k,
+            "answers_agree": delta.answer == rerun.answer,
+            "metrics": {
+                "elapsed_s": round(full_s + delta_s + rerun_s, 6),
+                "full_first_s": round(full_s, 6),
+                "delta_s": round(delta_s, 6),
+                "full_rerun_s": round(rerun_s, 6),
+                "speedup": round(rerun_s / delta_s, 3) if delta_s else 0.0,
+            },
+        })
+    return records
+
+
+@register(
+    "incremental.delta-sweep",
+    smoke={
+        "n": 200, "bits": 96, "protocol": "intersection",
+        "fractions": [0.01, 0.1],
+    },
+    full={
+        "n": 2000, "bits": 128, "protocol": "intersection",
+        "fractions": [0.001, 0.01, 0.1, 0.5],
+    },
+    source="benchmarks/bench_incremental.py",
+    summary="Delta-query vs full-rerun wall time through the Catalog "
+            "API, swept over churn fractions of |V| (the repeated-"
+            "query crossover the incremental protocol buys).",
+    regress_on=("delta_s", "full_rerun_s"),
+)
+def delta_sweep(ctx) -> list[dict]:
+    """Sweep churn fractions; record the delta/full crossover."""
+    return sweep_fractions(
+        n=ctx.param("n"),
+        fractions=list(ctx.param("fractions")),
+        bits=ctx.param("bits"),
+        protocol=ctx.param("protocol"),
+        rng=ctx.rng,
+    )

@@ -16,6 +16,12 @@ Commands:
     calibrate          measure C_e/C_h/C_K/C_s on this machine
     serve              party S of any protocol as a real TCP server
     connect            party R of any protocol as a TCP client
+    catalog            repeated incremental queries (stateful Catalog
+                       API): ``catalog query`` in-process, ``catalog
+                       serve``/``catalog connect`` over TCP, with
+                       ``--insert``/``--delete`` staging a delta round
+                       and ``--cache-dir`` persisting the encrypted
+                       catalog across restarts
 
 ``serve``/``connect`` accept ``--protocol`` (every protocol in the
 :mod:`repro.protocols.spec` registry - new registrations appear here
@@ -118,7 +124,11 @@ def _read_value_ext(path: str) -> dict[str, bytes]:
 
 #: ``serve``/``connect`` choices come straight from the spec registry,
 #: so a protocol registered there is network-runnable with no CLI edit.
-NET_PROTOCOLS = tuple(PROTOCOLS)
+#: Delta schedules (``<name>+delta``) are internal - the catalog layer
+#: selects them automatically - so they are filtered from the choices.
+NET_PROTOCOLS = tuple(
+    name for name, spec in PROTOCOLS.items() if spec.delta_of is None
+)
 
 #: How each spec's declared ``sender_input`` shape maps to a file reader.
 _SENDER_READERS = {
@@ -276,6 +286,79 @@ def build_parser() -> argparse.ArgumentParser:
              "backoff under a total deadline; replaces --retry-busy",
     )
     _add_engine_options(p)
+
+    p = sub.add_parser(
+        "catalog",
+        help="repeated incremental queries via the stateful Catalog API",
+    )
+    cat_sub = p.add_subparsers(dest="catalog_command", required=True)
+
+    def _add_catalog_common(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument(
+            "--protocol", choices=NET_PROTOCOLS, default="intersection",
+            help="which protocol to query (default intersection)",
+        )
+        cp.add_argument(
+            "--cache-dir", default=None,
+            help="persist this party's encrypted catalog here so a "
+                 "restart warm-starts the first query (holds raw keys - "
+                 "keep private)",
+        )
+        cp.add_argument(
+            "--insert", action="append", default=[], metavar="VALUE",
+            help="stage an insert after the first query (repeatable; "
+                 "mapping protocols take value,payload)",
+        )
+        cp.add_argument(
+            "--delete", action="append", default=[], metavar="VALUE",
+            help="stage a delete after the first query (repeatable)",
+        )
+
+    cp = cat_sub.add_parser(
+        "query", help="both parties in-process: full query, then a "
+                      "delta query after staged mutations",
+    )
+    cp.add_argument("--receiver", required=True, help="R's value file")
+    cp.add_argument(
+        "--sender", required=True,
+        help="S's value file (equijoin: value,ext lines; "
+             "equijoin-sum: value,amount lines)",
+    )
+    _add_catalog_common(cp)
+
+    cp = cat_sub.add_parser(
+        "serve", help="serve a catalog as party S, answering N queries",
+    )
+    cp.add_argument(
+        "--sender", required=True,
+        help="S's value file (equijoin: value,ext lines; "
+             "equijoin-sum: value,amount lines)",
+    )
+    cp.add_argument("--host", default="127.0.0.1")
+    cp.add_argument("--port", type=int, default=0, help="0 = pick a free port")
+    cp.add_argument(
+        "--timeout", type=float, default=None,
+        help="socket deadline in seconds (default: block forever)",
+    )
+    cp.add_argument(
+        "--queries", type=int, default=1,
+        help="how many client queries to answer before exiting "
+             "(default 1; staged --insert/--delete apply after the "
+             "first answered query)",
+    )
+    _add_catalog_common(cp)
+
+    cp = cat_sub.add_parser(
+        "connect", help="query a serving catalog as party R",
+    )
+    cp.add_argument("--receiver", required=True, help="R's value file")
+    cp.add_argument("--host", default="127.0.0.1")
+    cp.add_argument("--port", type=int, required=True)
+    cp.add_argument(
+        "--timeout", type=float, default=None,
+        help="socket deadline in seconds (default: block forever)",
+    )
+    _add_catalog_common(cp)
 
     return parser
 
@@ -659,6 +742,137 @@ def _cmd_connect(args: argparse.Namespace) -> int:
         engine.close()
 
 
+def _split_insert(raw: str) -> tuple[str, str | None]:
+    """One ``--insert`` operand: ``value`` or ``value,payload``."""
+    value, sep, payload = raw.partition(",")
+    return value.strip(), (payload.strip() if sep else None)
+
+
+def _sender_payload(shape: str, value: str, payload: str | None):
+    """Parse an insert payload per the spec's sender-input shape."""
+    if shape == "values":
+        if payload is not None:
+            raise SystemExit(
+                f"repro: --insert {value},{payload}: {shape!r} protocols "
+                "take bare values"
+            )
+        return None
+    if payload is None:
+        raise SystemExit(
+            f"repro: --insert {value}: this protocol needs value,"
+            f"{'ext' if shape == 'ext' else 'amount'}"
+        )
+    return payload.encode("utf-8") if shape == "ext" else int(payload)
+
+
+def _stage(catalog, inserts, deletes, shape: str | None) -> None:
+    """Apply ``--insert``/``--delete`` operands to one catalog.
+
+    ``shape`` is the sender-input shape for a sender-side catalog, or
+    ``None`` for a receiver (bare values). Deletes of absent values
+    are skipped so one shared operand list can drive both parties.
+    """
+    for value, payload in inserts:
+        if shape is None:
+            catalog.insert(value)
+        else:
+            catalog.insert(value, _sender_payload(shape, value, payload))
+    for value in deletes:
+        if value in catalog.data:
+            catalog.delete(value)
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    """The ``catalog`` subcommands: stateful repeated-query runs."""
+    import random as _random
+
+    from .api import open_catalog
+
+    spec = get_spec(args.protocol)
+    shape = spec.sender_input
+    inserts = [_split_insert(raw) for raw in args.insert]
+    deletes = [v.strip() for v in args.delete]
+    mutating = bool(inserts or deletes)
+
+    if args.catalog_command == "query":
+        master = _random.Random(args.seed)
+        rng_r = _random.Random(master.getrandbits(64))
+        rng_s = _random.Random(master.getrandbits(64))
+        base = Path(args.cache_dir) if args.cache_dir else None
+        cat_r = open_catalog(
+            _read_values(args.receiver), bits=args.bits, rng=rng_r,
+            cache_dir=base / "receiver" if base else None,
+        )
+        cat_s = open_catalog(
+            _SENDER_READERS[shape](args.sender), bits=args.bits, rng=rng_s,
+            cache_dir=base / "sender" if base else None,
+        )
+        peer = cat_r.pair(cat_s)
+        result = peer.query(spec)
+        print(
+            f"# query 1: mode={result.mode} cache_hit={result.cache_hit}",
+            file=sys.stderr,
+        )
+        _print_answer(spec.name, result.answer)
+        if mutating:
+            _stage(cat_r, inserts, deletes, None)
+            _stage(cat_s, inserts, deletes, shape)
+            result = peer.query(spec)
+            print(f"# query 2: mode={result.mode}", file=sys.stderr)
+            _print_answer(spec.name, result.answer)
+        return 0
+
+    if args.catalog_command == "serve":
+        catalog = open_catalog(
+            _SENDER_READERS[shape](args.sender), bits=args.bits,
+            seed=args.seed, cache_dir=args.cache_dir,
+        )
+
+        def announce(port: int) -> None:
+            print(
+                f"serving {spec.name} catalog as party S on "
+                f"{args.host}:{port} ({len(catalog.data)} values)",
+                flush=True,
+            )
+
+        peer = catalog.serve(
+            host=args.host, port=args.port, ready_callback=announce,
+            timeout=args.timeout,
+        )
+        try:
+            for i in range(max(args.queries, 1)):
+                result = peer.query(spec)
+                print(
+                    f"# query {i + 1}: mode={result.mode} "
+                    f"|V_R|={result.size_v_r}",
+                    file=sys.stderr,
+                )
+                if i == 0 and mutating:
+                    _stage(catalog, inserts, deletes, shape)
+        finally:
+            peer.close()
+        return 0
+
+    # catalog connect: party R dials a serving catalog.
+    catalog = open_catalog(
+        _read_values(args.receiver), bits=args.bits, seed=args.seed,
+        cache_dir=args.cache_dir,
+    )
+    peer = catalog.connect(args.host, port=args.port, timeout=args.timeout)
+    result = peer.query(spec)
+    print(
+        f"# query 1: mode={result.mode} cache_hit={result.cache_hit}",
+        file=sys.stderr,
+    )
+    _print_answer(spec.name, result.answer)
+    if mutating:
+        _stage(catalog, inserts, deletes, None)
+        result = peer.query(spec)
+        print(f"# query 2: mode={result.mode}", file=sys.stderr)
+        _print_answer(spec.name, result.answer)
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ("intersection", "intersection-size",
                         "equijoin-size", "equijoin-sum"):
@@ -673,6 +887,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "connect":
         return _cmd_connect(args)
+    if args.command == "catalog":
+        return _cmd_catalog(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

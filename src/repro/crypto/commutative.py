@@ -18,6 +18,7 @@ protocols.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from abc import ABC, abstractmethod
 from typing import Iterable
@@ -26,7 +27,26 @@ from .engine import CryptoEngine, SerialEngine
 from .groups import QRGroup
 from .numtheory import modinv
 
-__all__ = ["CommutativeCipher", "PowerCipher"]
+__all__ = ["CommutativeCipher", "PowerCipher", "key_fingerprint"]
+
+
+def key_fingerprint(keys: Iterable[int], p: int) -> str:
+    """A stable hex fingerprint of a party's cipher keys under ``p``.
+
+    The encrypted-catalog cache keys its entries by this fingerprint so
+    persisted ciphertexts are never replayed under a different key or
+    modulus.  The fingerprint is a one-way digest: it identifies the
+    keys without revealing them (though cache files themselves hold the
+    raw keys and must stay private to their party — see the cache-key
+    hygiene notes in ``docs/PROTOCOLS.md``).
+    """
+    digest = hashlib.sha256(b"repro-catalog-key-fp-v1")
+    digest.update(int(p).to_bytes((int(p).bit_length() + 7) // 8 or 1, "big"))
+    for key in keys:
+        key = int(key)
+        digest.update(b"\x00")
+        digest.update(key.to_bytes((key.bit_length() + 7) // 8 or 1, "big"))
+    return digest.hexdigest()
 
 
 class CommutativeCipher(ABC):

@@ -1,0 +1,337 @@
+"""On-disk encrypted-catalog cache for repeated queries.
+
+A party's expensive per-query work — hashing its values and raising
+each hash to its secret exponent — depends only on (value set, cipher
+key, public params).  This module persists that state so a process
+restart resumes a query series without redoing the O(|V|) modexp
+setup: each entry stores the party's cipher key(s) and, per value, the
+hash and its encryption(s), keyed by ``(table digest, key fingerprint,
+protocol)``.
+
+The file format mirrors the session journal's discipline
+(:mod:`repro.net.journal`): a magic + version header, then CRC-sealed
+length-prefixed records, every byte written through the
+:class:`~repro.net.diskfaults.JournalIO` seam so seeded disk faults
+are injectable, fsync'd before an entry is advertised as durable, and
+torn tails truncated on open.  Mutations append ``add``/``del`` delta
+records and then atomically re-key the file (``os.replace`` +
+directory fsync) to the digest of the new table, so lookups always key
+on the *current* table contents and a crash between append and rename
+leaves the old entry intact.
+
+Security note (cache-key hygiene, detailed in ``docs/PROTOCOLS.md``):
+entries contain the party's **raw secret keys** — that is what makes
+cached ciphertexts reusable.  The cache directory is created with mode
+``0o700`` and must remain private to the party; sharing it is
+equivalent to publishing the keys.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Hashable, Mapping
+
+from ..crypto.commutative import key_fingerprint
+from ..protocols.parties import PartyCache, PublicParams
+from .diskfaults import JournalIO
+from .serialization import decode, encode
+
+__all__ = [
+    "CATALOG_MAGIC",
+    "CATALOG_VERSION",
+    "CatalogCacheError",
+    "CacheEntry",
+    "CatalogCache",
+    "table_digest",
+]
+
+CATALOG_VERSION = 1
+CATALOG_MAGIC = b"RPCC" + struct.pack(">H", CATALOG_VERSION)
+
+_LEN = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+
+
+class CatalogCacheError(Exception):
+    """A cache entry is unreadable or inconsistent (corruption, key
+    mismatch, params mismatch).  Callers treat this as a miss."""
+
+
+def table_digest(data: Any) -> str:
+    """A canonical hex digest of a party's table contents.
+
+    Accepts the same shapes the party factories do: a mapping (ext
+    payloads / amounts) digests as sorted ``(value, payload)`` pairs, a
+    plain iterable as its sorted occurrence list (multiplicities kept,
+    so multiset tables digest distinctly).  Uses the wire encoding for
+    canonicalization, so equal tables digest equally across processes.
+    """
+    import hashlib
+
+    if isinstance(data, Mapping):
+        items = sorted(data.items(), key=lambda kv: repr(kv[0]))
+        payload = ("map", [list(kv) for kv in items])
+    else:
+        payload = ("seq", sorted(data, key=repr))
+    return hashlib.sha256(encode(payload)).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One decoded cache entry: keys plus per-value crypto state."""
+
+    digest: str
+    protocol: str
+    params: PublicParams
+    keys: tuple
+    entries: dict[Hashable, tuple]
+    path: Path
+
+    @property
+    def fingerprint(self) -> str:
+        """The key fingerprint the entry is keyed under."""
+        return key_fingerprint(self.keys, self.params.p)
+
+    def party_cache(self) -> PartyCache:
+        """The entry as a :class:`PartyCache` ready for injection."""
+        return PartyCache(keys=self.keys, entries=dict(self.entries))
+
+
+def _record(payload: Any) -> bytes:
+    """One CRC-sealed record: ``u32 len || payload || u32 crc32``."""
+    raw = encode(payload)
+    return _LEN.pack(len(raw)) + raw + _CRC.pack(zlib.crc32(raw))
+
+
+def _scan_records(data: bytes) -> tuple[list[Any], int]:
+    """Decode records after the magic; returns (records, good_end).
+
+    Stops at the first torn or corrupt tail — everything before it is
+    intact (CRC-verified), mirroring the journal's recovery scan.
+    """
+    records: list[Any] = []
+    offset = good_end = len(CATALOG_MAGIC)
+    while offset < len(data):
+        if offset + _LEN.size > len(data):
+            break
+        (length,) = _LEN.unpack_from(data, offset)
+        end = offset + _LEN.size + length + _CRC.size
+        if end > len(data):
+            break
+        raw = data[offset + _LEN.size : offset + _LEN.size + length]
+        (crc,) = _CRC.unpack_from(data, offset + _LEN.size + length)
+        if zlib.crc32(raw) != crc:
+            break
+        records.append(decode(raw))
+        offset = good_end = end
+    return records, good_end
+
+
+class CatalogCache:
+    """Directory of persisted encrypted-catalog entries.
+
+    One file per ``(table digest, key fingerprint, protocol)``; the
+    digest and protocol name the file, the fingerprint is verified
+    against the stored keys on load.  All I/O goes through the
+    injected :class:`JournalIO`, so the disk-fault harness can attack
+    every write, fsync and rename.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        io: JournalIO | None = None,
+        fsync: bool = True,
+    ):
+        self.root = Path(root)
+        self.io = io or JournalIO()
+        self.fsync = fsync
+        self.root.mkdir(parents=True, exist_ok=True, mode=0o700)
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str, protocol: str) -> Path:
+        """The entry file for a table digest + protocol."""
+        return self.root / f"{digest[:32]}.{protocol}.cat"
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def lookup(self, digest: str, protocol: str) -> CacheEntry | None:
+        """Load the entry for ``(digest, protocol)``; ``None`` on miss.
+
+        Corrupt headers raise :class:`CatalogCacheError`; a torn tail
+        (crash mid-append) is truncated away and the intact prefix
+        served, matching the journal's recovery semantics.
+        """
+        path = self.path_for(digest, protocol)
+        if not path.exists():
+            return None
+        entry = self._load(path)
+        if entry.digest != digest or entry.protocol != protocol:
+            raise CatalogCacheError(
+                f"cache entry {path.name} header names "
+                f"({entry.digest[:12]}…, {entry.protocol}), expected "
+                f"({digest[:12]}…, {protocol})"
+            )
+        return entry
+
+    def _load(self, path: Path) -> CacheEntry:
+        data = path.read_bytes()
+        if data[: len(CATALOG_MAGIC)] != CATALOG_MAGIC:
+            raise CatalogCacheError(f"{path.name}: bad catalog-cache magic")
+        records, good_end = _scan_records(data)
+        if good_end < len(data):
+            # Torn tail from a crash mid-append: repair like the
+            # journal does, keeping the verified prefix.
+            self.io.truncate(path, good_end)
+        if not records:
+            raise CatalogCacheError(f"{path.name}: no intact header record")
+        header = records[0]
+        if not (isinstance(header, tuple) and header[0] == "header"):
+            raise CatalogCacheError(f"{path.name}: first record not a header")
+        _, digest, protocol, params_wire, keys, fingerprint = header
+        params = PublicParams.from_wire(params_wire)
+        if key_fingerprint(keys, params.p) != fingerprint:
+            raise CatalogCacheError(
+                f"{path.name}: key fingerprint mismatch (corrupt or foreign keys)"
+            )
+        entries: dict[Hashable, tuple] = {}
+        for record in records[1:]:
+            kind = record[0]
+            if kind == "add":
+                _, value, hash_, ys = record
+                entries[value] = (hash_, tuple(ys))
+            elif kind == "del":
+                entries.pop(record[1], None)
+            else:
+                raise CatalogCacheError(
+                    f"{path.name}: unknown record kind {kind!r}"
+                )
+        return CacheEntry(
+            digest=digest,
+            protocol=protocol,
+            params=params,
+            keys=tuple(keys),
+            entries=entries,
+            path=path,
+        )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        digest: str,
+        protocol: str,
+        params: PublicParams,
+        keys: tuple,
+        entries: Mapping[Hashable, tuple],
+    ) -> CacheEntry:
+        """Durably write a fresh entry (atomic: tmp + rename + dir fsync)."""
+        path = self.path_for(digest, protocol)
+        fingerprint = key_fingerprint(keys, params.p)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        fh = self.io.open_append(tmp)
+        try:
+            if fh.tell() > 0:  # leftover tmp from an earlier crash
+                fh.close()
+                tmp.unlink()
+                fh = self.io.open_append(tmp)
+            self.io.write(fh, CATALOG_MAGIC)
+            self.io.write(
+                fh,
+                _record(
+                    (
+                        "header",
+                        digest,
+                        protocol,
+                        params.to_wire(),
+                        tuple(int(k) for k in keys),
+                        fingerprint,
+                    )
+                ),
+            )
+            for value in sorted(entries, key=repr):
+                hash_, ys = entries[value]
+                self.io.write(
+                    fh,
+                    _record(
+                        ("add", value, int(hash_), tuple(int(y) for y in ys))
+                    ),
+                )
+            self.io.flush(fh)
+            if self.fsync:
+                self.io.fsync(fh)
+        finally:
+            fh.close()
+        self.io.replace(tmp, path)
+        if self.fsync:
+            self.io.fsync_dir(self.root)
+        return CacheEntry(
+            digest=digest,
+            protocol=protocol,
+            params=params,
+            keys=tuple(keys),
+            entries={v: (h, tuple(ys)) for v, (h, ys) in entries.items()},
+            path=path,
+        )
+
+    def append_delta(
+        self,
+        entry: CacheEntry,
+        new_digest: str,
+        adds: Mapping[Hashable, tuple],
+        dels: Any = (),
+    ) -> CacheEntry:
+        """Append delta records to an entry and re-key it to the table's
+        new digest.
+
+        The appends are fsync'd before the rename, so a crash leaves
+        either the fully-updated entry under the new name or the old
+        entry (possibly with a torn tail, repaired on next load) under
+        the old one — never a renamed-but-unwritten entry.
+        """
+        fh = self.io.open_append(entry.path)
+        try:
+            for value in sorted(adds, key=repr):
+                hash_, ys = adds[value]
+                self.io.write(
+                    fh,
+                    _record(
+                        ("add", value, int(hash_), tuple(int(y) for y in ys))
+                    ),
+                )
+            for value in dels:
+                self.io.write(fh, _record(("del", value)))
+            self.io.flush(fh)
+            if self.fsync:
+                self.io.fsync(fh)
+        finally:
+            fh.close()
+        new_path = self.path_for(new_digest, entry.protocol)
+        # The header still names the original digest; rewrite the file
+        # under the new key so lookups stay consistent.  Rewriting via
+        # store() also compacts away superseded add/del churn.
+        for value in dels:
+            entry.entries.pop(value, None)
+        entry.entries.update(
+            {v: (h, tuple(ys)) for v, (h, ys) in adds.items()}
+        )
+        updated = self.store(
+            new_digest,
+            entry.protocol,
+            entry.params,
+            entry.keys,
+            entry.entries,
+        )
+        if new_path != entry.path and entry.path.exists():
+            os.unlink(entry.path)
+            if self.fsync:
+                self.io.fsync_dir(self.root)
+        return updated

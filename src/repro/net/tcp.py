@@ -279,6 +279,29 @@ def _recv_round(transport: Any, machine: Any, rnd: Any) -> None:
             return
 
 
+def run_rounds(
+    transport: Any,
+    machine: Any,
+    spec: ProtocolSpec,
+    *,
+    sends: str,
+    chunk_size: int | None = None,
+    recorder: Any = None,
+) -> None:
+    """Drive one party's side of a spec's round schedule on a transport.
+
+    ``sends`` is the round source this party ships (``"R"`` for the
+    receiver, ``"S"`` for the sender); every other round is received.
+    This is the loop both one-shot drivers run after their handshake,
+    shared so the stateful Catalog peers reuse it frame for frame.
+    """
+    for rnd in spec.rounds:
+        if rnd.source == sends:
+            _send_round(transport, machine, rnd, chunk_size, recorder)
+        else:
+            _recv_round(transport, machine, rnd)
+
+
 # ----------------------------------------------------------------------
 # Plain one-shot runs (original handshake; any failure aborts)
 # ----------------------------------------------------------------------
@@ -335,11 +358,10 @@ def serve(
             spec, data, params, rng, engine=engine, recorder=recorder
         )
         machine.ensure_state()
-        for rnd in spec.rounds:
-            if rnd.source == "R":
-                _recv_round(transport, machine, rnd)
-            else:
-                _send_round(transport, machine, rnd, chunk_size, recorder)
+        run_rounds(
+            transport, machine, spec, sends="S",
+            chunk_size=chunk_size, recorder=recorder,
+        )
         return machine.state.size_v_r
     finally:
         transport.close()
@@ -390,11 +412,10 @@ def connect(
             recorder=recorder,
         )
         machine.ensure_state()
-        for rnd in spec.rounds:
-            if rnd.source == "R":
-                _send_round(transport, machine, rnd, chunk_size, recorder)
-            else:
-                _recv_round(transport, machine, rnd)
+        run_rounds(
+            transport, machine, spec, sends="R",
+            chunk_size=chunk_size, recorder=recorder,
+        )
         return machine.finish()
     finally:
         transport.close()
@@ -428,6 +449,7 @@ def serve_resumable_sender(
     journal_dir: Any = None,
     journal_fsync: bool = True,
     chunk_size: int | None = None,
+    make_sender: Callable[[], Any] | None = None,
 ) -> tuple[int, SessionStats]:
     """Serve party S of any registered protocol under the session layer.
 
@@ -448,6 +470,12 @@ def serve_resumable_sender(
     this protocol instead of starting a fresh one - provided ``data``,
     ``rng`` *and* ``chunk_size`` match the crashed process (replay
     verifies the bytes exactly).
+
+    ``make_sender`` overrides the default state factory (which builds
+    ``spec.make_sender(data, params, rng)``); the stateful Catalog
+    peers use it to inject warm-cache construction and to keep a handle
+    on the built party for delta commits. It may be called more than
+    once (journal replay), so it must be idempotent.
     """
     config = config or SessionConfig()
     spec = get_spec(protocol)
@@ -455,7 +483,8 @@ def serve_resumable_sender(
     # ``rng`` - this fixed draw order is what lets a restarted process
     # with an identically seeded ``rng`` replay its journal exactly.
     session_rng = random.Random(rng.getrandbits(64))
-    make_sender = lambda: spec.make_sender(data, params, rng, engine=engine)  # noqa: E731
+    if make_sender is None:
+        make_sender = lambda: spec.make_sender(data, params, rng, engine=engine)  # noqa: E731
     session = None
     if journal_dir is not None:
         from .journal import JournalDir, recover_sender_session
@@ -522,6 +551,7 @@ def connect_resumable_receiver(
     journal_dir: Any = None,
     journal_fsync: bool = True,
     chunk_size: int | None = None,
+    make_receiver: Callable[[Any], Any] | None = None,
 ) -> tuple[Any, SessionStats]:
     """Run party R of any registered protocol under the session layer.
 
@@ -538,13 +568,21 @@ def connect_resumable_receiver(
     this protocol (same ``data``/``rng`` seeding required - replay
     verifies it), reconnecting under the journaled session id so the
     server resumes the same run.
+
+    ``make_receiver`` overrides the default state factory (a
+    ``wire_params -> state`` closure over ``spec.make_receiver``); the
+    stateful Catalog peers use it to inject warm-cache construction
+    and to keep a handle on the built party for delta commits. It may
+    be called more than once (journal replay), so it must be
+    idempotent.
     """
     config = config or SessionConfig()
     spec = get_spec(protocol)
     session_rng = random.Random(rng.getrandbits(64))
-    make_receiver = lambda wire: spec.make_receiver(  # noqa: E731
-        data, PublicParams.from_wire(tuple(wire)), rng, engine=engine
-    )
+    if make_receiver is None:
+        make_receiver = lambda wire: spec.make_receiver(  # noqa: E731
+            data, PublicParams.from_wire(tuple(wire)), rng, engine=engine
+        )
     session = None
     if journal_dir is not None:
         from .journal import JournalDir, recover_receiver_session

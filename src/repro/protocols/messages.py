@@ -43,6 +43,11 @@ __all__ = [
     "SumReply",
     "BlindedSum",
     "RevealedSum",
+    "DeltaAnnounce",
+    "IntersectionDeltaPatch",
+    "SizeDeltaPatch",
+    "EquijoinDeltaPatch",
+    "SumDeltaPatch",
 ]
 
 
@@ -323,6 +328,77 @@ class SumReply(Message):
         if n is None:
             raise ValueError("part 0: missing 'pk' chunk")
         return (z_r, n)
+
+
+@dataclass(frozen=True)
+class DeltaAnnounce(Message):
+    """Delta round 1: the receiver's inserted and tombstoned ciphertexts.
+
+    ``added`` carries ``f_eR(h(v))`` for every value R inserted since
+    the last completed query, ``removed`` the same for deletions — both
+    lexicographically reordered so individual ciphertexts stay
+    unlinkable to insertion order (though not to the *fact* of churn;
+    see ``docs/PROTOCOLS.md`` on tombstone linkability).  Multiset
+    protocols repeat a ciphertext once per inserted/removed occurrence.
+    """
+
+    added: list
+    removed: list
+
+
+@dataclass(frozen=True)
+class IntersectionDeltaPatch(Message):
+    """Intersection delta round 2: S's own churn plus the new pairs.
+
+    ``y_s_added``/``y_s_removed`` extend and tombstone ``Y_S``;
+    ``pairs_added`` maps each ciphertext R announced as inserted to its
+    double encryption ``f_eS(y)``, keyed by ``y`` exactly like the full
+    run's pairs part.
+    """
+
+    y_s_added: list
+    y_s_removed: list
+    pairs_added: list
+
+
+@dataclass(frozen=True)
+class SizeDeltaPatch(Message):
+    """Intersection-size / equijoin-size delta round 2.
+
+    ``y_s_added``/``y_s_removed`` patch S's encrypted (multiset) set;
+    ``z_added``/``z_removed`` are the double encryptions of the
+    ciphertexts R announced, reordered so R learns the membership
+    effect but not the pairing (beyond what the delta size leaks).
+    """
+
+    y_s_added: list
+    y_s_removed: list
+    z_added: list
+    z_removed: list
+
+
+@dataclass(frozen=True)
+class EquijoinDeltaPatch(Message):
+    """Equijoin delta round 2: triples for R's inserts, pair churn for S's.
+
+    ``triples_added`` holds ``(y, f_eS(y), f'_eS(y))`` for each
+    announced insert; ``pairs_added`` new ``(codeword, K(kappa, ext))``
+    entries; ``pairs_removed`` the codewords S tombstoned.
+    """
+
+    triples_added: list
+    pairs_added: list
+    pairs_removed: list
+
+
+@dataclass(frozen=True)
+class SumDeltaPatch(Message):
+    """Equijoin-sum delta round 2: ``Z_R`` churn plus Paillier pair churn."""
+
+    z_added: list
+    z_removed: list
+    pairs_added: list
+    pairs_removed: list
 
 
 @dataclass(frozen=True)

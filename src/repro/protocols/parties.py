@@ -71,6 +71,7 @@ from .messages import (
 __all__ = [
     "PublicParams",
     "CryptoContext",
+    "PartyCache",
     "IntersectionReceiver",
     "IntersectionSender",
     "IntersectionSizeReceiver",
@@ -169,6 +170,52 @@ class CryptoContext:
         return BlockExtCipher(self.group)
 
 
+@dataclass(frozen=True)
+class PartyCache:
+    """Previously persisted per-party crypto state (a catalog-cache hit).
+
+    ``keys`` holds the party's commutative-cipher keys in draw order;
+    ``entries`` maps each value to ``(hash, ciphertexts)`` where
+    ``ciphertexts`` carries one encryption of the hash per key, in key
+    order.  Injecting a cache skips both the rng key draw and the
+    O(|V|) hash + modexp setup.  The ciphertexts are only valid under
+    the same public params and keys they were produced with — the
+    catalog layer verifies the key fingerprint before injecting.
+    """
+
+    keys: tuple
+    entries: Mapping[Hashable, tuple]
+
+    def hashes_for(self, values: Sequence[Hashable]) -> list[int]:
+        """The cached hashes aligned to ``values`` (all must be covered)."""
+        missing = [v for v in values if v not in self.entries]
+        if missing:
+            raise ValueError(
+                f"party cache is missing {len(missing)} of the party's values"
+            )
+        return [self.entries[v][0] for v in values]
+
+    def ciphertexts_for(
+        self, values: Sequence[Hashable], key_index: int = 0
+    ) -> list[int]:
+        """The cached ciphertexts under key ``key_index``, aligned to
+        ``values``."""
+        return [self.entries[v][1][key_index] for v in values]
+
+
+def _cached_or_encrypt(
+    cipher: PowerCipher, key: int, hashes: list[int], cached: list[int] | None
+) -> list[int]:
+    """The cached ciphertext list if present, else one encryption batch.
+
+    The cipher is deterministic, so under the same key the two paths
+    produce identical ciphertexts — a cache hit changes only the cost.
+    """
+    if cached is not None:
+        return list(cached)
+    return cipher.encrypt_many(key, hashes)
+
+
 def _checked_hashes(hash_: DomainHash, values: Sequence[Hashable]) -> list[int]:
     """Hash a value list, running the paper's sorted-hash collision check."""
     hashes = hash_.hash_set(values)
@@ -193,7 +240,14 @@ def _resolve_crypto(
 
 
 class _Party:
-    """Common setup: hash own values (collision-checked), draw a key."""
+    """Common setup: hash own values (collision-checked), draw a key.
+
+    With an injected :class:`PartyCache` the key and hashes come from
+    the cache instead (no rng draw, no hashing), and the party's own
+    round-1 encryption batch is skipped in favour of the cached
+    ciphertexts.  The collision check still runs — it is cheap and the
+    cache may have been produced by an older code path.
+    """
 
     def __init__(
         self,
@@ -202,6 +256,7 @@ class _Party:
         rng: random.Random,
         engine: CryptoEngine | None = None,
         crypto: CryptoContext | None = None,
+        cached: PartyCache | None = None,
     ):
         self.params = params
         self.crypto = _resolve_crypto(params, engine, crypto)
@@ -212,8 +267,33 @@ class _Party:
         )
         self.values = sorted(set(values), key=repr)
         self.rng = rng
-        self._key = self.cipher.sample_key(rng)
-        self._hashes = _checked_hashes(self.hash, self.values)
+        if cached is not None:
+            (self._key,) = cached.keys
+            self._hashes = cached.hashes_for(self.values)
+            if find_collisions(self._hashes):
+                raise HashCollisionError(
+                    "hash collision within the party's cached set"
+                )
+            self._cached_y = cached.ciphertexts_for(self.values)
+        else:
+            self._key = self.cipher.sample_key(rng)
+            self._hashes = _checked_hashes(self.hash, self.values)
+            self._cached_y = None
+        self._hash_by_value = dict(zip(self.values, self._hashes))
+
+    def cache_keys(self) -> tuple:
+        """The party's cipher keys in draw order (for catalog caching)."""
+        return (self._key,)
+
+    def cache_entries(self) -> dict | None:
+        """Per-value ``(hash, ciphertexts)`` for catalog caching, or
+        ``None`` before the party has encrypted its own set."""
+        y_by_value = getattr(self, "_y_by_value", None)
+        if y_by_value is None:
+            return None
+        return {
+            v: (self._hash_by_value[v], (y_by_value[v],)) for v in self.values
+        }
 
 
 class IntersectionReceiver(_Party):
@@ -222,7 +302,12 @@ class IntersectionReceiver(_Party):
     def round1(self) -> CipherList:
         """Step 3: ``Y_R``, reordered lexicographically."""
         self._y_by_value = dict(
-            zip(self.values, self.cipher.encrypt_many(self._key, self._hashes))
+            zip(
+                self.values,
+                _cached_or_encrypt(
+                    self.cipher, self._key, self._hashes, self._cached_y
+                ),
+            )
         )
         return CipherList(sorted_ciphertexts(list(self._y_by_value.values())))
 
@@ -232,10 +317,16 @@ class IntersectionReceiver(_Party):
         z_s = set(self.cipher.encrypt_many(self._key, reply.y_s))
         self.size_v_s = len(reply.y_s)
         y_to_value = {y: v for v, y in self._y_by_value.items()}
-        return {
-            y_to_value[y]
+        # Stashed for delta queries: S-side membership (Z_S) and each
+        # own value's double encryption survive across sessions.
+        self._z_s = z_s
+        self._double_by_value = {
+            y_to_value[y]: double
             for y, double in reply.pairs
-            if y in y_to_value and double in z_s
+            if y in y_to_value
+        }
+        return {
+            v for v, double in self._double_by_value.items() if double in z_s
         }
 
 
@@ -246,7 +337,11 @@ class IntersectionSender(_Party):
         """Steps 4(a)+(b): ``Y_S`` reordered plus the ``⟨y, f_eS(y)⟩`` pairs."""
         y_r = list(CipherList.coerce(y_r))
         self.size_v_r = len(y_r)
-        y_s = sorted_ciphertexts(self.cipher.encrypt_many(self._key, self._hashes))
+        encrypted = _cached_or_encrypt(
+            self.cipher, self._key, self._hashes, self._cached_y
+        )
+        self._y_by_value = dict(zip(self.values, encrypted))
+        y_s = sorted_ciphertexts(encrypted)
         pairs = list(zip(y_r, self.cipher.encrypt_many(self._key, y_r)))
         return IntersectionReply(y_s=y_s, pairs=pairs)
 
@@ -256,7 +351,10 @@ class IntersectionSizeReceiver(_Party):
 
     def round1(self) -> CipherList:
         """Step 3: ``Y_R``, reordered lexicographically."""
-        self._y_r = self.cipher.encrypt_many(self._key, self._hashes)
+        self._y_r = _cached_or_encrypt(
+            self.cipher, self._key, self._hashes, self._cached_y
+        )
+        self._y_by_value = dict(zip(self.values, self._y_r))
         return CipherList(sorted_ciphertexts(self._y_r))
 
     def finish(self, reply: SizeReply) -> int:
@@ -264,7 +362,11 @@ class IntersectionSizeReceiver(_Party):
         reply = SizeReply.coerce(reply)
         self.size_v_s = len(reply.y_s)
         z_s = set(self.cipher.encrypt_many(self._key, reply.y_s))
-        return len(z_s & set(reply.z_r))
+        z_r = set(reply.z_r)
+        # Stashed for delta queries.
+        self._z_s = z_s
+        self._z_r = z_r
+        return len(z_s & z_r)
 
 
 class IntersectionSizeSender(_Party):
@@ -274,7 +376,11 @@ class IntersectionSizeSender(_Party):
         """Steps 4(a)+(b): ``Y_S`` plus the unpaired, reordered ``Z_R``."""
         y_r = list(CipherList.coerce(y_r))
         self.size_v_r = len(y_r)
-        y_s = sorted_ciphertexts(self.cipher.encrypt_many(self._key, self._hashes))
+        encrypted = _cached_or_encrypt(
+            self.cipher, self._key, self._hashes, self._cached_y
+        )
+        self._y_by_value = dict(zip(self.values, encrypted))
+        y_s = sorted_ciphertexts(encrypted)
         z_r = sorted_ciphertexts(self.cipher.encrypt_many(self._key, y_r))
         return SizeReply(y_s=y_s, z_r=z_r)
 
@@ -285,7 +391,12 @@ class EquijoinReceiver(_Party):
     def round1(self) -> CipherList:
         """Step 3: ``Y_R``, reordered lexicographically."""
         self._y_by_value = dict(
-            zip(self.values, self.cipher.encrypt_many(self._key, self._hashes))
+            zip(
+                self.values,
+                _cached_or_encrypt(
+                    self.cipher, self._key, self._hashes, self._cached_y
+                ),
+            )
         )
         return CipherList(sorted_ciphertexts(list(self._y_by_value.values())))
 
@@ -305,6 +416,14 @@ class EquijoinReceiver(_Party):
         by_codeword = {
             codeword: (v, kappa)
             for (v, _, _), codeword, kappa in zip(mine, codewords, kappas)
+        }
+        # Stashed for delta queries: codeword maps for both sides.
+        self._by_codeword = by_codeword
+        self._codeword_by_value = {
+            v: codeword for codeword, (v, _) in by_codeword.items()
+        }
+        self._pairs_by_codeword = {
+            codeword: list(ciphertext) for codeword, ciphertext in reply.pairs
         }
         matches = {}
         for codeword, ciphertext in reply.pairs:
@@ -327,6 +446,7 @@ class EquijoinSender:
         rng: random.Random,
         engine: CryptoEngine | None = None,
         crypto: CryptoContext | None = None,
+        cached: PartyCache | None = None,
     ):
         self.params = params
         self.crypto = _resolve_crypto(params, engine, crypto)
@@ -337,10 +457,40 @@ class EquijoinSender:
         )
         self.ext = {v: bytes(payload) for v, payload in ext.items()}
         self.values = sorted(self.ext, key=repr)
-        self._hashes = _checked_hashes(self.hash, self.values)
-        self._key = self.cipher.sample_key(rng)
-        self._key_prime = self.cipher.sample_key(rng)
+        if cached is not None:
+            self._hashes = cached.hashes_for(self.values)
+            if find_collisions(self._hashes):
+                raise HashCollisionError(
+                    "hash collision within the party's cached set"
+                )
+            self._key, self._key_prime = cached.keys
+            self._cached_cw = cached.ciphertexts_for(self.values, 0)
+            self._cached_kp = cached.ciphertexts_for(self.values, 1)
+        else:
+            self._hashes = _checked_hashes(self.hash, self.values)
+            self._key = self.cipher.sample_key(rng)
+            self._key_prime = self.cipher.sample_key(rng)
+            self._cached_cw = None
+            self._cached_kp = None
+        self._hash_by_value = dict(zip(self.values, self._hashes))
         self._ext_cipher = self.crypto.ext()
+
+    def cache_keys(self) -> tuple:
+        """Both cipher keys in draw order (for catalog caching)."""
+        return (self._key, self._key_prime)
+
+    def cache_entries(self) -> dict | None:
+        """Per-value ``(hash, (codeword, kappa))`` after round 1."""
+        codeword_by_value = getattr(self, "_codeword_by_value", None)
+        if codeword_by_value is None:
+            return None
+        return {
+            v: (
+                self._hash_by_value[v],
+                (codeword_by_value[v], self._kappa_by_value[v]),
+            )
+            for v in self.values
+        }
 
     def round1(self, y_r: CipherList) -> EquijoinReply:
         """Steps 4-5: triples over Y_R plus the ⟨codeword, K(...)⟩ pairs."""
@@ -353,8 +503,14 @@ class EquijoinSender:
                 self.cipher.encrypt_many(self._key_prime, y_r),
             )
         )
-        codewords = self.cipher.encrypt_many(self._key, self._hashes)
-        kappas = self.cipher.encrypt_many(self._key_prime, self._hashes)
+        codewords = _cached_or_encrypt(
+            self.cipher, self._key, self._hashes, self._cached_cw
+        )
+        kappas = _cached_or_encrypt(
+            self.cipher, self._key_prime, self._hashes, self._cached_kp
+        )
+        self._codeword_by_value = dict(zip(self.values, codewords))
+        self._kappa_by_value = dict(zip(self.values, kappas))
         pairs = [
             (codeword, self._ext_cipher.encrypt(kappa, self.ext[v]))
             for v, codeword, kappa in zip(self.values, codewords, kappas)
@@ -373,6 +529,7 @@ class _MultisetParty:
         rng: random.Random,
         engine: CryptoEngine | None = None,
         crypto: CryptoContext | None = None,
+        cached: PartyCache | None = None,
     ):
         from ..db.multiset import ValueMultiset
 
@@ -390,17 +547,40 @@ class _MultisetParty:
         )
         self.multiset = ms
         distinct = sorted(ms.distinct(), key=repr)
-        hashes = _checked_hashes(self.hash, distinct)
-        self._key = self.cipher.sample_key(rng)
-        # Hash and encrypt each distinct value once (one batch), then
-        # expand by multiplicity.
-        encrypted = self.cipher.encrypt_many(self._key, hashes)
+        self.values = distinct
+        if cached is not None:
+            hashes = cached.hashes_for(distinct)
+            if find_collisions(hashes):
+                raise HashCollisionError(
+                    "hash collision within the party's cached set"
+                )
+            (self._key,) = cached.keys
+            encrypted = cached.ciphertexts_for(distinct)
+        else:
+            hashes = _checked_hashes(self.hash, distinct)
+            self._key = self.cipher.sample_key(rng)
+            # Hash and encrypt each distinct value once (one batch),
+            # then expand by multiplicity.
+            encrypted = self.cipher.encrypt_many(self._key, hashes)
+        self._hashes = hashes
+        self._hash_by_value = dict(zip(distinct, hashes))
         self._y_by_value = dict(zip(distinct, encrypted))
         self._y_multiset = [
             y
             for v, y in zip(distinct, encrypted)
             for _ in range(ms.multiplicity(v))
         ]
+
+    def cache_keys(self) -> tuple:
+        """The party's cipher key (for catalog caching)."""
+        return (self._key,)
+
+    def cache_entries(self) -> dict:
+        """Per-distinct-value ``(hash, ciphertexts)`` for catalog caching."""
+        return {
+            v: (self._hash_by_value[v], (self._y_by_value[v],))
+            for v in self.values
+        }
 
 
 class EquijoinSizeReceiver(_MultisetParty):
@@ -418,8 +598,10 @@ class EquijoinSizeReceiver(_MultisetParty):
         z_s_counts = Counter(self.cipher.encrypt_many(self._key, reply.y_s))
         z_r_counts = Counter(reply.z_r)
         # Stashed for the leakage diagnostics in the driver wrapper
-        # (duplicate distributions, partition overlap).
+        # (duplicate distributions, partition overlap) and for delta
+        # queries (occurrence counters on both sides).
         self._z_s_counts = z_s_counts
+        self._z_r_counts = z_r_counts
         self._z_r_received = list(reply.z_r)
         return sum(
             count * z_r_counts[codeword]
@@ -451,7 +633,10 @@ class EquijoinSumReceiver(_Party):
 
     def round1(self) -> CipherList:
         """Step 2: ``Y_R``, reordered (as in Section 5.1)."""
-        self._y_r = self.cipher.encrypt_many(self._key, self._hashes)
+        self._y_r = _cached_or_encrypt(
+            self.cipher, self._key, self._hashes, self._cached_y
+        )
+        self._y_by_value = dict(zip(self.values, self._y_r))
         return CipherList(sorted_ciphertexts(self._y_r))
 
     def round2(self, reply: SumReply) -> BlindedSum:
@@ -459,11 +644,18 @@ class EquijoinSumReceiver(_Party):
         reply = SumReply.coerce(reply)
         pk = PaillierPublicKey(reply.n)
         z_r_set = set(reply.z_r)
-        matched = [
-            ciphertext
-            for codeword, ciphertext in reply.pairs
-            if self.cipher.encrypt(self._key, codeword) in z_r_set
-        ]
+        z_by_codeword = {}
+        matched = []
+        for codeword, ciphertext in reply.pairs:
+            z = self.cipher.encrypt(self._key, codeword)
+            z_by_codeword[codeword] = z
+            if z in z_r_set:
+                matched.append(ciphertext)
+        # Stashed for delta queries: the double-encryption cache keeps
+        # repeat matching O(delta) instead of O(|V_S|) modexp.
+        self._z_r_set = z_r_set
+        self._z_by_codeword = z_by_codeword
+        self._pairs_by_codeword = dict(reply.pairs)
         accumulator = pk.encrypt_zero(self.rng)
         for ciphertext in matched:
             accumulator = pk.add(accumulator, ciphertext)
@@ -501,6 +693,7 @@ class EquijoinSumSender:
         self.amounts = dict(values_s)
         self.values = sorted(self.amounts, key=repr)
         self._hashes = _checked_hashes(self.hash, self.values)
+        self._hash_by_value = dict(zip(self.values, self._hashes))
         self._key = self.cipher.sample_key(rng)
         self._public, self._private = generate_keypair(paillier_bits, rng)
         self.rng = rng
@@ -512,8 +705,10 @@ class EquijoinSumSender:
         self.size_v_r = len(y_r)
         z_r = sorted_ciphertexts(self.cipher.encrypt_many(self._key, y_r))
         pairs = []
+        self._codeword_by_value = {}
         for v, x in zip(self.values, self._hashes):
             codeword = self.cipher.encrypt(self._key, x)
+            self._codeword_by_value[v] = codeword
             amount = int(self.amounts[v])
             if amount < 0:
                 raise ValueError("aggregated values must be non-negative")

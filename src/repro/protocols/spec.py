@@ -119,6 +119,12 @@ class ProtocolSpec:
         answer_kind: how the CLI prints R's answer - ``"set"``,
             ``"ext-map"`` or ``"number"``.
         doc: one-line description (paper section) for ``--help``.
+        delta_of: for incremental schedules, the base protocol's
+            registry name. Delta specs take a
+            :class:`~repro.protocols.delta.DeltaExchange` as ``data``
+            rather than raw values, so surfaces that feed raw inputs
+            (the CLI ``--protocol`` choices, the one-shot facade)
+            filter on this field; ``None`` for the full protocols.
     """
 
     name: str
@@ -130,6 +136,7 @@ class ProtocolSpec:
     sender_input: str = "values"
     answer_kind: str = "number"
     doc: str = ""
+    delta_of: str | None = None
 
     @property
     def receiver_rounds(self) -> tuple[RoundSpec, ...]:
@@ -429,3 +436,11 @@ EQUIJOIN_SUM = register(
         doc="sum over the intersection (aggregate; paper future work)",
     )
 )
+
+
+# The incremental (delta) schedules in delta.py register themselves on
+# import; importing here ensures every get_spec() caller can resolve
+# "<name>+delta" names.  The import sits at module bottom because
+# delta.py needs this module's classes and step helpers (a benign
+# cycle: whichever module is imported first finishes the other).
+from . import delta as _delta  # noqa: E402,F401

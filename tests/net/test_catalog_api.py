@@ -1,0 +1,527 @@
+"""The stateful Catalog/Peer API: parity, deltas, cache, sessions.
+
+Three properties anchor the repeated-query redesign:
+
+* **Golden parity** - the first (full) query through a Catalog puts
+  exactly the bytes of the legacy one-shot drivers on the wire, for
+  every registered protocol, in both roles.  The announce dialect adds
+  precisely one framing message (the query announcement) and nothing
+  else.
+* **Delta correctness** - a delta query's answer equals a fresh full
+  run over the mutated tables, for every protocol.
+* **Persistence** - a cache-backed catalog warm-starts from disk with
+  the same answers, and delta commits re-key the cache.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+import repro
+from repro.net import tcp
+from repro.protocols.parties import PublicParams
+from repro.protocols.spec import PROTOCOLS, get_spec
+
+BITS = 128
+PARAMS = PublicParams.for_bits(BITS)
+
+BASE_PROTOCOLS = [n for n, s in PROTOCOLS.items() if s.delta_of is None]
+
+
+def _tables(protocol):
+    v_r = [f"v{i}" for i in range(12)]
+    v_s = [f"v{i}" for i in range(6, 18)]
+    shape = get_spec(protocol).sender_input
+    if shape == "ext":
+        return v_r, {v: f"ext({v})".encode() for v in v_s}
+    if shape == "amounts":
+        return v_r, {v: i * 10 for i, v in enumerate(v_s)}
+    return v_r, v_s
+
+
+def _mutate(cat_r, cat_s, protocol):
+    """Stage one insert + one delete on each side."""
+    shape = get_spec(protocol).sender_input
+    cat_r.insert("v20")
+    cat_r.delete("v0")
+    if shape == "ext":
+        cat_s.insert("v20", b"ext(v20)")
+    elif shape == "amounts":
+        cat_s.insert("v20", 777)
+    else:
+        cat_s.insert("v20")
+    cat_s.delete("v17")
+
+
+class _RecordingTransport:
+    """Wraps a framed transport; logs every message in arrival order."""
+
+    def __init__(self, transport, log):
+        self._transport = transport
+        self.log = log
+
+    def send(self, message):
+        self.log.append(("sent", message))
+        self._transport.send(message)
+
+    def recv(self):
+        message = self._transport.recv()
+        self.log.append(("received", message))
+        return message
+
+    def settimeout(self, timeout):
+        self._transport.settimeout(timeout)
+
+    def close(self):
+        self._transport.close()
+
+
+def _serve_recording(protocol, v_s, log):
+    """A legacy tcp.serve thread that records its transcript."""
+    port_box, ready = [], threading.Event()
+    box = {}
+
+    def serve_thread():
+        box["size_v_r"] = tcp.serve(
+            protocol, v_s, PARAMS, random.Random("S"),
+            ready_callback=lambda p: (port_box.append(p), ready.set()),
+            timeout=10.0,
+            endpoint_wrapper=lambda e: _RecordingTransport(e, log),
+        )
+
+    thread = threading.Thread(target=serve_thread)
+    thread.start()
+    assert ready.wait(timeout=10)
+    return thread, port_box, box
+
+
+# ----------------------------------------------------------------------
+# Golden parity: Catalog first query == legacy one-shot, all protocols
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", BASE_PROTOCOLS)
+class TestGoldenParity:
+    def test_catalog_client_matches_legacy_client(self, protocol):
+        """Same seeds, same server: a Catalog client's full query puts
+        the identical messages on the wire as legacy tcp.connect."""
+        v_r, v_s = _tables(protocol)
+
+        legacy_log = []
+        thread, ports, _ = _serve_recording(protocol, v_s, legacy_log)
+        legacy_answer = tcp.connect(
+            protocol, v_r, random.Random("R"), "127.0.0.1", ports[0],
+            timeout=10.0,
+        )
+        thread.join(timeout=10)
+
+        catalog_log = []
+        thread, ports, _ = _serve_recording(protocol, v_s, catalog_log)
+        catalog = repro.open_catalog(v_r, rng=random.Random("R"))
+        peer = catalog.connect(
+            "127.0.0.1", port=ports[0], timeout=10.0, announce=False
+        )
+        result = peer.query(protocol)
+        thread.join(timeout=10)
+
+        assert result.mode == "full"
+        assert result.answer == legacy_answer
+        assert catalog_log == legacy_log
+
+    def test_catalog_server_matches_legacy_server(self, protocol):
+        """Same seeds, same client: a Catalog server peer answers with
+        the identical messages as legacy tcp.serve."""
+        v_r, v_s = _tables(protocol)
+
+        def run_client(port, log):
+            return tcp.connect(
+                protocol, v_r, random.Random("R"), "127.0.0.1", port,
+                timeout=10.0,
+                endpoint_wrapper=lambda e: _RecordingTransport(e, log),
+            )
+
+        legacy_log = []
+        thread, ports, box = _serve_recording(protocol, v_s, [])
+        legacy_answer = run_client(ports[0], legacy_log)
+        thread.join(timeout=10)
+
+        catalog_log = []
+        catalog = repro.open_catalog(
+            v_s, params=PARAMS, rng=random.Random("S")
+        )
+        peer = catalog.serve(port=0, timeout=10.0, announce=False)
+        box2 = {}
+
+        def serve_thread():
+            box2["result"] = peer.query(protocol)
+
+        thread = threading.Thread(target=serve_thread)
+        thread.start()
+        answer = run_client(peer.port, catalog_log)
+        thread.join(timeout=10)
+        peer.close()
+
+        assert answer == legacy_answer
+        assert catalog_log == legacy_log
+        assert box2["result"].size_v_r == box["size_v_r"]
+
+    def test_announce_dialect_adds_exactly_one_frame(self, protocol):
+        """Catalog-to-catalog queries announce (protocol, kind) first;
+        every byte after that announcement is the legacy transcript."""
+        v_r, v_s = _tables(protocol)
+
+        legacy_log = []
+        thread, ports, _ = _serve_recording(protocol, v_s, legacy_log)
+        tcp.connect(
+            protocol, v_r, random.Random("R"), "127.0.0.1", ports[0],
+            timeout=10.0,
+        )
+        thread.join(timeout=10)
+
+        announce_log = []
+        cat_s = repro.open_catalog(v_s, params=PARAMS, rng=random.Random("S"))
+        server_peer = cat_s.serve(port=0, timeout=10.0)
+        # Record at the server's socket: wrap accept() before the
+        # server thread starts so its endpoint logs every frame.
+        server_peer._listener = _ListenerRecorder(
+            server_peer._listener, announce_log
+        )
+        box = {}
+
+        def serve_thread():
+            box["result"] = server_peer.query(protocol)
+
+        thread = threading.Thread(target=serve_thread)
+        thread.start()
+        cat_r = repro.open_catalog(v_r, rng=random.Random("R"))
+        client_peer = cat_r.connect(
+            "127.0.0.1", port=server_peer.port, timeout=10.0
+        )
+        result = client_peer.query(protocol)
+        thread.join(timeout=10)
+        server_peer.close()
+
+        assert result.mode == "full"
+        assert announce_log[0] == (
+            "received", ("query", protocol, "full")
+        )
+        assert announce_log[1:] == legacy_log
+
+
+class _ListenerRecorder:
+    """Intercepts accept() so the server peer's endpoint records."""
+
+    def __init__(self, listener, log):
+        self._listener = listener
+        self.log = log
+
+    def accept(self):
+        conn, addr = self._listener.accept()
+        return _RecordingSocket(conn, self.log), addr
+
+    def __getattr__(self, name):
+        return getattr(self._listener, name)
+
+
+class _RecordingSocket:
+    """A socket shim that reassembles and decodes framed messages.
+
+    SocketEndpoint speaks sendall/recv at the byte level, so this
+    records complete length-prefixed frames as they cross the socket
+    and logs them decoded - same shape as _RecordingTransport logs.
+    """
+
+    def __init__(self, sock, log):
+        self._sock = sock
+        self.log = log
+        self._out = b""
+        self._in = b""
+
+    def sendall(self, data):
+        self._sock.sendall(data)
+        self._out += data
+        self._drain("sent", "_out")
+
+    def recv(self, n):
+        data = self._sock.recv(n)
+        self._in += data
+        self._drain("received", "_in")
+        return data
+
+    def _drain(self, tag, attr):
+        import struct
+
+        from repro.net import serialization
+
+        buf = getattr(self, attr)
+        while len(buf) >= 4:
+            (length,) = struct.unpack(">I", buf[:4])
+            if len(buf) < 4 + length:
+                break
+            self.log.append(
+                (tag, serialization.decode(buf[4 : 4 + length]))
+            )
+            buf = buf[4 + length :]
+        setattr(self, attr, buf)
+
+    def __getattr__(self, name):
+        return getattr(self._sock, name)
+
+
+# ----------------------------------------------------------------------
+# Delta correctness: every protocol, local pair
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", BASE_PROTOCOLS)
+def test_delta_query_matches_full_rerun(protocol):
+    v_r, v_s = _tables(protocol)
+    legacy = repro.run(protocol, v_r, v_s, bits=BITS, seed=42)
+
+    cat_r = repro.open_catalog(v_r, bits=BITS, seed=11)
+    cat_s = repro.open_catalog(v_s, bits=BITS, seed=12)
+    peer = cat_r.pair(cat_s)
+    first = peer.query(protocol)
+    assert first.mode == "full"
+    assert first.answer == legacy.answer
+    assert first.size_v_r == legacy.size_v_r
+    assert first.size_v_s == legacy.size_v_s
+
+    _mutate(cat_r, cat_s, protocol)
+    second = peer.query(protocol)
+    assert second.mode == "delta"
+    reference = repro.run(protocol, cat_r.data, cat_s.data, bits=BITS, seed=7)
+    assert second.answer == reference.answer
+
+    # An empty staged delta still answers (and still in delta mode).
+    third = peer.query(protocol)
+    assert third.mode == "delta"
+    assert third.answer == reference.answer
+
+
+def test_replace_payload_is_a_delta(rng_seed=9):
+    """Re-inserting a key with a new ext payload reaches the answer."""
+    v_r, v_s = _tables("equijoin")
+    cat_r = repro.open_catalog(v_r, bits=BITS, seed=1)
+    cat_s = repro.open_catalog(v_s, bits=BITS, seed=2)
+    peer = cat_r.pair(cat_s)
+    assert peer.query("equijoin").answer["v6"] == b"ext(v6)"
+    cat_s.insert("v6", b"updated")
+    result = peer.query("equijoin")
+    assert result.mode == "delta"
+    assert result.answer["v6"] == b"updated"
+
+
+# ----------------------------------------------------------------------
+# Cache persistence through the API
+# ----------------------------------------------------------------------
+def test_cache_warm_start_and_rekey(tmp_path):
+    v_r, v_s = _tables("intersection")
+
+    def open_pair():
+        cat_r = repro.open_catalog(
+            v_r, bits=BITS, seed=1, cache_dir=tmp_path / "r"
+        )
+        cat_s = repro.open_catalog(
+            v_s, bits=BITS, seed=2, cache_dir=tmp_path / "s"
+        )
+        return cat_r, cat_s
+
+    cat_r, cat_s = open_pair()
+    cold = cat_r.pair(cat_s).query("intersection")
+    assert not cold.cache_hit
+
+    # "Restart": fresh catalogs, same tables + seeds, warm cache.
+    cat_r, cat_s = open_pair()
+    peer = cat_r.pair(cat_s)
+    warm = peer.query("intersection")
+    assert warm.cache_hit
+    assert warm.answer == cold.answer
+
+    # A delta commit re-keys the entries to the mutated tables.
+    cat_r.insert("zz")
+    cat_s.insert("zz")
+    delta = peer.query("intersection")
+    assert delta.mode == "delta" and "zz" in delta.answer
+
+    cat_r2 = repro.open_catalog(
+        list(cat_r.data), bits=BITS, seed=1, cache_dir=tmp_path / "r"
+    )
+    cat_s2 = repro.open_catalog(
+        list(cat_s.data), bits=BITS, seed=2, cache_dir=tmp_path / "s"
+    )
+    rewarmed = cat_r2.pair(cat_s2).query("intersection")
+    assert rewarmed.cache_hit
+    assert rewarmed.answer == delta.answer
+
+
+def test_warm_start_is_wire_identical(tmp_path):
+    """A cache-hit query must put the same bytes on the wire as the
+    cold run it replays - warm starts are a pure compute shortcut."""
+    v_r, v_s = _tables("intersection")
+
+    def run_once(log):
+        thread, ports, _ = _serve_recording("intersection", v_s, log)
+        catalog = repro.open_catalog(
+            v_r, rng=random.Random("R"), cache_dir=tmp_path / "r"
+        )
+        peer = catalog.connect(
+            "127.0.0.1", port=ports[0], timeout=10.0, announce=False
+        )
+        result = peer.query("intersection")
+        thread.join(timeout=10)
+        return result
+
+    cold_log, warm_log = [], []
+    cold = run_once(cold_log)
+    warm = run_once(warm_log)
+    assert not cold.cache_hit and warm.cache_hit
+    assert warm.answer == cold.answer
+    assert warm_log == cold_log
+
+
+# ----------------------------------------------------------------------
+# Staging and mode errors
+# ----------------------------------------------------------------------
+class TestStagingAndModes:
+    def test_delta_mode_without_state_raises(self):
+        v_r, v_s = _tables("intersection")
+        peer = repro.open_catalog(v_r, bits=BITS, seed=1).pair(
+            repro.open_catalog(v_s, bits=BITS, seed=2)
+        )
+        with pytest.raises(ValueError, match="full"):
+            peer.query("intersection", mode="delta")
+
+    def test_querying_a_delta_spec_directly_raises(self):
+        v_r, v_s = _tables("intersection")
+        peer = repro.open_catalog(v_r, bits=BITS, seed=1).pair(
+            repro.open_catalog(v_s, bits=BITS, seed=2)
+        )
+        with pytest.raises(ValueError, match="base protocol"):
+            peer.query("intersection+delta")
+
+    def test_unknown_mode_raises(self):
+        v_r, v_s = _tables("intersection")
+        peer = repro.open_catalog(v_r, bits=BITS, seed=1).pair(
+            repro.open_catalog(v_s, bits=BITS, seed=2)
+        )
+        with pytest.raises(ValueError, match="mode"):
+            peer.query("intersection", mode="incremental")
+
+    def test_payload_insert_needs_mapping(self):
+        catalog = repro.open_catalog(["a"], bits=BITS, seed=1)
+        with pytest.raises(ValueError, match="mapping"):
+            catalog.insert("b", b"payload")
+
+    def test_delete_absent_raises(self):
+        catalog = repro.open_catalog(["a"], bits=BITS, seed=1)
+        with pytest.raises(ValueError):
+            catalog.delete("zebra")
+        mapping = repro.open_catalog({"a": 1}, bits=BITS, seed=1)
+        with pytest.raises(KeyError):
+            mapping.delete("zebra")
+
+    def test_multiset_staging_counts_occurrences(self):
+        v_r = ["a", "a", "b", "c"]
+        v_s = ["a", "a", "a", "b"]
+        cat_r = repro.open_catalog(v_r, bits=BITS, seed=1)
+        cat_s = repro.open_catalog(v_s, bits=BITS, seed=2)
+        peer = cat_r.pair(cat_s)
+        first = peer.query("equijoin-size")
+        assert first.answer == repro.run(
+            "equijoin-size", v_r, v_s, bits=BITS, seed=3
+        ).answer
+        cat_s.delete("a")  # one occurrence
+        cat_r.insert("c")
+        second = peer.query("equijoin-size")
+        assert second.mode == "delta"
+        assert second.answer == repro.run(
+            "equijoin-size", cat_r.data, cat_s.data, bits=BITS, seed=4
+        ).answer
+
+    def test_paired_params_must_match(self):
+        other = PublicParams.for_bits(256)
+        cat_r = repro.open_catalog(["a"], params=PARAMS, seed=1)
+        cat_s = repro.open_catalog(["a"], params=other, seed=2)
+        with pytest.raises(ValueError, match="params"):
+            cat_r.pair(cat_s)
+
+    def test_protocol_mismatch_over_tcp(self):
+        v_r, v_s = _tables("intersection")
+        cat_s = repro.open_catalog(v_s, bits=BITS, seed=1)
+        server_peer = cat_s.serve(port=0, timeout=10.0)
+        errors = {}
+
+        def serve_thread():
+            try:
+                server_peer.query("equijoin-size")
+            except ValueError as exc:
+                errors["server"] = str(exc)
+
+        thread = threading.Thread(target=serve_thread)
+        thread.start()
+        cat_r = repro.open_catalog(v_r, bits=BITS, seed=2)
+        client = cat_r.connect(
+            "127.0.0.1", port=server_peer.port, timeout=10.0
+        )
+        with pytest.raises(RuntimeError, match="refused"):
+            client.query("intersection")
+        thread.join(timeout=10)
+        server_peer.close()
+        assert "intersection" in errors["server"]
+
+    def test_context_managers(self):
+        v_r, v_s = _tables("intersection")
+        with repro.open_catalog(v_r, bits=BITS, seed=1) as cat_r:
+            with repro.open_catalog(v_s, bits=BITS, seed=2) as cat_s:
+                with cat_r.pair(cat_s) as peer:
+                    assert peer.query("intersection").mode == "full"
+        assert not cat_r._links  # close() dropped the committed state
+
+
+# ----------------------------------------------------------------------
+# Session-layer catalog queries (reconnectable, journaled)
+# ----------------------------------------------------------------------
+def test_session_mode_full_then_delta(tmp_path):
+    v_r, v_s = _tables("intersection")
+    ready, staged = threading.Event(), threading.Event()
+    cat_s = repro.open_catalog(v_s, bits=BITS, seed=8)
+    server_peer = cat_s.serve(
+        port=0,
+        session=repro.SessionOptions(journal_dir=tmp_path / "s"),
+        ready_callback=lambda p: ready.set(),
+    )
+    box = {}
+
+    def serve_thread():
+        box["first"] = server_peer.query("intersection")
+        staged.wait(10)
+        box["second"] = server_peer.query("intersection")
+
+    thread = threading.Thread(target=serve_thread)
+    thread.start()
+    assert ready.wait(10)
+
+    cat_r = repro.open_catalog(v_r, bits=BITS, seed=9)
+    client = cat_r.connect(
+        "127.0.0.1",
+        port=server_peer.port,
+        session=repro.SessionOptions(journal_dir=tmp_path / "r"),
+    )
+    first = client.query("intersection")
+    assert first.mode == "full"
+    assert first.stats is not None
+    assert first.answer == set(v_r) & set(v_s)
+
+    cat_r.insert("yy")
+    cat_s.insert("yy")
+    cat_s.delete("v17")
+    staged.set()
+    second = client.query("intersection")
+    thread.join(timeout=30)
+
+    assert second.mode == "delta"
+    assert second.answer == set(cat_r.data) & set(cat_s.data)
+    assert "yy" in second.answer
+    assert box["second"].mode == "delta"
+    assert box["second"].stats is not None
+    assert box["first"].size_v_r == len(v_r)

@@ -1,0 +1,190 @@
+"""Unit tests for the on-disk encrypted-catalog cache.
+
+The cache must behave like the session journal it mirrors: CRC-sealed
+records, torn tails truncated on load, atomic re-keying, and every
+byte written through the injectable :class:`JournalIO` seam so seeded
+disk faults hit it too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.catalog import (
+    CATALOG_MAGIC,
+    CatalogCache,
+    CatalogCacheError,
+    table_digest,
+)
+from repro.net.diskfaults import DiskFaultPlan, FaultyJournalIO
+from repro.protocols.parties import PublicParams
+
+PARAMS = PublicParams.for_bits(128)
+KEYS = (123456789,)
+ENTRIES = {
+    "alice": (11, (1111,)),
+    "bob": (22, (2222,)),
+    "carol": (33, (3333,)),
+}
+DIGEST = table_digest(["alice", "bob", "carol"])
+
+
+def _store(cache, digest=DIGEST, entries=ENTRIES):
+    return cache.store(digest, "intersection.r", PARAMS, KEYS, entries)
+
+
+class TestTableDigest:
+    def test_order_insensitive(self):
+        assert table_digest(["a", "b"]) == table_digest(["b", "a"])
+
+    def test_multiplicity_counts(self):
+        assert table_digest(["a", "a", "b"]) != table_digest(["a", "b"])
+
+    def test_mapping_digests_payloads(self):
+        assert table_digest({"a": 1}) != table_digest({"a": 2})
+        assert table_digest({"a": 1, "b": 2}) == table_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_mapping_and_sequence_differ(self):
+        assert table_digest({"a": None}) != table_digest(["a"])
+
+
+class TestRoundTrip:
+    def test_store_then_lookup(self, tmp_path):
+        cache = CatalogCache(tmp_path)
+        stored = _store(cache)
+        loaded = cache.lookup(DIGEST, "intersection.r")
+        assert loaded is not None
+        assert loaded.keys == KEYS
+        assert loaded.entries == ENTRIES
+        assert loaded.params == PARAMS
+        assert loaded.fingerprint == stored.fingerprint
+
+    def test_survives_reopen(self, tmp_path):
+        _store(CatalogCache(tmp_path))
+        loaded = CatalogCache(tmp_path).lookup(DIGEST, "intersection.r")
+        assert loaded is not None and loaded.entries == ENTRIES
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = CatalogCache(tmp_path)
+        assert cache.lookup(DIGEST, "intersection.r") is None
+        _store(cache)
+        assert cache.lookup(DIGEST, "intersection.s") is None
+        assert cache.lookup(table_digest(["x"]), "intersection.r") is None
+
+    def test_party_cache_shape(self, tmp_path):
+        cache = CatalogCache(tmp_path)
+        _store(cache)
+        pc = cache.lookup(DIGEST, "intersection.r").party_cache()
+        assert pc.keys == KEYS
+        assert pc.entries == ENTRIES
+
+
+class TestAppendDelta:
+    def test_folds_and_rekeys(self, tmp_path):
+        cache = CatalogCache(tmp_path)
+        entry = _store(cache)
+        new_digest = table_digest(["alice", "carol", "dave"])
+        updated = cache.append_delta(
+            entry, new_digest, {"dave": (44, (4444,))}, ["bob"]
+        )
+        assert updated.entries == {
+            "alice": (11, (1111,)),
+            "carol": (33, (3333,)),
+            "dave": (44, (4444,)),
+        }
+        # The old key is gone; the new one loads the folded entry.
+        assert cache.lookup(DIGEST, "intersection.r") is None
+        loaded = cache.lookup(new_digest, "intersection.r")
+        assert loaded.entries == updated.entries
+
+    def test_replace_same_value(self, tmp_path):
+        cache = CatalogCache(tmp_path)
+        entry = _store(cache)
+        new_digest = table_digest(["replaced"])
+        updated = cache.append_delta(
+            entry, new_digest, {"alice": (99, (9999,))}, []
+        )
+        assert updated.entries["alice"] == (99, (9999,))
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        cache = CatalogCache(tmp_path)
+        path = _store(cache).path
+        path.write_bytes(b"XXXX" + path.read_bytes()[4:])
+        with pytest.raises(CatalogCacheError):
+            cache.lookup(DIGEST, "intersection.r")
+
+    def test_corrupt_header_crc(self, tmp_path):
+        cache = CatalogCache(tmp_path)
+        path = _store(cache).path
+        data = bytearray(path.read_bytes())
+        data[len(CATALOG_MAGIC) + 8] ^= 0xFF  # flip a header byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(CatalogCacheError):
+            cache.lookup(DIGEST, "intersection.r")
+
+    def test_torn_tail_truncated_and_served(self, tmp_path):
+        cache = CatalogCache(tmp_path)
+        path = _store(cache).path
+        intact = path.read_bytes()
+        path.write_bytes(intact + b"\x00\x00\x01\x00garbage")
+        loaded = cache.lookup(DIGEST, "intersection.r")
+        assert loaded is not None and loaded.entries == ENTRIES
+        # The repair is durable: the torn bytes are gone from disk.
+        assert path.read_bytes() == intact
+
+    def test_foreign_keys_rejected(self, tmp_path):
+        """An entry whose keys do not match its fingerprint is refused
+        (cached ciphertexts must never replay under the wrong key)."""
+        from repro.crypto.commutative import key_fingerprint
+        from repro.net.catalog import _record
+
+        cache = CatalogCache(tmp_path)
+        path = _store(cache).path
+        # A validly CRC-sealed header whose fingerprint names *other*
+        # keys than the ones stored: the CRC passes, the key check
+        # must not.
+        path.write_bytes(
+            CATALOG_MAGIC
+            + _record((
+                "header", DIGEST, "intersection.r", PARAMS.to_wire(),
+                KEYS, key_fingerprint((987654321,), PARAMS.p),
+            ))
+        )
+        with pytest.raises(CatalogCacheError):
+            cache.lookup(DIGEST, "intersection.r")
+
+
+class TestDiskFaults:
+    def test_fsync_fault_surfaces(self, tmp_path):
+        io = FaultyJournalIO(
+            DiskFaultPlan(seed=1, fsync_error_rate=1.0, max_faults=1)
+        )
+        cache = CatalogCache(tmp_path, io=io)
+        with pytest.raises(OSError):
+            _store(cache)
+
+    def test_torn_write_repaired_on_next_load(self, tmp_path):
+        """A torn final write is exactly the crash the tail-scan
+        repairs: the intact prefix (header + earlier adds) loads."""
+        io = FaultyJournalIO(
+            DiskFaultPlan(seed=2, torn_write_rate=1.0, max_faults=1, skip=4)
+        )
+        cache = CatalogCache(tmp_path, io=io, fsync=False)
+        try:
+            _store(cache)
+        except OSError:
+            pass
+        # Whatever made it to disk must load cleanly or miss - never a
+        # wrong answer.
+        clean = CatalogCache(tmp_path)
+        try:
+            loaded = clean.lookup(DIGEST, "intersection.r")
+        except CatalogCacheError:
+            loaded = None
+        if loaded is not None:
+            for value, entry in loaded.entries.items():
+                assert ENTRIES[value] == entry

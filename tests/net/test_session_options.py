@@ -1,0 +1,159 @@
+"""SessionOptions and the deprecated resumable=/journal_dir= shim.
+
+The one-shot facades grew a ``session=SessionOptions(...)`` kwarg; the
+old boolean/path kwargs must keep working (warn-once) and mixing the
+two styles must be an error, not a silent preference.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.net.session import RetryPolicy, SessionConfig
+
+V_R = [f"v{i}" for i in range(10)]
+V_S = [f"v{i}" for i in range(5, 15)]
+EXPECTED = set(V_R) & set(V_S)
+
+
+def _config(timeout_s=5.0):
+    return SessionConfig(
+        timeout_s=timeout_s,
+        retry=RetryPolicy(max_attempts=3, base_delay_s=0.02, max_delay_s=0.1),
+        max_reconnects=4,
+        fin_grace_s=0.05,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _reset_warn_once():
+    """The deprecation warning fires once per process; reset so every
+    test observes it fresh."""
+    api._SESSION_KWARG_WARNED.clear()
+    yield
+    api._SESSION_KWARG_WARNED.clear()
+
+
+def _serve_connect(serve_kwargs, connect_kwargs):
+    ready, ports = threading.Event(), []
+    box = {}
+
+    def serve_thread():
+        box["serve"] = repro.serve(
+            "intersection", V_S, bits=128, seed=3, port=0,
+            ready_callback=lambda p: (ports.append(p), ready.set()),
+            timeout=10.0, **serve_kwargs,
+        )
+
+    thread = threading.Thread(target=serve_thread)
+    thread.start()
+    assert ready.wait(timeout=10)
+    box["connect"] = repro.connect(
+        "intersection", V_R, host="127.0.0.1", port=ports[0],
+        seed=4, timeout=10.0, **connect_kwargs,
+    )
+    thread.join(timeout=30)
+    return box
+
+
+class TestSessionOptions:
+    def test_dataclass_defaults(self):
+        opts = repro.SessionOptions()
+        assert opts.journal_dir is None
+        assert opts.config is None
+        assert opts.journal_fsync is True
+
+    def test_session_kwarg_runs_resumable(self, tmp_path):
+        box = _serve_connect(
+            {"session": repro.SessionOptions(journal_dir=tmp_path / "s", config=_config())},
+            {"session": repro.SessionOptions(journal_dir=tmp_path / "r", config=_config())},
+        )
+        assert box["connect"].answer == EXPECTED
+        assert box["connect"].stats is not None
+        assert box["serve"].stats is not None
+        assert any(tmp_path.joinpath("s").iterdir())
+        assert any(tmp_path.joinpath("r").iterdir())
+
+    def test_session_kwarg_emits_no_warning(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            box = _serve_connect(
+                {"session": repro.SessionOptions(config=_config())},
+                {"session": repro.SessionOptions(config=_config())},
+            )
+        assert box["connect"].answer == EXPECTED
+
+
+class TestDeprecatedKwargs:
+    def test_resumable_warns_once_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="resumable"):
+            box = _serve_connect({"resumable": True, "config": _config()}, {"resumable": True, "config": _config()})
+        assert box["connect"].answer == EXPECTED
+        # Second use in the same process: no second warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            box = _serve_connect({"resumable": True, "config": _config()}, {"resumable": True, "config": _config()})
+        assert box["connect"].answer == EXPECTED
+
+    def test_journal_dir_warns_and_journals(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="journal_dir"):
+            box = _serve_connect(
+                {"journal_dir": tmp_path / "s", "config": _config()},
+                {"journal_dir": tmp_path / "r", "config": _config()},
+            )
+        assert box["connect"].answer == EXPECTED
+        assert any(tmp_path.joinpath("r").iterdir())
+
+    def test_mixing_styles_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            repro.serve(
+                "intersection", V_S, bits=128, seed=1, port=0,
+                resumable=True, session=repro.SessionOptions(),
+            )
+        with pytest.raises(ValueError, match="not both"):
+            repro.connect(
+                "intersection", V_R, host="127.0.0.1", port=1,
+                journal_dir=tmp_path,
+                session=repro.SessionOptions(journal_dir=tmp_path),
+            )
+
+
+class TestServeResultPort:
+    def test_port_zero_reports_bound_port(self):
+        """serve(port=0) must expose the kernel-chosen port on the
+        result and agree with the ready_callback value."""
+        ports, ready = [], threading.Event()
+        box = {}
+
+        def serve_thread():
+            box["serve"] = repro.serve(
+                "intersection", V_S, bits=128, seed=5, port=0,
+                ready_callback=lambda p: (ports.append(p), ready.set()),
+                timeout=10.0,
+            )
+
+        thread = threading.Thread(target=serve_thread)
+        thread.start()
+        assert ready.wait(timeout=10)
+        assert ports[0] != 0
+        result = repro.connect(
+            "intersection", V_R, host="127.0.0.1", port=ports[0],
+            seed=6, timeout=10.0,
+        )
+        thread.join(timeout=30)
+        assert result.answer == EXPECTED
+        assert box["serve"].port == ports[0]
+
+    def test_catalog_serve_port_zero(self):
+        catalog = repro.open_catalog(V_S, bits=128, rng=random.Random(1))
+        peer = catalog.serve(port=0, timeout=5.0)
+        try:
+            assert peer.port != 0
+        finally:
+            peer.close()
